@@ -1,0 +1,309 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * PMF pulse resolution vs Stage-I evaluation cost (accuracy values are
+//!   printed once at startup so `cargo bench` output records them);
+//! * coalesce budget vs makespan-PMF cost;
+//! * scheduling-overhead sensitivity of the executor;
+//! * availability dwell-time sensitivity of the technique ranking.
+
+use cdsf_dls::executor::{execute, ExecutorConfig};
+use cdsf_dls::TechniqueKind;
+use cdsf_pmf::Pmf;
+use cdsf_ra::robustness::evaluate;
+use cdsf_ra::{Allocation, Assignment};
+use cdsf_system::availability::AvailabilitySpec;
+use cdsf_system::ProcTypeId;
+use cdsf_workloads::paper;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn robust_alloc() -> Allocation {
+    Allocation::new(vec![
+        Assignment { proc_type: ProcTypeId(0), procs: 2 },
+        Assignment { proc_type: ProcTypeId(0), procs: 2 },
+        Assignment { proc_type: ProcTypeId(1), procs: 8 },
+    ])
+}
+
+/// Pulse-resolution ablation: accuracy printed once, cost benchmarked.
+fn bench_pulse_resolution(c: &mut Criterion) {
+    let platform = paper::platform();
+    let alloc = robust_alloc();
+    let reference = evaluate(
+        &paper::batch_with_pulses(1024),
+        &platform,
+        &alloc,
+        paper::DEADLINE,
+    )
+    .unwrap()
+    .joint;
+    eprintln!("\nablation: φ1 error vs pulse resolution (reference = {reference:.4} @1024)");
+    for &pulses in &[4usize, 8, 16, 32, 64, 128] {
+        let phi1 = evaluate(
+            &paper::batch_with_pulses(pulses),
+            &platform,
+            &alloc,
+            paper::DEADLINE,
+        )
+        .unwrap()
+        .joint;
+        eprintln!("  pulses {pulses:>4}: φ1 = {phi1:.4}, |error| = {:.4}", (phi1 - reference).abs());
+    }
+
+    let mut group = c.benchmark_group("ablation/pulse_resolution");
+    for &pulses in &[8usize, 64, 512] {
+        let batch = paper::batch_with_pulses(pulses);
+        group.bench_with_input(BenchmarkId::from_parameter(pulses), &pulses, |b, _| {
+            b.iter(|| black_box(evaluate(&batch, &platform, &alloc, paper::DEADLINE).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// Coalesce-budget ablation on the makespan PMF.
+fn bench_coalesce_budget(c: &mut Criterion) {
+    use cdsf_system::parallel_time::makespan_pmf;
+    let batch = paper::batch_with_pulses(64);
+    let platform = paper::platform();
+    let alloc = robust_alloc();
+    let apps: Vec<_> = batch.iter().map(|(_, a)| a).collect();
+    let assignments: Vec<_> = apps
+        .iter()
+        .zip(alloc.assignments())
+        .map(|(app, asg)| (*app, asg.proc_type, asg.procs))
+        .collect();
+
+    eprintln!("\nablation: Pr(Ψ ≤ Δ) vs coalesce budget");
+    for &budget in &[32usize, 128, 512, 4096] {
+        let psi = makespan_pmf(&assignments, &platform, budget).unwrap();
+        eprintln!(
+            "  budget {budget:>5}: {} pulses, Pr(Ψ ≤ Δ) = {:.4}",
+            psi.len(),
+            psi.cdf(paper::DEADLINE)
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation/coalesce_budget");
+    for &budget in &[64usize, 512, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, &budget| {
+            b.iter(|| black_box(makespan_pmf(&assignments, &platform, budget).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// Scheduling-overhead sensitivity: SS collapses, FAC/AF degrade gently.
+fn bench_overhead_sensitivity(c: &mut Criterion) {
+    eprintln!("\nablation: makespan vs per-chunk overhead (8 workers, 8192 iters)");
+    for kind in [TechniqueKind::SelfSched, TechniqueKind::Fac, TechniqueKind::Af] {
+        for &h in &[0.0f64, 0.5, 2.0] {
+            let cfg = ExecutorConfig::builder()
+                .workers(8)
+                .parallel_iters(8_192)
+                .iter_time_mean_sigma(1.0, 0.1)
+                .unwrap()
+                .overhead(h)
+                .availability(AvailabilitySpec::Constant { a: 1.0 })
+                .build()
+                .unwrap();
+            let mut rng = StdRng::seed_from_u64(1);
+            let run = execute(&kind, &cfg, &mut rng).unwrap();
+            eprintln!(
+                "  {:>6} h={h:>3}: makespan {:>8.0}, chunks {:>5}",
+                kind.name(),
+                run.makespan,
+                run.chunks
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("ablation/overhead");
+    group.sample_size(20);
+    for &h in &[0.0f64, 2.0] {
+        let cfg = ExecutorConfig::builder()
+            .workers(8)
+            .parallel_iters(8_192)
+            .iter_time_mean_sigma(1.0, 0.1)
+            .unwrap()
+            .overhead(h)
+            .availability(AvailabilitySpec::Constant { a: 1.0 })
+            .build()
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("fac", format!("h{h}")), &cfg, |b, cfg| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| black_box(execute(&TechniqueKind::Fac, cfg, &mut rng).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// Dwell-time sensitivity: how the STATIC-vs-DLS gap depends on how fast
+/// availability fluctuates (the calibration study behind SimParams).
+fn bench_dwell_sensitivity(c: &mut Criterion) {
+    let pmf = Pmf::from_pairs([(0.25, 0.25), (0.5, 0.25), (1.0, 0.5)]).unwrap();
+    eprintln!("\nablation: STATIC vs AF mean makespan (10 reps) vs renewal dwell");
+    for &dwell in &[50.0f64, 300.0, 1_000.0, 5_000.0] {
+        let cfg = ExecutorConfig::builder()
+            .workers(4)
+            .parallel_iters(4_096)
+            .iter_time_mean_sigma(1.0, 0.1)
+            .unwrap()
+            .availability(AvailabilitySpec::Renewal { pmf: pmf.clone(), mean_dwell: dwell })
+            .build()
+            .unwrap();
+        let mut mean = [0.0f64; 2];
+        for (i, kind) in [TechniqueKind::Static, TechniqueKind::Af].iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(9);
+            for _ in 0..10 {
+                mean[i] += execute(kind, &cfg, &mut rng).unwrap().makespan;
+            }
+            mean[i] /= 10.0;
+        }
+        eprintln!(
+            "  dwell {dwell:>6}: STATIC {:>7.0}, AF {:>7.0}, ratio {:.2}",
+            mean[0],
+            mean[1],
+            mean[0] / mean[1]
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation/dwell");
+    group.sample_size(20);
+    for &dwell in &[50.0f64, 1_000.0] {
+        let cfg = ExecutorConfig::builder()
+            .workers(4)
+            .parallel_iters(4_096)
+            .iter_time_mean_sigma(1.0, 0.1)
+            .unwrap()
+            .availability(AvailabilitySpec::Renewal { pmf: pmf.clone(), mean_dwell: dwell })
+            .build()
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("af", format!("dwell{dwell}")),
+            &cfg,
+            |b, cfg| {
+                let mut rng = StdRng::seed_from_u64(4);
+                b.iter(|| black_box(execute(&TechniqueKind::Af, cfg, &mut rng).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Dwell-*shape* sensitivity: same stationary PMF and mean dwell, four
+/// dwell distributions — does the process shape change the STATIC/AF gap?
+fn bench_dwell_shape(c: &mut Criterion) {
+    use cdsf_system::availability::DwellDistribution;
+    let pmf = Pmf::from_pairs([(0.25, 0.25), (0.5, 0.25), (1.0, 0.5)]).unwrap();
+    let shapes: Vec<(&str, DwellDistribution)> = vec![
+        ("exponential", DwellDistribution::Exponential { mean: 400.0 }),
+        ("uniform", DwellDistribution::Uniform { lo: 100.0, hi: 700.0 }),
+        ("lognormal-heavy", DwellDistribution::LogNormal { mean: 400.0, cov: 2.0 }),
+        ("periodic", DwellDistribution::Deterministic { d: 400.0 }),
+    ];
+    eprintln!("\nablation: STATIC/AF makespan ratio vs dwell shape (mean dwell 400)");
+    for (name, dwell) in &shapes {
+        let cfg = ExecutorConfig::builder()
+            .workers(4)
+            .parallel_iters(4_096)
+            .iter_time_mean_sigma(1.0, 0.1)
+            .unwrap()
+            .availability(AvailabilitySpec::RenewalGeneral {
+                pmf: pmf.clone(),
+                dwell: dwell.clone(),
+            })
+            .build()
+            .unwrap();
+        let mut means = [0.0f64; 2];
+        for (i, kind) in [TechniqueKind::Static, TechniqueKind::Af].iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(77);
+            for _ in 0..10 {
+                means[i] += execute(kind, &cfg, &mut rng).unwrap().makespan;
+            }
+            means[i] /= 10.0;
+        }
+        eprintln!(
+            "  {name:>16}: STATIC {:>7.0}, AF {:>7.0}, ratio {:.2}",
+            means[0],
+            means[1],
+            means[0] / means[1]
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation/dwell_shape");
+    group.sample_size(20);
+    for (name, dwell) in shapes {
+        let cfg = ExecutorConfig::builder()
+            .workers(4)
+            .parallel_iters(4_096)
+            .iter_time_mean_sigma(1.0, 0.1)
+            .unwrap()
+            .availability(AvailabilitySpec::RenewalGeneral { pmf: pmf.clone(), dwell })
+            .build()
+            .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| black_box(execute(&TechniqueKind::Af, cfg, &mut rng).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// Advisor vs full grid: how much simulation the mean-field screen saves.
+fn bench_advisor_vs_grid(c: &mut Criterion) {
+    use cdsf_core::advisor::Advisor;
+    use cdsf_core::{Cdsf, ImPolicy, RasPolicy, SimParams};
+
+    let cdsf = Cdsf::builder()
+        .batch(cdsf_workloads::paper::batch_with_pulses(32))
+        .reference_platform(paper::platform())
+        .runtime_cases((1..=4).map(paper::platform_case).collect())
+        .deadline(paper::DEADLINE)
+        .sim_params(SimParams { replicates: 25, threads: 4, ..Default::default() })
+        .build()
+        .unwrap();
+
+    let advice = Advisor::default()
+        .advise(&cdsf, &ImPolicy::Robust, &RasPolicy::Robust)
+        .unwrap();
+    eprintln!(
+        "\nablation: advisor screened {} of {} cells without simulation",
+        advice.screened,
+        advice.screened + advice.simulated
+    );
+
+    let mut group = c.benchmark_group("ablation/advisor_vs_grid");
+    group.sample_size(10);
+    group.bench_function("full_grid", |b| {
+        b.iter(|| {
+            black_box(
+                cdsf.run_scenario(&ImPolicy::Robust, &RasPolicy::Robust)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("advisor", |b| {
+        let advisor = Advisor::default();
+        b.iter(|| {
+            black_box(
+                advisor
+                    .advise(&cdsf, &ImPolicy::Robust, &RasPolicy::Robust)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pulse_resolution,
+    bench_coalesce_budget,
+    bench_overhead_sensitivity,
+    bench_dwell_sensitivity,
+    bench_dwell_shape,
+    bench_advisor_vs_grid
+);
+criterion_main!(benches);

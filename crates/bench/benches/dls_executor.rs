@@ -1,0 +1,103 @@
+//! Executor throughput per DLS technique: events per second, chunk counts,
+//! and the cost of availability-timeline integration.
+
+use cdsf_dls::executor::{execute, ExecutorConfig};
+use cdsf_dls::TechniqueKind;
+use cdsf_pmf::Pmf;
+use cdsf_system::availability::AvailabilitySpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn renewal_spec() -> AvailabilitySpec {
+    AvailabilitySpec::Renewal {
+        pmf: Pmf::from_pairs([(0.25, 0.25), (0.5, 0.25), (1.0, 0.5)]).unwrap(),
+        mean_dwell: 300.0,
+    }
+}
+
+fn cfg(iters: u64, workers: usize) -> ExecutorConfig {
+    ExecutorConfig::builder()
+        .workers(workers)
+        .parallel_iters(iters)
+        .iter_time_mean_sigma(1.0, 0.1)
+        .unwrap()
+        .overhead(1.0)
+        .availability(renewal_spec())
+        .build()
+        .unwrap()
+}
+
+fn bench_techniques(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dls/technique");
+    let config = cfg(16_384, 8);
+    group.throughput(Throughput::Elements(16_384));
+    for kind in TechniqueKind::all(64) {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, kind| {
+                let mut rng = StdRng::seed_from_u64(7);
+                b.iter(|| black_box(execute(kind, &config, &mut rng).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dls/worker_scaling");
+    group.sample_size(30);
+    for &p in &[2usize, 8, 32, 128] {
+        let config = cfg(65_536, p);
+        group.throughput(Throughput::Elements(65_536));
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| black_box(execute(&TechniqueKind::Fac, &config, &mut rng).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_availability_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dls/availability_model");
+    group.sample_size(30);
+    let specs: Vec<(&str, AvailabilitySpec)> = vec![
+        ("constant", AvailabilitySpec::Constant { a: 0.7 }),
+        ("renewal", renewal_spec()),
+        (
+            "markov",
+            AvailabilitySpec::TwoStateMarkov {
+                up: 1.0,
+                down: 0.25,
+                mean_up: 400.0,
+                mean_down: 150.0,
+            },
+        ),
+        (
+            "trace",
+            AvailabilitySpec::Trace {
+                segments: vec![(1.0, 200.0), (0.5, 100.0), (0.25, 50.0)],
+            },
+        ),
+    ];
+    for (name, spec) in specs {
+        let config = ExecutorConfig::builder()
+            .workers(8)
+            .parallel_iters(16_384)
+            .iter_time_mean_sigma(1.0, 0.1)
+            .unwrap()
+            .availability(spec)
+            .build()
+            .unwrap();
+        group.bench_function(name, |b| {
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| black_box(execute(&TechniqueKind::Af, &config, &mut rng).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_techniques, bench_worker_scaling, bench_availability_models);
+criterion_main!(benches);

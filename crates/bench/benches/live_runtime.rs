@@ -1,0 +1,64 @@
+//! Benchmarks of the *live* multithreaded runtime (`cdsf_dls::runtime`):
+//! scheduling overhead per technique on a real parallel loop, and scaling
+//! with thread count.
+
+use cdsf_dls::runtime::{run_parallel_loop, RuntimeConfig};
+use cdsf_dls::TechniqueKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// A small fixed-cost body (a few ns) so scheduling overhead dominates.
+fn tiny_body(i: u64) {
+    black_box((i as f64).sqrt());
+}
+
+/// A moderately irregular body (cost ramps with the index).
+fn ramped_body(i: u64) {
+    let reps = 1 + (i % 64);
+    let mut acc = 0.0f64;
+    for k in 0..reps {
+        acc += ((i + k) as f64).sqrt();
+    }
+    black_box(acc);
+}
+
+fn bench_scheduling_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime/scheduling_overhead");
+    group.sample_size(15);
+    const N: u64 = 100_000;
+    group.throughput(Throughput::Elements(N));
+    for kind in [
+        TechniqueKind::Static,
+        TechniqueKind::SelfSched,
+        TechniqueKind::Gss,
+        TechniqueKind::Fac,
+        TechniqueKind::Af,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
+            let cfg = RuntimeConfig { threads: 4, kind: kind.clone() };
+            b.iter(|| black_box(run_parallel_loop(N, &cfg, tiny_body).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime/thread_scaling");
+    group.sample_size(15);
+    const N: u64 = 200_000;
+    group.throughput(Throughput::Elements(N));
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let cfg = RuntimeConfig { threads, kind: TechniqueKind::Fac };
+                b.iter(|| black_box(run_parallel_loop(N, &cfg, ramped_body).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduling_overhead, bench_thread_scaling);
+criterion_main!(benches);

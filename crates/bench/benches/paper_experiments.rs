@@ -1,0 +1,108 @@
+//! One bench target per table/figure of the paper — regenerating each
+//! artifact is the benchmarked operation, so `cargo bench` exercises the
+//! full reproduction pipeline. (The printable artifacts themselves come
+//! from the `repro_*` binaries; see EXPERIMENTS.md.)
+
+use cdsf_bench::paper_cdsf;
+use cdsf_core::{ImPolicy, RasPolicy, SimParams};
+use cdsf_workloads::paper;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_sim() -> SimParams {
+    // Small replicate count: benches measure pipeline cost, not statistics.
+    SimParams { replicates: 5, threads: 4, ..Default::default() }
+}
+
+/// Table I: availability cases and weighted availabilities (pure PMF math).
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("paper/table1_weighted_availabilities", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for case in 1..=paper::NUM_CASES {
+                acc += black_box(paper::weighted_availability(case));
+                acc += black_box(paper::availability_decrease(case));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+/// Tables II–III: fixture construction (PMF discretization included).
+fn bench_table2_3(c: &mut Criterion) {
+    c.bench_function("paper/table2_3_batch_construction", |b| {
+        b.iter(|| black_box(paper::batch()))
+    });
+}
+
+/// Table IV + φ1: both Stage-I mappings.
+fn bench_table4(c: &mut Criterion) {
+    let cdsf = paper_cdsf(bench_sim());
+    let mut group = c.benchmark_group("paper/table4_stage1");
+    group.sample_size(20);
+    group.bench_function("naive_im", |b| {
+        b.iter(|| black_box(cdsf.stage_one(&ImPolicy::Naive).unwrap()))
+    });
+    group.bench_function("robust_im", |b| {
+        b.iter(|| black_box(cdsf.stage_one(&ImPolicy::Robust).unwrap()))
+    });
+    group.finish();
+}
+
+/// Table V: expected completion times (part of the stage-one report).
+fn bench_table5(c: &mut Criterion) {
+    let cdsf = paper_cdsf(bench_sim());
+    c.bench_function("paper/table5_expected_times", |b| {
+        b.iter(|| {
+            let (_, report) = cdsf.stage_one(&ImPolicy::Robust).unwrap();
+            black_box(report.expected_times)
+        })
+    });
+}
+
+/// Figures 3–6: the four scenarios end-to-end (mapping + simulation grid).
+fn bench_figures(c: &mut Criterion) {
+    let cdsf = paper_cdsf(bench_sim());
+    let mut group = c.benchmark_group("paper/figures");
+    group.sample_size(10);
+    group.bench_function("fig3_scenario1", |b| {
+        b.iter(|| black_box(cdsf.run_scenario(&ImPolicy::Naive, &RasPolicy::Naive).unwrap()))
+    });
+    group.bench_function("fig4_scenario2", |b| {
+        b.iter(|| black_box(cdsf.run_scenario(&ImPolicy::Robust, &RasPolicy::Naive).unwrap()))
+    });
+    group.bench_function("fig5_scenario3", |b| {
+        b.iter(|| black_box(cdsf.run_scenario(&ImPolicy::Naive, &RasPolicy::Robust).unwrap()))
+    });
+    group.bench_function("fig6_scenario4", |b| {
+        b.iter(|| black_box(cdsf.run_scenario(&ImPolicy::Robust, &RasPolicy::Robust).unwrap()))
+    });
+    group.finish();
+}
+
+/// Table VI + (ρ1, ρ2): scenario-4 post-processing.
+fn bench_table6_and_rho(c: &mut Criterion) {
+    let cdsf = paper_cdsf(bench_sim());
+    let s4 = cdsf
+        .run_scenario(&ImPolicy::Robust, &RasPolicy::Robust)
+        .unwrap();
+    let mut group = c.benchmark_group("paper/table6_rho");
+    group.bench_function("table6_best_techniques", |b| {
+        b.iter(|| black_box(s4.table6(3, paper::NUM_CASES)))
+    });
+    group.bench_function("system_robustness", |b| {
+        b.iter(|| black_box(cdsf.system_robustness(&s4)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_table2_3,
+    bench_table4,
+    bench_table5,
+    bench_figures,
+    bench_table6_and_rho
+);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Microbenchmarks of the PMF algebra — the inner loop of every Stage-I
+//! robustness evaluation.
+
+use cdsf_pmf::discretize::{Discretize, Normal};
+use cdsf_pmf::sample::{AliasSampler, CdfSampler};
+use cdsf_pmf::Pmf;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn pmf_with_pulses(n: usize) -> Pmf {
+    Normal::new(1_000.0, 100.0).unwrap().equiprobable(n)
+}
+
+fn avail_pmf() -> Pmf {
+    Pmf::from_pairs([(0.25, 0.25), (0.5, 0.25), (1.0, 0.5)]).unwrap()
+}
+
+fn bench_combine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pmf/combine");
+    for &n in &[16usize, 64, 256] {
+        let a = pmf_with_pulses(n);
+        let b = avail_pmf();
+        group.throughput(Throughput::Elements((n * b.len()) as u64));
+        group.bench_with_input(BenchmarkId::new("quotient", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.quotient(&b).unwrap()))
+        });
+        let a2 = pmf_with_pulses(n);
+        group.bench_with_input(BenchmarkId::new("max_self", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.max(&a2).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cdf_and_moments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pmf/query");
+    for &n in &[64usize, 1024, 16_384] {
+        let pmf = pmf_with_pulses(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("cdf", n), &n, |bench, _| {
+            bench.iter(|| black_box(pmf.cdf(black_box(1_050.0))))
+        });
+        group.bench_with_input(BenchmarkId::new("expectation", n), &n, |bench, _| {
+            bench.iter(|| black_box(pmf.expectation()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_coalesce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pmf/coalesce");
+    let big = pmf_with_pulses(8_192);
+    for &target in &[64usize, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(target), &target, |bench, &t| {
+            bench.iter(|| black_box(big.coalesce(t)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pmf/sample");
+    let pmf = pmf_with_pulses(256);
+    let alias = AliasSampler::new(&pmf);
+    let cdf = CdfSampler::new(&pmf);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("alias", |bench| {
+        let mut rng = StdRng::seed_from_u64(1);
+        bench.iter(|| black_box(alias.sample(&mut rng)))
+    });
+    group.bench_function("cdf_binary_search", |bench| {
+        let mut rng = StdRng::seed_from_u64(1);
+        bench.iter(|| black_box(cdf.sample(&mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_discretize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pmf/discretize");
+    for &n in &[64usize, 512] {
+        group.bench_with_input(BenchmarkId::new("equiprobable", n), &n, |bench, &n| {
+            let d = Normal::new(1_800.0, 180.0).unwrap();
+            bench.iter(|| black_box(d.equiprobable(n)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_combine,
+    bench_cdf_and_moments,
+    bench_coalesce,
+    bench_samplers,
+    bench_discretize
+);
+criterion_main!(benches);

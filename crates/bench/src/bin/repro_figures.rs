@@ -1,0 +1,116 @@
+//! Regenerates the data behind Figures 3–6: mean application execution
+//! times per availability case and technique, for each of the paper's four
+//! scenarios. Values violating the deadline Δ = 3250 are marked `*`.
+//!
+//! The paper does not publish the bar values numerically; the claims to
+//! check are qualitative (which bars cross Δ) and are summarized after
+//! each figure. The final block prints the system robustness `(ρ1, ρ2)`
+//! of scenario 4 (paper: `(74.5 %, 30.77 %)`).
+
+use cdsf_bench::{deadline_mark, mean_std, paper_cdsf, repro_sim_params};
+use cdsf_core::report::pct;
+use cdsf_core::{AsciiTable, Scenario};
+use cdsf_workloads::paper;
+
+fn main() {
+    let cdsf = paper_cdsf(repro_sim_params());
+    let deadline = cdsf.deadline();
+
+    for scenario in Scenario::all() {
+        let (im, ras) = scenario.policies();
+        let result = cdsf.run_scenario(&im, &ras).expect("scenario runs");
+        let techniques: Vec<String> = {
+            let mut names: Vec<String> = Vec::new();
+            for c in &result.cells {
+                if !names.contains(&c.technique) {
+                    names.push(c.technique.clone());
+                }
+            }
+            names
+        };
+
+        let mut headers = vec!["App".to_string(), "Case".to_string()];
+        headers.extend(techniques.iter().cloned());
+        let mut table = AsciiTable::new(headers).title(format!(
+            "Figure {} data: scenario {} ({}), mean execution time ± std over replicates; * = violates Δ = {:.0}",
+            scenario.figure(),
+            scenario.number(),
+            scenario.label(),
+            deadline,
+        ));
+
+        for app in 0..cdsf.batch().len() {
+            for case in 1..=paper::NUM_CASES {
+                let mut row = vec![
+                    if case == 1 { format!("{}", app + 1) } else { String::new() },
+                    format!("{case}"),
+                ];
+                for tech in &techniques {
+                    let cell = result
+                        .cells
+                        .iter()
+                        .find(|c| c.app == app && c.case == case && &c.technique == tech)
+                        .expect("grid is complete");
+                    row.push(format!(
+                        "{}{}",
+                        mean_std(cell.mean_makespan, cell.std_makespan),
+                        deadline_mark(cell.mean_makespan, deadline)
+                    ));
+                }
+                table.row(row);
+            }
+        }
+        println!("{table}");
+
+        // Qualitative summary per case.
+        for case in 1..=paper::NUM_CASES {
+            let robust = result.case_is_robust(case, cdsf.batch().len());
+            println!(
+                "  case {case}: {}",
+                if robust { "deadline met for all applications" } else { "deadline VIOLATED" }
+            );
+        }
+        println!();
+
+        if scenario == Scenario::RobustRobust {
+            // Visual summary: each application's best-technique time per
+            // case, against the deadline line.
+            let mut chart = cdsf_core::report::BarChart::new(48).reference(deadline, "Δ");
+            for app in 0..cdsf.batch().len() {
+                for case in 1..=paper::NUM_CASES {
+                    let (label, value) = match result.best_technique(app, case) {
+                        Some(cell) => (
+                            format!("app {} case {case} ({})", app + 1, cell.technique),
+                            cell.mean_makespan,
+                        ),
+                        None => {
+                            // No technique met Δ: show the least-bad one.
+                            let worst = result
+                                .cells_for(app, case)
+                                .into_iter()
+                                .min_by(|a, b| a.mean_makespan.total_cmp(&b.mean_makespan))
+                                .expect("grid is complete");
+                            (
+                                format!("app {} case {case} (none ≤ Δ)", app + 1),
+                                worst.mean_makespan,
+                            )
+                        }
+                    };
+                    chart.bar(label, value);
+                }
+            }
+            println!("Scenario 4, best technique per (app, case):\n{chart}");
+
+            let r = cdsf.system_robustness(&result);
+            println!(
+                "Scenario 4 system robustness: (ρ1, ρ2) = ({}, {})   [paper: (74.5%, 30.77%)]",
+                pct(r.rho1),
+                pct(r.rho2),
+            );
+            if let Some(c) = r.critical_case {
+                println!("  most degraded robust case: case {c}");
+            }
+            println!();
+        }
+    }
+}

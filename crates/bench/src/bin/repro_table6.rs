@@ -1,0 +1,35 @@
+//! Regenerates Table VI: the DLS technique providing the best application
+//! performance while meeting the system deadline, per application and
+//! availability case, under the robust IM — robust RAS scenario.
+//!
+//! Paper's Table VI:
+//! app 1: WF, AF, AF, AF — app 2: WF, WF, AF, — — app 3: AF, AF, AF, AF.
+
+use cdsf_bench::{paper_cdsf, repro_sim_params};
+use cdsf_core::{AsciiTable, ImPolicy, RasPolicy};
+use cdsf_workloads::paper;
+
+fn main() {
+    let cdsf = paper_cdsf(repro_sim_params());
+    let result = cdsf
+        .run_scenario(&ImPolicy::Robust, &RasPolicy::Robust)
+        .expect("scenario 4 runs");
+
+    let table6 = result.table6(cdsf.batch().len(), paper::NUM_CASES);
+    let mut table = AsciiTable::new(["Application", "Case 1", "Case 2", "Case 3", "Case 4"])
+        .title("Table VI: best deadline-meeting DLS technique per application and case");
+    let paper_rows = [
+        ["WF", "AF", "AF", "AF"],
+        ["WF", "WF", "AF", "-"],
+        ["AF", "AF", "AF", "AF"],
+    ];
+    for (app, row) in table6.iter().enumerate() {
+        let mut cells = vec![format!("{}", app + 1)];
+        cells.extend(row.iter().map(|t| t.clone().unwrap_or_else(|| "-".to_string())));
+        table.row(cells);
+        let mut paper_cells = vec!["  (paper)".to_string()];
+        paper_cells.extend(paper_rows[app].iter().map(|s| s.to_string()));
+        table.row(paper_cells);
+    }
+    println!("{table}");
+}

@@ -1,0 +1,47 @@
+//! Shared helpers for the `repro_*` binaries and criterion benches.
+//!
+//! Everything here is a thin layer over `cdsf-core`/`cdsf-workloads`: the
+//! binaries regenerate the paper's tables and figures, and this module
+//! holds the common setup so each binary stays a short script.
+
+use cdsf_core::{Cdsf, SimParams};
+use cdsf_workloads::paper;
+
+/// Builds the paper's CDSF instance at the fixture defaults.
+pub fn paper_cdsf(sim: SimParams) -> Cdsf {
+    Cdsf::builder()
+        .batch(paper::batch())
+        .reference_platform(paper::platform())
+        .runtime_cases((1..=paper::NUM_CASES).map(paper::platform_case).collect())
+        .deadline(paper::DEADLINE)
+        .sim_params(sim)
+        .build()
+        .expect("paper fixture is valid")
+}
+
+/// Simulation parameters used by the repro binaries (more replicates than
+/// the library default for smoother figure bars).
+pub fn repro_sim_params() -> SimParams {
+    SimParams { replicates: 100, threads: num_threads(), ..Default::default() }
+}
+
+/// Worker threads: all available cores, capped at 8.
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4)
+}
+
+/// Formats a mean ± std pair.
+pub fn mean_std(mean: f64, std: f64) -> String {
+    format!("{mean:.0} ± {std:.0}")
+}
+
+/// Marks a value against the deadline: `*` when it violates Δ.
+pub fn deadline_mark(mean: f64, deadline: f64) -> &'static str {
+    if mean <= deadline {
+        ""
+    } else {
+        "*"
+    }
+}

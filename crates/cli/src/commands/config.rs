@@ -1,0 +1,112 @@
+//! `cdsf init-config` / `cdsf run-config` — declarative experiments.
+//!
+//! `init-config` writes the paper example as a JSON template;
+//! `run-config` loads such a file and runs it end to end.
+
+use crate::args::{Args, CliError};
+use cdsf_core::experiment::ExperimentSpec;
+use cdsf_core::report::pct;
+use cdsf_core::{AsciiTable, SimParams};
+use cdsf_workloads::paper;
+
+/// Writes a ready-to-edit experiment spec for the paper example.
+pub fn run_init(args: &Args) -> Result<String, CliError> {
+    let path = args.get("file").unwrap_or("cdsf-experiment.json").to_string();
+    let spec = ExperimentSpec {
+        name: "paper-example".to_string(),
+        batch: paper::batch_with_pulses(args.get_parsed("pulses", paper::DEFAULT_PULSES)?),
+        reference: paper::platform(),
+        runtime_cases: (1..=paper::NUM_CASES).map(paper::platform_case).collect(),
+        deadline: args.get_parsed("deadline", paper::DEADLINE)?,
+        sim: Some(SimParams {
+            replicates: args.get_parsed("replicates", 30usize)?,
+            ..Default::default()
+        }),
+        im: "robust".to_string(),
+        ras: vec!["robust".to_string()],
+    };
+    let json = spec.to_json().map_err(|e| CliError::Framework(e.to_string()))?;
+    std::fs::write(&path, &json)
+        .map_err(|e| CliError::Framework(format!("could not write {path}: {e}")))?;
+    Ok(format!("wrote experiment spec to {path} ({} bytes)", json.len()))
+}
+
+/// Loads and runs an experiment spec.
+pub fn run_config(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .get("file")
+        .ok_or(CliError::MissingValue("--file".to_string()))?
+        .to_string();
+    let json = std::fs::read_to_string(&path)
+        .map_err(|e| CliError::Framework(format!("could not read {path}: {e}")))?;
+    let spec =
+        ExperimentSpec::from_json(&json).map_err(|e| CliError::Framework(e.to_string()))?;
+    let result = spec.run().map_err(|e| CliError::Framework(e.to_string()))?;
+
+    if args.json() {
+        return serde_json::to_string_pretty(&result)
+            .map_err(|e| CliError::Framework(e.to_string()));
+    }
+
+    let napps = spec.batch.len();
+    let ncases = result
+        .scenario
+        .cells
+        .iter()
+        .map(|c| c.case)
+        .max()
+        .unwrap_or(1);
+    let mut table = AsciiTable::new(["Case", "All apps meet Δ?"]).title(format!(
+        "{}: im = {}, ras = {:?}, φ1 = {}, (ρ1, ρ2) = ({}, {})",
+        result.name,
+        spec.im,
+        spec.ras,
+        pct(result.scenario.phi1),
+        pct(result.robustness.rho1),
+        pct(result.robustness.rho2),
+    ));
+    for case in 1..=ncases {
+        table.row([
+            case.to_string(),
+            if result.scenario.case_is_robust(case, napps) { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    Ok(table.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from).collect()).unwrap()
+    }
+
+    #[test]
+    fn init_then_run_round_trip() {
+        let dir = std::env::temp_dir().join("cdsf-cli-config-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("exp.json");
+        let path_s = path.to_str().unwrap();
+
+        let out = run_init(&args(&format!(
+            "init-config --file {path_s} --pulses 8 --replicates 2"
+        )))
+        .unwrap();
+        assert!(out.contains("wrote experiment spec"), "{out}");
+
+        let out = run_config(&args(&format!("run-config --file {path_s}"))).unwrap();
+        assert!(out.contains("paper-example"), "{out}");
+        assert!(out.contains("ρ1"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_config_requires_file() {
+        assert!(matches!(
+            run_config(&args("run-config")),
+            Err(CliError::MissingValue(_))
+        ));
+        assert!(run_config(&args("run-config --file /nonexistent/x.json")).is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! `cdsf generate` — synthetic instance + allocator comparison.
+
+use crate::args::{Args, CliError};
+use cdsf_core::report::pct;
+use cdsf_core::AsciiTable;
+use cdsf_ra::allocators::{
+    EqualShare, GeneticAlgorithm, GreedyMaxRobust, GreedyMinTime, SimulatedAnnealing, Sufferage,
+};
+use cdsf_ra::robustness::evaluate;
+use cdsf_ra::Allocator;
+use cdsf_workloads::generators::{BatchGenerator, PlatformGenerator, Range};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct AllocatorJson {
+    name: String,
+    phi1: Option<f64>,
+    millis: f64,
+}
+
+/// Runs the command.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let apps: usize = args.get_parsed("apps", 8usize)?;
+    let types: usize = args.get_parsed("types", 3usize)?;
+    let seed: u64 = args.get_parsed("seed", 7u64)?;
+    let deadline: f64 = args.get_parsed("deadline", 2_500.0f64)?;
+    let err = |e: String| CliError::Framework(e);
+
+    let platform = PlatformGenerator {
+        num_types: types,
+        procs_per_type: (8, 24),
+        availability_pulses: 3,
+        availability_range: Range::new(0.25, 1.0).map_err(|e| err(e.to_string()))?,
+    }
+    .generate(seed)
+    .map_err(|e| err(e.to_string()))?;
+    let batch = BatchGenerator {
+        num_apps: apps,
+        ..Default::default()
+    }
+    .generate(&platform, seed.wrapping_add(1))
+    .map_err(|e| err(e.to_string()))?;
+
+    let policies: Vec<Box<dyn Allocator>> = vec![
+        Box::new(EqualShare::new()),
+        Box::new(GreedyMinTime::new()),
+        Box::new(GreedyMaxRobust::new()),
+        Box::new(Sufferage::new()),
+        Box::new(SimulatedAnnealing::default()),
+        Box::new(GeneticAlgorithm::default()),
+    ];
+
+    let mut rows = Vec::new();
+    for policy in &policies {
+        let t0 = Instant::now();
+        let phi1 = policy
+            .allocate(&batch, &platform, deadline)
+            .ok()
+            .and_then(|alloc| evaluate(&batch, &platform, &alloc, deadline).ok())
+            .map(|r| r.joint);
+        rows.push(AllocatorJson {
+            name: policy.name().to_string(),
+            phi1,
+            millis: t0.elapsed().as_secs_f64() * 1_000.0,
+        });
+    }
+
+    if args.json() {
+        return serde_json::to_string_pretty(&rows)
+            .map_err(|e| CliError::Framework(e.to_string()));
+    }
+
+    let mut table = AsciiTable::new(["Allocator", "φ1", "time (ms)"]).title(format!(
+        "{apps} apps on {} processors of {types} types (seed {seed}, Δ = {deadline})",
+        platform.total_processors()
+    ));
+    for r in &rows {
+        table.row([
+            r.name.clone(),
+            r.phi1.map_or("infeasible".to_string(), pct),
+            format!("{:.1}", r.millis),
+        ]);
+    }
+    Ok(table.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from).collect()).unwrap()
+    }
+
+    #[test]
+    fn generates_and_compares() {
+        let out = run(&args("generate --apps 4 --types 2 --seed 3")).unwrap();
+        assert!(out.contains("EqualShare"));
+        assert!(out.contains("GeneticAlgorithm"));
+    }
+
+    #[test]
+    fn json_lists_all_allocators() {
+        let out = run(&args("generate --apps 4 --types 2 --json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 6);
+    }
+}

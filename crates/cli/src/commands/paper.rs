@@ -1,0 +1,109 @@
+//! `cdsf paper` — the whole small-scale example in one command.
+
+use crate::args::{Args, CliError};
+use crate::commands::paper_cdsf;
+use cdsf_core::report::pct;
+use cdsf_core::{AsciiTable, Scenario};
+use cdsf_workloads::paper;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct PaperJson {
+    phi1_naive: f64,
+    phi1_robust: f64,
+    rho1: f64,
+    rho2: f64,
+    critical_case: Option<usize>,
+    verdicts: Vec<ScenarioJson>,
+}
+
+#[derive(Serialize)]
+struct ScenarioJson {
+    scenario: u8,
+    label: String,
+    cases_met: Vec<bool>,
+}
+
+/// Runs the command.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let cdsf = paper_cdsf(args)?;
+    let err = |e: cdsf_core::CoreError| CliError::Framework(e.to_string());
+
+    let (_, naive) = cdsf.stage_one(&cdsf_core::ImPolicy::Naive).map_err(err)?;
+    let (_, robust) = cdsf.stage_one(&cdsf_core::ImPolicy::Robust).map_err(err)?;
+
+    let mut verdicts = Vec::new();
+    let mut s4_robustness = None;
+    let mut table = AsciiTable::new(["Scenario", "Case 1", "Case 2", "Case 3", "Case 4"])
+        .title("Deadline verdicts per scenario (paper: only scenario 4 is robust, through case 3)");
+    for scenario in Scenario::all() {
+        let (im, ras) = scenario.policies();
+        let result = cdsf.run_scenario(&im, &ras).map_err(err)?;
+        let met: Vec<bool> = (1..=paper::NUM_CASES)
+            .map(|c| result.case_is_robust(c, cdsf.batch().len()))
+            .collect();
+        let mut row = vec![format!("{} ({})", scenario.number(), scenario.label())];
+        row.extend(met.iter().map(|&m| if m { "met".to_string() } else { "VIOLATED".into() }));
+        table.row(row);
+        if scenario == Scenario::RobustRobust {
+            s4_robustness = Some(cdsf.system_robustness(&result));
+        }
+        verdicts.push(ScenarioJson {
+            scenario: scenario.number(),
+            label: scenario.label().to_string(),
+            cases_met: met,
+        });
+    }
+    let r = s4_robustness.expect("scenario 4 ran");
+
+    if args.json() {
+        let out = PaperJson {
+            phi1_naive: naive.joint,
+            phi1_robust: robust.joint,
+            rho1: r.rho1,
+            rho2: r.rho2,
+            critical_case: r.critical_case,
+            verdicts,
+        };
+        return serde_json::to_string_pretty(&out)
+            .map_err(|e| CliError::Framework(e.to_string()));
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "φ1: naive IM = {} (paper 26%), robust IM = {} (paper 74.5%)\n\n",
+        pct(naive.joint),
+        pct(robust.joint)
+    ));
+    out.push_str(&table.to_string());
+    out.push_str(&format!(
+        "\nSystem robustness (ρ1, ρ2) = ({}, {})  [paper: (74.5%, 30.77%)]\n",
+        pct(r.rho1),
+        pct(r.rho2)
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from).collect()).unwrap()
+    }
+
+    #[test]
+    fn paper_command_produces_summary() {
+        let out = run(&args("paper --pulses 16 --replicates 5")).unwrap();
+        assert!(out.contains("ρ1"), "{out}");
+        assert!(out.contains("Scenario"), "{out}");
+    }
+
+    #[test]
+    fn paper_json_has_headline_fields() {
+        let out = run(&args("paper --pulses 16 --replicates 5 --json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(v["phi1_robust"].as_f64().unwrap() > 0.7);
+        assert_eq!(v["verdicts"].as_array().unwrap().len(), 4);
+    }
+}

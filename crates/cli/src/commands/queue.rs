@@ -1,0 +1,100 @@
+//! `cdsf queue` — multi-batch queue demo.
+
+use crate::args::{Args, CliError};
+use crate::commands::sim_params;
+use cdsf_core::multibatch::MultiBatch;
+use cdsf_core::report::pct;
+use cdsf_core::{AsciiTable, ImPolicy, RasPolicy};
+use cdsf_workloads::paper;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct QueueJson {
+    policy: String,
+    total_time: f64,
+    deadlines_met: usize,
+    batches: usize,
+}
+
+/// Runs the command.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let n: usize = args.get_parsed("batches", 3usize)?;
+    if n == 0 {
+        return Err(CliError::BadValue { flag: "--batches".into(), value: "0".into() });
+    }
+    let seed: u64 = args.get_parsed("seed", 7u64)?;
+    let pulses: usize = args.get_parsed("pulses", 16usize)?;
+    let err = |e: String| CliError::Framework(e);
+
+    let batches: Vec<_> = (0..n).map(|_| paper::batch_with_pulses(pulses)).collect();
+    let reference = paper::platform();
+    let runtime = paper::platform_case(args.get_parsed("case", 1usize)?);
+    let mut sim = sim_params(args)?;
+    sim.replicates = sim.replicates.min(5); // calibration runs per technique
+    let mb = MultiBatch::new(&batches, &reference, &runtime, paper::DEADLINE, sim)
+        .map_err(|e| err(e.to_string()))?;
+
+    let runs = [
+        ("naive-naive", ImPolicy::Naive, RasPolicy::Naive),
+        ("robust-robust", ImPolicy::Robust, RasPolicy::Robust),
+    ];
+    let mut rows = Vec::new();
+    for (label, im, ras) in runs {
+        let result = mb.run(&im, &ras, seed).map_err(|e| err(e.to_string()))?;
+        rows.push(QueueJson {
+            policy: label.to_string(),
+            total_time: result.total_time,
+            deadlines_met: result.deadlines_met(),
+            batches: result.batches.len(),
+        });
+    }
+
+    if args.json() {
+        return serde_json::to_string_pretty(&rows)
+            .map_err(|e| CliError::Framework(e.to_string()));
+    }
+
+    let mut table = AsciiTable::new(["Policy", "Total time", "Deadlines met"])
+        .title(format!("{n}-batch queue on the paper system (Δ = {} per batch)", paper::DEADLINE));
+    for r in &rows {
+        table.row([
+            r.policy.clone(),
+            format!("{:.0}", r.total_time),
+            format!("{}/{}", r.deadlines_met, r.batches),
+        ]);
+    }
+    let speedup = rows[0].total_time / rows[1].total_time;
+    Ok(format!(
+        "{table}\nrobust-robust clears the queue {} faster than naive-naive\n",
+        pct(speedup - 1.0)
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from).collect()).unwrap()
+    }
+
+    #[test]
+    fn queue_compares_policies() {
+        let out = run(&args("queue --batches 2 --replicates 2 --pulses 8")).unwrap();
+        assert!(out.contains("robust-robust"), "{out}");
+        assert!(out.contains("naive-naive"), "{out}");
+    }
+
+    #[test]
+    fn queue_json() {
+        let out = run(&args("queue --batches 2 --replicates 2 --pulses 8 --json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 2);
+        assert_eq!(v[0]["batches"], 2);
+    }
+
+    #[test]
+    fn rejects_zero_batches() {
+        assert!(run(&args("queue --batches 0")).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! `cdsf scenarios` — the four scenarios with full per-cell output.
+
+use crate::args::{Args, CliError};
+use crate::commands::paper_cdsf;
+use cdsf_core::{AsciiTable, Scenario};
+use cdsf_workloads::paper;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct CellJson {
+    app: usize,
+    case: usize,
+    technique: String,
+    mean_makespan: f64,
+    std_makespan: f64,
+    meets_deadline: bool,
+}
+
+#[derive(Serialize)]
+struct ScenarioJson {
+    scenario: u8,
+    phi1: f64,
+    cells: Vec<CellJson>,
+}
+
+/// Runs the command.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let cdsf = paper_cdsf(args)?;
+    let err = |e: cdsf_core::CoreError| CliError::Framework(e.to_string());
+
+    let mut json_out = Vec::new();
+    let mut text = String::new();
+    for scenario in Scenario::all() {
+        let (im, ras) = scenario.policies();
+        let result = cdsf.run_scenario(&im, &ras).map_err(err)?;
+
+        if args.json() {
+            json_out.push(ScenarioJson {
+                scenario: scenario.number(),
+                phi1: result.phi1,
+                cells: result
+                    .cells
+                    .iter()
+                    .map(|c| CellJson {
+                        app: c.app + 1,
+                        case: c.case,
+                        technique: c.technique.clone(),
+                        mean_makespan: c.mean_makespan,
+                        std_makespan: c.std_makespan,
+                        meets_deadline: c.meets_deadline,
+                    })
+                    .collect(),
+            });
+            continue;
+        }
+
+        let techniques: Vec<String> = {
+            let mut names = Vec::new();
+            for c in &result.cells {
+                if !names.contains(&c.technique) {
+                    names.push(c.technique.clone());
+                }
+            }
+            names
+        };
+        let mut headers = vec!["App".to_string(), "Case".to_string()];
+        headers.extend(techniques.iter().cloned());
+        let mut table = AsciiTable::new(headers).title(format!(
+            "Scenario {} ({}): mean makespan, * = violates Δ",
+            scenario.number(),
+            scenario.label()
+        ));
+        for app in 0..cdsf.batch().len() {
+            for case in 1..=paper::NUM_CASES {
+                let mut row =
+                    vec![if case == 1 { (app + 1).to_string() } else { String::new() },
+                         case.to_string()];
+                for t in &techniques {
+                    let cell = result
+                        .cells
+                        .iter()
+                        .find(|c| c.app == app && c.case == case && &c.technique == t)
+                        .expect("complete grid");
+                    row.push(format!(
+                        "{:.0}{}",
+                        cell.mean_makespan,
+                        if cell.meets_deadline { "" } else { "*" }
+                    ));
+                }
+                table.row(row);
+            }
+        }
+        text.push_str(&table.to_string());
+        text.push('\n');
+    }
+
+    if args.json() {
+        serde_json::to_string_pretty(&json_out).map_err(|e| CliError::Framework(e.to_string()))
+    } else {
+        Ok(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from).collect()).unwrap()
+    }
+
+    #[test]
+    fn text_output_has_four_scenarios() {
+        let out = run(&args("scenarios --pulses 8 --replicates 2")).unwrap();
+        for n in 1..=4 {
+            assert!(out.contains(&format!("Scenario {n}")), "{out}");
+        }
+    }
+
+    #[test]
+    fn json_output_has_grid() {
+        let out = run(&args("scenarios --pulses 8 --replicates 2 --json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 4);
+        // Scenario 4 grid: 3 apps × 4 cases × 4 techniques.
+        assert_eq!(v[3]["cells"].as_array().unwrap().len(), 48);
+    }
+}

@@ -1,0 +1,105 @@
+//! `cdsf sweep` — robustness envelope over a continuum of availability
+//! decreases.
+
+use crate::args::{Args, CliError};
+use crate::commands::sim_params;
+use cdsf_core::report::pct;
+use cdsf_core::{AsciiTable, Cdsf, ImPolicy, RasPolicy};
+use cdsf_workloads::generators::degraded_case;
+use cdsf_workloads::paper;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SweepPoint {
+    decrease: f64,
+    static_met: bool,
+    robust_met: bool,
+}
+
+/// Runs the command.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let steps: usize = args.get_parsed("steps", 8usize)?;
+    let max_decrease: f64 = args.get_parsed("max-decrease", 0.5f64)?;
+    if steps == 0 || !(0.0..1.0).contains(&max_decrease) {
+        return Err(CliError::BadValue {
+            flag: "--steps/--max-decrease".to_string(),
+            value: format!("{steps}/{max_decrease}"),
+        });
+    }
+    let err = |e: String| CliError::Framework(e);
+
+    let reference = paper::platform();
+    let mut cases = vec![reference.clone()];
+    let mut achieved = vec![0.0f64];
+    for k in 1..=steps {
+        let d = max_decrease * k as f64 / steps as f64;
+        let (p, a) = degraded_case(&reference, d, 777).map_err(|e| err(e.to_string()))?;
+        cases.push(p);
+        achieved.push(a);
+    }
+
+    let cdsf = Cdsf::builder()
+        .batch(paper::batch_with_pulses(args.get_parsed("pulses", 32usize)?))
+        .reference_platform(reference)
+        .runtime_cases(cases)
+        .deadline(args.get_parsed("deadline", paper::DEADLINE)?)
+        .sim_params(sim_params(args)?)
+        .build()
+        .map_err(|e| err(e.to_string()))?;
+
+    let s_static = cdsf
+        .run_scenario(&ImPolicy::Robust, &RasPolicy::Naive)
+        .map_err(|e| err(e.to_string()))?;
+    let s_robust = cdsf
+        .run_scenario(&ImPolicy::Robust, &RasPolicy::Robust)
+        .map_err(|e| err(e.to_string()))?;
+
+    let napps = cdsf.batch().len();
+    let points: Vec<SweepPoint> = achieved
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| SweepPoint {
+            decrease: a,
+            static_met: s_static.case_is_robust(i + 1, napps),
+            robust_met: s_robust.case_is_robust(i + 1, napps),
+        })
+        .collect();
+
+    if args.json() {
+        return serde_json::to_string_pretty(&points)
+            .map_err(|e| CliError::Framework(e.to_string()));
+    }
+
+    let mut table = AsciiTable::new(["Decrease", "STATIC", "robust DLS"])
+        .title("Robustness envelope (robust IM in both columns)");
+    for p in &points {
+        table.row([
+            pct(p.decrease),
+            if p.static_met { "met" } else { "violated" }.to_string(),
+            if p.robust_met { "met" } else { "violated" }.to_string(),
+        ]);
+    }
+    Ok(table.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from).collect()).unwrap()
+    }
+
+    #[test]
+    fn sweep_produces_requested_points() {
+        let out = run(&args("sweep --steps 3 --pulses 8 --replicates 2 --json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 4); // reference + 3 steps
+    }
+
+    #[test]
+    fn sweep_validates_flags() {
+        assert!(run(&args("sweep --steps 0")).is_err());
+        assert!(run(&args("sweep --max-decrease 1.5")).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! # `cdsf-cli` — command-line interface to the CDSF framework
+//!
+//! The `cdsf` binary exposes the library's main workflows without writing
+//! Rust:
+//!
+//! ```text
+//! cdsf paper                     # reproduce the paper's example end to end
+//! cdsf stage1 --allocator sufferage --pulses 64
+//! cdsf scenarios --replicates 50 --dwell 300 --json
+//! cdsf sweep --steps 10 --max-decrease 0.5
+//! cdsf generate --apps 10 --types 4 --seed 7
+//! cdsf queue --batches 4
+//! cdsf help
+//! ```
+//!
+//! The argument parser is deliberately tiny (flag/value pairs only); every
+//! command accepts `--json` for machine-readable output. The library part
+//! of the crate exists so the parsing and command logic are unit-testable.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Args, CliError};
+
+/// Entry point used by the binary: parse and dispatch.
+pub fn run(raw: Vec<String>) -> Result<String, CliError> {
+    let args = Args::parse(raw)?;
+    match args.command.as_str() {
+        "paper" => commands::paper::run(&args),
+        "stage1" => commands::stage1::run(&args),
+        "scenarios" => commands::scenarios::run(&args),
+        "sweep" => commands::sweep::run(&args),
+        "generate" => commands::generate::run(&args),
+        "correlate" => commands::correlate::run(&args),
+        "advise" => commands::advise::run(&args),
+        "surface" => commands::surface::run(&args),
+        "init-config" => commands::config::run_init(&args),
+        "run-config" => commands::config::run_config(&args),
+        "queue" => commands::queue::run(&args),
+        "help" | "--help" | "-h" => Ok(commands::help_text().to_string()),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}

@@ -1,0 +1,12 @@
+//! The `cdsf` binary: parse argv, dispatch, print, exit non-zero on error.
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match cdsf_cli::run(raw) {
+        Ok(output) => println!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

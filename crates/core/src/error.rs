@@ -1,0 +1,98 @@
+use std::fmt;
+
+/// Errors produced by the framework layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Framework configuration incomplete or inconsistent.
+    BadConfig {
+        /// What is wrong.
+        what: &'static str,
+    },
+    /// A parameter was out of its domain.
+    BadParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Stage-I (resource allocation) failure.
+    Ra(cdsf_ra::RaError),
+    /// Stage-II (loop scheduling/executor) failure.
+    Dls(cdsf_dls::DlsError),
+    /// System-model failure.
+    System(cdsf_system::SystemError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::BadConfig { what } => write!(f, "invalid CDSF configuration: {what}"),
+            CoreError::BadParameter { name, value } => {
+                write!(f, "parameter `{name}` = {value} is out of domain")
+            }
+            CoreError::Ra(e) => write!(f, "stage I error: {e}"),
+            CoreError::Dls(e) => write!(f, "stage II error: {e}"),
+            CoreError::System(e) => write!(f, "system model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Ra(e) => Some(e),
+            CoreError::Dls(e) => Some(e),
+            CoreError::System(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cdsf_ra::RaError> for CoreError {
+    fn from(e: cdsf_ra::RaError) -> Self {
+        CoreError::Ra(e)
+    }
+}
+
+impl From<cdsf_dls::DlsError> for CoreError {
+    fn from(e: cdsf_dls::DlsError) -> Self {
+        CoreError::Dls(e)
+    }
+}
+
+impl From<cdsf_system::SystemError> for CoreError {
+    fn from(e: cdsf_system::SystemError) -> Self {
+        CoreError::System(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_displays_its_payload() {
+        let cases: Vec<(CoreError, &str)> = vec![
+            (CoreError::BadConfig { what: "missing batch" }, "missing batch"),
+            (CoreError::BadParameter { name: "deadline", value: 0.0 }, "deadline"),
+            (CoreError::Ra(cdsf_ra::RaError::EmptyBatch), "stage I"),
+            (CoreError::Dls(cdsf_dls::DlsError::NoWorkers), "stage II"),
+            (
+                CoreError::System(cdsf_system::SystemError::NoProcessorTypes),
+                "system",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn sources_chain_to_inner_errors() {
+        use std::error::Error as _;
+        assert!(CoreError::Ra(cdsf_ra::RaError::EmptyBatch).source().is_some());
+        assert!(CoreError::BadConfig { what: "x" }.source().is_none());
+    }
+}

@@ -1,0 +1,153 @@
+//! Exporting results for external analysis and plotting.
+//!
+//! The repro binaries print human tables; this module produces the
+//! machine-readable forms — CSV (one row per simulation cell, ready for
+//! pandas/gnuplot) and JSON (the full [`ScenarioResult`] via serde).
+
+use crate::framework::ScenarioResult;
+use crate::{CoreError, Result};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// CSV header used by [`scenario_to_csv`].
+pub const CSV_HEADER: &str =
+    "scenario,app,case,technique,mean_makespan,std_makespan,mean_chunks,meets_deadline";
+
+/// Renders a scenario's simulation grid as CSV (header + one row per
+/// cell). Applications are 1-based in the output, matching the paper.
+pub fn scenario_to_csv(result: &ScenarioResult) -> String {
+    let mut out = String::with_capacity(64 * (result.cells.len() + 1));
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    let scenario = result
+        .scenario
+        .map(|n| n.to_string())
+        .unwrap_or_else(|| "custom".to_string());
+    for c in &result.cells {
+        writeln!(
+            out,
+            "{scenario},{},{},{},{:.6},{:.6},{:.2},{}",
+            c.app + 1,
+            c.case,
+            c.technique,
+            c.mean_makespan,
+            c.std_makespan,
+            c.mean_chunks,
+            c.meets_deadline
+        )
+        .expect("writing to String cannot fail");
+    }
+    out
+}
+
+/// Serializes the full scenario result (allocation, φ₁, grid) as pretty
+/// JSON.
+pub fn scenario_to_json(result: &ScenarioResult) -> Result<String> {
+    serde_json::to_string_pretty(result)
+        .map_err(|_| CoreError::BadConfig { what: "scenario result not serializable" })
+}
+
+/// Writes both forms next to each other:
+/// `<stem>.csv` and `<stem>.json` under `dir`.
+pub fn write_scenario(result: &ScenarioResult, dir: &Path, stem: &str) -> Result<()> {
+    let io_err = |_| CoreError::BadConfig { what: "could not write export files" };
+    std::fs::create_dir_all(dir).map_err(io_err)?;
+    std::fs::write(dir.join(format!("{stem}.csv")), scenario_to_csv(result)).map_err(io_err)?;
+    std::fs::write(dir.join(format!("{stem}.json")), scenario_to_json(result)?)
+        .map_err(io_err)?;
+    Ok(())
+}
+
+/// CSV header used by [`chunks_to_csv`].
+pub const CHUNK_CSV_HEADER: &str = "worker,size,start,finish";
+
+/// Renders an executor chunk log (from
+/// [`cdsf_dls::executor::RunResult::chunk_log`]) as CSV — one row per
+/// dispatched chunk, ready for Gantt-style plotting.
+pub fn chunks_to_csv(log: &[cdsf_dls::executor::ChunkRecord]) -> String {
+    let mut out = String::with_capacity(32 * (log.len() + 1));
+    out.push_str(CHUNK_CSV_HEADER);
+    out.push('\n');
+    for c in log {
+        writeln!(out, "{},{},{:.6},{:.6}", c.worker, c.size, c.start, c.finish)
+            .expect("writing to String cannot fail");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cdsf, ImPolicy, RasPolicy, SimParams};
+    use cdsf_workloads::paper;
+
+    fn small_result() -> ScenarioResult {
+        let cdsf = Cdsf::builder()
+            .batch(paper::batch_with_pulses(8))
+            .reference_platform(paper::platform())
+            .runtime_cases(vec![paper::platform_case(1)])
+            .deadline(paper::DEADLINE)
+            .sim_params(SimParams { replicates: 2, threads: 2, ..Default::default() })
+            .build()
+            .unwrap();
+        cdsf.run_scenario(&ImPolicy::Naive, &RasPolicy::Naive).unwrap()
+    }
+
+    #[test]
+    fn csv_has_header_and_all_cells() {
+        let result = small_result();
+        let csv = scenario_to_csv(&result);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], CSV_HEADER);
+        assert_eq!(lines.len(), 1 + result.cells.len());
+        // Every data row has the full column count.
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), 8, "{line}");
+        }
+        assert!(lines[1].starts_with("1,1,1,STATIC,"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let result = small_result();
+        let json = scenario_to_json(&result).unwrap();
+        let back: ScenarioResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(result, back);
+    }
+
+    #[test]
+    fn chunk_log_csv() {
+        use cdsf_dls::executor::{execute, ExecutorConfig};
+        use cdsf_dls::TechniqueKind;
+        use cdsf_system::availability::AvailabilitySpec;
+        use rand::{rngs::StdRng, SeedableRng};
+        let cfg = ExecutorConfig::builder()
+            .workers(2)
+            .parallel_iters(256)
+            .iter_time_mean_sigma(1.0, 0.0)
+            .unwrap()
+            .availability(AvailabilitySpec::Constant { a: 1.0 })
+            .record_chunks(true)
+            .build()
+            .unwrap();
+        let run = execute(&TechniqueKind::Fac, &cfg, &mut StdRng::seed_from_u64(1)).unwrap();
+        let log = run.chunk_log.unwrap();
+        let csv = chunks_to_csv(&log);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], CHUNK_CSV_HEADER);
+        assert_eq!(lines.len(), 1 + log.len());
+        assert!(lines[1].split(',').count() == 4);
+    }
+
+    #[test]
+    fn write_scenario_creates_both_files() {
+        let result = small_result();
+        let dir = std::env::temp_dir().join("cdsf-export-test");
+        write_scenario(&result, &dir, "s1").unwrap();
+        let csv = std::fs::read_to_string(dir.join("s1.csv")).unwrap();
+        let json = std::fs::read_to_string(dir.join("s1.json")).unwrap();
+        assert!(csv.starts_with(CSV_HEADER));
+        assert!(json.contains("\"cells\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,206 @@
+//! Mean-field (fluid) predictions of Stage-II outcomes.
+//!
+//! The full simulation grid costs `apps × cases × techniques × replicates`
+//! executor runs. For screening — "is this case obviously safe or
+//! obviously hopeless?" — a fluid model is enough: availability averages
+//! to its stationary mean over a run, the serial prologue runs on one
+//! processor, and a dynamic self-schedule keeps all processors busy until
+//! the loop drains:
+//!
+//! ```text
+//! T̂(app, case) = s·W / ē  +  p·W / (n·ē)  +  h·ĉ
+//! ```
+//!
+//! with `W` the app's single-processor expected time, `s/p` its
+//! serial/parallel fractions, `ē` the expected availability of the
+//! assigned type under the case, `n` the group size, and `h·ĉ` the
+//! scheduling overhead of roughly `ĉ = 2n·log₂(total/n)`-ish chunks
+//! (factoring-family estimate).
+//!
+//! The prediction is a *lower-bound-flavoured* estimate for dynamic
+//! techniques (they approach the fluid limit from above) and an
+//! *optimistic* one for STATIC (which adds the max-of-draws penalty), so
+//! verdicts carry a [`Confidence`]: cells far from the deadline are
+//! `Clear`, near-deadline cells are `Marginal` and should be simulated.
+//! The integration tests check the mean-field verdicts agree with the
+//! simulated ones on every `Clear` cell of the paper example.
+
+use crate::{CoreError, Result};
+use cdsf_ra::Allocation;
+use cdsf_system::{AppId, Batch, Platform};
+use serde::{Deserialize, Serialize};
+
+/// How decisive a mean-field verdict is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Confidence {
+    /// Prediction at least `margin` away from the deadline — trust it.
+    Clear,
+    /// Within the margin — simulate before concluding anything.
+    Marginal,
+}
+
+/// One mean-field cell prediction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeanFieldCell {
+    /// Application index (0-based).
+    pub app: usize,
+    /// Case index (1-based).
+    pub case: usize,
+    /// Predicted execution time.
+    pub predicted: f64,
+    /// Whether the prediction meets the deadline.
+    pub meets_deadline: bool,
+    /// Verdict confidence given the configured margin.
+    pub confidence: Confidence,
+}
+
+/// Mean-field predictor over a mapped batch.
+#[derive(Debug, Clone)]
+pub struct MeanField {
+    /// Relative margin (of the deadline) below which verdicts are
+    /// [`Confidence::Marginal`]. Default 0.15.
+    pub margin: f64,
+    /// Per-chunk scheduling overhead assumed (matches `SimParams`).
+    pub overhead: f64,
+}
+
+impl Default for MeanField {
+    fn default() -> Self {
+        Self { margin: 0.15, overhead: 1.0 }
+    }
+}
+
+impl MeanField {
+    /// Predicts one application's execution time under one case platform.
+    pub fn predict_app(
+        &self,
+        batch: &Batch,
+        alloc: &Allocation,
+        case: &Platform,
+        app_idx: usize,
+    ) -> Result<f64> {
+        let app = batch.app(AppId(app_idx))?;
+        let asg = alloc
+            .assignment(app_idx)
+            .ok_or(CoreError::BadConfig { what: "allocation does not cover application" })?;
+        let e_avail = case.proc_type(asg.proc_type)?.expected_availability();
+        let w = app.expected_exec_time(asg.proc_type)?;
+        let s = app.serial_fraction();
+        let p = app.parallel_fraction();
+        let n = asg.procs as f64;
+        // Factoring-family chunk count: each batch issues `n` chunks and
+        // halves the remaining, so ~log2(parallel/n) batches.
+        let chunk_estimate = if app.parallel_iters() > 0 {
+            let batches = ((app.parallel_iters() as f64 / n).log2()).max(1.0);
+            n * batches
+        } else {
+            0.0
+        };
+        Ok(s * w / e_avail + p * w / (n * e_avail) + self.overhead * chunk_estimate)
+    }
+
+    /// Predicts the whole (app × case) grid for a technique-agnostic
+    /// dynamic schedule.
+    pub fn predict_grid(
+        &self,
+        batch: &Batch,
+        alloc: &Allocation,
+        cases: &[Platform],
+        deadline: f64,
+    ) -> Result<Vec<MeanFieldCell>> {
+        if !(deadline > 0.0) {
+            return Err(CoreError::BadParameter { name: "deadline", value: deadline });
+        }
+        let mut out = Vec::with_capacity(batch.len() * cases.len());
+        for app in 0..batch.len() {
+            for (c_idx, case) in cases.iter().enumerate() {
+                let predicted = self.predict_app(batch, alloc, case, app)?;
+                let distance = (predicted - deadline).abs() / deadline;
+                out.push(MeanFieldCell {
+                    app,
+                    case: c_idx + 1,
+                    predicted,
+                    meets_deadline: predicted <= deadline,
+                    confidence: if distance >= self.margin {
+                        Confidence::Clear
+                    } else {
+                        Confidence::Marginal
+                    },
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdsf_ra::{Allocation, Assignment};
+    use cdsf_system::ProcTypeId;
+    use cdsf_workloads::paper;
+
+    fn robust_alloc() -> Allocation {
+        Allocation::new(vec![
+            Assignment { proc_type: ProcTypeId(0), procs: 2 },
+            Assignment { proc_type: ProcTypeId(0), procs: 2 },
+            Assignment { proc_type: ProcTypeId(1), procs: 8 },
+        ])
+    }
+
+    #[test]
+    fn prediction_matches_hand_computation() {
+        // App 1 robust mapping, case 1: serial 0.3·1800/0.875 + parallel
+        // 0.7·1800/(2·0.875) + overhead·chunks.
+        let mf = MeanField { margin: 0.15, overhead: 0.0 };
+        let batch = paper::batch_with_pulses(16);
+        let t = mf
+            .predict_app(&batch, &robust_alloc(), &paper::platform_case(1), 0)
+            .unwrap();
+        let want = 0.3 * 1800.0 / 0.875 + 0.7 * 1800.0 / (2.0 * 0.875);
+        assert!((t - want).abs() < want * 0.02, "{t} vs {want}");
+    }
+
+    #[test]
+    fn grid_covers_all_cells_and_orders_cases() {
+        let mf = MeanField::default();
+        let batch = paper::batch_with_pulses(16);
+        let cases: Vec<_> = (1..=4).map(paper::platform_case).collect();
+        let grid = mf
+            .predict_grid(&batch, &robust_alloc(), &cases, paper::DEADLINE)
+            .unwrap();
+        assert_eq!(grid.len(), 12);
+        // Case-1 predictions all meet the deadline for the robust mapping.
+        assert!(grid.iter().filter(|c| c.case == 1).all(|c| c.meets_deadline));
+        // App 2 in case 4 is hopeless (paper agrees).
+        let app2c4 = grid.iter().find(|c| c.app == 1 && c.case == 4).unwrap();
+        assert!(!app2c4.meets_deadline);
+        assert_eq!(app2c4.confidence, Confidence::Clear);
+    }
+
+    #[test]
+    fn marginal_cells_are_flagged() {
+        // App 2 case 2 sits ~50 time units under Δ — must be Marginal.
+        let mf = MeanField::default();
+        let batch = paper::batch_with_pulses(16);
+        let cases: Vec<_> = (1..=4).map(paper::platform_case).collect();
+        let grid = mf
+            .predict_grid(&batch, &robust_alloc(), &cases, paper::DEADLINE)
+            .unwrap();
+        let app2c2 = grid.iter().find(|c| c.app == 1 && c.case == 2).unwrap();
+        assert_eq!(app2c2.confidence, Confidence::Marginal, "{app2c2:?}");
+    }
+
+    #[test]
+    fn rejects_bad_deadline_and_missing_assignment() {
+        let mf = MeanField::default();
+        let batch = paper::batch_with_pulses(8);
+        let cases = vec![paper::platform_case(1)];
+        assert!(mf.predict_grid(&batch, &robust_alloc(), &cases, 0.0).is_err());
+        let short = Allocation::new(vec![Assignment {
+            proc_type: ProcTypeId(0),
+            procs: 2,
+        }]);
+        assert!(mf.predict_app(&batch, &short, &cases[0], 2).is_err());
+    }
+}

@@ -1,0 +1,378 @@
+//! Report rendering: a small ASCII table builder used by the repro
+//! binaries and the examples.
+
+use std::fmt;
+
+/// A minimal ASCII table: headers, rows, automatic column widths.
+///
+/// ```
+/// use cdsf_core::AsciiTable;
+/// let mut t = AsciiTable::new(["App", "Pr(T ≤ Δ)"]);
+/// t.row(["1", "0.745"]);
+/// let s = t.to_string();
+/// assert!(s.contains("App"));
+/// assert!(s.contains("0.745"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AsciiTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl AsciiTable {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Sets a title printed above the table.
+    pub fn title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Appends a row; short rows are padded with empty cells, long rows
+    /// extend the column count.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn column_count(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| r.len())
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let n = self.column_count();
+        let mut w = vec![0usize; n];
+        for (i, h) in self.headers.iter().enumerate() {
+            w[i] = w[i].max(display_width(h));
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(display_width(c));
+            }
+        }
+        w
+    }
+}
+
+/// Character count as a proxy for display width (sufficient for our ASCII
+/// and Greek-letter output).
+fn display_width(s: &str) -> usize {
+    s.chars().count()
+}
+
+impl fmt::Display for AsciiTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "+")?;
+            for w in &widths {
+                write!(f, "{}+", "-".repeat(w + 2))?;
+            }
+            writeln!(f)
+        };
+        let render_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let pad = w - display_width(cell);
+                write!(f, " {}{} |", cell, " ".repeat(pad))?;
+            }
+            writeln!(f)
+        };
+
+        if let Some(title) = &self.title {
+            writeln!(f, "{title}")?;
+        }
+        sep(f)?;
+        if !self.headers.is_empty() {
+            render_row(f, &self.headers)?;
+            sep(f)?;
+        }
+        for row in &self.rows {
+            render_row(f, row)?;
+        }
+        sep(f)
+    }
+}
+
+/// A horizontal ASCII bar chart with a reference line — used to render the
+/// paper's figures (execution-time bars against the deadline Δ) in a
+/// terminal.
+///
+/// ```
+/// use cdsf_core::report::BarChart;
+/// let mut chart = BarChart::new(40).reference(3250.0, "Δ");
+/// chart.bar("app 1 / FAC", 1360.0);
+/// chart.bar("app 3 / AF", 3624.0);
+/// let s = chart.to_string();
+/// assert!(s.contains("app 1 / FAC"));
+/// assert!(s.contains('Δ'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    width: usize,
+    bars: Vec<(String, f64)>,
+    reference: Option<(f64, String)>,
+}
+
+impl BarChart {
+    /// Creates a chart whose longest bar spans `width` characters (≥ 8).
+    pub fn new(width: usize) -> Self {
+        Self { width: width.max(8), bars: Vec::new(), reference: None }
+    }
+
+    /// Adds a vertical reference line at `value` labelled `label`
+    /// (e.g. the deadline Δ).
+    pub fn reference(mut self, value: f64, label: impl Into<String>) -> Self {
+        self.reference = Some((value, label.into()));
+        self
+    }
+
+    /// Appends one bar. Non-finite or negative values are clamped to 0.
+    pub fn bar(&mut self, label: impl Into<String>, value: f64) -> &mut Self {
+        let v = if value.is_finite() { value.max(0.0) } else { 0.0 };
+        self.bars.push((label.into(), v));
+        self
+    }
+
+    /// Number of bars.
+    pub fn len(&self) -> usize {
+        self.bars.len()
+    }
+
+    /// Whether the chart has no bars.
+    pub fn is_empty(&self) -> bool {
+        self.bars.is_empty()
+    }
+
+    fn scale_max(&self) -> f64 {
+        let bar_max = self.bars.iter().map(|b| b.1).fold(0.0f64, f64::max);
+        let ref_max = self.reference.as_ref().map_or(0.0, |r| r.0);
+        bar_max.max(ref_max).max(f64::MIN_POSITIVE)
+    }
+}
+
+impl fmt::Display for BarChart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let max = self.scale_max();
+        let label_width = self
+            .bars
+            .iter()
+            .map(|(l, _)| display_width(l))
+            .max()
+            .unwrap_or(0);
+        let ref_col = self
+            .reference
+            .as_ref()
+            .map(|(v, _)| ((v / max) * self.width as f64).round() as usize);
+        for (label, value) in &self.bars {
+            let filled = ((value / max) * self.width as f64).round() as usize;
+            let mut line = String::with_capacity(self.width + 2);
+            for col in 0..=self.width {
+                let ch = if Some(col) == ref_col {
+                    '|'
+                } else if col < filled {
+                    '█'
+                } else {
+                    ' '
+                };
+                line.push(ch);
+            }
+            writeln!(
+                f,
+                "{label}{pad} {line} {value:.0}",
+                pad = " ".repeat(label_width - display_width(label)),
+            )?;
+        }
+        if let Some((v, label)) = &self.reference {
+            let col = ref_col.unwrap_or(0);
+            writeln!(
+                f,
+                "{}{} {label} = {v:.0}",
+                " ".repeat(label_width + 1),
+                " ".repeat(col) + "^",
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders an executor chunk log as an ASCII Gantt chart: one row per
+/// worker, `█` where the worker computes, `·` where it idles, time scaled
+/// to `width` columns.
+///
+/// Overhead windows (between dispatch and compute) count as busy — the
+/// resolution is a column, far coarser than `h`. Useful for eyeballing
+/// how a technique distributes work after an availability drop.
+pub fn gantt(log: &[cdsf_dls::executor::ChunkRecord], workers: usize, width: usize) -> String {
+    let width = width.max(8);
+    if log.is_empty() || workers == 0 {
+        return String::from("(empty chunk log)\n");
+    }
+    let t_end = log.iter().map(|c| c.finish).fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
+    let col_of = |t: f64| ((t / t_end) * width as f64) as usize;
+    let mut rows = vec![vec!['·'; width + 1]; workers];
+    for c in log {
+        if c.worker >= workers {
+            continue;
+        }
+        let (a, b) = (col_of(c.start), col_of(c.finish).min(width));
+        for cell in &mut rows[c.worker][a..=b] {
+            *cell = '█';
+        }
+    }
+    let mut out = String::new();
+    for (w, row) in rows.iter().enumerate() {
+        out.push_str(&format!("w{w:<3} "));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("     0{}{t_end:.0}\n", " ".repeat(width.saturating_sub(6))));
+    out
+}
+
+/// Formats a probability as a percentage with one decimal (paper style).
+pub fn pct(p: f64) -> String {
+    format!("{:.1}%", 100.0 * p)
+}
+
+/// Formats a time value with two decimals (paper style, e.g. `3800.02`).
+pub fn time(t: f64) -> String {
+    format!("{t:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = AsciiTable::new(["A", "Longer"]).title("T");
+        t.row(["x", "y"]);
+        t.row(["wide-cell", "z"]);
+        let s = t.to_string();
+        assert!(s.starts_with("T\n"));
+        // All border lines have the same width.
+        let lines: Vec<&str> = s.lines().filter(|l| l.starts_with('+')).collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+        assert!(s.contains("wide-cell"));
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = AsciiTable::new(["A", "B", "C"]);
+        t.row(["only-one"]);
+        let s = t.to_string();
+        assert!(s.contains("only-one"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.745), "74.5%");
+        assert_eq!(time(3800.018), "3800.02");
+    }
+
+    #[test]
+    fn empty_table_renders() {
+        let t = AsciiTable::new(["H"]);
+        assert!(t.is_empty());
+        let s = t.to_string();
+        assert!(s.contains('H'));
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let mut c = BarChart::new(10);
+        c.bar("a", 50.0);
+        c.bar("bb", 100.0);
+        let s = c.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // The longer bar has twice the filled cells.
+        let filled = |l: &str| l.chars().filter(|&c| c == '█').count();
+        assert_eq!(filled(lines[1]), 2 * filled(lines[0]));
+        assert!(lines[0].starts_with("a "));
+        assert!(lines[1].starts_with("bb"));
+    }
+
+    #[test]
+    fn bar_chart_reference_line_appears() {
+        let mut c = BarChart::new(20).reference(100.0, "Δ");
+        c.bar("x", 50.0);
+        let s = c.to_string();
+        assert!(s.contains('|'), "{s}");
+        assert!(s.contains("Δ = 100"), "{s}");
+    }
+
+    #[test]
+    fn gantt_renders_busy_and_idle() {
+        use cdsf_dls::executor::ChunkRecord;
+        let log = vec![
+            ChunkRecord { worker: 0, size: 10, start: 0.0, finish: 50.0 },
+            ChunkRecord { worker: 1, size: 10, start: 50.0, finish: 100.0 },
+        ];
+        let g = gantt(&log, 2, 20);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3); // two workers + the time axis
+        assert!(lines[0].starts_with("w0"));
+        // Worker 0 busy in the first half, idle in the second; worker 1
+        // mirrored.
+        assert!(lines[0].contains('█') && lines[0].contains('·'));
+        assert!(lines[1].contains('█') && lines[1].contains('·'));
+        let busy0 = lines[0].chars().filter(|&c| c == '█').count();
+        let busy1 = lines[1].chars().filter(|&c| c == '█').count();
+        assert!((busy0 as i64 - busy1 as i64).abs() <= 1);
+        assert!(lines[2].contains("100"));
+    }
+
+    #[test]
+    fn gantt_handles_empty_input() {
+        assert!(gantt(&[], 2, 20).contains("empty"));
+        assert!(gantt(&[], 0, 20).contains("empty"));
+    }
+
+    #[test]
+    fn bar_chart_handles_degenerate_values() {
+        let mut c = BarChart::new(8);
+        c.bar("nan", f64::NAN);
+        c.bar("neg", -5.0);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        let s = c.to_string();
+        assert!(!s.contains('█'));
+    }
+}

@@ -1,0 +1,423 @@
+//! Stage-II simulation grid: (application × availability case × technique)
+//! cells, each averaged over seeded replicates, fanned out over worker
+//! threads.
+
+use crate::{CoreError, Result};
+use cdsf_dls::executor::{execute, ExecutorConfig};
+use cdsf_dls::TechniqueKind;
+use cdsf_pmf::stats::Welford;
+use cdsf_ra::Allocation;
+use cdsf_system::availability::AvailabilitySpec;
+use cdsf_system::{Batch, Platform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Parameters of the Stage-II simulation.
+///
+/// Defaults are calibrated on the paper's example (see `EXPERIMENTS.md`):
+/// the availability renewal dwell is of the same order as the applications'
+/// runtimes, so a slow draw hurts STATIC for most of a run while the DLS
+/// techniques get enough fluctuation to rebalance against.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimParams {
+    /// Independent replicates per cell.
+    pub replicates: usize,
+    /// Mean dwell time of the availability renewal process (time units).
+    pub mean_dwell: f64,
+    /// Per-chunk scheduling overhead (time units).
+    pub overhead: f64,
+    /// Base seed; every cell derives its own deterministic stream.
+    pub seed: u64,
+    /// Worker threads for the simulation grid.
+    pub threads: usize,
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        Self { replicates: 25, mean_dwell: 300.0, overhead: 1.0, seed: 0xCD5F, threads: 4 }
+    }
+}
+
+impl SimParams {
+    /// Validates the parameters.
+    pub fn validate(&self) -> Result<()> {
+        if self.replicates == 0 {
+            return Err(CoreError::BadParameter { name: "replicates", value: 0.0 });
+        }
+        if !(self.mean_dwell > 0.0) {
+            return Err(CoreError::BadParameter { name: "mean_dwell", value: self.mean_dwell });
+        }
+        if !(self.overhead >= 0.0) {
+            return Err(CoreError::BadParameter { name: "overhead", value: self.overhead });
+        }
+        if self.threads == 0 {
+            return Err(CoreError::BadParameter { name: "threads", value: 0.0 });
+        }
+        Ok(())
+    }
+}
+
+/// One simulated grid cell: an application under one availability case
+/// executed with one technique, averaged over replicates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Application index (0-based).
+    pub app: usize,
+    /// Availability case (1-based, paper numbering).
+    pub case: usize,
+    /// Technique name (paper style, e.g. `"AWF-B"`).
+    pub technique: String,
+    /// Mean makespan over replicates (serial + parallel phases).
+    pub mean_makespan: f64,
+    /// Standard deviation of the makespan over replicates.
+    pub std_makespan: f64,
+    /// Mean chunk count per run.
+    pub mean_chunks: f64,
+    /// Number of replicates behind the statistics.
+    pub replicates: usize,
+    /// Whether the *mean* makespan meets the deadline.
+    pub meets_deadline: bool,
+}
+
+impl CellResult {
+    /// Half-width of the normal-approximation 95 % confidence interval of
+    /// the mean makespan: `1.96·σ/√n`.
+    pub fn ci95_halfwidth(&self) -> f64 {
+        if self.replicates == 0 {
+            return 0.0;
+        }
+        1.96 * self.std_makespan / (self.replicates as f64).sqrt()
+    }
+
+    /// Whether the deadline verdict is statistically resolved: the 95 %
+    /// confidence interval of the mean lies entirely on one side of Δ.
+    pub fn verdict_is_resolved(&self, deadline: f64) -> bool {
+        (self.mean_makespan - deadline).abs() > self.ci95_halfwidth()
+    }
+}
+
+/// Derives a deterministic per-cell seed from the base seed and the cell
+/// coordinates (SplitMix64-style mixing).
+fn cell_seed(base: u64, app: usize, case: usize, tech: usize, replicate_block: u64) -> u64 {
+    let mut z = base
+        ^ (app as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (case as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ (tech as u64).wrapping_mul(0x94D0_49BB_1331_11EB)
+        ^ replicate_block.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Simulates the whole grid: every application of `batch` (placed per
+/// `alloc`), under every runtime availability case, with every technique.
+///
+/// Cells are independent and individually seeded, so the result is
+/// identical for any thread count.
+pub fn simulate_grid(
+    batch: &Batch,
+    alloc: &Allocation,
+    runtime_cases: &[Platform],
+    techniques: &[TechniqueKind],
+    deadline: f64,
+    params: &SimParams,
+) -> Result<Vec<CellResult>> {
+    params.validate()?;
+    if runtime_cases.is_empty() {
+        return Err(CoreError::BadConfig { what: "no runtime availability cases" });
+    }
+    if techniques.is_empty() {
+        return Err(CoreError::BadConfig { what: "no techniques to evaluate" });
+    }
+
+    // Build the task list: one entry per (app, case, technique).
+    struct Task {
+        app: usize,
+        case: usize, // 1-based
+        tech: usize,
+    }
+    let mut tasks = Vec::new();
+    for app in 0..batch.len() {
+        for case in 1..=runtime_cases.len() {
+            for tech in 0..techniques.len() {
+                tasks.push(Task { app, case, tech });
+            }
+        }
+    }
+
+    // Work-stealing by atomic counter; each task index is claimed exactly
+    // once, results land in a mutex-guarded slot vector (contention is one
+    // lock per completed cell, negligible next to the simulation itself).
+    let next = AtomicUsize::new(0);
+    let results: Vec<Option<CellResult>> = {
+        let cells = parking_lot::Mutex::new(vec![None; tasks.len()]);
+        crossbeam::thread::scope(|scope| -> Result<()> {
+            let mut handles = Vec::new();
+            for _ in 0..params.threads {
+                let tasks = &tasks;
+                let next = &next;
+                let cells = &cells;
+                handles.push(scope.spawn(move |_| -> Result<()> {
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= tasks.len() {
+                            return Ok(());
+                        }
+                        let t = &tasks[idx];
+                        let cell = simulate_cell(
+                            batch,
+                            alloc,
+                            &runtime_cases[t.case - 1],
+                            &techniques[t.tech],
+                            t.app,
+                            t.case,
+                            t.tech,
+                            deadline,
+                            params,
+                        )?;
+                        cells.lock()[idx] = Some(cell);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("simulation worker panicked")?;
+            }
+            Ok(())
+        })
+        .expect("simulation scope panicked")?;
+        cells.into_inner()
+    };
+
+    Ok(results.into_iter().map(|c| c.expect("all tasks completed")).collect())
+}
+
+/// Simulates a single `(application, case, technique)` cell on demand —
+/// the entry point used by [`crate::advisor`] to simulate only the cells
+/// that mean-field screening could not resolve. `case` is the 1-based
+/// label recorded in the result; seeding matches [`simulate_grid`] when
+/// `tech_idx` equals the technique's position there, so targeted and
+/// full-grid results are bit-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_single_cell(
+    batch: &Batch,
+    alloc: &Allocation,
+    case_platform: &Platform,
+    technique: &TechniqueKind,
+    app_idx: usize,
+    case: usize,
+    tech_idx: usize,
+    deadline: f64,
+    params: &SimParams,
+) -> Result<CellResult> {
+    params.validate()?;
+    simulate_cell(
+        batch,
+        alloc,
+        case_platform,
+        technique,
+        app_idx,
+        case,
+        tech_idx,
+        deadline,
+        params,
+    )
+}
+
+/// Simulates one cell: `replicates` runs of one application on its
+/// allocated group under one availability case with one technique.
+#[allow(clippy::too_many_arguments)]
+fn simulate_cell(
+    batch: &Batch,
+    alloc: &Allocation,
+    case_platform: &Platform,
+    technique: &TechniqueKind,
+    app_idx: usize,
+    case: usize,
+    tech_idx: usize,
+    deadline: f64,
+    params: &SimParams,
+) -> Result<CellResult> {
+    let app = batch.app(cdsf_system::AppId(app_idx))?;
+    let asg = alloc
+        .assignment(app_idx)
+        .ok_or(CoreError::BadConfig { what: "allocation does not cover application" })?;
+    let avail_pmf = case_platform.proc_type(asg.proc_type)?.availability().clone();
+
+    let cfg = ExecutorConfig::builder()
+        .from_application(app, asg.proc_type)?
+        .workers(asg.procs as usize)
+        .overhead(params.overhead)
+        .availability(AvailabilitySpec::Renewal {
+            pmf: avail_pmf,
+            mean_dwell: params.mean_dwell,
+        })
+        .build()?;
+
+    let mut makespans = Welford::new();
+    let mut chunks = Welford::new();
+    for r in 0..params.replicates {
+        let seed = cell_seed(params.seed, app_idx, case, tech_idx, r as u64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let run = execute(technique, &cfg, &mut rng)?;
+        makespans.push(run.makespan);
+        chunks.push(run.chunks as f64);
+    }
+
+    Ok(CellResult {
+        app: app_idx,
+        case,
+        technique: technique.name().to_string(),
+        mean_makespan: makespans.mean(),
+        std_makespan: makespans.std_dev(),
+        mean_chunks: chunks.mean(),
+        replicates: params.replicates,
+        meets_deadline: makespans.mean() <= deadline,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdsf_ra::{Allocation, Assignment};
+    use cdsf_system::ProcTypeId;
+    use cdsf_workloads::paper;
+
+    fn quick_params() -> SimParams {
+        SimParams { replicates: 3, threads: 2, ..Default::default() }
+    }
+
+    fn robust_alloc() -> Allocation {
+        Allocation::new(vec![
+            Assignment { proc_type: ProcTypeId(0), procs: 2 },
+            Assignment { proc_type: ProcTypeId(0), procs: 2 },
+            Assignment { proc_type: ProcTypeId(1), procs: 8 },
+        ])
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(SimParams { replicates: 0, ..Default::default() }.validate().is_err());
+        assert!(SimParams { mean_dwell: 0.0, ..Default::default() }.validate().is_err());
+        assert!(SimParams { overhead: -1.0, ..Default::default() }.validate().is_err());
+        assert!(SimParams { threads: 0, ..Default::default() }.validate().is_err());
+        assert!(SimParams::default().validate().is_ok());
+    }
+
+    #[test]
+    fn grid_covers_all_cells() {
+        let batch = paper::batch_with_pulses(8);
+        let cases: Vec<_> = (1..=2).map(paper::platform_case).collect();
+        let techniques = vec![TechniqueKind::Static, TechniqueKind::Fac];
+        let cells = simulate_grid(
+            &batch,
+            &robust_alloc(),
+            &cases,
+            &techniques,
+            paper::DEADLINE,
+            &quick_params(),
+        )
+        .unwrap();
+        assert_eq!(cells.len(), 3 * 2 * 2);
+        // Every combination appears exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for c in &cells {
+            assert!(seen.insert((c.app, c.case, c.technique.clone())));
+            assert!(c.mean_makespan > 0.0);
+        }
+    }
+
+    #[test]
+    fn grid_is_deterministic_across_thread_counts() {
+        let batch = paper::batch_with_pulses(8);
+        let cases = vec![paper::platform_case(1)];
+        let techniques = vec![TechniqueKind::Fac];
+        let mk = |threads: usize| {
+            simulate_grid(
+                &batch,
+                &robust_alloc(),
+                &cases,
+                &techniques,
+                paper::DEADLINE,
+                &SimParams { replicates: 4, threads, ..Default::default() },
+            )
+            .unwrap()
+        };
+        assert_eq!(mk(1), mk(4));
+    }
+
+    #[test]
+    fn grid_rejects_empty_inputs() {
+        let batch = paper::batch_with_pulses(8);
+        assert!(simulate_grid(
+            &batch,
+            &robust_alloc(),
+            &[],
+            &[TechniqueKind::Fac],
+            paper::DEADLINE,
+            &quick_params()
+        )
+        .is_err());
+        assert!(simulate_grid(
+            &batch,
+            &robust_alloc(),
+            &[paper::platform_case(1)],
+            &[],
+            paper::DEADLINE,
+            &quick_params()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn ci95_and_verdict_resolution() {
+        let cell = CellResult {
+            app: 0,
+            case: 1,
+            technique: "FAC".into(),
+            mean_makespan: 3000.0,
+            std_makespan: 300.0,
+            mean_chunks: 50.0,
+            replicates: 25,
+            meets_deadline: true,
+        };
+        // 1.96 · 300 / 5 = 117.6.
+        assert!((cell.ci95_halfwidth() - 117.6).abs() < 1e-9);
+        assert!(cell.verdict_is_resolved(3250.0)); // 250 > 117.6
+        assert!(!cell.verdict_is_resolved(3050.0)); // 50 < 117.6
+        let zero = CellResult { replicates: 0, ..cell };
+        assert_eq!(zero.ci95_halfwidth(), 0.0);
+    }
+
+    #[test]
+    fn worse_cases_give_longer_makespans() {
+        // Weighted availability decreases case 1 → 4, so mean makespans
+        // (same app, same technique) should increase overall.
+        let batch = paper::batch_with_pulses(8);
+        let cases: Vec<_> = (1..=4).map(paper::platform_case).collect();
+        let cells = simulate_grid(
+            &batch,
+            &robust_alloc(),
+            &cases,
+            &[TechniqueKind::Af],
+            paper::DEADLINE,
+            &SimParams { replicates: 10, threads: 4, ..Default::default() },
+        )
+        .unwrap();
+        // Compare case 1 vs case 4 per app.
+        for app in 0..3 {
+            let m1 = cells
+                .iter()
+                .find(|c| c.app == app && c.case == 1)
+                .unwrap()
+                .mean_makespan;
+            let m4 = cells
+                .iter()
+                .find(|c| c.app == app && c.case == 4)
+                .unwrap()
+                .mean_makespan;
+            assert!(m4 > m1, "app {app}: case4 {m4} ≤ case1 {m1}");
+        }
+    }
+}

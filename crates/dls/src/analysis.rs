@@ -1,0 +1,279 @@
+//! Analytic makespan bounds and scheduling-theory estimates.
+//!
+//! The DLS literature the paper builds on derives its techniques from
+//! closed-form models of self-scheduled loops (Kruskal & Weiss; Hummel,
+//! Schonberg & Flynn; Flynn Hummel et al.). This module provides those
+//! expressions so simulator results can be *sandwiched* analytically —
+//! every executor run must respect the fluid lower bound, and on constant
+//! availability it must stay within the granularity upper bound. The
+//! integration tests and the property suite enforce exactly that.
+
+use crate::{DlsError, Result};
+
+/// Inclusive lower/upper bounds on a loop's makespan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bounds {
+    /// No schedule can beat this (work conservation).
+    pub lower: f64,
+    /// A bound no reasonable self-schedule exceeds (granularity slack).
+    pub upper: f64,
+}
+
+impl Bounds {
+    /// Whether a measured makespan falls inside (with relative slack
+    /// `tol`, e.g. `0.01` for 1 %).
+    pub fn contains(&self, makespan: f64, tol: f64) -> bool {
+        makespan >= self.lower * (1.0 - tol) && makespan <= self.upper * (1.0 + tol)
+    }
+}
+
+/// Fluid (work-conservation) lower bound for a parallel phase:
+/// `W / Σ_i a_i`, where `W` is total dedicated work and `a_i` each
+/// worker's (mean) availability. No scheduler can finish earlier.
+pub fn fluid_lower_bound(total_work: f64, availabilities: &[f64]) -> Result<f64> {
+    if availabilities.is_empty() {
+        return Err(DlsError::NoWorkers);
+    }
+    let capacity: f64 = availabilities.iter().sum();
+    if !(capacity > 0.0) || !(total_work >= 0.0) {
+        return Err(DlsError::BadParameter { name: "capacity/work", value: capacity });
+    }
+    Ok(total_work / capacity)
+}
+
+/// Makespan of STATIC under *constant* per-worker availabilities: the
+/// slowest worker's share. `shares[i]` is worker `i`'s dedicated work.
+pub fn static_makespan_constant(shares: &[f64], availabilities: &[f64]) -> Result<f64> {
+    if shares.is_empty() || shares.len() != availabilities.len() {
+        return Err(DlsError::BadWeights {
+            provided: availabilities.len(),
+            expected: shares.len(),
+        });
+    }
+    let mut worst: f64 = 0.0;
+    for (&w, &a) in shares.iter().zip(availabilities) {
+        if !(a > 0.0) {
+            return Err(DlsError::BadParameter { name: "availability", value: a });
+        }
+        worst = worst.max(w / a);
+    }
+    Ok(worst)
+}
+
+/// Granularity upper bound for a self-scheduled phase on constant
+/// availabilities: fluid bound + the largest single chunk's duration on
+/// the slowest worker + total scheduling overhead on the critical path.
+///
+/// Intuition (the classic list-scheduling argument): a worker only idles
+/// once fewer chunks remain than workers, so the last-finishing worker
+/// exceeds the fluid bound by at most one chunk plus its overheads.
+pub fn self_scheduling_upper_bound(
+    total_work: f64,
+    max_chunk_work: f64,
+    chunks_per_worker: f64,
+    overhead: f64,
+    availabilities: &[f64],
+) -> Result<f64> {
+    let fluid = fluid_lower_bound(total_work, availabilities)?;
+    let a_min = availabilities.iter().copied().fold(f64::INFINITY, f64::min);
+    if !(max_chunk_work >= 0.0) || !(overhead >= 0.0) || !(chunks_per_worker >= 0.0) {
+        return Err(DlsError::BadParameter { name: "chunk/overhead", value: -1.0 });
+    }
+    Ok(fluid + max_chunk_work / a_min + overhead * (chunks_per_worker + 1.0))
+}
+
+/// Expected maximum of `n` iid `N(μ, σ²)` variables (Gumbel-type
+/// approximation `μ + σ·√(2 ln n)`), the expression behind factoring's
+/// batch-size rule. Exact for `n = 1`.
+pub fn expected_max_normal(n: usize, mu: f64, sigma: f64) -> Result<f64> {
+    if n == 0 {
+        return Err(DlsError::BadParameter { name: "n", value: 0.0 });
+    }
+    if !(sigma >= 0.0) {
+        return Err(DlsError::BadParameter { name: "sigma", value: sigma });
+    }
+    if n == 1 {
+        return Ok(mu);
+    }
+    Ok(mu + sigma * (2.0 * (n as f64).ln()).sqrt())
+}
+
+/// Kruskal–Weiss expected completion time of fixed-size chunking: each of
+/// `p` workers executes `n_chunks` chunks of `k` iterations
+/// (mean `μ`, std `σ` per iteration, overhead `h` per chunk); the makespan
+/// is the expected maximum of the per-worker sums.
+pub fn fsc_expected_makespan(
+    total_iters: u64,
+    k: u64,
+    p: usize,
+    mu: f64,
+    sigma: f64,
+    h: f64,
+) -> Result<f64> {
+    if p == 0 {
+        return Err(DlsError::NoWorkers);
+    }
+    if k == 0 || total_iters == 0 {
+        return Err(DlsError::NoIterations);
+    }
+    let chunks_total = total_iters.div_ceil(k) as f64;
+    let chunks_per_worker = chunks_total / p as f64;
+    let iters_per_worker = total_iters as f64 / p as f64;
+    // Sum over a worker's chunks: mean n·kμ, variance n·kσ².
+    let worker_mu = iters_per_worker * mu + chunks_per_worker * h;
+    let worker_sigma = (iters_per_worker).sqrt() * sigma;
+    expected_max_normal(p, worker_mu, worker_sigma)
+}
+
+/// Full-run bounds for an executor configuration on *constant*
+/// availability `a` (broadcast): serial prologue + parallel phase.
+///
+/// `max_chunk_work` should be the largest chunk the technique can emit
+/// (e.g. `⌈N/P⌉·μ` for STATIC, `⌈N/2P⌉·μ` for the factoring family).
+#[allow(clippy::too_many_arguments)]
+pub fn run_bounds_constant(
+    serial_work: f64,
+    parallel_work: f64,
+    p: usize,
+    a: f64,
+    max_chunk_work: f64,
+    chunks_per_worker: f64,
+    overhead: f64,
+) -> Result<Bounds> {
+    if p == 0 {
+        return Err(DlsError::NoWorkers);
+    }
+    if !(a > 0.0 && a <= 1.0) {
+        return Err(DlsError::BadParameter { name: "a", value: a });
+    }
+    let avail = vec![a; p];
+    let serial = serial_work / a;
+    let lower = serial + fluid_lower_bound(parallel_work, &avail)?;
+    let upper = serial
+        + self_scheduling_upper_bound(
+            parallel_work,
+            max_chunk_work,
+            chunks_per_worker,
+            overhead,
+            &avail,
+        )?;
+    Ok(Bounds { lower, upper })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{execute, ExecutorConfig};
+    use crate::TechniqueKind;
+    use cdsf_system::availability::AvailabilitySpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fluid_bound_basics() {
+        assert_eq!(fluid_lower_bound(100.0, &[1.0, 1.0]).unwrap(), 50.0);
+        assert_eq!(fluid_lower_bound(100.0, &[0.5, 0.5]).unwrap(), 100.0);
+        assert!(fluid_lower_bound(100.0, &[]).is_err());
+        assert!(fluid_lower_bound(-1.0, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn static_constant_matches_hand_computation() {
+        let m = static_makespan_constant(&[100.0, 100.0], &[1.0, 0.25]).unwrap();
+        assert_eq!(m, 400.0);
+        assert!(static_makespan_constant(&[1.0], &[1.0, 1.0]).is_err());
+        assert!(static_makespan_constant(&[1.0], &[0.0]).is_err());
+    }
+
+    #[test]
+    fn expected_max_normal_monotone_in_n() {
+        let one = expected_max_normal(1, 10.0, 2.0).unwrap();
+        let four = expected_max_normal(4, 10.0, 2.0).unwrap();
+        let many = expected_max_normal(1000, 10.0, 2.0).unwrap();
+        assert_eq!(one, 10.0);
+        assert!(four > one && many > four);
+        assert!(expected_max_normal(0, 1.0, 1.0).is_err());
+        assert!(expected_max_normal(2, 1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn fsc_model_tracks_simulation() {
+        // 8192 unit-mean iterations, k=64, p=8, σ=0.2, h=0.5.
+        let model = fsc_expected_makespan(8192, 64, 8, 1.0, 0.2, 0.5).unwrap();
+        let cfg = ExecutorConfig::builder()
+            .workers(8)
+            .parallel_iters(8192)
+            .iter_time_mean_sigma(1.0, 0.2)
+            .unwrap()
+            .overhead(0.5)
+            .availability(AvailabilitySpec::Constant { a: 1.0 })
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut mean = 0.0;
+        for _ in 0..10 {
+            mean += execute(&TechniqueKind::Fsc { chunk: 64 }, &cfg, &mut rng)
+                .unwrap()
+                .makespan;
+        }
+        mean /= 10.0;
+        assert!(
+            (mean - model).abs() / model < 0.05,
+            "simulated {mean} vs model {model}"
+        );
+    }
+
+    #[test]
+    fn executor_respects_bounds_for_every_technique() {
+        let p = 8usize;
+        let iters = 8192u64;
+        let a = 0.5f64;
+        let h = 0.5f64;
+        let cfg = ExecutorConfig::builder()
+            .workers(p)
+            .parallel_iters(iters)
+            .serial_iters(512)
+            .iter_time_mean_sigma(1.0, 0.1)
+            .unwrap()
+            .overhead(h)
+            .availability(AvailabilitySpec::Constant { a })
+            .build()
+            .unwrap();
+        for kind in TechniqueKind::all(64) {
+            let mut rng = StdRng::seed_from_u64(23);
+            let run = execute(&kind, &cfg, &mut rng).unwrap();
+            // Generous per-technique chunk ceiling: STATIC's share.
+            let max_chunk_work = (iters as f64 / p as f64) * 1.0;
+            let chunks_per_worker = run.chunks as f64 / p as f64;
+            let bounds = run_bounds_constant(
+                512.0,
+                iters as f64,
+                p,
+                a,
+                max_chunk_work,
+                chunks_per_worker,
+                h,
+            )
+            .unwrap();
+            assert!(
+                bounds.contains(run.makespan, 0.1),
+                "{}: makespan {} outside [{}, {}]",
+                kind.name(),
+                run.makespan,
+                bounds.lower,
+                bounds.upper
+            );
+        }
+    }
+
+    #[test]
+    fn bounds_validation() {
+        assert!(run_bounds_constant(0.0, 10.0, 0, 1.0, 1.0, 1.0, 0.0).is_err());
+        assert!(run_bounds_constant(0.0, 10.0, 2, 0.0, 1.0, 1.0, 0.0).is_err());
+        assert!(run_bounds_constant(0.0, 10.0, 2, 1.5, 1.0, 1.0, 0.0).is_err());
+        assert!(self_scheduling_upper_bound(10.0, -1.0, 1.0, 0.0, &[1.0]).is_err());
+        assert!(fsc_expected_makespan(0, 1, 1, 1.0, 0.0, 0.0).is_err());
+        assert!(fsc_expected_makespan(10, 0, 1, 1.0, 0.0, 0.0).is_err());
+        assert!(fsc_expected_makespan(10, 1, 0, 1.0, 0.0, 0.0).is_err());
+    }
+}

@@ -1,0 +1,99 @@
+use std::fmt;
+
+/// Errors produced by technique construction or executor configuration.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DlsError {
+    /// A loop needs at least one worker.
+    NoWorkers,
+    /// A loop needs at least one parallel iteration.
+    NoIterations,
+    /// A technique parameter was out of its domain.
+    BadParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Weighted factoring weights must be positive and match worker count.
+    BadWeights {
+        /// Number of weights provided.
+        provided: usize,
+        /// Number of workers expected.
+        expected: usize,
+    },
+    /// An underlying system-model operation failed.
+    System(cdsf_system::SystemError),
+    /// An underlying PMF operation failed.
+    Pmf(cdsf_pmf::PmfError),
+}
+
+impl fmt::Display for DlsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DlsError::NoWorkers => write!(f, "a loop execution requires at least one worker"),
+            DlsError::NoIterations => {
+                write!(f, "a loop execution requires at least one parallel iteration")
+            }
+            DlsError::BadParameter { name, value } => {
+                write!(f, "parameter `{name}` = {value} is out of domain")
+            }
+            DlsError::BadWeights { provided, expected } => write!(
+                f,
+                "weighted factoring got {provided} weights for {expected} workers (all must be positive)"
+            ),
+            DlsError::System(e) => write!(f, "system model error: {e}"),
+            DlsError::Pmf(e) => write!(f, "PMF error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DlsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DlsError::System(e) => Some(e),
+            DlsError::Pmf(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cdsf_system::SystemError> for DlsError {
+    fn from(e: cdsf_system::SystemError) -> Self {
+        DlsError::System(e)
+    }
+}
+
+impl From<cdsf_pmf::PmfError> for DlsError {
+    fn from(e: cdsf_pmf::PmfError) -> Self {
+        DlsError::Pmf(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_displays_its_payload() {
+        let cases: Vec<(DlsError, &str)> = vec![
+            (DlsError::NoWorkers, "worker"),
+            (DlsError::NoIterations, "iteration"),
+            (DlsError::BadParameter { name: "chunk", value: 0.0 }, "chunk"),
+            (DlsError::BadWeights { provided: 1, expected: 2 }, "1"),
+            (DlsError::Pmf(cdsf_pmf::PmfError::Empty), "PMF"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn sources_chain_to_inner_errors() {
+        use std::error::Error as _;
+        let err = DlsError::Pmf(cdsf_pmf::PmfError::Empty);
+        assert!(err.source().is_some());
+        assert!(DlsError::NoWorkers.source().is_none());
+    }
+}

@@ -1,0 +1,825 @@
+//! Event-driven simulation of a self-scheduled parallel loop.
+//!
+//! The executor models the paper's Stage-II environment: an application
+//! (serial prologue + parallel loop) runs on a group of `P` processors
+//! whose instantaneous availability follows a stochastic process
+//! ([`cdsf_system::availability`]). A master hands out chunks; each chunk
+//! dispatch costs a scheduling overhead `h` of wall-clock time; the chunk's
+//! compute *work* (in dedicated-processor time units) is the sum of its
+//! iteration times, and the wall-clock duration of that work is obtained by
+//! integrating the processor's availability timeline.
+//!
+//! The adaptive techniques only ever see *observed* chunk durations — the
+//! same information a real DLS runtime has.
+//!
+//! ## Model choices (documented for reproducibility)
+//!
+//! * Iteration times on a dedicated processor are iid `N(μ, σ²)` (truncated
+//!   at a small positive floor); a chunk of `k` iterations therefore has
+//!   work `N(kμ, kσ²)`, which is sampled directly instead of `k` times.
+//! * Scheduling overhead `h` is wall-clock (master-side), not scaled by the
+//!   worker's availability.
+//! * The serial prologue executes on worker 0 before the loop starts; all
+//!   workers then start requesting at the prologue's finish time.
+
+use crate::technique::{SchedContext, Technique, TechniqueKind, WorkerSnapshot};
+use crate::{DlsError, Result};
+use cdsf_pmf::stats::{imbalance_cov, Welford};
+use cdsf_system::availability::{AvailabilitySpec, Timeline};
+use rand::{Rng, RngCore};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Smallest admissible sampled work per iteration, as a fraction of the
+/// mean — keeps the normal approximation from producing non-positive work.
+const WORK_FLOOR_FRACTION: f64 = 1e-3;
+
+/// Configuration of one loop execution.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Number of workers `P` (the allocated group size).
+    pub num_workers: usize,
+    /// Parallel loop iterations.
+    pub parallel_iters: u64,
+    /// Serial prologue iterations (executed on worker 0).
+    pub serial_iters: u64,
+    /// Mean dedicated-processor time per iteration.
+    pub iter_mean: f64,
+    /// Standard deviation of the per-iteration time.
+    pub iter_sigma: f64,
+    /// Per-chunk scheduling overhead (wall-clock time units).
+    pub overhead: f64,
+    /// Availability process specs, one per worker. A single-element vector
+    /// is broadcast to all workers.
+    pub availability: Vec<AvailabilitySpec>,
+    /// Record the full chunk log (costs memory; used by ablations).
+    pub record_chunks: bool,
+}
+
+impl ExecutorConfig {
+    /// Starts a builder with the framework's defaults (no overhead, one
+    /// fully-available worker).
+    pub fn builder() -> ExecutorConfigBuilder {
+        ExecutorConfigBuilder::default()
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.num_workers == 0 {
+            return Err(DlsError::NoWorkers);
+        }
+        if self.parallel_iters == 0 {
+            return Err(DlsError::NoIterations);
+        }
+        if !(self.iter_mean > 0.0) || !self.iter_mean.is_finite() {
+            return Err(DlsError::BadParameter { name: "iter_mean", value: self.iter_mean });
+        }
+        if !(self.iter_sigma >= 0.0) || !self.iter_sigma.is_finite() {
+            return Err(DlsError::BadParameter { name: "iter_sigma", value: self.iter_sigma });
+        }
+        if !(self.overhead >= 0.0) || !self.overhead.is_finite() {
+            return Err(DlsError::BadParameter { name: "overhead", value: self.overhead });
+        }
+        if self.availability.is_empty() {
+            return Err(DlsError::BadParameter { name: "availability.len", value: 0.0 });
+        }
+        if self.availability.len() != 1 && self.availability.len() != self.num_workers {
+            return Err(DlsError::BadParameter {
+                name: "availability.len",
+                value: self.availability.len() as f64,
+            });
+        }
+        Ok(())
+    }
+
+    /// The availability spec for a given worker (single-spec broadcast).
+    fn spec_for(&self, worker: usize) -> &AvailabilitySpec {
+        if self.availability.len() == 1 {
+            &self.availability[0]
+        } else {
+            &self.availability[worker]
+        }
+    }
+}
+
+/// Builder for [`ExecutorConfig`].
+#[derive(Debug, Clone)]
+pub struct ExecutorConfigBuilder {
+    cfg: ExecutorConfig,
+}
+
+impl Default for ExecutorConfigBuilder {
+    fn default() -> Self {
+        Self {
+            cfg: ExecutorConfig {
+                num_workers: 1,
+                parallel_iters: 1,
+                serial_iters: 0,
+                iter_mean: 1.0,
+                iter_sigma: 0.0,
+                overhead: 0.0,
+                availability: vec![AvailabilitySpec::Constant { a: 1.0 }],
+                record_chunks: false,
+            },
+        }
+    }
+}
+
+impl ExecutorConfigBuilder {
+    /// Sets the worker count.
+    pub fn workers(mut self, p: usize) -> Self {
+        self.cfg.num_workers = p;
+        self
+    }
+
+    /// Sets the parallel iteration count.
+    pub fn parallel_iters(mut self, n: u64) -> Self {
+        self.cfg.parallel_iters = n;
+        self
+    }
+
+    /// Sets the serial prologue iteration count.
+    pub fn serial_iters(mut self, n: u64) -> Self {
+        self.cfg.serial_iters = n;
+        self
+    }
+
+    /// Sets per-iteration mean and standard deviation directly.
+    pub fn iter_time_mean_sigma(mut self, mean: f64, sigma: f64) -> Result<Self> {
+        if !(mean > 0.0) || !mean.is_finite() {
+            return Err(DlsError::BadParameter { name: "iter_mean", value: mean });
+        }
+        if !(sigma >= 0.0) || !sigma.is_finite() {
+            return Err(DlsError::BadParameter { name: "iter_sigma", value: sigma });
+        }
+        self.cfg.iter_mean = mean;
+        self.cfg.iter_sigma = sigma;
+        Ok(self)
+    }
+
+    /// Derives iteration timing and iteration counts from an application on
+    /// `n` processors of type `j`.
+    pub fn from_application(
+        mut self,
+        app: &cdsf_system::Application,
+        j: cdsf_system::ProcTypeId,
+    ) -> Result<Self> {
+        let it = app.iteration_time(j)?;
+        self.cfg.iter_mean = it.mean();
+        self.cfg.iter_sigma = it.std_dev();
+        self.cfg.serial_iters = app.serial_iters();
+        self.cfg.parallel_iters = app.parallel_iters();
+        Ok(self)
+    }
+
+    /// Sets the per-chunk scheduling overhead.
+    pub fn overhead(mut self, h: f64) -> Self {
+        self.cfg.overhead = h;
+        self
+    }
+
+    /// Sets a single availability spec broadcast to every worker.
+    pub fn availability(mut self, spec: AvailabilitySpec) -> Self {
+        self.cfg.availability = vec![spec];
+        self
+    }
+
+    /// Sets per-worker availability specs.
+    pub fn availability_per_worker(mut self, specs: Vec<AvailabilitySpec>) -> Self {
+        self.cfg.availability = specs;
+        self
+    }
+
+    /// Enables chunk-log recording.
+    pub fn record_chunks(mut self, yes: bool) -> Self {
+        self.cfg.record_chunks = yes;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<ExecutorConfig> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+/// One dispatched chunk, as recorded when `record_chunks` is enabled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkRecord {
+    /// Worker that executed the chunk.
+    pub worker: usize,
+    /// Chunk size in iterations.
+    pub size: u64,
+    /// Dispatch time (start of overhead).
+    pub start: f64,
+    /// Completion time.
+    pub finish: f64,
+}
+
+/// Summary statistics of a chunk log — the quantities DLS analyses plot:
+/// chunk-size profile, per-worker utilization, dispatch rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkLogStats {
+    /// Total chunks.
+    pub chunks: usize,
+    /// Total iterations covered.
+    pub iterations: u64,
+    /// Largest and smallest chunk sizes.
+    pub max_size: u64,
+    /// Smallest chunk size.
+    pub min_size: u64,
+    /// Mean chunk size.
+    pub mean_size: f64,
+    /// Per-worker busy fraction over `[0, makespan]` (compute + overhead
+    /// windows).
+    pub worker_utilization: Vec<f64>,
+    /// Whether the dispatch-ordered size sequence is non-increasing (the
+    /// signature of the decreasing-chunk families; SS/FSC are constant,
+    /// which also counts).
+    pub sizes_non_increasing: bool,
+}
+
+impl ChunkLogStats {
+    /// Computes statistics from a chunk log (as produced with
+    /// `record_chunks`). Returns `None` for an empty log.
+    pub fn from_log(log: &[ChunkRecord], num_workers: usize) -> Option<Self> {
+        if log.is_empty() || num_workers == 0 {
+            return None;
+        }
+        let mut by_dispatch: Vec<&ChunkRecord> = log.iter().collect();
+        by_dispatch.sort_by(|a, b| a.start.total_cmp(&b.start));
+        let sizes: Vec<u64> = by_dispatch.iter().map(|c| c.size).collect();
+        let makespan = log.iter().map(|c| c.finish).fold(0.0f64, f64::max);
+        let mut busy = vec![0.0f64; num_workers];
+        for c in log {
+            if c.worker < num_workers {
+                busy[c.worker] += c.finish - c.start;
+            }
+        }
+        let denom = makespan.max(f64::MIN_POSITIVE);
+        Some(Self {
+            chunks: log.len(),
+            iterations: sizes.iter().sum(),
+            max_size: *sizes.iter().max().expect("non-empty"),
+            min_size: *sizes.iter().min().expect("non-empty"),
+            mean_size: sizes.iter().sum::<u64>() as f64 / sizes.len() as f64,
+            worker_utilization: busy.into_iter().map(|b| b / denom).collect(),
+            sizes_non_increasing: sizes.windows(2).all(|w| w[1] <= w[0]),
+        })
+    }
+}
+
+/// Result of one simulated loop execution.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Total application time: serial prologue + parallel loop.
+    pub makespan: f64,
+    /// Duration of the serial prologue.
+    pub serial_time: f64,
+    /// Duration of the parallel loop (makespan − serial prologue).
+    pub parallel_time: f64,
+    /// Number of chunks dispatched.
+    pub chunks: u64,
+    /// Per-worker finish times of the parallel phase.
+    pub worker_finish: Vec<f64>,
+    /// Coefficient of variation of worker finish times — the classic
+    /// load-imbalance metric.
+    pub imbalance: f64,
+    /// Full chunk log when recording was requested.
+    pub chunk_log: Option<Vec<ChunkRecord>>,
+}
+
+/// Per-worker measurement state maintained by the executor.
+struct WorkerState {
+    timeline: Timeline,
+    iter_times: Welford,
+    iter_times_total: Welford,
+    snapshot: WorkerSnapshot,
+}
+
+impl WorkerState {
+    fn observe(&mut self, size: u64, compute_time: f64, total_time: f64) {
+        let per_iter = compute_time / size as f64;
+        let per_iter_total = total_time / size as f64;
+        // One Welford observation per chunk, of the chunk's per-iteration
+        // average — this is the cumulative-average bookkeeping the AWF
+        // papers describe, and it keeps the cost O(chunks) not O(iters).
+        self.iter_times.push(per_iter);
+        self.iter_times_total.push(per_iter_total);
+        self.snapshot.iters_done += size;
+        self.snapshot.chunks_done += 1;
+        self.snapshot.mean_iter_time = self.iter_times.mean();
+        self.snapshot.var_iter_time = self.iter_times.variance();
+        self.snapshot.mean_iter_time_total = self.iter_times_total.mean();
+    }
+}
+
+/// Samples the dedicated-processor work of a chunk of `k` iterations:
+/// `N(kμ, kσ²)` truncated below at a positive floor.
+fn sample_chunk_work(k: u64, mean: f64, sigma: f64, rng: &mut dyn RngCore) -> f64 {
+    let mu = k as f64 * mean;
+    if sigma == 0.0 {
+        return mu;
+    }
+    let sd = (k as f64).sqrt() * sigma;
+    let u: f64 = wrap(rng).gen_range(f64::EPSILON..1.0);
+    let w = mu + sd * cdsf_pmf::stats::normal_inv_cdf(u);
+    w.max(mu * WORK_FLOOR_FRACTION)
+}
+
+fn wrap(rng: &mut dyn RngCore) -> impl Rng + '_ {
+    struct W<'a>(&'a mut dyn RngCore);
+    impl RngCore for W<'_> {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            self.0.fill_bytes(dest)
+        }
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> std::result::Result<(), rand::Error> {
+            self.0.try_fill_bytes(dest)
+        }
+    }
+    W(rng)
+}
+
+/// Runs one loop execution with a technique selected by kind.
+pub fn execute(
+    kind: &TechniqueKind,
+    cfg: &ExecutorConfig,
+    rng: &mut dyn RngCore,
+) -> Result<RunResult> {
+    let mut technique = kind.build(cfg.num_workers, cfg.parallel_iters)?;
+    execute_with(technique.as_mut(), cfg, rng)
+}
+
+/// Runs one loop execution with an explicit technique instance.
+///
+/// The instance must be fresh (techniques are stateful across a run).
+pub fn execute_with(
+    technique: &mut dyn Technique,
+    cfg: &ExecutorConfig,
+    rng: &mut dyn RngCore,
+) -> Result<RunResult> {
+    cfg.validate()?;
+    let mut workers = build_workers(cfg)?;
+    run_one_step(technique, cfg, &mut workers, 0.0, rng)
+}
+
+/// Builds the per-worker state (availability timelines + statistics).
+fn build_workers(cfg: &ExecutorConfig) -> Result<Vec<WorkerState>> {
+    (0..cfg.num_workers)
+        .map(|i| {
+            Ok(WorkerState {
+                timeline: Timeline::new(cfg.spec_for(i))?,
+                iter_times: Welford::new(),
+                iter_times_total: Welford::new(),
+                snapshot: WorkerSnapshot::default(),
+            })
+        })
+        .collect()
+}
+
+/// Executes one serial prologue + parallel loop starting at `start`,
+/// against persistent worker state.
+fn run_one_step(
+    technique: &mut dyn Technique,
+    cfg: &ExecutorConfig,
+    workers: &mut [WorkerState],
+    start: f64,
+    rng: &mut dyn RngCore,
+) -> Result<RunResult> {
+    let p = cfg.num_workers;
+
+    // Serial prologue on worker 0.
+    let serial_end = if cfg.serial_iters > 0 {
+        let work = sample_chunk_work(cfg.serial_iters, cfg.iter_mean, cfg.iter_sigma, rng);
+        workers[0].timeline.finish_time(start, work, rng)
+    } else {
+        start
+    };
+    let serial_time = serial_end - start;
+
+    // Parallel loop: min-heap of (free_time, worker).
+    let mut heap: BinaryHeap<Reverse<(OrderedF64, usize)>> = (0..p)
+        .map(|i| Reverse((OrderedF64(serial_end), i)))
+        .collect();
+    let mut remaining = cfg.parallel_iters;
+    let mut chunks = 0u64;
+    let mut worker_finish = vec![serial_end; p];
+    let mut chunk_log = cfg.record_chunks.then(Vec::new);
+
+    while remaining > 0 {
+        let Reverse((OrderedF64(now), w)) = heap.pop().expect("heap never empties early");
+        let snapshot: Vec<WorkerSnapshot> = workers.iter().map(|s| s.snapshot).collect();
+        let ctx = SchedContext {
+            worker: w,
+            num_workers: p,
+            total_iters: cfg.parallel_iters,
+            remaining,
+            now,
+            workers: &snapshot,
+        };
+        let size = technique.next_chunk(&ctx).clamp(1, remaining);
+        remaining -= size;
+        chunks += 1;
+
+        let work = sample_chunk_work(size, cfg.iter_mean, cfg.iter_sigma, rng);
+        let compute_start = now + cfg.overhead;
+        let finish = workers[w].timeline.finish_time(compute_start, work, rng);
+        workers[w].observe(size, finish - compute_start, finish - now);
+        worker_finish[w] = finish;
+        if let Some(log) = chunk_log.as_mut() {
+            log.push(ChunkRecord { worker: w, size, start: now, finish });
+        }
+        heap.push(Reverse((OrderedF64(finish), w)));
+    }
+
+    let end = worker_finish.iter().copied().fold(serial_end, f64::max);
+    Ok(RunResult {
+        makespan: end - start,
+        serial_time,
+        parallel_time: end - start - serial_time,
+        chunks,
+        imbalance: imbalance_cov(&worker_finish),
+        worker_finish,
+        chunk_log,
+    })
+}
+
+/// Result of a time-stepping execution: the same loop executed `steps`
+/// times back to back (a barrier between steps, as in time-stepping
+/// scientific codes), with worker statistics, availability timelines and
+/// the technique's adaptive state persisting across steps.
+#[derive(Debug, Clone)]
+pub struct TimesteppingResult {
+    /// Duration of each step (serial prologue + parallel loop).
+    pub step_durations: Vec<f64>,
+    /// Total wall-clock time of all steps.
+    pub total_time: f64,
+    /// Total chunks dispatched across steps.
+    pub chunks: u64,
+}
+
+impl TimesteppingResult {
+    /// Mean step duration.
+    pub fn mean_step(&self) -> f64 {
+        self.total_time / self.step_durations.len() as f64
+    }
+}
+
+/// Executes `steps` repetitions of the configured loop (time-stepping
+/// application model). Between steps [`Technique::on_timestep`] resets
+/// per-loop bookkeeping while adaptive state carries over — this is the
+/// setting the original AWF was designed for.
+pub fn execute_timestepping(
+    kind: &TechniqueKind,
+    cfg: &ExecutorConfig,
+    steps: usize,
+    rng: &mut dyn RngCore,
+) -> Result<TimesteppingResult> {
+    if steps == 0 {
+        return Err(DlsError::BadParameter { name: "steps", value: 0.0 });
+    }
+    cfg.validate()?;
+    let mut technique = kind.build(cfg.num_workers, cfg.parallel_iters)?;
+    let mut workers = build_workers(cfg)?;
+    let mut step_durations = Vec::with_capacity(steps);
+    let mut chunks = 0u64;
+    let mut now = 0.0f64;
+    for step in 0..steps {
+        if step > 0 {
+            technique.on_timestep();
+        }
+        let run = run_one_step(technique.as_mut(), cfg, &mut workers, now, rng)?;
+        now += run.makespan;
+        chunks += run.chunks;
+        step_durations.push(run.makespan);
+    }
+    Ok(TimesteppingResult { step_durations, total_time: now, chunks })
+}
+
+/// Runs `replicates` independent executions and returns their makespans.
+/// Each replicate consumes fresh randomness from `rng`; seed the RNG to
+/// reproduce the whole experiment.
+pub fn replicate_makespans(
+    kind: &TechniqueKind,
+    cfg: &ExecutorConfig,
+    replicates: usize,
+    rng: &mut dyn RngCore,
+) -> Result<Vec<f64>> {
+    (0..replicates)
+        .map(|_| execute(kind, cfg, rng).map(|r| r.makespan))
+        .collect()
+}
+
+/// `f64` wrapper with a total order for use in the event heap. Simulation
+/// times are always finite (validated inputs), so `total_cmp` is safe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn base_cfg() -> ExecutorConfig {
+        ExecutorConfig::builder()
+            .workers(4)
+            .parallel_iters(4096)
+            .iter_time_mean_sigma(1.0, 0.0)
+            .unwrap()
+            .availability(AvailabilitySpec::Constant { a: 1.0 })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(ExecutorConfig::builder().workers(0).build().is_err());
+        assert!(ExecutorConfig::builder().parallel_iters(0).build().is_err());
+        assert!(ExecutorConfig::builder().iter_time_mean_sigma(0.0, 0.0).is_err());
+        assert!(ExecutorConfig::builder().iter_time_mean_sigma(1.0, -1.0).is_err());
+        assert!(ExecutorConfig::builder()
+            .workers(3)
+            .availability_per_worker(vec![
+                AvailabilitySpec::Constant { a: 1.0 },
+                AvailabilitySpec::Constant { a: 0.5 },
+            ])
+            .build()
+            .is_err());
+        let neg_overhead = ExecutorConfig::builder().overhead(-1.0).build();
+        assert!(neg_overhead.is_err());
+    }
+
+    #[test]
+    fn deterministic_dedicated_run_has_exact_makespan() {
+        // 4096 unit iterations, 4 dedicated workers, no variance, no
+        // overhead: every technique must land exactly on 1024.
+        let cfg = base_cfg();
+        for kind in TechniqueKind::all(64) {
+            let run = execute(&kind, &cfg, &mut rng(7)).unwrap();
+            // Decreasing-chunk profiles (TSS) can strand a couple of unit
+            // chunks at the tail, so allow a few time units of slack.
+            assert!(
+                (run.makespan - 1024.0).abs() < 8.0,
+                "{}: makespan {}",
+                kind.name(),
+                run.makespan
+            );
+            assert!(run.imbalance < 0.01, "{}: imbalance {}", kind.name(), run.imbalance);
+        }
+    }
+
+    #[test]
+    fn serial_prologue_adds_time() {
+        let cfg = ExecutorConfig::builder()
+            .workers(4)
+            .serial_iters(100)
+            .parallel_iters(400)
+            .iter_time_mean_sigma(1.0, 0.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let run = execute(&TechniqueKind::Static, &cfg, &mut rng(1)).unwrap();
+        assert!((run.serial_time - 100.0).abs() < 1e-9);
+        assert!((run.makespan - 200.0).abs() < 1e-9);
+        assert!((run.parallel_time - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduced_availability_slows_everything() {
+        let mut cfg = base_cfg();
+        cfg.availability = vec![AvailabilitySpec::Constant { a: 0.5 }];
+        let run = execute(&TechniqueKind::Fac, &cfg, &mut rng(3)).unwrap();
+        assert!((run.makespan - 2048.0).abs() < 2.0, "makespan {}", run.makespan);
+    }
+
+    #[test]
+    fn static_suffers_under_heterogeneous_availability() {
+        // One of four workers at 25% availability: STATIC's makespan is
+        // pinned to the slow worker's share (1024/0.25 = 4096). FAC and AF
+        // still give the slow worker a first-batch chunk of 4096/8 = 512
+        // (2048 wall-clock on it), but they rebalance everything after, so
+        // they roughly halve STATIC's makespan.
+        let specs = vec![
+            AvailabilitySpec::Constant { a: 0.25 },
+            AvailabilitySpec::Constant { a: 1.0 },
+            AvailabilitySpec::Constant { a: 1.0 },
+            AvailabilitySpec::Constant { a: 1.0 },
+        ];
+        let cfg = ExecutorConfig::builder()
+            .workers(4)
+            .parallel_iters(4096)
+            .iter_time_mean_sigma(1.0, 0.0)
+            .unwrap()
+            .availability_per_worker(specs)
+            .build()
+            .unwrap();
+        let st = execute(&TechniqueKind::Static, &cfg, &mut rng(5)).unwrap();
+        let fac = execute(&TechniqueKind::Fac, &cfg, &mut rng(5)).unwrap();
+        let af = execute(&TechniqueKind::Af, &cfg, &mut rng(5)).unwrap();
+        assert!((st.makespan - 4096.0).abs() < 2.0, "STATIC {}", st.makespan);
+        assert!(fac.makespan < 0.55 * st.makespan, "FAC {}", fac.makespan);
+        assert!(af.makespan < 0.55 * st.makespan, "AF {}", af.makespan);
+    }
+
+    #[test]
+    fn overhead_penalizes_small_chunks() {
+        let mut cfg = base_cfg();
+        cfg.overhead = 1.0;
+        let ss = execute(&TechniqueKind::SelfSched, &cfg, &mut rng(9)).unwrap();
+        let fac = execute(&TechniqueKind::Fac, &cfg, &mut rng(9)).unwrap();
+        // SS dispatches 4096 chunks; FAC a few dozen.
+        assert!(ss.chunks == 4096);
+        assert!(fac.chunks < 100);
+        assert!(ss.makespan > 1.5 * fac.makespan, "ss {} fac {}", ss.makespan, fac.makespan);
+    }
+
+    #[test]
+    fn run_is_deterministic_per_seed() {
+        let mut cfg = base_cfg();
+        cfg.iter_sigma = 0.3;
+        cfg.availability = vec![AvailabilitySpec::Renewal {
+            pmf: cdsf_pmf::Pmf::from_pairs([(0.5, 0.5), (1.0, 0.5)]).unwrap(),
+            mean_dwell: 50.0,
+        }];
+        let a = execute(&TechniqueKind::Af, &cfg, &mut rng(42)).unwrap();
+        let b = execute(&TechniqueKind::Af, &cfg, &mut rng(42)).unwrap();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.chunks, b.chunks);
+        let c = execute(&TechniqueKind::Af, &cfg, &mut rng(43)).unwrap();
+        assert_ne!(a.makespan, c.makespan);
+    }
+
+    #[test]
+    fn chunk_log_accounts_for_all_iterations() {
+        let mut cfg = base_cfg();
+        cfg.record_chunks = true;
+        cfg.iter_sigma = 0.2;
+        let run = execute(&TechniqueKind::Gss, &cfg, &mut rng(2)).unwrap();
+        let log = run.chunk_log.unwrap();
+        assert_eq!(log.len() as u64, run.chunks);
+        assert_eq!(log.iter().map(|c| c.size).sum::<u64>(), 4096);
+        // Chunks never overlap per worker.
+        for w in 0..4 {
+            let mut times: Vec<(f64, f64)> = log
+                .iter()
+                .filter(|c| c.worker == w)
+                .map(|c| (c.start, c.finish))
+                .collect();
+            times.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for pair in times.windows(2) {
+                assert!(pair[0].1 <= pair[1].0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_beats_static_under_fluctuating_availability() {
+        // The Stage-II premise: under runtime availability fluctuation the
+        // robust set's makespans beat STATIC's substantially.
+        let pmf = cdsf_pmf::Pmf::from_pairs([(0.2, 0.3), (0.6, 0.4), (1.0, 0.3)]).unwrap();
+        let cfg = ExecutorConfig::builder()
+            .workers(8)
+            .parallel_iters(8192)
+            .iter_time_mean_sigma(1.0, 0.15)
+            .unwrap()
+            .availability(AvailabilitySpec::Renewal { pmf, mean_dwell: 200.0 })
+            .build()
+            .unwrap();
+        let mut r = rng(99);
+        let avg = |kind: &TechniqueKind, r: &mut StdRng| -> f64 {
+            let ms = replicate_makespans(kind, &cfg, 12, r).unwrap();
+            ms.iter().sum::<f64>() / ms.len() as f64
+        };
+        let st = avg(&TechniqueKind::Static, &mut r);
+        for kind in TechniqueKind::paper_robust_set() {
+            let m = avg(&kind, &mut r);
+            assert!(
+                m < st,
+                "{} mean makespan {m} should beat STATIC {st}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_log_stats_capture_profiles() {
+        let mut cfg = base_cfg();
+        cfg.record_chunks = true;
+        let mut r = rng(6);
+        // GSS: strictly decreasing profile on a dedicated machine.
+        let gss = execute(&TechniqueKind::Gss, &cfg, &mut r).unwrap();
+        let stats = ChunkLogStats::from_log(gss.chunk_log.as_ref().unwrap(), 4).unwrap();
+        assert_eq!(stats.iterations, 4096);
+        assert!(stats.sizes_non_increasing, "GSS profile should decrease");
+        assert_eq!(stats.max_size, 1024); // first chunk = N/P
+        assert_eq!(stats.min_size, 1);
+        assert!(stats.worker_utilization.iter().all(|&u| u > 0.9),
+            "{:?}", stats.worker_utilization);
+        // SS: constant profile.
+        let ss = execute(&TechniqueKind::SelfSched, &cfg, &mut r).unwrap();
+        let ss_stats = ChunkLogStats::from_log(ss.chunk_log.as_ref().unwrap(), 4).unwrap();
+        assert_eq!(ss_stats.max_size, 1);
+        assert!(ss_stats.sizes_non_increasing);
+        assert_eq!(ss_stats.chunks, 4096);
+        // Empty / degenerate inputs.
+        assert!(ChunkLogStats::from_log(&[], 4).is_none());
+        assert!(ChunkLogStats::from_log(gss.chunk_log.as_ref().unwrap(), 0).is_none());
+    }
+
+    #[test]
+    fn timestepping_accumulates_steps() {
+        let cfg = base_cfg();
+        let r = super::execute_timestepping(&TechniqueKind::Fac, &cfg, 5, &mut rng(4)).unwrap();
+        assert_eq!(r.step_durations.len(), 5);
+        assert!((r.step_durations.iter().sum::<f64>() - r.total_time).abs() < 1e-9);
+        // Deterministic dedicated system: each step ≈ 1024.
+        for d in &r.step_durations {
+            assert!((d - 1024.0).abs() < 8.0, "step {d}");
+        }
+        assert!((r.mean_step() - 1024.0).abs() < 8.0);
+        assert!(super::execute_timestepping(&TechniqueKind::Fac, &cfg, 0, &mut rng(4)).is_err());
+    }
+
+    #[test]
+    fn awf_timestep_adapts_across_steps() {
+        // Heterogeneous constant availability: step 1 runs with uniform
+        // weights (WF-like, makespan pinned by the slow workers' first
+        // batch); from step 2 on, the original AWF re-weights from the
+        // measured history and the step duration drops substantially.
+        let specs: Vec<AvailabilitySpec> = (0..4)
+            .map(|i| AvailabilitySpec::Constant { a: if i == 0 { 0.25 } else { 1.0 } })
+            .collect();
+        let cfg = ExecutorConfig::builder()
+            .workers(4)
+            .parallel_iters(4096)
+            .iter_time_mean_sigma(1.0, 0.0)
+            .unwrap()
+            .availability_per_worker(specs)
+            .build()
+            .unwrap();
+        let awf = TechniqueKind::Awf { variant: crate::AwfVariant::Timestep };
+        let r = super::execute_timestepping(&awf, &cfg, 4, &mut rng(12)).unwrap();
+        let first = r.step_durations[0];
+        let last = *r.step_durations.last().unwrap();
+        assert!(
+            last < 0.8 * first,
+            "AWF should adapt: first step {first}, last step {last}"
+        );
+        // Adapted steps approach the fluid bound 4096/3.25 ≈ 1260.
+        assert!(last < 1_700.0, "adapted step {last}");
+    }
+
+    #[test]
+    fn timestepping_resets_per_loop_state() {
+        // Deterministic techniques repeat the same schedule every step on
+        // a dedicated machine — if per-loop state leaked across steps the
+        // durations would drift.
+        let cfg = base_cfg();
+        for kind in [TechniqueKind::Tss, TechniqueKind::Fac, TechniqueKind::Gss] {
+            let r = super::execute_timestepping(&kind, &cfg, 3, &mut rng(9)).unwrap();
+            let d0 = r.step_durations[0];
+            for d in &r.step_durations[1..] {
+                assert!(
+                    (d - d0).abs() < 1e-6,
+                    "{}: step durations drift: {:?}",
+                    kind.name(),
+                    r.step_durations
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replicate_makespans_length_and_variation() {
+        let mut cfg = base_cfg();
+        cfg.iter_sigma = 0.25;
+        let ms = replicate_makespans(&TechniqueKind::Fac, &cfg, 8, &mut rng(1)).unwrap();
+        assert_eq!(ms.len(), 8);
+        // With σ > 0 the replicates must not all coincide.
+        assert!(ms.windows(2).any(|w| w[0] != w[1]));
+    }
+}

@@ -1,0 +1,75 @@
+//! # `cdsf-dls` — dynamic loop scheduling techniques and executor
+//!
+//! Stage II of the CDSF executes each application's parallel loop on its
+//! allocated processor group via *self-scheduling*: whenever a processor
+//! becomes idle it asks the (conceptual) master for the next chunk of loop
+//! iterations, and a **DLS technique** decides the chunk size. This crate
+//! provides:
+//!
+//! * the [`Technique`] trait and the full technique family from the DLS
+//!   literature the paper draws on —
+//!   non-adaptive: [`StaticChunking`] (the paper's naïve STATIC),
+//!   [`SelfScheduling`], [`FixedSizeChunking`], [`GuidedSelfScheduling`],
+//!   [`TrapezoidSelfScheduling`], [`Factoring`] (FAC),
+//!   [`WeightedFactoring`] (WF); adaptive: [`AdaptiveWeightedFactoring`]
+//!   (AWF and its B/C/D/E variants) and [`AdaptiveFactoring`] (AF);
+//! * [`TechniqueKind`], a value-level selector used by the framework layer
+//!   and the benches;
+//! * [`executor`] — an event-driven simulator of a self-scheduled loop on
+//!   a group of processors whose availability fluctuates over time
+//!   (`cdsf_system::availability`), with per-chunk scheduling overhead;
+//!   [`executor::execute_timestepping`] repeats the loop with persistent
+//!   adaptive state (the original AWF's native setting);
+//! * [`analysis`] — fluid and granularity makespan bounds plus the
+//!   Kruskal–Weiss fixed-size-chunking model, used to sandwich simulator
+//!   results analytically;
+//! * [`runtime`] — a *real* multithreaded self-scheduling runtime:
+//!   [`runtime::run_parallel_loop`] executes actual Rust closures chunked
+//!   by any technique, with live measured statistics driving the adaptive
+//!   ones.
+//!
+//! The paper's Stage-II set is `{FAC, WF, AWF-B, AF}` plus naïve STATIC;
+//! the remaining techniques are the survey/extension set its related work
+//! cites and are exercised by the ablation benches.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use cdsf_dls::{executor::{execute, ExecutorConfig}, TechniqueKind};
+//! use cdsf_system::availability::AvailabilitySpec;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let cfg = ExecutorConfig::builder()
+//!     .workers(4)
+//!     .parallel_iters(4096)
+//!     .iter_time_mean_sigma(1.0, 0.2).unwrap()
+//!     .availability(AvailabilitySpec::Constant { a: 1.0 })
+//!     .build()
+//!     .unwrap();
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let run = execute(&TechniqueKind::Fac, &cfg, &mut rng).unwrap();
+//! // 4096 unit iterations on 4 dedicated processors ≈ 1024 time units.
+//! assert!((run.makespan - 1024.0).abs() / 1024.0 < 0.1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+mod error;
+pub mod executor;
+pub mod runtime;
+pub mod technique;
+pub mod techniques;
+
+pub use error::DlsError;
+pub use technique::{SchedContext, Technique, TechniqueKind, WorkerSnapshot};
+pub use techniques::adaptive::{AdaptiveFactoring, AdaptiveWeightedFactoring, AwfVariant};
+pub use techniques::factoring::{Factoring, WeightedFactoring};
+pub use techniques::nonadaptive::{
+    FixedSizeChunking, GuidedSelfScheduling, SelfScheduling, StaticChunking,
+    TrapezoidSelfScheduling,
+};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DlsError>;

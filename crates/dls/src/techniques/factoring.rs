@@ -1,0 +1,277 @@
+//! The factoring family with fixed parameters: FAC and WF.
+//!
+//! Factoring (Hummel, Schonberg & Flynn, CACM '92) schedules iterations in
+//! *batches*. At each batch boundary the remaining `R` iterations yield `P`
+//! chunks of size `R/(x·P)`; the batch ratio `x` is derived from a
+//! probabilistic analysis so that the batch completes within its optimal
+//! time with high probability. With unknown iteration variance the
+//! practical rule `x = 2` (FAC2, half the remaining work per batch) is
+//! used; with a known a-priori coefficient of variation the original
+//! variance-aware ratio applies.
+//!
+//! Weighted factoring (Hummel et al. / Banicescu & Cariño) keeps the batch
+//! rule but splits each batch's chunks *proportionally to fixed per-worker
+//! weights* — relative processor speeds known before execution. Weights do
+//! not change at runtime (that refinement is AWF, see
+//! [`crate::techniques::adaptive`]).
+
+use crate::technique::{clamp_chunk, SchedContext, Technique};
+use crate::{DlsError, Result};
+
+/// Batch bookkeeping shared by FAC and WF.
+#[derive(Debug, Clone)]
+struct BatchState {
+    /// Chunks left to hand out in the current batch.
+    left: usize,
+    /// Remaining iterations observed at the current batch boundary.
+    batch_remaining: u64,
+}
+
+impl BatchState {
+    fn new() -> Self {
+        Self { left: 0, batch_remaining: 0 }
+    }
+
+    /// Starts a new batch if the previous one is exhausted. Returns the
+    /// remaining count frozen at the batch boundary.
+    fn roll(&mut self, p: usize, remaining: u64) -> u64 {
+        if self.left == 0 {
+            self.left = p;
+            self.batch_remaining = remaining;
+        }
+        self.left -= 1;
+        self.batch_remaining
+    }
+}
+
+/// FAC — factoring.
+#[derive(Debug, Clone)]
+pub struct Factoring {
+    p: usize,
+    /// A-priori iteration-time coefficient of variation, if known.
+    cov: Option<f64>,
+    batch: BatchState,
+    /// Index of the current batch (drives the first-batch special case of
+    /// the variance-aware ratio).
+    batch_index: u64,
+}
+
+impl Factoring {
+    /// The practical FAC2 rule: every batch assigns half the remaining
+    /// iterations (`x = 2`).
+    pub fn fac2(num_workers: usize) -> Result<Self> {
+        if num_workers == 0 {
+            return Err(DlsError::NoWorkers);
+        }
+        Ok(Self { p: num_workers, cov: None, batch: BatchState::new(), batch_index: 0 })
+    }
+
+    /// The original variance-aware rule with a known iteration-time
+    /// c.o.v. `σ/μ`:
+    /// `b_j = P/(2√R_j)·(σ/μ)`, `x_0 = 1 + b² + b√(b²+2)`,
+    /// `x_j = 2 + b² + b√(b²+4)` for `j ≥ 1`.
+    pub fn with_cov(num_workers: usize, cov: f64) -> Result<Self> {
+        if num_workers == 0 {
+            return Err(DlsError::NoWorkers);
+        }
+        if !cov.is_finite() || cov < 0.0 {
+            return Err(DlsError::BadParameter { name: "cov", value: cov });
+        }
+        Ok(Self {
+            p: num_workers,
+            cov: Some(cov),
+            batch: BatchState::new(),
+            batch_index: 0,
+        })
+    }
+
+    /// The batch ratio `x_j` for remaining count `r`.
+    fn ratio(&self, r: u64) -> f64 {
+        match self.cov {
+            None => 2.0,
+            Some(cov) => {
+                let b = self.p as f64 / (2.0 * (r as f64).sqrt()) * cov;
+                // `batch_index` is incremented before the ratio is applied,
+                // so the first batch sees index 1.
+                if self.batch_index <= 1 {
+                    1.0 + b * b + b * (b * b + 2.0).sqrt()
+                } else {
+                    2.0 + b * b + b * (b * b + 4.0).sqrt()
+                }
+            }
+        }
+    }
+}
+
+impl Technique for Factoring {
+    fn name(&self) -> &'static str {
+        "FAC"
+    }
+
+    fn next_chunk(&mut self, ctx: &SchedContext<'_>) -> u64 {
+        let starting_new_batch = self.batch.left == 0;
+        let frozen = self.batch.roll(self.p, ctx.remaining);
+        if starting_new_batch {
+            self.batch_index += 1;
+        }
+        let x = self.ratio(frozen.max(1));
+        let chunk = (frozen as f64 / (x * self.p as f64)).ceil();
+        clamp_chunk(chunk, ctx.remaining)
+    }
+
+    fn on_timestep(&mut self) {
+        // A new time step restarts the loop: batch structure and the
+        // first-batch ratio special case reset.
+        self.batch = BatchState::new();
+        self.batch_index = 0;
+    }
+}
+
+/// WF — weighted factoring.
+///
+/// Chunks within a batch are sized proportionally to fixed per-worker
+/// weights (normalized to mean 1). Equal weights make WF's chunk sequence
+/// identical to FAC2's.
+#[derive(Debug, Clone)]
+pub struct WeightedFactoring {
+    p: usize,
+    /// Normalized weights, mean 1 (`Σ w_i = P`).
+    weights: Vec<f64>,
+    batch: BatchState,
+}
+
+impl WeightedFactoring {
+    /// Creates WF with explicit positive weights, one per worker. Weights
+    /// are normalized so they sum to the worker count.
+    pub fn new(num_workers: usize, weights: Vec<f64>) -> Result<Self> {
+        if num_workers == 0 {
+            return Err(DlsError::NoWorkers);
+        }
+        if weights.len() != num_workers || weights.iter().any(|&w| !(w > 0.0) || !w.is_finite())
+        {
+            return Err(DlsError::BadWeights {
+                provided: weights.len(),
+                expected: num_workers,
+            });
+        }
+        let sum: f64 = weights.iter().sum();
+        let scale = num_workers as f64 / sum;
+        Ok(Self {
+            p: num_workers,
+            weights: weights.into_iter().map(|w| w * scale).collect(),
+            batch: BatchState::new(),
+        })
+    }
+
+    /// WF with equal weights (degenerates to FAC2's chunk sizes).
+    pub fn equal(num_workers: usize) -> Result<Self> {
+        Self::new(num_workers, vec![1.0; num_workers.max(1)])
+    }
+
+    /// The normalized weights (`Σ = P`).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl Technique for WeightedFactoring {
+    fn name(&self) -> &'static str {
+        "WF"
+    }
+
+    fn next_chunk(&mut self, ctx: &SchedContext<'_>) -> u64 {
+        let frozen = self.batch.roll(self.p, ctx.remaining);
+        // FAC2 batch rule, weighted per requesting worker.
+        let base = frozen as f64 / (2.0 * self.p as f64);
+        let chunk = (self.weights[ctx.worker] * base).ceil();
+        clamp_chunk(chunk, ctx.remaining)
+    }
+
+    fn on_timestep(&mut self) {
+        self.batch = BatchState::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::techniques::testutil::{blank_stats, drain};
+
+    #[test]
+    fn fac2_halves_each_batch() {
+        let mut t = Factoring::fac2(4).unwrap();
+        let chunks = drain(&mut t, 4, 1024, &blank_stats(4));
+        // Batch 1: 4 chunks of 1024/8 = 128; batch 2: 4 chunks of 64; ...
+        assert_eq!(chunks[0].1, 128);
+        assert_eq!(chunks[3].1, 128);
+        assert_eq!(chunks[4].1, 64);
+        assert_eq!(chunks[7].1, 64);
+        assert_eq!(chunks[8].1, 32);
+        assert_eq!(chunks.iter().map(|c| c.1).sum::<u64>(), 1024);
+    }
+
+    #[test]
+    fn fac2_terminates_on_awkward_sizes() {
+        let mut t = Factoring::fac2(3).unwrap();
+        let chunks = drain(&mut t, 3, 1000, &blank_stats(3));
+        assert_eq!(chunks.iter().map(|c| c.1).sum::<u64>(), 1000);
+        let sizes: Vec<u64> = chunks.iter().map(|c| c.1).collect();
+        assert!(sizes.windows(2).all(|w| w[1] <= w[0]));
+    }
+
+    #[test]
+    fn fac_with_cov_shrinks_first_batch() {
+        // Higher variance → larger x → smaller chunks than FAC2.
+        let mut hi = Factoring::with_cov(4, 2.0).unwrap();
+        let mut lo = Factoring::with_cov(4, 0.01).unwrap();
+        let s = blank_stats(4);
+        let c_hi = drain(&mut hi, 4, 4096, &s)[0].1;
+        let c_lo = drain(&mut lo, 4, 4096, &s)[0].1;
+        assert!(c_hi < c_lo, "hi-cov chunk {c_hi} should be < lo-cov {c_lo}");
+        // Near-zero variance approaches x = 1: almost an equal split.
+        assert!(c_lo >= 4096 / 4 - 64, "c_lo={c_lo}");
+    }
+
+    #[test]
+    fn fac_rejects_bad_params() {
+        assert!(Factoring::fac2(0).is_err());
+        assert!(Factoring::with_cov(4, -1.0).is_err());
+        assert!(Factoring::with_cov(4, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn wf_equal_matches_fac2() {
+        let mut wf = WeightedFactoring::equal(4).unwrap();
+        let mut fac = Factoring::fac2(4).unwrap();
+        let s = blank_stats(4);
+        let a = drain(&mut wf, 4, 2048, &s);
+        let b = drain(&mut fac, 4, 2048, &s);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wf_respects_weights() {
+        // Worker 0 twice as fast as the other three.
+        let mut wf = WeightedFactoring::new(4, vec![2.0, 1.0, 1.0, 1.0]).unwrap();
+        let chunks = drain(&mut wf, 4, 1000, &blank_stats(4));
+        // First batch: base = 1000/8 = 125; w = [1.6, 0.8, 0.8, 0.8].
+        assert_eq!(chunks[0].1, 200);
+        assert_eq!(chunks[1].1, 100);
+        assert_eq!(chunks.iter().map(|c| c.1).sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn wf_normalizes_weights() {
+        let wf = WeightedFactoring::new(2, vec![10.0, 30.0]).unwrap();
+        assert!((wf.weights()[0] - 0.5).abs() < 1e-12);
+        assert!((wf.weights()[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wf_rejects_bad_weights() {
+        assert!(WeightedFactoring::new(2, vec![1.0]).is_err());
+        assert!(WeightedFactoring::new(2, vec![1.0, 0.0]).is_err());
+        assert!(WeightedFactoring::new(2, vec![1.0, -1.0]).is_err());
+        assert!(WeightedFactoring::new(0, vec![]).is_err());
+    }
+}

@@ -1,0 +1,338 @@
+//! Non-adaptive techniques: STATIC, SS, FSC, GSS, TSS.
+//!
+//! These predate the factoring family; chunk sizes are a pure function of
+//! loop size, worker count and schedule position. They are the baselines
+//! the paper's robust set is measured against (STATIC is the paper's naïve
+//! Stage-II policy) and the survey set of Hurson et al. that the related
+//! work cites.
+
+use crate::technique::{clamp_chunk, SchedContext, Technique};
+use crate::{DlsError, Result};
+
+/// STATIC — straightforward parallelization.
+///
+/// The loop is pre-split into one chunk of `⌈N/P⌉` iterations per worker,
+/// assigned in a single step. No runtime rebalancing: if one processor
+/// slows down after the split, its share simply finishes late. This is the
+/// paper's naïve runtime-application-scheduling policy.
+#[derive(Debug, Clone)]
+pub struct StaticChunking {
+    share: u64,
+}
+
+impl StaticChunking {
+    /// Creates a STATIC policy for `num_workers` workers and `total` iters.
+    pub fn new(num_workers: usize, total: u64) -> Result<Self> {
+        if num_workers == 0 {
+            return Err(DlsError::NoWorkers);
+        }
+        if total == 0 {
+            return Err(DlsError::NoIterations);
+        }
+        Ok(Self { share: total.div_ceil(num_workers as u64) })
+    }
+}
+
+impl Technique for StaticChunking {
+    fn name(&self) -> &'static str {
+        "STATIC"
+    }
+
+    fn next_chunk(&mut self, ctx: &SchedContext<'_>) -> u64 {
+        // Each worker's first (and only) request gets the static share; the
+        // final worker absorbs the remainder rounding.
+        self.share.min(ctx.remaining)
+    }
+}
+
+/// SS — pure self-scheduling: one iteration per request.
+///
+/// Perfect load balance, maximal scheduling overhead; the classic extreme
+/// point of the chunk-size trade-off.
+#[derive(Debug, Clone, Default)]
+pub struct SelfScheduling;
+
+impl SelfScheduling {
+    /// Creates an SS policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Technique for SelfScheduling {
+    fn name(&self) -> &'static str {
+        "SS"
+    }
+
+    fn next_chunk(&mut self, ctx: &SchedContext<'_>) -> u64 {
+        1.min(ctx.remaining)
+    }
+}
+
+/// FSC — fixed-size chunking (Kruskal & Weiss).
+///
+/// Every request receives the same chunk. The optimal size balances
+/// overhead against imbalance; [`FixedSizeChunking::kruskal_weiss`]
+/// computes the classical closed form
+/// `k_opt = (√2·N·h / (σ·P·√(ln P)))^(2/3)`.
+#[derive(Debug, Clone)]
+pub struct FixedSizeChunking {
+    chunk: u64,
+}
+
+impl FixedSizeChunking {
+    /// Creates an FSC policy with an explicit chunk size (≥ 1).
+    pub fn new(chunk: u64) -> Result<Self> {
+        if chunk == 0 {
+            return Err(DlsError::BadParameter { name: "chunk", value: 0.0 });
+        }
+        Ok(Self { chunk })
+    }
+
+    /// Kruskal–Weiss optimal fixed chunk for `total` iterations on `p`
+    /// workers with per-chunk overhead `h` and iteration-time standard
+    /// deviation `sigma` (all in the same time units).
+    pub fn kruskal_weiss(total: u64, p: usize, h: f64, sigma: f64) -> Result<Self> {
+        if p == 0 {
+            return Err(DlsError::NoWorkers);
+        }
+        if total == 0 {
+            return Err(DlsError::NoIterations);
+        }
+        if h < 0.0 {
+            return Err(DlsError::BadParameter { name: "h", value: h });
+        }
+        if sigma < 0.0 {
+            return Err(DlsError::BadParameter { name: "sigma", value: sigma });
+        }
+        if sigma == 0.0 || h == 0.0 || p == 1 {
+            // Degenerate inputs: overhead-free or deterministic loops have
+            // no interior optimum; fall back to an equal split.
+            return Self::new((total as f64 / p as f64).ceil().max(1.0) as u64);
+        }
+        let ln_p = (p as f64).ln().max(f64::MIN_POSITIVE);
+        let k = (std::f64::consts::SQRT_2 * total as f64 * h
+            / (sigma * p as f64 * ln_p.sqrt()))
+        .powf(2.0 / 3.0);
+        Self::new(k.ceil().max(1.0) as u64)
+    }
+
+    /// The chunk size used for every request.
+    pub fn chunk(&self) -> u64 {
+        self.chunk
+    }
+}
+
+impl Technique for FixedSizeChunking {
+    fn name(&self) -> &'static str {
+        "FSC"
+    }
+
+    fn next_chunk(&mut self, ctx: &SchedContext<'_>) -> u64 {
+        self.chunk.min(ctx.remaining)
+    }
+}
+
+/// GSS — guided self-scheduling (Polychronopoulos & Kuck).
+///
+/// Each request receives `⌈remaining/P⌉`: large chunks early, geometric
+/// tail of small chunks for balance.
+#[derive(Debug, Clone)]
+pub struct GuidedSelfScheduling {
+    p: u64,
+}
+
+impl GuidedSelfScheduling {
+    /// Creates a GSS policy for `num_workers` workers.
+    pub fn new(num_workers: usize) -> Result<Self> {
+        if num_workers == 0 {
+            return Err(DlsError::NoWorkers);
+        }
+        Ok(Self { p: num_workers as u64 })
+    }
+}
+
+impl Technique for GuidedSelfScheduling {
+    fn name(&self) -> &'static str {
+        "GSS"
+    }
+
+    fn next_chunk(&mut self, ctx: &SchedContext<'_>) -> u64 {
+        clamp_chunk((ctx.remaining as f64 / self.p as f64).ceil(), ctx.remaining)
+    }
+}
+
+/// TSS — trapezoid self-scheduling (Tzen & Ni).
+///
+/// Chunk sizes decrease *linearly* from a first size `f` to a last size
+/// `l`; the standard profile is `f = ⌈N/2P⌉`, `l = 1`.
+#[derive(Debug, Clone)]
+pub struct TrapezoidSelfScheduling {
+    first: f64,
+    current: f64,
+    decrement: f64,
+    last: f64,
+}
+
+impl TrapezoidSelfScheduling {
+    /// Creates a TSS policy with explicit first/last chunk sizes.
+    pub fn new(total: u64, first: u64, last: u64) -> Result<Self> {
+        if total == 0 {
+            return Err(DlsError::NoIterations);
+        }
+        if first == 0 || last == 0 || last > first {
+            return Err(DlsError::BadParameter {
+                name: "first/last",
+                value: first as f64 - last as f64,
+            });
+        }
+        // Number of chunks n = ⌈2N/(f+l)⌉; linear decrement δ = (f−l)/(n−1).
+        let n = ((2 * total) as f64 / (first + last) as f64).ceil().max(2.0);
+        let decrement = (first - last) as f64 / (n - 1.0);
+        Ok(Self {
+            first: first as f64,
+            current: first as f64,
+            decrement,
+            last: last as f64,
+        })
+    }
+
+    /// The standard `(⌈N/2P⌉, 1)` profile.
+    pub fn standard(num_workers: usize, total: u64) -> Result<Self> {
+        if num_workers == 0 {
+            return Err(DlsError::NoWorkers);
+        }
+        if total == 0 {
+            return Err(DlsError::NoIterations);
+        }
+        let first = total.div_ceil(2 * num_workers as u64).max(1);
+        Self::new(total, first, 1)
+    }
+}
+
+impl Technique for TrapezoidSelfScheduling {
+    fn name(&self) -> &'static str {
+        "TSS"
+    }
+
+    fn next_chunk(&mut self, ctx: &SchedContext<'_>) -> u64 {
+        let chunk = clamp_chunk(self.current.round(), ctx.remaining);
+        self.current = (self.current - self.decrement).max(self.last);
+        chunk
+    }
+
+    fn on_timestep(&mut self) {
+        self.current = self.first;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::techniques::testutil::{blank_stats, drain};
+
+    #[test]
+    fn static_splits_equally() {
+        let mut t = StaticChunking::new(4, 1000).unwrap();
+        let chunks = drain(&mut t, 4, 1000, &blank_stats(4));
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks[0].1, 250);
+        assert_eq!(chunks.iter().map(|c| c.1).sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn static_handles_non_divisible() {
+        let mut t = StaticChunking::new(4, 1003).unwrap();
+        let chunks = drain(&mut t, 4, 1003, &blank_stats(4));
+        assert_eq!(chunks.len(), 4);
+        // ⌈1003/4⌉ = 251 for the first three, 250 for the last.
+        assert_eq!(chunks[0].1, 251);
+        assert_eq!(chunks[3].1, 1003 - 3 * 251);
+    }
+
+    #[test]
+    fn static_rejects_degenerate() {
+        assert!(StaticChunking::new(0, 10).is_err());
+        assert!(StaticChunking::new(4, 0).is_err());
+    }
+
+    #[test]
+    fn ss_is_all_ones() {
+        let mut t = SelfScheduling::new();
+        let chunks = drain(&mut t, 3, 17, &blank_stats(3));
+        assert_eq!(chunks.len(), 17);
+        assert!(chunks.iter().all(|c| c.1 == 1));
+    }
+
+    #[test]
+    fn fsc_uses_fixed_size() {
+        let mut t = FixedSizeChunking::new(16).unwrap();
+        let chunks = drain(&mut t, 4, 100, &blank_stats(4));
+        assert!(chunks[..6].iter().all(|c| c.1 == 16));
+        assert_eq!(chunks.last().unwrap().1, 4); // 100 − 6·16
+        assert!(FixedSizeChunking::new(0).is_err());
+    }
+
+    #[test]
+    fn fsc_kruskal_weiss_sizing() {
+        let k = FixedSizeChunking::kruskal_weiss(10_000, 8, 0.5, 0.2).unwrap();
+        assert!(k.chunk() >= 1);
+        // Larger overhead → larger optimal chunk.
+        let k_big_h = FixedSizeChunking::kruskal_weiss(10_000, 8, 5.0, 0.2).unwrap();
+        assert!(k_big_h.chunk() > k.chunk());
+        // Larger variance → smaller optimal chunk.
+        let k_big_sigma = FixedSizeChunking::kruskal_weiss(10_000, 8, 0.5, 2.0).unwrap();
+        assert!(k_big_sigma.chunk() < k.chunk());
+    }
+
+    #[test]
+    fn fsc_kruskal_weiss_degenerate_inputs() {
+        // σ = 0 or h = 0 → equal split fallback.
+        assert_eq!(
+            FixedSizeChunking::kruskal_weiss(1000, 4, 0.0, 1.0).unwrap().chunk(),
+            250
+        );
+        assert_eq!(
+            FixedSizeChunking::kruskal_weiss(1000, 4, 1.0, 0.0).unwrap().chunk(),
+            250
+        );
+        assert!(FixedSizeChunking::kruskal_weiss(0, 4, 1.0, 1.0).is_err());
+        assert!(FixedSizeChunking::kruskal_weiss(10, 0, 1.0, 1.0).is_err());
+        assert!(FixedSizeChunking::kruskal_weiss(10, 2, -1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn gss_is_geometric_decreasing() {
+        let mut t = GuidedSelfScheduling::new(4).unwrap();
+        let chunks = drain(&mut t, 4, 1000, &blank_stats(4));
+        assert_eq!(chunks[0].1, 250);
+        assert_eq!(chunks[1].1, 188); // ⌈750/4⌉
+        let sizes: Vec<u64> = chunks.iter().map(|c| c.1).collect();
+        assert!(sizes.windows(2).all(|w| w[1] <= w[0]));
+        assert_eq!(sizes.iter().sum::<u64>(), 1000);
+        assert_eq!(*sizes.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn tss_decreases_linearly() {
+        let mut t = TrapezoidSelfScheduling::standard(4, 1000).unwrap();
+        let chunks = drain(&mut t, 4, 1000, &blank_stats(4));
+        let sizes: Vec<u64> = chunks.iter().map(|c| c.1).collect();
+        assert_eq!(sizes[0], 125); // N/2P
+        assert!(sizes.windows(2).all(|w| w[1] <= w[0]));
+        assert_eq!(sizes.iter().sum::<u64>(), 1000);
+        // Differences are ~constant (linear profile), unlike GSS.
+        let d01 = sizes[0] as i64 - sizes[1] as i64;
+        let d12 = sizes[1] as i64 - sizes[2] as i64;
+        assert!((d01 - d12).abs() <= 1, "{sizes:?}");
+    }
+
+    #[test]
+    fn tss_rejects_bad_profiles() {
+        assert!(TrapezoidSelfScheduling::new(100, 0, 1).is_err());
+        assert!(TrapezoidSelfScheduling::new(100, 4, 0).is_err());
+        assert!(TrapezoidSelfScheduling::new(100, 4, 8).is_err());
+        assert!(TrapezoidSelfScheduling::new(0, 4, 1).is_err());
+        assert!(TrapezoidSelfScheduling::standard(0, 100).is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! Failure injection: processors that slow to a crawl or black out
+//! mid-run. The DLS promise is graceful degradation — dynamic techniques
+//! must contain the damage to the work already committed to the failing
+//! processor, while STATIC rides its pre-split share into the ground.
+
+use cdsf_dls::executor::{execute, ExecutorConfig};
+use cdsf_dls::TechniqueKind;
+use cdsf_system::availability::AvailabilitySpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CRAWL: f64 = 1e-3;
+
+/// A worker that runs fine for `good_for` time units and then crawls
+/// forever.
+fn fails_after(good_for: f64) -> AvailabilitySpec {
+    AvailabilitySpec::Trace { segments: vec![(1.0, good_for), (CRAWL, f64::INFINITY)] }
+}
+
+fn cfg_with_failure(kind_count: usize, iters: u64) -> ExecutorConfig {
+    // Worker 0 fails early; the rest stay healthy.
+    let mut specs = vec![fails_after(50.0)];
+    specs.extend(std::iter::repeat(AvailabilitySpec::Constant { a: 1.0 }).take(kind_count - 1));
+    ExecutorConfig::builder()
+        .workers(kind_count)
+        .parallel_iters(iters)
+        .iter_time_mean_sigma(1.0, 0.05)
+        .unwrap()
+        .availability_per_worker(specs)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn adaptive_techniques_contain_single_processor_failure() {
+    let cfg = cfg_with_failure(8, 8_192);
+    let mut rng = StdRng::seed_from_u64(404);
+    let st = execute(&TechniqueKind::Static, &cfg, &mut rng).unwrap();
+    // STATIC: worker 0's remaining ~974 iterations run at availability
+    // 1e-3 → makespan near 1e6.
+    assert!(st.makespan > 100_000.0, "STATIC {}", st.makespan);
+
+    for kind in TechniqueKind::paper_robust_set() {
+        let mut rng = StdRng::seed_from_u64(404);
+        let run = execute(&kind, &cfg, &mut rng).unwrap();
+        // Dynamic techniques lose only the chunks already committed to the
+        // failed worker (bootstrap batch ≈ 8192/16 = 512 iterations →
+        // ≈ 512/1e-3 ≈ 512k worst case for FAC-family bootstrap, but the
+        // failure hits after ~50 units when the first chunk is underway).
+        assert!(
+            run.makespan < 0.7 * st.makespan,
+            "{} did not contain the failure: {} vs STATIC {}",
+            kind.name(),
+            run.makespan,
+            st.makespan
+        );
+    }
+}
+
+#[test]
+fn self_scheduling_minimizes_failure_exposure() {
+    // SS hands out single iterations, so the crawling worker strands at
+    // most one iteration at a time; its makespan stays within a small
+    // multiple of the healthy-fluid bound despite the failure.
+    let cfg = cfg_with_failure(8, 8_192);
+    let mut rng = StdRng::seed_from_u64(11);
+    let ss = execute(&TechniqueKind::SelfSched, &cfg, &mut rng).unwrap();
+    // Healthy fluid bound ≈ 8192/7 ≈ 1170; one stranded iteration costs
+    // ≤ 1/1e-3 = 1000 on top.
+    assert!(ss.makespan < 3_500.0, "SS {}", ss.makespan);
+}
+
+#[test]
+fn system_recovers_after_transient_blackout() {
+    // All workers drop to 5 % for a while, then recover. Everything must
+    // finish, and the makespan must reflect the lost capacity window.
+    let spec = AvailabilitySpec::Trace {
+        segments: vec![(1.0, 200.0), (0.05, 400.0), (1.0, f64::INFINITY)],
+    };
+    let cfg = ExecutorConfig::builder()
+        .workers(4)
+        .parallel_iters(4_096)
+        .iter_time_mean_sigma(1.0, 0.05)
+        .unwrap()
+        .availability(spec)
+        .build()
+        .unwrap();
+    for kind in [TechniqueKind::Fac, TechniqueKind::Af, TechniqueKind::Gss] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let run = execute(&kind, &cfg, &mut rng).unwrap();
+        // Capacity delivered by t: 200 + 0.05·400 = 220 units/worker by
+        // t = 600, then full speed: remaining (1024−220) at 1× → ≈ 1404.
+        assert!(
+            (run.makespan - 1404.0).abs() < 120.0,
+            "{}: {}",
+            kind.name(),
+            run.makespan
+        );
+    }
+}
+
+#[test]
+fn imbalance_metric_exposes_failures() {
+    // The c.o.v. of worker finish times must flag the failure run as far
+    // more imbalanced than a healthy run — for the *static* split. Dynamic
+    // techniques equalize finish times by construction, so their imbalance
+    // stays low even under failure (that is their point).
+    let healthy = ExecutorConfig::builder()
+        .workers(8)
+        .parallel_iters(8_192)
+        .iter_time_mean_sigma(1.0, 0.05)
+        .unwrap()
+        .availability(AvailabilitySpec::Constant { a: 1.0 })
+        .build()
+        .unwrap();
+    let failing = cfg_with_failure(8, 8_192);
+    let mut rng = StdRng::seed_from_u64(3);
+    let h = execute(&TechniqueKind::Static, &healthy, &mut rng).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let f = execute(&TechniqueKind::Static, &failing, &mut rng).unwrap();
+    assert!(f.imbalance > 10.0 * h.imbalance.max(1e-6), "{} vs {}", f.imbalance, h.imbalance);
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let af = execute(&TechniqueKind::Af, &failing, &mut rng).unwrap();
+    assert!(af.imbalance < f.imbalance, "AF imbalance {} vs STATIC {}", af.imbalance, f.imbalance);
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for the time-stepping executor: per-loop state must
+//! reset cleanly between steps for every technique, and physical bounds
+//! hold per step.
+
+use cdsf_dls::executor::{execute_timestepping, ExecutorConfig};
+use cdsf_dls::TechniqueKind;
+use cdsf_system::availability::AvailabilitySpec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Totals accumulate exactly and every step respects the fluid bound
+    /// on a constant-availability system, for every technique.
+    #[test]
+    fn steps_accumulate_and_respect_bounds(
+        p in 1usize..=8,
+        iters in 64u64..=2048,
+        steps in 1usize..=5,
+        a in 0.25f64..=1.0,
+        seed in 0u64..200,
+    ) {
+        let cfg = ExecutorConfig::builder()
+            .workers(p)
+            .parallel_iters(iters)
+            .iter_time_mean_sigma(1.0, 0.0).unwrap()
+            .availability(AvailabilitySpec::Constant { a })
+            .build().unwrap();
+        for kind in [TechniqueKind::Static, TechniqueKind::Fac, TechniqueKind::Af,
+                     TechniqueKind::Awf { variant: cdsf_dls::AwfVariant::Timestep }] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let r = execute_timestepping(&kind, &cfg, steps, &mut rng).unwrap();
+            prop_assert_eq!(r.step_durations.len(), steps);
+            let sum: f64 = r.step_durations.iter().sum();
+            prop_assert!((sum - r.total_time).abs() < 1e-6 * (1.0 + r.total_time));
+            let fluid = iters as f64 / (p as f64 * a);
+            let serial_everything = iters as f64 / a;
+            for &d in &r.step_durations {
+                prop_assert!(d + 1e-6 >= fluid,
+                    "{}: step {d} beat fluid {fluid}", kind.name());
+                prop_assert!(d <= serial_everything + 1e-6,
+                    "{}: step {d} beyond serial bound", kind.name());
+            }
+        }
+    }
+
+    /// On a deterministic dedicated system, per-loop resets make every step
+    /// identical for the non-adaptive techniques.
+    #[test]
+    fn deterministic_steps_repeat(
+        p in 1usize..=6,
+        iters in 64u64..=1024,
+        seed in 0u64..100,
+    ) {
+        let cfg = ExecutorConfig::builder()
+            .workers(p)
+            .parallel_iters(iters)
+            .iter_time_mean_sigma(1.0, 0.0).unwrap()
+            .availability(AvailabilitySpec::Constant { a: 1.0 })
+            .build().unwrap();
+        for kind in [TechniqueKind::Gss, TechniqueKind::Tss, TechniqueKind::Fac,
+                     TechniqueKind::Wf { weights: None }] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let r = execute_timestepping(&kind, &cfg, 3, &mut rng).unwrap();
+            let d0 = r.step_durations[0];
+            for &d in &r.step_durations[1..] {
+                prop_assert!((d - d0).abs() < 1e-6,
+                    "{}: durations {:?}", kind.name(), r.step_durations);
+            }
+        }
+    }
+}

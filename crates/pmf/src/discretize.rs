@@ -1,0 +1,412 @@
+//! Discretizers: turn common continuous distributions into [`Pmf`]s.
+//!
+//! The paper builds its execution-time PMFs "by sampling a normal
+//! distribution" with `σ = μ/10`. Three construction routes are provided,
+//! all of which converge to the same law:
+//!
+//! * [`Normal::equiprobable`] — `n` pulses at the conditional means of `n`
+//!   equal-probability slices (a *mean-preserving* quantization, so
+//!   `E[PMF] = μ` exactly; this is what the exact Stage-I arithmetic uses);
+//! * [`Normal::equal_width`] — histogram-style bins over `±span·σ`;
+//! * [`sample_into_pmf`] — Monte-Carlo sampling + binning, mirroring the
+//!   paper's construction verbatim.
+//!
+//! Uniform, exponential, log-normal and triangular distributions are
+//! provided for the synthetic workload generators.
+
+use crate::{PmfError, Pmf, Result};
+use crate::stats::{normal_inv_cdf, normal_pdf};
+use rand::Rng;
+
+/// A continuous distribution that can be discretized into a [`Pmf`] and
+/// sampled directly.
+pub trait Discretize {
+    /// Discretizes into `n` equiprobable pulses placed at the conditional
+    /// mean of each probability slice.
+    fn equiprobable(&self, n: usize) -> Pmf;
+
+    /// Draws one sample.
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64;
+}
+
+/// Normal distribution `N(μ, σ²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates `N(μ, σ²)`; `σ` must be strictly positive and both finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        if !mu.is_finite() {
+            return Err(PmfError::BadParameter { name: "mu", value: mu });
+        }
+        if !sigma.is_finite() || sigma <= 0.0 {
+            return Err(PmfError::BadParameter { name: "sigma", value: sigma });
+        }
+        Ok(Self { mu, sigma })
+    }
+
+    /// The paper's convention: `σ = μ/10`. `μ` must be positive.
+    pub fn with_paper_sigma(mu: f64) -> Result<Self> {
+        if !(mu > 0.0) {
+            return Err(PmfError::BadParameter { name: "mu", value: mu });
+        }
+        Self::new(mu, mu / 10.0)
+    }
+
+    /// Mean.
+    pub fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Histogram discretization: `n` equal-width bins spanning
+    /// `μ ± span·σ`, each represented by its midpoint, weighted by the
+    /// normal mass falling in the bin (renormalized over the span).
+    pub fn equal_width(&self, n: usize, span: f64) -> Pmf {
+        let n = n.max(1);
+        let span = if span > 0.0 { span } else { 4.0 };
+        let lo = self.mu - span * self.sigma;
+        let hi = self.mu + span * self.sigma;
+        let width = (hi - lo) / n as f64;
+        let cdf = |x: f64| crate::stats::normal_cdf((x - self.mu) / self.sigma);
+        let pairs: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                let a = lo + i as f64 * width;
+                let b = a + width;
+                ((a + b) / 2.0, (cdf(b) - cdf(a)).max(0.0))
+            })
+            .filter(|&(_, w)| w > 0.0)
+            .collect();
+        // The weights sum to slightly less than 1 (tails outside the span);
+        // from_weighted renormalizes. Non-empty by construction for n ≥ 1.
+        Pmf::from_weighted(pairs).expect("equal_width bins are a valid weighted PMF")
+    }
+}
+
+impl Discretize for Normal {
+    /// Mean-preserving `n`-point quantization.
+    ///
+    /// Slice `i` covers probability `(i/n, (i+1)/n]`; its pulse sits at the
+    /// conditional mean `μ + σ·(φ(z_i) − φ(z_{i+1}))·n` where `z_i = Φ⁻¹(i/n)`
+    /// (the standard truncated-normal mean). The pulse probabilities are all
+    /// `1/n`, and the pulse values average exactly to `μ`.
+    fn equiprobable(&self, n: usize) -> Pmf {
+        let n = n.max(1);
+        if n == 1 {
+            return Pmf::degenerate(self.mu).expect("finite mean");
+        }
+        let p = 1.0 / n as f64;
+        let pairs: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                let zl = normal_inv_cdf(i as f64 * p);
+                let zr = normal_inv_cdf((i + 1) as f64 * p);
+                let pdf_l = if zl.is_finite() { normal_pdf(zl) } else { 0.0 };
+                let pdf_r = if zr.is_finite() { normal_pdf(zr) } else { 0.0 };
+                // Conditional mean of N(0,1) on (zl, zr] is (φ(zl)−φ(zr))/p.
+                let z_mean = (pdf_l - pdf_r) / p;
+                (self.mu + self.sigma * z_mean, p)
+            })
+            .collect();
+        Pmf::from_weighted(pairs).expect("equiprobable slices are a valid PMF")
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        // Inverse-CDF sampling: deterministic given the RNG stream and
+        // accurate to ~1e-9 relative error (see `stats::normal_inv_cdf`).
+        let u: f64 = RngWrap(rng).gen_range(f64::EPSILON..1.0);
+        self.mu + self.sigma * normal_inv_cdf(u)
+    }
+}
+
+/// Uniform distribution on `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates `U[lo, hi]` with `lo < hi`, both finite.
+    pub fn new(lo: f64, hi: f64) -> Result<Self> {
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(PmfError::BadParameter { name: "lo..hi", value: hi - lo });
+        }
+        Ok(Self { lo, hi })
+    }
+}
+
+impl Discretize for Uniform {
+    fn equiprobable(&self, n: usize) -> Pmf {
+        let n = n.max(1);
+        let p = 1.0 / n as f64;
+        let width = (self.hi - self.lo) * p;
+        Pmf::from_weighted(
+            (0..n).map(|i| (self.lo + (i as f64 + 0.5) * width, p)),
+        )
+        .expect("uniform slices are a valid PMF")
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        RngWrap(rng).gen_range(self.lo..self.hi)
+    }
+}
+
+/// Exponential distribution with rate `λ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Creates `Exp(λ)` with `λ > 0`.
+    pub fn new(lambda: f64) -> Result<Self> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(PmfError::BadParameter { name: "lambda", value: lambda });
+        }
+        Ok(Self { lambda })
+    }
+
+    /// Mean `1/λ`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+}
+
+impl Discretize for Exponential {
+    fn equiprobable(&self, n: usize) -> Pmf {
+        let n = n.max(1);
+        let p = 1.0 / n as f64;
+        // Conditional mean of Exp(λ) on the slice (q_i, q_{i+1}]:
+        // E[X·1{a<X≤b}]/p where the partial expectation has closed form
+        // ((a+1/λ)e^{−λa} − (b+1/λ)e^{−λb}).
+        let inv = 1.0 / self.lambda;
+        let q = |u: f64| -> f64 {
+            if u >= 1.0 {
+                f64::INFINITY
+            } else {
+                -(1.0 - u).ln() * inv
+            }
+        };
+        let partial = |x: f64| -> f64 {
+            if x.is_infinite() {
+                0.0
+            } else {
+                (x + inv) * (-self.lambda * x).exp()
+            }
+        };
+        Pmf::from_weighted((0..n).map(|i| {
+            let a = q(i as f64 * p);
+            let b = q((i + 1) as f64 * p);
+            ((partial(a) - partial(b)) / p, p)
+        }))
+        .expect("exponential slices are a valid PMF")
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let u: f64 = RngWrap(rng).gen_range(0.0..1.0);
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+/// Log-normal distribution: `exp(N(μ, σ²))`.
+///
+/// Used by the synthetic workload generators for heavy-tailed iteration
+/// times (a common model for irregular scientific loops).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates `LogN(μ, σ²)` (parameters of the underlying normal).
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        Ok(Self { norm: Normal::new(mu, sigma)? })
+    }
+
+    /// Creates a log-normal with the given *arithmetic* mean and coefficient
+    /// of variation.
+    pub fn from_mean_cov(mean: f64, cov: f64) -> Result<Self> {
+        if !(mean > 0.0) {
+            return Err(PmfError::BadParameter { name: "mean", value: mean });
+        }
+        if !(cov > 0.0) {
+            return Err(PmfError::BadParameter { name: "cov", value: cov });
+        }
+        let sigma2 = (1.0 + cov * cov).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        Self::new(mu, sigma2.sqrt())
+    }
+}
+
+impl Discretize for LogNormal {
+    fn equiprobable(&self, n: usize) -> Pmf {
+        // Quantize the underlying normal, then exponentiate. This is
+        // quantile-preserving (not mean-preserving), which is fine for the
+        // generators; Stage-I exact arithmetic always uses Normal.
+        self.norm
+            .equiprobable(n)
+            .map(f64::exp)
+            .expect("exp of finite is finite")
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// Draws `n_samples` from `dist` and bins them into a PMF with `bins`
+/// equal-width bins — the paper's literal construction of execution-time
+/// PMFs ("the PMFs were generated by sampling a normal distribution").
+pub fn sample_into_pmf<D: Discretize + ?Sized>(
+    dist: &D,
+    n_samples: usize,
+    bins: usize,
+    rng: &mut dyn rand::RngCore,
+) -> Result<Pmf> {
+    if n_samples == 0 {
+        return Err(PmfError::Empty);
+    }
+    let samples: Vec<f64> = (0..n_samples).map(|_| dist.sample(rng)).collect();
+    Pmf::from_samples_binned(&samples, bins)
+}
+
+/// Adapter so `&mut dyn RngCore` can drive `rand_distr` samplers.
+struct RngWrap<'a>(&'a mut dyn rand::RngCore);
+
+impl rand::RngCore for RngWrap<'_> {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> std::result::Result<(), rand::Error> {
+        self.0.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::with_paper_sigma(-5.0).is_err());
+    }
+
+    #[test]
+    fn equiprobable_preserves_mean() {
+        for &n in &[2usize, 8, 32, 128] {
+            let pmf = Normal::new(1800.0, 180.0).unwrap().equiprobable(n);
+            assert_eq!(pmf.len(), n);
+            assert!(
+                (pmf.expectation() - 1800.0).abs() < 1e-3,
+                "n={n} mean={}",
+                pmf.expectation()
+            );
+        }
+    }
+
+    #[test]
+    fn equiprobable_variance_converges_from_below() {
+        let dist = Normal::new(100.0, 10.0).unwrap();
+        let v8 = dist.equiprobable(8).variance();
+        let v64 = dist.equiprobable(64).variance();
+        let v512 = dist.equiprobable(512).variance();
+        assert!(v8 < v64 && v64 < v512, "{v8} {v64} {v512}");
+        assert!(v512 <= 100.0 + 1e-6);
+        assert!((v512 - 100.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn equiprobable_single_pulse_is_mean() {
+        let pmf = Normal::new(7.0, 1.0).unwrap().equiprobable(1);
+        assert_eq!(pmf.len(), 1);
+        assert_eq!(pmf.min_value(), 7.0);
+    }
+
+    #[test]
+    fn equal_width_approximates_normal() {
+        // Even bin count: no midpoint lands exactly on 0, so cdf(0) covers
+        // exactly the lower half of the bins.
+        let pmf = Normal::new(0.0, 1.0).unwrap().equal_width(100, 5.0);
+        // Bin weights come from the ~1e-7-accurate erf approximation.
+        assert!((pmf.expectation()).abs() < 1e-4);
+        assert!((pmf.variance() - 1.0).abs() < 0.01);
+        assert!((pmf.cdf(0.0) - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn uniform_equiprobable_mean() {
+        let pmf = Uniform::new(0.0, 10.0).unwrap().equiprobable(10);
+        assert!((pmf.expectation() - 5.0).abs() < 1e-12);
+        assert_eq!(pmf.min_value(), 0.5);
+        assert_eq!(pmf.max_value(), 9.5);
+    }
+
+    #[test]
+    fn uniform_rejects_inverted_range() {
+        assert!(Uniform::new(5.0, 5.0).is_err());
+        assert!(Uniform::new(5.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn exponential_equiprobable_mean() {
+        let e = Exponential::new(0.5).unwrap();
+        let pmf = e.equiprobable(256);
+        assert!(
+            (pmf.expectation() - 2.0).abs() < 0.02,
+            "mean={}",
+            pmf.expectation()
+        );
+    }
+
+    #[test]
+    fn lognormal_from_mean_cov() {
+        let d = LogNormal::from_mean_cov(50.0, 0.3).unwrap();
+        let pmf = d.equiprobable(512);
+        assert!((pmf.expectation() - 50.0).abs() < 1.0, "{}", pmf.expectation());
+        let cov = pmf.cov().unwrap();
+        assert!((cov - 0.3).abs() < 0.05, "{cov}");
+    }
+
+    #[test]
+    fn sampling_matches_discretization() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let dist = Normal::new(1000.0, 100.0).unwrap();
+        let sampled = sample_into_pmf(&dist, 20_000, 64, &mut rng).unwrap();
+        let exact = dist.equiprobable(64);
+        // Histogram midpoints vs quantile conditional means: supports differ
+        // by up to a bin width, so allow a few CDF steps of slack.
+        assert!(
+            sampled.ks_distance(&exact) < 0.06,
+            "ks={}",
+            sampled.ks_distance(&exact)
+        );
+    }
+
+    #[test]
+    fn samples_are_deterministic_per_seed() {
+        let dist = Normal::new(1.0, 0.1).unwrap();
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let xa: Vec<f64> = (0..10).map(|_| dist.sample(&mut a)).collect();
+        let xb: Vec<f64> = (0..10).map(|_| dist.sample(&mut b)).collect();
+        assert_eq!(xa, xb);
+    }
+}

@@ -1,0 +1,82 @@
+use std::fmt;
+
+/// Errors produced when constructing or combining [`crate::Pmf`]s.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PmfError {
+    /// A PMF needs at least one pulse.
+    Empty,
+    /// A pulse value was NaN or infinite.
+    NonFiniteValue(f64),
+    /// A pulse probability was negative, NaN, or infinite.
+    InvalidProbability(f64),
+    /// Pulse probabilities did not sum to 1 within [`crate::PROB_TOLERANCE`].
+    NotNormalized {
+        /// The actual sum of probabilities.
+        sum: f64,
+    },
+    /// A quotient combination encountered a divisor pulse at or below zero
+    /// (an availability of 0 would mean an infinite execution time).
+    DivisorNotPositive(f64),
+    /// A distribution parameter was out of its domain.
+    BadParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A mixture was requested with weights that are all zero.
+    ZeroWeightMixture,
+}
+
+impl fmt::Display for PmfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmfError::Empty => write!(f, "a PMF requires at least one pulse"),
+            PmfError::NonFiniteValue(v) => write!(f, "pulse value {v} is not finite"),
+            PmfError::InvalidProbability(p) => {
+                write!(f, "pulse probability {p} is not a finite non-negative number")
+            }
+            PmfError::NotNormalized { sum } => {
+                write!(f, "pulse probabilities sum to {sum}, expected 1")
+            }
+            PmfError::DivisorNotPositive(v) => {
+                write!(f, "quotient divisor pulse {v} must be strictly positive")
+            }
+            PmfError::BadParameter { name, value } => {
+                write!(f, "distribution parameter `{name}` = {value} is out of domain")
+            }
+            PmfError::ZeroWeightMixture => write!(f, "mixture weights sum to zero"),
+        }
+    }
+}
+
+impl std::error::Error for PmfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_displays_its_payload() {
+        let cases: Vec<(PmfError, &str)> = vec![
+            (PmfError::Empty, "at least one pulse"),
+            (PmfError::NonFiniteValue(f64::INFINITY), "inf"),
+            (PmfError::InvalidProbability(-0.5), "-0.5"),
+            (PmfError::NotNormalized { sum: 0.9 }, "0.9"),
+            (PmfError::DivisorNotPositive(0.0), "0"),
+            (PmfError::BadParameter { name: "sigma", value: -1.0 }, "sigma"),
+            (PmfError::ZeroWeightMixture, "zero"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let err: Box<dyn std::error::Error> = Box::new(PmfError::Empty);
+        assert!(err.source().is_none());
+    }
+}

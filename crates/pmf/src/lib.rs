@@ -1,0 +1,55 @@
+//! # `cdsf-pmf` — discrete probability mass functions for robust scheduling
+//!
+//! This crate provides the stochastic substrate of the CDSF (Combined
+//! Dual-stage Framework) reproduction: a [`Pmf`] type representing a finite
+//! discrete probability mass function over `f64` values ("pulses" in the
+//! paper's terminology), together with the algebra the framework needs:
+//!
+//! * moments ([`Pmf::expectation`], [`Pmf::variance`]), CDF queries
+//!   ([`Pmf::cdf`] — this is exactly the paper's `Pr(T ≤ Δ)`), quantiles;
+//! * value transforms ([`Pmf::map`], [`Pmf::scale`], [`Pmf::shift`]) used
+//!   for the Amdahl rescaling of paper Eq. (2);
+//! * independent combination ([`Pmf::combine`]) with the derived operators
+//!   [`Pmf::add`], [`Pmf::max`], and [`Pmf::quotient`] — the last one is the
+//!   paper's "convolution with the availability PMF" (`T / α`);
+//! * mixtures, truncation, pruning and coalescing so pulse counts stay
+//!   bounded through long chains of combinations;
+//! * discretizers for common continuous distributions ([`discretize`]),
+//!   used to build the execution-time PMFs that the paper samples from
+//!   normal distributions (`σ = μ/10`);
+//! * fast reproducible sampling ([`sample::AliasSampler`], Walker–Vose);
+//! * the small numerical-statistics toolbox ([`stats`]) the rest of the
+//!   workspace relies on (erf/Φ/Φ⁻¹, Welford accumulators, KS distance).
+//!
+//! Everything is deterministic given a seed; no global state.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use cdsf_pmf::{Pmf, discretize::{Discretize, Normal}};
+//!
+//! // Execution time of an application on one processor: N(1800, 180),
+//! // discretized into 64 equiprobable pulses.
+//! let exec = Normal::new(1800.0, 180.0).unwrap().equiprobable(64);
+//! // Availability of the processor type: 75% w.p. 0.5, 100% w.p. 0.5.
+//! let avail = Pmf::from_pairs([(0.75, 0.5), (1.0, 0.5)]).unwrap();
+//! // Loaded execution time = T / α.
+//! let loaded = exec.quotient(&avail).unwrap();
+//! let p_meet = loaded.cdf(3250.0); // Pr(T ≤ Δ)
+//! assert!(p_meet > 0.99);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod discretize;
+mod error;
+mod pmf;
+pub mod sample;
+pub mod stats;
+
+pub use error::PmfError;
+pub use pmf::{Pmf, Pulse, PROB_TOLERANCE};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, PmfError>;

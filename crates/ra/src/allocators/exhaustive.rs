@@ -1,0 +1,277 @@
+//! The paper's optimal (robust) initial mapping: exhaustive search.
+
+use super::{app_options, Allocator, Capacity};
+use crate::allocation::{Allocation, Assignment};
+use crate::robustness::ProbabilityTable;
+use crate::{RaError, Result};
+use cdsf_system::{Batch, Platform};
+
+/// Exhaustive — enumerate every feasible allocation and keep the one with
+/// the highest `φ₁ = Pr(Ψ ≤ Δ)`.
+///
+/// This is the paper's "robust IM": *"all possible resource allocations
+/// are compared and the one with the highest probability of all
+/// applications completing before the system deadline is chosen"*. The
+/// paper also notes such a search "is only feasible in the case of the
+/// small demonstrative example" — which the `ra_search` bench quantifies.
+///
+/// The search is a depth-first enumeration with capacity pruning and an
+/// upper-bound cutoff (each application's best-possible probability),
+/// parallelized over the first application's options with crossbeam scoped
+/// threads. Results are deterministic. Ties on `φ₁` are broken by the
+/// *smaller sum of expected completion times* (several allocations can
+/// saturate the deadline probability once PMF tails are truncated by
+/// discretization; preferring the faster one among them recovers the
+/// paper's Table IV exactly), then lexicographically.
+#[derive(Debug, Clone, Copy)]
+pub struct Exhaustive {
+    /// Number of worker threads for the top-level split.
+    pub threads: usize,
+}
+
+impl Default for Exhaustive {
+    fn default() -> Self {
+        Self { threads: 4 }
+    }
+}
+
+impl Exhaustive {
+    /// Creates the policy with the given thread count (≥ 1).
+    pub fn new(threads: usize) -> Result<Self> {
+        if threads == 0 {
+            return Err(RaError::BadParameter { name: "threads", value: 0.0 });
+        }
+        Ok(Self { threads })
+    }
+}
+
+/// One candidate option: assignment, probability, expected loaded time.
+#[derive(Debug, Clone, Copy)]
+struct Option3 {
+    asg: Assignment,
+    prob: f64,
+    exp_time: f64,
+}
+
+struct SearchSpace {
+    /// Per-application options, sorted by descending probability then
+    /// ascending expected time so the DFS finds strong incumbents early.
+    options: Vec<Vec<Option3>>,
+    /// `suffix_best[d]` = product of per-app max probabilities for apps
+    /// `d..`, the admissible upper bound used for pruning.
+    suffix_best: Vec<f64>,
+}
+
+impl SearchSpace {
+    fn build(batch: &Batch, platform: &Platform, table: &ProbabilityTable) -> Result<Self> {
+        let mut options = Vec::with_capacity(batch.len());
+        for (id, app) in batch.iter() {
+            let mut opts: Vec<Option3> = Vec::new();
+            for asg in app_options(app, platform)? {
+                let Some(prob) = table.prob(id.0, asg.proc_type, asg.procs) else {
+                    continue;
+                };
+                let exp_time =
+                    cdsf_system::parallel_time::loaded_time_pmf(app, platform, asg.proc_type, asg.procs)?
+                        .expectation();
+                opts.push(Option3 { asg, prob, exp_time });
+            }
+            if opts.is_empty() {
+                return Err(RaError::NoFeasibleAllocation);
+            }
+            opts.sort_by(|a, b| {
+                b.prob
+                    .total_cmp(&a.prob)
+                    .then_with(|| a.exp_time.total_cmp(&b.exp_time))
+            });
+            options.push(opts);
+        }
+        let n = options.len();
+        let mut suffix_best = vec![1.0f64; n + 1];
+        for d in (0..n).rev() {
+            let max_p = options[d].iter().map(|o| o.prob).fold(0.0f64, f64::max);
+            suffix_best[d] = suffix_best[d + 1] * max_p;
+        }
+        Ok(Self { options, suffix_best })
+    }
+}
+
+/// Best allocation found in a DFS subtree, with deterministic ordering:
+/// max probability, then min total expected time, then smallest path.
+#[derive(Clone)]
+struct Best {
+    prob: f64,
+    sum_exp: f64,
+    alloc: Vec<Assignment>,
+    /// Option-index path, used as the final deterministic tiebreak.
+    path: Vec<usize>,
+}
+
+impl Best {
+    /// Whether `(prob, sum_exp, path)` beats this incumbent.
+    fn beaten_by(&self, prob: f64, sum_exp: f64, path: &[usize]) -> bool {
+        prob > self.prob
+            || (prob == self.prob
+                && (sum_exp < self.sum_exp
+                    || (sum_exp == self.sum_exp && path < self.path.as_slice())))
+    }
+}
+
+fn dfs(
+    space: &SearchSpace,
+    cap: &mut Capacity,
+    current: &mut Vec<Assignment>,
+    path: &mut Vec<usize>,
+    prob: f64,
+    sum_exp: f64,
+    best: &mut Option<Best>,
+) {
+    let depth = current.len();
+    if depth == space.options.len() {
+        let better = match best {
+            None => true,
+            Some(b) => b.beaten_by(prob, sum_exp, path),
+        };
+        if better {
+            *best = Some(Best { prob, sum_exp, alloc: current.clone(), path: path.clone() });
+        }
+        return;
+    }
+    // Bound: even taking the best remaining options cannot beat the
+    // incumbent strictly; equal-probability subtrees are kept alive for
+    // the expected-time tiebreak.
+    if let Some(b) = best {
+        if prob * space.suffix_best[depth] < b.prob {
+            return;
+        }
+    }
+    for (idx, opt) in space.options[depth].iter().enumerate() {
+        if !cap.fits(opt.asg) {
+            continue;
+        }
+        cap.take(opt.asg);
+        current.push(opt.asg);
+        path.push(idx);
+        dfs(space, cap, current, path, prob * opt.prob, sum_exp + opt.exp_time, best);
+        path.pop();
+        current.pop();
+        cap.release(opt.asg);
+    }
+}
+
+impl Allocator for Exhaustive {
+    fn name(&self) -> &'static str {
+        "Exhaustive"
+    }
+
+    fn allocate(&self, batch: &Batch, platform: &Platform, deadline: f64) -> Result<Allocation> {
+        if batch.is_empty() {
+            return Err(RaError::EmptyBatch);
+        }
+        let table = ProbabilityTable::build(batch, platform, deadline)?;
+        let space = SearchSpace::build(batch, platform, &table)?;
+
+        // Parallel split over the first application's options.
+        let first_opts = space.options[0].len();
+        let threads = self.threads.min(first_opts).max(1);
+        let chunk = first_opts.div_ceil(threads);
+
+        let results: Vec<Option<Best>> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let space = &space;
+                let platform = &*platform;
+                handles.push(scope.spawn(move |_| {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(first_opts);
+                    let mut best: Option<Best> = None;
+                    for idx in lo..hi {
+                        let opt = space.options[0][idx];
+                        let mut cap = Capacity::of(platform);
+                        if !cap.fits(opt.asg) {
+                            continue;
+                        }
+                        cap.take(opt.asg);
+                        let mut current = vec![opt.asg];
+                        let mut path = vec![idx];
+                        dfs(
+                            space,
+                            &mut cap,
+                            &mut current,
+                            &mut path,
+                            opt.prob,
+                            opt.exp_time,
+                            &mut best,
+                        );
+                    }
+                    best
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("search worker panicked"))
+                .collect()
+        })
+        .expect("search scope panicked");
+
+        let best = results
+            .into_iter()
+            .flatten()
+            .max_by(|a, b| {
+                a.prob
+                    .total_cmp(&b.prob)
+                    .then_with(|| b.sum_exp.total_cmp(&a.sum_exp)) // smaller time wins
+                    .then_with(|| b.path.cmp(&a.path)) // smaller path wins
+            })
+            .ok_or(RaError::NoFeasibleAllocation)?;
+        Ok(Allocation::new(best.alloc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocators::testutil::*;
+    use crate::robustness::evaluate;
+    use cdsf_system::ProcTypeId;
+
+    #[test]
+    fn reproduces_paper_table4_robust_row() {
+        let alloc = Exhaustive::default()
+            .allocate(&paper_batch(64), &paper_platform(), DEADLINE)
+            .unwrap();
+        let a = alloc.assignments();
+        // Paper Table IV robust: app1 → 2×type1, app2 → 2×type1, app3 → 8×type2.
+        assert_eq!(a[0], Assignment { proc_type: ProcTypeId(0), procs: 2 });
+        assert_eq!(a[1], Assignment { proc_type: ProcTypeId(0), procs: 2 });
+        assert_eq!(a[2], Assignment { proc_type: ProcTypeId(1), procs: 8 });
+    }
+
+    #[test]
+    fn optimum_matches_brute_force_over_enumeration() {
+        let (b, p) = (paper_batch(32), paper_platform());
+        let best = Exhaustive::default().allocate(&b, &p, DEADLINE).unwrap();
+        let best_prob = evaluate(&b, &p, &best, DEADLINE).unwrap().joint;
+        for alloc in Allocation::enumerate_feasible(&b, &p).unwrap() {
+            let prob = evaluate(&b, &p, &alloc, DEADLINE).unwrap().joint;
+            assert!(prob <= best_prob + 1e-12, "{alloc} beats optimum: {prob} > {best_prob}");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_result() {
+        let (b, p) = (paper_batch(32), paper_platform());
+        let a1 = Exhaustive::new(1).unwrap().allocate(&b, &p, DEADLINE).unwrap();
+        let a8 = Exhaustive::new(8).unwrap().allocate(&b, &p, DEADLINE).unwrap();
+        assert_eq!(a1, a8);
+        assert!(Exhaustive::new(0).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_batch() {
+        let p = paper_platform();
+        assert!(Exhaustive::default()
+            .allocate(&cdsf_system::Batch::new(vec![]), &p, DEADLINE)
+            .is_err());
+    }
+}

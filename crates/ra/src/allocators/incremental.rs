@@ -1,0 +1,168 @@
+//! Incremental allocation for applications that arrive in waves.
+//!
+//! The paper maps one batch at a time; its future work points to *dynamic*
+//! stochastic resource allocation (Smith et al., ICPP'09), where requests
+//! arrive while earlier applications are still running. This module
+//! implements that arrival model: the batch is partitioned into waves, and
+//! each wave is mapped with only the capacity the earlier waves left
+//! behind (their groups stay allocated until the batch completes — the
+//! paper forbids runtime reallocation).
+//!
+//! Within a wave the assignment rule is the most-constrained-first greedy
+//! of [`super::GreedyMaxRobust`], scored on the same memoized probability
+//! table. The whole-batch φ₁ of an incremental mapping is therefore at
+//! most that of the clairvoyant full-batch optimum — the gap quantifies
+//! the price of not knowing future arrivals, which the integration tests
+//! measure.
+
+use super::{app_options, Capacity};
+use crate::allocation::{Allocation, Assignment};
+use crate::robustness::ProbabilityTable;
+use crate::{RaError, Result};
+use cdsf_system::{Batch, Platform};
+
+/// Allocates a batch whose applications arrive in `waves` (sizes must sum
+/// to the batch length). Returns the combined allocation, indexed like the
+/// batch.
+pub fn allocate_incremental(
+    batch: &Batch,
+    platform: &Platform,
+    deadline: f64,
+    waves: &[usize],
+) -> Result<Allocation> {
+    if batch.is_empty() {
+        return Err(RaError::EmptyBatch);
+    }
+    let total: usize = waves.iter().sum();
+    if total != batch.len() || waves.iter().any(|&w| w == 0) {
+        return Err(RaError::BadParameter {
+            name: "waves",
+            value: total as f64,
+        });
+    }
+
+    let table = ProbabilityTable::build(batch, platform, deadline)?;
+    let options: Vec<Vec<Assignment>> = batch
+        .iter()
+        .map(|(_, app)| app_options(app, platform))
+        .collect::<Result<_>>()?;
+
+    let mut cap = Capacity::of(platform);
+    let mut chosen: Vec<Option<Assignment>> = vec![None; batch.len()];
+    let mut next_app = 0usize;
+
+    for &wave in waves {
+        let wave_apps: Vec<usize> = (next_app..next_app + wave).collect();
+        next_app += wave;
+        let mut unassigned = wave_apps;
+        while !unassigned.is_empty() {
+            // Most-constrained-first within the wave, with the one-step
+            // lookahead restricted to the wave (future waves are unknown).
+            let mut pick: Option<(usize, Assignment, f64)> = None;
+            for &i in &unassigned {
+                let mut row: Vec<(Assignment, f64)> = options[i]
+                    .iter()
+                    .filter(|asg| cap.fits(**asg))
+                    .filter_map(|asg| {
+                        table.prob(i, asg.proc_type, asg.procs).map(|p| (*asg, p))
+                    })
+                    .collect();
+                row.sort_by(|a, b| b.1.total_cmp(&a.1));
+                let best = row.into_iter().find(|&(asg, _)| {
+                    leaves_wave_feasible(&mut cap, asg, &unassigned, i, &options)
+                });
+                let Some((asg, p)) = best else {
+                    return Err(RaError::NoFeasibleAllocation);
+                };
+                if pick.as_ref().map_or(true, |&(_, _, bp)| p < bp) {
+                    pick = Some((i, asg, p));
+                }
+            }
+            let (i, asg, _) = pick.expect("wave non-empty");
+            cap.take(asg);
+            chosen[i] = Some(asg);
+            unassigned.retain(|&x| x != i);
+        }
+    }
+
+    Ok(Allocation::new(
+        chosen.into_iter().map(|c| c.expect("all waves assigned")).collect(),
+    ))
+}
+
+/// One-step lookahead restricted to the current wave.
+fn leaves_wave_feasible(
+    cap: &mut Capacity,
+    asg: Assignment,
+    unassigned: &[usize],
+    skip: usize,
+    options: &[Vec<Assignment>],
+) -> bool {
+    cap.take(asg);
+    let ok = unassigned
+        .iter()
+        .filter(|&&i| i != skip)
+        .all(|&i| options[i].iter().any(|o| cap.fits(*o)));
+    cap.release(asg);
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocators::testutil::{paper_batch, paper_platform, DEADLINE};
+    use crate::allocators::{Allocator, Exhaustive};
+    use crate::robustness::evaluate;
+
+    #[test]
+    fn single_wave_is_feasible_and_competitive() {
+        let (b, p) = (paper_batch(64), paper_platform());
+        let alloc = allocate_incremental(&b, &p, DEADLINE, &[3]).unwrap();
+        alloc.validate(&b, &p).unwrap();
+        let phi1 = evaluate(&b, &p, &alloc, DEADLINE).unwrap().joint;
+        assert!(phi1 > 0.26, "single-wave greedy φ1 {phi1} should beat naive");
+    }
+
+    #[test]
+    fn per_app_waves_are_feasible() {
+        let (b, p) = (paper_batch(32), paper_platform());
+        let alloc = allocate_incremental(&b, &p, DEADLINE, &[1, 1, 1]).unwrap();
+        alloc.validate(&b, &p).unwrap();
+    }
+
+    #[test]
+    fn incremental_never_beats_clairvoyant_optimum() {
+        let (b, p) = (paper_batch(64), paper_platform());
+        let opt = Exhaustive::default().allocate(&b, &p, DEADLINE).unwrap();
+        let p_opt = evaluate(&b, &p, &opt, DEADLINE).unwrap().joint;
+        for waves in [vec![3], vec![2, 1], vec![1, 2], vec![1, 1, 1]] {
+            let alloc = allocate_incremental(&b, &p, DEADLINE, &waves).unwrap();
+            let phi1 = evaluate(&b, &p, &alloc, DEADLINE).unwrap().joint;
+            assert!(
+                phi1 <= p_opt + 1e-9,
+                "waves {waves:?}: incremental {phi1} beat optimum {p_opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn wave_validation() {
+        let (b, p) = (paper_batch(8), paper_platform());
+        assert!(allocate_incremental(&b, &p, DEADLINE, &[2]).is_err()); // sum ≠ 3
+        assert!(allocate_incremental(&b, &p, DEADLINE, &[3, 0]).is_err()); // zero wave
+        assert!(allocate_incremental(&cdsf_system::Batch::new(vec![]), &p, DEADLINE, &[])
+            .is_err());
+    }
+
+    #[test]
+    fn earlier_waves_constrain_later_ones() {
+        // When the first wave grabs type-1 capacity, a later single-app
+        // wave must still find something (possibly worse).
+        let (b, p) = (paper_batch(32), paper_platform());
+        let combined = allocate_incremental(&b, &p, DEADLINE, &[2, 1]).unwrap();
+        combined.validate(&b, &p).unwrap();
+        // The last application is assigned with whatever capacity is left.
+        let used_before: u32 = combined.assignments()[..2].iter().map(|a| a.procs).sum();
+        assert!(used_before >= 2);
+    }
+}

@@ -1,0 +1,401 @@
+//! Metaheuristic allocators for large instances: simulated annealing and a
+//! genetic algorithm.
+//!
+//! Both operate on the memoized probability table (so one candidate
+//! evaluation is `O(N)` lookups), maintain feasibility with a shared
+//! capacity-repair routine, and are fully deterministic given their seed.
+
+use super::{app_options, Allocator};
+use crate::allocation::{Allocation, Assignment};
+use crate::robustness::ProbabilityTable;
+use crate::{RaError, Result};
+use cdsf_system::{Batch, Platform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-app option lists plus the probability table: the search landscape.
+struct Landscape {
+    options: Vec<Vec<Assignment>>,
+    table: ProbabilityTable,
+    capacities: Vec<u32>,
+}
+
+impl Landscape {
+    fn build(batch: &Batch, platform: &Platform, deadline: f64) -> Result<Self> {
+        if batch.is_empty() {
+            return Err(RaError::EmptyBatch);
+        }
+        let table = ProbabilityTable::build(batch, platform, deadline)?;
+        let options: Vec<Vec<Assignment>> = batch
+            .iter()
+            .map(|(_, app)| app_options(app, platform))
+            .collect::<Result<_>>()?;
+        Ok(Self {
+            options,
+            table,
+            capacities: platform.types().iter().map(|t| t.count()).collect(),
+        })
+    }
+
+    fn num_apps(&self) -> usize {
+        self.options.len()
+    }
+
+    /// Joint probability of a genome; 0.0 for any missing lookup.
+    fn fitness(&self, genome: &[Assignment]) -> f64 {
+        let mut p = 1.0;
+        for (i, asg) in genome.iter().enumerate() {
+            match self.table.prob(i, asg.proc_type, asg.procs) {
+                Some(q) => p *= q,
+                None => return 0.0,
+            }
+        }
+        p
+    }
+
+    fn is_feasible(&self, genome: &[Assignment]) -> bool {
+        let mut used = vec![0u32; self.capacities.len()];
+        for asg in genome {
+            used[asg.proc_type.0] += asg.procs;
+        }
+        used.iter().zip(&self.capacities).all(|(u, c)| u <= c)
+    }
+
+    /// Repairs an infeasible genome in place: while some type is
+    /// over-subscribed, halve the largest group on that type; once a group
+    /// hits one processor, move it to the type with the most free capacity.
+    /// Terminates because total demand strictly decreases (or demand moves
+    /// to a type with room).
+    fn repair(&self, genome: &mut [Assignment], rng: &mut StdRng) {
+        loop {
+            let mut used = vec![0u32; self.capacities.len()];
+            for asg in genome.iter() {
+                used[asg.proc_type.0] += asg.procs;
+            }
+            let Some(over) = (0..used.len()).find(|&j| used[j] > self.capacities[j]) else {
+                return;
+            };
+            // Largest group on the over-subscribed type.
+            let (victim, _) = genome
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.proc_type.0 == over)
+                .max_by_key(|(_, a)| a.procs)
+                .expect("over-subscribed type must host a group");
+            if genome[victim].procs > 1 {
+                genome[victim].procs /= 2;
+            } else {
+                // Move it to a random alternative option of that app on a
+                // different type (smallest group to be safe).
+                let alts: Vec<Assignment> = self.options[victim]
+                    .iter()
+                    .copied()
+                    .filter(|a| a.proc_type.0 != over && a.procs == 1)
+                    .collect();
+                if alts.is_empty() {
+                    // No escape — shrink someone else or give up by leaving
+                    // the genome infeasible (fitness path will reject).
+                    return;
+                }
+                genome[victim] = alts[rng.gen_range(0..alts.len())];
+            }
+        }
+    }
+
+    /// A random feasible genome (repair applied as needed).
+    fn random_genome(&self, rng: &mut StdRng) -> Vec<Assignment> {
+        let mut g: Vec<Assignment> = self
+            .options
+            .iter()
+            .map(|opts| opts[rng.gen_range(0..opts.len())])
+            .collect();
+        self.repair(&mut g, rng);
+        g
+    }
+}
+
+/// Simulated annealing over the allocation space.
+///
+/// Neighbourhood: reassign one application to a random alternative option
+/// (with capacity repair). Acceptance: Metropolis on the joint probability.
+/// Geometric cooling.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulatedAnnealing {
+    /// Number of proposal steps.
+    pub iterations: usize,
+    /// Initial temperature (in probability units; φ₁ ∈ [0, 1], so 0.1 is a
+    /// permissive start).
+    pub initial_temp: f64,
+    /// Geometric cooling factor per step, in `(0, 1)`.
+    pub cooling: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SimulatedAnnealing {
+    fn default() -> Self {
+        Self { iterations: 20_000, initial_temp: 0.1, cooling: 0.9995, seed: 0x5EED }
+    }
+}
+
+impl SimulatedAnnealing {
+    /// Creates the policy, validating parameters.
+    pub fn new(iterations: usize, initial_temp: f64, cooling: f64, seed: u64) -> Result<Self> {
+        if iterations == 0 {
+            return Err(RaError::BadParameter { name: "iterations", value: 0.0 });
+        }
+        if !(initial_temp > 0.0) {
+            return Err(RaError::BadParameter { name: "initial_temp", value: initial_temp });
+        }
+        if !(cooling > 0.0 && cooling < 1.0) {
+            return Err(RaError::BadParameter { name: "cooling", value: cooling });
+        }
+        Ok(Self { iterations, initial_temp, cooling, seed })
+    }
+}
+
+impl Allocator for SimulatedAnnealing {
+    fn name(&self) -> &'static str {
+        "SimulatedAnnealing"
+    }
+
+    fn allocate(&self, batch: &Batch, platform: &Platform, deadline: f64) -> Result<Allocation> {
+        let land = Landscape::build(batch, platform, deadline)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        let mut current = land.random_genome(&mut rng);
+        // Ensure a feasible start even if repair gave up on a pathological
+        // draw: retry a few times.
+        for _ in 0..32 {
+            if land.is_feasible(&current) {
+                break;
+            }
+            current = land.random_genome(&mut rng);
+        }
+        if !land.is_feasible(&current) {
+            return Err(RaError::NoFeasibleAllocation);
+        }
+        let mut current_fit = land.fitness(&current);
+        let mut best = current.clone();
+        let mut best_fit = current_fit;
+        let mut temp = self.initial_temp;
+
+        for _ in 0..self.iterations {
+            let app = rng.gen_range(0..land.num_apps());
+            let opt = land.options[app][rng.gen_range(0..land.options[app].len())];
+            let mut candidate = current.clone();
+            candidate[app] = opt;
+            land.repair(&mut candidate, &mut rng);
+            if !land.is_feasible(&candidate) {
+                temp *= self.cooling;
+                continue;
+            }
+            let fit = land.fitness(&candidate);
+            let accept = fit >= current_fit
+                || rng.gen::<f64>() < ((fit - current_fit) / temp.max(1e-12)).exp();
+            if accept {
+                current = candidate;
+                current_fit = fit;
+                if fit > best_fit {
+                    best = current.clone();
+                    best_fit = fit;
+                }
+            }
+            temp *= self.cooling;
+        }
+        Ok(Allocation::new(best))
+    }
+}
+
+/// Genetic algorithm over the allocation space.
+///
+/// Tournament selection, one-point crossover, per-gene mutation, capacity
+/// repair, elitism of one.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneticAlgorithm {
+    /// Population size.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Tournament size for selection.
+    pub tournament: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeneticAlgorithm {
+    fn default() -> Self {
+        Self { population: 64, generations: 200, mutation_rate: 0.05, tournament: 3, seed: 0xBEEF }
+    }
+}
+
+impl GeneticAlgorithm {
+    /// Creates the policy, validating parameters.
+    pub fn new(
+        population: usize,
+        generations: usize,
+        mutation_rate: f64,
+        tournament: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        if population < 2 {
+            return Err(RaError::BadParameter { name: "population", value: population as f64 });
+        }
+        if generations == 0 {
+            return Err(RaError::BadParameter { name: "generations", value: 0.0 });
+        }
+        if !(0.0..=1.0).contains(&mutation_rate) {
+            return Err(RaError::BadParameter { name: "mutation_rate", value: mutation_rate });
+        }
+        if tournament == 0 || tournament > population {
+            return Err(RaError::BadParameter { name: "tournament", value: tournament as f64 });
+        }
+        Ok(Self { population, generations, mutation_rate, tournament, seed })
+    }
+}
+
+impl Allocator for GeneticAlgorithm {
+    fn name(&self) -> &'static str {
+        "GeneticAlgorithm"
+    }
+
+    fn allocate(&self, batch: &Batch, platform: &Platform, deadline: f64) -> Result<Allocation> {
+        let land = Landscape::build(batch, platform, deadline)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = land.num_apps();
+
+        let mut pop: Vec<Vec<Assignment>> =
+            (0..self.population).map(|_| land.random_genome(&mut rng)).collect();
+        let mut fits: Vec<f64> = pop.iter().map(|g| land.fitness(g)).collect();
+
+        for _ in 0..self.generations {
+            // Elitism: carry the best genome over unchanged.
+            let elite_idx = fits
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .expect("population non-empty");
+            let mut next = Vec::with_capacity(self.population);
+            next.push(pop[elite_idx].clone());
+
+            let tournament_pick = |rng: &mut StdRng, pop: &[Vec<Assignment>], fits: &[f64]| {
+                let mut best: Option<usize> = None;
+                for _ in 0..self.tournament {
+                    let c = rng.gen_range(0..pop.len());
+                    if best.map_or(true, |b| fits[c] > fits[b]) {
+                        best = Some(c);
+                    }
+                }
+                best.expect("tournament ≥ 1")
+            };
+
+            while next.len() < self.population {
+                let a = tournament_pick(&mut rng, &pop, &fits);
+                let b = tournament_pick(&mut rng, &pop, &fits);
+                // One-point crossover.
+                let cut = if n > 1 { rng.gen_range(1..n) } else { 0 };
+                let mut child: Vec<Assignment> = pop[a][..cut]
+                    .iter()
+                    .chain(&pop[b][cut..])
+                    .copied()
+                    .collect();
+                // Mutation.
+                for (i, gene) in child.iter_mut().enumerate() {
+                    if rng.gen::<f64>() < self.mutation_rate {
+                        *gene = land.options[i][rng.gen_range(0..land.options[i].len())];
+                    }
+                }
+                land.repair(&mut child, &mut rng);
+                if land.is_feasible(&child) {
+                    next.push(child);
+                }
+            }
+            pop = next;
+            fits = pop.iter().map(|g| land.fitness(g)).collect();
+        }
+
+        let best_idx = fits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("population non-empty");
+        if fits[best_idx] <= 0.0 && !land.is_feasible(&pop[best_idx]) {
+            return Err(RaError::NoFeasibleAllocation);
+        }
+        Ok(Allocation::new(pop[best_idx].clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocators::testutil::*;
+    use crate::robustness::evaluate;
+
+    #[test]
+    fn annealing_finds_near_optimal_on_paper_example() {
+        let (b, p) = (paper_batch(64), paper_platform());
+        let opt = super::super::Exhaustive::default().allocate(&b, &p, DEADLINE).unwrap();
+        let p_opt = evaluate(&b, &p, &opt, DEADLINE).unwrap().joint;
+        let sa = SimulatedAnnealing::default().allocate(&b, &p, DEADLINE).unwrap();
+        sa.validate(&b, &p).unwrap();
+        let p_sa = evaluate(&b, &p, &sa, DEADLINE).unwrap().joint;
+        assert!(p_sa >= 0.95 * p_opt, "SA {p_sa} vs optimum {p_opt}");
+    }
+
+    #[test]
+    fn genetic_finds_near_optimal_on_paper_example() {
+        let (b, p) = (paper_batch(64), paper_platform());
+        let opt = super::super::Exhaustive::default().allocate(&b, &p, DEADLINE).unwrap();
+        let p_opt = evaluate(&b, &p, &opt, DEADLINE).unwrap().joint;
+        let ga = GeneticAlgorithm::default().allocate(&b, &p, DEADLINE).unwrap();
+        ga.validate(&b, &p).unwrap();
+        let p_ga = evaluate(&b, &p, &ga, DEADLINE).unwrap().joint;
+        assert!(p_ga >= 0.95 * p_opt, "GA {p_ga} vs optimum {p_opt}");
+    }
+
+    #[test]
+    fn metaheuristics_are_seed_deterministic() {
+        let (b, p) = (paper_batch(16), paper_platform());
+        let sa = SimulatedAnnealing { seed: 1, ..Default::default() };
+        assert_eq!(
+            sa.allocate(&b, &p, DEADLINE).unwrap(),
+            sa.allocate(&b, &p, DEADLINE).unwrap()
+        );
+        let ga = GeneticAlgorithm { seed: 2, generations: 30, ..Default::default() };
+        assert_eq!(
+            ga.allocate(&b, &p, DEADLINE).unwrap(),
+            ga.allocate(&b, &p, DEADLINE).unwrap()
+        );
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(SimulatedAnnealing::new(0, 0.1, 0.99, 0).is_err());
+        assert!(SimulatedAnnealing::new(10, 0.0, 0.99, 0).is_err());
+        assert!(SimulatedAnnealing::new(10, 0.1, 1.0, 0).is_err());
+        assert!(GeneticAlgorithm::new(1, 10, 0.1, 1, 0).is_err());
+        assert!(GeneticAlgorithm::new(8, 0, 0.1, 1, 0).is_err());
+        assert!(GeneticAlgorithm::new(8, 10, 1.5, 1, 0).is_err());
+        assert!(GeneticAlgorithm::new(8, 10, 0.1, 0, 0).is_err());
+        assert!(GeneticAlgorithm::new(8, 10, 0.1, 9, 0).is_err());
+    }
+
+    #[test]
+    fn repair_makes_oversubscription_feasible() {
+        let (b, p) = (paper_batch(8), paper_platform());
+        let land = Landscape::build(&b, &p, DEADLINE).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        // Everything on type 1 with 4 procs: demand 12 > capacity 4.
+        let mut genome = vec![
+            Assignment { proc_type: cdsf_system::ProcTypeId(0), procs: 4 };
+            3
+        ];
+        land.repair(&mut genome, &mut rng);
+        assert!(land.is_feasible(&genome), "{genome:?}");
+    }
+}

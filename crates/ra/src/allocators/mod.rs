@@ -1,0 +1,198 @@
+//! Stage-I allocation policies.
+//!
+//! * [`EqualShare`] — the paper's naïve load balancing: every application
+//!   receives an equal share of the machine; only the type placement is
+//!   optimized.
+//! * [`Exhaustive`] — the paper's "robust IM": enumerate every feasible
+//!   allocation and keep the one maximizing `φ₁`. Parallelized with
+//!   crossbeam scoped threads; only viable for small instances, which is
+//!   exactly the paper's point.
+//! * [`GreedyMinTime`], [`GreedyMaxRobust`], [`Sufferage`] — list-scheduling
+//!   heuristics in the Min-min/Max-min/Sufferage tradition, scored on the
+//!   stochastic robustness table instead of deterministic completion times.
+//! * [`SimulatedAnnealing`], [`GeneticAlgorithm`] — metaheuristics for the
+//!   large instances the paper defers to future work.
+//!
+//! All policies implement [`Allocator`] and are deterministic: the
+//! metaheuristics take explicit seeds.
+
+mod equal_share;
+mod exhaustive;
+mod greedy;
+mod incremental;
+mod metaheuristic;
+
+pub use equal_share::EqualShare;
+pub use exhaustive::Exhaustive;
+pub use greedy::{GreedyMaxRobust, GreedyMinTime, Sufferage};
+pub use incremental::allocate_incremental;
+pub use metaheuristic::{GeneticAlgorithm, SimulatedAnnealing};
+
+use crate::allocation::{Allocation, Assignment};
+use crate::robustness::ProbabilityTable;
+use crate::{RaError, Result};
+use cdsf_system::{Batch, Platform, ProcTypeId};
+
+/// A Stage-I allocation policy.
+pub trait Allocator {
+    /// Policy name for reports (e.g. `"EqualShare"`).
+    fn name(&self) -> &'static str;
+
+    /// Produces a feasible allocation for `batch` on `platform` targeting
+    /// the common deadline.
+    fn allocate(&self, batch: &Batch, platform: &Platform, deadline: f64) -> Result<Allocation>;
+}
+
+/// Shared helper: all feasible `(type, pow2 count)` options for one
+/// application, in deterministic order.
+pub(crate) fn app_options(
+    app: &cdsf_system::Application,
+    platform: &Platform,
+) -> Result<Vec<Assignment>> {
+    let mut opts = Vec::new();
+    for j in 0..platform.num_types() {
+        let id = ProcTypeId(j);
+        if app.exec_time(id).is_err() {
+            continue;
+        }
+        for n in platform.pow2_options(id)? {
+            opts.push(Assignment { proc_type: id, procs: n });
+        }
+    }
+    if opts.is_empty() {
+        return Err(RaError::NoFeasibleAllocation);
+    }
+    Ok(opts)
+}
+
+/// Shared helper: per-type free capacity tracking.
+#[derive(Debug, Clone)]
+pub(crate) struct Capacity {
+    free: Vec<u32>,
+}
+
+impl Capacity {
+    pub(crate) fn of(platform: &Platform) -> Self {
+        Self { free: platform.types().iter().map(|t| t.count()).collect() }
+    }
+
+    pub(crate) fn fits(&self, asg: Assignment) -> bool {
+        self.free[asg.proc_type.0] >= asg.procs
+    }
+
+    pub(crate) fn take(&mut self, asg: Assignment) {
+        debug_assert!(self.fits(asg));
+        self.free[asg.proc_type.0] -= asg.procs;
+    }
+
+    pub(crate) fn release(&mut self, asg: Assignment) {
+        self.free[asg.proc_type.0] += asg.procs;
+    }
+}
+
+/// Log-space robustness score of an allocation from the probability table:
+/// `Σ ln Pr(T_i ≤ Δ)`. Ordering-equivalent to the joint product but immune
+/// to underflow for large batches; `-inf` for probability-zero assignments,
+/// `None` if a lookup fails (infeasible triple).
+pub fn log_score(table: &ProbabilityTable, alloc: &Allocation) -> Option<f64> {
+    let mut s = 0.0f64;
+    for (i, asg) in alloc.assignments().iter().enumerate() {
+        let p = table.prob(i, asg.proc_type, asg.procs)?;
+        if p <= 0.0 {
+            return Some(f64::NEG_INFINITY);
+        }
+        s += p.ln();
+    }
+    Some(s)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use cdsf_pmf::Pmf;
+    use cdsf_system::{Application, Batch, Platform, ProcessorType};
+
+    /// The paper's platform (Table I, case 1).
+    pub fn paper_platform() -> Platform {
+        Platform::new(vec![
+            ProcessorType::new("Type 1", 4, Pmf::from_pairs([(0.75, 0.5), (1.0, 0.5)]).unwrap())
+                .unwrap(),
+            ProcessorType::new(
+                "Type 2",
+                8,
+                Pmf::from_pairs([(0.25, 0.25), (0.5, 0.25), (1.0, 0.5)]).unwrap(),
+            )
+            .unwrap(),
+        ])
+        .unwrap()
+    }
+
+    /// The paper's batch (Tables II and III), with `pulses` PMF resolution.
+    pub fn paper_batch(pulses: usize) -> Batch {
+        let mk = |name: &str, s: u64, p: u64, t1: f64, t2: f64| {
+            Application::builder(name)
+                .serial_iters(s)
+                .parallel_iters(p)
+                .exec_time_normal(t1, pulses)
+                .unwrap()
+                .exec_time_normal(t2, pulses)
+                .unwrap()
+                .build()
+                .unwrap()
+        };
+        Batch::new(vec![
+            mk("app 1", 439, 1024, 1800.0, 4000.0),
+            mk("app 2", 512, 2048, 2800.0, 6000.0),
+            mk("app 3", 216, 4096, 12000.0, 8000.0),
+        ])
+    }
+
+    /// The paper's deadline.
+    pub const DEADLINE: f64 = 3250.0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use testutil::*;
+
+    #[test]
+    fn app_options_cover_both_types() {
+        let b = paper_batch(8);
+        let p = paper_platform();
+        let opts = app_options(b.app(cdsf_system::AppId(0)).unwrap(), &p).unwrap();
+        // Type 1: 1,2,4; Type 2: 1,2,4,8 → 7 options.
+        assert_eq!(opts.len(), 7);
+    }
+
+    #[test]
+    fn capacity_bookkeeping() {
+        let p = paper_platform();
+        let mut cap = Capacity::of(&p);
+        let asg = Assignment { proc_type: ProcTypeId(0), procs: 4 };
+        assert!(cap.fits(asg));
+        cap.take(asg);
+        assert!(!cap.fits(Assignment { proc_type: ProcTypeId(0), procs: 1 }));
+        cap.release(asg);
+        assert!(cap.fits(asg));
+    }
+
+    #[test]
+    fn log_score_orders_like_joint_probability() {
+        let (b, p) = (paper_batch(32), paper_platform());
+        let table = ProbabilityTable::build(&b, &p, DEADLINE).unwrap();
+        let allocs = Allocation::enumerate_feasible(&b, &p).unwrap();
+        let mut best_by_joint = None;
+        let mut best_by_log = None;
+        for a in &allocs {
+            let j = table.joint(a).unwrap();
+            let l = log_score(&table, a).unwrap();
+            if best_by_joint.as_ref().map_or(true, |&(bj, _)| j > bj) {
+                best_by_joint = Some((j, a.clone()));
+            }
+            if best_by_log.as_ref().map_or(true, |&(bl, _)| l > bl) {
+                best_by_log = Some((l, a.clone()));
+            }
+        }
+        assert_eq!(best_by_joint.unwrap().1, best_by_log.unwrap().1);
+    }
+}

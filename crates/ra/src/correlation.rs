@@ -1,0 +1,334 @@
+//! Correlated availability: the paper's future-work question.
+//!
+//! > "Exploring the possible correlation between the availabilities for
+//! > different processor types on the overall robustness of the system is
+//! > also of interest for our future work because it would help in better
+//! > quantifying the system robustness."
+//!
+//! The Stage-I arithmetic (and the baseline Monte-Carlo estimator) assumes
+//! all availability draws independent. This module estimates `φ₁` under a
+//! **Gaussian-copula** dependence structure instead:
+//!
+//! * *across types* — a single-factor model: latent
+//!   `z_j = √ρ·g + √(1−ρ)·e_j` per type `j`, giving every pair of types
+//!   correlation `ρ ∈ [0, 1]`; each `z_j` maps through `Φ` to a uniform
+//!   and then through the type's availability PMF quantile, so marginals
+//!   are preserved exactly;
+//! * *within a type* — optionally share one draw among all applications
+//!   mapped to the same type (the fully-correlated intra-type extreme;
+//!   the independent extreme is the baseline estimator's behaviour).
+//!
+//! Because every application prefers high availability, positive
+//! correlation aligns the good (and bad) states across applications, which
+//! *raises* the joint deadline probability above the independence product
+//! — the effect the paper wanted quantified.
+
+use crate::allocation::Allocation;
+use crate::robustness::MonteCarloConfig;
+use crate::{RaError, Result};
+use cdsf_pmf::sample::AliasSampler;
+use cdsf_pmf::stats::normal_cdf;
+use cdsf_pmf::Pmf;
+use cdsf_system::{Batch, Platform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Dependence structure for availability draws.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorrelationModel {
+    /// Pairwise correlation of the latent availability factors across
+    /// processor types, in `[0, 1]` (single-factor Gaussian copula).
+    pub across_types: f64,
+    /// Whether applications on the same type share one availability draw
+    /// per replicate (`true` = fully correlated within the type;
+    /// `false` = independent, the paper's baseline assumption).
+    pub share_within_type: bool,
+}
+
+impl CorrelationModel {
+    /// The paper's baseline: everything independent.
+    pub fn independent() -> Self {
+        Self { across_types: 0.0, share_within_type: false }
+    }
+
+    /// Fully correlated: one system-wide load state per replicate.
+    pub fn comonotone() -> Self {
+        Self { across_types: 1.0, share_within_type: true }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(0.0..=1.0).contains(&self.across_types) {
+            return Err(RaError::BadParameter {
+                name: "across_types",
+                value: self.across_types,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Draws one availability value from `pmf` at copula coordinate
+/// `u ∈ (0, 1)` via the quantile function. Marginals are exact: the value
+/// `v_k` is returned iff `u` falls in the `k`-th cumulative-probability
+/// slot.
+fn quantile_draw(pmf: &Pmf, u: f64) -> f64 {
+    pmf.quantile(u)
+}
+
+/// Monte-Carlo `φ₁ = Pr(Ψ ≤ Δ)` under a correlation model.
+///
+/// With [`CorrelationModel::independent`] this estimates the same quantity
+/// as [`crate::robustness::monte_carlo_phi1`] (different RNG consumption,
+/// same law). Runs single-threaded — correlation studies sweep `ρ`, and
+/// the sweep parallelizes at a higher level.
+pub fn monte_carlo_phi1_correlated(
+    batch: &Batch,
+    platform: &Platform,
+    alloc: &Allocation,
+    deadline: f64,
+    model: &CorrelationModel,
+    cfg: &MonteCarloConfig,
+) -> Result<f64> {
+    alloc.validate(batch, platform)?;
+    model.validate()?;
+    if cfg.replicates == 0 {
+        return Err(RaError::BadParameter { name: "replicates", value: 0.0 });
+    }
+
+    // Pre-build per-app execution samplers (Amdahl-rescaled single-type).
+    let mut exec_samplers = Vec::with_capacity(batch.len());
+    for ((_, app), asg) in batch.iter().zip(alloc.assignments()) {
+        let pmf =
+            cdsf_system::parallel_time::parallel_time_pmf(app, asg.proc_type, asg.procs)?;
+        exec_samplers.push(AliasSampler::new(&pmf));
+    }
+    let avail_pmfs: Vec<&Pmf> =
+        platform.types().iter().map(|t| t.availability()).collect();
+    let type_of: Vec<usize> = alloc.assignments().iter().map(|a| a.proc_type.0).collect();
+
+    let rho = model.across_types;
+    let sqrt_rho = rho.sqrt();
+    let sqrt_1m = (1.0 - rho).sqrt();
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut hits = 0u64;
+    let mut type_avail = vec![0.0f64; avail_pmfs.len()];
+    for _ in 0..cfg.replicates {
+        // Latent common factor and per-type idiosyncratic factors.
+        let g: f64 = standard_normal(&mut rng);
+        for (j, pmf) in avail_pmfs.iter().enumerate() {
+            let z = sqrt_rho * g + sqrt_1m * standard_normal(&mut rng);
+            let u = normal_cdf(z).clamp(f64::MIN_POSITIVE, 1.0 - f64::EPSILON);
+            type_avail[j] = quantile_draw(pmf, u);
+        }
+        let mut ok = true;
+        for (sampler, &ty) in exec_samplers.iter().zip(&type_of) {
+            let alpha = if model.share_within_type {
+                type_avail[ty]
+            } else {
+                // Independent within the type, but still correlated across
+                // types (and applications) through the common factor `g`.
+                let z = sqrt_rho * g + sqrt_1m * standard_normal(&mut rng);
+                let u = normal_cdf(z).clamp(f64::MIN_POSITIVE, 1.0 - f64::EPSILON);
+                quantile_draw(avail_pmfs[ty], u)
+            };
+            let t = sampler.sample(&mut rng) / alpha;
+            if t > deadline {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            hits += 1;
+        }
+    }
+    Ok(hits as f64 / cfg.replicates as f64)
+}
+
+/// Box–Muller-free standard normal via the inverse CDF (keeps the stream
+/// deterministic and single-draw-per-variate).
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    cdsf_pmf::stats::normal_inv_cdf(u)
+}
+
+/// Sweeps the across-type correlation and reports `φ₁(ρ)` — the study the
+/// paper's future work asks for. Returns `(ρ, φ₁)` pairs.
+pub fn correlation_sweep(
+    batch: &Batch,
+    platform: &Platform,
+    alloc: &Allocation,
+    deadline: f64,
+    rhos: &[f64],
+    share_within_type: bool,
+    cfg: &MonteCarloConfig,
+) -> Result<Vec<(f64, f64)>> {
+    rhos.iter()
+        .map(|&rho| {
+            let model = CorrelationModel { across_types: rho, share_within_type };
+            monte_carlo_phi1_correlated(batch, platform, alloc, deadline, &model, cfg)
+                .map(|phi1| (rho, phi1))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::Assignment;
+    use crate::allocators::testutil::{paper_batch, paper_platform, DEADLINE};
+    use crate::robustness::{evaluate, monte_carlo_phi1};
+    use cdsf_system::ProcTypeId;
+
+    fn naive_alloc() -> Allocation {
+        Allocation::new(vec![
+            Assignment { proc_type: ProcTypeId(1), procs: 4 },
+            Assignment { proc_type: ProcTypeId(0), procs: 4 },
+            Assignment { proc_type: ProcTypeId(1), procs: 4 },
+        ])
+    }
+
+    fn mc_cfg(n: usize) -> MonteCarloConfig {
+        MonteCarloConfig { replicates: n, threads: 1, seed: 31 }
+    }
+
+    #[test]
+    fn model_validation() {
+        assert!(CorrelationModel { across_types: -0.1, share_within_type: false }
+            .validate()
+            .is_err());
+        assert!(CorrelationModel { across_types: 1.1, share_within_type: false }
+            .validate()
+            .is_err());
+        assert!(CorrelationModel::independent().validate().is_ok());
+        assert!(CorrelationModel::comonotone().validate().is_ok());
+    }
+
+    #[test]
+    fn independent_model_matches_baseline_estimator() {
+        let (b, p) = (paper_batch(64), paper_platform());
+        let alloc = naive_alloc();
+        let exact = evaluate(&b, &p, &alloc, DEADLINE).unwrap().joint;
+        let corr = monte_carlo_phi1_correlated(
+            &b,
+            &p,
+            &alloc,
+            DEADLINE,
+            &CorrelationModel::independent(),
+            &mc_cfg(150_000),
+        )
+        .unwrap();
+        assert!((corr - exact).abs() < 0.01, "copula-independent {corr} vs exact {exact}");
+        let baseline = monte_carlo_phi1(
+            &b,
+            &p,
+            &alloc,
+            DEADLINE,
+            &MonteCarloConfig { replicates: 150_000, threads: 2, seed: 5 },
+        )
+        .unwrap();
+        assert!((corr - baseline).abs() < 0.01);
+    }
+
+    #[test]
+    fn copula_preserves_marginals() {
+        // Sampling a single type's availability through the copula must
+        // reproduce its PMF (here: quantile draws at uniform u).
+        let p = paper_platform();
+        let pmf = p.types()[1].availability();
+        let mut rng = StdRng::seed_from_u64(77);
+        let n = 100_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            let z = standard_normal(&mut rng);
+            let u = normal_cdf(z).clamp(f64::MIN_POSITIVE, 1.0 - f64::EPSILON);
+            *counts.entry(quantile_draw(pmf, u).to_bits()).or_insert(0usize) += 1;
+        }
+        for pulse in pmf.pulses() {
+            let freq = *counts.get(&pulse.value.to_bits()).unwrap_or(&0) as f64 / n as f64;
+            assert!(
+                (freq - pulse.prob).abs() < 0.01,
+                "value {}: {} vs {}",
+                pulse.value,
+                freq,
+                pulse.prob
+            );
+        }
+    }
+
+    #[test]
+    fn positive_correlation_raises_joint_probability() {
+        // All applications prefer high availability, so aligning the
+        // availability states raises Pr(all meet Δ) above the independence
+        // product. Use the naive allocation where two marginals are ~0.5.
+        let (b, p) = (paper_batch(64), paper_platform());
+        let alloc = naive_alloc();
+        let cfg = mc_cfg(120_000);
+        let indep = monte_carlo_phi1_correlated(
+            &b,
+            &p,
+            &alloc,
+            DEADLINE,
+            &CorrelationModel::independent(),
+            &cfg,
+        )
+        .unwrap();
+        let comonotone = monte_carlo_phi1_correlated(
+            &b,
+            &p,
+            &alloc,
+            DEADLINE,
+            &CorrelationModel::comonotone(),
+            &cfg,
+        )
+        .unwrap();
+        assert!(
+            comonotone > indep + 0.05,
+            "comonotone {comonotone} should exceed independent {indep}"
+        );
+    }
+
+    #[test]
+    fn sweep_is_monotone_under_shared_draws() {
+        let (b, p) = (paper_batch(32), paper_platform());
+        let alloc = naive_alloc();
+        let sweep = correlation_sweep(
+            &b,
+            &p,
+            &alloc,
+            DEADLINE,
+            &[0.0, 0.5, 1.0],
+            true,
+            &mc_cfg(60_000),
+        )
+        .unwrap();
+        assert_eq!(sweep.len(), 3);
+        // φ1 should increase (weakly, modulo MC noise) with ρ.
+        assert!(sweep[2].1 + 0.02 > sweep[0].1, "{sweep:?}");
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let (b, p) = (paper_batch(8), paper_platform());
+        let alloc = naive_alloc();
+        let bad_model = CorrelationModel { across_types: 2.0, share_within_type: false };
+        assert!(monte_carlo_phi1_correlated(
+            &b,
+            &p,
+            &alloc,
+            DEADLINE,
+            &bad_model,
+            &mc_cfg(10)
+        )
+        .is_err());
+        assert!(monte_carlo_phi1_correlated(
+            &b,
+            &p,
+            &alloc,
+            DEADLINE,
+            &CorrelationModel::independent(),
+            &mc_cfg(0)
+        )
+        .is_err());
+    }
+}

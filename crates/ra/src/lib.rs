@@ -1,0 +1,42 @@
+//! # `cdsf-ra` — Stage-I robust resource allocation
+//!
+//! Stage I of the CDSF maps a batch of applications onto groups of
+//! processors *before* execution, maximizing the **stochastic robustness**
+//! of the mapping: the probability `φ₁ = Pr(Ψ ≤ Δ)` that every application
+//! finishes before the common deadline Δ, given the execution-time PMFs
+//! `ε̂` and the historical availability PMFs `Â`.
+//!
+//! Provided here:
+//!
+//! * [`Allocation`] — one `(processor type, power-of-two count)` assignment
+//!   per application, with feasibility checking against a [`Platform`];
+//! * [`robustness`] — the exact PMF-arithmetic evaluation of φ₁ (with a
+//!   memoized per-assignment probability table) and a crossbeam-parallel
+//!   Monte-Carlo estimator used to cross-check it;
+//! * [`allocators`] — the Stage-I policies:
+//!   [`allocators::EqualShare`] (the paper's naïve load balancing),
+//!   [`allocators::Exhaustive`] (the paper's optimal search, parallelized),
+//!   and the scalable heuristics the paper names as future work:
+//!   greedy ([`allocators::GreedyMinTime`], [`allocators::GreedyMaxRobust`],
+//!   [`allocators::Sufferage`]) and metaheuristic
+//!   ([`allocators::SimulatedAnnealing`], [`allocators::GeneticAlgorithm`]).
+//!
+//! [`Platform`]: cdsf_system::Platform
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod allocation;
+pub mod allocators;
+pub mod correlation;
+mod error;
+pub mod radius;
+pub mod robustness;
+pub mod surface;
+
+pub use allocation::{Allocation, Assignment};
+pub use allocators::Allocator;
+pub use error::RaError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, RaError>;

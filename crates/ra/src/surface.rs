@@ -1,0 +1,227 @@
+//! The robustness *surface*: `φ₁` as a function of per-type availability
+//! degradation.
+//!
+//! The FePIA framework the paper builds on visualizes robustness as the
+//! distance from the operating point to the failure boundary in
+//! perturbation space. This module computes that picture for the CDSF
+//! model: scale each processor type's availability by an independent
+//! factor, re-evaluate `φ₁` exactly, and tabulate the surface. The
+//! boundary where `φ₁` crosses a threshold *is* the robustness boundary;
+//! its distance from `(1, 1, …)` along the diagonal is the paper's
+//! weighted-availability-decrease tolerance, and along each axis it is the
+//! per-type robustness radius.
+
+use crate::allocation::Allocation;
+use crate::robustness::evaluate;
+use crate::{RaError, Result};
+use cdsf_system::{Batch, Platform};
+use serde::{Deserialize, Serialize};
+
+/// One point of the surface.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurfacePoint {
+    /// Availability scale factor per processor type (1.0 = historical).
+    pub scales: Vec<f64>,
+    /// Exact `φ₁` at that operating point.
+    pub phi1: f64,
+}
+
+/// Computes the surface over a regular grid: every combination of scale
+/// factors from `scales` (applied to every type independently).
+///
+/// Grid size is `scales.len() ^ num_types`; with the default 2-type
+/// platform and ~10 scales this is 100 exact evaluations.
+pub fn robustness_surface(
+    batch: &Batch,
+    platform: &Platform,
+    alloc: &Allocation,
+    deadline: f64,
+    scales: &[f64],
+) -> Result<Vec<SurfacePoint>> {
+    alloc.validate(batch, platform)?;
+    if scales.is_empty() {
+        return Err(RaError::BadParameter { name: "scales.len", value: 0.0 });
+    }
+    for &s in scales {
+        if !(s > 0.0 && s <= 1.0) {
+            return Err(RaError::BadParameter { name: "scale", value: s });
+        }
+    }
+    let t = platform.num_types();
+    let grid_size = scales.len().pow(t as u32);
+    let mut out = Vec::with_capacity(grid_size);
+    let mut idx = vec![0usize; t];
+    loop {
+        let point_scales: Vec<f64> = idx.iter().map(|&i| scales[i]).collect();
+        let pmfs: Vec<_> = platform
+            .types()
+            .iter()
+            .zip(&point_scales)
+            .map(|(ty, &s)| {
+                ty.availability()
+                    .map(|a| (a * s).clamp(1e-9, 1.0))
+                    .map_err(cdsf_system::SystemError::from)
+            })
+            .collect::<std::result::Result<_, _>>()?;
+        let scaled = platform.with_availabilities(&pmfs)?;
+        let phi1 = evaluate(batch, &scaled, alloc, deadline)?.joint;
+        out.push(SurfacePoint { scales: point_scales, phi1 });
+
+        // Odometer increment.
+        let mut k = 0;
+        loop {
+            idx[k] += 1;
+            if idx[k] < scales.len() {
+                break;
+            }
+            idx[k] = 0;
+            k += 1;
+            if k == t {
+                return Ok(out);
+            }
+        }
+    }
+}
+
+/// The diagonal slice of the surface (all types scaled together) and the
+/// largest uniform degradation keeping `φ₁ ≥ threshold` — a continuous
+/// version of the paper's case study.
+pub fn diagonal_tolerance(
+    batch: &Batch,
+    platform: &Platform,
+    alloc: &Allocation,
+    deadline: f64,
+    threshold: f64,
+    steps: usize,
+) -> Result<f64> {
+    if steps == 0 {
+        return Err(RaError::BadParameter { name: "steps", value: 0.0 });
+    }
+    if !(0.0..=1.0).contains(&threshold) {
+        return Err(RaError::BadParameter { name: "threshold", value: threshold });
+    }
+    let mut tolerated: f64 = 0.0;
+    for k in 0..=steps {
+        let s = 1.0 - k as f64 / steps as f64 * 0.99; // scale ∈ [0.01, 1]
+        let pmfs: Vec<_> = platform
+            .types()
+            .iter()
+            .map(|ty| {
+                ty.availability()
+                    .map(|a| (a * s).clamp(1e-9, 1.0))
+                    .map_err(cdsf_system::SystemError::from)
+            })
+            .collect::<std::result::Result<_, _>>()?;
+        let scaled = platform.with_availabilities(&pmfs)?;
+        let phi1 = evaluate(batch, &scaled, alloc, deadline)?.joint;
+        if phi1 >= threshold {
+            tolerated = tolerated.max(1.0 - s);
+        }
+    }
+    Ok(tolerated)
+}
+
+/// Renders the surface as CSV (`scale_type1,...,scale_typeN,phi1`).
+pub fn surface_to_csv(points: &[SurfacePoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if let Some(first) = points.first() {
+        for j in 0..first.scales.len() {
+            let _ = write!(out, "scale_type{},", j + 1);
+        }
+        out.push_str("phi1\n");
+    }
+    for p in points {
+        for s in &p.scales {
+            let _ = write!(out, "{s:.4},");
+        }
+        let _ = writeln!(out, "{:.6}", p.phi1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::Assignment;
+    use crate::allocators::testutil::{paper_batch, paper_platform, DEADLINE};
+    use cdsf_system::ProcTypeId;
+
+    fn robust_alloc() -> Allocation {
+        Allocation::new(vec![
+            Assignment { proc_type: ProcTypeId(0), procs: 2 },
+            Assignment { proc_type: ProcTypeId(0), procs: 2 },
+            Assignment { proc_type: ProcTypeId(1), procs: 8 },
+        ])
+    }
+
+    #[test]
+    fn surface_has_full_grid_and_correct_corner() {
+        let (b, p) = (paper_batch(32), paper_platform());
+        let scales = [0.5, 0.75, 1.0];
+        let surface = robustness_surface(&b, &p, &robust_alloc(), DEADLINE, &scales).unwrap();
+        assert_eq!(surface.len(), 9);
+        // The (1, 1) corner is the paper's operating point.
+        let corner = surface
+            .iter()
+            .find(|pt| pt.scales == vec![1.0, 1.0])
+            .unwrap();
+        assert!((corner.phi1 - 0.745).abs() < 0.02, "{}", corner.phi1);
+    }
+
+    #[test]
+    fn surface_is_monotone_in_each_axis() {
+        let (b, p) = (paper_batch(16), paper_platform());
+        let scales = [0.4, 0.7, 1.0];
+        let surface = robustness_surface(&b, &p, &robust_alloc(), DEADLINE, &scales).unwrap();
+        // For a fixed type-1 scale, φ1 is non-decreasing in type-2 scale,
+        // and vice versa.
+        for pt in &surface {
+            for other in &surface {
+                if pt.scales[0] == other.scales[0] && pt.scales[1] < other.scales[1] {
+                    assert!(pt.phi1 <= other.phi1 + 1e-9, "{pt:?} vs {other:?}");
+                }
+                if pt.scales[1] == other.scales[1] && pt.scales[0] < other.scales[0] {
+                    assert!(pt.phi1 <= other.phi1 + 1e-9, "{pt:?} vs {other:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_tolerance_brackets_the_paper_case_study() {
+        // Uniformly scaling the paper's case-1 availabilities, the robust
+        // mapping keeps a positive φ1 threshold up to roughly the
+        // 30 %-decrease regime the paper's cases probe.
+        let (b, p) = (paper_batch(32), paper_platform());
+        let tol = diagonal_tolerance(&b, &p, &robust_alloc(), DEADLINE, 0.5, 50).unwrap();
+        assert!(tol > 0.05 && tol < 0.5, "tolerance {tol}");
+        // A demanding threshold tolerates less degradation than a lax one.
+        let strict = diagonal_tolerance(&b, &p, &robust_alloc(), DEADLINE, 0.74, 50).unwrap();
+        assert!(strict <= tol + 1e-12, "strict {strict} vs lax {tol}");
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let points = vec![
+            SurfacePoint { scales: vec![1.0, 0.5], phi1: 0.5 },
+            SurfacePoint { scales: vec![0.5, 0.5], phi1: 0.1 },
+        ];
+        let csv = surface_to_csv(&points);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "scale_type1,scale_type2,phi1");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("1.0000,0.5000,"));
+        assert!(surface_to_csv(&[]).is_empty());
+    }
+
+    #[test]
+    fn validation() {
+        let (b, p) = (paper_batch(8), paper_platform());
+        assert!(robustness_surface(&b, &p, &robust_alloc(), DEADLINE, &[]).is_err());
+        assert!(robustness_surface(&b, &p, &robust_alloc(), DEADLINE, &[1.5]).is_err());
+        assert!(robustness_surface(&b, &p, &robust_alloc(), DEADLINE, &[0.0]).is_err());
+        assert!(diagonal_tolerance(&b, &p, &robust_alloc(), DEADLINE, 0.5, 0).is_err());
+        assert!(diagonal_tolerance(&b, &p, &robust_alloc(), DEADLINE, 1.5, 5).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for Stage-I allocation over generated instances.
+
+use cdsf_pmf::discretize::{Discretize, Normal};
+use cdsf_pmf::Pmf;
+use cdsf_ra::allocators::{
+    allocate_incremental, EqualShare, Exhaustive, GreedyMaxRobust, Sufferage,
+};
+use cdsf_ra::robustness::{evaluate, ProbabilityTable};
+use cdsf_ra::{Allocation, Allocator};
+use cdsf_system::{Application, Batch, Platform, ProcessorType};
+use proptest::prelude::*;
+
+/// Strategy: a platform of 2–3 types with 2–8 processors each and random
+/// two-pulse availability.
+fn arb_platform() -> impl Strategy<Value = Platform> {
+    prop::collection::vec(
+        (2u32..=8, 0.2f64..0.8, 0.8f64..=1.0, 0.1f64..0.9),
+        2..=3,
+    )
+    .prop_map(|types| {
+        Platform::new(
+            types
+                .into_iter()
+                .enumerate()
+                .map(|(i, (count, lo, hi, w))| {
+                    let avail =
+                        Pmf::from_weighted([(lo, w), (hi, 1.0 - w)]).expect("positive weights");
+                    ProcessorType::new(format!("T{i}"), count, avail).expect("valid type")
+                })
+                .collect(),
+        )
+        .expect("non-empty")
+    })
+}
+
+/// Strategy: a batch of 2–4 applications with PMFs for `num_types` types.
+fn arb_batch(num_types: usize) -> impl Strategy<Value = Batch> {
+    prop::collection::vec(
+        (
+            10u64..=500,
+            100u64..=5_000,
+            prop::collection::vec(500.0f64..8_000.0, num_types..=num_types),
+        ),
+        2..=4,
+    )
+    .prop_map(|apps| {
+        Batch::new(
+            apps.into_iter()
+                .enumerate()
+                .map(|(i, (s, p, means))| {
+                    let mut b = Application::builder(format!("app{i}"))
+                        .serial_iters(s)
+                        .parallel_iters(p);
+                    for mu in means {
+                        b = b.exec_time_pmf(
+                            Normal::with_paper_sigma(mu).expect("valid").equiprobable(8),
+                        );
+                    }
+                    b.build().expect("valid app")
+                })
+                .collect(),
+        )
+    })
+}
+
+/// Strategy: an instance (platform, batch, deadline).
+fn arb_instance() -> impl Strategy<Value = (Platform, Batch, f64)> {
+    arb_platform().prop_flat_map(|platform| {
+        let n = platform.num_types();
+        (Just(platform), arb_batch(n), 1_000.0f64..10_000.0)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every allocator either produces a feasible allocation or reports
+    /// infeasibility — never an invalid allocation, never a panic.
+    #[test]
+    fn allocators_are_feasible_or_fail_cleanly((platform, batch, deadline) in arb_instance()) {
+        let policies: Vec<Box<dyn Allocator>> = vec![
+            Box::new(EqualShare::new()),
+            Box::new(Exhaustive::new(2).unwrap()),
+            Box::new(GreedyMaxRobust::new()),
+            Box::new(Sufferage::new()),
+        ];
+        for policy in &policies {
+            if let Ok(alloc) = policy.allocate(&batch, &platform, deadline) {
+                prop_assert!(alloc.validate(&batch, &platform).is_ok(),
+                    "{} returned an infeasible allocation", policy.name());
+            }
+        }
+    }
+
+    /// The exhaustive optimum dominates every other policy's φ1.
+    #[test]
+    fn exhaustive_dominates((platform, batch, deadline) in arb_instance()) {
+        let Ok(opt) = Exhaustive::new(2).unwrap().allocate(&batch, &platform, deadline) else {
+            return Ok(()); // infeasible instance
+        };
+        let p_opt = evaluate(&batch, &platform, &opt, deadline).unwrap().joint;
+        for policy in [&EqualShare::new() as &dyn Allocator, &GreedyMaxRobust::new(), &Sufferage::new()] {
+            if let Ok(alloc) = policy.allocate(&batch, &platform, deadline) {
+                let p = evaluate(&batch, &platform, &alloc, deadline).unwrap().joint;
+                prop_assert!(p <= p_opt + 1e-9,
+                    "{} φ1 {p} beat the exhaustive optimum {p_opt}", policy.name());
+            }
+        }
+    }
+
+    /// Incremental (wave) allocation stays feasible and below the optimum
+    /// for any wave partition.
+    #[test]
+    fn incremental_feasible_for_any_partition(
+        (platform, batch, deadline) in arb_instance(),
+        split in 1usize..=3,
+    ) {
+        let n = batch.len();
+        let first = split.min(n - 1).max(1);
+        let waves = if n > first { vec![first, n - first] } else { vec![n] };
+        if let Ok(alloc) = allocate_incremental(&batch, &platform, deadline, &waves) {
+            prop_assert!(alloc.validate(&batch, &platform).is_ok());
+            if let Ok(opt) = Exhaustive::new(2).unwrap().allocate(&batch, &platform, deadline) {
+                let p_inc = evaluate(&batch, &platform, &alloc, deadline).unwrap().joint;
+                let p_opt = evaluate(&batch, &platform, &opt, deadline).unwrap().joint;
+                prop_assert!(p_inc <= p_opt + 1e-9);
+            }
+        }
+    }
+
+    /// Probability-table lookups agree with direct evaluation on every
+    /// feasible allocation of small instances.
+    #[test]
+    fn table_agrees_with_direct_evaluation((platform, batch, deadline) in arb_instance()) {
+        let table = ProbabilityTable::build(&batch, &platform, deadline).unwrap();
+        let Ok(allocs) = Allocation::enumerate_feasible(&batch, &platform) else {
+            return Ok(());
+        };
+        for alloc in allocs.iter().take(32) {
+            let direct = evaluate(&batch, &platform, alloc, deadline).unwrap().joint;
+            let via = table.joint(alloc).unwrap();
+            prop_assert!((direct - via).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,675 @@
+//! Runtime availability processes for Stage II.
+//!
+//! Stage I treats availability as a single random draw per application run
+//! (`T/α`). At runtime, availability *fluctuates*: the load Λ on a machine
+//! comes and goes, so the instantaneous availability `A(t) = 1 − Λ(t)` is a
+//! stochastic process. Dynamic loop scheduling exists precisely to react to
+//! these fluctuations.
+//!
+//! We model `A(t)` per processor as a piecewise-constant process described
+//! by an [`AvailabilitySpec`]:
+//!
+//! * [`AvailabilitySpec::Constant`] — fixed availability (the degenerate
+//!   case used for calibration tests);
+//! * [`AvailabilitySpec::Renewal`] — at exponentially-distributed renewal
+//!   epochs, a fresh availability level is drawn from a PMF. Its stationary
+//!   distribution is exactly that PMF, so a Stage-II case `A_i` from the
+//!   paper's Table I plugs in directly;
+//! * [`AvailabilitySpec::TwoStateMarkov`] — alternates between an "unloaded"
+//!   and a "loaded" level with exponential holding times (a classic machine
+//!   interference model);
+//! * [`AvailabilitySpec::Trace`] — replays a recorded `(availability,
+//!   duration)` trace, cycling; this is the hook for real historical data.
+//!
+//! [`Timeline`] lazily materializes one realization of the process and
+//! answers the only question the simulator asks: *starting at time `t`,
+//! when does `w` units of dedicated-speed work finish?* — i.e. the smallest
+//! `t'` with `∫_t^{t'} A(s) ds = w`.
+
+use crate::{Result, SystemError};
+use cdsf_pmf::sample::AliasSampler;
+use cdsf_pmf::Pmf;
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+/// Minimum dwell/hold duration accepted by the stochastic processes, to
+/// keep segment counts finite per unit of simulated time.
+const MIN_MEAN_DURATION: f64 = 1e-9;
+
+/// Distribution of the dwell time between availability redraws in a
+/// general renewal process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DwellDistribution {
+    /// Exponential with the given mean (memoryless — the default model).
+    Exponential {
+        /// Mean dwell time.
+        mean: f64,
+    },
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Shortest dwell.
+        lo: f64,
+        /// Longest dwell.
+        hi: f64,
+    },
+    /// Log-normal with the given arithmetic mean and coefficient of
+    /// variation — heavy-tailed dwells, as observed in desktop-grid
+    /// availability traces.
+    LogNormal {
+        /// Arithmetic mean dwell time.
+        mean: f64,
+        /// Coefficient of variation (`σ/μ` of the dwell itself).
+        cov: f64,
+    },
+    /// Every dwell exactly `d` (periodic redraws).
+    Deterministic {
+        /// The fixed dwell.
+        d: f64,
+    },
+}
+
+impl DwellDistribution {
+    /// Mean dwell time of the distribution.
+    pub fn mean(&self) -> f64 {
+        match self {
+            DwellDistribution::Exponential { mean } => *mean,
+            DwellDistribution::Uniform { lo, hi } => (lo + hi) / 2.0,
+            DwellDistribution::LogNormal { mean, .. } => *mean,
+            DwellDistribution::Deterministic { d } => *d,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        let bad = |name: &'static str, value: f64| {
+            Err(SystemError::BadParameter { name, value })
+        };
+        match *self {
+            DwellDistribution::Exponential { mean } if !(mean >= MIN_MEAN_DURATION) => {
+                bad("mean", mean)
+            }
+            DwellDistribution::Uniform { lo, hi }
+                if !(lo >= MIN_MEAN_DURATION) || !(hi >= lo) =>
+            {
+                bad("lo..hi", hi - lo)
+            }
+            DwellDistribution::LogNormal { mean, cov }
+                if !(mean >= MIN_MEAN_DURATION) || !(cov > 0.0) =>
+            {
+                bad("mean/cov", mean.min(cov))
+            }
+            DwellDistribution::Deterministic { d } if !(d >= MIN_MEAN_DURATION) => bad("d", d),
+            _ => Ok(()),
+        }
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        match *self {
+            DwellDistribution::Exponential { mean } => sample_exp(mean, rng),
+            DwellDistribution::Uniform { lo, hi } => {
+                if lo == hi {
+                    lo
+                } else {
+                    WrapRng(rng).gen_range(lo..=hi)
+                }
+            }
+            DwellDistribution::LogNormal { mean, cov } => {
+                // Parameters of the underlying normal from (mean, cov).
+                let sigma2 = (1.0 + cov * cov).ln();
+                let mu = mean.ln() - sigma2 / 2.0;
+                let u: f64 = WrapRng(rng).gen_range(f64::EPSILON..1.0);
+                (mu + sigma2.sqrt() * cdsf_pmf::stats::normal_inv_cdf(u)).exp()
+            }
+            DwellDistribution::Deterministic { d } => d,
+        }
+    }
+}
+
+/// Declarative description of a per-processor availability process.
+///
+/// A spec is cheap to clone and serializable; each processor in a
+/// simulation builds its own [`Timeline`] realization from the shared spec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AvailabilitySpec {
+    /// Always-`a` availability, `a ∈ (0, 1]`.
+    Constant {
+        /// The fixed availability level.
+        a: f64,
+    },
+    /// Redraw availability from `pmf` at exponential renewal epochs with
+    /// the given mean dwell time.
+    Renewal {
+        /// Stationary availability distribution (support in `(0, 1]`).
+        pmf: Pmf,
+        /// Mean time between redraws, in simulation time units.
+        mean_dwell: f64,
+    },
+    /// Redraw availability from `pmf` with an arbitrary dwell-time
+    /// distribution (the general renewal process; `Renewal` is the
+    /// exponential special case).
+    RenewalGeneral {
+        /// Stationary availability distribution (support in `(0, 1]`).
+        pmf: Pmf,
+        /// Dwell-time distribution between redraws.
+        dwell: DwellDistribution,
+    },
+    /// Alternate between availability `up` (mean holding `mean_up`) and
+    /// `down` (mean holding `mean_down`), exponential holding times.
+    TwoStateMarkov {
+        /// Availability in the unloaded state.
+        up: f64,
+        /// Availability in the loaded state.
+        down: f64,
+        /// Mean holding time of the unloaded state.
+        mean_up: f64,
+        /// Mean holding time of the loaded state.
+        mean_down: f64,
+    },
+    /// Replay `(availability, duration)` segments, cycling at the end.
+    Trace {
+        /// The recorded segments; all durations must be positive.
+        segments: Vec<(f64, f64)>,
+    },
+}
+
+impl AvailabilitySpec {
+    /// Validates parameters and builds a fresh process realization.
+    pub fn build(&self) -> Result<Box<dyn AvailabilityProcess>> {
+        match self {
+            AvailabilitySpec::Constant { a } => {
+                check_avail(*a)?;
+                Ok(Box::new(ConstantProcess { a: *a }))
+            }
+            AvailabilitySpec::Renewal { pmf, mean_dwell } => {
+                for p in pmf.pulses() {
+                    check_avail(p.value)?;
+                }
+                let dwell = DwellDistribution::Exponential { mean: *mean_dwell };
+                dwell.validate()?;
+                Ok(Box::new(RenewalProcess { sampler: AliasSampler::new(pmf), dwell }))
+            }
+            AvailabilitySpec::RenewalGeneral { pmf, dwell } => {
+                for p in pmf.pulses() {
+                    check_avail(p.value)?;
+                }
+                dwell.validate()?;
+                Ok(Box::new(RenewalProcess {
+                    sampler: AliasSampler::new(pmf),
+                    dwell: dwell.clone(),
+                }))
+            }
+            AvailabilitySpec::TwoStateMarkov { up, down, mean_up, mean_down } => {
+                check_avail(*up)?;
+                check_avail(*down)?;
+                if !(*mean_up >= MIN_MEAN_DURATION) {
+                    return Err(SystemError::BadParameter { name: "mean_up", value: *mean_up });
+                }
+                if !(*mean_down >= MIN_MEAN_DURATION) {
+                    return Err(SystemError::BadParameter {
+                        name: "mean_down",
+                        value: *mean_down,
+                    });
+                }
+                Ok(Box::new(MarkovProcess {
+                    up: *up,
+                    down: *down,
+                    mean_up: *mean_up,
+                    mean_down: *mean_down,
+                    in_up: true,
+                }))
+            }
+            AvailabilitySpec::Trace { segments } => {
+                if segments.is_empty() {
+                    return Err(SystemError::BadParameter {
+                        name: "segments.len",
+                        value: 0.0,
+                    });
+                }
+                for &(a, d) in segments {
+                    check_avail(a)?;
+                    if !(d > 0.0) && !d.is_infinite() {
+                        return Err(SystemError::BadParameter { name: "duration", value: d });
+                    }
+                }
+                Ok(Box::new(TraceProcess { segments: segments.clone(), idx: 0 }))
+            }
+        }
+    }
+
+    /// Long-run (stationary) mean availability of the process.
+    pub fn stationary_mean(&self) -> f64 {
+        match self {
+            AvailabilitySpec::Constant { a } => *a,
+            AvailabilitySpec::Renewal { pmf, .. }
+            | AvailabilitySpec::RenewalGeneral { pmf, .. } => pmf.expectation(),
+            AvailabilitySpec::TwoStateMarkov { up, down, mean_up, mean_down } => {
+                (up * mean_up + down * mean_down) / (mean_up + mean_down)
+            }
+            AvailabilitySpec::Trace { segments } => {
+                let finite: Vec<&(f64, f64)> =
+                    segments.iter().filter(|(_, d)| d.is_finite()).collect();
+                if finite.is_empty() {
+                    return segments.first().map_or(1.0, |&(a, _)| a);
+                }
+                let total: f64 = finite.iter().map(|(_, d)| d).sum();
+                finite.iter().map(|(a, d)| a * d).sum::<f64>() / total
+            }
+        }
+    }
+}
+
+fn check_avail(a: f64) -> Result<()> {
+    if a > 0.0 && a <= 1.0 {
+        Ok(())
+    } else {
+        Err(SystemError::BadParameter { name: "availability", value: a })
+    }
+}
+
+/// One realization of a piecewise-constant availability process: an
+/// infinite stream of `(availability, duration)` segments.
+pub trait AvailabilityProcess: Send {
+    /// Produces the next segment. `availability ∈ (0, 1]`; `duration > 0`
+    /// (may be `f64::INFINITY` for terminal segments).
+    fn next_segment(&mut self, rng: &mut dyn RngCore) -> (f64, f64);
+}
+
+struct ConstantProcess {
+    a: f64,
+}
+
+impl AvailabilityProcess for ConstantProcess {
+    fn next_segment(&mut self, _rng: &mut dyn RngCore) -> (f64, f64) {
+        (self.a, f64::INFINITY)
+    }
+}
+
+struct RenewalProcess {
+    sampler: AliasSampler,
+    dwell: DwellDistribution,
+}
+
+impl AvailabilityProcess for RenewalProcess {
+    fn next_segment(&mut self, rng: &mut dyn RngCore) -> (f64, f64) {
+        let a = self.sampler.sample(&mut WrapRng(rng));
+        let d = self.dwell.sample(rng).max(MIN_MEAN_DURATION);
+        (a, d)
+    }
+}
+
+struct MarkovProcess {
+    up: f64,
+    down: f64,
+    mean_up: f64,
+    mean_down: f64,
+    in_up: bool,
+}
+
+impl AvailabilityProcess for MarkovProcess {
+    fn next_segment(&mut self, rng: &mut dyn RngCore) -> (f64, f64) {
+        let (a, mean) = if self.in_up {
+            (self.up, self.mean_up)
+        } else {
+            (self.down, self.mean_down)
+        };
+        self.in_up = !self.in_up;
+        (a, sample_exp(mean, rng))
+    }
+}
+
+struct TraceProcess {
+    segments: Vec<(f64, f64)>,
+    idx: usize,
+}
+
+impl AvailabilityProcess for TraceProcess {
+    fn next_segment(&mut self, _rng: &mut dyn RngCore) -> (f64, f64) {
+        let seg = self.segments[self.idx % self.segments.len()];
+        self.idx += 1;
+        seg
+    }
+}
+
+/// Exponential variate with the given mean (inverse-CDF).
+fn sample_exp(mean: f64, rng: &mut dyn RngCore) -> f64 {
+    let u: f64 = WrapRng(rng).gen_range(f64::EPSILON..1.0);
+    -u.ln() * mean
+}
+
+/// Adapter: `&mut dyn RngCore` → `impl Rng`.
+struct WrapRng<'a>(&'a mut dyn RngCore);
+
+impl RngCore for WrapRng<'_> {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> std::result::Result<(), rand::Error> {
+        self.0.try_fill_bytes(dest)
+    }
+}
+
+/// A lazily-materialized realization of an availability process with
+/// work-integration queries.
+///
+/// Segment `k` covers `[starts[k], starts[k] + durations[k])` at level
+/// `levels[k]`; segments are generated on demand and cached so repeated
+/// queries see a *consistent* realization (crucial: two chunks executing
+/// back-to-back on the same processor must observe the same availability
+/// history).
+pub struct Timeline {
+    process: Box<dyn AvailabilityProcess>,
+    /// Segment start times; `starts[0] == 0`.
+    starts: Vec<f64>,
+    levels: Vec<f64>,
+    /// Cumulative dedicated-work capacity delivered before each segment:
+    /// `cum_work[k] = ∫_0^{starts[k]} A(s) ds`.
+    cum_work: Vec<f64>,
+}
+
+impl Timeline {
+    /// Builds a timeline over a fresh realization of `spec`.
+    pub fn new(spec: &AvailabilitySpec) -> Result<Self> {
+        Ok(Self {
+            process: spec.build()?,
+            starts: vec![0.0],
+            levels: Vec::new(),
+            cum_work: vec![0.0],
+        })
+    }
+
+    /// Ensures segments cover at least time `t` (or enough work), extending
+    /// lazily from the process.
+    fn extend_to_time(&mut self, t: f64, rng: &mut dyn RngCore) {
+        while *self.starts.last().expect("non-empty") <= t {
+            self.push_segment(rng);
+        }
+    }
+
+    fn push_segment(&mut self, rng: &mut dyn RngCore) {
+        let (a, d) = self.process.next_segment(rng);
+        debug_assert!(a > 0.0 && a <= 1.0, "process produced availability {a}");
+        debug_assert!(d > 0.0, "process produced duration {d}");
+        let start = *self.starts.last().expect("non-empty");
+        let end = start + d;
+        let work = if d.is_infinite() { f64::INFINITY } else { a * d };
+        self.levels.push(a);
+        self.starts.push(end);
+        let cum = *self.cum_work.last().expect("non-empty");
+        self.cum_work.push(cum + work);
+    }
+
+    /// Instantaneous availability at time `t ≥ 0`.
+    pub fn availability_at(&mut self, t: f64, rng: &mut dyn RngCore) -> f64 {
+        self.extend_to_time(t, rng);
+        // Last start > t, so partition_point ∈ [1, len).
+        let idx = self.starts.partition_point(|&s| s <= t);
+        self.levels[idx - 1]
+    }
+
+    /// Smallest `t'` such that `∫_start^{t'} A(s) ds = work`.
+    ///
+    /// `work` is expressed in dedicated-processor time units (the time the
+    /// computation would take at availability 1.0).
+    pub fn finish_time(&mut self, start: f64, work: f64, rng: &mut dyn RngCore) -> f64 {
+        assert!(start >= 0.0, "start must be non-negative, got {start}");
+        assert!(work >= 0.0, "work must be non-negative, got {work}");
+        if work == 0.0 {
+            return start;
+        }
+        self.extend_to_time(start, rng);
+        let seg = self.starts.partition_point(|&s| s <= start) - 1;
+        // Work delivered from `start` to the end of segment `seg`.
+        let mut remaining = work;
+        let mut idx = seg;
+        let mut pos = start;
+        loop {
+            if idx >= self.levels.len() {
+                self.push_segment(rng);
+            }
+            let seg_end = self.starts[idx + 1];
+            let level = self.levels[idx];
+            let capacity = if seg_end.is_infinite() {
+                f64::INFINITY
+            } else {
+                (seg_end - pos) * level
+            };
+            if capacity >= remaining {
+                return pos + remaining / level;
+            }
+            remaining -= capacity;
+            pos = seg_end;
+            idx += 1;
+        }
+    }
+
+    /// Average availability over `[0, t]` for a materialized horizon —
+    /// diagnostic used by tests to confirm stationary behaviour.
+    pub fn mean_availability_until(&mut self, t: f64, rng: &mut dyn RngCore) -> f64 {
+        assert!(t > 0.0);
+        self.extend_to_time(t, rng);
+        let mut acc = 0.0;
+        for k in 0..self.levels.len() {
+            let s = self.starts[k];
+            if s >= t {
+                break;
+            }
+            let e = self.starts[k + 1].min(t);
+            acc += (e - s) * self.levels[k];
+        }
+        acc / t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(2024)
+    }
+
+    #[test]
+    fn constant_spec_validates() {
+        assert!(AvailabilitySpec::Constant { a: 0.5 }.build().is_ok());
+        assert!(AvailabilitySpec::Constant { a: 0.0 }.build().is_err());
+        assert!(AvailabilitySpec::Constant { a: 1.5 }.build().is_err());
+    }
+
+    #[test]
+    fn renewal_spec_validates() {
+        let pmf = Pmf::from_pairs([(0.5, 0.5), (1.0, 0.5)]).unwrap();
+        assert!(AvailabilitySpec::Renewal { pmf: pmf.clone(), mean_dwell: 10.0 }
+            .build()
+            .is_ok());
+        assert!(AvailabilitySpec::Renewal { pmf: pmf.clone(), mean_dwell: 0.0 }
+            .build()
+            .is_err());
+        let bad = Pmf::from_pairs([(0.0, 0.5), (1.0, 0.5)]).unwrap();
+        assert!(AvailabilitySpec::Renewal { pmf: bad, mean_dwell: 1.0 }.build().is_err());
+    }
+
+    #[test]
+    fn trace_spec_validates() {
+        assert!(AvailabilitySpec::Trace { segments: vec![] }.build().is_err());
+        assert!(AvailabilitySpec::Trace { segments: vec![(0.5, -1.0)] }.build().is_err());
+        assert!(AvailabilitySpec::Trace { segments: vec![(0.5, 3.0), (1.0, 1.0)] }
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn constant_finish_time_is_work_over_a() {
+        let mut tl = Timeline::new(&AvailabilitySpec::Constant { a: 0.5 }).unwrap();
+        let mut r = rng();
+        assert_eq!(tl.finish_time(0.0, 10.0, &mut r), 20.0);
+        assert_eq!(tl.finish_time(5.0, 10.0, &mut r), 25.0);
+        assert_eq!(tl.finish_time(7.0, 0.0, &mut r), 7.0);
+    }
+
+    #[test]
+    fn trace_finish_time_crosses_segments() {
+        // 1.0 for 10 units, then 0.25 forever (cycling keeps yielding 0.25
+        // because both segments repeat: 1.0(10), 0.25(10), 1.0(10)...).
+        let spec = AvailabilitySpec::Trace { segments: vec![(1.0, 10.0), (0.25, 10.0)] };
+        let mut tl = Timeline::new(&spec).unwrap();
+        let mut r = rng();
+        // 12 units of work from t=0: 10 done by t=10, remaining 2 at 0.25
+        // takes 8 → finish 18.
+        assert!((tl.finish_time(0.0, 12.0, &mut r) - 18.0).abs() < 1e-12);
+        // Starting inside the slow segment.
+        assert!((tl.finish_time(10.0, 1.0, &mut r) - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn availability_at_reads_levels() {
+        let spec = AvailabilitySpec::Trace { segments: vec![(1.0, 10.0), (0.25, 10.0)] };
+        let mut tl = Timeline::new(&spec).unwrap();
+        let mut r = rng();
+        assert_eq!(tl.availability_at(0.0, &mut r), 1.0);
+        assert_eq!(tl.availability_at(9.999, &mut r), 1.0);
+        assert_eq!(tl.availability_at(10.0, &mut r), 0.25);
+        assert_eq!(tl.availability_at(25.0, &mut r), 1.0); // cycled
+    }
+
+    #[test]
+    fn timeline_queries_are_consistent() {
+        // Asking twice about the same interval must give the same answer —
+        // the realization is cached.
+        let pmf = Pmf::from_pairs([(0.25, 0.25), (0.5, 0.25), (1.0, 0.5)]).unwrap();
+        let spec = AvailabilitySpec::Renewal { pmf, mean_dwell: 5.0 };
+        let mut tl = Timeline::new(&spec).unwrap();
+        let mut r = rng();
+        let f1 = tl.finish_time(3.0, 100.0, &mut r);
+        let f2 = tl.finish_time(3.0, 100.0, &mut r);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn renewal_long_run_mean_matches_pmf() {
+        let pmf = Pmf::from_pairs([(0.25, 0.25), (0.5, 0.25), (1.0, 0.5)]).unwrap();
+        let spec = AvailabilitySpec::Renewal { pmf: pmf.clone(), mean_dwell: 2.0 };
+        assert!((spec.stationary_mean() - 0.6875).abs() < 1e-12);
+        let mut tl = Timeline::new(&spec).unwrap();
+        let mut r = rng();
+        let mean = tl.mean_availability_until(200_000.0, &mut r);
+        assert!(
+            (mean - 0.6875).abs() < 0.01,
+            "long-run mean {mean} vs stationary 0.6875"
+        );
+    }
+
+    #[test]
+    fn dwell_distribution_means_and_validation() {
+        assert_eq!(DwellDistribution::Exponential { mean: 5.0 }.mean(), 5.0);
+        assert_eq!(DwellDistribution::Uniform { lo: 2.0, hi: 6.0 }.mean(), 4.0);
+        assert_eq!(DwellDistribution::LogNormal { mean: 7.0, cov: 0.5 }.mean(), 7.0);
+        assert_eq!(DwellDistribution::Deterministic { d: 3.0 }.mean(), 3.0);
+        let pmf = Pmf::from_pairs([(0.5, 1.0)]).unwrap();
+        for bad in [
+            DwellDistribution::Exponential { mean: 0.0 },
+            DwellDistribution::Uniform { lo: 0.0, hi: 1.0 },
+            DwellDistribution::Uniform { lo: 5.0, hi: 1.0 },
+            DwellDistribution::LogNormal { mean: 1.0, cov: 0.0 },
+            DwellDistribution::Deterministic { d: -1.0 },
+        ] {
+            assert!(
+                AvailabilitySpec::RenewalGeneral { pmf: pmf.clone(), dwell: bad.clone() }
+                    .build()
+                    .is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn general_renewal_long_run_mean_is_dwell_invariant() {
+        // With dwell independent of level, the time-average availability is
+        // E[α] for *any* dwell distribution (no inspection-paradox bias).
+        let pmf = Pmf::from_pairs([(0.25, 0.25), (0.5, 0.25), (1.0, 0.5)]).unwrap();
+        for dwell in [
+            DwellDistribution::Exponential { mean: 40.0 },
+            DwellDistribution::Uniform { lo: 10.0, hi: 70.0 },
+            DwellDistribution::LogNormal { mean: 40.0, cov: 1.5 },
+            DwellDistribution::Deterministic { d: 40.0 },
+        ] {
+            let spec =
+                AvailabilitySpec::RenewalGeneral { pmf: pmf.clone(), dwell: dwell.clone() };
+            assert!((spec.stationary_mean() - 0.6875).abs() < 1e-12);
+            let mut tl = Timeline::new(&spec).unwrap();
+            let mut r = rng();
+            let mean = tl.mean_availability_until(150_000.0, &mut r);
+            assert!(
+                (mean - 0.6875).abs() < 0.02,
+                "{dwell:?}: long-run mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_dwell_is_periodic() {
+        let pmf = Pmf::from_pairs([(0.5, 0.5), (1.0, 0.5)]).unwrap();
+        let spec = AvailabilitySpec::RenewalGeneral {
+            pmf,
+            dwell: DwellDistribution::Deterministic { d: 10.0 },
+        };
+        let mut tl = Timeline::new(&spec).unwrap();
+        let mut r = rng();
+        // Levels change only at multiples of 10.
+        for k in 0..20 {
+            let t = k as f64 * 10.0;
+            let a_start = tl.availability_at(t + 0.01, &mut r);
+            let a_end = tl.availability_at(t + 9.99, &mut r);
+            assert_eq!(a_start, a_end, "level changed mid-segment at t={t}");
+        }
+    }
+
+    #[test]
+    fn markov_stationary_mean() {
+        let spec = AvailabilitySpec::TwoStateMarkov {
+            up: 1.0,
+            down: 0.25,
+            mean_up: 30.0,
+            mean_down: 10.0,
+        };
+        let want = (1.0 * 30.0 + 0.25 * 10.0) / 40.0;
+        assert!((spec.stationary_mean() - want).abs() < 1e-12);
+        let mut tl = Timeline::new(&spec).unwrap();
+        let mut r = rng();
+        let mean = tl.mean_availability_until(300_000.0, &mut r);
+        assert!((mean - want).abs() < 0.01, "long-run {mean} vs {want}");
+    }
+
+    #[test]
+    fn finish_time_monotone_in_work() {
+        let pmf = Pmf::from_pairs([(0.3, 0.5), (0.9, 0.5)]).unwrap();
+        let spec = AvailabilitySpec::Renewal { pmf, mean_dwell: 7.0 };
+        let mut tl = Timeline::new(&spec).unwrap();
+        let mut r = rng();
+        let mut prev = 0.0;
+        for w in [1.0, 5.0, 25.0, 125.0] {
+            let f = tl.finish_time(0.0, w, &mut r);
+            assert!(f > prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn finish_time_bounded_by_extreme_availabilities() {
+        // Work w at availabilities within [lo, hi] must finish within
+        // [start + w/hi, start + w/lo].
+        let pmf = Pmf::from_pairs([(0.2, 0.5), (0.8, 0.5)]).unwrap();
+        let spec = AvailabilitySpec::Renewal { pmf, mean_dwell: 3.0 };
+        let mut tl = Timeline::new(&spec).unwrap();
+        let mut r = rng();
+        let f = tl.finish_time(10.0, 40.0, &mut r);
+        assert!(f >= 10.0 + 40.0 / 0.8 - 1e-9);
+        assert!(f <= 10.0 + 40.0 / 0.2 + 1e-9);
+    }
+}

@@ -1,0 +1,158 @@
+use std::fmt;
+
+/// Errors produced when building or querying system models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SystemError {
+    /// A platform needs at least one processor type.
+    NoProcessorTypes,
+    /// A processor type must have at least one processor.
+    EmptyProcessorType {
+        /// The offending type's name.
+        name: String,
+    },
+    /// An availability PMF must have support in `(0, 1]`.
+    AvailabilityOutOfRange {
+        /// The offending type's name.
+        name: String,
+        /// The out-of-range support value.
+        value: f64,
+    },
+    /// An application needs at least one iteration.
+    NoIterations {
+        /// The offending application's name.
+        name: String,
+    },
+    /// An application is missing an execution-time PMF for a processor type.
+    MissingExecutionTime {
+        /// Application name.
+        app: String,
+        /// Processor type index.
+        proc_type: usize,
+    },
+    /// An execution-time PMF has non-positive support.
+    NonPositiveExecutionTime {
+        /// Application name.
+        app: String,
+        /// The offending support value.
+        value: f64,
+    },
+    /// A processor count outside the platform's range was requested.
+    ProcessorCountUnavailable {
+        /// Requested count.
+        requested: u32,
+        /// Available count for the type.
+        available: u32,
+    },
+    /// Unknown processor-type index.
+    UnknownProcType(usize),
+    /// Unknown application index.
+    UnknownApp(usize),
+    /// An underlying PMF operation failed.
+    Pmf(cdsf_pmf::PmfError),
+    /// A model parameter was out of its domain.
+    BadParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::NoProcessorTypes => {
+                write!(f, "a platform requires at least one processor type")
+            }
+            SystemError::EmptyProcessorType { name } => {
+                write!(f, "processor type `{name}` has zero processors")
+            }
+            SystemError::AvailabilityOutOfRange { name, value } => write!(
+                f,
+                "processor type `{name}` has availability {value} outside (0, 1]"
+            ),
+            SystemError::NoIterations { name } => {
+                write!(f, "application `{name}` has zero iterations")
+            }
+            SystemError::MissingExecutionTime { app, proc_type } => write!(
+                f,
+                "application `{app}` has no execution-time PMF for processor type {proc_type}"
+            ),
+            SystemError::NonPositiveExecutionTime { app, value } => write!(
+                f,
+                "application `{app}` has non-positive execution time {value}"
+            ),
+            SystemError::ProcessorCountUnavailable { requested, available } => write!(
+                f,
+                "requested {requested} processors but the type only has {available}"
+            ),
+            SystemError::UnknownProcType(i) => write!(f, "unknown processor type index {i}"),
+            SystemError::UnknownApp(i) => write!(f, "unknown application index {i}"),
+            SystemError::Pmf(e) => write!(f, "PMF error: {e}"),
+            SystemError::BadParameter { name, value } => {
+                write!(f, "parameter `{name}` = {value} is out of domain")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SystemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SystemError::Pmf(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cdsf_pmf::PmfError> for SystemError {
+    fn from(e: cdsf_pmf::PmfError) -> Self {
+        SystemError::Pmf(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_displays_its_payload() {
+        let cases: Vec<(SystemError, &str)> = vec![
+            (SystemError::NoProcessorTypes, "processor type"),
+            (SystemError::EmptyProcessorType { name: "T9".into() }, "T9"),
+            (
+                SystemError::AvailabilityOutOfRange { name: "T1".into(), value: 1.5 },
+                "1.5",
+            ),
+            (SystemError::NoIterations { name: "appX".into() }, "appX"),
+            (
+                SystemError::MissingExecutionTime { app: "appY".into(), proc_type: 3 },
+                "3",
+            ),
+            (
+                SystemError::NonPositiveExecutionTime { app: "appZ".into(), value: -1.0 },
+                "appZ",
+            ),
+            (
+                SystemError::ProcessorCountUnavailable { requested: 8, available: 4 },
+                "8",
+            ),
+            (SystemError::UnknownProcType(7), "7"),
+            (SystemError::UnknownApp(2), "2"),
+            (SystemError::Pmf(cdsf_pmf::PmfError::Empty), "PMF"),
+            (SystemError::BadParameter { name: "dwell", value: 0.0 }, "dwell"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn sources_chain_to_inner_errors() {
+        use std::error::Error as _;
+        assert!(SystemError::Pmf(cdsf_pmf::PmfError::Empty).source().is_some());
+        assert!(SystemError::NoProcessorTypes.source().is_none());
+    }
+}

@@ -1,0 +1,19 @@
+//! # `cdsf-workloads` — workload fixtures and generators
+//!
+//! * [`paper`] — the paper's small-scale example as a canonical fixture:
+//!   the 12-processor two-type platform, the four availability cases of
+//!   Table I, the three-application batch of Tables II–III, and the
+//!   Δ = 3250 deadline. Every repro binary and integration test builds on
+//!   this module, so the numbers live in exactly one place.
+//! * [`generators`] — seeded random generators for larger studies: batches
+//!   with configurable size/fraction/time distributions, platforms with
+//!   many processor types, and availability cases targeting a given
+//!   weighted-availability decrease (the paper's future-work "larger scale
+//!   problem").
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod generators;
+pub mod paper;
+pub mod traces;

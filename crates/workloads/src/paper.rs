@@ -1,0 +1,225 @@
+//! The paper's small-scale example (Section IV), encoded once.
+//!
+//! All quantities are taken verbatim from the paper's tables:
+//!
+//! * **Table I** — four availability cases. Case 1 is the historical
+//!   availability `Â` used for Stage-I mapping; cases 2–4 are runtime
+//!   cases with decreasing weighted system availability (−28.17 %,
+//!   −30.77 %, −32.77 % relative to case 1).
+//! * **Table II** — three applications with serial/parallel iteration
+//!   counts (439+1024, 512+2048, 216+4096).
+//! * **Table III** — normal-distribution mean single-processor execution
+//!   times, `σ = μ/10`.
+//! * Deadline **Δ = 3250** time units.
+
+use cdsf_pmf::Pmf;
+use cdsf_system::{Application, Batch, Platform, ProcessorType};
+
+/// The paper's system deadline Δ (time units).
+pub const DEADLINE: f64 = 3250.0;
+
+/// Number of availability cases in Table I.
+pub const NUM_CASES: usize = 4;
+
+/// Default PMF resolution (pulses per execution-time distribution) used by
+/// the fixture. 64 equiprobable pulses reproduce every published number to
+/// within the paper's own sampling noise.
+pub const DEFAULT_PULSES: usize = 64;
+
+/// Per-type availability PMFs for one of the paper's Table I cases
+/// (`case` is 1-based, matching the paper). Index 0 = type 1, 1 = type 2.
+///
+/// # Panics
+/// Panics if `case` is not in `1..=4` — the fixture mirrors the paper's
+/// fixed table.
+pub fn availability_case(case: usize) -> [Pmf; 2] {
+    let pairs: [(&[(f64, f64)], &[(f64, f64)]); 4] = [
+        // Case 1 (Â): type 1 {75%: .5, 100%: .5}; type 2 {25: .25, 50: .25, 100: .5}.
+        (&[(0.75, 0.50), (1.00, 0.50)], &[(0.25, 0.25), (0.50, 0.25), (1.00, 0.50)]),
+        // Case 2: type 1 {50: .9, 75: .1}; type 2 {33: .45, 66: .45, 100: .1}.
+        (&[(0.50, 0.90), (0.75, 0.10)], &[(0.33, 0.45), (0.66, 0.45), (1.00, 0.10)]),
+        // Case 3: type 1 {52: .5, 69: .5}; type 2 {17: .25, 35: .25, 69: .5}.
+        (&[(0.52, 0.50), (0.69, 0.50)], &[(0.17, 0.25), (0.35, 0.25), (0.69, 0.50)]),
+        // Case 4: type 1 {33: .75, 66: .25}; type 2 {20: .5, 80: .25, 100: .25}.
+        (&[(0.33, 0.75), (0.66, 0.25)], &[(0.20, 0.50), (0.80, 0.25), (1.00, 0.25)]),
+    ];
+    assert!(
+        (1..=NUM_CASES).contains(&case),
+        "Table I defines cases 1..=4, got {case}"
+    );
+    let (t1, t2) = pairs[case - 1];
+    [
+        Pmf::from_pairs(t1.iter().copied()).expect("Table I case is a valid PMF"),
+        Pmf::from_pairs(t2.iter().copied()).expect("Table I case is a valid PMF"),
+    ]
+}
+
+/// The platform under availability case `case` (1-based): 4 processors of
+/// type 1 and 8 of type 2.
+pub fn platform_case(case: usize) -> Platform {
+    let [a1, a2] = availability_case(case);
+    Platform::new(vec![
+        ProcessorType::new("Type 1", 4, a1).expect("valid fixture"),
+        ProcessorType::new("Type 2", 8, a2).expect("valid fixture"),
+    ])
+    .expect("valid fixture")
+}
+
+/// The historical platform `Â` used in Stage I (Table I, case 1).
+pub fn platform() -> Platform {
+    platform_case(1)
+}
+
+/// Table III mean single-processor execution times:
+/// `MEANS[app][type]`, apps and types 0-indexed.
+pub const MEANS: [[f64; 2]; 3] = [
+    [1_800.0, 4_000.0],
+    [2_800.0, 6_000.0],
+    [12_000.0, 8_000.0],
+];
+
+/// Table II iteration counts: `(serial, parallel)` per application.
+pub const ITERATIONS: [(u64, u64); 3] = [(439, 1024), (512, 2048), (216, 4096)];
+
+/// The paper's batch of three applications with execution-time PMFs of
+/// `pulses` equiprobable pulses from `N(μ, (μ/10)²)` (Table III).
+pub fn batch_with_pulses(pulses: usize) -> Batch {
+    let apps = (0..3)
+        .map(|i| {
+            let (s, p) = ITERATIONS[i];
+            Application::builder(format!("application {}", i + 1))
+                .serial_iters(s)
+                .parallel_iters(p)
+                .exec_time_normal(MEANS[i][0], pulses)
+                .expect("valid fixture mean")
+                .exec_time_normal(MEANS[i][1], pulses)
+                .expect("valid fixture mean")
+                .build()
+                .expect("valid fixture application")
+        })
+        .collect();
+    Batch::new(apps)
+}
+
+/// The paper's batch at the default PMF resolution.
+pub fn batch() -> Batch {
+    batch_with_pulses(DEFAULT_PULSES)
+}
+
+/// Weighted system availability of each Table I case, computed from the
+/// PMFs via Eq. (1). (The paper's printed values: 75.00, 53.87, 51.92,
+/// 50.42 — case 3 differs in the second decimal due to the paper's own
+/// rounding of per-type expectations.)
+pub fn weighted_availability(case: usize) -> f64 {
+    platform_case(case).weighted_availability()
+}
+
+/// The paper's Stage-II robustness ingredient `1 − E[A_case]/E[Â]` for a
+/// case (square brackets in Table I). Case 1 yields 0.
+pub fn availability_decrease(case: usize) -> f64 {
+    platform_case(case).availability_decrease_vs(&platform())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case1_weighted_availability_is_75pct() {
+        assert!((weighted_availability(1) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_availabilities_match_table1() {
+        // Paper column 5: 87.50/68.75, 52.50/54.55, 60.58/47.60, 41.25/55.00.
+        let expect = [
+            (0.8750, 0.6875),
+            (0.5250, 0.5455),
+            (0.6050, 0.4750), // paper prints 60.58/47.60 (its own rounding)
+            (0.4125, 0.5500),
+        ];
+        for (case, &(e1, e2)) in (1..=4).zip(&expect) {
+            let p = platform_case(case);
+            assert!(
+                (p.types()[0].expected_availability() - e1).abs() < 2e-3,
+                "case {case} type 1: {}",
+                p.types()[0].expected_availability()
+            );
+            assert!(
+                (p.types()[1].expected_availability() - e2).abs() < 2e-3,
+                "case {case} type 2: {}",
+                p.types()[1].expected_availability()
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_availabilities_match_table1() {
+        // Paper column 6: 75.00, 53.87, 51.92, 50.42.
+        let expect = [0.7500, 0.5387, 0.5192, 0.5042];
+        for (case, &w) in (1..=4).zip(&expect) {
+            assert!(
+                (weighted_availability(case) - w).abs() < 2e-3,
+                "case {case}: {}",
+                weighted_availability(case)
+            );
+        }
+    }
+
+    #[test]
+    fn availability_decreases_match_table1_brackets() {
+        // Paper square brackets: 28.17 %, 30.77 %, 32.77 %.
+        let expect = [0.2817, 0.3077, 0.3277];
+        for (case, &d) in (2..=4).zip(&expect) {
+            assert!(
+                (availability_decrease(case) - d).abs() < 2e-3,
+                "case {case}: {}",
+                availability_decrease(case)
+            );
+        }
+        assert!(availability_decrease(1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cases_are_ordered_by_decreasing_availability() {
+        // Paper: E[A1] > E[A2] > E[A3] > E[A4].
+        let w: Vec<f64> = (1..=4).map(weighted_availability).collect();
+        assert!(w.windows(2).all(|x| x[0] > x[1]), "{w:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cases 1..=4")]
+    fn case_zero_panics() {
+        availability_case(0);
+    }
+
+    #[test]
+    fn batch_matches_table2_and_3() {
+        let b = batch();
+        assert_eq!(b.len(), 3);
+        let fracs = [0.30, 0.20, 0.05];
+        for ((id, app), &f) in b.iter().zip(&fracs) {
+            assert!(
+                (app.serial_fraction() - f).abs() < 0.005,
+                "{id}: serial fraction {}",
+                app.serial_fraction()
+            );
+            for j in 0..2 {
+                let mu = app
+                    .expected_exec_time(cdsf_system::ProcTypeId(j))
+                    .unwrap();
+                assert!(
+                    (mu - MEANS[id.0][j]).abs() < 1.0,
+                    "{id} type {j}: {mu}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pulse_resolution_is_respected() {
+        let b = batch_with_pulses(16);
+        let app = b.app(cdsf_system::AppId(0)).unwrap();
+        assert_eq!(app.exec_time(cdsf_system::ProcTypeId(0)).unwrap().len(), 16);
+    }
+}

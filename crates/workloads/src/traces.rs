@@ -1,0 +1,203 @@
+//! Synthetic availability traces with realistic structure.
+//!
+//! Historical machine availability is not a stationary renewal process:
+//! desktop grids and shared clusters show strong *diurnal* patterns (free
+//! at night, loaded during work hours) plus noise. This module generates
+//! such traces as `(availability, duration)` segment lists that plug into
+//! [`AvailabilitySpec::Trace`] for playback or into [`cdsf_system::fit`]
+//! for model fitting — so the whole calibration pipeline can be exercised
+//! against structured (non-renewal) ground truth.
+
+use cdsf_system::availability::AvailabilitySpec;
+use cdsf_system::{Result, SystemError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a diurnal availability trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiurnalTrace {
+    /// Length of one day in simulation time units.
+    pub day_length: f64,
+    /// Number of days to generate.
+    pub days: usize,
+    /// Mean availability during the off-peak (night) window.
+    pub night_availability: f64,
+    /// Mean availability during the peak (work-hours) window.
+    pub day_availability: f64,
+    /// Fraction of each day that is peak, in `(0, 1)`.
+    pub peak_fraction: f64,
+    /// Relative noise on each segment's availability (uniform ±noise·mean),
+    /// clamped into `(0, 1]`.
+    pub noise: f64,
+    /// Segments per window (granularity of the noise).
+    pub segments_per_window: usize,
+}
+
+impl Default for DiurnalTrace {
+    fn default() -> Self {
+        Self {
+            day_length: 2_880.0, // e.g. one "minute" = 0.5 time units
+            days: 7,
+            night_availability: 0.9,
+            day_availability: 0.4,
+            peak_fraction: 1.0 / 3.0,
+            noise: 0.1,
+            segments_per_window: 4,
+        }
+    }
+}
+
+impl DiurnalTrace {
+    fn validate(&self) -> Result<()> {
+        let bad = |name: &'static str, value: f64| {
+            Err(SystemError::BadParameter { name, value })
+        };
+        if !(self.day_length > 0.0) {
+            return bad("day_length", self.day_length);
+        }
+        if self.days == 0 {
+            return bad("days", 0.0);
+        }
+        for (name, a) in [
+            ("night_availability", self.night_availability),
+            ("day_availability", self.day_availability),
+        ] {
+            if !(a > 0.0 && a <= 1.0) {
+                return bad(name, a);
+            }
+        }
+        if !(self.peak_fraction > 0.0 && self.peak_fraction < 1.0) {
+            return bad("peak_fraction", self.peak_fraction);
+        }
+        if !(0.0..1.0).contains(&self.noise) {
+            return bad("noise", self.noise);
+        }
+        if self.segments_per_window == 0 {
+            return bad("segments_per_window", 0.0);
+        }
+        Ok(())
+    }
+
+    /// Generates the `(availability, duration)` segments.
+    pub fn segments(&self, seed: u64) -> Result<Vec<(f64, f64)>> {
+        self.validate()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(self.days * 2 * self.segments_per_window);
+        let peak_len = self.day_length * self.peak_fraction;
+        let night_len = self.day_length - peak_len;
+        let jittered = |mean: f64, rng: &mut StdRng| -> f64 {
+            if self.noise == 0.0 {
+                return mean;
+            }
+            let factor = 1.0 + rng.gen_range(-self.noise..=self.noise);
+            (mean * factor).clamp(1e-3, 1.0)
+        };
+        for _ in 0..self.days {
+            // Night window first (day starts at midnight).
+            for _ in 0..self.segments_per_window {
+                out.push((
+                    jittered(self.night_availability, &mut rng),
+                    night_len / self.segments_per_window as f64,
+                ));
+            }
+            for _ in 0..self.segments_per_window {
+                out.push((
+                    jittered(self.day_availability, &mut rng),
+                    peak_len / self.segments_per_window as f64,
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Generates the trace as a playable [`AvailabilitySpec::Trace`].
+    pub fn spec(&self, seed: u64) -> Result<AvailabilitySpec> {
+        Ok(AvailabilitySpec::Trace { segments: self.segments(seed)? })
+    }
+
+    /// The time-averaged availability the trace targets (before noise).
+    pub fn mean_availability(&self) -> f64 {
+        self.night_availability * (1.0 - self.peak_fraction)
+            + self.day_availability * self.peak_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdsf_system::availability::Timeline;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let ok = DiurnalTrace::default();
+        assert!(ok.segments(0).is_ok());
+        for bad in [
+            DiurnalTrace { day_length: 0.0, ..ok.clone() },
+            DiurnalTrace { days: 0, ..ok.clone() },
+            DiurnalTrace { night_availability: 0.0, ..ok.clone() },
+            DiurnalTrace { day_availability: 1.5, ..ok.clone() },
+            DiurnalTrace { peak_fraction: 1.0, ..ok.clone() },
+            DiurnalTrace { noise: 1.0, ..ok.clone() },
+            DiurnalTrace { segments_per_window: 0, ..ok.clone() },
+        ] {
+            assert!(bad.segments(0).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn trace_covers_requested_horizon() {
+        let t = DiurnalTrace { days: 3, ..Default::default() };
+        let segments = t.segments(1).unwrap();
+        let total: f64 = segments.iter().map(|(_, d)| d).sum();
+        assert!((total - 3.0 * t.day_length).abs() < 1e-6);
+    }
+
+    #[test]
+    fn long_run_mean_matches_target() {
+        let t = DiurnalTrace { days: 30, noise: 0.05, ..Default::default() };
+        let spec = t.spec(7).unwrap();
+        let mut tl = Timeline::new(&spec).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mean = tl.mean_availability_until(30.0 * t.day_length, &mut rng);
+        assert!(
+            (mean - t.mean_availability()).abs() < 0.02,
+            "mean {mean} vs target {}",
+            t.mean_availability()
+        );
+    }
+
+    #[test]
+    fn diurnal_structure_is_visible() {
+        // Availability at night is higher than during the peak window.
+        let t = DiurnalTrace { noise: 0.0, ..Default::default() };
+        let spec = t.spec(0).unwrap();
+        let mut tl = Timeline::new(&spec).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let night = tl.availability_at(10.0, &mut rng);
+        let peak = tl.availability_at(t.day_length * (1.0 - t.peak_fraction) + 10.0, &mut rng);
+        assert_eq!(night, 0.9);
+        assert_eq!(peak, 0.4);
+    }
+
+    #[test]
+    fn fit_recovers_the_bimodal_structure() {
+        // Fitting a renewal model to a diurnal trace recovers the two
+        // availability modes (the fit cannot capture periodicity — that is
+        // exactly the modeling gap this generator exposes).
+        let t = DiurnalTrace { days: 30, noise: 0.02, ..Default::default() };
+        let spec = t.spec(5).unwrap();
+        let mut tl = Timeline::new(&spec).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let series: Vec<f64> = (0..80_000)
+            .map(|k| tl.availability_at(k as f64, &mut rng))
+            .collect();
+        let fitted = cdsf_system::fit::fit_renewal_from_series(&series, 1.0, 10).unwrap();
+        assert!(
+            (fitted.stationary_mean() - t.mean_availability()).abs() < 0.05,
+            "fitted mean {}",
+            fitted.stationary_mean()
+        );
+    }
+}

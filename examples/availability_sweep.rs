@@ -1,0 +1,83 @@
+//! Availability sweep: mapping the robustness envelope.
+//!
+//! ```text
+//! cargo run --release --example availability_sweep
+//! ```
+//!
+//! The paper reports ρ2 for four hand-picked cases. This example sweeps
+//! the weighted-availability decrease continuously (0 %–50 %) and finds,
+//! for naïve STATIC and for the robust DLS set, the largest decrease at
+//! which the paper's robust mapping still meets the deadline — a denser
+//! version of the paper's Table I study and the natural follow-up
+//! experiment its future work calls for.
+
+use cdsf_core::report::pct;
+use cdsf_core::{AsciiTable, Cdsf, ImPolicy, RasPolicy, SimParams};
+use cdsf_workloads::generators::degraded_case;
+use cdsf_workloads::paper;
+
+fn main() {
+    let reference = paper::platform();
+    let sweep: Vec<f64> = (0..=10).map(|k| 0.05 * k as f64).collect();
+
+    // Build the runtime cases: uniformly degraded versions of Â.
+    let mut cases = Vec::new();
+    let mut achieved = Vec::new();
+    for &d in &sweep {
+        if d == 0.0 {
+            cases.push(reference.clone());
+            achieved.push(0.0);
+        } else {
+            let (p, a) = degraded_case(&reference, d, 1234).expect("degrades");
+            cases.push(p);
+            achieved.push(a);
+        }
+    }
+
+    let cdsf = Cdsf::builder()
+        .batch(paper::batch())
+        .reference_platform(reference)
+        .runtime_cases(cases)
+        .deadline(paper::DEADLINE)
+        .sim_params(SimParams { replicates: 20, ..Default::default() })
+        .build()
+        .expect("valid configuration");
+
+    let mut table = AsciiTable::new(["Avail. decrease", "STATIC", "robust DLS"])
+        .title("Deadline verdict vs weighted-availability decrease (robust IM)");
+
+    let static_result = cdsf
+        .run_scenario(&ImPolicy::Robust, &RasPolicy::Naive)
+        .expect("static scenario");
+    let robust_result = cdsf
+        .run_scenario(&ImPolicy::Robust, &RasPolicy::Robust)
+        .expect("robust scenario");
+
+    let napps = cdsf.batch().len();
+    let mut rho2_static: f64 = 0.0;
+    let mut rho2_robust: f64 = 0.0;
+    for (i, &a) in achieved.iter().enumerate() {
+        let case = i + 1;
+        let s_ok = static_result.case_is_robust(case, napps);
+        let r_ok = robust_result.case_is_robust(case, napps);
+        if s_ok {
+            rho2_static = rho2_static.max(a);
+        }
+        if r_ok {
+            rho2_robust = rho2_robust.max(a);
+        }
+        table.row([
+            pct(a),
+            if s_ok { "met" } else { "violated" }.to_string(),
+            if r_ok { "met" } else { "violated" }.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Robustness envelope ρ2: STATIC tolerates {} vs robust DLS {} — the gap is\n\
+         the value Stage II adds on top of a robust mapping. (Paper's four-case\n\
+         study put ρ2 at 30.77 %.)",
+        pct(rho2_static),
+        pct(rho2_robust)
+    );
+}

@@ -1,0 +1,115 @@
+//! Correlated availability study — the paper's future-work question:
+//! *"Exploring the possible correlation between the availabilities for
+//! different processor types on the overall robustness of the system."*
+//!
+//! ```text
+//! cargo run --release --example correlation_study
+//! ```
+//!
+//! Sweeps the across-type availability correlation ρ under a Gaussian
+//! copula (marginals fixed to the paper's Table I PMFs) and reports
+//! `φ₁(ρ)` for both Table IV mappings, with and without intra-type
+//! sharing of the availability state.
+
+use cdsf_core::report::pct;
+use cdsf_core::AsciiTable;
+use cdsf_ra::correlation::{correlation_sweep, CorrelationModel, monte_carlo_phi1_correlated};
+use cdsf_ra::robustness::{evaluate, MonteCarloConfig};
+use cdsf_ra::{Allocation, Assignment};
+use cdsf_system::ProcTypeId;
+use cdsf_workloads::paper;
+
+fn main() {
+    let batch = paper::batch();
+    let platform = paper::platform();
+    let cfg = MonteCarloConfig { replicates: 200_000, threads: 1, seed: 2718 };
+
+    let allocations = [
+        (
+            "naive IM",
+            Allocation::new(vec![
+                Assignment { proc_type: ProcTypeId(1), procs: 4 },
+                Assignment { proc_type: ProcTypeId(0), procs: 4 },
+                Assignment { proc_type: ProcTypeId(1), procs: 4 },
+            ]),
+        ),
+        (
+            "robust IM",
+            Allocation::new(vec![
+                Assignment { proc_type: ProcTypeId(0), procs: 2 },
+                Assignment { proc_type: ProcTypeId(0), procs: 2 },
+                Assignment { proc_type: ProcTypeId(1), procs: 8 },
+            ]),
+        ),
+    ];
+    let rhos = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+    for (label, alloc) in &allocations {
+        let exact = evaluate(&batch, &platform, alloc, paper::DEADLINE)
+            .expect("evaluates")
+            .joint;
+        let mut table = AsciiTable::new(["ρ across types", "φ1 (independent within type)", "φ1 (shared within type)"])
+            .title(format!(
+                "{label}: φ1 under correlated availability (independence baseline: {})",
+                pct(exact)
+            ));
+
+        let indep = correlation_sweep(
+            &batch,
+            &platform,
+            alloc,
+            paper::DEADLINE,
+            &rhos,
+            false,
+            &cfg,
+        )
+        .expect("sweep");
+        let shared = correlation_sweep(
+            &batch,
+            &platform,
+            alloc,
+            paper::DEADLINE,
+            &rhos,
+            true,
+            &cfg,
+        )
+        .expect("sweep");
+        for ((rho, phi_i), (_, phi_s)) in indep.iter().zip(&shared) {
+            table.row([format!("{rho:.2}"), pct(*phi_i), pct(*phi_s)]);
+        }
+        println!("{table}");
+    }
+
+    // The two dependence extremes, for the robust mapping.
+    let robust = &allocations[1].1;
+    let indep = monte_carlo_phi1_correlated(
+        &batch,
+        &platform,
+        robust,
+        paper::DEADLINE,
+        &CorrelationModel::independent(),
+        &cfg,
+    )
+    .expect("independent");
+    let como = monte_carlo_phi1_correlated(
+        &batch,
+        &platform,
+        robust,
+        paper::DEADLINE,
+        &CorrelationModel::comonotone(),
+        &cfg,
+    )
+    .expect("comonotone");
+    println!(
+        "Robust mapping extremes: independent {} vs fully correlated {}.\n\
+         Correlation matters when several applications bind the joint probability:\n\
+         the naive mapping (two ~50% apps on type 2) nearly doubles its φ1 as their\n\
+         availability states align, while the robust mapping is insensitive — its\n\
+         φ1 is dominated by a single application's marginal, which correlation\n\
+         cannot change. Answering the paper's question: independence is a\n\
+         conservative assumption exactly when robustness is spread over many\n\
+         applications, and irrelevant when one application is the bottleneck.",
+        pct(indep),
+        pct(como)
+    );
+}

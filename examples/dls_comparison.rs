@@ -1,0 +1,105 @@
+//! DLS technique survey: all twelve techniques under four availability
+//! regimes.
+//!
+//! ```text
+//! cargo run --release --example dls_comparison
+//! ```
+//!
+//! Runs the full technique family (STATIC, SS, FSC, GSS, TSS, FAC, WF,
+//! AWF-B/C/D/E, AF) on one parallel loop under: a dedicated system,
+//! constant heterogeneous availability, a fast renewal process, and a
+//! bursty two-state Markov process — printing mean makespan, imbalance
+//! and chunk count. This is the survey the paper's related-work section
+//! points to, reproduced on our executor.
+
+use cdsf_core::AsciiTable;
+use cdsf_dls::executor::{execute, ExecutorConfig};
+use cdsf_dls::TechniqueKind;
+use cdsf_pmf::stats::Welford;
+use cdsf_pmf::Pmf;
+use cdsf_system::availability::AvailabilitySpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const WORKERS: usize = 8;
+const ITERS: u64 = 16_384;
+const REPLICATES: usize = 15;
+
+fn regimes() -> Vec<(&'static str, Vec<AvailabilitySpec>)> {
+    let renewal_pmf = Pmf::from_pairs([(0.25, 0.25), (0.5, 0.25), (1.0, 0.5)]).unwrap();
+    vec![
+        ("dedicated", vec![AvailabilitySpec::Constant { a: 1.0 }]),
+        (
+            "heterogeneous-constant",
+            (0..WORKERS)
+                .map(|i| AvailabilitySpec::Constant { a: if i < 2 { 0.25 } else { 1.0 } })
+                .collect(),
+        ),
+        (
+            "renewal",
+            vec![AvailabilitySpec::Renewal { pmf: renewal_pmf, mean_dwell: 400.0 }],
+        ),
+        (
+            "bursty-markov",
+            vec![AvailabilitySpec::TwoStateMarkov {
+                up: 1.0,
+                down: 0.2,
+                mean_up: 600.0,
+                mean_down: 200.0,
+            }],
+        ),
+    ]
+}
+
+fn main() {
+    let techniques = TechniqueKind::all(64);
+
+    for (regime_name, specs) in regimes() {
+        let cfg = ExecutorConfig::builder()
+            .workers(WORKERS)
+            .parallel_iters(ITERS)
+            .iter_time_mean_sigma(1.0, 0.2)
+            .expect("valid iteration time")
+            .overhead(0.5)
+            .availability_per_worker(if specs.len() == 1 {
+                vec![specs[0].clone(); WORKERS]
+            } else {
+                specs
+            })
+            .build()
+            .expect("valid executor config");
+
+        let mut table = AsciiTable::new(["Technique", "mean makespan", "imbalance c.o.v.", "chunks"])
+            .title(format!(
+                "{regime_name}: {ITERS} iterations on {WORKERS} workers, {REPLICATES} replicates"
+            ));
+
+        for kind in &techniques {
+            let mut makespan = Welford::new();
+            let mut imbalance = Welford::new();
+            let mut chunks = Welford::new();
+            for r in 0..REPLICATES {
+                let mut rng = StdRng::seed_from_u64(0xD15C + r as u64);
+                let run = execute(kind, &cfg, &mut rng).expect("run succeeds");
+                makespan.push(run.makespan);
+                imbalance.push(run.imbalance);
+                chunks.push(run.chunks as f64);
+            }
+            table.row([
+                kind.name().to_string(),
+                format!("{:.0}", makespan.mean()),
+                format!("{:.4}", imbalance.mean()),
+                format!("{:.0}", chunks.mean()),
+            ]);
+        }
+        println!("{table}");
+    }
+
+    println!(
+        "Reading the tables: on a dedicated system every technique is near the\n\
+         fluid bound and STATIC is cheapest (fewest chunks). Under degraded or\n\
+         fluctuating availability the dynamic, and especially the adaptive,\n\
+         techniques hold makespan close to the aggregate-capacity bound while\n\
+         STATIC degrades to its slowest processor."
+    );
+}

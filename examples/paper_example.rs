@@ -1,0 +1,101 @@
+//! The paper's Section IV walk-through: all four scenarios, narrated.
+//!
+//! ```text
+//! cargo run --release --example paper_example
+//! ```
+//!
+//! Scenario 1 (naïve IM – naïve RAS) through Scenario 4 (robust IM –
+//! robust RAS), printing the Stage-I mapping and φ1 for each, the
+//! deadline verdict per availability case, and finally `(ρ1, ρ2)`.
+
+use cdsf_core::report::pct;
+use cdsf_core::{AsciiTable, Cdsf, Scenario, SimParams};
+use cdsf_workloads::paper;
+
+fn main() {
+    let cdsf = Cdsf::builder()
+        .batch(paper::batch())
+        .reference_platform(paper::platform())
+        .runtime_cases((1..=paper::NUM_CASES).map(paper::platform_case).collect())
+        .deadline(paper::DEADLINE)
+        .sim_params(SimParams { replicates: 40, ..Default::default() })
+        .build()
+        .expect("valid configuration");
+
+    println!(
+        "Batch of {} applications on a {}-processor heterogeneous system, Δ = {:.0}\n",
+        cdsf.batch().len(),
+        cdsf.reference().total_processors(),
+        cdsf.deadline()
+    );
+
+    let mut summary = AsciiTable::new([
+        "Scenario",
+        "Policies",
+        "φ1",
+        "Case 1",
+        "Case 2",
+        "Case 3",
+        "Case 4",
+    ])
+    .title("Deadline verdict per scenario and availability case");
+
+    for scenario in Scenario::all() {
+        let (im, ras) = scenario.policies();
+        let result = cdsf.run_scenario(&im, &ras).expect("scenario runs");
+
+        println!(
+            "Scenario {}: {} — allocation: {}",
+            scenario.number(),
+            scenario.label(),
+            result.allocation
+        );
+        println!("  φ1 = {}", pct(result.phi1));
+        for (i, (p, t)) in result
+            .per_app_prob
+            .iter()
+            .zip(&result.expected_times)
+            .enumerate()
+        {
+            println!(
+                "  application {}: Pr(T ≤ Δ) = {}, E[T] = {:.1}",
+                i + 1,
+                pct(*p),
+                t
+            );
+        }
+        println!();
+
+        let verdicts: Vec<String> = (1..=paper::NUM_CASES)
+            .map(|case| {
+                if result.case_is_robust(case, cdsf.batch().len()) {
+                    "met".to_string()
+                } else {
+                    "VIOLATED".to_string()
+                }
+            })
+            .collect();
+        let mut row = vec![
+            scenario.number().to_string(),
+            scenario.label().to_string(),
+            pct(result.phi1),
+        ];
+        row.extend(verdicts);
+        summary.row(row);
+
+        if scenario == Scenario::RobustRobust {
+            let r = cdsf.system_robustness(&result);
+            println!(
+                "=> System robustness (ρ1, ρ2) = ({}, {})  [paper: (74.5%, 30.77%)]\n",
+                pct(r.rho1),
+                pct(r.rho2)
+            );
+        }
+    }
+
+    println!("{summary}");
+    println!(
+        "The paper's hypothesis holds: only the combined robust IM + robust RAS\n\
+         scenario tolerates a substantial availability decrease while meeting Δ."
+    );
+}

@@ -1,0 +1,80 @@
+//! Time-stepping execution: the setting the original AWF was built for.
+//!
+//! ```text
+//! cargo run --release --example timestepping
+//! ```
+//!
+//! A time-stepping scientific application executes the *same* parallel
+//! loop every simulation step. Adaptive weighted factoring (AWF) measures
+//! each processor's performance during earlier steps and re-weights the
+//! chunk distribution at every step boundary — so its first step looks
+//! like WF with uniform weights, and later steps track the machine's true
+//! speeds. This example runs 8 steps on a machine whose first two
+//! processors are 4× slower and prints each technique's per-step times.
+
+use cdsf_core::report::BarChart;
+use cdsf_dls::executor::{execute_timestepping, ExecutorConfig};
+use cdsf_dls::{AwfVariant, TechniqueKind};
+use cdsf_system::availability::AvailabilitySpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const WORKERS: usize = 8;
+const ITERS: u64 = 8_192;
+const STEPS: usize = 8;
+
+fn main() {
+    // Two persistently slow processors (availability 0.25), six fast ones.
+    let specs: Vec<AvailabilitySpec> = (0..WORKERS)
+        .map(|i| AvailabilitySpec::Constant { a: if i < 2 { 0.25 } else { 1.0 } })
+        .collect();
+    let cfg = ExecutorConfig::builder()
+        .workers(WORKERS)
+        .parallel_iters(ITERS)
+        .iter_time_mean_sigma(1.0, 0.1)
+        .expect("valid iteration time")
+        .overhead(0.5)
+        .availability_per_worker(specs)
+        .build()
+        .expect("valid executor config");
+
+    let techniques = [
+        TechniqueKind::Static,
+        TechniqueKind::Wf { weights: None },
+        TechniqueKind::Awf { variant: AwfVariant::Timestep },
+        TechniqueKind::Awf { variant: AwfVariant::Batch },
+        TechniqueKind::Af,
+    ];
+
+    // Fluid bound: 8192 / (2·0.25 + 6·1.0) = 1260 per step.
+    let fluid = ITERS as f64 / (2.0 * 0.25 + 6.0);
+    println!(
+        "{ITERS} iterations × {STEPS} steps on {WORKERS} workers (two at 25% availability).\n\
+         Fluid bound per step: {fluid:.0} time units.\n"
+    );
+
+    for kind in &techniques {
+        let mut rng = StdRng::seed_from_u64(0x57E9);
+        let result = execute_timestepping(kind, &cfg, STEPS, &mut rng).expect("runs");
+        let mut chart = BarChart::new(44).reference(result.step_durations[0], "step 1");
+        for (i, d) in result.step_durations.iter().enumerate() {
+            chart.bar(format!("step {}", i + 1), *d);
+        }
+        println!(
+            "{} — total {:.0}, mean step {:.0} ({}):",
+            kind.name(),
+            result.total_time,
+            result.mean_step(),
+            if result.mean_step() < 1.25 * fluid { "near-fluid" } else { "above fluid" }
+        );
+        print!("{chart}");
+        println!();
+    }
+
+    println!(
+        "AWF's first step matches WF (uniform weights); every later step uses the\n\
+         measured per-processor speeds, closing most of the gap to the fluid bound\n\
+         without per-batch re-weighting overhead. STATIC never recovers: each step\n\
+         repeats the same pinned split."
+    );
+}

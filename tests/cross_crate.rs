@@ -1,0 +1,214 @@
+//! Cross-crate consistency: the same quantity computed through different
+//! layers must agree.
+
+use cdsf_pmf::discretize::{Discretize, Normal};
+use cdsf_ra::robustness::{evaluate, monte_carlo_phi1, sample_makespans, MonteCarloConfig};
+use cdsf_ra::{Allocation, Assignment};
+use cdsf_system::parallel_time::{loaded_time_pmf, makespan_pmf};
+use cdsf_system::ProcTypeId;
+use cdsf_workloads::paper;
+
+fn robust_alloc() -> Allocation {
+    Allocation::new(vec![
+        Assignment { proc_type: ProcTypeId(0), procs: 2 },
+        Assignment { proc_type: ProcTypeId(0), procs: 2 },
+        Assignment { proc_type: ProcTypeId(1), procs: 8 },
+    ])
+}
+
+#[test]
+fn exact_phi1_equals_monte_carlo_phi1() {
+    let batch = paper::batch();
+    let platform = paper::platform();
+    let alloc = robust_alloc();
+    let exact = evaluate(&batch, &platform, &alloc, paper::DEADLINE).unwrap().joint;
+    let mc = monte_carlo_phi1(
+        &batch,
+        &platform,
+        &alloc,
+        paper::DEADLINE,
+        &MonteCarloConfig { replicates: 300_000, threads: 4, seed: 99 },
+    )
+    .unwrap();
+    assert!((exact - mc).abs() < 0.01, "exact {exact} vs MC {mc}");
+}
+
+#[test]
+fn makespan_pmf_cdf_matches_sampled_makespans() {
+    let batch = paper::batch_with_pulses(32);
+    let platform = paper::platform();
+    let alloc = robust_alloc();
+    let apps: Vec<_> = batch.iter().map(|(_, a)| a).collect();
+    let assignments: Vec<_> = apps
+        .iter()
+        .zip(alloc.assignments())
+        .map(|(app, asg)| (*app, asg.proc_type, asg.procs))
+        .collect();
+    let psi = makespan_pmf(&assignments, &platform, 512).unwrap();
+    let samples = sample_makespans(&batch, &platform, &alloc, 100_000, 5).unwrap();
+    for q in [2_000.0, 3_000.0, 3_250.0, 4_000.0, 6_000.0] {
+        let exact = psi.cdf(q);
+        let empirical =
+            samples.iter().filter(|&&s| s <= q).count() as f64 / samples.len() as f64;
+        assert!(
+            (exact - empirical).abs() < 0.02,
+            "Pr(Ψ ≤ {q}): exact {exact} vs sampled {empirical}"
+        );
+    }
+}
+
+#[test]
+fn pmf_discretization_converges_to_stage1_numbers() {
+    // The φ1 of the robust allocation must stabilize as the PMF resolution
+    // grows — the discretization choice must not drive the result.
+    let platform = paper::platform();
+    let alloc = robust_alloc();
+    let mut values = Vec::new();
+    for pulses in [8usize, 32, 128, 512] {
+        let batch = paper::batch_with_pulses(pulses);
+        values.push(evaluate(&batch, &platform, &alloc, paper::DEADLINE).unwrap().joint);
+    }
+    let last = *values.last().unwrap();
+    assert!((values[2] - last).abs() < 0.01, "{values:?}");
+    assert!((last - 0.745).abs() < 0.02, "converged φ1 {last}");
+}
+
+#[test]
+fn loaded_time_expectation_factorizes_over_availability() {
+    // Cross-check cdsf-system against a by-hand E[T]·E[1/α] computation for
+    // every (app, type, count) triple of the paper example.
+    let batch = paper::batch();
+    let platform = paper::platform();
+    for (_, app) in batch.iter() {
+        for j in 0..2 {
+            let id = ProcTypeId(j);
+            let avail = platform.proc_type(id).unwrap().availability();
+            let e_inv: f64 = avail.pulses().iter().map(|p| p.prob / p.value).sum();
+            for n in [1u32, 2, 4] {
+                let loaded = loaded_time_pmf(app, &platform, id, n).unwrap();
+                let dedicated =
+                    cdsf_system::parallel_time::parallel_time_pmf(app, id, n).unwrap();
+                let want = dedicated.expectation() * e_inv;
+                assert!(
+                    (loaded.expectation() - want).abs() < 1e-6 * want,
+                    "{} on {n}×type{}: {} vs {}",
+                    app.name(),
+                    j + 1,
+                    loaded.expectation(),
+                    want
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn executor_dedicated_makespan_matches_pmf_prediction() {
+    // On a *constant* fully-available system with the application's own
+    // iteration statistics, the executor's makespan must approach the
+    // Amdahl-rescaled expected time from the Stage-I arithmetic.
+    use cdsf_dls::executor::{execute, ExecutorConfig};
+    use cdsf_dls::TechniqueKind;
+    use cdsf_system::availability::AvailabilitySpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let batch = paper::batch();
+    let (_, app) = batch.iter().next().unwrap();
+    let j = ProcTypeId(0);
+    let n = 4u32;
+    let expected = cdsf_system::parallel_time::parallel_time_pmf(app, j, n)
+        .unwrap()
+        .expectation();
+
+    let cfg = ExecutorConfig::builder()
+        .from_application(app, j)
+        .unwrap()
+        .workers(n as usize)
+        .availability(AvailabilitySpec::Constant { a: 1.0 })
+        .build()
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut mean = 0.0;
+    let reps = 20;
+    for _ in 0..reps {
+        mean += execute(&TechniqueKind::Fac, &cfg, &mut rng).unwrap().makespan;
+    }
+    mean /= reps as f64;
+    assert!(
+        (mean - expected).abs() / expected < 0.05,
+        "executor {mean} vs PMF prediction {expected}"
+    );
+}
+
+#[test]
+fn meanfield_agrees_with_simulation_on_clear_cells() {
+    // The fluid predictor must reach the same deadline verdict as the
+    // simulation grid wherever it claims to be Clear (i.e. ≥15 % away
+    // from Δ). Marginal cells are exactly the ones the paper's borderline
+    // cases live in, and are excluded by design.
+    use cdsf_core::meanfield::{Confidence, MeanField};
+    use cdsf_core::{Cdsf, ImPolicy, RasPolicy, SimParams};
+
+    let cdsf = Cdsf::builder()
+        .batch(paper::batch_with_pulses(16))
+        .reference_platform(paper::platform())
+        .runtime_cases((1..=4).map(paper::platform_case).collect())
+        .deadline(paper::DEADLINE)
+        .sim_params(SimParams { replicates: 20, threads: 4, ..Default::default() })
+        .build()
+        .unwrap();
+    let s4 = cdsf.run_scenario(&ImPolicy::Robust, &RasPolicy::Robust).unwrap();
+
+    let mf = MeanField::default();
+    let grid = mf
+        .predict_grid(
+            &cdsf.batch().clone(),
+            &s4.allocation,
+            cdsf.runtime_cases(),
+            paper::DEADLINE,
+        )
+        .unwrap();
+    let mut clear_cells = 0;
+    for cell in grid.iter().filter(|c| c.confidence == Confidence::Clear) {
+        clear_cells += 1;
+        let simulated_met = s4.best_technique(cell.app, cell.case).is_some();
+        assert_eq!(
+            cell.meets_deadline, simulated_met,
+            "app {} case {}: mean-field {} vs simulated {}",
+            cell.app + 1,
+            cell.case,
+            cell.meets_deadline,
+            simulated_met
+        );
+    }
+    assert!(clear_cells >= 6, "predictor should be Clear on most cells, got {clear_cells}");
+}
+
+#[test]
+fn discretizer_feeds_consistent_iteration_stats() {
+    // Application::iteration_time must recover the Table III distribution
+    // parameters that Normal::with_paper_sigma produced.
+    let batch = paper::batch();
+    for (id, app) in batch.iter() {
+        for j in 0..2 {
+            let it = app.iteration_time(ProcTypeId(j)).unwrap();
+            let n = app.total_iters() as f64;
+            let mu_total = it.mean() * n;
+            assert!(
+                (mu_total - paper::MEANS[id.0][j]).abs() < 1.0,
+                "{id}: {mu_total}"
+            );
+            // σ of the reconstructed total ≈ μ/10 (clipped by quantization).
+            let sigma_total = it.std_dev() * n.sqrt();
+            assert!(
+                sigma_total <= paper::MEANS[id.0][j] / 10.0 + 1.0,
+                "{id}: σ {sigma_total}"
+            );
+            assert!(sigma_total >= paper::MEANS[id.0][j] / 10.0 * 0.9, "{id}: σ {sigma_total}");
+        }
+    }
+    // And a direct Normal round-trip for reference.
+    let d = Normal::with_paper_sigma(1800.0).unwrap();
+    assert!((d.equiprobable(256).expectation() - 1800.0).abs() < 0.01);
+}

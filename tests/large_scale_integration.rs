@@ -1,0 +1,130 @@
+//! Integration tests on generated (non-paper) instances: the scalable
+//! heuristics, the degradation generator and the framework must compose.
+
+use cdsf_core::{Cdsf, ImPolicy, RasPolicy, SimParams};
+use cdsf_ra::allocators::{
+    EqualShare, GeneticAlgorithm, GreedyMaxRobust, GreedyMinTime, SimulatedAnnealing, Sufferage,
+};
+use cdsf_ra::robustness::evaluate;
+use cdsf_ra::Allocator;
+use cdsf_workloads::generators::{degraded_case, BatchGenerator, PlatformGenerator, Range};
+
+fn instance(seed: u64) -> (cdsf_system::Batch, cdsf_system::Platform) {
+    let platform = PlatformGenerator {
+        num_types: 3,
+        procs_per_type: (8, 16),
+        availability_pulses: 3,
+        availability_range: Range::new(0.3, 1.0).unwrap(),
+    }
+    .generate(seed)
+    .unwrap();
+    let batch = BatchGenerator {
+        num_apps: 6,
+        total_iters: (1_000, 8_000),
+        serial_fraction: Range::new(0.02, 0.2).unwrap(),
+        mean_exec_time: Range::new(1_000.0, 6_000.0).unwrap(),
+        type_heterogeneity: Range::new(0.6, 1.8).unwrap(),
+        pulses: 16,
+    }
+    .generate(&platform, seed.wrapping_add(1))
+    .unwrap();
+    (batch, platform)
+}
+
+#[test]
+fn all_heuristics_produce_feasible_allocations_on_generated_instances() {
+    for seed in [1u64, 17, 99] {
+        let (batch, platform) = instance(seed);
+        let deadline = 2_500.0;
+        let policies: Vec<Box<dyn Allocator>> = vec![
+            Box::new(EqualShare::new()),
+            Box::new(GreedyMinTime::new()),
+            Box::new(GreedyMaxRobust::new()),
+            Box::new(Sufferage::new()),
+            Box::new(SimulatedAnnealing { iterations: 4_000, ..Default::default() }),
+            Box::new(GeneticAlgorithm { generations: 40, ..Default::default() }),
+        ];
+        for policy in &policies {
+            let alloc = policy
+                .allocate(&batch, &platform, deadline)
+                .unwrap_or_else(|e| panic!("{} failed on seed {seed}: {e}", policy.name()));
+            alloc
+                .validate(&batch, &platform)
+                .unwrap_or_else(|e| panic!("{} infeasible on seed {seed}: {e}", policy.name()));
+        }
+    }
+}
+
+#[test]
+fn robust_heuristics_beat_equal_share_on_average() {
+    let mut wins = 0;
+    let mut total = 0;
+    for seed in [3u64, 21, 55, 77] {
+        let (batch, platform) = instance(seed);
+        let deadline = 2_500.0;
+        let naive = EqualShare::new().allocate(&batch, &platform, deadline).unwrap();
+        let p_naive = evaluate(&batch, &platform, &naive, deadline).unwrap().joint;
+        let sa = SimulatedAnnealing { iterations: 8_000, ..Default::default() }
+            .allocate(&batch, &platform, deadline)
+            .unwrap();
+        let p_sa = evaluate(&batch, &platform, &sa, deadline).unwrap().joint;
+        total += 1;
+        if p_sa >= p_naive {
+            wins += 1;
+        }
+    }
+    assert!(wins >= total - 1, "SA beat EqualShare on only {wins}/{total} instances");
+}
+
+#[test]
+fn framework_runs_end_to_end_on_generated_instance() {
+    let (batch, platform) = instance(7);
+    let (degraded, achieved) = degraded_case(&platform, 0.2, 11).unwrap();
+    assert!(achieved > 0.1);
+    let cdsf = Cdsf::builder()
+        .batch(batch)
+        .reference_platform(platform.clone())
+        .runtime_cases(vec![platform, degraded])
+        .deadline(2_500.0)
+        .sim_params(SimParams { replicates: 3, threads: 2, ..Default::default() })
+        .build()
+        .unwrap();
+    let result = cdsf
+        .run_scenario(
+            &ImPolicy::Custom(Box::new(Sufferage::new())),
+            &RasPolicy::Robust,
+        )
+        .unwrap();
+    // Grid covers 6 apps × 2 cases × 4 techniques.
+    assert_eq!(result.cells.len(), 6 * 2 * 4);
+    assert!(result.phi1 >= 0.0 && result.phi1 <= 1.0);
+    let robustness = cdsf.system_robustness(&result);
+    assert!(robustness.rho2 >= 0.0);
+}
+
+#[test]
+fn custom_technique_set_flows_through() {
+    use cdsf_dls::TechniqueKind;
+    let (batch, platform) = instance(13);
+    let cdsf = Cdsf::builder()
+        .batch(batch)
+        .reference_platform(platform)
+        .deadline(2_500.0)
+        .sim_params(SimParams { replicates: 2, threads: 2, ..Default::default() })
+        .build()
+        .unwrap();
+    let custom = RasPolicy::Custom(vec![
+        TechniqueKind::Gss,
+        TechniqueKind::Tss,
+        TechniqueKind::Awf { variant: cdsf_dls::AwfVariant::ChunkWithOverhead },
+    ]);
+    let result = cdsf
+        .run_scenario(&ImPolicy::Custom(Box::new(GreedyMaxRobust::new())), &custom)
+        .unwrap();
+    let names: std::collections::HashSet<&str> =
+        result.cells.iter().map(|c| c.technique.as_str()).collect();
+    assert_eq!(
+        names,
+        ["GSS", "TSS", "AWF-E"].into_iter().collect::<std::collections::HashSet<_>>()
+    );
+}

@@ -1,0 +1,154 @@
+//! Integration tests that chain the extension subsystems end to end:
+//! trace → fit → framework; advisor ↔ full grid; queue with arrivals under
+//! a fitted runtime case; surface ↔ sweep consistency.
+
+use cdsf_core::advisor::Advisor;
+use cdsf_core::multibatch::MultiBatch;
+use cdsf_core::{Cdsf, ImPolicy, RasPolicy, SimParams};
+use cdsf_ra::radius::robustness_radius;
+use cdsf_ra::surface::diagonal_tolerance;
+use cdsf_system::availability::{AvailabilitySpec, Timeline};
+use cdsf_system::fit::fit_renewal_from_series;
+use cdsf_system::{Platform, ProcessorType};
+use cdsf_workloads::paper;
+use cdsf_workloads::traces::DiurnalTrace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Diurnal monitor logs → fitted renewal platform → Stage I → the fitted
+/// model must still prefer the robust mapping and report a sane φ1.
+#[test]
+fn diurnal_trace_to_framework_pipeline() {
+    // Two types with different day/night profiles.
+    let traces = [
+        DiurnalTrace { night_availability: 0.95, day_availability: 0.7, ..Default::default() },
+        DiurnalTrace { night_availability: 0.85, day_availability: 0.35, ..Default::default() },
+    ];
+    let mut types = Vec::new();
+    for (j, t) in traces.iter().enumerate() {
+        let spec = t.spec(100 + j as u64).unwrap();
+        let mut tl = Timeline::new(&spec).unwrap();
+        let mut rng = StdRng::seed_from_u64(j as u64);
+        let series: Vec<f64> = (0..40_000)
+            .map(|k| tl.availability_at(k as f64, &mut rng))
+            .collect();
+        let fitted = fit_renewal_from_series(&series, 1.0, 12).unwrap();
+        let pmf = match fitted {
+            AvailabilitySpec::Renewal { pmf, .. } => pmf,
+            other => panic!("unexpected fit {other:?}"),
+        };
+        // The fitted stationary mean tracks the trace's target.
+        assert!(
+            (pmf.expectation() - t.mean_availability()).abs() < 0.06,
+            "type {j}: fitted {} vs target {}",
+            pmf.expectation(),
+            t.mean_availability()
+        );
+        let count = if j == 0 { 4 } else { 8 };
+        types.push(ProcessorType::new(format!("T{j}"), count, pmf).unwrap());
+    }
+    let fitted_platform = Platform::new(types).unwrap();
+
+    let cdsf = Cdsf::builder()
+        .batch(paper::batch_with_pulses(16))
+        .reference_platform(fitted_platform)
+        .deadline(paper::DEADLINE)
+        .sim_params(SimParams { replicates: 3, threads: 2, ..Default::default() })
+        .build()
+        .unwrap();
+    let (alloc, report) = cdsf.stage_one(&ImPolicy::Robust).unwrap();
+    assert!(report.joint > 0.0 && report.joint <= 1.0);
+    alloc.validate(cdsf.batch(), cdsf.reference()).unwrap();
+}
+
+/// The advisor and the full grid must agree on every paper cell, and the
+/// advisor must actually save simulation work.
+#[test]
+fn advisor_saves_work_and_agrees_with_grid() {
+    let cdsf = Cdsf::builder()
+        .batch(paper::batch_with_pulses(16))
+        .reference_platform(paper::platform())
+        .runtime_cases((1..=4).map(paper::platform_case).collect())
+        .deadline(paper::DEADLINE)
+        .sim_params(SimParams { replicates: 10, threads: 4, ..Default::default() })
+        .build()
+        .unwrap();
+    let advice = Advisor::default()
+        .advise(&cdsf, &ImPolicy::Robust, &RasPolicy::Robust)
+        .unwrap();
+    let full = cdsf
+        .run_scenario(&ImPolicy::Robust, &RasPolicy::Robust)
+        .unwrap();
+    for cell in &advice.cells {
+        assert_eq!(
+            cell.meets_deadline,
+            full.best_technique(cell.app, cell.case).is_some(),
+            "app {} case {}",
+            cell.app + 1,
+            cell.case
+        );
+    }
+    assert!(advice.screened > advice.simulated);
+}
+
+/// The FePIA diagonal tolerance, the radius, and the paper's ρ2 must tell
+/// a consistent story for the robust mapping.
+#[test]
+fn robustness_metrics_are_mutually_consistent() {
+    let batch = paper::batch_with_pulses(32);
+    let platform = paper::platform();
+    let cdsf = Cdsf::builder()
+        .batch(batch.clone())
+        .reference_platform(platform.clone())
+        .deadline(paper::DEADLINE)
+        .sim_params(SimParams { replicates: 2, threads: 2, ..Default::default() })
+        .build()
+        .unwrap();
+    let (alloc, _) = cdsf.stage_one(&ImPolicy::Robust).unwrap();
+
+    let radius = robustness_radius(&batch, &platform, &alloc, paper::DEADLINE).unwrap();
+    // Positive radius: the mapping has expected slack on every application.
+    assert!(radius.system_radius > 0.0);
+
+    // The diagonal tolerance at a φ1 ≥ 0.5 threshold: availability can
+    // uniformly shrink by a comparable relative amount. The radius is in
+    // absolute availability units for the *critical* app; its relative
+    // version bounds the diagonal tolerance from above (other apps and the
+    // probability threshold bind earlier).
+    let tol = diagonal_tolerance(&batch, &platform, &alloc, paper::DEADLINE, 0.5, 40).unwrap();
+    let critical_e = platform.types()[1].expected_availability();
+    let relative_radius = radius.system_radius / critical_e;
+    assert!(
+        tol <= relative_radius + 0.05,
+        "tolerance {tol} should not exceed relative radius {relative_radius}"
+    );
+    assert!(tol > 0.0);
+}
+
+/// Queue with Poisson-ish arrivals on a degraded runtime case: robust
+/// policies dominate naive ones on deadline hits.
+#[test]
+fn arrival_queue_on_degraded_case() {
+    let batches: Vec<_> = (0..3).map(|_| paper::batch_with_pulses(8)).collect();
+    let reference = paper::platform();
+    let runtime = paper::platform_case(2);
+    let sim = SimParams { replicates: 2, threads: 2, ..Default::default() };
+    let mb = MultiBatch::new(&batches, &reference, &runtime, 2.0 * paper::DEADLINE, sim)
+        .unwrap();
+    let arrivals = [0.0, 1_000.0, 2_000.0];
+    let naive = mb
+        .run_with_arrivals(&ImPolicy::Naive, &RasPolicy::Naive, &arrivals, 3)
+        .unwrap();
+    let robust = mb
+        .run_with_arrivals(&ImPolicy::Robust, &RasPolicy::Robust, &arrivals, 3)
+        .unwrap();
+    assert!(robust.total_time < naive.total_time);
+    assert!(robust.deadlines_met() >= naive.deadlines_met());
+    // Wait times are consistent with the arrival pattern.
+    for r in [&naive, &robust] {
+        assert_eq!(r.batches[0].wait, 0.0);
+        for b in &r.batches {
+            assert!(b.start >= b.arrival);
+        }
+    }
+}
