@@ -21,9 +21,18 @@ use std::hint::black_box;
 
 fn robust_alloc() -> Allocation {
     Allocation::new(vec![
-        Assignment { proc_type: ProcTypeId(0), procs: 2 },
-        Assignment { proc_type: ProcTypeId(0), procs: 2 },
-        Assignment { proc_type: ProcTypeId(1), procs: 8 },
+        Assignment {
+            proc_type: ProcTypeId(0),
+            procs: 2,
+        },
+        Assignment {
+            proc_type: ProcTypeId(0),
+            procs: 2,
+        },
+        Assignment {
+            proc_type: ProcTypeId(1),
+            procs: 8,
+        },
     ])
 }
 
@@ -49,7 +58,10 @@ fn bench_pulse_resolution(c: &mut Criterion) {
         )
         .unwrap()
         .joint;
-        eprintln!("  pulses {pulses:>4}: φ1 = {phi1:.4}, |error| = {:.4}", (phi1 - reference).abs());
+        eprintln!(
+            "  pulses {pulses:>4}: φ1 = {phi1:.4}, |error| = {:.4}",
+            (phi1 - reference).abs()
+        );
     }
 
     let mut group = c.benchmark_group("ablation/pulse_resolution");
@@ -87,9 +99,13 @@ fn bench_coalesce_budget(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ablation/coalesce_budget");
     for &budget in &[64usize, 512, 4096] {
-        group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, &budget| {
-            b.iter(|| black_box(makespan_pmf(&assignments, &platform, budget).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(budget),
+            &budget,
+            |b, &budget| {
+                b.iter(|| black_box(makespan_pmf(&assignments, &platform, budget).unwrap()))
+            },
+        );
     }
     group.finish();
 }
@@ -97,7 +113,11 @@ fn bench_coalesce_budget(c: &mut Criterion) {
 /// Scheduling-overhead sensitivity: SS collapses, FAC/AF degrade gently.
 fn bench_overhead_sensitivity(c: &mut Criterion) {
     eprintln!("\nablation: makespan vs per-chunk overhead (8 workers, 8192 iters)");
-    for kind in [TechniqueKind::SelfSched, TechniqueKind::Fac, TechniqueKind::Af] {
+    for kind in [
+        TechniqueKind::SelfSched,
+        TechniqueKind::Fac,
+        TechniqueKind::Af,
+    ] {
         for &h in &[0.0f64, 0.5, 2.0] {
             let cfg = ExecutorConfig::builder()
                 .workers(8)
@@ -150,11 +170,17 @@ fn bench_dwell_sensitivity(c: &mut Criterion) {
             .parallel_iters(4_096)
             .iter_time_mean_sigma(1.0, 0.1)
             .unwrap()
-            .availability(AvailabilitySpec::Renewal { pmf: pmf.clone(), mean_dwell: dwell })
+            .availability(AvailabilitySpec::Renewal {
+                pmf: pmf.clone(),
+                mean_dwell: dwell,
+            })
             .build()
             .unwrap();
         let mut mean = [0.0f64; 2];
-        for (i, kind) in [TechniqueKind::Static, TechniqueKind::Af].iter().enumerate() {
+        for (i, kind) in [TechniqueKind::Static, TechniqueKind::Af]
+            .iter()
+            .enumerate()
+        {
             let mut rng = StdRng::seed_from_u64(9);
             for _ in 0..10 {
                 mean[i] += execute(kind, &cfg, &mut rng).unwrap().makespan;
@@ -177,7 +203,10 @@ fn bench_dwell_sensitivity(c: &mut Criterion) {
             .parallel_iters(4_096)
             .iter_time_mean_sigma(1.0, 0.1)
             .unwrap()
-            .availability(AvailabilitySpec::Renewal { pmf: pmf.clone(), mean_dwell: dwell })
+            .availability(AvailabilitySpec::Renewal {
+                pmf: pmf.clone(),
+                mean_dwell: dwell,
+            })
             .build()
             .unwrap();
         group.bench_with_input(
@@ -198,9 +227,24 @@ fn bench_dwell_shape(c: &mut Criterion) {
     use cdsf_system::availability::DwellDistribution;
     let pmf = Pmf::from_pairs([(0.25, 0.25), (0.5, 0.25), (1.0, 0.5)]).unwrap();
     let shapes: Vec<(&str, DwellDistribution)> = vec![
-        ("exponential", DwellDistribution::Exponential { mean: 400.0 }),
-        ("uniform", DwellDistribution::Uniform { lo: 100.0, hi: 700.0 }),
-        ("lognormal-heavy", DwellDistribution::LogNormal { mean: 400.0, cov: 2.0 }),
+        (
+            "exponential",
+            DwellDistribution::Exponential { mean: 400.0 },
+        ),
+        (
+            "uniform",
+            DwellDistribution::Uniform {
+                lo: 100.0,
+                hi: 700.0,
+            },
+        ),
+        (
+            "lognormal-heavy",
+            DwellDistribution::LogNormal {
+                mean: 400.0,
+                cov: 2.0,
+            },
+        ),
         ("periodic", DwellDistribution::Deterministic { d: 400.0 }),
     ];
     eprintln!("\nablation: STATIC/AF makespan ratio vs dwell shape (mean dwell 400)");
@@ -217,7 +261,10 @@ fn bench_dwell_shape(c: &mut Criterion) {
             .build()
             .unwrap();
         let mut means = [0.0f64; 2];
-        for (i, kind) in [TechniqueKind::Static, TechniqueKind::Af].iter().enumerate() {
+        for (i, kind) in [TechniqueKind::Static, TechniqueKind::Af]
+            .iter()
+            .enumerate()
+        {
             let mut rng = StdRng::seed_from_u64(77);
             for _ in 0..10 {
                 means[i] += execute(kind, &cfg, &mut rng).unwrap().makespan;
@@ -240,7 +287,10 @@ fn bench_dwell_shape(c: &mut Criterion) {
             .parallel_iters(4_096)
             .iter_time_mean_sigma(1.0, 0.1)
             .unwrap()
-            .availability(AvailabilitySpec::RenewalGeneral { pmf: pmf.clone(), dwell })
+            .availability(AvailabilitySpec::RenewalGeneral {
+                pmf: pmf.clone(),
+                dwell,
+            })
             .build()
             .unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
@@ -261,7 +311,11 @@ fn bench_advisor_vs_grid(c: &mut Criterion) {
         .reference_platform(paper::platform())
         .runtime_cases((1..=4).map(paper::platform_case).collect())
         .deadline(paper::DEADLINE)
-        .sim_params(SimParams { replicates: 25, threads: 4, ..Default::default() })
+        .sim_params(SimParams {
+            replicates: 25,
+            threads: 4,
+            ..Default::default()
+        })
         .build()
         .unwrap();
 

@@ -99,5 +99,10 @@ fn bench_availability_models(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_techniques, bench_worker_scaling, bench_availability_models);
+criterion_group!(
+    benches,
+    bench_techniques,
+    bench_worker_scaling,
+    bench_availability_models
+);
 criterion_main!(benches);

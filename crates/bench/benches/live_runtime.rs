@@ -34,10 +34,17 @@ fn bench_scheduling_overhead(c: &mut Criterion) {
         TechniqueKind::Fac,
         TechniqueKind::Af,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
-            let cfg = RuntimeConfig { threads: 4, kind: kind.clone() };
-            b.iter(|| black_box(run_parallel_loop(N, &cfg, tiny_body).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, kind| {
+                let cfg = RuntimeConfig {
+                    threads: 4,
+                    kind: kind.clone(),
+                };
+                b.iter(|| black_box(run_parallel_loop(N, &cfg, tiny_body).unwrap()))
+            },
+        );
     }
     group.finish();
 }
@@ -52,7 +59,10 @@ fn bench_thread_scaling(c: &mut Criterion) {
             BenchmarkId::from_parameter(threads),
             &threads,
             |b, &threads| {
-                let cfg = RuntimeConfig { threads, kind: TechniqueKind::Fac };
+                let cfg = RuntimeConfig {
+                    threads,
+                    kind: TechniqueKind::Fac,
+                };
                 b.iter(|| black_box(run_parallel_loop(N, &cfg, ramped_body).unwrap()))
             },
         );

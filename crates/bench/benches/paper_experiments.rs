@@ -11,7 +11,11 @@ use std::hint::black_box;
 
 fn bench_sim() -> SimParams {
     // Small replicate count: benches measure pipeline cost, not statistics.
-    SimParams { replicates: 5, threads: 4, ..Default::default() }
+    SimParams {
+        replicates: 5,
+        threads: 4,
+        ..Default::default()
+    }
 }
 
 /// Table I: availability cases and weighted availabilities (pure PMF math).
@@ -66,16 +70,36 @@ fn bench_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("paper/figures");
     group.sample_size(10);
     group.bench_function("fig3_scenario1", |b| {
-        b.iter(|| black_box(cdsf.run_scenario(&ImPolicy::Naive, &RasPolicy::Naive).unwrap()))
+        b.iter(|| {
+            black_box(
+                cdsf.run_scenario(&ImPolicy::Naive, &RasPolicy::Naive)
+                    .unwrap(),
+            )
+        })
     });
     group.bench_function("fig4_scenario2", |b| {
-        b.iter(|| black_box(cdsf.run_scenario(&ImPolicy::Robust, &RasPolicy::Naive).unwrap()))
+        b.iter(|| {
+            black_box(
+                cdsf.run_scenario(&ImPolicy::Robust, &RasPolicy::Naive)
+                    .unwrap(),
+            )
+        })
     });
     group.bench_function("fig5_scenario3", |b| {
-        b.iter(|| black_box(cdsf.run_scenario(&ImPolicy::Naive, &RasPolicy::Robust).unwrap()))
+        b.iter(|| {
+            black_box(
+                cdsf.run_scenario(&ImPolicy::Naive, &RasPolicy::Robust)
+                    .unwrap(),
+            )
+        })
     });
     group.bench_function("fig6_scenario4", |b| {
-        b.iter(|| black_box(cdsf.run_scenario(&ImPolicy::Robust, &RasPolicy::Robust).unwrap()))
+        b.iter(|| {
+            black_box(
+                cdsf.run_scenario(&ImPolicy::Robust, &RasPolicy::Robust)
+                    .unwrap(),
+            )
+        })
     });
     group.finish();
 }

@@ -77,6 +77,29 @@ fn bench_samplers(c: &mut Criterion) {
     group.finish();
 }
 
+/// One φ₁ engine cell in PMF terms: the build half (Amdahl rescale of the
+/// exec-time PMF, then the availability quotient) vs the query half (a
+/// single CDF lookup on the pre-built loaded PMF). The gap is what the
+/// Stage-I engine's memoisation saves on every repeated (app, type, share)
+/// probe.
+fn bench_phi1_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pmf/phi1_cell");
+    let avail = avail_pmf();
+    for &n in &[16usize, 64, 256] {
+        let exec = pmf_with_pulses(n);
+        // Amdahl factor for a 10% serial fraction split over 8 processors.
+        let amdahl = 0.1 + 0.9 / 8.0;
+        let loaded = exec.scale(amdahl).unwrap().quotient(&avail).unwrap();
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |bench, _| {
+            bench.iter(|| black_box(exec.scale(amdahl).unwrap().quotient(&avail).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("query", n), &n, |bench, _| {
+            bench.iter(|| black_box(loaded.cdf(black_box(900.0))))
+        });
+    }
+    group.finish();
+}
+
 fn bench_discretize(c: &mut Criterion) {
     let mut group = c.benchmark_group("pmf/discretize");
     for &n in &[64usize, 512] {
@@ -94,6 +117,7 @@ criterion_group!(
     bench_cdf_and_moments,
     bench_coalesce,
     bench_samplers,
+    bench_phi1_cell,
     bench_discretize
 );
 criterion_main!(benches);

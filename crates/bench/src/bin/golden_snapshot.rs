@@ -1,0 +1,88 @@
+//! Regenerates the golden regression snapshots under `tests/golden/`.
+//!
+//! The snapshots freeze the paper-reproduction outputs (Tables IV, V and
+//! VI) at the library-default simulation seed so `tests/paper_reproduction.rs`
+//! can detect any behavioural drift in the Stage-I engine or the Stage-II
+//! simulation. Run this binary only when an intentional change shifts the
+//! reproduced numbers:
+//!
+//! ```sh
+//! cargo run --release -p cdsf-bench --bin golden_snapshot
+//! ```
+
+use cdsf_bench::paper_cdsf;
+use cdsf_core::{ImPolicy, RasPolicy, SimParams};
+use cdsf_workloads::paper;
+use serde_json::{json, Value};
+use std::path::PathBuf;
+
+/// The snapshot simulation parameters: library defaults (seed included)
+/// with a fixed replicate count, so the grid is deterministic and
+/// independent of the host's core count.
+fn golden_sim_params() -> SimParams {
+    SimParams {
+        replicates: 25,
+        threads: 4,
+        ..Default::default()
+    }
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn main() {
+    let cdsf = paper_cdsf(golden_sim_params());
+
+    let (naive_alloc, naive_report) = cdsf.stage_one(&ImPolicy::Naive).expect("naive stage one");
+    let (robust_alloc, robust_report) =
+        cdsf.stage_one(&ImPolicy::Robust).expect("robust stage one");
+
+    let alloc_json = |alloc: &cdsf_ra::Allocation| -> Value {
+        Value::Array(
+            alloc
+                .assignments()
+                .iter()
+                .map(|a| json!([a.proc_type.0, a.procs]))
+                .collect(),
+        )
+    };
+
+    let table4 = json!({
+        "naive": json!({
+            "allocation": alloc_json(&naive_alloc),
+            "per_app": naive_report.per_app,
+            "phi1": naive_report.joint,
+        }),
+        "robust": json!({
+            "allocation": alloc_json(&robust_alloc),
+            "per_app": robust_report.per_app,
+            "phi1": robust_report.joint,
+        }),
+    });
+
+    let table5 = json!({
+        "naive": naive_report.expected_times,
+        "robust": robust_report.expected_times,
+    });
+
+    let result = cdsf
+        .run_scenario(&ImPolicy::Robust, &RasPolicy::Robust)
+        .expect("scenario 4 runs");
+    let table6 = json!({
+        "techniques": result.table6(cdsf.batch().len(), paper::NUM_CASES),
+    });
+
+    let dir = golden_dir();
+    std::fs::create_dir_all(&dir).expect("create tests/golden");
+    for (name, value) in [
+        ("table4.json", &table4),
+        ("table5.json", &table5),
+        ("table6.json", &table6),
+    ] {
+        let path = dir.join(name);
+        let pretty = serde_json::to_string_pretty(value).expect("serialize golden value");
+        std::fs::write(&path, format!("{pretty}\n")).expect("write golden file");
+        println!("wrote {}", path.display());
+    }
+}

@@ -19,7 +19,10 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "results".to_string())
         .into();
-    println!("Writing machine-readable results to {}/\n", out_dir.display());
+    println!(
+        "Writing machine-readable results to {}/\n",
+        out_dir.display()
+    );
 
     let cdsf = paper_cdsf(repro_sim_params());
 
@@ -52,7 +55,11 @@ fn main() {
             .map(|c| {
                 format!(
                     "case {c}: {}",
-                    if result.case_is_robust(c, cdsf.batch().len()) { "met" } else { "violated" }
+                    if result.case_is_robust(c, cdsf.batch().len()) {
+                        "met"
+                    } else {
+                        "violated"
+                    }
                 )
             })
             .collect();

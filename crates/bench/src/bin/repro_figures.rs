@@ -42,7 +42,11 @@ fn main() {
         for app in 0..cdsf.batch().len() {
             for case in 1..=paper::NUM_CASES {
                 let mut row = vec![
-                    if case == 1 { format!("{}", app + 1) } else { String::new() },
+                    if case == 1 {
+                        format!("{}", app + 1)
+                    } else {
+                        String::new()
+                    },
                     format!("{case}"),
                 ];
                 for tech in &techniques {
@@ -67,7 +71,11 @@ fn main() {
             let robust = result.case_is_robust(case, cdsf.batch().len());
             println!(
                 "  case {case}: {}",
-                if robust { "deadline met for all applications" } else { "deadline VIOLATED" }
+                if robust {
+                    "deadline met for all applications"
+                } else {
+                    "deadline VIOLATED"
+                }
             );
         }
         println!();

@@ -2,9 +2,9 @@
 //! plus the paper's φ₁ values: 26 % for the naïve equal-share mapping and
 //! 74.5 % for the robust (exhaustive) mapping.
 
+use cdsf_bench::{paper_cdsf, repro_sim_params};
 use cdsf_core::report::pct;
 use cdsf_core::{AsciiTable, ImPolicy};
-use cdsf_bench::{paper_cdsf, repro_sim_params};
 
 fn main() {
     let cdsf = paper_cdsf(repro_sim_params());
@@ -20,13 +20,21 @@ fn main() {
         let (alloc, report) = cdsf.stage_one(&policy).expect("stage I succeeds");
         for (i, asg) in alloc.assignments().iter().enumerate() {
             table.row([
-                if i == 0 { label.to_string() } else { String::new() },
+                if i == 0 {
+                    label.to_string()
+                } else {
+                    String::new()
+                },
                 (i + 1).to_string(),
                 (asg.proc_type.0 + 1).to_string(),
                 asg.procs.to_string(),
             ]);
         }
-        summary.row([label.to_string(), pct(report.joint), paper_value.to_string()]);
+        summary.row([
+            label.to_string(),
+            pct(report.joint),
+            paper_value.to_string(),
+        ]);
     }
 
     println!("{table}");

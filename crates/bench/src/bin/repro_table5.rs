@@ -2,9 +2,9 @@
 //! application under the naïve and robust initial mappings (paper:
 //! 3800.02 / 1306.39 / 4599.76 and 1365.46 / 1959.59 / 2699.86).
 
+use cdsf_bench::{paper_cdsf, repro_sim_params};
 use cdsf_core::report::time;
 use cdsf_core::{AsciiTable, ImPolicy};
-use cdsf_bench::{paper_cdsf, repro_sim_params};
 
 fn main() {
     let cdsf = paper_cdsf(repro_sim_params());

@@ -25,7 +25,10 @@ fn main() {
     ];
     for (app, row) in table6.iter().enumerate() {
         let mut cells = vec![format!("{}", app + 1)];
-        cells.extend(row.iter().map(|t| t.clone().unwrap_or_else(|| "-".to_string())));
+        cells.extend(
+            row.iter()
+                .map(|t| t.clone().unwrap_or_else(|| "-".to_string())),
+        );
         table.row(cells);
         let mut paper_cells = vec!["  (paper)".to_string()];
         paper_cells.extend(paper_rows[app].iter().map(|s| s.to_string()));

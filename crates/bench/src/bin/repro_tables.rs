@@ -41,13 +41,25 @@ fn main() {
                 .map(|p| format!("{:.0}", p.prob * 100.0))
                 .collect();
             t1.row([
-                if j == 0 { format!("Case {case}") } else { String::new() },
+                if j == 0 {
+                    format!("Case {case}")
+                } else {
+                    String::new()
+                },
                 ty.name().to_string(),
                 avail.join("/"),
                 prob.join("/"),
                 pct(ty.expected_availability()),
-                if j == 0 { weighted.clone() } else { String::new() },
-                if j == 0 { decrease.clone() } else { String::new() },
+                if j == 0 {
+                    weighted.clone()
+                } else {
+                    String::new()
+                },
+                if j == 0 {
+                    decrease.clone()
+                } else {
+                    String::new()
+                },
             ]);
         }
     }
@@ -75,9 +87,8 @@ fn main() {
     println!("{t2}");
 
     // ---------------------------------------------------------- Table III
-    let mut t3 = AsciiTable::new(["Processor", "App 1", "App 2", "App 3"]).title(
-        "Table III: normal-distribution mean single-processor execution times (σ = μ/10)",
-    );
+    let mut t3 = AsciiTable::new(["Processor", "App 1", "App 2", "App 3"])
+        .title("Table III: normal-distribution mean single-processor execution times (σ = μ/10)");
     for j in 0..2 {
         t3.row([
             format!("Type {}", j + 1),

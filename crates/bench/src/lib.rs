@@ -22,7 +22,11 @@ pub fn paper_cdsf(sim: SimParams) -> Cdsf {
 /// Simulation parameters used by the repro binaries (more replicates than
 /// the library default for smoother figure bars).
 pub fn repro_sim_params() -> SimParams {
-    SimParams { replicates: 100, threads: num_threads(), ..Default::default() }
+    SimParams {
+        replicates: 100,
+        threads: num_threads(),
+        ..Default::default()
+    }
 }
 
 /// Worker threads: all available cores, capped at 8.

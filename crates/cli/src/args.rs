@@ -68,13 +68,19 @@ impl Args {
             if SWITCHES.contains(&arg.as_str()) {
                 switches.push(arg.trim_start_matches("--").to_string());
             } else if let Some(key) = arg.strip_prefix("--") {
-                let value = iter.next().ok_or_else(|| CliError::MissingValue(arg.clone()))?;
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError::MissingValue(arg.clone()))?;
                 options.insert(key.to_string(), value);
             } else {
                 return Err(CliError::UnknownCommand(arg));
             }
         }
-        Ok(Self { command, options, switches })
+        Ok(Self {
+            command,
+            options,
+            switches,
+        })
     }
 
     /// Whether `--json` was passed.
@@ -130,7 +136,10 @@ mod tests {
 
     #[test]
     fn rejects_dangling_flag() {
-        assert!(matches!(parse("stage1 --pulses"), Err(CliError::MissingValue(_))));
+        assert!(matches!(
+            parse("stage1 --pulses"),
+            Err(CliError::MissingValue(_))
+        ));
     }
 
     #[test]
@@ -144,6 +153,9 @@ mod tests {
 
     #[test]
     fn rejects_stray_positional() {
-        assert!(matches!(parse("stage1 oops"), Err(CliError::UnknownCommand(_))));
+        assert!(matches!(
+            parse("stage1 oops"),
+            Err(CliError::UnknownCommand(_))
+        ));
     }
 }

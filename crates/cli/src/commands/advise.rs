@@ -22,8 +22,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             .map_err(|e| CliError::Framework(e.to_string()));
     }
 
-    let mut table = AsciiTable::new(["App", "Case", "Verdict", "Source", "Recommendation"])
-        .title(format!(
+    let mut table =
+        AsciiTable::new(["App", "Case", "Verdict", "Source", "Recommendation"]).title(format!(
             "Advice on [{}] (φ1 = {}): {} cells screened, {} simulated",
             advice.allocation,
             pct(advice.phi1),
@@ -34,7 +34,12 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         table.row([
             (cell.app + 1).to_string(),
             cell.case.to_string(),
-            if cell.meets_deadline { "meets Δ" } else { "VIOLATES" }.to_string(),
+            if cell.meets_deadline {
+                "meets Δ"
+            } else {
+                "VIOLATES"
+            }
+            .to_string(),
             match cell.source {
                 VerdictSource::MeanField => "mean-field".to_string(),
                 VerdictSource::Simulation => "simulation".to_string(),

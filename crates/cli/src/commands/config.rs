@@ -11,7 +11,10 @@ use cdsf_workloads::paper;
 
 /// Writes a ready-to-edit experiment spec for the paper example.
 pub fn run_init(args: &Args) -> Result<String, CliError> {
-    let path = args.get("file").unwrap_or("cdsf-experiment.json").to_string();
+    let path = args
+        .get("file")
+        .unwrap_or("cdsf-experiment.json")
+        .to_string();
     let spec = ExperimentSpec {
         name: "paper-example".to_string(),
         batch: paper::batch_with_pulses(args.get_parsed("pulses", paper::DEFAULT_PULSES)?),
@@ -25,10 +28,15 @@ pub fn run_init(args: &Args) -> Result<String, CliError> {
         im: "robust".to_string(),
         ras: vec!["robust".to_string()],
     };
-    let json = spec.to_json().map_err(|e| CliError::Framework(e.to_string()))?;
+    let json = spec
+        .to_json()
+        .map_err(|e| CliError::Framework(e.to_string()))?;
     std::fs::write(&path, &json)
         .map_err(|e| CliError::Framework(format!("could not write {path}: {e}")))?;
-    Ok(format!("wrote experiment spec to {path} ({} bytes)", json.len()))
+    Ok(format!(
+        "wrote experiment spec to {path} ({} bytes)",
+        json.len()
+    ))
 }
 
 /// Loads and runs an experiment spec.
@@ -39,8 +47,7 @@ pub fn run_config(args: &Args) -> Result<String, CliError> {
         .to_string();
     let json = std::fs::read_to_string(&path)
         .map_err(|e| CliError::Framework(format!("could not read {path}: {e}")))?;
-    let spec =
-        ExperimentSpec::from_json(&json).map_err(|e| CliError::Framework(e.to_string()))?;
+    let spec = ExperimentSpec::from_json(&json).map_err(|e| CliError::Framework(e.to_string()))?;
     let result = spec.run().map_err(|e| CliError::Framework(e.to_string()))?;
 
     if args.json() {
@@ -68,7 +75,12 @@ pub fn run_config(args: &Args) -> Result<String, CliError> {
     for case in 1..=ncases {
         table.row([
             case.to_string(),
-            if result.scenario.case_is_robust(case, napps) { "yes" } else { "no" }.to_string(),
+            if result.scenario.case_is_robust(case, napps) {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
     }
     Ok(table.to_string())

@@ -18,7 +18,10 @@ struct CorrelatePoint {
 pub fn run(args: &Args) -> Result<String, CliError> {
     let steps: usize = args.get_parsed("steps", 4usize)?;
     if steps == 0 {
-        return Err(CliError::BadValue { flag: "--steps".into(), value: "0".into() });
+        return Err(CliError::BadValue {
+            flag: "--steps".into(),
+            value: "0".into(),
+        });
     }
     let replicates: usize = args.get_parsed("replicates", 100_000usize)?;
     let allocator = args.get("allocator").unwrap_or("exhaustive").to_string();
@@ -81,8 +84,7 @@ mod tests {
 
     #[test]
     fn correlate_produces_sweep() {
-        let out =
-            run(&args("correlate --steps 2 --replicates 5000 --pulses 8")).unwrap();
+        let out = run(&args("correlate --steps 2 --replicates 5000 --pulses 8")).unwrap();
         assert!(out.contains("0.50"), "{out}");
     }
 

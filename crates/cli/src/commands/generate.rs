@@ -67,8 +67,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     }
 
     if args.json() {
-        return serde_json::to_string_pretty(&rows)
-            .map_err(|e| CliError::Framework(e.to_string()));
+        return serde_json::to_string_pretty(&rows).map_err(|e| CliError::Framework(e.to_string()));
     }
 
     let mut table = AsciiTable::new(["Allocator", "φ1", "time (ms)"]).title(format!(

@@ -43,7 +43,13 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             .map(|c| result.case_is_robust(c, cdsf.batch().len()))
             .collect();
         let mut row = vec![format!("{} ({})", scenario.number(), scenario.label())];
-        row.extend(met.iter().map(|&m| if m { "met".to_string() } else { "VIOLATED".into() }));
+        row.extend(met.iter().map(|&m| {
+            if m {
+                "met".to_string()
+            } else {
+                "VIOLATED".into()
+            }
+        }));
         table.row(row);
         if scenario == Scenario::RobustRobust {
             s4_robustness = Some(cdsf.system_robustness(&result));
@@ -65,8 +71,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             critical_case: r.critical_case,
             verdicts,
         };
-        return serde_json::to_string_pretty(&out)
-            .map_err(|e| CliError::Framework(e.to_string()));
+        return serde_json::to_string_pretty(&out).map_err(|e| CliError::Framework(e.to_string()));
     }
 
     let mut out = String::new();

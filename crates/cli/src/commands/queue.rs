@@ -20,7 +20,10 @@ struct QueueJson {
 pub fn run(args: &Args) -> Result<String, CliError> {
     let n: usize = args.get_parsed("batches", 3usize)?;
     if n == 0 {
-        return Err(CliError::BadValue { flag: "--batches".into(), value: "0".into() });
+        return Err(CliError::BadValue {
+            flag: "--batches".into(),
+            value: "0".into(),
+        });
     }
     let seed: u64 = args.get_parsed("seed", 7u64)?;
     let pulses: usize = args.get_parsed("pulses", 16usize)?;
@@ -50,12 +53,13 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     }
 
     if args.json() {
-        return serde_json::to_string_pretty(&rows)
-            .map_err(|e| CliError::Framework(e.to_string()));
+        return serde_json::to_string_pretty(&rows).map_err(|e| CliError::Framework(e.to_string()));
     }
 
-    let mut table = AsciiTable::new(["Policy", "Total time", "Deadlines met"])
-        .title(format!("{n}-batch queue on the paper system (Δ = {} per batch)", paper::DEADLINE));
+    let mut table = AsciiTable::new(["Policy", "Total time", "Deadlines met"]).title(format!(
+        "{n}-batch queue on the paper system (Δ = {} per batch)",
+        paper::DEADLINE
+    ));
     for r in &rows {
         table.row([
             r.policy.clone(),

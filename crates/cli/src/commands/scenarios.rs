@@ -72,9 +72,14 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         ));
         for app in 0..cdsf.batch().len() {
             for case in 1..=paper::NUM_CASES {
-                let mut row =
-                    vec![if case == 1 { (app + 1).to_string() } else { String::new() },
-                         case.to_string()];
+                let mut row = vec![
+                    if case == 1 {
+                        (app + 1).to_string()
+                    } else {
+                        String::new()
+                    },
+                    case.to_string(),
+                ];
                 for t in &techniques {
                     let cell = result
                         .cells

@@ -5,8 +5,8 @@ use crate::commands::paper_cdsf;
 use cdsf_core::report::pct;
 use cdsf_core::{AsciiTable, ImPolicy};
 use cdsf_ra::allocators::{
-    EqualShare, Exhaustive, GeneticAlgorithm, GreedyMaxRobust, GreedyMinTime,
-    SimulatedAnnealing, Sufferage,
+    EqualShare, Exhaustive, GeneticAlgorithm, GreedyMaxRobust, GreedyMinTime, SimulatedAnnealing,
+    Sufferage,
 };
 use cdsf_ra::Allocator;
 use serde::Serialize;
@@ -24,9 +24,7 @@ struct Stage1Json {
 }
 
 /// Builds the allocator named on the command line.
-pub fn allocator_by_name(
-    name: &str,
-) -> Result<Box<dyn Allocator + Send + Sync>, CliError> {
+pub fn allocator_by_name(name: &str) -> Result<Box<dyn Allocator + Send + Sync>, CliError> {
     Ok(match name {
         "equal-share" => Box::new(EqualShare::new()),
         "exhaustive" => Box::new(Exhaustive::default()),
@@ -52,13 +50,9 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let (alloc, report) = cdsf
         .stage_one(&ImPolicy::Custom(allocator))
         .map_err(|e| CliError::Framework(e.to_string()))?;
-    let radius = cdsf_ra::radius::robustness_radius(
-        cdsf.batch(),
-        cdsf.reference(),
-        &alloc,
-        cdsf.deadline(),
-    )
-    .map_err(|e| CliError::Framework(e.to_string()))?;
+    let radius =
+        cdsf_ra::radius::robustness_radius(cdsf.batch(), cdsf.reference(), &alloc, cdsf.deadline())
+            .map_err(|e| CliError::Framework(e.to_string()))?;
 
     if args.json() {
         let out = Stage1Json {
@@ -74,12 +68,11 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             radius: radius.radius.clone(),
             system_radius: radius.system_radius,
         };
-        return serde_json::to_string_pretty(&out)
-            .map_err(|e| CliError::Framework(e.to_string()));
+        return serde_json::to_string_pretty(&out).map_err(|e| CliError::Framework(e.to_string()));
     }
 
-    let mut table = AsciiTable::new(["App", "Type", "Procs", "Pr(T ≤ Δ)", "E[T]", "radius"])
-        .title(format!(
+    let mut table =
+        AsciiTable::new(["App", "Type", "Procs", "Pr(T ≤ Δ)", "E[T]", "radius"]).title(format!(
             "Stage-I mapping ({name}), φ1 = {}, FePIA system radius = {:.3}",
             pct(report.joint),
             radius.system_radius

@@ -11,7 +11,10 @@ use cdsf_ra::surface::{diagonal_tolerance, robustness_surface, surface_to_csv};
 pub fn run(args: &Args) -> Result<String, CliError> {
     let steps: usize = args.get_parsed("steps", 5usize)?;
     if steps < 2 {
-        return Err(CliError::BadValue { flag: "--steps".into(), value: steps.to_string() });
+        return Err(CliError::BadValue {
+            flag: "--steps".into(),
+            value: steps.to_string(),
+        });
     }
     let min_scale: f64 = args.get_parsed("min-scale", 0.4f64)?;
     if !(min_scale > 0.0 && min_scale < 1.0) {

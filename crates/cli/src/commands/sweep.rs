@@ -39,7 +39,9 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     }
 
     let cdsf = Cdsf::builder()
-        .batch(paper::batch_with_pulses(args.get_parsed("pulses", 32usize)?))
+        .batch(paper::batch_with_pulses(
+            args.get_parsed("pulses", 32usize)?,
+        ))
         .reference_platform(reference)
         .runtime_cases(cases)
         .deadline(args.get_parsed("deadline", paper::DEADLINE)?)

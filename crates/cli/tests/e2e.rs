@@ -38,9 +38,12 @@ fn missing_command_suggests_help() {
 #[test]
 fn stage1_json_is_valid_json_on_stdout() {
     let out = cdsf(&["stage1", "--pulses", "8", "--json"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
-    let v: serde_json::Value =
-        serde_json::from_slice(&out.stdout).expect("stdout is valid JSON");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("stdout is valid JSON");
     assert!(v["phi1"].as_f64().unwrap() > 0.5);
     assert!(v["system_radius"].is_number());
 }
@@ -60,12 +63,28 @@ fn init_and_run_config_through_the_binary() {
     let path = dir.join("exp.json");
     let path_s = path.to_str().unwrap();
 
-    let out = cdsf(&["init-config", "--file", path_s, "--pulses", "8", "--replicates", "2"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = cdsf(&[
+        "init-config",
+        "--file",
+        path_s,
+        "--pulses",
+        "8",
+        "--replicates",
+        "2",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(path.exists());
 
     let out = cdsf(&["run-config", "--file", path_s, "--json"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let v: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
     assert_eq!(v["name"], "paper-example");
     assert!(v["robustness"]["rho1"].as_f64().unwrap() > 0.5);

@@ -85,7 +85,9 @@ impl Advisor {
         let (allocation, report) = cdsf.stage_one(im)?;
         let techniques = ras.techniques();
         if techniques.is_empty() {
-            return Err(CoreError::BadConfig { what: "empty technique set" });
+            return Err(CoreError::BadConfig {
+                what: "empty technique set",
+            });
         }
         let grid = self.meanfield.predict_grid(
             cdsf.batch(),
@@ -140,7 +142,13 @@ impl Advisor {
                 mean_makespan: best.as_ref().map(|(_, m)| *m),
             });
         }
-        Ok(Advice { allocation, phi1: report.joint, cells, screened, simulated })
+        Ok(Advice {
+            allocation,
+            phi1: report.joint,
+            cells,
+            screened,
+            simulated,
+        })
     }
 }
 
@@ -156,7 +164,11 @@ mod tests {
             .reference_platform(paper::platform())
             .runtime_cases((1..=4).map(paper::platform_case).collect())
             .deadline(paper::DEADLINE)
-            .sim_params(SimParams { replicates: 15, threads: 4, ..Default::default() })
+            .sim_params(SimParams {
+                replicates: 15,
+                threads: 4,
+                ..Default::default()
+            })
             .build()
             .unwrap()
     }
@@ -177,7 +189,8 @@ mod tests {
             // Mean-field Clear cells must agree; simulated cells use the
             // same seeds as the full grid and agree by construction.
             assert_eq!(
-                cell.meets_deadline, full_met,
+                cell.meets_deadline,
+                full_met,
                 "app {} case {} ({:?})",
                 cell.app + 1,
                 cell.case,

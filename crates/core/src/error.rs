@@ -74,8 +74,19 @@ mod tests {
     #[test]
     fn every_variant_displays_its_payload() {
         let cases: Vec<(CoreError, &str)> = vec![
-            (CoreError::BadConfig { what: "missing batch" }, "missing batch"),
-            (CoreError::BadParameter { name: "deadline", value: 0.0 }, "deadline"),
+            (
+                CoreError::BadConfig {
+                    what: "missing batch",
+                },
+                "missing batch",
+            ),
+            (
+                CoreError::BadParameter {
+                    name: "deadline",
+                    value: 0.0,
+                },
+                "deadline",
+            ),
             (CoreError::Ra(cdsf_ra::RaError::EmptyBatch), "stage I"),
             (CoreError::Dls(cdsf_dls::DlsError::NoWorkers), "stage II"),
             (
@@ -92,7 +103,9 @@ mod tests {
     #[test]
     fn sources_chain_to_inner_errors() {
         use std::error::Error as _;
-        assert!(CoreError::Ra(cdsf_ra::RaError::EmptyBatch).source().is_some());
+        assert!(CoreError::Ra(cdsf_ra::RaError::EmptyBatch)
+            .source()
+            .is_some());
         assert!(CoreError::BadConfig { what: "x" }.source().is_none());
     }
 }

@@ -32,8 +32,7 @@ use crate::simulation::SimParams;
 use crate::{Cdsf, CoreError, Result, ScenarioResult, SystemRobustness};
 use cdsf_dls::TechniqueKind;
 use cdsf_ra::allocators::{
-    EqualShare, GeneticAlgorithm, GreedyMaxRobust, GreedyMinTime, SimulatedAnnealing,
-    Sufferage,
+    EqualShare, GeneticAlgorithm, GreedyMaxRobust, GreedyMinTime, SimulatedAnnealing, Sufferage,
 };
 use cdsf_system::{Batch, Platform};
 use serde::{Deserialize, Serialize};
@@ -84,14 +83,20 @@ pub fn im_policy_by_name(name: &str) -> Result<ImPolicy> {
         "genetic" => ImPolicy::Custom(Box::new(GeneticAlgorithm::default())),
         // EqualShare is reachable as "naive"; keep the explicit name too.
         "equal_share" => ImPolicy::Custom(Box::new(EqualShare::new())),
-        _ => return Err(CoreError::BadConfig { what: "unknown im policy name" }),
+        _ => {
+            return Err(CoreError::BadConfig {
+                what: "unknown im policy name",
+            })
+        }
     })
 }
 
 /// Resolves a Stage-II policy from technique names.
 pub fn ras_policy_from_names(names: &[String]) -> Result<RasPolicy> {
     if names.is_empty() {
-        return Err(CoreError::BadConfig { what: "empty ras technique list" });
+        return Err(CoreError::BadConfig {
+            what: "empty ras technique list",
+        });
     }
     if names.len() == 1 {
         match names[0].to_ascii_lowercase().as_str() {
@@ -104,21 +109,25 @@ pub fn ras_policy_from_names(names: &[String]) -> Result<RasPolicy> {
         names.iter().map(|n| n.parse()).collect();
     match kinds {
         Ok(kinds) => Ok(RasPolicy::Custom(kinds)),
-        Err(_) => Err(CoreError::BadConfig { what: "unknown technique name in ras list" }),
+        Err(_) => Err(CoreError::BadConfig {
+            what: "unknown technique name in ras list",
+        }),
     }
 }
 
 impl ExperimentSpec {
     /// Parses a spec from JSON.
     pub fn from_json(json: &str) -> Result<Self> {
-        serde_json::from_str(json)
-            .map_err(|_| CoreError::BadConfig { what: "invalid experiment JSON" })
+        serde_json::from_str(json).map_err(|_| CoreError::BadConfig {
+            what: "invalid experiment JSON",
+        })
     }
 
     /// Serializes the spec to pretty JSON.
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string_pretty(self)
-            .map_err(|_| CoreError::BadConfig { what: "spec not serializable" })
+        serde_json::to_string_pretty(self).map_err(|_| CoreError::BadConfig {
+            what: "spec not serializable",
+        })
     }
 
     /// Builds the [`Cdsf`] instance this spec describes.
@@ -141,7 +150,11 @@ impl ExperimentSpec {
         let ras = ras_policy_from_names(&self.ras)?;
         let scenario = cdsf.run_scenario(&im, &ras)?;
         let robustness = cdsf.system_robustness(&scenario);
-        Ok(ExperimentResult { name: self.name.clone(), scenario, robustness })
+        Ok(ExperimentResult {
+            name: self.name.clone(),
+            scenario,
+            robustness,
+        })
     }
 }
 
@@ -157,7 +170,11 @@ mod tests {
             reference: paper::platform(),
             runtime_cases: (1..=4).map(paper::platform_case).collect(),
             deadline: paper::DEADLINE,
-            sim: Some(SimParams { replicates: 4, threads: 2, ..Default::default() }),
+            sim: Some(SimParams {
+                replicates: 4,
+                threads: 2,
+                ..Default::default()
+            }),
             im: "robust".to_string(),
             ras: vec!["robust".to_string()],
         }
@@ -184,8 +201,12 @@ mod tests {
         let mut spec = paper_spec();
         spec.ras = vec!["GSS".into(), "FSC:32".into(), "awf-c".into()];
         let result = spec.run().unwrap();
-        let names: std::collections::HashSet<&str> =
-            result.scenario.cells.iter().map(|c| c.technique.as_str()).collect();
+        let names: std::collections::HashSet<&str> = result
+            .scenario
+            .cells
+            .iter()
+            .map(|c| c.technique.as_str())
+            .collect();
         assert_eq!(names.len(), 3);
         assert!(names.contains("GSS") && names.contains("FSC") && names.contains("AWF-C"));
     }

@@ -43,18 +43,20 @@ pub fn scenario_to_csv(result: &ScenarioResult) -> String {
 /// Serializes the full scenario result (allocation, φ₁, grid) as pretty
 /// JSON.
 pub fn scenario_to_json(result: &ScenarioResult) -> Result<String> {
-    serde_json::to_string_pretty(result)
-        .map_err(|_| CoreError::BadConfig { what: "scenario result not serializable" })
+    serde_json::to_string_pretty(result).map_err(|_| CoreError::BadConfig {
+        what: "scenario result not serializable",
+    })
 }
 
 /// Writes both forms next to each other:
 /// `<stem>.csv` and `<stem>.json` under `dir`.
 pub fn write_scenario(result: &ScenarioResult, dir: &Path, stem: &str) -> Result<()> {
-    let io_err = |_| CoreError::BadConfig { what: "could not write export files" };
+    let io_err = |_| CoreError::BadConfig {
+        what: "could not write export files",
+    };
     std::fs::create_dir_all(dir).map_err(io_err)?;
     std::fs::write(dir.join(format!("{stem}.csv")), scenario_to_csv(result)).map_err(io_err)?;
-    std::fs::write(dir.join(format!("{stem}.json")), scenario_to_json(result)?)
-        .map_err(io_err)?;
+    std::fs::write(dir.join(format!("{stem}.json")), scenario_to_json(result)?).map_err(io_err)?;
     Ok(())
 }
 
@@ -69,8 +71,12 @@ pub fn chunks_to_csv(log: &[cdsf_dls::executor::ChunkRecord]) -> String {
     out.push_str(CHUNK_CSV_HEADER);
     out.push('\n');
     for c in log {
-        writeln!(out, "{},{},{:.6},{:.6}", c.worker, c.size, c.start, c.finish)
-            .expect("writing to String cannot fail");
+        writeln!(
+            out,
+            "{},{},{:.6},{:.6}",
+            c.worker, c.size, c.start, c.finish
+        )
+        .expect("writing to String cannot fail");
     }
     out
 }
@@ -87,10 +93,15 @@ mod tests {
             .reference_platform(paper::platform())
             .runtime_cases(vec![paper::platform_case(1)])
             .deadline(paper::DEADLINE)
-            .sim_params(SimParams { replicates: 2, threads: 2, ..Default::default() })
+            .sim_params(SimParams {
+                replicates: 2,
+                threads: 2,
+                ..Default::default()
+            })
             .build()
             .unwrap();
-        cdsf.run_scenario(&ImPolicy::Naive, &RasPolicy::Naive).unwrap()
+        cdsf.run_scenario(&ImPolicy::Naive, &RasPolicy::Naive)
+            .unwrap()
     }
 
     #[test]

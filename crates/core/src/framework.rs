@@ -4,8 +4,8 @@
 use crate::policy::{ImPolicy, RasPolicy, Scenario};
 use crate::simulation::{simulate_grid, CellResult, SimParams};
 use crate::{CoreError, Result};
-use cdsf_ra::robustness::{evaluate, RobustnessReport};
-use cdsf_ra::Allocation;
+use cdsf_ra::robustness::{evaluate_with_engine, RobustnessReport};
+use cdsf_ra::{Allocation, Phi1Engine};
 use cdsf_system::{Batch, Platform};
 use serde::{Deserialize, Serialize};
 
@@ -65,16 +65,25 @@ impl CdsfBuilder {
 
     /// Validates and builds.
     pub fn build(self) -> Result<Cdsf> {
-        let batch = self.batch.ok_or(CoreError::BadConfig { what: "missing batch" })?;
+        let batch = self.batch.ok_or(CoreError::BadConfig {
+            what: "missing batch",
+        })?;
         if batch.is_empty() {
-            return Err(CoreError::BadConfig { what: "empty batch" });
+            return Err(CoreError::BadConfig {
+                what: "empty batch",
+            });
         }
-        let reference = self
-            .reference
-            .ok_or(CoreError::BadConfig { what: "missing reference platform" })?;
-        let deadline = self.deadline.ok_or(CoreError::BadConfig { what: "missing deadline" })?;
+        let reference = self.reference.ok_or(CoreError::BadConfig {
+            what: "missing reference platform",
+        })?;
+        let deadline = self.deadline.ok_or(CoreError::BadConfig {
+            what: "missing deadline",
+        })?;
         if !(deadline > 0.0) || !deadline.is_finite() {
-            return Err(CoreError::BadParameter { name: "deadline", value: deadline });
+            return Err(CoreError::BadParameter {
+                name: "deadline",
+                value: deadline,
+            });
         }
         let runtime_cases = if self.runtime_cases.is_empty() {
             vec![reference.clone()]
@@ -90,7 +99,13 @@ impl CdsfBuilder {
         }
         let sim = self.sim.unwrap_or_default();
         sim.validate()?;
-        Ok(Cdsf { batch, reference, runtime_cases, deadline, sim })
+        Ok(Cdsf {
+            batch,
+            reference,
+            runtime_cases,
+            deadline,
+            sim,
+        })
     }
 }
 
@@ -199,9 +214,17 @@ impl Cdsf {
     }
 
     /// Stage I only: run the mapping policy and evaluate its robustness.
+    ///
+    /// The φ₁ evaluation engine is built once (in parallel, using the
+    /// simulation thread count) and shared between the mapping policy and
+    /// the robustness report, so the PMF arithmetic per `(app, type,
+    /// share)` runs exactly once per stage-one invocation.
     pub fn stage_one(&self, im: &ImPolicy) -> Result<(Allocation, RobustnessReport)> {
-        let alloc = im.allocate(&self.batch, &self.reference, self.deadline)?;
-        let report = evaluate(&self.batch, &self.reference, &alloc, self.deadline)?;
+        let engine = Phi1Engine::build_parallel(&self.batch, &self.reference, self.sim.threads)?;
+        let alloc =
+            im.allocate_with_engine(&self.batch, &self.reference, &engine, self.deadline)?;
+        let report =
+            evaluate_with_engine(&engine, &self.batch, &self.reference, &alloc, self.deadline)?;
         Ok((alloc, report))
     }
 
@@ -273,7 +296,11 @@ impl Cdsf {
                 .availability_decrease_vs(&self.reference)
                 .max(0.0)
         });
-        SystemRobustness { rho1: result.phi1, rho2, critical_case: critical }
+        SystemRobustness {
+            rho1: result.phi1,
+            rho2,
+            critical_case: critical,
+        }
     }
 }
 
@@ -288,7 +315,11 @@ mod tests {
             .reference_platform(paper::platform())
             .runtime_cases((1..=4).map(paper::platform_case).collect())
             .deadline(paper::DEADLINE)
-            .sim_params(SimParams { replicates, threads: 4, ..Default::default() })
+            .sim_params(SimParams {
+                replicates,
+                threads: 4,
+                ..Default::default()
+            })
             .build()
             .unwrap()
     }
@@ -330,8 +361,16 @@ mod tests {
         let cdsf = quick_cdsf(64, 2);
         let (_, naive) = cdsf.stage_one(&ImPolicy::Naive).unwrap();
         let (_, robust) = cdsf.stage_one(&ImPolicy::Robust).unwrap();
-        assert!((naive.joint - 0.26).abs() < 0.02, "naive φ1 {}", naive.joint);
-        assert!((robust.joint - 0.745).abs() < 0.02, "robust φ1 {}", robust.joint);
+        assert!(
+            (naive.joint - 0.26).abs() < 0.02,
+            "naive φ1 {}",
+            naive.joint
+        );
+        assert!(
+            (robust.joint - 0.745).abs() < 0.02,
+            "robust φ1 {}",
+            robust.joint
+        );
     }
 
     #[test]

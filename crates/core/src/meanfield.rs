@@ -66,7 +66,10 @@ pub struct MeanField {
 
 impl Default for MeanField {
     fn default() -> Self {
-        Self { margin: 0.15, overhead: 1.0 }
+        Self {
+            margin: 0.15,
+            overhead: 1.0,
+        }
     }
 }
 
@@ -80,9 +83,9 @@ impl MeanField {
         app_idx: usize,
     ) -> Result<f64> {
         let app = batch.app(AppId(app_idx))?;
-        let asg = alloc
-            .assignment(app_idx)
-            .ok_or(CoreError::BadConfig { what: "allocation does not cover application" })?;
+        let asg = alloc.assignment(app_idx).ok_or(CoreError::BadConfig {
+            what: "allocation does not cover application",
+        })?;
         let e_avail = case.proc_type(asg.proc_type)?.expected_availability();
         let w = app.expected_exec_time(asg.proc_type)?;
         let s = app.serial_fraction();
@@ -109,7 +112,10 @@ impl MeanField {
         deadline: f64,
     ) -> Result<Vec<MeanFieldCell>> {
         if !(deadline > 0.0) {
-            return Err(CoreError::BadParameter { name: "deadline", value: deadline });
+            return Err(CoreError::BadParameter {
+                name: "deadline",
+                value: deadline,
+            });
         }
         let mut out = Vec::with_capacity(batch.len() * cases.len());
         for app in 0..batch.len() {
@@ -142,9 +148,18 @@ mod tests {
 
     fn robust_alloc() -> Allocation {
         Allocation::new(vec![
-            Assignment { proc_type: ProcTypeId(0), procs: 2 },
-            Assignment { proc_type: ProcTypeId(0), procs: 2 },
-            Assignment { proc_type: ProcTypeId(1), procs: 8 },
+            Assignment {
+                proc_type: ProcTypeId(0),
+                procs: 2,
+            },
+            Assignment {
+                proc_type: ProcTypeId(0),
+                procs: 2,
+            },
+            Assignment {
+                proc_type: ProcTypeId(1),
+                procs: 8,
+            },
         ])
     }
 
@@ -152,7 +167,10 @@ mod tests {
     fn prediction_matches_hand_computation() {
         // App 1 robust mapping, case 1: serial 0.3·1800/0.875 + parallel
         // 0.7·1800/(2·0.875) + overhead·chunks.
-        let mf = MeanField { margin: 0.15, overhead: 0.0 };
+        let mf = MeanField {
+            margin: 0.15,
+            overhead: 0.0,
+        };
         let batch = paper::batch_with_pulses(16);
         let t = mf
             .predict_app(&batch, &robust_alloc(), &paper::platform_case(1), 0)
@@ -171,7 +189,10 @@ mod tests {
             .unwrap();
         assert_eq!(grid.len(), 12);
         // Case-1 predictions all meet the deadline for the robust mapping.
-        assert!(grid.iter().filter(|c| c.case == 1).all(|c| c.meets_deadline));
+        assert!(grid
+            .iter()
+            .filter(|c| c.case == 1)
+            .all(|c| c.meets_deadline));
         // App 2 in case 4 is hopeless (paper agrees).
         let app2c4 = grid.iter().find(|c| c.app == 1 && c.case == 4).unwrap();
         assert!(!app2c4.meets_deadline);
@@ -196,7 +217,9 @@ mod tests {
         let mf = MeanField::default();
         let batch = paper::batch_with_pulses(8);
         let cases = vec![paper::platform_case(1)];
-        assert!(mf.predict_grid(&batch, &robust_alloc(), &cases, 0.0).is_err());
+        assert!(mf
+            .predict_grid(&batch, &robust_alloc(), &cases, 0.0)
+            .is_err());
         let short = Allocation::new(vec![Assignment {
             proc_type: ProcTypeId(0),
             procs: 2,

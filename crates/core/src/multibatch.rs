@@ -87,13 +87,24 @@ impl<'a> MultiBatch<'a> {
         sim: SimParams,
     ) -> Result<Self> {
         if batches.is_empty() || batches.iter().any(|b| b.is_empty()) {
-            return Err(CoreError::BadConfig { what: "queue needs non-empty batches" });
+            return Err(CoreError::BadConfig {
+                what: "queue needs non-empty batches",
+            });
         }
         if !(deadline > 0.0) {
-            return Err(CoreError::BadParameter { name: "deadline", value: deadline });
+            return Err(CoreError::BadParameter {
+                name: "deadline",
+                value: deadline,
+            });
         }
         sim.validate()?;
-        Ok(Self { batches, reference, runtime, deadline, sim })
+        Ok(Self {
+            batches,
+            reference,
+            runtime,
+            deadline,
+            sim,
+        })
     }
 
     /// Runs the queue back to back: each batch is considered to arrive the
@@ -116,10 +127,14 @@ impl<'a> MultiBatch<'a> {
         seed: u64,
     ) -> Result<QueueResult> {
         if arrivals.len() != self.batches.len() {
-            return Err(CoreError::BadConfig { what: "one arrival time per batch required" });
+            return Err(CoreError::BadConfig {
+                what: "one arrival time per batch required",
+            });
         }
         if arrivals.windows(2).any(|w| w[1] < w[0]) || arrivals.iter().any(|a| *a < 0.0) {
-            return Err(CoreError::BadConfig { what: "arrivals must be non-negative and sorted" });
+            return Err(CoreError::BadConfig {
+                what: "arrivals must be non-negative and sorted",
+            });
         }
         self.run_impl(im, ras, Some(arrivals), seed)
     }
@@ -135,7 +150,9 @@ impl<'a> MultiBatch<'a> {
         let mut outcomes = Vec::with_capacity(self.batches.len());
         let techniques = ras.techniques();
         if techniques.is_empty() {
-            return Err(CoreError::BadConfig { what: "empty technique set" });
+            return Err(CoreError::BadConfig {
+                what: "empty technique set",
+            });
         }
 
         for (b_idx, batch) in self.batches.iter().enumerate() {
@@ -152,8 +169,11 @@ impl<'a> MultiBatch<'a> {
             for app_idx in 0..batch.len() {
                 let app = batch.app(AppId(app_idx))?;
                 let asg = alloc.assignment(app_idx).expect("allocation covers batch");
-                let avail =
-                    self.runtime.proc_type(asg.proc_type)?.availability().clone();
+                let avail = self
+                    .runtime
+                    .proc_type(asg.proc_type)?
+                    .availability()
+                    .clone();
                 let cfg = ExecutorConfig::builder()
                     .from_application(app, asg.proc_type)?
                     .workers(asg.procs as usize)
@@ -202,7 +222,10 @@ impl<'a> MultiBatch<'a> {
             });
             free_at = finish;
         }
-        Ok(QueueResult { total_time: free_at, batches: outcomes })
+        Ok(QueueResult {
+            total_time: free_at,
+            batches: outcomes,
+        })
     }
 }
 
@@ -229,7 +252,11 @@ mod tests {
     }
 
     fn sim() -> SimParams {
-        SimParams { replicates: 3, threads: 1, ..Default::default() }
+        SimParams {
+            replicates: 3,
+            threads: 1,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -248,8 +275,7 @@ mod tests {
         let reference = paper::platform();
         let runtime = paper::platform_case(1);
         let batches = queue_of(3);
-        let mb = MultiBatch::new(&batches, &reference, &runtime, paper::DEADLINE, sim())
-            .unwrap();
+        let mb = MultiBatch::new(&batches, &reference, &runtime, paper::DEADLINE, sim()).unwrap();
         let result = mb.run(&ImPolicy::Robust, &RasPolicy::Robust, 7).unwrap();
         assert_eq!(result.batches.len(), 3);
         // Starts chain: each batch begins when the previous one finished.
@@ -267,8 +293,7 @@ mod tests {
         let reference = paper::platform();
         let runtime = paper::platform_case(1);
         let batches = queue_of(3);
-        let mb = MultiBatch::new(&batches, &reference, &runtime, paper::DEADLINE, sim())
-            .unwrap();
+        let mb = MultiBatch::new(&batches, &reference, &runtime, paper::DEADLINE, sim()).unwrap();
         let naive = mb.run(&ImPolicy::Naive, &RasPolicy::Naive, 11).unwrap();
         let robust = mb.run(&ImPolicy::Robust, &RasPolicy::Robust, 11).unwrap();
         assert!(
@@ -288,8 +313,7 @@ mod tests {
         let reference = paper::platform();
         let runtime = paper::platform_case(1);
         let batches = queue_of(3);
-        let mb = MultiBatch::new(&batches, &reference, &runtime, paper::DEADLINE, sim())
-            .unwrap();
+        let mb = MultiBatch::new(&batches, &reference, &runtime, paper::DEADLINE, sim()).unwrap();
         // Widely-spaced arrivals: no waiting, machine idles between batches.
         let spaced = mb
             .run_with_arrivals(
@@ -317,8 +341,7 @@ mod tests {
         let reference = paper::platform();
         let runtime = paper::platform_case(1);
         let batches = queue_of(2);
-        let mb = MultiBatch::new(&batches, &reference, &runtime, paper::DEADLINE, sim())
-            .unwrap();
+        let mb = MultiBatch::new(&batches, &reference, &runtime, paper::DEADLINE, sim()).unwrap();
         assert!(mb
             .run_with_arrivals(&ImPolicy::Naive, &RasPolicy::Naive, &[0.0], 1)
             .is_err());
@@ -335,8 +358,7 @@ mod tests {
         let reference = paper::platform();
         let runtime = paper::platform_case(2);
         let batches = queue_of(2);
-        let mb = MultiBatch::new(&batches, &reference, &runtime, paper::DEADLINE, sim())
-            .unwrap();
+        let mb = MultiBatch::new(&batches, &reference, &runtime, paper::DEADLINE, sim()).unwrap();
         let a = mb.run(&ImPolicy::Robust, &RasPolicy::Robust, 42).unwrap();
         let b = mb.run(&ImPolicy::Robust, &RasPolicy::Robust, 42).unwrap();
         assert_eq!(a, b);

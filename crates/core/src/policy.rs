@@ -3,7 +3,7 @@
 use crate::Result;
 use cdsf_dls::TechniqueKind;
 use cdsf_ra::allocators::{EqualShare, Exhaustive};
-use cdsf_ra::{Allocation, Allocator};
+use cdsf_ra::{Allocation, Allocator, Phi1Engine};
 use cdsf_system::{Batch, Platform};
 
 /// Stage-I (initial mapping) policy.
@@ -42,6 +42,28 @@ impl ImPolicy {
             ImPolicy::Naive => EqualShare::new().allocate(batch, platform, deadline)?,
             ImPolicy::Robust => Exhaustive::default().allocate(batch, platform, deadline)?,
             ImPolicy::Custom(a) => a.allocate(batch, platform, deadline)?,
+        };
+        Ok(alloc)
+    }
+
+    /// Runs the policy against a prebuilt [`Phi1Engine`] for
+    /// `(batch, platform)`, skipping the per-policy PMF cache rebuild.
+    /// Bit-identical to [`ImPolicy::allocate`].
+    pub fn allocate_with_engine(
+        &self,
+        batch: &Batch,
+        platform: &Platform,
+        engine: &Phi1Engine,
+        deadline: f64,
+    ) -> Result<Allocation> {
+        let alloc = match self {
+            ImPolicy::Naive => {
+                EqualShare::new().allocate_with_engine(batch, platform, engine, deadline)?
+            }
+            ImPolicy::Robust => {
+                Exhaustive::default().allocate_with_engine(batch, platform, engine, deadline)?
+            }
+            ImPolicy::Custom(a) => a.allocate_with_engine(batch, platform, engine, deadline)?,
         };
         Ok(alloc)
     }
@@ -175,10 +197,17 @@ mod tests {
 
     #[test]
     fn policy_technique_sets() {
-        let naive: Vec<&str> = RasPolicy::Naive.techniques().iter().map(|k| k.name()).collect();
+        let naive: Vec<&str> = RasPolicy::Naive
+            .techniques()
+            .iter()
+            .map(|k| k.name())
+            .collect();
         assert_eq!(naive, vec!["STATIC"]);
-        let robust: Vec<&str> =
-            RasPolicy::Robust.techniques().iter().map(|k| k.name()).collect();
+        let robust: Vec<&str> = RasPolicy::Robust
+            .techniques()
+            .iter()
+            .map(|k| k.name())
+            .collect();
         assert_eq!(robust, vec!["FAC", "WF", "AWF-B", "AF"]);
         assert!(!RasPolicy::Naive.is_robust());
         assert!(RasPolicy::Robust.is_robust());

@@ -149,7 +149,11 @@ pub struct BarChart {
 impl BarChart {
     /// Creates a chart whose longest bar spans `width` characters (≥ 8).
     pub fn new(width: usize) -> Self {
-        Self { width: width.max(8), bars: Vec::new(), reference: None }
+        Self {
+            width: width.max(8),
+            bars: Vec::new(),
+            reference: None,
+        }
     }
 
     /// Adds a vertical reference line at `value` labelled `label`
@@ -161,7 +165,11 @@ impl BarChart {
 
     /// Appends one bar. Non-finite or negative values are clamped to 0.
     pub fn bar(&mut self, label: impl Into<String>, value: f64) -> &mut Self {
-        let v = if value.is_finite() { value.max(0.0) } else { 0.0 };
+        let v = if value.is_finite() {
+            value.max(0.0)
+        } else {
+            0.0
+        };
         self.bars.push((label.into(), v));
         self
     }
@@ -240,7 +248,11 @@ pub fn gantt(log: &[cdsf_dls::executor::ChunkRecord], workers: usize, width: usi
     if log.is_empty() || workers == 0 {
         return String::from("(empty chunk log)\n");
     }
-    let t_end = log.iter().map(|c| c.finish).fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
+    let t_end = log
+        .iter()
+        .map(|c| c.finish)
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
     let col_of = |t: f64| ((t / t_end) * width as f64) as usize;
     let mut rows = vec![vec!['·'; width + 1]; workers];
     for c in log {
@@ -258,7 +270,10 @@ pub fn gantt(log: &[cdsf_dls::executor::ChunkRecord], workers: usize, width: usi
         out.extend(row.iter());
         out.push('\n');
     }
-    out.push_str(&format!("     0{}{t_end:.0}\n", " ".repeat(width.saturating_sub(6))));
+    out.push_str(&format!(
+        "     0{}{t_end:.0}\n",
+        " ".repeat(width.saturating_sub(6))
+    ));
     out
 }
 
@@ -342,8 +357,18 @@ mod tests {
     fn gantt_renders_busy_and_idle() {
         use cdsf_dls::executor::ChunkRecord;
         let log = vec![
-            ChunkRecord { worker: 0, size: 10, start: 0.0, finish: 50.0 },
-            ChunkRecord { worker: 1, size: 10, start: 50.0, finish: 100.0 },
+            ChunkRecord {
+                worker: 0,
+                size: 10,
+                start: 0.0,
+                finish: 50.0,
+            },
+            ChunkRecord {
+                worker: 1,
+                size: 10,
+                start: 50.0,
+                finish: 100.0,
+            },
         ];
         let g = gantt(&log, 2, 20);
         let lines: Vec<&str> = g.lines().collect();

@@ -36,7 +36,13 @@ pub struct SimParams {
 
 impl Default for SimParams {
     fn default() -> Self {
-        Self { replicates: 25, mean_dwell: 300.0, overhead: 1.0, seed: 0xCD5F, threads: 4 }
+        Self {
+            replicates: 25,
+            mean_dwell: 300.0,
+            overhead: 1.0,
+            seed: 0xCD5F,
+            threads: 4,
+        }
     }
 }
 
@@ -44,16 +50,28 @@ impl SimParams {
     /// Validates the parameters.
     pub fn validate(&self) -> Result<()> {
         if self.replicates == 0 {
-            return Err(CoreError::BadParameter { name: "replicates", value: 0.0 });
+            return Err(CoreError::BadParameter {
+                name: "replicates",
+                value: 0.0,
+            });
         }
         if !(self.mean_dwell > 0.0) {
-            return Err(CoreError::BadParameter { name: "mean_dwell", value: self.mean_dwell });
+            return Err(CoreError::BadParameter {
+                name: "mean_dwell",
+                value: self.mean_dwell,
+            });
         }
         if !(self.overhead >= 0.0) {
-            return Err(CoreError::BadParameter { name: "overhead", value: self.overhead });
+            return Err(CoreError::BadParameter {
+                name: "overhead",
+                value: self.overhead,
+            });
         }
         if self.threads == 0 {
-            return Err(CoreError::BadParameter { name: "threads", value: 0.0 });
+            return Err(CoreError::BadParameter {
+                name: "threads",
+                value: 0.0,
+            });
         }
         Ok(())
     }
@@ -126,10 +144,14 @@ pub fn simulate_grid(
 ) -> Result<Vec<CellResult>> {
     params.validate()?;
     if runtime_cases.is_empty() {
-        return Err(CoreError::BadConfig { what: "no runtime availability cases" });
+        return Err(CoreError::BadConfig {
+            what: "no runtime availability cases",
+        });
     }
     if techniques.is_empty() {
-        return Err(CoreError::BadConfig { what: "no techniques to evaluate" });
+        return Err(CoreError::BadConfig {
+            what: "no techniques to evaluate",
+        });
     }
 
     // Build the task list: one entry per (app, case, technique).
@@ -190,7 +212,10 @@ pub fn simulate_grid(
         cells.into_inner()
     };
 
-    Ok(results.into_iter().map(|c| c.expect("all tasks completed")).collect())
+    Ok(results
+        .into_iter()
+        .map(|c| c.expect("all tasks completed"))
+        .collect())
 }
 
 /// Simulates a single `(application, case, technique)` cell on demand —
@@ -240,10 +265,13 @@ fn simulate_cell(
     params: &SimParams,
 ) -> Result<CellResult> {
     let app = batch.app(cdsf_system::AppId(app_idx))?;
-    let asg = alloc
-        .assignment(app_idx)
-        .ok_or(CoreError::BadConfig { what: "allocation does not cover application" })?;
-    let avail_pmf = case_platform.proc_type(asg.proc_type)?.availability().clone();
+    let asg = alloc.assignment(app_idx).ok_or(CoreError::BadConfig {
+        what: "allocation does not cover application",
+    })?;
+    let avail_pmf = case_platform
+        .proc_type(asg.proc_type)?
+        .availability()
+        .clone();
 
     let cfg = ExecutorConfig::builder()
         .from_application(app, asg.proc_type)?
@@ -285,23 +313,56 @@ mod tests {
     use cdsf_workloads::paper;
 
     fn quick_params() -> SimParams {
-        SimParams { replicates: 3, threads: 2, ..Default::default() }
+        SimParams {
+            replicates: 3,
+            threads: 2,
+            ..Default::default()
+        }
     }
 
     fn robust_alloc() -> Allocation {
         Allocation::new(vec![
-            Assignment { proc_type: ProcTypeId(0), procs: 2 },
-            Assignment { proc_type: ProcTypeId(0), procs: 2 },
-            Assignment { proc_type: ProcTypeId(1), procs: 8 },
+            Assignment {
+                proc_type: ProcTypeId(0),
+                procs: 2,
+            },
+            Assignment {
+                proc_type: ProcTypeId(0),
+                procs: 2,
+            },
+            Assignment {
+                proc_type: ProcTypeId(1),
+                procs: 8,
+            },
         ])
     }
 
     #[test]
     fn params_validation() {
-        assert!(SimParams { replicates: 0, ..Default::default() }.validate().is_err());
-        assert!(SimParams { mean_dwell: 0.0, ..Default::default() }.validate().is_err());
-        assert!(SimParams { overhead: -1.0, ..Default::default() }.validate().is_err());
-        assert!(SimParams { threads: 0, ..Default::default() }.validate().is_err());
+        assert!(SimParams {
+            replicates: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SimParams {
+            mean_dwell: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SimParams {
+            overhead: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SimParams {
+            threads: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         assert!(SimParams::default().validate().is_ok());
     }
 
@@ -340,7 +401,11 @@ mod tests {
                 &cases,
                 &techniques,
                 paper::DEADLINE,
-                &SimParams { replicates: 4, threads, ..Default::default() },
+                &SimParams {
+                    replicates: 4,
+                    threads,
+                    ..Default::default()
+                },
             )
             .unwrap()
         };
@@ -386,7 +451,10 @@ mod tests {
         assert!((cell.ci95_halfwidth() - 117.6).abs() < 1e-9);
         assert!(cell.verdict_is_resolved(3250.0)); // 250 > 117.6
         assert!(!cell.verdict_is_resolved(3050.0)); // 50 < 117.6
-        let zero = CellResult { replicates: 0, ..cell };
+        let zero = CellResult {
+            replicates: 0,
+            ..cell
+        };
         assert_eq!(zero.ci95_halfwidth(), 0.0);
     }
 
@@ -402,7 +470,11 @@ mod tests {
             &cases,
             &[TechniqueKind::Af],
             paper::DEADLINE,
-            &SimParams { replicates: 10, threads: 4, ..Default::default() },
+            &SimParams {
+                replicates: 10,
+                threads: 4,
+                ..Default::default()
+            },
         )
         .unwrap();
         // Compare case 1 vs case 4 per app.

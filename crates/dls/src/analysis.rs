@@ -36,7 +36,10 @@ pub fn fluid_lower_bound(total_work: f64, availabilities: &[f64]) -> Result<f64>
     }
     let capacity: f64 = availabilities.iter().sum();
     if !(capacity > 0.0) || !(total_work >= 0.0) {
-        return Err(DlsError::BadParameter { name: "capacity/work", value: capacity });
+        return Err(DlsError::BadParameter {
+            name: "capacity/work",
+            value: capacity,
+        });
     }
     Ok(total_work / capacity)
 }
@@ -53,7 +56,10 @@ pub fn static_makespan_constant(shares: &[f64], availabilities: &[f64]) -> Resul
     let mut worst: f64 = 0.0;
     for (&w, &a) in shares.iter().zip(availabilities) {
         if !(a > 0.0) {
-            return Err(DlsError::BadParameter { name: "availability", value: a });
+            return Err(DlsError::BadParameter {
+                name: "availability",
+                value: a,
+            });
         }
         worst = worst.max(w / a);
     }
@@ -77,7 +83,10 @@ pub fn self_scheduling_upper_bound(
     let fluid = fluid_lower_bound(total_work, availabilities)?;
     let a_min = availabilities.iter().copied().fold(f64::INFINITY, f64::min);
     if !(max_chunk_work >= 0.0) || !(overhead >= 0.0) || !(chunks_per_worker >= 0.0) {
-        return Err(DlsError::BadParameter { name: "chunk/overhead", value: -1.0 });
+        return Err(DlsError::BadParameter {
+            name: "chunk/overhead",
+            value: -1.0,
+        });
     }
     Ok(fluid + max_chunk_work / a_min + overhead * (chunks_per_worker + 1.0))
 }
@@ -87,10 +96,16 @@ pub fn self_scheduling_upper_bound(
 /// batch-size rule. Exact for `n = 1`.
 pub fn expected_max_normal(n: usize, mu: f64, sigma: f64) -> Result<f64> {
     if n == 0 {
-        return Err(DlsError::BadParameter { name: "n", value: 0.0 });
+        return Err(DlsError::BadParameter {
+            name: "n",
+            value: 0.0,
+        });
     }
     if !(sigma >= 0.0) {
-        return Err(DlsError::BadParameter { name: "sigma", value: sigma });
+        return Err(DlsError::BadParameter {
+            name: "sigma",
+            value: sigma,
+        });
     }
     if n == 1 {
         return Ok(mu);
@@ -144,7 +159,10 @@ pub fn run_bounds_constant(
         return Err(DlsError::NoWorkers);
     }
     if !(a > 0.0 && a <= 1.0) {
-        return Err(DlsError::BadParameter { name: "a", value: a });
+        return Err(DlsError::BadParameter {
+            name: "a",
+            value: a,
+        });
     }
     let avail = vec![a; p];
     let serial = serial_work / a;

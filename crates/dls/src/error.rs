@@ -79,8 +79,20 @@ mod tests {
         let cases: Vec<(DlsError, &str)> = vec![
             (DlsError::NoWorkers, "worker"),
             (DlsError::NoIterations, "iteration"),
-            (DlsError::BadParameter { name: "chunk", value: 0.0 }, "chunk"),
-            (DlsError::BadWeights { provided: 1, expected: 2 }, "1"),
+            (
+                DlsError::BadParameter {
+                    name: "chunk",
+                    value: 0.0,
+                },
+                "chunk",
+            ),
+            (
+                DlsError::BadWeights {
+                    provided: 1,
+                    expected: 2,
+                },
+                "1",
+            ),
             (DlsError::Pmf(cdsf_pmf::PmfError::Empty), "PMF"),
         ];
         for (err, needle) in cases {

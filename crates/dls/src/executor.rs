@@ -71,16 +71,28 @@ impl ExecutorConfig {
             return Err(DlsError::NoIterations);
         }
         if !(self.iter_mean > 0.0) || !self.iter_mean.is_finite() {
-            return Err(DlsError::BadParameter { name: "iter_mean", value: self.iter_mean });
+            return Err(DlsError::BadParameter {
+                name: "iter_mean",
+                value: self.iter_mean,
+            });
         }
         if !(self.iter_sigma >= 0.0) || !self.iter_sigma.is_finite() {
-            return Err(DlsError::BadParameter { name: "iter_sigma", value: self.iter_sigma });
+            return Err(DlsError::BadParameter {
+                name: "iter_sigma",
+                value: self.iter_sigma,
+            });
         }
         if !(self.overhead >= 0.0) || !self.overhead.is_finite() {
-            return Err(DlsError::BadParameter { name: "overhead", value: self.overhead });
+            return Err(DlsError::BadParameter {
+                name: "overhead",
+                value: self.overhead,
+            });
         }
         if self.availability.is_empty() {
-            return Err(DlsError::BadParameter { name: "availability.len", value: 0.0 });
+            return Err(DlsError::BadParameter {
+                name: "availability.len",
+                value: 0.0,
+            });
         }
         if self.availability.len() != 1 && self.availability.len() != self.num_workers {
             return Err(DlsError::BadParameter {
@@ -146,10 +158,16 @@ impl ExecutorConfigBuilder {
     /// Sets per-iteration mean and standard deviation directly.
     pub fn iter_time_mean_sigma(mut self, mean: f64, sigma: f64) -> Result<Self> {
         if !(mean > 0.0) || !mean.is_finite() {
-            return Err(DlsError::BadParameter { name: "iter_mean", value: mean });
+            return Err(DlsError::BadParameter {
+                name: "iter_mean",
+                value: mean,
+            });
         }
         if !(sigma >= 0.0) || !sigma.is_finite() {
-            return Err(DlsError::BadParameter { name: "iter_sigma", value: sigma });
+            return Err(DlsError::BadParameter {
+                name: "iter_sigma",
+                value: sigma,
+            });
         }
         self.cfg.iter_mean = mean;
         self.cfg.iter_sigma = sigma;
@@ -432,7 +450,12 @@ fn run_one_step(
         workers[w].observe(size, finish - compute_start, finish - now);
         worker_finish[w] = finish;
         if let Some(log) = chunk_log.as_mut() {
-            log.push(ChunkRecord { worker: w, size, start: now, finish });
+            log.push(ChunkRecord {
+                worker: w,
+                size,
+                start: now,
+                finish,
+            });
         }
         heap.push(Reverse((OrderedF64(finish), w)));
     }
@@ -481,7 +504,10 @@ pub fn execute_timestepping(
     rng: &mut dyn RngCore,
 ) -> Result<TimesteppingResult> {
     if steps == 0 {
-        return Err(DlsError::BadParameter { name: "steps", value: 0.0 });
+        return Err(DlsError::BadParameter {
+            name: "steps",
+            value: 0.0,
+        });
     }
     cfg.validate()?;
     let mut technique = kind.build(cfg.num_workers, cfg.parallel_iters)?;
@@ -498,7 +524,11 @@ pub fn execute_timestepping(
         chunks += run.chunks;
         step_durations.push(run.makespan);
     }
-    Ok(TimesteppingResult { step_durations, total_time: now, chunks })
+    Ok(TimesteppingResult {
+        step_durations,
+        total_time: now,
+        chunks,
+    })
 }
 
 /// Runs `replicates` independent executions and returns their makespans.
@@ -559,8 +589,12 @@ mod tests {
     fn config_validation() {
         assert!(ExecutorConfig::builder().workers(0).build().is_err());
         assert!(ExecutorConfig::builder().parallel_iters(0).build().is_err());
-        assert!(ExecutorConfig::builder().iter_time_mean_sigma(0.0, 0.0).is_err());
-        assert!(ExecutorConfig::builder().iter_time_mean_sigma(1.0, -1.0).is_err());
+        assert!(ExecutorConfig::builder()
+            .iter_time_mean_sigma(0.0, 0.0)
+            .is_err());
+        assert!(ExecutorConfig::builder()
+            .iter_time_mean_sigma(1.0, -1.0)
+            .is_err());
         assert!(ExecutorConfig::builder()
             .workers(3)
             .availability_per_worker(vec![
@@ -588,7 +622,12 @@ mod tests {
                 kind.name(),
                 run.makespan
             );
-            assert!(run.imbalance < 0.01, "{}: imbalance {}", kind.name(), run.imbalance);
+            assert!(
+                run.imbalance < 0.01,
+                "{}: imbalance {}",
+                kind.name(),
+                run.imbalance
+            );
         }
     }
 
@@ -613,7 +652,11 @@ mod tests {
         let mut cfg = base_cfg();
         cfg.availability = vec![AvailabilitySpec::Constant { a: 0.5 }];
         let run = execute(&TechniqueKind::Fac, &cfg, &mut rng(3)).unwrap();
-        assert!((run.makespan - 2048.0).abs() < 2.0, "makespan {}", run.makespan);
+        assert!(
+            (run.makespan - 2048.0).abs() < 2.0,
+            "makespan {}",
+            run.makespan
+        );
     }
 
     #[test]
@@ -654,7 +697,12 @@ mod tests {
         // SS dispatches 4096 chunks; FAC a few dozen.
         assert!(ss.chunks == 4096);
         assert!(fac.chunks < 100);
-        assert!(ss.makespan > 1.5 * fac.makespan, "ss {} fac {}", ss.makespan, fac.makespan);
+        assert!(
+            ss.makespan > 1.5 * fac.makespan,
+            "ss {} fac {}",
+            ss.makespan,
+            fac.makespan
+        );
     }
 
     #[test]
@@ -706,7 +754,10 @@ mod tests {
             .parallel_iters(8192)
             .iter_time_mean_sigma(1.0, 0.15)
             .unwrap()
-            .availability(AvailabilitySpec::Renewal { pmf, mean_dwell: 200.0 })
+            .availability(AvailabilitySpec::Renewal {
+                pmf,
+                mean_dwell: 200.0,
+            })
             .build()
             .unwrap();
         let mut r = rng(99);
@@ -737,8 +788,11 @@ mod tests {
         assert!(stats.sizes_non_increasing, "GSS profile should decrease");
         assert_eq!(stats.max_size, 1024); // first chunk = N/P
         assert_eq!(stats.min_size, 1);
-        assert!(stats.worker_utilization.iter().all(|&u| u > 0.9),
-            "{:?}", stats.worker_utilization);
+        assert!(
+            stats.worker_utilization.iter().all(|&u| u > 0.9),
+            "{:?}",
+            stats.worker_utilization
+        );
         // SS: constant profile.
         let ss = execute(&TechniqueKind::SelfSched, &cfg, &mut r).unwrap();
         let ss_stats = ChunkLogStats::from_log(ss.chunk_log.as_ref().unwrap(), 4).unwrap();
@@ -771,7 +825,9 @@ mod tests {
         // batch); from step 2 on, the original AWF re-weights from the
         // measured history and the step duration drops substantially.
         let specs: Vec<AvailabilitySpec> = (0..4)
-            .map(|i| AvailabilitySpec::Constant { a: if i == 0 { 0.25 } else { 1.0 } })
+            .map(|i| AvailabilitySpec::Constant {
+                a: if i == 0 { 0.25 } else { 1.0 },
+            })
             .collect();
         let cfg = ExecutorConfig::builder()
             .workers(4)
@@ -781,7 +837,9 @@ mod tests {
             .availability_per_worker(specs)
             .build()
             .unwrap();
-        let awf = TechniqueKind::Awf { variant: crate::AwfVariant::Timestep };
+        let awf = TechniqueKind::Awf {
+            variant: crate::AwfVariant::Timestep,
+        };
         let r = super::execute_timestepping(&awf, &cfg, 4, &mut rng(12)).unwrap();
         let first = r.step_durations[0];
         let last = *r.step_durations.last().unwrap();

@@ -154,7 +154,10 @@ where
     F: Fn(u64) + Sync,
 {
     if steps == 0 {
-        return Err(DlsError::BadParameter { name: "steps", value: 0.0 });
+        return Err(DlsError::BadParameter {
+            name: "steps",
+            value: 0.0,
+        });
     }
     if cfg.threads == 0 {
         return Err(DlsError::NoWorkers);
@@ -186,11 +189,7 @@ where
 
 /// One complete drain of the scheduler's current loop across worker
 /// threads.
-fn run_one_pass<F>(
-    scheduler: &mut Scheduler,
-    threads: usize,
-    body: &F,
-) -> Result<RuntimeReport>
+fn run_one_pass<F>(scheduler: &mut Scheduler, threads: usize, body: &F) -> Result<RuntimeReport>
 where
     F: Fn(u64) + Sync,
 {
@@ -223,10 +222,14 @@ where
     let wall_seconds = wall_start.elapsed().as_secs_f64();
 
     let chunks = shared.into_inner().chunks;
-    let per_worker_iterations: Vec<u64> =
-        per_worker_iterations.into_iter().map(|m| m.into_inner()).collect();
-    let per_worker_busy: Vec<f64> =
-        per_worker_busy.into_iter().map(|m| m.into_inner()).collect();
+    let per_worker_iterations: Vec<u64> = per_worker_iterations
+        .into_iter()
+        .map(|m| m.into_inner())
+        .collect();
+    let per_worker_busy: Vec<f64> = per_worker_busy
+        .into_iter()
+        .map(|m| m.into_inner())
+        .collect();
     Ok(RuntimeReport {
         iterations: total,
         wall_seconds,
@@ -340,7 +343,9 @@ mod tests {
             }
             std::hint::black_box(acc);
         };
-        let kind = TechniqueKind::Awf { variant: crate::AwfVariant::Timestep };
+        let kind = TechniqueKind::Awf {
+            variant: crate::AwfVariant::Timestep,
+        };
         let reports = run_timestepped_loop(n, 4, &cfg(4, kind), work).unwrap();
         let first = reports[0].imbalance;
         let last = reports.last().unwrap().imbalance;

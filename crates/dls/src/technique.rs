@@ -149,11 +149,7 @@ impl TechniqueKind {
 
     /// Builds a fresh technique instance for a loop of `total_iters`
     /// iterations on `num_workers` workers.
-    pub fn build(
-        &self,
-        num_workers: usize,
-        total_iters: u64,
-    ) -> Result<Box<dyn Technique + Send>> {
+    pub fn build(&self, num_workers: usize, total_iters: u64) -> Result<Box<dyn Technique + Send>> {
         Ok(match self {
             TechniqueKind::Static => Box::new(StaticChunking::new(num_workers, total_iters)?),
             TechniqueKind::SelfSched => Box::new(SelfScheduling::new()),
@@ -163,9 +159,7 @@ impl TechniqueKind {
                 Box::new(TrapezoidSelfScheduling::standard(num_workers, total_iters)?)
             }
             TechniqueKind::Fac => Box::new(Factoring::fac2(num_workers)?),
-            TechniqueKind::FacWithCov { cov } => {
-                Box::new(Factoring::with_cov(num_workers, *cov)?)
-            }
+            TechniqueKind::FacWithCov { cov } => Box::new(Factoring::with_cov(num_workers, *cov)?),
             TechniqueKind::Wf { weights } => match weights {
                 Some(w) => Box::new(WeightedFactoring::new(num_workers, w.clone())?),
                 None => Box::new(WeightedFactoring::equal(num_workers)?),
@@ -182,7 +176,9 @@ impl TechniqueKind {
         vec![
             TechniqueKind::Fac,
             TechniqueKind::Wf { weights: None },
-            TechniqueKind::Awf { variant: AwfVariant::Batch },
+            TechniqueKind::Awf {
+                variant: AwfVariant::Batch,
+            },
             TechniqueKind::Af,
         ]
     }
@@ -198,11 +194,21 @@ impl TechniqueKind {
             TechniqueKind::Tss,
             TechniqueKind::Fac,
             TechniqueKind::Wf { weights: None },
-            TechniqueKind::Awf { variant: AwfVariant::Timestep },
-            TechniqueKind::Awf { variant: AwfVariant::Batch },
-            TechniqueKind::Awf { variant: AwfVariant::Chunk },
-            TechniqueKind::Awf { variant: AwfVariant::BatchWithOverhead },
-            TechniqueKind::Awf { variant: AwfVariant::ChunkWithOverhead },
+            TechniqueKind::Awf {
+                variant: AwfVariant::Timestep,
+            },
+            TechniqueKind::Awf {
+                variant: AwfVariant::Batch,
+            },
+            TechniqueKind::Awf {
+                variant: AwfVariant::Chunk,
+            },
+            TechniqueKind::Awf {
+                variant: AwfVariant::BatchWithOverhead,
+            },
+            TechniqueKind::Awf {
+                variant: AwfVariant::ChunkWithOverhead,
+            },
             TechniqueKind::Af,
         ]
     }
@@ -220,30 +226,39 @@ impl std::str::FromStr for TechniqueKind {
             Some((n, a)) => (n.trim().to_string(), Some(a.trim().to_string())),
             None => (upper, None),
         };
-        let bad = || crate::DlsError::BadParameter { name: "technique", value: f64::NAN };
+        let bad = || crate::DlsError::BadParameter {
+            name: "technique",
+            value: f64::NAN,
+        };
         Ok(match (name.as_str(), arg) {
             ("STATIC", None) => TechniqueKind::Static,
             ("SS", None) => TechniqueKind::SelfSched,
             ("FSC", None) => TechniqueKind::Fsc { chunk: 64 },
-            ("FSC", Some(a)) => {
-                TechniqueKind::Fsc { chunk: a.parse().map_err(|_| bad())? }
-            }
+            ("FSC", Some(a)) => TechniqueKind::Fsc {
+                chunk: a.parse().map_err(|_| bad())?,
+            },
             ("GSS", None) => TechniqueKind::Gss,
             ("TSS", None) => TechniqueKind::Tss,
             ("FAC", None) => TechniqueKind::Fac,
-            ("FAC", Some(a)) => {
-                TechniqueKind::FacWithCov { cov: a.parse().map_err(|_| bad())? }
-            }
+            ("FAC", Some(a)) => TechniqueKind::FacWithCov {
+                cov: a.parse().map_err(|_| bad())?,
+            },
             ("WF", None) => TechniqueKind::Wf { weights: None },
-            ("AWF", None) => TechniqueKind::Awf { variant: AwfVariant::Timestep },
-            ("AWF-B", None) => TechniqueKind::Awf { variant: AwfVariant::Batch },
-            ("AWF-C", None) => TechniqueKind::Awf { variant: AwfVariant::Chunk },
-            ("AWF-D", None) => {
-                TechniqueKind::Awf { variant: AwfVariant::BatchWithOverhead }
-            }
-            ("AWF-E", None) => {
-                TechniqueKind::Awf { variant: AwfVariant::ChunkWithOverhead }
-            }
+            ("AWF", None) => TechniqueKind::Awf {
+                variant: AwfVariant::Timestep,
+            },
+            ("AWF-B", None) => TechniqueKind::Awf {
+                variant: AwfVariant::Batch,
+            },
+            ("AWF-C", None) => TechniqueKind::Awf {
+                variant: AwfVariant::Chunk,
+            },
+            ("AWF-D", None) => TechniqueKind::Awf {
+                variant: AwfVariant::BatchWithOverhead,
+            },
+            ("AWF-E", None) => TechniqueKind::Awf {
+                variant: AwfVariant::ChunkWithOverhead,
+            },
             ("AF", None) => TechniqueKind::Af,
             _ => return Err(bad()),
         })
@@ -284,7 +299,10 @@ mod tests {
         assert_eq!(TechniqueKind::Fac.name(), "FAC");
         assert_eq!(TechniqueKind::Wf { weights: None }.name(), "WF");
         assert_eq!(
-            TechniqueKind::Awf { variant: AwfVariant::Batch }.name(),
+            TechniqueKind::Awf {
+                variant: AwfVariant::Batch
+            }
+            .name(),
             "AWF-B"
         );
         assert_eq!(TechniqueKind::Af.name(), "AF");
@@ -309,14 +327,19 @@ mod tests {
 
     #[test]
     fn from_str_parses_arguments_and_case() {
-        assert_eq!("fsc:128".parse::<TechniqueKind>().unwrap(), TechniqueKind::Fsc { chunk: 128 });
+        assert_eq!(
+            "fsc:128".parse::<TechniqueKind>().unwrap(),
+            TechniqueKind::Fsc { chunk: 128 }
+        );
         assert_eq!(
             " fac:0.5 ".parse::<TechniqueKind>().unwrap(),
             TechniqueKind::FacWithCov { cov: 0.5 }
         );
         assert_eq!(
             "awf-b".parse::<TechniqueKind>().unwrap(),
-            TechniqueKind::Awf { variant: AwfVariant::Batch }
+            TechniqueKind::Awf {
+                variant: AwfVariant::Batch
+            }
         );
         assert!("nope".parse::<TechniqueKind>().is_err());
         assert!("fsc:abc".parse::<TechniqueKind>().is_err());

@@ -216,7 +216,11 @@ impl AdaptiveFactoring {
         if num_workers == 0 {
             return Err(DlsError::NoWorkers);
         }
-        Ok(Self { p: num_workers, left_in_batch: 0, batch_budget: 0 })
+        Ok(Self {
+            p: num_workers,
+            left_in_batch: 0,
+            batch_budget: 0,
+        })
     }
 
     /// The AF chunk rule for the requesting worker given current estimates

@@ -29,7 +29,10 @@ struct BatchState {
 
 impl BatchState {
     fn new() -> Self {
-        Self { left: 0, batch_remaining: 0 }
+        Self {
+            left: 0,
+            batch_remaining: 0,
+        }
     }
 
     /// Starts a new batch if the previous one is exhausted. Returns the
@@ -63,7 +66,12 @@ impl Factoring {
         if num_workers == 0 {
             return Err(DlsError::NoWorkers);
         }
-        Ok(Self { p: num_workers, cov: None, batch: BatchState::new(), batch_index: 0 })
+        Ok(Self {
+            p: num_workers,
+            cov: None,
+            batch: BatchState::new(),
+            batch_index: 0,
+        })
     }
 
     /// The original variance-aware rule with a known iteration-time
@@ -75,7 +83,10 @@ impl Factoring {
             return Err(DlsError::NoWorkers);
         }
         if !cov.is_finite() || cov < 0.0 {
-            return Err(DlsError::BadParameter { name: "cov", value: cov });
+            return Err(DlsError::BadParameter {
+                name: "cov",
+                value: cov,
+            });
         }
         Ok(Self {
             p: num_workers,
@@ -147,8 +158,7 @@ impl WeightedFactoring {
         if num_workers == 0 {
             return Err(DlsError::NoWorkers);
         }
-        if weights.len() != num_workers || weights.iter().any(|&w| !(w > 0.0) || !w.is_finite())
-        {
+        if weights.len() != num_workers || weights.iter().any(|&w| !(w > 0.0) || !w.is_finite()) {
             return Err(DlsError::BadWeights {
                 provided: weights.len(),
                 expected: num_workers,

@@ -29,7 +29,9 @@ impl StaticChunking {
         if total == 0 {
             return Err(DlsError::NoIterations);
         }
-        Ok(Self { share: total.div_ceil(num_workers as u64) })
+        Ok(Self {
+            share: total.div_ceil(num_workers as u64),
+        })
     }
 }
 
@@ -84,7 +86,10 @@ impl FixedSizeChunking {
     /// Creates an FSC policy with an explicit chunk size (≥ 1).
     pub fn new(chunk: u64) -> Result<Self> {
         if chunk == 0 {
-            return Err(DlsError::BadParameter { name: "chunk", value: 0.0 });
+            return Err(DlsError::BadParameter {
+                name: "chunk",
+                value: 0.0,
+            });
         }
         Ok(Self { chunk })
     }
@@ -100,10 +105,16 @@ impl FixedSizeChunking {
             return Err(DlsError::NoIterations);
         }
         if h < 0.0 {
-            return Err(DlsError::BadParameter { name: "h", value: h });
+            return Err(DlsError::BadParameter {
+                name: "h",
+                value: h,
+            });
         }
         if sigma < 0.0 {
-            return Err(DlsError::BadParameter { name: "sigma", value: sigma });
+            return Err(DlsError::BadParameter {
+                name: "sigma",
+                value: sigma,
+            });
         }
         if sigma == 0.0 || h == 0.0 || p == 1 {
             // Degenerate inputs: overhead-free or deterministic loops have
@@ -111,9 +122,8 @@ impl FixedSizeChunking {
             return Self::new((total as f64 / p as f64).ceil().max(1.0) as u64);
         }
         let ln_p = (p as f64).ln().max(f64::MIN_POSITIVE);
-        let k = (std::f64::consts::SQRT_2 * total as f64 * h
-            / (sigma * p as f64 * ln_p.sqrt()))
-        .powf(2.0 / 3.0);
+        let k = (std::f64::consts::SQRT_2 * total as f64 * h / (sigma * p as f64 * ln_p.sqrt()))
+            .powf(2.0 / 3.0);
         Self::new(k.ceil().max(1.0) as u64)
     }
 
@@ -148,7 +158,9 @@ impl GuidedSelfScheduling {
         if num_workers == 0 {
             return Err(DlsError::NoWorkers);
         }
-        Ok(Self { p: num_workers as u64 })
+        Ok(Self {
+            p: num_workers as u64,
+        })
     }
 }
 
@@ -289,11 +301,15 @@ mod tests {
     fn fsc_kruskal_weiss_degenerate_inputs() {
         // σ = 0 or h = 0 → equal split fallback.
         assert_eq!(
-            FixedSizeChunking::kruskal_weiss(1000, 4, 0.0, 1.0).unwrap().chunk(),
+            FixedSizeChunking::kruskal_weiss(1000, 4, 0.0, 1.0)
+                .unwrap()
+                .chunk(),
             250
         );
         assert_eq!(
-            FixedSizeChunking::kruskal_weiss(1000, 4, 1.0, 0.0).unwrap().chunk(),
+            FixedSizeChunking::kruskal_weiss(1000, 4, 1.0, 0.0)
+                .unwrap()
+                .chunk(),
             250
         );
         assert!(FixedSizeChunking::kruskal_weiss(0, 4, 1.0, 1.0).is_err());

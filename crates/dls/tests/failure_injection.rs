@@ -14,7 +14,9 @@ const CRAWL: f64 = 1e-3;
 /// A worker that runs fine for `good_for` time units and then crawls
 /// forever.
 fn fails_after(good_for: f64) -> AvailabilitySpec {
-    AvailabilitySpec::Trace { segments: vec![(1.0, good_for), (CRAWL, f64::INFINITY)] }
+    AvailabilitySpec::Trace {
+        segments: vec![(1.0, good_for), (CRAWL, f64::INFINITY)],
+    }
 }
 
 fn cfg_with_failure(kind_count: usize, iters: u64) -> ExecutorConfig {
@@ -118,9 +120,19 @@ fn imbalance_metric_exposes_failures() {
     let h = execute(&TechniqueKind::Static, &healthy, &mut rng).unwrap();
     let mut rng = StdRng::seed_from_u64(3);
     let f = execute(&TechniqueKind::Static, &failing, &mut rng).unwrap();
-    assert!(f.imbalance > 10.0 * h.imbalance.max(1e-6), "{} vs {}", f.imbalance, h.imbalance);
+    assert!(
+        f.imbalance > 10.0 * h.imbalance.max(1e-6),
+        "{} vs {}",
+        f.imbalance,
+        h.imbalance
+    );
 
     let mut rng = StdRng::seed_from_u64(3);
     let af = execute(&TechniqueKind::Af, &failing, &mut rng).unwrap();
-    assert!(af.imbalance < f.imbalance, "AF imbalance {} vs STATIC {}", af.imbalance, f.imbalance);
+    assert!(
+        af.imbalance < f.imbalance,
+        "AF imbalance {} vs STATIC {}",
+        af.imbalance,
+        f.imbalance
+    );
 }

@@ -14,8 +14,8 @@
 //! Uniform, exponential, log-normal and triangular distributions are
 //! provided for the synthetic workload generators.
 
-use crate::{PmfError, Pmf, Result};
 use crate::stats::{normal_inv_cdf, normal_pdf};
+use crate::{Pmf, PmfError, Result};
 use rand::Rng;
 
 /// A continuous distribution that can be discretized into a [`Pmf`] and
@@ -40,10 +40,16 @@ impl Normal {
     /// Creates `N(μ, σ²)`; `σ` must be strictly positive and both finite.
     pub fn new(mu: f64, sigma: f64) -> Result<Self> {
         if !mu.is_finite() {
-            return Err(PmfError::BadParameter { name: "mu", value: mu });
+            return Err(PmfError::BadParameter {
+                name: "mu",
+                value: mu,
+            });
         }
         if !sigma.is_finite() || sigma <= 0.0 {
-            return Err(PmfError::BadParameter { name: "sigma", value: sigma });
+            return Err(PmfError::BadParameter {
+                name: "sigma",
+                value: sigma,
+            });
         }
         Ok(Self { mu, sigma })
     }
@@ -51,7 +57,10 @@ impl Normal {
     /// The paper's convention: `σ = μ/10`. `μ` must be positive.
     pub fn with_paper_sigma(mu: f64) -> Result<Self> {
         if !(mu > 0.0) {
-            return Err(PmfError::BadParameter { name: "mu", value: mu });
+            return Err(PmfError::BadParameter {
+                name: "mu",
+                value: mu,
+            });
         }
         Self::new(mu, mu / 10.0)
     }
@@ -136,7 +145,10 @@ impl Uniform {
     /// Creates `U[lo, hi]` with `lo < hi`, both finite.
     pub fn new(lo: f64, hi: f64) -> Result<Self> {
         if !lo.is_finite() || !hi.is_finite() || lo >= hi {
-            return Err(PmfError::BadParameter { name: "lo..hi", value: hi - lo });
+            return Err(PmfError::BadParameter {
+                name: "lo..hi",
+                value: hi - lo,
+            });
         }
         Ok(Self { lo, hi })
     }
@@ -147,10 +159,8 @@ impl Discretize for Uniform {
         let n = n.max(1);
         let p = 1.0 / n as f64;
         let width = (self.hi - self.lo) * p;
-        Pmf::from_weighted(
-            (0..n).map(|i| (self.lo + (i as f64 + 0.5) * width, p)),
-        )
-        .expect("uniform slices are a valid PMF")
+        Pmf::from_weighted((0..n).map(|i| (self.lo + (i as f64 + 0.5) * width, p)))
+            .expect("uniform slices are a valid PMF")
     }
 
     fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
@@ -168,7 +178,10 @@ impl Exponential {
     /// Creates `Exp(λ)` with `λ > 0`.
     pub fn new(lambda: f64) -> Result<Self> {
         if !lambda.is_finite() || lambda <= 0.0 {
-            return Err(PmfError::BadParameter { name: "lambda", value: lambda });
+            return Err(PmfError::BadParameter {
+                name: "lambda",
+                value: lambda,
+            });
         }
         Ok(Self { lambda })
     }
@@ -227,17 +240,25 @@ pub struct LogNormal {
 impl LogNormal {
     /// Creates `LogN(μ, σ²)` (parameters of the underlying normal).
     pub fn new(mu: f64, sigma: f64) -> Result<Self> {
-        Ok(Self { norm: Normal::new(mu, sigma)? })
+        Ok(Self {
+            norm: Normal::new(mu, sigma)?,
+        })
     }
 
     /// Creates a log-normal with the given *arithmetic* mean and coefficient
     /// of variation.
     pub fn from_mean_cov(mean: f64, cov: f64) -> Result<Self> {
         if !(mean > 0.0) {
-            return Err(PmfError::BadParameter { name: "mean", value: mean });
+            return Err(PmfError::BadParameter {
+                name: "mean",
+                value: mean,
+            });
         }
         if !(cov > 0.0) {
-            return Err(PmfError::BadParameter { name: "cov", value: cov });
+            return Err(PmfError::BadParameter {
+                name: "cov",
+                value: cov,
+            });
         }
         let sigma2 = (1.0 + cov * cov).ln();
         let mu = mean.ln() - sigma2 / 2.0;
@@ -380,7 +401,11 @@ mod tests {
     fn lognormal_from_mean_cov() {
         let d = LogNormal::from_mean_cov(50.0, 0.3).unwrap();
         let pmf = d.equiprobable(512);
-        assert!((pmf.expectation() - 50.0).abs() < 1.0, "{}", pmf.expectation());
+        assert!(
+            (pmf.expectation() - 50.0).abs() < 1.0,
+            "{}",
+            pmf.expectation()
+        );
         let cov = pmf.cov().unwrap();
         assert!((cov - 0.3).abs() < 0.05, "{cov}");
     }

@@ -35,7 +35,10 @@ impl fmt::Display for PmfError {
             PmfError::Empty => write!(f, "a PMF requires at least one pulse"),
             PmfError::NonFiniteValue(v) => write!(f, "pulse value {v} is not finite"),
             PmfError::InvalidProbability(p) => {
-                write!(f, "pulse probability {p} is not a finite non-negative number")
+                write!(
+                    f,
+                    "pulse probability {p} is not a finite non-negative number"
+                )
             }
             PmfError::NotNormalized { sum } => {
                 write!(f, "pulse probabilities sum to {sum}, expected 1")
@@ -44,7 +47,10 @@ impl fmt::Display for PmfError {
                 write!(f, "quotient divisor pulse {v} must be strictly positive")
             }
             PmfError::BadParameter { name, value } => {
-                write!(f, "distribution parameter `{name}` = {value} is out of domain")
+                write!(
+                    f,
+                    "distribution parameter `{name}` = {value} is out of domain"
+                )
             }
             PmfError::ZeroWeightMixture => write!(f, "mixture weights sum to zero"),
         }
@@ -65,7 +71,13 @@ mod tests {
             (PmfError::InvalidProbability(-0.5), "-0.5"),
             (PmfError::NotNormalized { sum: 0.9 }, "0.9"),
             (PmfError::DivisorNotPositive(0.0), "0"),
-            (PmfError::BadParameter { name: "sigma", value: -1.0 }, "sigma"),
+            (
+                PmfError::BadParameter {
+                    name: "sigma",
+                    value: -1.0,
+                },
+                "sigma",
+            ),
             (PmfError::ZeroWeightMixture, "zero"),
         ];
         for (err, needle) in cases {

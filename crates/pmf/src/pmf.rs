@@ -135,7 +135,10 @@ impl Pmf {
             return Err(PmfError::Empty);
         }
         if bins == 0 {
-            return Err(PmfError::BadParameter { name: "bins", value: 0.0 });
+            return Err(PmfError::BadParameter {
+                name: "bins",
+                value: 0.0,
+            });
         }
         let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
         for &s in samples {
@@ -158,12 +161,16 @@ impl Pmf {
             counts[idx] += 1;
         }
         let n = samples.len() as f64;
-        Self::from_weighted(counts.iter().enumerate().filter(|(_, &c)| c > 0).map(
-            |(i, &c)| {
-                let mid = lo + (i as f64 + 0.5) * width;
-                (mid, c as f64 / n)
-            },
-        ))
+        Self::from_weighted(
+            counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| {
+                    let mid = lo + (i as f64 + 0.5) * width;
+                    (mid, c as f64 / n)
+                }),
+        )
     }
 
     /// Sorts, merges equal values, and drops zero-probability pulses.
@@ -183,7 +190,10 @@ impl Pmf {
             // All masses were zero but the sum check passed — impossible
             // unless tolerance let through a degenerate input; keep a single
             // zero-value pulse rather than violating invariant 1.
-            out.push(Pulse { value: 0.0, prob: 1.0 });
+            out.push(Pulse {
+                value: 0.0,
+                prob: 1.0,
+            });
         }
         Self { pulses: out }
     }
@@ -338,7 +348,10 @@ impl Pmf {
             if !value.is_finite() {
                 return Err(PmfError::NonFiniteValue(value));
             }
-            pulses.push(Pulse { value, prob: p.prob });
+            pulses.push(Pulse {
+                value,
+                prob: p.prob,
+            });
         }
         Ok(Self::canonicalize(pulses))
     }
@@ -369,7 +382,10 @@ impl Pmf {
                 if !value.is_finite() {
                     return Err(PmfError::NonFiniteValue(value));
                 }
-                pulses.push(Pulse { value, prob: a.prob * b.prob });
+                pulses.push(Pulse {
+                    value,
+                    prob: a.prob * b.prob,
+                });
             }
         }
         Ok(Self::canonicalize(pulses))
@@ -471,11 +487,10 @@ impl Pmf {
         let mut pulses = Vec::new();
         for (w, pmf) in components {
             let w = w / total;
-            pulses.extend(
-                pmf.pulses
-                    .iter()
-                    .map(|p| Pulse { value: p.value, prob: p.prob * w }),
-            );
+            pulses.extend(pmf.pulses.iter().map(|p| Pulse {
+                value: p.value,
+                prob: p.prob * w,
+            }));
         }
         Ok(Self::canonicalize(pulses))
     }
@@ -500,7 +515,10 @@ impl Pmf {
         let total: f64 = kept.iter().map(|p| p.prob).sum();
         Self::canonicalize(
             kept.into_iter()
-                .map(|p| Pulse { value: p.value, prob: p.prob / total })
+                .map(|p| Pulse {
+                    value: p.value,
+                    prob: p.prob / total,
+                })
                 .collect(),
         )
     }
@@ -531,7 +549,10 @@ impl Pmf {
                     .map(|p| p.value * p.prob)
                     .sum::<f64>()
                     / mass;
-                out.push(Pulse { value: mean, prob: mass });
+                out.push(Pulse {
+                    value: mean,
+                    prob: mass,
+                });
             }
             i = end;
         }
@@ -553,7 +574,10 @@ impl Pmf {
         let total: f64 = kept.iter().map(|p| p.prob).sum();
         Some(Self::canonicalize(
             kept.into_iter()
-                .map(|p| Pulse { value: p.value, prob: p.prob / total })
+                .map(|p| Pulse {
+                    value: p.value,
+                    prob: p.prob / total,
+                })
                 .collect(),
         ))
     }
@@ -589,9 +613,11 @@ impl Pmf {
     /// pulse by pulse.
     pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
         self.pulses.len() == other.pulses.len()
-            && self.pulses.iter().zip(&other.pulses).all(|(a, b)| {
-                (a.value - b.value).abs() <= tol && (a.prob - b.prob).abs() <= tol
-            })
+            && self
+                .pulses
+                .iter()
+                .zip(&other.pulses)
+                .all(|(a, b)| (a.value - b.value).abs() <= tol && (a.prob - b.prob).abs() <= tol)
     }
 }
 

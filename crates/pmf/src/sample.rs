@@ -98,7 +98,11 @@ impl AliasSampler {
             prob[i as usize] = 1.0;
             alias[i as usize] = i;
         }
-        Self { values, prob, alias }
+        Self {
+            values,
+            prob,
+            alias,
+        }
     }
 
     /// Draws one value.
@@ -144,8 +148,7 @@ mod tests {
             *counts.entry(draw(&mut rng).to_bits()).or_default() += 1;
         }
         for p in pmf.pulses() {
-            let observed =
-                *counts.get(&p.value.to_bits()).unwrap_or(&0) as f64 / n as f64;
+            let observed = *counts.get(&p.value.to_bits()).unwrap_or(&0) as f64 / n as f64;
             assert!(
                 (observed - p.prob).abs() < 0.01,
                 "value {} expected {} observed {observed}",
@@ -189,8 +192,7 @@ mod tests {
         let s = AliasSampler::new(&pmf);
         assert_eq!(s.len(), 97);
         let mut rng = StdRng::seed_from_u64(5);
-        let mean: f64 =
-            (0..100_000).map(|_| s.sample(&mut rng)).sum::<f64>() / 100_000.0;
+        let mean: f64 = (0..100_000).map(|_| s.sample(&mut rng)).sum::<f64>() / 100_000.0;
         assert!((mean - 48.0).abs() < 0.5, "mean={mean}");
     }
 

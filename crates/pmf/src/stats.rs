@@ -45,7 +45,7 @@ pub fn normal_pdf(z: f64) -> f64 {
 /// refined with one Halley step against [`normal_cdf`]. Returns `±∞` at the
 /// endpoints and NaN outside `[0, 1]`.
 pub fn normal_inv_cdf(p: f64) -> f64 {
-    if p.is_nan() || p < 0.0 || p > 1.0 {
+    if p.is_nan() || !(0.0..=1.0).contains(&p) {
         return f64::NAN;
     }
     if p == 0.0 {
@@ -60,7 +60,7 @@ pub fn normal_inv_cdf(p: f64) -> f64 {
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
         -2.759_285_104_469_687e2,
-        1.383_577_518_672_690e2,
+        1.383_577_518_672_69e2,
         -3.066_479_806_614_716e1,
         2.506_628_277_459_239,
     ];
@@ -266,7 +266,11 @@ pub fn wilson_interval(hits: u64, n: u64, z: f64) -> (f64, f64) {
 /// Two-sample Kolmogorov–Smirnov statistic between raw samples.
 pub fn ks_two_sample(a: &[f64], b: &[f64]) -> f64 {
     if a.is_empty() || b.is_empty() {
-        return if a.is_empty() && b.is_empty() { 0.0 } else { 1.0 };
+        return if a.is_empty() && b.is_empty() {
+            0.0
+        } else {
+            1.0
+        };
     }
     let mut xs = a.to_vec();
     let mut ys = b.to_vec();

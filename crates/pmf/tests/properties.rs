@@ -109,6 +109,28 @@ proptest! {
     }
 
     #[test]
+    fn scale_preserves_mass(pmf in arb_pmf(), c in 0.01f64..5.0) {
+        // The Amdahl rescale is a `scale` call; total probability mass must
+        // survive it exactly (up to float summation noise).
+        let t = pmf.scale(c).unwrap();
+        prop_assert!((total_mass(&t) - 1.0).abs() <= 1e-6);
+    }
+
+    #[test]
+    fn quotient_preserves_mass(t in arb_positive_pmf(), a in arb_availability()) {
+        // The availability convolution T/α redistributes mass over the
+        // product support but never creates or destroys it.
+        let loaded = t.quotient(&a).unwrap();
+        prop_assert!((total_mass(&loaded) - 1.0).abs() <= 1e-6);
+    }
+
+    #[test]
+    fn convolutions_preserve_mass(a in arb_pmf(), b in arb_pmf()) {
+        prop_assert!((total_mass(&a.add(&b).unwrap()) - 1.0).abs() <= 1e-6);
+        prop_assert!((total_mass(&a.max(&b).unwrap()) - 1.0).abs() <= 1e-6);
+    }
+
+    #[test]
     fn coalesce_preserves_mean_and_support(pmf in arb_pmf(), k in 1usize..=8) {
         let c = pmf.coalesce(k);
         prop_assert!(c.len() <= k.max(1));

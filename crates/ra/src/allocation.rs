@@ -129,7 +129,10 @@ impl Allocation {
                     continue;
                 }
                 for n in platform.pow2_options(id)? {
-                    opts.push(Assignment { proc_type: id, procs: n });
+                    opts.push(Assignment {
+                        proc_type: id,
+                        procs: n,
+                    });
                 }
             }
             if opts.is_empty() {
@@ -231,16 +234,34 @@ mod tests {
         let (b, p) = (batch(), platform());
         // Paper Table IV naïve: (2,4), (1,4), (2,4).
         let naive = Allocation::new(vec![
-            Assignment { proc_type: ProcTypeId(1), procs: 4 },
-            Assignment { proc_type: ProcTypeId(0), procs: 4 },
-            Assignment { proc_type: ProcTypeId(1), procs: 4 },
+            Assignment {
+                proc_type: ProcTypeId(1),
+                procs: 4,
+            },
+            Assignment {
+                proc_type: ProcTypeId(0),
+                procs: 4,
+            },
+            Assignment {
+                proc_type: ProcTypeId(1),
+                procs: 4,
+            },
         ]);
         naive.validate(&b, &p).unwrap();
         // Paper Table IV robust: (1,2), (1,2), (2,8).
         let robust = Allocation::new(vec![
-            Assignment { proc_type: ProcTypeId(0), procs: 2 },
-            Assignment { proc_type: ProcTypeId(0), procs: 2 },
-            Assignment { proc_type: ProcTypeId(1), procs: 8 },
+            Assignment {
+                proc_type: ProcTypeId(0),
+                procs: 2,
+            },
+            Assignment {
+                proc_type: ProcTypeId(0),
+                procs: 2,
+            },
+            Assignment {
+                proc_type: ProcTypeId(1),
+                procs: 8,
+            },
         ]);
         robust.validate(&b, &p).unwrap();
         assert_eq!(robust.total_procs(), 12);
@@ -250,28 +271,59 @@ mod tests {
     fn validate_rejects_oversubscription() {
         let (b, p) = (batch(), platform());
         let bad = Allocation::new(vec![
-            Assignment { proc_type: ProcTypeId(0), procs: 4 },
-            Assignment { proc_type: ProcTypeId(0), procs: 4 },
-            Assignment { proc_type: ProcTypeId(1), procs: 4 },
+            Assignment {
+                proc_type: ProcTypeId(0),
+                procs: 4,
+            },
+            Assignment {
+                proc_type: ProcTypeId(0),
+                procs: 4,
+            },
+            Assignment {
+                proc_type: ProcTypeId(1),
+                procs: 4,
+            },
         ]);
         let err = bad.validate(&b, &p).unwrap_err();
-        assert!(matches!(err, RaError::OverSubscribed { proc_type: 0, requested: 8, available: 4 }));
+        assert!(matches!(
+            err,
+            RaError::OverSubscribed {
+                proc_type: 0,
+                requested: 8,
+                available: 4
+            }
+        ));
     }
 
     #[test]
     fn validate_rejects_wrong_arity() {
         let (b, p) = (batch(), platform());
-        let bad = Allocation::new(vec![Assignment { proc_type: ProcTypeId(0), procs: 2 }]);
-        assert!(matches!(bad.validate(&b, &p), Err(RaError::WrongArity { .. })));
+        let bad = Allocation::new(vec![Assignment {
+            proc_type: ProcTypeId(0),
+            procs: 2,
+        }]);
+        assert!(matches!(
+            bad.validate(&b, &p),
+            Err(RaError::WrongArity { .. })
+        ));
     }
 
     #[test]
     fn validate_rejects_unknown_type() {
         let (b, p) = (batch(), platform());
         let bad = Allocation::new(vec![
-            Assignment { proc_type: ProcTypeId(7), procs: 2 },
-            Assignment { proc_type: ProcTypeId(0), procs: 2 },
-            Assignment { proc_type: ProcTypeId(1), procs: 8 },
+            Assignment {
+                proc_type: ProcTypeId(7),
+                procs: 2,
+            },
+            Assignment {
+                proc_type: ProcTypeId(0),
+                procs: 2,
+            },
+            Assignment {
+                proc_type: ProcTypeId(1),
+                procs: 8,
+            },
         ]);
         assert!(bad.validate(&b, &p).is_err());
     }
@@ -292,9 +344,18 @@ mod tests {
         assert_eq!(all.len(), 153);
         // The paper's two Table-IV allocations are in the feasible set.
         let robust = Allocation::new(vec![
-            Assignment { proc_type: ProcTypeId(0), procs: 2 },
-            Assignment { proc_type: ProcTypeId(0), procs: 2 },
-            Assignment { proc_type: ProcTypeId(1), procs: 8 },
+            Assignment {
+                proc_type: ProcTypeId(0),
+                procs: 2,
+            },
+            Assignment {
+                proc_type: ProcTypeId(0),
+                procs: 2,
+            },
+            Assignment {
+                proc_type: ProcTypeId(1),
+                procs: 8,
+            },
         ]);
         assert!(all.contains(&robust));
     }

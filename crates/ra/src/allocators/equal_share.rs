@@ -2,6 +2,7 @@
 
 use super::{Allocator, Capacity};
 use crate::allocation::{Allocation, Assignment};
+use crate::engine::Phi1Engine;
 use crate::robustness::ProbabilityTable;
 use crate::{RaError, Result};
 use cdsf_system::platform::prev_power_of_two;
@@ -38,9 +39,34 @@ impl Allocator for EqualShare {
         if batch.is_empty() {
             return Err(RaError::EmptyBatch);
         }
+        let table = ProbabilityTable::build(batch, platform, deadline)?;
+        self.place(batch, platform, &table)
+    }
+
+    fn allocate_with_engine(
+        &self,
+        batch: &Batch,
+        platform: &Platform,
+        engine: &Phi1Engine,
+        deadline: f64,
+    ) -> Result<Allocation> {
+        if batch.is_empty() {
+            return Err(RaError::EmptyBatch);
+        }
+        let table = engine.table(deadline)?;
+        self.place(batch, platform, &table)
+    }
+}
+
+impl EqualShare {
+    fn place(
+        &self,
+        batch: &Batch,
+        platform: &Platform,
+        table: &ProbabilityTable,
+    ) -> Result<Allocation> {
         let n = batch.len() as u32;
         let share = prev_power_of_two(platform.total_processors() / n).max(1);
-        let table = ProbabilityTable::build(batch, platform, deadline)?;
 
         // DFS over per-app type placements with capacity pruning, keeping
         // the placement with the best joint probability. The branching
@@ -52,7 +78,7 @@ impl Allocator for EqualShare {
         dfs(
             batch,
             platform,
-            &table,
+            table,
             share,
             &mut current,
             &mut cap,
@@ -85,7 +111,10 @@ fn dfs(
         return;
     }
     for j in 0..platform.num_types() {
-        let asg = Assignment { proc_type: ProcTypeId(j), procs: share };
+        let asg = Assignment {
+            proc_type: ProcTypeId(j),
+            procs: share,
+        };
         if !cap.fits(asg) {
             continue;
         }
@@ -94,7 +123,16 @@ fn dfs(
         };
         cap.take(asg);
         current.push(asg);
-        dfs(batch, platform, table, share, current, cap, prob_so_far * p, best);
+        dfs(
+            batch,
+            platform,
+            table,
+            share,
+            current,
+            cap,
+            prob_so_far * p,
+            best,
+        );
         current.pop();
         cap.release(asg);
     }
@@ -112,9 +150,27 @@ mod tests {
             .unwrap();
         // Paper Table IV: app1 → 4×type2, app2 → 4×type1, app3 → 4×type2.
         let a = alloc.assignments();
-        assert_eq!(a[0], Assignment { proc_type: ProcTypeId(1), procs: 4 });
-        assert_eq!(a[1], Assignment { proc_type: ProcTypeId(0), procs: 4 });
-        assert_eq!(a[2], Assignment { proc_type: ProcTypeId(1), procs: 4 });
+        assert_eq!(
+            a[0],
+            Assignment {
+                proc_type: ProcTypeId(1),
+                procs: 4
+            }
+        );
+        assert_eq!(
+            a[1],
+            Assignment {
+                proc_type: ProcTypeId(0),
+                procs: 4
+            }
+        );
+        assert_eq!(
+            a[2],
+            Assignment {
+                proc_type: ProcTypeId(1),
+                procs: 4
+            }
+        );
     }
 
     #[test]
@@ -123,6 +179,17 @@ mod tests {
         let alloc = EqualShare::new().allocate(&b, &p, DEADLINE).unwrap();
         alloc.validate(&b, &p).unwrap();
         assert!(alloc.assignments().iter().all(|a| a.procs == 4));
+    }
+
+    #[test]
+    fn engine_path_matches_direct_path() {
+        let (b, p) = (paper_batch(32), paper_platform());
+        let engine = Phi1Engine::build(&b, &p).unwrap();
+        let direct = EqualShare::new().allocate(&b, &p, DEADLINE).unwrap();
+        let cached = EqualShare::new()
+            .allocate_with_engine(&b, &p, &engine, DEADLINE)
+            .unwrap();
+        assert_eq!(direct, cached);
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! The paper's optimal (robust) initial mapping: exhaustive search.
 
-use super::{app_options, Allocator, Capacity};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use super::{Allocator, Capacity};
 use crate::allocation::{Allocation, Assignment};
-use crate::robustness::ProbabilityTable;
+use crate::engine::Phi1Engine;
 use crate::{RaError, Result};
 use cdsf_system::{Batch, Platform};
 
@@ -16,16 +18,21 @@ use cdsf_system::{Batch, Platform};
 /// small demonstrative example" — which the `ra_search` bench quantifies.
 ///
 /// The search is a depth-first enumeration with capacity pruning and an
-/// upper-bound cutoff (each application's best-possible probability),
-/// parallelized over the first application's options with crossbeam scoped
-/// threads. Results are deterministic. Ties on `φ₁` are broken by the
-/// *smaller sum of expected completion times* (several allocations can
-/// saturate the deadline probability once PMF tails are truncated by
-/// discretization; preferring the faster one among them recovers the
-/// paper's Table IV exactly), then lexicographically.
+/// upper-bound cutoff, fed by the shared [`Phi1Engine`] so every candidate
+/// evaluation is a table lookup. Parallelism: the prefix tree is expanded
+/// breadth-first into a work frontier, worker threads drain it through an
+/// atomic cursor, and all workers share a monotonic φ₁ lower bound (an
+/// atomic `f64`-bits max). The bound only ever prunes subtrees that cannot
+/// *strictly* beat a complete allocation some worker has already seen, so
+/// the final argmax is bit-identical for every thread count and schedule.
+/// Ties on `φ₁` are broken by the *smaller sum of expected completion
+/// times* (several allocations can saturate the deadline probability once
+/// PMF tails are truncated by discretization; preferring the faster one
+/// among them recovers the paper's Table IV exactly), then
+/// lexicographically by option path.
 #[derive(Debug, Clone, Copy)]
 pub struct Exhaustive {
-    /// Number of worker threads for the top-level split.
+    /// Number of worker threads for the engine build and the search.
     pub threads: usize,
 }
 
@@ -39,7 +46,10 @@ impl Exhaustive {
     /// Creates the policy with the given thread count (≥ 1).
     pub fn new(threads: usize) -> Result<Self> {
         if threads == 0 {
-            return Err(RaError::BadParameter { name: "threads", value: 0.0 });
+            return Err(RaError::BadParameter {
+                name: "threads",
+                value: 0.0,
+            });
         }
         Ok(Self { threads })
     }
@@ -63,18 +73,22 @@ struct SearchSpace {
 }
 
 impl SearchSpace {
-    fn build(batch: &Batch, platform: &Platform, table: &ProbabilityTable) -> Result<Self> {
-        let mut options = Vec::with_capacity(batch.len());
-        for (id, app) in batch.iter() {
+    fn build(engine: &Phi1Engine, deadline: f64) -> Result<Self> {
+        let mut options = Vec::with_capacity(engine.num_apps());
+        for i in 0..engine.num_apps() {
             let mut opts: Vec<Option3> = Vec::new();
-            for asg in app_options(app, platform)? {
-                let Some(prob) = table.prob(id.0, asg.proc_type, asg.procs) else {
-                    continue;
-                };
-                let exp_time =
-                    cdsf_system::parallel_time::loaded_time_pmf(app, platform, asg.proc_type, asg.procs)?
-                        .expectation();
-                opts.push(Option3 { asg, prob, exp_time });
+            for asg in engine.options(i) {
+                let prob = engine
+                    .prob(i, asg.proc_type, asg.procs, deadline)
+                    .expect("engine option has a cell");
+                let exp_time = engine
+                    .expected_time(i, asg.proc_type, asg.procs)
+                    .expect("engine option has a cell");
+                opts.push(Option3 {
+                    asg,
+                    prob,
+                    exp_time,
+                });
             }
             if opts.is_empty() {
                 return Err(RaError::NoFeasibleAllocation);
@@ -92,7 +106,10 @@ impl SearchSpace {
             let max_p = options[d].iter().map(|o| o.prob).fold(0.0f64, f64::max);
             suffix_best[d] = suffix_best[d + 1] * max_p;
         }
-        Ok(Self { options, suffix_best })
+        Ok(Self {
+            options,
+            suffix_best,
+        })
     }
 }
 
@@ -117,6 +134,71 @@ impl Best {
     }
 }
 
+/// A partial assignment for the first `path.len()` applications — one unit
+/// of parallel work.
+#[derive(Clone)]
+struct Prefix {
+    path: Vec<usize>,
+    asgs: Vec<Assignment>,
+    prob: f64,
+    sum_exp: f64,
+    cap: Capacity,
+}
+
+/// Expands feasible prefixes breadth-first until at least `target` work
+/// items exist (or the tree is fully expanded). Every feasible complete
+/// allocation extends exactly one frontier prefix, so draining the
+/// frontier covers the whole space; an empty frontier means the instance
+/// is infeasible.
+fn expand_frontier(space: &SearchSpace, platform: &Platform, target: usize) -> Vec<Prefix> {
+    let mut frontier = vec![Prefix {
+        path: Vec::new(),
+        asgs: Vec::new(),
+        prob: 1.0,
+        sum_exp: 0.0,
+        cap: Capacity::of(platform),
+    }];
+    let n = space.options.len();
+    let mut depth = 0usize;
+    while depth < n && frontier.len() < target {
+        let mut next = Vec::with_capacity(frontier.len() * space.options[depth].len());
+        for pre in &frontier {
+            for (idx, opt) in space.options[depth].iter().enumerate() {
+                if !pre.cap.fits(opt.asg) {
+                    continue;
+                }
+                let mut cap = pre.cap.clone();
+                cap.take(opt.asg);
+                let mut path = pre.path.clone();
+                path.push(idx);
+                let mut asgs = pre.asgs.clone();
+                asgs.push(opt.asg);
+                next.push(Prefix {
+                    path,
+                    asgs,
+                    prob: pre.prob * opt.prob,
+                    sum_exp: pre.sum_exp + opt.exp_time,
+                    cap,
+                });
+            }
+        }
+        if next.is_empty() {
+            return next; // no feasible prefix at this depth → infeasible
+        }
+        frontier = next;
+        depth += 1;
+    }
+    frontier
+}
+
+/// Loads the shared lower bound. φ₁ values are non-negative, so their
+/// IEEE-754 bit patterns order like the values themselves and an atomic
+/// `u64` max doubles as an atomic `f64` max.
+fn load_bound(bound: &AtomicU64) -> f64 {
+    f64::from_bits(bound.load(Ordering::Relaxed))
+}
+
+#[allow(clippy::too_many_arguments)]
 fn dfs(
     space: &SearchSpace,
     cap: &mut Capacity,
@@ -125,6 +207,7 @@ fn dfs(
     prob: f64,
     sum_exp: f64,
     best: &mut Option<Best>,
+    bound: &AtomicU64,
 ) {
     let depth = current.len();
     if depth == space.options.len() {
@@ -133,17 +216,22 @@ fn dfs(
             Some(b) => b.beaten_by(prob, sum_exp, path),
         };
         if better {
-            *best = Some(Best { prob, sum_exp, alloc: current.clone(), path: path.clone() });
+            *best = Some(Best {
+                prob,
+                sum_exp,
+                alloc: current.clone(),
+                path: path.clone(),
+            });
+            bound.fetch_max(prob.to_bits(), Ordering::Relaxed);
         }
         return;
     }
-    // Bound: even taking the best remaining options cannot beat the
-    // incumbent strictly; equal-probability subtrees are kept alive for
-    // the expected-time tiebreak.
-    if let Some(b) = best {
-        if prob * space.suffix_best[depth] < b.prob {
-            return;
-        }
+    // Bound: even taking the best remaining options cannot *strictly* beat
+    // a complete allocation some worker has already found; subtrees that
+    // can only tie are kept alive for the expected-time tiebreak, which is
+    // why sharing the bound across threads cannot change the final argmax.
+    if prob * space.suffix_best[depth] < load_bound(bound) {
+        return;
     }
     for (idx, opt) in space.options[depth].iter().enumerate() {
         if !cap.fits(opt.asg) {
@@ -152,7 +240,16 @@ fn dfs(
         cap.take(opt.asg);
         current.push(opt.asg);
         path.push(idx);
-        dfs(space, cap, current, path, prob * opt.prob, sum_exp + opt.exp_time, best);
+        dfs(
+            space,
+            cap,
+            current,
+            path,
+            prob * opt.prob,
+            sum_exp + opt.exp_time,
+            best,
+            bound,
+        );
         path.pop();
         current.pop();
         cap.release(opt.asg);
@@ -168,40 +265,66 @@ impl Allocator for Exhaustive {
         if batch.is_empty() {
             return Err(RaError::EmptyBatch);
         }
-        let table = ProbabilityTable::build(batch, platform, deadline)?;
-        let space = SearchSpace::build(batch, platform, &table)?;
+        let engine = Phi1Engine::build_parallel(batch, platform, self.threads)?;
+        self.allocate_with_engine(batch, platform, &engine, deadline)
+    }
 
-        // Parallel split over the first application's options.
-        let first_opts = space.options[0].len();
-        let threads = self.threads.min(first_opts).max(1);
-        let chunk = first_opts.div_ceil(threads);
+    fn allocate_with_engine(
+        &self,
+        batch: &Batch,
+        platform: &Platform,
+        engine: &Phi1Engine,
+        deadline: f64,
+    ) -> Result<Allocation> {
+        if batch.is_empty() {
+            return Err(RaError::EmptyBatch);
+        }
+        if !(deadline > 0.0) || !deadline.is_finite() {
+            return Err(RaError::BadParameter {
+                name: "deadline",
+                value: deadline,
+            });
+        }
+        if self.threads == 0 {
+            return Err(RaError::BadParameter {
+                name: "threads",
+                value: 0.0,
+            });
+        }
+        let space = SearchSpace::build(engine, deadline)?;
+
+        // Oversubscribe the frontier so pruning-induced load imbalance
+        // evens out across the shared cursor.
+        let frontier = expand_frontier(&space, platform, self.threads * 16);
+        let bound = AtomicU64::new(0);
+        let cursor = AtomicUsize::new(0);
 
         let results: Vec<Option<Best>> = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for t in 0..threads {
+            let mut handles = Vec::with_capacity(self.threads);
+            for _ in 0..self.threads {
                 let space = &space;
-                let platform = &*platform;
+                let frontier = &frontier;
+                let bound = &bound;
+                let cursor = &cursor;
                 handles.push(scope.spawn(move |_| {
-                    let lo = t * chunk;
-                    let hi = ((t + 1) * chunk).min(first_opts);
                     let mut best: Option<Best> = None;
-                    for idx in lo..hi {
-                        let opt = space.options[0][idx];
-                        let mut cap = Capacity::of(platform);
-                        if !cap.fits(opt.asg) {
-                            continue;
-                        }
-                        cap.take(opt.asg);
-                        let mut current = vec![opt.asg];
-                        let mut path = vec![idx];
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(pre) = frontier.get(i) else {
+                            break;
+                        };
+                        let mut cap = pre.cap.clone();
+                        let mut current = pre.asgs.clone();
+                        let mut path = pre.path.clone();
                         dfs(
                             space,
                             &mut cap,
                             &mut current,
                             &mut path,
-                            opt.prob,
-                            opt.exp_time,
+                            pre.prob,
+                            pre.sum_exp,
                             &mut best,
+                            bound,
                         );
                     }
                     best
@@ -242,9 +365,27 @@ mod tests {
             .unwrap();
         let a = alloc.assignments();
         // Paper Table IV robust: app1 → 2×type1, app2 → 2×type1, app3 → 8×type2.
-        assert_eq!(a[0], Assignment { proc_type: ProcTypeId(0), procs: 2 });
-        assert_eq!(a[1], Assignment { proc_type: ProcTypeId(0), procs: 2 });
-        assert_eq!(a[2], Assignment { proc_type: ProcTypeId(1), procs: 8 });
+        assert_eq!(
+            a[0],
+            Assignment {
+                proc_type: ProcTypeId(0),
+                procs: 2
+            }
+        );
+        assert_eq!(
+            a[1],
+            Assignment {
+                proc_type: ProcTypeId(0),
+                procs: 2
+            }
+        );
+        assert_eq!(
+            a[2],
+            Assignment {
+                proc_type: ProcTypeId(1),
+                procs: 8
+            }
+        );
     }
 
     #[test]
@@ -254,24 +395,49 @@ mod tests {
         let best_prob = evaluate(&b, &p, &best, DEADLINE).unwrap().joint;
         for alloc in Allocation::enumerate_feasible(&b, &p).unwrap() {
             let prob = evaluate(&b, &p, &alloc, DEADLINE).unwrap().joint;
-            assert!(prob <= best_prob + 1e-12, "{alloc} beats optimum: {prob} > {best_prob}");
+            assert!(
+                prob <= best_prob + 1e-12,
+                "{alloc} beats optimum: {prob} > {best_prob}"
+            );
         }
     }
 
     #[test]
     fn thread_count_does_not_change_result() {
         let (b, p) = (paper_batch(32), paper_platform());
-        let a1 = Exhaustive::new(1).unwrap().allocate(&b, &p, DEADLINE).unwrap();
-        let a8 = Exhaustive::new(8).unwrap().allocate(&b, &p, DEADLINE).unwrap();
+        let a1 = Exhaustive::new(1)
+            .unwrap()
+            .allocate(&b, &p, DEADLINE)
+            .unwrap();
+        let a8 = Exhaustive::new(8)
+            .unwrap()
+            .allocate(&b, &p, DEADLINE)
+            .unwrap();
         assert_eq!(a1, a8);
         assert!(Exhaustive::new(0).is_err());
     }
 
     #[test]
-    fn rejects_empty_batch() {
+    fn prebuilt_engine_matches_self_built_path() {
+        let (b, p) = (paper_batch(32), paper_platform());
+        let engine = Phi1Engine::build(&b, &p).unwrap();
+        let direct = Exhaustive::default().allocate(&b, &p, DEADLINE).unwrap();
+        let via_engine = Exhaustive::default()
+            .allocate_with_engine(&b, &p, &engine, DEADLINE)
+            .unwrap();
+        assert_eq!(direct, via_engine);
+    }
+
+    #[test]
+    fn rejects_empty_batch_and_bad_deadline() {
         let p = paper_platform();
         assert!(Exhaustive::default()
             .allocate(&cdsf_system::Batch::new(vec![]), &p, DEADLINE)
+            .is_err());
+        let b = paper_batch(8);
+        let engine = Phi1Engine::build(&b, &p).unwrap();
+        assert!(Exhaustive::default()
+            .allocate_with_engine(&b, &p, &engine, f64::NAN)
             .is_err());
     }
 }

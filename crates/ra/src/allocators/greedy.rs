@@ -5,13 +5,14 @@
 //! Sufferage mapping heuristics (Ibarra & Kim; Maheswaran et al.),
 //! evaluating candidates on the memoized `Pr(T ≤ Δ)` table rather than on
 //! deterministic completion times. All run in `O(N² · options)` or better —
-//! polynomial where [`super::Exhaustive`] is exponential.
+//! polynomial where [`super::Exhaustive`] is exponential. All candidate
+//! probabilities and expected times are served by the shared
+//! [`Phi1Engine`], whose cache build is parallelized over `threads`.
 
-use super::{app_options, Allocator, Capacity};
+use super::{engine_options, Allocator, Capacity};
 use crate::allocation::{Allocation, Assignment};
-use crate::robustness::ProbabilityTable;
+use crate::engine::Phi1Engine;
 use crate::{RaError, Result};
-use cdsf_system::parallel_time::loaded_time_pmf;
 use cdsf_system::{Batch, Platform};
 
 /// Whether taking `asg` still leaves every other unassigned application at
@@ -44,13 +45,22 @@ fn leaves_others_feasible(
 /// Max-min analogue on expectations; it ignores the deadline entirely,
 /// which makes it a useful "efficiency-only" baseline for the robustness
 /// heuristics.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct GreedyMinTime;
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyMinTime {
+    /// Worker threads for the [`Phi1Engine`] cache build.
+    pub threads: usize,
+}
+
+impl Default for GreedyMinTime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl GreedyMinTime {
-    /// Creates the policy.
+    /// Creates the policy with the default thread count.
     pub fn new() -> Self {
-        Self
+        Self { threads: 4 }
     }
 }
 
@@ -59,26 +69,39 @@ impl Allocator for GreedyMinTime {
         "GreedyMinTime"
     }
 
-    fn allocate(&self, batch: &Batch, platform: &Platform, _deadline: f64) -> Result<Allocation> {
+    fn allocate(&self, batch: &Batch, platform: &Platform, deadline: f64) -> Result<Allocation> {
         if batch.is_empty() {
             return Err(RaError::EmptyBatch);
         }
-        // Memoize expected loaded times for all (app, option) pairs.
-        let mut expected: Vec<Vec<(Assignment, f64)>> = Vec::with_capacity(batch.len());
-        for (_, app) in batch.iter() {
-            let opts = app_options(app, platform)?;
-            let mut row = Vec::with_capacity(opts.len());
-            for asg in opts {
-                let t = loaded_time_pmf(app, platform, asg.proc_type, asg.procs)?
-                    .expectation();
-                row.push((asg, t));
-            }
-            expected.push(row);
-        }
+        let engine = Phi1Engine::build_parallel(batch, platform, self.threads)?;
+        self.allocate_with_engine(batch, platform, &engine, deadline)
+    }
 
-        let plain: Vec<Vec<Assignment>> = expected
+    fn allocate_with_engine(
+        &self,
+        batch: &Batch,
+        platform: &Platform,
+        engine: &Phi1Engine,
+        _deadline: f64,
+    ) -> Result<Allocation> {
+        if batch.is_empty() {
+            return Err(RaError::EmptyBatch);
+        }
+        // Expected loaded times for all (app, option) pairs — engine lookups.
+        let plain = engine_options(engine)?;
+        let expected: Vec<Vec<(Assignment, f64)>> = plain
             .iter()
-            .map(|row| row.iter().map(|&(a, _)| a).collect())
+            .enumerate()
+            .map(|(i, opts)| {
+                opts.iter()
+                    .map(|&asg| {
+                        let t = engine
+                            .expected_time(i, asg.proc_type, asg.procs)
+                            .expect("engine option has a cell");
+                        (asg, t)
+                    })
+                    .collect()
+            })
             .collect();
 
         let mut cap = Capacity::of(platform);
@@ -112,7 +135,12 @@ impl Allocator for GreedyMinTime {
             chosen[i] = Some(asg);
             unassigned.retain(|&x| x != i);
         }
-        Ok(Allocation::new(chosen.into_iter().map(|c| c.expect("all assigned")).collect()))
+        Ok(Allocation::new(
+            chosen
+                .into_iter()
+                .map(|c| c.expect("all assigned"))
+                .collect(),
+        ))
     }
 }
 
@@ -121,13 +149,22 @@ impl Allocator for GreedyMinTime {
 /// Repeatedly pick the unassigned application whose *best* feasible
 /// `Pr(T ≤ Δ)` is lowest (it is the bottleneck for the joint product) and
 /// give it that best option.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct GreedyMaxRobust;
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyMaxRobust {
+    /// Worker threads for the [`Phi1Engine`] cache build.
+    pub threads: usize,
+}
+
+impl Default for GreedyMaxRobust {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl GreedyMaxRobust {
-    /// Creates the policy.
+    /// Creates the policy with the default thread count.
     pub fn new() -> Self {
-        Self
+        Self { threads: 4 }
     }
 }
 
@@ -140,11 +177,22 @@ impl Allocator for GreedyMaxRobust {
         if batch.is_empty() {
             return Err(RaError::EmptyBatch);
         }
-        let table = ProbabilityTable::build(batch, platform, deadline)?;
-        let options: Vec<Vec<Assignment>> = batch
-            .iter()
-            .map(|(_, app)| app_options(app, platform))
-            .collect::<Result<_>>()?;
+        let engine = Phi1Engine::build_parallel(batch, platform, self.threads)?;
+        self.allocate_with_engine(batch, platform, &engine, deadline)
+    }
+
+    fn allocate_with_engine(
+        &self,
+        batch: &Batch,
+        platform: &Platform,
+        engine: &Phi1Engine,
+        deadline: f64,
+    ) -> Result<Allocation> {
+        if batch.is_empty() {
+            return Err(RaError::EmptyBatch);
+        }
+        let table = engine.table(deadline)?;
+        let options = engine_options(engine)?;
 
         let mut cap = Capacity::of(platform);
         let mut chosen: Vec<Option<Assignment>> = vec![None; batch.len()];
@@ -155,9 +203,7 @@ impl Allocator for GreedyMaxRobust {
                 let mut row: Vec<(Assignment, f64)> = options[i]
                     .iter()
                     .filter(|asg| cap.fits(**asg))
-                    .filter_map(|asg| {
-                        table.prob(i, asg.proc_type, asg.procs).map(|p| (*asg, p))
-                    })
+                    .filter_map(|asg| table.prob(i, asg.proc_type, asg.procs).map(|p| (*asg, p)))
                     .collect();
                 row.sort_by(|a, b| b.1.total_cmp(&a.1));
                 let best = row.into_iter().find(|&(asg, _)| {
@@ -176,7 +222,12 @@ impl Allocator for GreedyMaxRobust {
             chosen[i] = Some(asg);
             unassigned.retain(|&x| x != i);
         }
-        Ok(Allocation::new(chosen.into_iter().map(|c| c.expect("all assigned")).collect()))
+        Ok(Allocation::new(
+            chosen
+                .into_iter()
+                .map(|c| c.expect("all assigned"))
+                .collect(),
+        ))
     }
 }
 
@@ -186,13 +237,22 @@ impl Allocator for GreedyMaxRobust {
 /// Sufferage value = best `Pr(T ≤ Δ)` − second-best `Pr(T ≤ Δ)` among
 /// currently-feasible options; the largest sufferage gets its best option
 /// first.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Sufferage;
+#[derive(Debug, Clone, Copy)]
+pub struct Sufferage {
+    /// Worker threads for the [`Phi1Engine`] cache build.
+    pub threads: usize,
+}
+
+impl Default for Sufferage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl Sufferage {
-    /// Creates the policy.
+    /// Creates the policy with the default thread count.
     pub fn new() -> Self {
-        Self
+        Self { threads: 4 }
     }
 }
 
@@ -205,11 +265,22 @@ impl Allocator for Sufferage {
         if batch.is_empty() {
             return Err(RaError::EmptyBatch);
         }
-        let table = ProbabilityTable::build(batch, platform, deadline)?;
-        let options: Vec<Vec<Assignment>> = batch
-            .iter()
-            .map(|(_, app)| app_options(app, platform))
-            .collect::<Result<_>>()?;
+        let engine = Phi1Engine::build_parallel(batch, platform, self.threads)?;
+        self.allocate_with_engine(batch, platform, &engine, deadline)
+    }
+
+    fn allocate_with_engine(
+        &self,
+        batch: &Batch,
+        platform: &Platform,
+        engine: &Phi1Engine,
+        deadline: f64,
+    ) -> Result<Allocation> {
+        if batch.is_empty() {
+            return Err(RaError::EmptyBatch);
+        }
+        let table = engine.table(deadline)?;
+        let options = engine_options(engine)?;
 
         let mut cap = Capacity::of(platform);
         let mut chosen: Vec<Option<Assignment>> = vec![None; batch.len()];
@@ -220,9 +291,7 @@ impl Allocator for Sufferage {
                 let mut probs: Vec<(Assignment, f64)> = options[i]
                     .iter()
                     .filter(|asg| cap.fits(**asg))
-                    .filter_map(|asg| {
-                        table.prob(i, asg.proc_type, asg.procs).map(|p| (*asg, p))
-                    })
+                    .filter_map(|asg| table.prob(i, asg.proc_type, asg.procs).map(|p| (*asg, p)))
                     .collect();
                 probs.sort_by(|a, b| b.1.total_cmp(&a.1));
                 probs.retain(|&(asg, _)| {
@@ -243,7 +312,12 @@ impl Allocator for Sufferage {
             chosen[i] = Some(asg);
             unassigned.retain(|&x| x != i);
         }
-        Ok(Allocation::new(chosen.into_iter().map(|c| c.expect("all assigned")).collect()))
+        Ok(Allocation::new(
+            chosen
+                .into_iter()
+                .map(|c| c.expect("all assigned"))
+                .collect(),
+        ))
     }
 }
 
@@ -271,9 +345,28 @@ mod tests {
     }
 
     #[test]
+    fn engine_path_matches_direct_path() {
+        let (b, p) = (paper_batch(16), paper_platform());
+        let engine = Phi1Engine::build(&b, &p).unwrap();
+        for policy in [
+            &GreedyMinTime::new() as &dyn Allocator,
+            &GreedyMaxRobust::new(),
+            &Sufferage::new(),
+        ] {
+            let direct = policy.allocate(&b, &p, DEADLINE).unwrap();
+            let cached = policy
+                .allocate_with_engine(&b, &p, &engine, DEADLINE)
+                .unwrap();
+            assert_eq!(direct, cached, "{} diverged", policy.name());
+        }
+    }
+
+    #[test]
     fn greedy_max_robust_beats_naive_on_paper_example() {
         let (b, p) = (paper_batch(64), paper_platform());
-        let naive = super::super::EqualShare::new().allocate(&b, &p, DEADLINE).unwrap();
+        let naive = super::super::EqualShare::new()
+            .allocate(&b, &p, DEADLINE)
+            .unwrap();
         let greedy = GreedyMaxRobust::new().allocate(&b, &p, DEADLINE).unwrap();
         let p_naive = evaluate(&b, &p, &naive, DEADLINE).unwrap().joint;
         let p_greedy = evaluate(&b, &p, &greedy, DEADLINE).unwrap().joint;
@@ -286,7 +379,9 @@ mod tests {
     #[test]
     fn sufferage_close_to_optimal_on_paper_example() {
         let (b, p) = (paper_batch(64), paper_platform());
-        let opt = super::super::Exhaustive::default().allocate(&b, &p, DEADLINE).unwrap();
+        let opt = super::super::Exhaustive::default()
+            .allocate(&b, &p, DEADLINE)
+            .unwrap();
         let suf = Sufferage::new().allocate(&b, &p, DEADLINE).unwrap();
         let p_opt = evaluate(&b, &p, &opt, DEADLINE).unwrap().joint;
         let p_suf = evaluate(&b, &p, &suf, DEADLINE).unwrap().joint;
@@ -310,7 +405,9 @@ mod tests {
         let p = paper_platform();
         let empty = cdsf_system::Batch::new(vec![]);
         assert!(GreedyMinTime::new().allocate(&empty, &p, DEADLINE).is_err());
-        assert!(GreedyMaxRobust::new().allocate(&empty, &p, DEADLINE).is_err());
+        assert!(GreedyMaxRobust::new()
+            .allocate(&empty, &p, DEADLINE)
+            .is_err());
         assert!(Sufferage::new().allocate(&empty, &p, DEADLINE).is_err());
     }
 }

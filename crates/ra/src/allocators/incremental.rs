@@ -15,15 +15,16 @@
 //! the price of not knowing future arrivals, which the integration tests
 //! measure.
 
-use super::{app_options, Capacity};
+use super::{engine_options, Capacity};
 use crate::allocation::{Allocation, Assignment};
-use crate::robustness::ProbabilityTable;
+use crate::engine::Phi1Engine;
 use crate::{RaError, Result};
 use cdsf_system::{Batch, Platform};
 
 /// Allocates a batch whose applications arrive in `waves` (sizes must sum
 /// to the batch length). Returns the combined allocation, indexed like the
-/// batch.
+/// batch. Builds a fresh [`Phi1Engine`]; use
+/// [`allocate_incremental_with_engine`] to reuse a prebuilt cache.
 pub fn allocate_incremental(
     batch: &Batch,
     platform: &Platform,
@@ -33,19 +34,32 @@ pub fn allocate_incremental(
     if batch.is_empty() {
         return Err(RaError::EmptyBatch);
     }
+    let engine = Phi1Engine::build(batch, platform)?;
+    allocate_incremental_with_engine(batch, platform, &engine, deadline, waves)
+}
+
+/// As [`allocate_incremental`], reusing a prebuilt [`Phi1Engine`] for
+/// `(batch, platform)`; bit-identical results.
+pub fn allocate_incremental_with_engine(
+    batch: &Batch,
+    platform: &Platform,
+    engine: &Phi1Engine,
+    deadline: f64,
+    waves: &[usize],
+) -> Result<Allocation> {
+    if batch.is_empty() {
+        return Err(RaError::EmptyBatch);
+    }
     let total: usize = waves.iter().sum();
-    if total != batch.len() || waves.iter().any(|&w| w == 0) {
+    if total != batch.len() || waves.contains(&0) {
         return Err(RaError::BadParameter {
             name: "waves",
             value: total as f64,
         });
     }
 
-    let table = ProbabilityTable::build(batch, platform, deadline)?;
-    let options: Vec<Vec<Assignment>> = batch
-        .iter()
-        .map(|(_, app)| app_options(app, platform))
-        .collect::<Result<_>>()?;
+    let table = engine.table(deadline)?;
+    let options = engine_options(engine)?;
 
     let mut cap = Capacity::of(platform);
     let mut chosen: Vec<Option<Assignment>> = vec![None; batch.len()];
@@ -63,9 +77,7 @@ pub fn allocate_incremental(
                 let mut row: Vec<(Assignment, f64)> = options[i]
                     .iter()
                     .filter(|asg| cap.fits(**asg))
-                    .filter_map(|asg| {
-                        table.prob(i, asg.proc_type, asg.procs).map(|p| (*asg, p))
-                    })
+                    .filter_map(|asg| table.prob(i, asg.proc_type, asg.procs).map(|p| (*asg, p)))
                     .collect();
                 row.sort_by(|a, b| b.1.total_cmp(&a.1));
                 let best = row.into_iter().find(|&(asg, _)| {
@@ -86,7 +98,10 @@ pub fn allocate_incremental(
     }
 
     Ok(Allocation::new(
-        chosen.into_iter().map(|c| c.expect("all waves assigned")).collect(),
+        chosen
+            .into_iter()
+            .map(|c| c.expect("all waves assigned"))
+            .collect(),
     ))
 }
 
@@ -120,7 +135,10 @@ mod tests {
         let alloc = allocate_incremental(&b, &p, DEADLINE, &[3]).unwrap();
         alloc.validate(&b, &p).unwrap();
         let phi1 = evaluate(&b, &p, &alloc, DEADLINE).unwrap().joint;
-        assert!(phi1 > 0.26, "single-wave greedy φ1 {phi1} should beat naive");
+        assert!(
+            phi1 > 0.26,
+            "single-wave greedy φ1 {phi1} should beat naive"
+        );
     }
 
     #[test]
@@ -146,12 +164,23 @@ mod tests {
     }
 
     #[test]
+    fn engine_path_matches_direct_path() {
+        let (b, p) = (paper_batch(32), paper_platform());
+        let engine = crate::engine::Phi1Engine::build(&b, &p).unwrap();
+        for waves in [vec![3], vec![2, 1], vec![1, 1, 1]] {
+            let direct = allocate_incremental(&b, &p, DEADLINE, &waves).unwrap();
+            let cached =
+                allocate_incremental_with_engine(&b, &p, &engine, DEADLINE, &waves).unwrap();
+            assert_eq!(direct, cached, "waves {waves:?} diverged");
+        }
+    }
+
+    #[test]
     fn wave_validation() {
         let (b, p) = (paper_batch(8), paper_platform());
         assert!(allocate_incremental(&b, &p, DEADLINE, &[2]).is_err()); // sum ≠ 3
         assert!(allocate_incremental(&b, &p, DEADLINE, &[3, 0]).is_err()); // zero wave
-        assert!(allocate_incremental(&cdsf_system::Batch::new(vec![]), &p, DEADLINE, &[])
-            .is_err());
+        assert!(allocate_incremental(&cdsf_system::Batch::new(vec![]), &p, DEADLINE, &[]).is_err());
     }
 
     #[test]

@@ -1,12 +1,17 @@
 //! Metaheuristic allocators for large instances: simulated annealing and a
 //! genetic algorithm.
 //!
-//! Both operate on the memoized probability table (so one candidate
-//! evaluation is `O(N)` lookups), maintain feasibility with a shared
-//! capacity-repair routine, and are fully deterministic given their seed.
+//! Both operate on the shared [`Phi1Engine`]'s memoized probability table
+//! (so one candidate evaluation is `O(N)` lookups), maintain feasibility
+//! with a shared capacity-repair routine, and are fully deterministic given
+//! their seed — including under parallelism: SA runs independent restart
+//! chains with per-chain seeds and merges by `(fitness, lowest chain)`;
+//! GA evaluates fitness in order-stitched parallel chunks, which are pure
+//! table lookups and hence bit-identical to the serial sweep.
 
-use super::{app_options, Allocator};
+use super::{engine_options, Allocator};
 use crate::allocation::{Allocation, Assignment};
+use crate::engine::Phi1Engine;
 use crate::robustness::ProbabilityTable;
 use crate::{RaError, Result};
 use cdsf_system::{Batch, Platform};
@@ -21,15 +26,15 @@ struct Landscape {
 }
 
 impl Landscape {
+    #[cfg(test)]
     fn build(batch: &Batch, platform: &Platform, deadline: f64) -> Result<Self> {
-        if batch.is_empty() {
-            return Err(RaError::EmptyBatch);
-        }
-        let table = ProbabilityTable::build(batch, platform, deadline)?;
-        let options: Vec<Vec<Assignment>> = batch
-            .iter()
-            .map(|(_, app)| app_options(app, platform))
-            .collect::<Result<_>>()?;
+        let engine = Phi1Engine::build(batch, platform)?;
+        Self::from_engine(&engine, platform, deadline)
+    }
+
+    fn from_engine(engine: &Phi1Engine, platform: &Platform, deadline: f64) -> Result<Self> {
+        let table = engine.table(deadline)?;
+        let options = engine_options(engine)?;
         Ok(Self {
             options,
             table,
@@ -118,51 +123,75 @@ impl Landscape {
 ///
 /// Neighbourhood: reassign one application to a random alternative option
 /// (with capacity repair). Acceptance: Metropolis on the joint probability.
-/// Geometric cooling.
+/// Geometric cooling. `restarts` independent chains run across `threads`
+/// workers; chain `c` is seeded `seed + c`, so chain 0 reproduces the
+/// single-chain search exactly and the merge (best fitness, ties to the
+/// lowest chain index) is deterministic for every thread count.
 #[derive(Debug, Clone, Copy)]
 pub struct SimulatedAnnealing {
-    /// Number of proposal steps.
+    /// Number of proposal steps per chain.
     pub iterations: usize,
     /// Initial temperature (in probability units; φ₁ ∈ [0, 1], so 0.1 is a
     /// permissive start).
     pub initial_temp: f64,
     /// Geometric cooling factor per step, in `(0, 1)`.
     pub cooling: f64,
-    /// RNG seed.
+    /// RNG seed; chain `c` uses `seed.wrapping_add(c)`.
     pub seed: u64,
+    /// Number of independent restart chains.
+    pub restarts: usize,
+    /// Worker threads for the engine build and the restart chains.
+    pub threads: usize,
 }
 
 impl Default for SimulatedAnnealing {
     fn default() -> Self {
-        Self { iterations: 20_000, initial_temp: 0.1, cooling: 0.9995, seed: 0x5EED }
+        Self {
+            iterations: 20_000,
+            initial_temp: 0.1,
+            cooling: 0.9995,
+            seed: 0x5EED,
+            restarts: 4,
+            threads: 4,
+        }
     }
 }
 
 impl SimulatedAnnealing {
-    /// Creates the policy, validating parameters.
+    /// Creates the policy, validating parameters (default restart/thread
+    /// counts).
     pub fn new(iterations: usize, initial_temp: f64, cooling: f64, seed: u64) -> Result<Self> {
         if iterations == 0 {
-            return Err(RaError::BadParameter { name: "iterations", value: 0.0 });
+            return Err(RaError::BadParameter {
+                name: "iterations",
+                value: 0.0,
+            });
         }
         if !(initial_temp > 0.0) {
-            return Err(RaError::BadParameter { name: "initial_temp", value: initial_temp });
+            return Err(RaError::BadParameter {
+                name: "initial_temp",
+                value: initial_temp,
+            });
         }
         if !(cooling > 0.0 && cooling < 1.0) {
-            return Err(RaError::BadParameter { name: "cooling", value: cooling });
+            return Err(RaError::BadParameter {
+                name: "cooling",
+                value: cooling,
+            });
         }
-        Ok(Self { iterations, initial_temp, cooling, seed })
+        Ok(Self {
+            iterations,
+            initial_temp,
+            cooling,
+            seed,
+            ..Default::default()
+        })
     }
-}
 
-impl Allocator for SimulatedAnnealing {
-    fn name(&self) -> &'static str {
-        "SimulatedAnnealing"
-    }
-
-    fn allocate(&self, batch: &Batch, platform: &Platform, deadline: f64) -> Result<Allocation> {
-        let land = Landscape::build(batch, platform, deadline)?;
-        let mut rng = StdRng::seed_from_u64(self.seed);
-
+    /// One annealing chain from `seed`; `None` when no feasible start was
+    /// found.
+    fn run_chain(&self, land: &Landscape, seed: u64) -> Option<(Vec<Assignment>, f64)> {
+        let mut rng = StdRng::seed_from_u64(seed);
         let mut current = land.random_genome(&mut rng);
         // Ensure a feasible start even if repair gave up on a pathological
         // draw: retry a few times.
@@ -173,7 +202,7 @@ impl Allocator for SimulatedAnnealing {
             current = land.random_genome(&mut rng);
         }
         if !land.is_feasible(&current) {
-            return Err(RaError::NoFeasibleAllocation);
+            return None;
         }
         let mut current_fit = land.fitness(&current);
         let mut best = current.clone();
@@ -203,14 +232,96 @@ impl Allocator for SimulatedAnnealing {
             }
             temp *= self.cooling;
         }
-        Ok(Allocation::new(best))
+        Some((best, best_fit))
+    }
+}
+
+impl Allocator for SimulatedAnnealing {
+    fn name(&self) -> &'static str {
+        "SimulatedAnnealing"
+    }
+
+    fn allocate(&self, batch: &Batch, platform: &Platform, deadline: f64) -> Result<Allocation> {
+        let engine = Phi1Engine::build_parallel(batch, platform, self.threads.max(1))?;
+        self.allocate_with_engine(batch, platform, &engine, deadline)
+    }
+
+    fn allocate_with_engine(
+        &self,
+        _batch: &Batch,
+        platform: &Platform,
+        engine: &Phi1Engine,
+        deadline: f64,
+    ) -> Result<Allocation> {
+        if self.restarts == 0 {
+            return Err(RaError::BadParameter {
+                name: "restarts",
+                value: 0.0,
+            });
+        }
+        if self.threads == 0 {
+            return Err(RaError::BadParameter {
+                name: "threads",
+                value: 0.0,
+            });
+        }
+        let land = Landscape::from_engine(engine, platform, deadline)?;
+
+        let chain_seeds: Vec<u64> = (0..self.restarts)
+            .map(|c| self.seed.wrapping_add(c as u64))
+            .collect();
+        let chains: Vec<Option<(Vec<Assignment>, f64)>> = if self.threads == 1 || self.restarts == 1
+        {
+            chain_seeds
+                .iter()
+                .map(|&s| self.run_chain(&land, s))
+                .collect()
+        } else {
+            let workers = self.threads.min(self.restarts);
+            let chunk = self.restarts.div_ceil(workers);
+            crossbeam::thread::scope(|scope| {
+                let land = &land;
+                let chain_seeds = &chain_seeds;
+                let mut handles = Vec::with_capacity(workers);
+                for t in 0..workers {
+                    handles.push(scope.spawn(move |_| {
+                        let lo = t * chunk;
+                        let hi = ((t + 1) * chunk).min(chain_seeds.len());
+                        chain_seeds[lo..hi]
+                            .iter()
+                            .map(|&s| self.run_chain(land, s))
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("annealing chain panicked"))
+                    .collect()
+            })
+            .expect("annealing scope panicked")
+        };
+
+        // Deterministic merge: best fitness, ties to the lowest chain index
+        // (strict `>` keeps the earlier chain on equal fitness).
+        let mut best: Option<(Vec<Assignment>, f64)> = None;
+        for chain in chains.into_iter().flatten() {
+            if best.as_ref().map_or(true, |(_, bf)| chain.1 > *bf) {
+                best = Some(chain);
+            }
+        }
+        match best {
+            Some((genome, _)) => Ok(Allocation::new(genome)),
+            None => Err(RaError::NoFeasibleAllocation),
+        }
     }
 }
 
 /// Genetic algorithm over the allocation space.
 ///
 /// Tournament selection, one-point crossover, per-gene mutation, capacity
-/// repair, elitism of one.
+/// repair, elitism of one. Fitness sweeps over the population are pure
+/// probability-table lookups, evaluated in parallel chunks stitched back
+/// in population order — bit-identical for every thread count.
 #[derive(Debug, Clone, Copy)]
 pub struct GeneticAlgorithm {
     /// Population size.
@@ -223,16 +334,25 @@ pub struct GeneticAlgorithm {
     pub tournament: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for the engine build and the fitness sweeps.
+    pub threads: usize,
 }
 
 impl Default for GeneticAlgorithm {
     fn default() -> Self {
-        Self { population: 64, generations: 200, mutation_rate: 0.05, tournament: 3, seed: 0xBEEF }
+        Self {
+            population: 64,
+            generations: 200,
+            mutation_rate: 0.05,
+            tournament: 3,
+            seed: 0xBEEF,
+            threads: 4,
+        }
     }
 }
 
 impl GeneticAlgorithm {
-    /// Creates the policy, validating parameters.
+    /// Creates the policy, validating parameters (default thread count).
     pub fn new(
         population: usize,
         generations: usize,
@@ -241,18 +361,61 @@ impl GeneticAlgorithm {
         seed: u64,
     ) -> Result<Self> {
         if population < 2 {
-            return Err(RaError::BadParameter { name: "population", value: population as f64 });
+            return Err(RaError::BadParameter {
+                name: "population",
+                value: population as f64,
+            });
         }
         if generations == 0 {
-            return Err(RaError::BadParameter { name: "generations", value: 0.0 });
+            return Err(RaError::BadParameter {
+                name: "generations",
+                value: 0.0,
+            });
         }
         if !(0.0..=1.0).contains(&mutation_rate) {
-            return Err(RaError::BadParameter { name: "mutation_rate", value: mutation_rate });
+            return Err(RaError::BadParameter {
+                name: "mutation_rate",
+                value: mutation_rate,
+            });
         }
         if tournament == 0 || tournament > population {
-            return Err(RaError::BadParameter { name: "tournament", value: tournament as f64 });
+            return Err(RaError::BadParameter {
+                name: "tournament",
+                value: tournament as f64,
+            });
         }
-        Ok(Self { population, generations, mutation_rate, tournament, seed })
+        Ok(Self {
+            population,
+            generations,
+            mutation_rate,
+            tournament,
+            seed,
+            threads: 4,
+        })
+    }
+
+    /// Population fitness sweep: parallel chunks, stitched in order.
+    fn eval_fitness(&self, land: &Landscape, pop: &[Vec<Assignment>]) -> Vec<f64> {
+        if self.threads <= 1 || pop.len() < 2 * self.threads {
+            return pop.iter().map(|g| land.fitness(g)).collect();
+        }
+        let chunk = pop.len().div_ceil(self.threads);
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.threads);
+            for piece in pop.chunks(chunk) {
+                let land = &*land;
+                handles.push(
+                    scope.spawn(move |_| {
+                        piece.iter().map(|g| land.fitness(g)).collect::<Vec<f64>>()
+                    }),
+                );
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("fitness worker panicked"))
+                .collect()
+        })
+        .expect("fitness scope panicked")
     }
 }
 
@@ -262,13 +425,31 @@ impl Allocator for GeneticAlgorithm {
     }
 
     fn allocate(&self, batch: &Batch, platform: &Platform, deadline: f64) -> Result<Allocation> {
-        let land = Landscape::build(batch, platform, deadline)?;
+        let engine = Phi1Engine::build_parallel(batch, platform, self.threads.max(1))?;
+        self.allocate_with_engine(batch, platform, &engine, deadline)
+    }
+
+    fn allocate_with_engine(
+        &self,
+        _batch: &Batch,
+        platform: &Platform,
+        engine: &Phi1Engine,
+        deadline: f64,
+    ) -> Result<Allocation> {
+        if self.threads == 0 {
+            return Err(RaError::BadParameter {
+                name: "threads",
+                value: 0.0,
+            });
+        }
+        let land = Landscape::from_engine(engine, platform, deadline)?;
         let mut rng = StdRng::seed_from_u64(self.seed);
         let n = land.num_apps();
 
-        let mut pop: Vec<Vec<Assignment>> =
-            (0..self.population).map(|_| land.random_genome(&mut rng)).collect();
-        let mut fits: Vec<f64> = pop.iter().map(|g| land.fitness(g)).collect();
+        let mut pop: Vec<Vec<Assignment>> = (0..self.population)
+            .map(|_| land.random_genome(&mut rng))
+            .collect();
+        let mut fits: Vec<f64> = self.eval_fitness(&land, &pop);
 
         for _ in 0..self.generations {
             // Elitism: carry the best genome over unchanged.
@@ -314,7 +495,7 @@ impl Allocator for GeneticAlgorithm {
                 }
             }
             pop = next;
-            fits = pop.iter().map(|g| land.fitness(g)).collect();
+            fits = self.eval_fitness(&land, &pop);
         }
 
         let best_idx = fits
@@ -339,9 +520,13 @@ mod tests {
     #[test]
     fn annealing_finds_near_optimal_on_paper_example() {
         let (b, p) = (paper_batch(64), paper_platform());
-        let opt = super::super::Exhaustive::default().allocate(&b, &p, DEADLINE).unwrap();
+        let opt = super::super::Exhaustive::default()
+            .allocate(&b, &p, DEADLINE)
+            .unwrap();
         let p_opt = evaluate(&b, &p, &opt, DEADLINE).unwrap().joint;
-        let sa = SimulatedAnnealing::default().allocate(&b, &p, DEADLINE).unwrap();
+        let sa = SimulatedAnnealing::default()
+            .allocate(&b, &p, DEADLINE)
+            .unwrap();
         sa.validate(&b, &p).unwrap();
         let p_sa = evaluate(&b, &p, &sa, DEADLINE).unwrap().joint;
         assert!(p_sa >= 0.95 * p_opt, "SA {p_sa} vs optimum {p_opt}");
@@ -350,9 +535,13 @@ mod tests {
     #[test]
     fn genetic_finds_near_optimal_on_paper_example() {
         let (b, p) = (paper_batch(64), paper_platform());
-        let opt = super::super::Exhaustive::default().allocate(&b, &p, DEADLINE).unwrap();
+        let opt = super::super::Exhaustive::default()
+            .allocate(&b, &p, DEADLINE)
+            .unwrap();
         let p_opt = evaluate(&b, &p, &opt, DEADLINE).unwrap().joint;
-        let ga = GeneticAlgorithm::default().allocate(&b, &p, DEADLINE).unwrap();
+        let ga = GeneticAlgorithm::default()
+            .allocate(&b, &p, DEADLINE)
+            .unwrap();
         ga.validate(&b, &p).unwrap();
         let p_ga = evaluate(&b, &p, &ga, DEADLINE).unwrap().joint;
         assert!(p_ga >= 0.95 * p_opt, "GA {p_ga} vs optimum {p_opt}");
@@ -361,15 +550,87 @@ mod tests {
     #[test]
     fn metaheuristics_are_seed_deterministic() {
         let (b, p) = (paper_batch(16), paper_platform());
-        let sa = SimulatedAnnealing { seed: 1, ..Default::default() };
+        let sa = SimulatedAnnealing {
+            seed: 1,
+            ..Default::default()
+        };
         assert_eq!(
             sa.allocate(&b, &p, DEADLINE).unwrap(),
             sa.allocate(&b, &p, DEADLINE).unwrap()
         );
-        let ga = GeneticAlgorithm { seed: 2, generations: 30, ..Default::default() };
+        let ga = GeneticAlgorithm {
+            seed: 2,
+            generations: 30,
+            ..Default::default()
+        };
         assert_eq!(
             ga.allocate(&b, &p, DEADLINE).unwrap(),
             ga.allocate(&b, &p, DEADLINE).unwrap()
+        );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let (b, p) = (paper_batch(16), paper_platform());
+        let serial = SimulatedAnnealing {
+            threads: 1,
+            iterations: 4_000,
+            ..Default::default()
+        };
+        let parallel = SimulatedAnnealing {
+            threads: 8,
+            iterations: 4_000,
+            ..Default::default()
+        };
+        assert_eq!(
+            serial.allocate(&b, &p, DEADLINE).unwrap(),
+            parallel.allocate(&b, &p, DEADLINE).unwrap()
+        );
+        let ga1 = GeneticAlgorithm {
+            threads: 1,
+            generations: 30,
+            ..Default::default()
+        };
+        let ga8 = GeneticAlgorithm {
+            threads: 8,
+            generations: 30,
+            ..Default::default()
+        };
+        assert_eq!(
+            ga1.allocate(&b, &p, DEADLINE).unwrap(),
+            ga8.allocate(&b, &p, DEADLINE).unwrap()
+        );
+    }
+
+    #[test]
+    fn single_restart_reproduces_chain_zero() {
+        // Chain 0 is seeded with `seed` itself, so the multi-restart merge
+        // can only ever improve on the single-chain result.
+        let (b, p) = (paper_batch(16), paper_platform());
+        let single = SimulatedAnnealing {
+            restarts: 1,
+            iterations: 4_000,
+            ..Default::default()
+        };
+        let multi = SimulatedAnnealing {
+            restarts: 4,
+            iterations: 4_000,
+            ..Default::default()
+        };
+        let p_single = evaluate(
+            &b,
+            &p,
+            &single.allocate(&b, &p, DEADLINE).unwrap(),
+            DEADLINE,
+        )
+        .unwrap()
+        .joint;
+        let p_multi = evaluate(&b, &p, &multi.allocate(&b, &p, DEADLINE).unwrap(), DEADLINE)
+            .unwrap()
+            .joint;
+        assert!(
+            p_multi >= p_single,
+            "multi-restart {p_multi} < single {p_single}"
         );
     }
 
@@ -383,6 +644,17 @@ mod tests {
         assert!(GeneticAlgorithm::new(8, 10, 1.5, 1, 0).is_err());
         assert!(GeneticAlgorithm::new(8, 10, 0.1, 0, 0).is_err());
         assert!(GeneticAlgorithm::new(8, 10, 0.1, 9, 0).is_err());
+        let (b, p) = (paper_batch(8), paper_platform());
+        let sa = SimulatedAnnealing {
+            restarts: 0,
+            ..Default::default()
+        };
+        assert!(sa.allocate(&b, &p, DEADLINE).is_err());
+        let ga = GeneticAlgorithm {
+            threads: 0,
+            ..Default::default()
+        };
+        assert!(ga.allocate(&b, &p, DEADLINE).is_err());
     }
 
     #[test]
@@ -392,7 +664,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         // Everything on type 1 with 4 procs: demand 12 > capacity 4.
         let mut genome = vec![
-            Assignment { proc_type: cdsf_system::ProcTypeId(0), procs: 4 };
+            Assignment {
+                proc_type: cdsf_system::ProcTypeId(0),
+                procs: 4
+            };
             3
         ];
         land.repair(&mut genome, &mut rng);

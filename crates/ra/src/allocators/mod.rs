@@ -25,13 +25,16 @@ mod metaheuristic;
 pub use equal_share::EqualShare;
 pub use exhaustive::Exhaustive;
 pub use greedy::{GreedyMaxRobust, GreedyMinTime, Sufferage};
-pub use incremental::allocate_incremental;
+pub use incremental::{allocate_incremental, allocate_incremental_with_engine};
 pub use metaheuristic::{GeneticAlgorithm, SimulatedAnnealing};
 
 use crate::allocation::{Allocation, Assignment};
+use crate::engine::Phi1Engine;
 use crate::robustness::ProbabilityTable;
 use crate::{RaError, Result};
-use cdsf_system::{Batch, Platform, ProcTypeId};
+#[cfg(test)]
+use cdsf_system::ProcTypeId;
+use cdsf_system::{Batch, Platform};
 
 /// A Stage-I allocation policy.
 pub trait Allocator {
@@ -41,10 +44,27 @@ pub trait Allocator {
     /// Produces a feasible allocation for `batch` on `platform` targeting
     /// the common deadline.
     fn allocate(&self, batch: &Batch, platform: &Platform, deadline: f64) -> Result<Allocation>;
+
+    /// As [`Allocator::allocate`], reusing a prebuilt [`Phi1Engine`] for
+    /// `(batch, platform)` instead of recomputing the PMF cache. Every
+    /// policy in this crate overrides this to serve probability and
+    /// expected-time queries from the engine; results are bit-identical to
+    /// [`Allocator::allocate`], which simply builds the engine itself.
+    fn allocate_with_engine(
+        &self,
+        batch: &Batch,
+        platform: &Platform,
+        _engine: &Phi1Engine,
+        deadline: f64,
+    ) -> Result<Allocation> {
+        self.allocate(batch, platform, deadline)
+    }
 }
 
 /// Shared helper: all feasible `(type, pow2 count)` options for one
-/// application, in deterministic order.
+/// application, in deterministic order. The engine pre-computes the same
+/// lists; this direct form remains as the test oracle for them.
+#[cfg(test)]
 pub(crate) fn app_options(
     app: &cdsf_system::Application,
     platform: &Platform,
@@ -56,13 +76,31 @@ pub(crate) fn app_options(
             continue;
         }
         for n in platform.pow2_options(id)? {
-            opts.push(Assignment { proc_type: id, procs: n });
+            opts.push(Assignment {
+                proc_type: id,
+                procs: n,
+            });
         }
     }
     if opts.is_empty() {
         return Err(RaError::NoFeasibleAllocation);
     }
     Ok(opts)
+}
+
+/// Shared helper: per-application option lists served by the engine, in
+/// the same deterministic order as [`app_options`]. Errors when any
+/// application has no feasible option at all.
+pub(crate) fn engine_options(engine: &Phi1Engine) -> Result<Vec<Vec<Assignment>>> {
+    let mut all = Vec::with_capacity(engine.num_apps());
+    for i in 0..engine.num_apps() {
+        let opts = engine.options(i);
+        if opts.is_empty() {
+            return Err(RaError::NoFeasibleAllocation);
+        }
+        all.push(opts);
+    }
+    Ok(all)
 }
 
 /// Shared helper: per-type free capacity tracking.
@@ -73,7 +111,9 @@ pub(crate) struct Capacity {
 
 impl Capacity {
     pub(crate) fn of(platform: &Platform) -> Self {
-        Self { free: platform.types().iter().map(|t| t.count()).collect() }
+        Self {
+            free: platform.types().iter().map(|t| t.count()).collect(),
+        }
     }
 
     pub(crate) fn fits(&self, asg: Assignment) -> bool {
@@ -114,8 +154,12 @@ pub(crate) mod testutil {
     /// The paper's platform (Table I, case 1).
     pub fn paper_platform() -> Platform {
         Platform::new(vec![
-            ProcessorType::new("Type 1", 4, Pmf::from_pairs([(0.75, 0.5), (1.0, 0.5)]).unwrap())
-                .unwrap(),
+            ProcessorType::new(
+                "Type 1",
+                4,
+                Pmf::from_pairs([(0.75, 0.5), (1.0, 0.5)]).unwrap(),
+            )
+            .unwrap(),
             ProcessorType::new(
                 "Type 2",
                 8,
@@ -168,10 +212,16 @@ mod tests {
     fn capacity_bookkeeping() {
         let p = paper_platform();
         let mut cap = Capacity::of(&p);
-        let asg = Assignment { proc_type: ProcTypeId(0), procs: 4 };
+        let asg = Assignment {
+            proc_type: ProcTypeId(0),
+            procs: 4,
+        };
         assert!(cap.fits(asg));
         cap.take(asg);
-        assert!(!cap.fits(Assignment { proc_type: ProcTypeId(0), procs: 1 }));
+        assert!(!cap.fits(Assignment {
+            proc_type: ProcTypeId(0),
+            procs: 1
+        }));
         cap.release(asg);
         assert!(cap.fits(asg));
     }

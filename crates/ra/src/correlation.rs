@@ -48,12 +48,18 @@ pub struct CorrelationModel {
 impl CorrelationModel {
     /// The paper's baseline: everything independent.
     pub fn independent() -> Self {
-        Self { across_types: 0.0, share_within_type: false }
+        Self {
+            across_types: 0.0,
+            share_within_type: false,
+        }
     }
 
     /// Fully correlated: one system-wide load state per replicate.
     pub fn comonotone() -> Self {
-        Self { across_types: 1.0, share_within_type: true }
+        Self {
+            across_types: 1.0,
+            share_within_type: true,
+        }
     }
 
     fn validate(&self) -> Result<()> {
@@ -92,18 +98,19 @@ pub fn monte_carlo_phi1_correlated(
     alloc.validate(batch, platform)?;
     model.validate()?;
     if cfg.replicates == 0 {
-        return Err(RaError::BadParameter { name: "replicates", value: 0.0 });
+        return Err(RaError::BadParameter {
+            name: "replicates",
+            value: 0.0,
+        });
     }
 
     // Pre-build per-app execution samplers (Amdahl-rescaled single-type).
     let mut exec_samplers = Vec::with_capacity(batch.len());
     for ((_, app), asg) in batch.iter().zip(alloc.assignments()) {
-        let pmf =
-            cdsf_system::parallel_time::parallel_time_pmf(app, asg.proc_type, asg.procs)?;
+        let pmf = cdsf_system::parallel_time::parallel_time_pmf(app, asg.proc_type, asg.procs)?;
         exec_samplers.push(AliasSampler::new(&pmf));
     }
-    let avail_pmfs: Vec<&Pmf> =
-        platform.types().iter().map(|t| t.availability()).collect();
+    let avail_pmfs: Vec<&Pmf> = platform.types().iter().map(|t| t.availability()).collect();
     let type_of: Vec<usize> = alloc.assignments().iter().map(|a| a.proc_type.0).collect();
 
     let rho = model.across_types;
@@ -165,7 +172,10 @@ pub fn correlation_sweep(
 ) -> Result<Vec<(f64, f64)>> {
     rhos.iter()
         .map(|&rho| {
-            let model = CorrelationModel { across_types: rho, share_within_type };
+            let model = CorrelationModel {
+                across_types: rho,
+                share_within_type,
+            };
             monte_carlo_phi1_correlated(batch, platform, alloc, deadline, &model, cfg)
                 .map(|phi1| (rho, phi1))
         })
@@ -182,24 +192,43 @@ mod tests {
 
     fn naive_alloc() -> Allocation {
         Allocation::new(vec![
-            Assignment { proc_type: ProcTypeId(1), procs: 4 },
-            Assignment { proc_type: ProcTypeId(0), procs: 4 },
-            Assignment { proc_type: ProcTypeId(1), procs: 4 },
+            Assignment {
+                proc_type: ProcTypeId(1),
+                procs: 4,
+            },
+            Assignment {
+                proc_type: ProcTypeId(0),
+                procs: 4,
+            },
+            Assignment {
+                proc_type: ProcTypeId(1),
+                procs: 4,
+            },
         ])
     }
 
     fn mc_cfg(n: usize) -> MonteCarloConfig {
-        MonteCarloConfig { replicates: n, threads: 1, seed: 31 }
+        MonteCarloConfig {
+            replicates: n,
+            threads: 1,
+            seed: 31,
+        }
     }
 
     #[test]
     fn model_validation() {
-        assert!(CorrelationModel { across_types: -0.1, share_within_type: false }
-            .validate()
-            .is_err());
-        assert!(CorrelationModel { across_types: 1.1, share_within_type: false }
-            .validate()
-            .is_err());
+        assert!(CorrelationModel {
+            across_types: -0.1,
+            share_within_type: false
+        }
+        .validate()
+        .is_err());
+        assert!(CorrelationModel {
+            across_types: 1.1,
+            share_within_type: false
+        }
+        .validate()
+        .is_err());
         assert!(CorrelationModel::independent().validate().is_ok());
         assert!(CorrelationModel::comonotone().validate().is_ok());
     }
@@ -218,13 +247,20 @@ mod tests {
             &mc_cfg(150_000),
         )
         .unwrap();
-        assert!((corr - exact).abs() < 0.01, "copula-independent {corr} vs exact {exact}");
+        assert!(
+            (corr - exact).abs() < 0.01,
+            "copula-independent {corr} vs exact {exact}"
+        );
         let baseline = monte_carlo_phi1(
             &b,
             &p,
             &alloc,
             DEADLINE,
-            &MonteCarloConfig { replicates: 150_000, threads: 2, seed: 5 },
+            &MonteCarloConfig {
+                replicates: 150_000,
+                threads: 2,
+                seed: 5,
+            },
         )
         .unwrap();
         assert!((corr - baseline).abs() < 0.01);
@@ -242,7 +278,9 @@ mod tests {
         for _ in 0..n {
             let z = standard_normal(&mut rng);
             let u = normal_cdf(z).clamp(f64::MIN_POSITIVE, 1.0 - f64::EPSILON);
-            *counts.entry(quantile_draw(pmf, u).to_bits()).or_insert(0usize) += 1;
+            *counts
+                .entry(quantile_draw(pmf, u).to_bits())
+                .or_insert(0usize) += 1;
         }
         for pulse in pmf.pulses() {
             let freq = *counts.get(&pulse.value.to_bits()).unwrap_or(&0) as f64 / n as f64;
@@ -311,16 +349,13 @@ mod tests {
     fn rejects_invalid_inputs() {
         let (b, p) = (paper_batch(8), paper_platform());
         let alloc = naive_alloc();
-        let bad_model = CorrelationModel { across_types: 2.0, share_within_type: false };
-        assert!(monte_carlo_phi1_correlated(
-            &b,
-            &p,
-            &alloc,
-            DEADLINE,
-            &bad_model,
-            &mc_cfg(10)
-        )
-        .is_err());
+        let bad_model = CorrelationModel {
+            across_types: 2.0,
+            share_within_type: false,
+        };
+        assert!(
+            monte_carlo_phi1_correlated(&b, &p, &alloc, DEADLINE, &bad_model, &mc_cfg(10)).is_err()
+        );
         assert!(monte_carlo_phi1_correlated(
             &b,
             &p,

@@ -1,0 +1,402 @@
+//! The shared Stage-I φ₁ evaluation engine.
+//!
+//! Every Stage-I policy ultimately asks the same questions about the same
+//! small set of PMFs: for an `(application, processor type, power-of-two
+//! share)` triple, what is the loaded completion-time distribution, its
+//! deadline probability, and its expectation? Before this engine existed,
+//! each allocator recomputed the Amdahl rescale and the availability
+//! quotient per call site — the probability table once, the expected times
+//! again for tie-breaking, and `evaluate` a third time for reporting.
+//!
+//! [`Phi1Engine`] memoizes both PMFs per key exactly once:
+//!
+//! * the **dedicated** parallel-time PMF (paper Eq. (2) — Amdahl rescale of
+//!   the single-processor execution PMF), which also seeds the Monte-Carlo
+//!   samplers;
+//! * the **loaded** completion-time PMF (dedicated ÷ availability), from
+//!   which deadline probabilities, expectations, and tail statistics are
+//!   pure lookups.
+//!
+//! Because the loaded PMFs are *deadline-independent*, one engine serves
+//! any number of deadlines: [`Phi1Engine::table`] derives a
+//! [`ProbabilityTable`] for a given Δ with CDF evaluations only.
+//!
+//! # Determinism contract
+//!
+//! The cell set is a deterministic function of `(batch, platform)`, and
+//! each cell is computed by the same code path as the serial helpers in
+//! [`cdsf_system::parallel_time`]. The parallel build partitions the cell
+//! list over scoped worker threads and stitches results back *by cell
+//! index*, so the engine built with any `threads ≥ 1` is bit-identical to
+//! the serial build — equality, not approximate agreement, is asserted in
+//! the `engine_equivalence` integration tests.
+
+use crate::allocation::{Allocation, Assignment};
+use crate::robustness::ProbabilityTable;
+use crate::{RaError, Result};
+use cdsf_pmf::Pmf;
+use cdsf_system::parallel_time::{loaded_time_pmf, parallel_time_pmf};
+use cdsf_system::{Batch, Platform, ProcTypeId};
+
+/// One memoized `(app, type, 2^k share)` cell.
+#[derive(Debug, Clone)]
+struct Cell {
+    /// Dedicated parallel-time PMF (Amdahl-rescaled execution time).
+    dedicated: Pmf,
+    /// Loaded completion-time PMF (dedicated ÷ availability).
+    loaded: Pmf,
+    /// Cached `loaded.expectation()`.
+    expected: f64,
+}
+
+/// A flattened build job: compute the cell for application `app` on `2^k`
+/// processors of type `ty`.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    app: usize,
+    ty: usize,
+    k: usize,
+    procs: u32,
+}
+
+/// Memoized per-`(application, processor type, power-of-two share)` PMF
+/// cache backing every Stage-I φ₁ evaluation.
+///
+/// Build once per `(batch, platform)` — serially with [`Phi1Engine::build`]
+/// or in parallel with [`Phi1Engine::build_parallel`] (bit-identical) —
+/// then query deadline probabilities, expected times, loaded PMFs, and
+/// Monte-Carlo sampler inputs without recomputing any PMF arithmetic.
+#[derive(Debug, Clone)]
+pub struct Phi1Engine {
+    /// `cells[app][type]` maps `k = log2(procs)` → cell (`None` where the
+    /// application has no execution-time PMF for the type).
+    cells: Vec<Vec<Option<Vec<Cell>>>>,
+    /// Availability PMF per processor type (for Monte-Carlo sampling).
+    availability: Vec<Pmf>,
+}
+
+impl Phi1Engine {
+    /// Builds the cache serially.
+    pub fn build(batch: &Batch, platform: &Platform) -> Result<Self> {
+        Self::build_parallel(batch, platform, 1)
+    }
+
+    /// Builds the cache with `threads` workers. Cells are independent and
+    /// stitched back by index, so the result is bit-identical for every
+    /// thread count.
+    pub fn build_parallel(batch: &Batch, platform: &Platform, threads: usize) -> Result<Self> {
+        if batch.is_empty() {
+            return Err(RaError::EmptyBatch);
+        }
+        if threads == 0 {
+            return Err(RaError::BadParameter {
+                name: "threads",
+                value: 0.0,
+            });
+        }
+
+        // Enumerate the cell set and pre-shape the cache.
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut cells: Vec<Vec<Option<Vec<Cell>>>> = Vec::with_capacity(batch.len());
+        for (i, (id, app)) in batch.iter().enumerate() {
+            debug_assert_eq!(i, id.0);
+            let mut per_type = Vec::with_capacity(platform.num_types());
+            for j in 0..platform.num_types() {
+                let ty = ProcTypeId(j);
+                if app.exec_time(ty).is_err() {
+                    per_type.push(None);
+                    continue;
+                }
+                let options = platform.pow2_options(ty)?;
+                for (k, &procs) in options.iter().enumerate() {
+                    jobs.push(Job {
+                        app: i,
+                        ty: j,
+                        k,
+                        procs,
+                    });
+                }
+                per_type.push(Some(Vec::with_capacity(options.len())));
+            }
+            cells.push(per_type);
+        }
+
+        let computed = compute_cells(batch, platform, &jobs, threads)?;
+
+        // Stitch results back in job order (jobs are emitted with `k`
+        // ascending per `(app, type)`, so plain pushes land at index `k`).
+        for (job, cell) in jobs.iter().zip(computed) {
+            let slot = cells[job.app][job.ty]
+                .as_mut()
+                .expect("job emitted only for types with a PMF");
+            debug_assert_eq!(slot.len(), job.k);
+            slot.push(cell);
+        }
+
+        let availability = platform
+            .types()
+            .iter()
+            .map(|t| t.availability().clone())
+            .collect();
+        Ok(Self {
+            cells,
+            availability,
+        })
+    }
+
+    /// Number of applications covered.
+    pub fn num_apps(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of processor types covered.
+    pub fn num_types(&self) -> usize {
+        self.availability.len()
+    }
+
+    fn cell(&self, app: usize, proc_type: ProcTypeId, procs: u32) -> Option<&Cell> {
+        if !procs.is_power_of_two() {
+            return None;
+        }
+        let k = procs.trailing_zeros() as usize;
+        self.cells.get(app)?.get(proc_type.0)?.as_ref()?.get(k)
+    }
+
+    /// The loaded completion-time PMF of application `app` on `procs` (a
+    /// power of two) processors of `proc_type`; `None` out of range.
+    pub fn loaded_pmf(&self, app: usize, proc_type: ProcTypeId, procs: u32) -> Option<&Pmf> {
+        self.cell(app, proc_type, procs).map(|c| &c.loaded)
+    }
+
+    /// The dedicated parallel-time PMF (Amdahl-rescaled, availability not
+    /// applied) — the distribution the Monte-Carlo estimator samples.
+    pub fn dedicated_pmf(&self, app: usize, proc_type: ProcTypeId, procs: u32) -> Option<&Pmf> {
+        self.cell(app, proc_type, procs).map(|c| &c.dedicated)
+    }
+
+    /// The availability PMF of a processor type.
+    pub fn availability_pmf(&self, proc_type: ProcTypeId) -> Option<&Pmf> {
+        self.availability.get(proc_type.0)
+    }
+
+    /// Cached expected loaded completion time.
+    pub fn expected_time(&self, app: usize, proc_type: ProcTypeId, procs: u32) -> Option<f64> {
+        self.cell(app, proc_type, procs).map(|c| c.expected)
+    }
+
+    /// `Pr(T ≤ Δ)` for a triple at an arbitrary deadline — a CDF lookup on
+    /// the cached loaded PMF, bit-identical to
+    /// [`cdsf_system::parallel_time::completion_probability`].
+    pub fn prob(
+        &self,
+        app: usize,
+        proc_type: ProcTypeId,
+        procs: u32,
+        deadline: f64,
+    ) -> Option<f64> {
+        self.cell(app, proc_type, procs)
+            .map(|c| c.loaded.cdf(deadline))
+    }
+
+    /// `φ₁` of a full allocation at `deadline` by lookup; `None` if any
+    /// triple is unknown. (Capacity feasibility is *not* checked here.)
+    pub fn joint(&self, alloc: &Allocation, deadline: f64) -> Option<f64> {
+        let mut p = 1.0;
+        for (i, asg) in alloc.assignments().iter().enumerate() {
+            p *= self.prob(i, asg.proc_type, asg.procs, deadline)?;
+        }
+        Some(p)
+    }
+
+    /// All cached `(type, pow2 count)` options of one application, in
+    /// deterministic (type-major, count-ascending) order.
+    pub fn options(&self, app: usize) -> Vec<Assignment> {
+        let mut out = Vec::new();
+        let Some(per_type) = self.cells.get(app) else {
+            return out;
+        };
+        for (j, slot) in per_type.iter().enumerate() {
+            if let Some(cells) = slot {
+                for k in 0..cells.len() {
+                    out.push(Assignment {
+                        proc_type: ProcTypeId(j),
+                        procs: 1 << k,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Derives the memoized [`ProbabilityTable`] for one deadline. Exactly
+    /// equal — not merely close — to [`ProbabilityTable::build`] on the
+    /// same inputs, because both evaluate the same loaded PMFs' CDFs.
+    pub fn table(&self, deadline: f64) -> Result<ProbabilityTable> {
+        if !(deadline > 0.0) || !deadline.is_finite() {
+            return Err(RaError::BadParameter {
+                name: "deadline",
+                value: deadline,
+            });
+        }
+        let probs = self
+            .cells
+            .iter()
+            .map(|per_type| {
+                per_type
+                    .iter()
+                    .map(|slot| {
+                        slot.as_ref()
+                            .map(|cells| cells.iter().map(|c| c.loaded.cdf(deadline)).collect())
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(ProbabilityTable::from_raw(probs, deadline))
+    }
+}
+
+/// Computes all cells, fanning out over `threads` scoped workers when the
+/// job list is large enough to pay for the spawns. Results are returned in
+/// job order; the first failing job (in job order) decides the error.
+fn compute_cells(
+    batch: &Batch,
+    platform: &Platform,
+    jobs: &[Job],
+    threads: usize,
+) -> Result<Vec<Cell>> {
+    let apps: Vec<_> = batch.iter().map(|(_, app)| app).collect();
+    let compute = |job: &Job| -> Result<Cell> {
+        let app = apps[job.app];
+        let ty = ProcTypeId(job.ty);
+        let dedicated = parallel_time_pmf(app, ty, job.procs)?;
+        let loaded = loaded_time_pmf(app, platform, ty, job.procs)?;
+        let expected = loaded.expectation();
+        Ok(Cell {
+            dedicated,
+            loaded,
+            expected,
+        })
+    };
+
+    let threads = threads.min(jobs.len()).max(1);
+    if threads == 1 {
+        return jobs.iter().map(compute).collect();
+    }
+
+    let chunk = jobs.len().div_ceil(threads);
+    let results: Vec<Result<Vec<Cell>>> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for piece in jobs.chunks(chunk) {
+            let compute = &compute;
+            handles.push(scope.spawn(move |_| piece.iter().map(compute).collect()));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("engine build worker panicked"))
+            .collect()
+    })
+    .expect("engine build scope panicked");
+
+    let mut out = Vec::with_capacity(jobs.len());
+    for piece in results {
+        out.extend(piece?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocators::testutil::*;
+    use cdsf_system::parallel_time::completion_probability;
+
+    #[test]
+    fn cells_match_direct_pmf_arithmetic() {
+        let (b, p) = (paper_batch(32), paper_platform());
+        let engine = Phi1Engine::build(&b, &p).unwrap();
+        for (i, (_, app)) in b.iter().enumerate() {
+            for j in 0..p.num_types() {
+                let ty = ProcTypeId(j);
+                for n in p.pow2_options(ty).unwrap() {
+                    let direct = loaded_time_pmf(app, &p, ty, n).unwrap();
+                    assert_eq!(engine.loaded_pmf(i, ty, n).unwrap(), &direct);
+                    let direct_ded = parallel_time_pmf(app, ty, n).unwrap();
+                    assert_eq!(engine.dedicated_pmf(i, ty, n).unwrap(), &direct_ded);
+                    assert_eq!(
+                        engine.expected_time(i, ty, n).unwrap(),
+                        direct.expectation()
+                    );
+                    let p_direct = completion_probability(app, &p, ty, n, DEADLINE).unwrap();
+                    assert_eq!(engine.prob(i, ty, n, DEADLINE).unwrap(), p_direct);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        let (b, p) = (paper_batch(64), paper_platform());
+        let serial = Phi1Engine::build(&b, &p).unwrap();
+        for threads in [2usize, 3, 8, 64] {
+            let par = Phi1Engine::build_parallel(&b, &p, threads).unwrap();
+            for i in 0..b.len() {
+                for j in 0..p.num_types() {
+                    let ty = ProcTypeId(j);
+                    for n in p.pow2_options(ty).unwrap() {
+                        assert_eq!(serial.loaded_pmf(i, ty, n), par.loaded_pmf(i, ty, n));
+                        assert_eq!(serial.dedicated_pmf(i, ty, n), par.dedicated_pmf(i, ty, n));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_equals_uncached_probability_table() {
+        let (b, p) = (paper_batch(32), paper_platform());
+        let engine = Phi1Engine::build_parallel(&b, &p, 4).unwrap();
+        for deadline in [500.0, DEADLINE, 10_000.0] {
+            let cached = engine.table(deadline).unwrap();
+            let uncached = ProbabilityTable::build(&b, &p, deadline).unwrap();
+            for i in 0..b.len() {
+                for j in 0..p.num_types() {
+                    let ty = ProcTypeId(j);
+                    for n in p.pow2_options(ty).unwrap() {
+                        assert_eq!(cached.prob(i, ty, n), uncached.prob(i, ty, n));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn options_match_allocator_helper() {
+        let (b, p) = (paper_batch(8), paper_platform());
+        let engine = Phi1Engine::build(&b, &p).unwrap();
+        for (i, (_, app)) in b.iter().enumerate() {
+            let direct = crate::allocators::app_options(app, &p).unwrap();
+            assert_eq!(engine.options(i), direct);
+        }
+    }
+
+    #[test]
+    fn out_of_range_lookups_are_none() {
+        let (b, p) = (paper_batch(8), paper_platform());
+        let engine = Phi1Engine::build(&b, &p).unwrap();
+        assert!(engine.prob(0, ProcTypeId(0), 3, DEADLINE).is_none());
+        assert!(engine.prob(0, ProcTypeId(9), 2, DEADLINE).is_none());
+        assert!(engine.prob(9, ProcTypeId(0), 2, DEADLINE).is_none());
+        assert!(engine.prob(0, ProcTypeId(0), 64, DEADLINE).is_none());
+        assert!(engine.expected_time(0, ProcTypeId(0), 64).is_none());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let (b, p) = (paper_batch(8), paper_platform());
+        assert!(Phi1Engine::build_parallel(&b, &p, 0).is_err());
+        assert!(Phi1Engine::build(&cdsf_system::Batch::new(vec![]), &p).is_err());
+        let engine = Phi1Engine::build(&b, &p).unwrap();
+        assert!(engine.table(0.0).is_err());
+        assert!(engine.table(f64::NAN).is_err());
+    }
+}

@@ -89,14 +89,30 @@ mod tests {
     fn every_variant_displays_its_payload() {
         let cases: Vec<(RaError, &str)> = vec![
             (RaError::EmptyBatch, "empty batch"),
-            (RaError::WrongArity { provided: 2, expected: 3 }, "2"),
+            (
+                RaError::WrongArity {
+                    provided: 2,
+                    expected: 3,
+                },
+                "2",
+            ),
             (RaError::NotPowerOfTwo { count: 3 }, "3"),
             (
-                RaError::OverSubscribed { proc_type: 1, requested: 9, available: 4 },
+                RaError::OverSubscribed {
+                    proc_type: 1,
+                    requested: 9,
+                    available: 4,
+                },
                 "9",
             ),
             (RaError::NoFeasibleAllocation, "feasible"),
-            (RaError::BadParameter { name: "seed", value: -1.0 }, "seed"),
+            (
+                RaError::BadParameter {
+                    name: "seed",
+                    value: -1.0,
+                },
+                "seed",
+            ),
             (
                 RaError::System(cdsf_system::SystemError::NoProcessorTypes),
                 "system",

@@ -10,6 +10,9 @@
 //!
 //! * [`Allocation`] — one `(processor type, power-of-two count)` assignment
 //!   per application, with feasibility checking against a [`Platform`];
+//! * [`engine`] — the shared φ₁ evaluation engine: a memoized PMF cache
+//!   keyed by `(app, type, power-of-two share)` with a deterministic
+//!   parallel build, backing every allocator and both estimators;
 //! * [`robustness`] — the exact PMF-arithmetic evaluation of φ₁ (with a
 //!   memoized per-assignment probability table) and a crossbeam-parallel
 //!   Monte-Carlo estimator used to cross-check it;
@@ -29,6 +32,7 @@
 pub mod allocation;
 pub mod allocators;
 pub mod correlation;
+pub mod engine;
 mod error;
 pub mod radius;
 pub mod robustness;
@@ -36,6 +40,7 @@ pub mod surface;
 
 pub use allocation::{Allocation, Assignment};
 pub use allocators::Allocator;
+pub use engine::Phi1Engine;
 pub use error::RaError;
 
 /// Crate-wide result alias.

@@ -67,7 +67,10 @@ pub fn robustness_radius(
 ) -> Result<RadiusReport> {
     alloc.validate(batch, platform)?;
     if !(deadline > 0.0) || !deadline.is_finite() {
-        return Err(RaError::BadParameter { name: "deadline", value: deadline });
+        return Err(RaError::BadParameter {
+            name: "deadline",
+            value: deadline,
+        });
     }
     let mut critical = Vec::with_capacity(batch.len());
     let mut radius = Vec::with_capacity(batch.len());
@@ -101,17 +104,35 @@ mod tests {
 
     fn naive_alloc() -> Allocation {
         Allocation::new(vec![
-            Assignment { proc_type: ProcTypeId(1), procs: 4 },
-            Assignment { proc_type: ProcTypeId(0), procs: 4 },
-            Assignment { proc_type: ProcTypeId(1), procs: 4 },
+            Assignment {
+                proc_type: ProcTypeId(1),
+                procs: 4,
+            },
+            Assignment {
+                proc_type: ProcTypeId(0),
+                procs: 4,
+            },
+            Assignment {
+                proc_type: ProcTypeId(1),
+                procs: 4,
+            },
         ])
     }
 
     fn robust_alloc() -> Allocation {
         Allocation::new(vec![
-            Assignment { proc_type: ProcTypeId(0), procs: 2 },
-            Assignment { proc_type: ProcTypeId(0), procs: 2 },
-            Assignment { proc_type: ProcTypeId(1), procs: 8 },
+            Assignment {
+                proc_type: ProcTypeId(0),
+                procs: 2,
+            },
+            Assignment {
+                proc_type: ProcTypeId(0),
+                procs: 2,
+            },
+            Assignment {
+                proc_type: ProcTypeId(1),
+                procs: 8,
+            },
         ])
     }
 

@@ -14,6 +14,7 @@
 //!   parallel-deterministic.
 
 use crate::allocation::Allocation;
+use crate::engine::Phi1Engine;
 use crate::{RaError, Result};
 use cdsf_pmf::sample::AliasSampler;
 use cdsf_system::parallel_time::{completion_probability, loaded_time_pmf};
@@ -57,7 +58,45 @@ pub fn evaluate(
         conditional_overtime.push(pmf.conditional_tail_expectation(deadline));
         joint *= p;
     }
-    Ok(RobustnessReport { per_app, joint, expected_times, conditional_overtime })
+    Ok(RobustnessReport {
+        per_app,
+        joint,
+        expected_times,
+        conditional_overtime,
+    })
+}
+
+/// As [`evaluate`], but served from a prebuilt [`Phi1Engine`] — no PMF
+/// arithmetic, only CDF/expectation lookups on the cached loaded PMFs.
+/// Bit-identical to [`evaluate`] on the same inputs.
+pub fn evaluate_with_engine(
+    engine: &Phi1Engine,
+    batch: &Batch,
+    platform: &Platform,
+    alloc: &Allocation,
+    deadline: f64,
+) -> Result<RobustnessReport> {
+    alloc.validate(batch, platform)?;
+    let mut per_app = Vec::with_capacity(batch.len());
+    let mut expected_times = Vec::with_capacity(batch.len());
+    let mut conditional_overtime = Vec::with_capacity(batch.len());
+    let mut joint = 1.0;
+    for (i, asg) in alloc.assignments().iter().enumerate() {
+        let pmf = engine
+            .loaded_pmf(i, asg.proc_type, asg.procs)
+            .ok_or(RaError::NoFeasibleAllocation)?;
+        let p = pmf.cdf(deadline);
+        per_app.push(p);
+        expected_times.push(pmf.expectation());
+        conditional_overtime.push(pmf.conditional_tail_expectation(deadline));
+        joint *= p;
+    }
+    Ok(RobustnessReport {
+        per_app,
+        joint,
+        expected_times,
+        conditional_overtime,
+    })
 }
 
 /// Memoized `Pr(T ≤ Δ)` for every feasible `(app, type, pow2-count)`
@@ -77,7 +116,10 @@ impl ProbabilityTable {
             return Err(RaError::EmptyBatch);
         }
         if !(deadline > 0.0) || !deadline.is_finite() {
-            return Err(RaError::BadParameter { name: "deadline", value: deadline });
+            return Err(RaError::BadParameter {
+                name: "deadline",
+                value: deadline,
+            });
         }
         let mut probs = Vec::with_capacity(batch.len());
         for (_, app) in batch.iter() {
@@ -97,6 +139,13 @@ impl ProbabilityTable {
             probs.push(per_type);
         }
         Ok(Self { probs, deadline })
+    }
+
+    /// Assembles a table from precomputed probabilities (the
+    /// [`Phi1Engine`] derivation path). Callers guarantee the layout:
+    /// `probs[app][type]` maps `log2(count)` → probability.
+    pub(crate) fn from_raw(probs: Vec<Vec<Option<Vec<f64>>>>, deadline: f64) -> Self {
+        Self { probs, deadline }
     }
 
     /// The deadline this table was built for.
@@ -143,7 +192,11 @@ pub struct MonteCarloConfig {
 
 impl Default for MonteCarloConfig {
     fn default() -> Self {
-        Self { replicates: 100_000, threads: 4, seed: 0xC0FFEE }
+        Self {
+            replicates: 100_000,
+            threads: 4,
+            seed: 0xC0FFEE,
+        }
     }
 }
 
@@ -188,13 +241,6 @@ pub fn monte_carlo_phi1_ci(
     cfg: &MonteCarloConfig,
 ) -> Result<McEstimate> {
     alloc.validate(batch, platform)?;
-    if cfg.replicates == 0 || cfg.threads == 0 {
-        return Err(RaError::BadParameter {
-            name: "replicates/threads",
-            value: cfg.replicates.min(cfg.threads) as f64,
-        });
-    }
-
     // Pre-build samplers: per app the Amdahl-rescaled execution PMF, per
     // type the availability PMF.
     let mut exec_samplers = Vec::with_capacity(batch.len());
@@ -208,14 +254,76 @@ pub fn monte_carlo_phi1_ci(
         .map(|t| AliasSampler::new(t.availability()))
         .collect();
     let type_of: Vec<usize> = alloc.assignments().iter().map(|a| a.proc_type.0).collect();
+    mc_core(&exec_samplers, &avail_samplers, &type_of, deadline, cfg)
+}
 
+/// As [`monte_carlo_phi1`], but the samplers are built from a prebuilt
+/// [`Phi1Engine`]'s cached dedicated PMFs — no Amdahl rescale per call.
+/// The sampled distributions are bit-identical to the direct path, so the
+/// estimate matches [`monte_carlo_phi1`] exactly for the same seed.
+pub fn monte_carlo_phi1_with_engine(
+    engine: &Phi1Engine,
+    batch: &Batch,
+    platform: &Platform,
+    alloc: &Allocation,
+    deadline: f64,
+    cfg: &MonteCarloConfig,
+) -> Result<f64> {
+    monte_carlo_phi1_ci_with_engine(engine, batch, platform, alloc, deadline, cfg)
+        .map(|e| e.estimate)
+}
+
+/// As [`monte_carlo_phi1_ci`], served from a prebuilt [`Phi1Engine`].
+pub fn monte_carlo_phi1_ci_with_engine(
+    engine: &Phi1Engine,
+    batch: &Batch,
+    platform: &Platform,
+    alloc: &Allocation,
+    deadline: f64,
+    cfg: &MonteCarloConfig,
+) -> Result<McEstimate> {
+    alloc.validate(batch, platform)?;
+    let mut exec_samplers = Vec::with_capacity(batch.len());
+    for (i, asg) in alloc.assignments().iter().enumerate() {
+        let pmf = engine
+            .dedicated_pmf(i, asg.proc_type, asg.procs)
+            .ok_or(RaError::NoFeasibleAllocation)?;
+        exec_samplers.push(AliasSampler::new(pmf));
+    }
+    let avail_samplers: Vec<AliasSampler> = (0..engine.num_types())
+        .map(|j| {
+            AliasSampler::new(
+                engine
+                    .availability_pmf(ProcTypeId(j))
+                    .expect("type index in range"),
+            )
+        })
+        .collect();
+    let type_of: Vec<usize> = alloc.assignments().iter().map(|a| a.proc_type.0).collect();
+    mc_core(&exec_samplers, &avail_samplers, &type_of, deadline, cfg)
+}
+
+/// The shared Monte-Carlo fan-out: replicates are split over scoped worker
+/// threads, thread `k` draws from `StdRng::seed_from_u64(seed + k)`, and
+/// hit counts are summed — so the estimate depends only on `(samplers,
+/// deadline, cfg)`, never on scheduling.
+fn mc_core(
+    exec_samplers: &[AliasSampler],
+    avail_samplers: &[AliasSampler],
+    type_of: &[usize],
+    deadline: f64,
+    cfg: &MonteCarloConfig,
+) -> Result<McEstimate> {
+    if cfg.replicates == 0 || cfg.threads == 0 {
+        return Err(RaError::BadParameter {
+            name: "replicates/threads",
+            value: cfg.replicates.min(cfg.threads) as f64,
+        });
+    }
     let per_thread = cfg.replicates.div_ceil(cfg.threads);
     let hits: u64 = crossbeam::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(cfg.threads);
         for k in 0..cfg.threads {
-            let exec_samplers = &exec_samplers;
-            let avail_samplers = &avail_samplers;
-            let type_of = &type_of;
             handles.push(scope.spawn(move |_| {
                 let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(k as u64));
                 let mut hits = 0u64;
@@ -236,13 +344,21 @@ pub fn monte_carlo_phi1_ci(
                 hits
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .sum()
     })
     .expect("scope panicked");
 
     let total = (per_thread * cfg.threads) as u64;
     let (lo, hi) = cdsf_pmf::stats::wilson_interval(hits, total, 1.96);
-    Ok(McEstimate { estimate: hits as f64 / total as f64, lo, hi, replicates: total })
+    Ok(McEstimate {
+        estimate: hits as f64 / total as f64,
+        lo,
+        hi,
+        replicates: total,
+    })
 }
 
 /// Convenience: the makespan sample distribution under an allocation —
@@ -289,8 +405,12 @@ mod tests {
 
     fn paper_platform() -> Platform {
         Platform::new(vec![
-            ProcessorType::new("Type 1", 4, Pmf::from_pairs([(0.75, 0.5), (1.0, 0.5)]).unwrap())
-                .unwrap(),
+            ProcessorType::new(
+                "Type 1",
+                4,
+                Pmf::from_pairs([(0.75, 0.5), (1.0, 0.5)]).unwrap(),
+            )
+            .unwrap(),
             ProcessorType::new(
                 "Type 2",
                 8,
@@ -322,24 +442,41 @@ mod tests {
 
     fn naive_alloc() -> Allocation {
         Allocation::new(vec![
-            Assignment { proc_type: ProcTypeId(1), procs: 4 },
-            Assignment { proc_type: ProcTypeId(0), procs: 4 },
-            Assignment { proc_type: ProcTypeId(1), procs: 4 },
+            Assignment {
+                proc_type: ProcTypeId(1),
+                procs: 4,
+            },
+            Assignment {
+                proc_type: ProcTypeId(0),
+                procs: 4,
+            },
+            Assignment {
+                proc_type: ProcTypeId(1),
+                procs: 4,
+            },
         ])
     }
 
     fn robust_alloc() -> Allocation {
         Allocation::new(vec![
-            Assignment { proc_type: ProcTypeId(0), procs: 2 },
-            Assignment { proc_type: ProcTypeId(0), procs: 2 },
-            Assignment { proc_type: ProcTypeId(1), procs: 8 },
+            Assignment {
+                proc_type: ProcTypeId(0),
+                procs: 2,
+            },
+            Assignment {
+                proc_type: ProcTypeId(0),
+                procs: 2,
+            },
+            Assignment {
+                proc_type: ProcTypeId(1),
+                procs: 8,
+            },
         ])
     }
 
     #[test]
     fn naive_allocation_phi1_matches_paper_26pct() {
-        let report = evaluate(&paper_batch(64), &paper_platform(), &naive_alloc(), 3250.0)
-            .unwrap();
+        let report = evaluate(&paper_batch(64), &paper_platform(), &naive_alloc(), 3250.0).unwrap();
         assert!(
             (report.joint - 0.26).abs() < 0.02,
             "φ1 = {} (paper: 26%)",
@@ -349,8 +486,8 @@ mod tests {
 
     #[test]
     fn robust_allocation_phi1_matches_paper_74_5pct() {
-        let report = evaluate(&paper_batch(64), &paper_platform(), &robust_alloc(), 3250.0)
-            .unwrap();
+        let report =
+            evaluate(&paper_batch(64), &paper_platform(), &robust_alloc(), 3250.0).unwrap();
         assert!(
             (report.joint - 0.745).abs() < 0.02,
             "φ1 = {} (paper: 74.5%)",
@@ -360,8 +497,8 @@ mod tests {
 
     #[test]
     fn expected_times_match_table5() {
-        let report = evaluate(&paper_batch(64), &paper_platform(), &robust_alloc(), 3250.0)
-            .unwrap();
+        let report =
+            evaluate(&paper_batch(64), &paper_platform(), &robust_alloc(), 3250.0).unwrap();
         // Paper Table V robust row: 1365.46 / 1959.59 / 2699.86.
         assert!((report.expected_times[0] - 1365.0).abs() < 10.0);
         assert!((report.expected_times[1] - 1960.0).abs() < 10.0);
@@ -370,8 +507,8 @@ mod tests {
 
     #[test]
     fn conditional_overtime_flags_risky_applications() {
-        let report = evaluate(&paper_batch(64), &paper_platform(), &robust_alloc(), 3250.0)
-            .unwrap();
+        let report =
+            evaluate(&paper_batch(64), &paper_platform(), &robust_alloc(), 3250.0).unwrap();
         // Applications 1 and 2 are (near-)safe; application 3 misses with
         // probability ~25.5 % and, when it does, lands around its
         // quarter-availability time 1350/0.25 = 5400.
@@ -413,7 +550,11 @@ mod tests {
                 &p,
                 &alloc,
                 3250.0,
-                &MonteCarloConfig { replicates: 200_000, threads: 4, seed: 7 },
+                &MonteCarloConfig {
+                    replicates: 200_000,
+                    threads: 4,
+                    seed: 7,
+                },
             )
             .unwrap();
             assert!(
@@ -432,10 +573,17 @@ mod tests {
             &p,
             &robust_alloc(),
             3250.0,
-            &MonteCarloConfig { replicates: 100_000, threads: 4, seed: 21 },
+            &MonteCarloConfig {
+                replicates: 100_000,
+                threads: 4,
+                seed: 21,
+            },
         )
         .unwrap();
-        assert!(est.lo <= exact && exact <= est.hi, "{est:?} vs exact {exact}");
+        assert!(
+            est.lo <= exact && exact <= est.hi,
+            "{est:?} vs exact {exact}"
+        );
         assert!(est.hi - est.lo < 0.01, "interval too wide: {est:?}");
         assert_eq!(est.replicates, 100_000);
     }
@@ -443,7 +591,11 @@ mod tests {
     #[test]
     fn monte_carlo_is_seed_deterministic() {
         let (b, p) = (paper_batch(16), paper_platform());
-        let cfg = MonteCarloConfig { replicates: 20_000, threads: 3, seed: 11 };
+        let cfg = MonteCarloConfig {
+            replicates: 20_000,
+            threads: 3,
+            seed: 11,
+        };
         let a = monte_carlo_phi1(&b, &p, &naive_alloc(), 3250.0, &cfg).unwrap();
         let b2 = monte_carlo_phi1(&b, &p, &naive_alloc(), 3250.0, &cfg).unwrap();
         assert_eq!(a, b2);
@@ -452,7 +604,11 @@ mod tests {
     #[test]
     fn monte_carlo_rejects_zero_replicates() {
         let (b, p) = (paper_batch(8), paper_platform());
-        let cfg = MonteCarloConfig { replicates: 0, threads: 1, seed: 0 };
+        let cfg = MonteCarloConfig {
+            replicates: 0,
+            threads: 1,
+            seed: 0,
+        };
         assert!(monte_carlo_phi1(&b, &p, &naive_alloc(), 3250.0, &cfg).is_err());
     }
 

@@ -40,11 +40,17 @@ pub fn robustness_surface(
 ) -> Result<Vec<SurfacePoint>> {
     alloc.validate(batch, platform)?;
     if scales.is_empty() {
-        return Err(RaError::BadParameter { name: "scales.len", value: 0.0 });
+        return Err(RaError::BadParameter {
+            name: "scales.len",
+            value: 0.0,
+        });
     }
     for &s in scales {
         if !(s > 0.0 && s <= 1.0) {
-            return Err(RaError::BadParameter { name: "scale", value: s });
+            return Err(RaError::BadParameter {
+                name: "scale",
+                value: s,
+            });
         }
     }
     let t = platform.num_types();
@@ -65,7 +71,10 @@ pub fn robustness_surface(
             .collect::<std::result::Result<_, _>>()?;
         let scaled = platform.with_availabilities(&pmfs)?;
         let phi1 = evaluate(batch, &scaled, alloc, deadline)?.joint;
-        out.push(SurfacePoint { scales: point_scales, phi1 });
+        out.push(SurfacePoint {
+            scales: point_scales,
+            phi1,
+        });
 
         // Odometer increment.
         let mut k = 0;
@@ -95,10 +104,16 @@ pub fn diagonal_tolerance(
     steps: usize,
 ) -> Result<f64> {
     if steps == 0 {
-        return Err(RaError::BadParameter { name: "steps", value: 0.0 });
+        return Err(RaError::BadParameter {
+            name: "steps",
+            value: 0.0,
+        });
     }
     if !(0.0..=1.0).contains(&threshold) {
-        return Err(RaError::BadParameter { name: "threshold", value: threshold });
+        return Err(RaError::BadParameter {
+            name: "threshold",
+            value: threshold,
+        });
     }
     let mut tolerated: f64 = 0.0;
     for k in 0..=steps {
@@ -149,9 +164,18 @@ mod tests {
 
     fn robust_alloc() -> Allocation {
         Allocation::new(vec![
-            Assignment { proc_type: ProcTypeId(0), procs: 2 },
-            Assignment { proc_type: ProcTypeId(0), procs: 2 },
-            Assignment { proc_type: ProcTypeId(1), procs: 8 },
+            Assignment {
+                proc_type: ProcTypeId(0),
+                procs: 2,
+            },
+            Assignment {
+                proc_type: ProcTypeId(0),
+                procs: 2,
+            },
+            Assignment {
+                proc_type: ProcTypeId(1),
+                procs: 8,
+            },
         ])
     }
 
@@ -204,8 +228,14 @@ mod tests {
     #[test]
     fn csv_rendering() {
         let points = vec![
-            SurfacePoint { scales: vec![1.0, 0.5], phi1: 0.5 },
-            SurfacePoint { scales: vec![0.5, 0.5], phi1: 0.1 },
+            SurfacePoint {
+                scales: vec![1.0, 0.5],
+                phi1: 0.5,
+            },
+            SurfacePoint {
+                scales: vec![0.5, 0.5],
+                phi1: 0.1,
+            },
         ];
         let csv = surface_to_csv(&points);
         let lines: Vec<&str> = csv.lines().collect();

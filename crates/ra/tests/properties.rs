@@ -6,31 +6,29 @@ use cdsf_ra::allocators::{
     allocate_incremental, EqualShare, Exhaustive, GreedyMaxRobust, Sufferage,
 };
 use cdsf_ra::robustness::{evaluate, ProbabilityTable};
-use cdsf_ra::{Allocation, Allocator};
+use cdsf_ra::{Allocation, Allocator, Phi1Engine};
 use cdsf_system::{Application, Batch, Platform, ProcessorType};
 use proptest::prelude::*;
 
 /// Strategy: a platform of 2–3 types with 2–8 processors each and random
 /// two-pulse availability.
 fn arb_platform() -> impl Strategy<Value = Platform> {
-    prop::collection::vec(
-        (2u32..=8, 0.2f64..0.8, 0.8f64..=1.0, 0.1f64..0.9),
-        2..=3,
+    prop::collection::vec((2u32..=8, 0.2f64..0.8, 0.8f64..=1.0, 0.1f64..0.9), 2..=3).prop_map(
+        |types| {
+            Platform::new(
+                types
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (count, lo, hi, w))| {
+                        let avail =
+                            Pmf::from_weighted([(lo, w), (hi, 1.0 - w)]).expect("positive weights");
+                        ProcessorType::new(format!("T{i}"), count, avail).expect("valid type")
+                    })
+                    .collect(),
+            )
+            .expect("non-empty")
+        },
     )
-    .prop_map(|types| {
-        Platform::new(
-            types
-                .into_iter()
-                .enumerate()
-                .map(|(i, (count, lo, hi, w))| {
-                    let avail =
-                        Pmf::from_weighted([(lo, w), (hi, 1.0 - w)]).expect("positive weights");
-                    ProcessorType::new(format!("T{i}"), count, avail).expect("valid type")
-                })
-                .collect(),
-        )
-        .expect("non-empty")
-    })
 }
 
 /// Strategy: a batch of 2–4 applications with PMFs for `num_types` types.
@@ -124,6 +122,55 @@ proptest! {
                 let p_inc = evaluate(&batch, &platform, &alloc, deadline).unwrap().joint;
                 let p_opt = evaluate(&batch, &platform, &opt, deadline).unwrap().joint;
                 prop_assert!(p_inc <= p_opt + 1e-9);
+            }
+        }
+    }
+
+    /// φ₁ cells are monotone: shrinking the deadline can only lower each
+    /// per-assignment probability, and doubling an application's share can
+    /// only raise it (Amdahl's factor shrinks every execution time).
+    #[test]
+    fn phi1_monotone_in_deadline_and_procs(
+        (platform, batch, _deadline) in arb_instance(),
+        d_lo in 500.0f64..5_000.0,
+        factor in 1.1f64..3.0,
+    ) {
+        let engine = Phi1Engine::build(&batch, &platform).unwrap();
+        let d_hi = d_lo * factor;
+        for i in 0..batch.len() {
+            for asg in engine.options(i) {
+                let p_lo = engine.prob(i, asg.proc_type, asg.procs, d_lo).unwrap();
+                let p_hi = engine.prob(i, asg.proc_type, asg.procs, d_hi).unwrap();
+                prop_assert!(p_lo <= p_hi + 1e-12,
+                    "app {i}: φ1 rose from {p_hi} to {p_lo} as Δ shrank {d_hi}→{d_lo}");
+                if let Some(p_double) = engine.prob(i, asg.proc_type, asg.procs * 2, d_lo) {
+                    prop_assert!(p_double + 1e-9 >= p_lo,
+                        "app {i}: φ1 fell from {p_lo} to {p_double} when doubling {} procs",
+                        asg.procs);
+                }
+            }
+        }
+    }
+
+    /// The parallel engine build is bit-identical to the serial build for
+    /// arbitrary instances and thread counts.
+    #[test]
+    fn engine_parallel_equals_serial(
+        (platform, batch, deadline) in arb_instance(),
+        threads in 2usize..=8,
+    ) {
+        let serial = Phi1Engine::build(&batch, &platform).unwrap();
+        let parallel = Phi1Engine::build_parallel(&batch, &platform, threads).unwrap();
+        for i in 0..batch.len() {
+            for asg in serial.options(i) {
+                prop_assert_eq!(
+                    serial.loaded_pmf(i, asg.proc_type, asg.procs),
+                    parallel.loaded_pmf(i, asg.proc_type, asg.procs)
+                );
+                prop_assert_eq!(
+                    serial.prob(i, asg.proc_type, asg.procs, deadline),
+                    parallel.prob(i, asg.proc_type, asg.procs, deadline)
+                );
             }
         }
     }

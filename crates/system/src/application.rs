@@ -77,10 +77,12 @@ impl Application {
 
     /// Single-processor execution-time PMF on processor type `j`.
     pub fn exec_time(&self, j: ProcTypeId) -> Result<&Pmf> {
-        self.exec_time.get(j.0).ok_or(SystemError::MissingExecutionTime {
-            app: self.name.clone(),
-            proc_type: j.0,
-        })
+        self.exec_time
+            .get(j.0)
+            .ok_or(SystemError::MissingExecutionTime {
+                app: self.name.clone(),
+                proc_type: j.0,
+            })
     }
 
     /// Number of processor types this application has timings for.

@@ -80,16 +80,12 @@ impl DwellDistribution {
     }
 
     fn validate(&self) -> Result<()> {
-        let bad = |name: &'static str, value: f64| {
-            Err(SystemError::BadParameter { name, value })
-        };
+        let bad = |name: &'static str, value: f64| Err(SystemError::BadParameter { name, value });
         match *self {
             DwellDistribution::Exponential { mean } if !(mean >= MIN_MEAN_DURATION) => {
                 bad("mean", mean)
             }
-            DwellDistribution::Uniform { lo, hi }
-                if !(lo >= MIN_MEAN_DURATION) || !(hi >= lo) =>
-            {
+            DwellDistribution::Uniform { lo, hi } if !(lo >= MIN_MEAN_DURATION) || !(hi >= lo) => {
                 bad("lo..hi", hi - lo)
             }
             DwellDistribution::LogNormal { mean, cov }
@@ -185,7 +181,10 @@ impl AvailabilitySpec {
                 }
                 let dwell = DwellDistribution::Exponential { mean: *mean_dwell };
                 dwell.validate()?;
-                Ok(Box::new(RenewalProcess { sampler: AliasSampler::new(pmf), dwell }))
+                Ok(Box::new(RenewalProcess {
+                    sampler: AliasSampler::new(pmf),
+                    dwell,
+                }))
             }
             AvailabilitySpec::RenewalGeneral { pmf, dwell } => {
                 for p in pmf.pulses() {
@@ -197,11 +196,19 @@ impl AvailabilitySpec {
                     dwell: dwell.clone(),
                 }))
             }
-            AvailabilitySpec::TwoStateMarkov { up, down, mean_up, mean_down } => {
+            AvailabilitySpec::TwoStateMarkov {
+                up,
+                down,
+                mean_up,
+                mean_down,
+            } => {
                 check_avail(*up)?;
                 check_avail(*down)?;
                 if !(*mean_up >= MIN_MEAN_DURATION) {
-                    return Err(SystemError::BadParameter { name: "mean_up", value: *mean_up });
+                    return Err(SystemError::BadParameter {
+                        name: "mean_up",
+                        value: *mean_up,
+                    });
                 }
                 if !(*mean_down >= MIN_MEAN_DURATION) {
                     return Err(SystemError::BadParameter {
@@ -227,10 +234,16 @@ impl AvailabilitySpec {
                 for &(a, d) in segments {
                     check_avail(a)?;
                     if !(d > 0.0) && !d.is_infinite() {
-                        return Err(SystemError::BadParameter { name: "duration", value: d });
+                        return Err(SystemError::BadParameter {
+                            name: "duration",
+                            value: d,
+                        });
                     }
                 }
-                Ok(Box::new(TraceProcess { segments: segments.clone(), idx: 0 }))
+                Ok(Box::new(TraceProcess {
+                    segments: segments.clone(),
+                    idx: 0,
+                }))
             }
         }
     }
@@ -241,9 +254,12 @@ impl AvailabilitySpec {
             AvailabilitySpec::Constant { a } => *a,
             AvailabilitySpec::Renewal { pmf, .. }
             | AvailabilitySpec::RenewalGeneral { pmf, .. } => pmf.expectation(),
-            AvailabilitySpec::TwoStateMarkov { up, down, mean_up, mean_down } => {
-                (up * mean_up + down * mean_down) / (mean_up + mean_down)
-            }
+            AvailabilitySpec::TwoStateMarkov {
+                up,
+                down,
+                mean_up,
+                mean_down,
+            } => (up * mean_up + down * mean_down) / (mean_up + mean_down),
             AvailabilitySpec::Trace { segments } => {
                 let finite: Vec<&(f64, f64)> =
                     segments.iter().filter(|(_, d)| d.is_finite()).collect();
@@ -261,7 +277,10 @@ fn check_avail(a: f64) -> Result<()> {
     if a > 0.0 && a <= 1.0 {
         Ok(())
     } else {
-        Err(SystemError::BadParameter { name: "availability", value: a })
+        Err(SystemError::BadParameter {
+            name: "availability",
+            value: a,
+        })
     }
 }
 
@@ -396,7 +415,11 @@ impl Timeline {
         debug_assert!(d > 0.0, "process produced duration {d}");
         let start = *self.starts.last().expect("non-empty");
         let end = start + d;
-        let work = if d.is_infinite() { f64::INFINITY } else { a * d };
+        let work = if d.is_infinite() {
+            f64::INFINITY
+        } else {
+            a * d
+        };
         self.levels.push(a);
         self.starts.push(end);
         let cum = *self.cum_work.last().expect("non-empty");
@@ -485,23 +508,42 @@ mod tests {
     #[test]
     fn renewal_spec_validates() {
         let pmf = Pmf::from_pairs([(0.5, 0.5), (1.0, 0.5)]).unwrap();
-        assert!(AvailabilitySpec::Renewal { pmf: pmf.clone(), mean_dwell: 10.0 }
-            .build()
-            .is_ok());
-        assert!(AvailabilitySpec::Renewal { pmf: pmf.clone(), mean_dwell: 0.0 }
-            .build()
-            .is_err());
+        assert!(AvailabilitySpec::Renewal {
+            pmf: pmf.clone(),
+            mean_dwell: 10.0
+        }
+        .build()
+        .is_ok());
+        assert!(AvailabilitySpec::Renewal {
+            pmf: pmf.clone(),
+            mean_dwell: 0.0
+        }
+        .build()
+        .is_err());
         let bad = Pmf::from_pairs([(0.0, 0.5), (1.0, 0.5)]).unwrap();
-        assert!(AvailabilitySpec::Renewal { pmf: bad, mean_dwell: 1.0 }.build().is_err());
+        assert!(AvailabilitySpec::Renewal {
+            pmf: bad,
+            mean_dwell: 1.0
+        }
+        .build()
+        .is_err());
     }
 
     #[test]
     fn trace_spec_validates() {
-        assert!(AvailabilitySpec::Trace { segments: vec![] }.build().is_err());
-        assert!(AvailabilitySpec::Trace { segments: vec![(0.5, -1.0)] }.build().is_err());
-        assert!(AvailabilitySpec::Trace { segments: vec![(0.5, 3.0), (1.0, 1.0)] }
+        assert!(AvailabilitySpec::Trace { segments: vec![] }
             .build()
-            .is_ok());
+            .is_err());
+        assert!(AvailabilitySpec::Trace {
+            segments: vec![(0.5, -1.0)]
+        }
+        .build()
+        .is_err());
+        assert!(AvailabilitySpec::Trace {
+            segments: vec![(0.5, 3.0), (1.0, 1.0)]
+        }
+        .build()
+        .is_ok());
     }
 
     #[test]
@@ -517,7 +559,9 @@ mod tests {
     fn trace_finish_time_crosses_segments() {
         // 1.0 for 10 units, then 0.25 forever (cycling keeps yielding 0.25
         // because both segments repeat: 1.0(10), 0.25(10), 1.0(10)...).
-        let spec = AvailabilitySpec::Trace { segments: vec![(1.0, 10.0), (0.25, 10.0)] };
+        let spec = AvailabilitySpec::Trace {
+            segments: vec![(1.0, 10.0), (0.25, 10.0)],
+        };
         let mut tl = Timeline::new(&spec).unwrap();
         let mut r = rng();
         // 12 units of work from t=0: 10 done by t=10, remaining 2 at 0.25
@@ -529,7 +573,9 @@ mod tests {
 
     #[test]
     fn availability_at_reads_levels() {
-        let spec = AvailabilitySpec::Trace { segments: vec![(1.0, 10.0), (0.25, 10.0)] };
+        let spec = AvailabilitySpec::Trace {
+            segments: vec![(1.0, 10.0), (0.25, 10.0)],
+        };
         let mut tl = Timeline::new(&spec).unwrap();
         let mut r = rng();
         assert_eq!(tl.availability_at(0.0, &mut r), 1.0);
@@ -543,7 +589,10 @@ mod tests {
         // Asking twice about the same interval must give the same answer —
         // the realization is cached.
         let pmf = Pmf::from_pairs([(0.25, 0.25), (0.5, 0.25), (1.0, 0.5)]).unwrap();
-        let spec = AvailabilitySpec::Renewal { pmf, mean_dwell: 5.0 };
+        let spec = AvailabilitySpec::Renewal {
+            pmf,
+            mean_dwell: 5.0,
+        };
         let mut tl = Timeline::new(&spec).unwrap();
         let mut r = rng();
         let f1 = tl.finish_time(3.0, 100.0, &mut r);
@@ -554,7 +603,10 @@ mod tests {
     #[test]
     fn renewal_long_run_mean_matches_pmf() {
         let pmf = Pmf::from_pairs([(0.25, 0.25), (0.5, 0.25), (1.0, 0.5)]).unwrap();
-        let spec = AvailabilitySpec::Renewal { pmf: pmf.clone(), mean_dwell: 2.0 };
+        let spec = AvailabilitySpec::Renewal {
+            pmf: pmf.clone(),
+            mean_dwell: 2.0,
+        };
         assert!((spec.stationary_mean() - 0.6875).abs() < 1e-12);
         let mut tl = Timeline::new(&spec).unwrap();
         let mut r = rng();
@@ -569,20 +621,33 @@ mod tests {
     fn dwell_distribution_means_and_validation() {
         assert_eq!(DwellDistribution::Exponential { mean: 5.0 }.mean(), 5.0);
         assert_eq!(DwellDistribution::Uniform { lo: 2.0, hi: 6.0 }.mean(), 4.0);
-        assert_eq!(DwellDistribution::LogNormal { mean: 7.0, cov: 0.5 }.mean(), 7.0);
+        assert_eq!(
+            DwellDistribution::LogNormal {
+                mean: 7.0,
+                cov: 0.5
+            }
+            .mean(),
+            7.0
+        );
         assert_eq!(DwellDistribution::Deterministic { d: 3.0 }.mean(), 3.0);
         let pmf = Pmf::from_pairs([(0.5, 1.0)]).unwrap();
         for bad in [
             DwellDistribution::Exponential { mean: 0.0 },
             DwellDistribution::Uniform { lo: 0.0, hi: 1.0 },
             DwellDistribution::Uniform { lo: 5.0, hi: 1.0 },
-            DwellDistribution::LogNormal { mean: 1.0, cov: 0.0 },
+            DwellDistribution::LogNormal {
+                mean: 1.0,
+                cov: 0.0,
+            },
             DwellDistribution::Deterministic { d: -1.0 },
         ] {
             assert!(
-                AvailabilitySpec::RenewalGeneral { pmf: pmf.clone(), dwell: bad.clone() }
-                    .build()
-                    .is_err(),
+                AvailabilitySpec::RenewalGeneral {
+                    pmf: pmf.clone(),
+                    dwell: bad.clone()
+                }
+                .build()
+                .is_err(),
                 "{bad:?} should be rejected"
             );
         }
@@ -596,11 +661,16 @@ mod tests {
         for dwell in [
             DwellDistribution::Exponential { mean: 40.0 },
             DwellDistribution::Uniform { lo: 10.0, hi: 70.0 },
-            DwellDistribution::LogNormal { mean: 40.0, cov: 1.5 },
+            DwellDistribution::LogNormal {
+                mean: 40.0,
+                cov: 1.5,
+            },
             DwellDistribution::Deterministic { d: 40.0 },
         ] {
-            let spec =
-                AvailabilitySpec::RenewalGeneral { pmf: pmf.clone(), dwell: dwell.clone() };
+            let spec = AvailabilitySpec::RenewalGeneral {
+                pmf: pmf.clone(),
+                dwell: dwell.clone(),
+            };
             assert!((spec.stationary_mean() - 0.6875).abs() < 1e-12);
             let mut tl = Timeline::new(&spec).unwrap();
             let mut r = rng();
@@ -649,7 +719,10 @@ mod tests {
     #[test]
     fn finish_time_monotone_in_work() {
         let pmf = Pmf::from_pairs([(0.3, 0.5), (0.9, 0.5)]).unwrap();
-        let spec = AvailabilitySpec::Renewal { pmf, mean_dwell: 7.0 };
+        let spec = AvailabilitySpec::Renewal {
+            pmf,
+            mean_dwell: 7.0,
+        };
         let mut tl = Timeline::new(&spec).unwrap();
         let mut r = rng();
         let mut prev = 0.0;
@@ -665,7 +738,10 @@ mod tests {
         // Work w at availabilities within [lo, hi] must finish within
         // [start + w/hi, start + w/lo].
         let pmf = Pmf::from_pairs([(0.2, 0.5), (0.8, 0.5)]).unwrap();
-        let spec = AvailabilitySpec::Renewal { pmf, mean_dwell: 3.0 };
+        let spec = AvailabilitySpec::Renewal {
+            pmf,
+            mean_dwell: 3.0,
+        };
         let mut tl = Timeline::new(&spec).unwrap();
         let mut r = rng();
         let f = tl.finish_time(10.0, 40.0, &mut r);

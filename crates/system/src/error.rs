@@ -83,7 +83,10 @@ impl fmt::Display for SystemError {
                 f,
                 "application `{app}` has non-positive execution time {value}"
             ),
-            SystemError::ProcessorCountUnavailable { requested, available } => write!(
+            SystemError::ProcessorCountUnavailable {
+                requested,
+                available,
+            } => write!(
                 f,
                 "requested {requested} processors but the type only has {available}"
             ),
@@ -122,26 +125,49 @@ mod tests {
             (SystemError::NoProcessorTypes, "processor type"),
             (SystemError::EmptyProcessorType { name: "T9".into() }, "T9"),
             (
-                SystemError::AvailabilityOutOfRange { name: "T1".into(), value: 1.5 },
+                SystemError::AvailabilityOutOfRange {
+                    name: "T1".into(),
+                    value: 1.5,
+                },
                 "1.5",
             ),
-            (SystemError::NoIterations { name: "appX".into() }, "appX"),
             (
-                SystemError::MissingExecutionTime { app: "appY".into(), proc_type: 3 },
+                SystemError::NoIterations {
+                    name: "appX".into(),
+                },
+                "appX",
+            ),
+            (
+                SystemError::MissingExecutionTime {
+                    app: "appY".into(),
+                    proc_type: 3,
+                },
                 "3",
             ),
             (
-                SystemError::NonPositiveExecutionTime { app: "appZ".into(), value: -1.0 },
+                SystemError::NonPositiveExecutionTime {
+                    app: "appZ".into(),
+                    value: -1.0,
+                },
                 "appZ",
             ),
             (
-                SystemError::ProcessorCountUnavailable { requested: 8, available: 4 },
+                SystemError::ProcessorCountUnavailable {
+                    requested: 8,
+                    available: 4,
+                },
                 "8",
             ),
             (SystemError::UnknownProcType(7), "7"),
             (SystemError::UnknownApp(2), "2"),
             (SystemError::Pmf(cdsf_pmf::PmfError::Empty), "PMF"),
-            (SystemError::BadParameter { name: "dwell", value: 0.0 }, "dwell"),
+            (
+                SystemError::BadParameter {
+                    name: "dwell",
+                    value: 0.0,
+                },
+                "dwell",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();
@@ -152,7 +178,9 @@ mod tests {
     #[test]
     fn sources_chain_to_inner_errors() {
         use std::error::Error as _;
-        assert!(SystemError::Pmf(cdsf_pmf::PmfError::Empty).source().is_some());
+        assert!(SystemError::Pmf(cdsf_pmf::PmfError::Empty)
+            .source()
+            .is_some());
         assert!(SystemError::NoProcessorTypes.source().is_none());
     }
 }

@@ -63,19 +63,27 @@ pub fn trace_from_csv(text: &str) -> Result<AvailabilitySpec> {
 /// segment duration.
 pub fn fit_renewal_from_segments(segments: &[(f64, f64)]) -> Result<AvailabilitySpec> {
     if segments.is_empty() {
-        return Err(SystemError::BadParameter { name: "segments.len", value: 0.0 });
+        return Err(SystemError::BadParameter {
+            name: "segments.len",
+            value: 0.0,
+        });
     }
     for &(a, d) in segments {
         if !(a > 0.0 && a <= 1.0) {
-            return Err(SystemError::BadParameter { name: "availability", value: a });
+            return Err(SystemError::BadParameter {
+                name: "availability",
+                value: a,
+            });
         }
         if !(d > 0.0) || !d.is_finite() {
-            return Err(SystemError::BadParameter { name: "duration", value: d });
+            return Err(SystemError::BadParameter {
+                name: "duration",
+                value: d,
+            });
         }
     }
     let pmf = Pmf::from_weighted(segments.iter().copied())?;
-    let mean_dwell =
-        segments.iter().map(|(_, d)| d).sum::<f64>() / segments.len() as f64;
+    let mean_dwell = segments.iter().map(|(_, d)| d).sum::<f64>() / segments.len() as f64;
     Ok(AvailabilitySpec::Renewal { pmf, mean_dwell })
 }
 
@@ -83,23 +91,31 @@ pub fn fit_renewal_from_segments(segments: &[(f64, f64)]) -> Result<Availability
 /// values are quantized into `bins` equal-width bins over `(0, 1]`
 /// (bin midpoints become the PMF support) and maximal runs of the same
 /// bin become segments of length `run·dt`.
-pub fn fit_renewal_from_series(
-    series: &[f64],
-    dt: f64,
-    bins: usize,
-) -> Result<AvailabilitySpec> {
+pub fn fit_renewal_from_series(series: &[f64], dt: f64, bins: usize) -> Result<AvailabilitySpec> {
     if series.is_empty() {
-        return Err(SystemError::BadParameter { name: "series.len", value: 0.0 });
+        return Err(SystemError::BadParameter {
+            name: "series.len",
+            value: 0.0,
+        });
     }
     if !(dt > 0.0) {
-        return Err(SystemError::BadParameter { name: "dt", value: dt });
+        return Err(SystemError::BadParameter {
+            name: "dt",
+            value: dt,
+        });
     }
     if bins == 0 {
-        return Err(SystemError::BadParameter { name: "bins", value: 0.0 });
+        return Err(SystemError::BadParameter {
+            name: "bins",
+            value: 0.0,
+        });
     }
     let bin_of = |a: f64| -> Result<usize> {
         if !(a > 0.0 && a <= 1.0) {
-            return Err(SystemError::BadParameter { name: "availability", value: a });
+            return Err(SystemError::BadParameter {
+                name: "availability",
+                value: a,
+            });
         }
         Ok(((a * bins as f64).ceil() as usize - 1).min(bins - 1))
     };
@@ -131,10 +147,7 @@ mod tests {
 
     #[test]
     fn csv_parsing_accepts_comments_and_blanks() {
-        let spec = trace_from_csv(
-            "# cluster trace\n1.0, 120\n\n0.5,60\n0.25, 30\n",
-        )
-        .unwrap();
+        let spec = trace_from_csv("# cluster trace\n1.0, 120\n\n0.5,60\n0.25, 30\n").unwrap();
         match &spec {
             AvailabilitySpec::Trace { segments } => {
                 assert_eq!(segments.len(), 3);
@@ -157,8 +170,7 @@ mod tests {
 
     #[test]
     fn fit_from_segments_weights_by_duration() {
-        let spec =
-            fit_renewal_from_segments(&[(1.0, 300.0), (0.5, 100.0)]).unwrap();
+        let spec = fit_renewal_from_segments(&[(1.0, 300.0), (0.5, 100.0)]).unwrap();
         match &spec {
             AvailabilitySpec::Renewal { pmf, mean_dwell } => {
                 assert!((pmf.expectation() - (300.0 + 50.0) / 400.0).abs() < 1e-12);
@@ -183,9 +195,11 @@ mod tests {
     fn fit_round_trips_a_generated_realization() {
         // Generate a realization from a known renewal spec, sample it on a
         // fine grid, fit, and compare stationary mean and dwell.
-        let truth_pmf =
-            Pmf::from_pairs([(0.25, 0.25), (0.5, 0.25), (1.0, 0.5)]).unwrap();
-        let truth = AvailabilitySpec::Renewal { pmf: truth_pmf, mean_dwell: 80.0 };
+        let truth_pmf = Pmf::from_pairs([(0.25, 0.25), (0.5, 0.25), (1.0, 0.5)]).unwrap();
+        let truth = AvailabilitySpec::Renewal {
+            pmf: truth_pmf,
+            mean_dwell: 80.0,
+        };
         let mut tl = Timeline::new(&truth).unwrap();
         let mut rng = StdRng::seed_from_u64(1234);
         let dt = 1.0;
@@ -205,7 +219,8 @@ mod tests {
                 // dwell/(1 − Σ p_k²) = 80/(1 − 0.375) = 128. The fitted
                 // process is equivalent in law at the level-change
                 // resolution.
-                let observable = 80.0 / (1.0 - (0.25f64.powi(2) + 0.25f64.powi(2) + 0.5f64.powi(2)));
+                let observable =
+                    80.0 / (1.0 - (0.25f64.powi(2) + 0.25f64.powi(2) + 0.5f64.powi(2)));
                 assert!(
                     (mean_dwell - observable).abs() < 0.15 * observable,
                     "dwell {mean_dwell} vs observable {observable}"
@@ -217,12 +232,7 @@ mod tests {
 
     #[test]
     fn series_fit_merges_runs() {
-        let spec = fit_renewal_from_series(
-            &[0.9, 0.9, 0.9, 0.3, 0.3, 0.9],
-            10.0,
-            10,
-        )
-        .unwrap();
+        let spec = fit_renewal_from_series(&[0.9, 0.9, 0.9, 0.3, 0.3, 0.9], 10.0, 10).unwrap();
         match spec {
             AvailabilitySpec::Renewal { pmf, mean_dwell } => {
                 assert_eq!(pmf.len(), 2);

@@ -29,7 +29,10 @@ pub fn amdahl_rescale(single_proc: &Pmf, serial_fraction: f64, n: u32) -> Result
         });
     }
     if n == 0 {
-        return Err(SystemError::BadParameter { name: "n", value: 0.0 });
+        return Err(SystemError::BadParameter {
+            name: "n",
+            value: 0.0,
+        });
     }
     let p = 1.0 - serial_fraction;
     let factor = serial_fraction + p / n as f64;
@@ -212,10 +215,8 @@ mod tests {
     fn joint_probability_multiplies() {
         let platform = paper_platform();
         let apps = paper_apps_degenerate();
-        let asg: Vec<(&Application, ProcTypeId, u32)> = vec![
-            (&apps[0], ProcTypeId(0), 2),
-            (&apps[1], ProcTypeId(0), 2),
-        ];
+        let asg: Vec<(&Application, ProcTypeId, u32)> =
+            vec![(&apps[0], ProcTypeId(0), 2), (&apps[1], ProcTypeId(0), 2)];
         let p_joint = joint_completion_probability(&asg, &platform, 3250.0).unwrap();
         let p1 = completion_probability(&apps[0], &platform, ProcTypeId(0), 2, 3250.0).unwrap();
         let p2 = completion_probability(&apps[1], &platform, ProcTypeId(0), 2, 3250.0).unwrap();
@@ -226,10 +227,8 @@ mod tests {
     fn makespan_pmf_is_max() {
         let platform = paper_platform();
         let apps = paper_apps_degenerate();
-        let asg: Vec<(&Application, ProcTypeId, u32)> = vec![
-            (&apps[0], ProcTypeId(0), 2),
-            (&apps[2], ProcTypeId(1), 8),
-        ];
+        let asg: Vec<(&Application, ProcTypeId, u32)> =
+            vec![(&apps[0], ProcTypeId(0), 2), (&apps[2], ProcTypeId(1), 8)];
         let psi = makespan_pmf(&asg, &platform, 256).unwrap();
         // Makespan cannot be smaller than either application's minimum.
         let t3 = loaded_time_pmf(&apps[2], &platform, ProcTypeId(1), 8).unwrap();

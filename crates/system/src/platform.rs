@@ -35,10 +35,17 @@ impl ProcessorType {
         }
         for p in availability.pulses() {
             if p.value <= 0.0 || p.value > 1.0 {
-                return Err(SystemError::AvailabilityOutOfRange { name, value: p.value });
+                return Err(SystemError::AvailabilityOutOfRange {
+                    name,
+                    value: p.value,
+                });
             }
         }
-        Ok(Self { name, count, availability })
+        Ok(Self {
+            name,
+            count,
+            availability,
+        })
     }
 
     /// Human-readable name (e.g. `"Type 1"`).
@@ -89,7 +96,9 @@ impl Platform {
 
     /// Looks up a type by index.
     pub fn proc_type(&self, id: ProcTypeId) -> Result<&ProcessorType> {
-        self.types.get(id.0).ok_or(SystemError::UnknownProcType(id.0))
+        self.types
+            .get(id.0)
+            .ok_or(SystemError::UnknownProcType(id.0))
     }
 
     /// Total processor count `Σ p_j`.
@@ -270,10 +279,7 @@ mod tests {
 
     #[test]
     fn max_pow2_procs() {
-        let p = Platform::new(vec![
-            ProcessorType::new("t", 6, type1_avail()).unwrap(),
-        ])
-        .unwrap();
+        let p = Platform::new(vec![ProcessorType::new("t", 6, type1_avail()).unwrap()]).unwrap();
         assert_eq!(p.max_pow2_procs(ProcTypeId(0)).unwrap(), 4);
     }
 }

@@ -7,8 +7,12 @@ use cdsf_system::{Application, Batch, Platform, ProcessorType};
 
 fn platform() -> Platform {
     Platform::new(vec![
-        ProcessorType::new("Type 1", 4, Pmf::from_pairs([(0.75, 0.5), (1.0, 0.5)]).unwrap())
-            .unwrap(),
+        ProcessorType::new(
+            "Type 1",
+            4,
+            Pmf::from_pairs([(0.75, 0.5), (1.0, 0.5)]).unwrap(),
+        )
+        .unwrap(),
         ProcessorType::new(
             "Type 2",
             8,
@@ -62,7 +66,9 @@ fn availability_specs_round_trip() {
             mean_up: 100.0,
             mean_down: 50.0,
         },
-        AvailabilitySpec::Trace { segments: vec![(1.0, 10.0), (0.5, 5.0)] },
+        AvailabilitySpec::Trace {
+            segments: vec![(1.0, 10.0), (0.5, 5.0)],
+        },
     ];
     for spec in specs {
         let json = serde_json::to_string(&spec).unwrap();
@@ -76,16 +82,10 @@ fn availability_specs_round_trip() {
 #[test]
 fn reloaded_platform_supports_full_pipeline() {
     // Round-trip, then use the reloaded objects in the Stage-I arithmetic.
-    let p: Platform =
-        serde_json::from_str(&serde_json::to_string(&platform()).unwrap()).unwrap();
+    let p: Platform = serde_json::from_str(&serde_json::to_string(&platform()).unwrap()).unwrap();
     let b: Batch = serde_json::from_str(&serde_json::to_string(&batch()).unwrap()).unwrap();
     let app = b.app(cdsf_system::AppId(0)).unwrap();
-    let pmf = cdsf_system::parallel_time::loaded_time_pmf(
-        app,
-        &p,
-        cdsf_system::ProcTypeId(0),
-        2,
-    )
-    .unwrap();
+    let pmf = cdsf_system::parallel_time::loaded_time_pmf(app, &p, cdsf_system::ProcTypeId(0), 2)
+        .unwrap();
     assert!((pmf.expectation() - 1365.0).abs() < 5.0);
 }

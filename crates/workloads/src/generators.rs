@@ -25,7 +25,10 @@ impl Range {
     /// Creates a range; `lo ≤ hi` and both finite.
     pub fn new(lo: f64, hi: f64) -> Result<Self, SystemError> {
         if !lo.is_finite() || !hi.is_finite() || lo > hi {
-            return Err(SystemError::BadParameter { name: "range", value: hi - lo });
+            return Err(SystemError::BadParameter {
+                name: "range",
+                value: hi - lo,
+            });
         }
         Ok(Self { lo, hi })
     }
@@ -120,7 +123,10 @@ impl Default for BatchGenerator {
             num_apps: 8,
             total_iters: (1_000, 10_000),
             serial_fraction: Range { lo: 0.02, hi: 0.3 },
-            mean_exec_time: Range { lo: 1_000.0, hi: 12_000.0 },
+            mean_exec_time: Range {
+                lo: 1_000.0,
+                hi: 12_000.0,
+            },
             type_heterogeneity: Range { lo: 0.5, hi: 2.0 },
             pulses: 32,
         }
@@ -132,7 +138,10 @@ impl BatchGenerator {
     /// per processor type) from a seed.
     pub fn generate(&self, platform: &Platform, seed: u64) -> Result<Batch, SystemError> {
         if self.num_apps == 0 {
-            return Err(SystemError::BadParameter { name: "num_apps", value: 0.0 });
+            return Err(SystemError::BadParameter {
+                name: "num_apps",
+                value: 0.0,
+            });
         }
         if self.total_iters.0 == 0 || self.total_iters.0 > self.total_iters.1 {
             return Err(SystemError::BadParameter {
@@ -183,7 +192,10 @@ pub fn degraded_case(
     seed: u64,
 ) -> Result<(Platform, f64), SystemError> {
     if !(0.0..1.0).contains(&decrease) {
-        return Err(SystemError::BadParameter { name: "decrease", value: decrease });
+        return Err(SystemError::BadParameter {
+            name: "decrease",
+            value: decrease,
+        });
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let target = 1.0 - decrease;
@@ -234,11 +246,15 @@ mod tests {
 
     #[test]
     fn platform_generator_rejects_bad_config() {
-        let mut g = PlatformGenerator::default();
-        g.num_types = 0;
+        let g = PlatformGenerator {
+            num_types: 0,
+            ..Default::default()
+        };
         assert!(g.generate(0).is_err());
-        let mut g2 = PlatformGenerator::default();
-        g2.procs_per_type = (8, 4);
+        let g2 = PlatformGenerator {
+            procs_per_type: (8, 4),
+            ..Default::default()
+        };
         assert!(g2.generate(0).is_err());
     }
 

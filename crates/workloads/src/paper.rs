@@ -33,15 +33,28 @@ pub const DEFAULT_PULSES: usize = 64;
 /// Panics if `case` is not in `1..=4` — the fixture mirrors the paper's
 /// fixed table.
 pub fn availability_case(case: usize) -> [Pmf; 2] {
-    let pairs: [(&[(f64, f64)], &[(f64, f64)]); 4] = [
+    type Pulses = &'static [(f64, f64)];
+    let pairs: [(Pulses, Pulses); 4] = [
         // Case 1 (Â): type 1 {75%: .5, 100%: .5}; type 2 {25: .25, 50: .25, 100: .5}.
-        (&[(0.75, 0.50), (1.00, 0.50)], &[(0.25, 0.25), (0.50, 0.25), (1.00, 0.50)]),
+        (
+            &[(0.75, 0.50), (1.00, 0.50)],
+            &[(0.25, 0.25), (0.50, 0.25), (1.00, 0.50)],
+        ),
         // Case 2: type 1 {50: .9, 75: .1}; type 2 {33: .45, 66: .45, 100: .1}.
-        (&[(0.50, 0.90), (0.75, 0.10)], &[(0.33, 0.45), (0.66, 0.45), (1.00, 0.10)]),
+        (
+            &[(0.50, 0.90), (0.75, 0.10)],
+            &[(0.33, 0.45), (0.66, 0.45), (1.00, 0.10)],
+        ),
         // Case 3: type 1 {52: .5, 69: .5}; type 2 {17: .25, 35: .25, 69: .5}.
-        (&[(0.52, 0.50), (0.69, 0.50)], &[(0.17, 0.25), (0.35, 0.25), (0.69, 0.50)]),
+        (
+            &[(0.52, 0.50), (0.69, 0.50)],
+            &[(0.17, 0.25), (0.35, 0.25), (0.69, 0.50)],
+        ),
         // Case 4: type 1 {33: .75, 66: .25}; type 2 {20: .5, 80: .25, 100: .25}.
-        (&[(0.33, 0.75), (0.66, 0.25)], &[(0.20, 0.50), (0.80, 0.25), (1.00, 0.25)]),
+        (
+            &[(0.33, 0.75), (0.66, 0.25)],
+            &[(0.20, 0.50), (0.80, 0.25), (1.00, 0.25)],
+        ),
     ];
     assert!(
         (1..=NUM_CASES).contains(&case),
@@ -72,11 +85,7 @@ pub fn platform() -> Platform {
 
 /// Table III mean single-processor execution times:
 /// `MEANS[app][type]`, apps and types 0-indexed.
-pub const MEANS: [[f64; 2]; 3] = [
-    [1_800.0, 4_000.0],
-    [2_800.0, 6_000.0],
-    [12_000.0, 8_000.0],
-];
+pub const MEANS: [[f64; 2]; 3] = [[1_800.0, 4_000.0], [2_800.0, 6_000.0], [12_000.0, 8_000.0]];
 
 /// Table II iteration counts: `(serial, parallel)` per application.
 pub const ITERATIONS: [(u64, u64); 3] = [(439, 1024), (512, 2048), (216, 4096)];
@@ -204,14 +213,9 @@ mod tests {
                 "{id}: serial fraction {}",
                 app.serial_fraction()
             );
-            for j in 0..2 {
-                let mu = app
-                    .expected_exec_time(cdsf_system::ProcTypeId(j))
-                    .unwrap();
-                assert!(
-                    (mu - MEANS[id.0][j]).abs() < 1.0,
-                    "{id} type {j}: {mu}"
-                );
+            for (j, want) in MEANS[id.0].iter().enumerate() {
+                let mu = app.expected_exec_time(cdsf_system::ProcTypeId(j)).unwrap();
+                assert!((mu - want).abs() < 1.0, "{id} type {j}: {mu}");
             }
         }
     }

@@ -49,9 +49,7 @@ impl Default for DiurnalTrace {
 
 impl DiurnalTrace {
     fn validate(&self) -> Result<()> {
-        let bad = |name: &'static str, value: f64| {
-            Err(SystemError::BadParameter { name, value })
-        };
+        let bad = |name: &'static str, value: f64| Err(SystemError::BadParameter { name, value });
         if !(self.day_length > 0.0) {
             return bad("day_length", self.day_length);
         }
@@ -112,7 +110,9 @@ impl DiurnalTrace {
 
     /// Generates the trace as a playable [`AvailabilitySpec::Trace`].
     pub fn spec(&self, seed: u64) -> Result<AvailabilitySpec> {
-        Ok(AvailabilitySpec::Trace { segments: self.segments(seed)? })
+        Ok(AvailabilitySpec::Trace {
+            segments: self.segments(seed)?,
+        })
     }
 
     /// The time-averaged availability the trace targets (before noise).
@@ -134,13 +134,34 @@ mod tests {
         let ok = DiurnalTrace::default();
         assert!(ok.segments(0).is_ok());
         for bad in [
-            DiurnalTrace { day_length: 0.0, ..ok.clone() },
-            DiurnalTrace { days: 0, ..ok.clone() },
-            DiurnalTrace { night_availability: 0.0, ..ok.clone() },
-            DiurnalTrace { day_availability: 1.5, ..ok.clone() },
-            DiurnalTrace { peak_fraction: 1.0, ..ok.clone() },
-            DiurnalTrace { noise: 1.0, ..ok.clone() },
-            DiurnalTrace { segments_per_window: 0, ..ok.clone() },
+            DiurnalTrace {
+                day_length: 0.0,
+                ..ok.clone()
+            },
+            DiurnalTrace {
+                days: 0,
+                ..ok.clone()
+            },
+            DiurnalTrace {
+                night_availability: 0.0,
+                ..ok.clone()
+            },
+            DiurnalTrace {
+                day_availability: 1.5,
+                ..ok.clone()
+            },
+            DiurnalTrace {
+                peak_fraction: 1.0,
+                ..ok.clone()
+            },
+            DiurnalTrace {
+                noise: 1.0,
+                ..ok.clone()
+            },
+            DiurnalTrace {
+                segments_per_window: 0,
+                ..ok.clone()
+            },
         ] {
             assert!(bad.segments(0).is_err(), "{bad:?}");
         }
@@ -148,7 +169,10 @@ mod tests {
 
     #[test]
     fn trace_covers_requested_horizon() {
-        let t = DiurnalTrace { days: 3, ..Default::default() };
+        let t = DiurnalTrace {
+            days: 3,
+            ..Default::default()
+        };
         let segments = t.segments(1).unwrap();
         let total: f64 = segments.iter().map(|(_, d)| d).sum();
         assert!((total - 3.0 * t.day_length).abs() < 1e-6);
@@ -156,7 +180,11 @@ mod tests {
 
     #[test]
     fn long_run_mean_matches_target() {
-        let t = DiurnalTrace { days: 30, noise: 0.05, ..Default::default() };
+        let t = DiurnalTrace {
+            days: 30,
+            noise: 0.05,
+            ..Default::default()
+        };
         let spec = t.spec(7).unwrap();
         let mut tl = Timeline::new(&spec).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
@@ -171,7 +199,10 @@ mod tests {
     #[test]
     fn diurnal_structure_is_visible() {
         // Availability at night is higher than during the peak window.
-        let t = DiurnalTrace { noise: 0.0, ..Default::default() };
+        let t = DiurnalTrace {
+            noise: 0.0,
+            ..Default::default()
+        };
         let spec = t.spec(0).unwrap();
         let mut tl = Timeline::new(&spec).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
@@ -186,7 +217,11 @@ mod tests {
         // Fitting a renewal model to a diurnal trace recovers the two
         // availability modes (the fit cannot capture periodicity — that is
         // exactly the modeling gap this generator exposes).
-        let t = DiurnalTrace { days: 30, noise: 0.02, ..Default::default() };
+        let t = DiurnalTrace {
+            days: 30,
+            noise: 0.02,
+            ..Default::default()
+        };
         let spec = t.spec(5).unwrap();
         let mut tl = Timeline::new(&spec).unwrap();
         let mut rng = StdRng::seed_from_u64(4);

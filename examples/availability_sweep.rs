@@ -39,7 +39,10 @@ fn main() {
         .reference_platform(reference)
         .runtime_cases(cases)
         .deadline(paper::DEADLINE)
-        .sim_params(SimParams { replicates: 20, ..Default::default() })
+        .sim_params(SimParams {
+            replicates: 20,
+            ..Default::default()
+        })
         .build()
         .expect("valid configuration");
 

@@ -13,7 +13,7 @@
 
 use cdsf_core::report::pct;
 use cdsf_core::AsciiTable;
-use cdsf_ra::correlation::{correlation_sweep, CorrelationModel, monte_carlo_phi1_correlated};
+use cdsf_ra::correlation::{correlation_sweep, monte_carlo_phi1_correlated, CorrelationModel};
 use cdsf_ra::robustness::{evaluate, MonteCarloConfig};
 use cdsf_ra::{Allocation, Assignment};
 use cdsf_system::ProcTypeId;
@@ -22,23 +22,45 @@ use cdsf_workloads::paper;
 fn main() {
     let batch = paper::batch();
     let platform = paper::platform();
-    let cfg = MonteCarloConfig { replicates: 200_000, threads: 1, seed: 2718 };
+    let cfg = MonteCarloConfig {
+        replicates: 200_000,
+        threads: 1,
+        seed: 2718,
+    };
 
     let allocations = [
         (
             "naive IM",
             Allocation::new(vec![
-                Assignment { proc_type: ProcTypeId(1), procs: 4 },
-                Assignment { proc_type: ProcTypeId(0), procs: 4 },
-                Assignment { proc_type: ProcTypeId(1), procs: 4 },
+                Assignment {
+                    proc_type: ProcTypeId(1),
+                    procs: 4,
+                },
+                Assignment {
+                    proc_type: ProcTypeId(0),
+                    procs: 4,
+                },
+                Assignment {
+                    proc_type: ProcTypeId(1),
+                    procs: 4,
+                },
             ]),
         ),
         (
             "robust IM",
             Allocation::new(vec![
-                Assignment { proc_type: ProcTypeId(0), procs: 2 },
-                Assignment { proc_type: ProcTypeId(0), procs: 2 },
-                Assignment { proc_type: ProcTypeId(1), procs: 8 },
+                Assignment {
+                    proc_type: ProcTypeId(0),
+                    procs: 2,
+                },
+                Assignment {
+                    proc_type: ProcTypeId(0),
+                    procs: 2,
+                },
+                Assignment {
+                    proc_type: ProcTypeId(1),
+                    procs: 8,
+                },
             ]),
         ),
     ];
@@ -48,11 +70,15 @@ fn main() {
         let exact = evaluate(&batch, &platform, alloc, paper::DEADLINE)
             .expect("evaluates")
             .joint;
-        let mut table = AsciiTable::new(["ρ across types", "φ1 (independent within type)", "φ1 (shared within type)"])
-            .title(format!(
-                "{label}: φ1 under correlated availability (independence baseline: {})",
-                pct(exact)
-            ));
+        let mut table = AsciiTable::new([
+            "ρ across types",
+            "φ1 (independent within type)",
+            "φ1 (shared within type)",
+        ])
+        .title(format!(
+            "{label}: φ1 under correlated availability (independence baseline: {})",
+            pct(exact)
+        ));
 
         let indep = correlation_sweep(
             &batch,
@@ -64,16 +90,9 @@ fn main() {
             &cfg,
         )
         .expect("sweep");
-        let shared = correlation_sweep(
-            &batch,
-            &platform,
-            alloc,
-            paper::DEADLINE,
-            &rhos,
-            true,
-            &cfg,
-        )
-        .expect("sweep");
+        let shared =
+            correlation_sweep(&batch, &platform, alloc, paper::DEADLINE, &rhos, true, &cfg)
+                .expect("sweep");
         for ((rho, phi_i), (_, phi_s)) in indep.iter().zip(&shared) {
             table.row([format!("{rho:.2}"), pct(*phi_i), pct(*phi_s)]);
         }

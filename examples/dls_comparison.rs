@@ -32,12 +32,17 @@ fn regimes() -> Vec<(&'static str, Vec<AvailabilitySpec>)> {
         (
             "heterogeneous-constant",
             (0..WORKERS)
-                .map(|i| AvailabilitySpec::Constant { a: if i < 2 { 0.25 } else { 1.0 } })
+                .map(|i| AvailabilitySpec::Constant {
+                    a: if i < 2 { 0.25 } else { 1.0 },
+                })
                 .collect(),
         ),
         (
             "renewal",
-            vec![AvailabilitySpec::Renewal { pmf: renewal_pmf, mean_dwell: 400.0 }],
+            vec![AvailabilitySpec::Renewal {
+                pmf: renewal_pmf,
+                mean_dwell: 400.0,
+            }],
         ),
         (
             "bursty-markov",
@@ -69,10 +74,12 @@ fn main() {
             .build()
             .expect("valid executor config");
 
-        let mut table = AsciiTable::new(["Technique", "mean makespan", "imbalance c.o.v.", "chunks"])
-            .title(format!(
+        let mut table =
+            AsciiTable::new(["Technique", "mean makespan", "imbalance c.o.v.", "chunks"]).title(
+                format!(
                 "{regime_name}: {ITERS} iterations on {WORKERS} workers, {REPLICATES} replicates"
-            ));
+            ),
+            );
 
         for kind in &techniques {
             let mut makespan = Welford::new();

@@ -78,14 +78,21 @@ fn main() {
                 }
             }
             Err(e) => {
-                table.row([policy.name().to_string(), format!("failed: {e}"), "-".into()]);
+                table.row([
+                    policy.name().to_string(),
+                    format!("failed: {e}"),
+                    "-".into(),
+                ]);
             }
         }
     }
     println!("{table}");
 
     let (best_phi1, best_name, best_alloc) = best.expect("at least one heuristic succeeded");
-    println!("Best Stage-I heuristic: {best_name} with φ1 = {}\n", pct(best_phi1));
+    println!(
+        "Best Stage-I heuristic: {best_name} with φ1 = {}\n",
+        pct(best_phi1)
+    );
 
     // ---- Stage II under a degraded runtime case ---------------------------
     let (degraded, achieved) = degraded_case(&platform, 0.25, 42).expect("degrades");
@@ -99,7 +106,10 @@ fn main() {
         .reference_platform(platform.clone())
         .runtime_cases(vec![platform.clone(), degraded])
         .deadline(deadline)
-        .sim_params(SimParams { replicates: 10, ..Default::default() })
+        .sim_params(SimParams {
+            replicates: 10,
+            ..Default::default()
+        })
         .build()
         .expect("valid configuration");
 
@@ -120,7 +130,10 @@ fn main() {
     }
 
     let result = cdsf
-        .run_scenario(&ImPolicy::Custom(Box::new(Fixed(best_alloc))), &RasPolicy::Robust)
+        .run_scenario(
+            &ImPolicy::Custom(Box::new(Fixed(best_alloc))),
+            &RasPolicy::Robust,
+        )
         .expect("scenario runs");
 
     let mut verdicts = AsciiTable::new(["Case", "All apps meet Δ?", "Best technique counts"])

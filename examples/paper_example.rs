@@ -18,7 +18,10 @@ fn main() {
         .reference_platform(paper::platform())
         .runtime_cases((1..=paper::NUM_CASES).map(paper::platform_case).collect())
         .deadline(paper::DEADLINE)
-        .sim_params(SimParams { replicates: 40, ..Default::default() })
+        .sim_params(SimParams {
+            replicates: 40,
+            ..Default::default()
+        })
         .build()
         .expect("valid configuration");
 
@@ -30,13 +33,7 @@ fn main() {
     );
 
     let mut summary = AsciiTable::new([
-        "Scenario",
-        "Policies",
-        "φ1",
-        "Case 1",
-        "Case 2",
-        "Case 3",
-        "Case 4",
+        "Scenario", "Policies", "φ1", "Case 1", "Case 2", "Case 3", "Case 4",
     ])
     .title("Deadline verdict per scenario and availability case");
 

@@ -20,7 +20,10 @@ fn main() {
         .reference_platform(paper::platform())
         .runtime_cases((1..=paper::NUM_CASES).map(paper::platform_case).collect())
         .deadline(paper::DEADLINE)
-        .sim_params(SimParams { replicates: 30, ..Default::default() })
+        .sim_params(SimParams {
+            replicates: 30,
+            ..Default::default()
+        })
         .build()
         .expect("valid configuration");
 
@@ -44,7 +47,11 @@ fn main() {
         println!(
             "case {case}: weighted availability decrease {:>5.1}% → {}",
             paper::availability_decrease(case) * 100.0,
-            if ok { "deadline met" } else { "deadline violated" }
+            if ok {
+                "deadline met"
+            } else {
+                "deadline violated"
+            }
         );
     }
 

@@ -63,14 +63,19 @@ fn main() {
         TechniqueKind::Gss,
         TechniqueKind::Tss,
         TechniqueKind::Fac,
-        TechniqueKind::Awf { variant: cdsf_dls::AwfVariant::Batch },
+        TechniqueKind::Awf {
+            variant: cdsf_dls::AwfVariant::Batch,
+        },
         TechniqueKind::Af,
     ] {
         // Accumulate the integral in fixed-point to stay atomic.
         let sum_fp = AtomicU64::new(0);
         let report = run_parallel_loop(
             ITERS,
-            &RuntimeConfig { threads: THREADS, kind: kind.clone() },
+            &RuntimeConfig {
+                threads: THREADS,
+                kind: kind.clone(),
+            },
             |i| {
                 let v = integrate_slice(i);
                 // 1e12 fixed-point; the integrand is bounded by 1.

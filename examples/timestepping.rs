@@ -26,7 +26,9 @@ const STEPS: usize = 8;
 fn main() {
     // Two persistently slow processors (availability 0.25), six fast ones.
     let specs: Vec<AvailabilitySpec> = (0..WORKERS)
-        .map(|i| AvailabilitySpec::Constant { a: if i < 2 { 0.25 } else { 1.0 } })
+        .map(|i| AvailabilitySpec::Constant {
+            a: if i < 2 { 0.25 } else { 1.0 },
+        })
         .collect();
     let cfg = ExecutorConfig::builder()
         .workers(WORKERS)
@@ -41,8 +43,12 @@ fn main() {
     let techniques = [
         TechniqueKind::Static,
         TechniqueKind::Wf { weights: None },
-        TechniqueKind::Awf { variant: AwfVariant::Timestep },
-        TechniqueKind::Awf { variant: AwfVariant::Batch },
+        TechniqueKind::Awf {
+            variant: AwfVariant::Timestep,
+        },
+        TechniqueKind::Awf {
+            variant: AwfVariant::Batch,
+        },
         TechniqueKind::Af,
     ];
 
@@ -65,7 +71,11 @@ fn main() {
             kind.name(),
             result.total_time,
             result.mean_step(),
-            if result.mean_step() < 1.25 * fluid { "near-fluid" } else { "above fluid" }
+            if result.mean_step() < 1.25 * fluid {
+                "near-fluid"
+            } else {
+                "above fluid"
+            }
         );
         print!("{chart}");
         println!();

@@ -25,7 +25,9 @@ use rand::SeedableRng;
 fn monitor_log(spec: &AvailabilitySpec, horizon: usize, seed: u64) -> Vec<f64> {
     let mut tl = Timeline::new(spec).expect("valid spec");
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..horizon).map(|t| tl.availability_at(t as f64, &mut rng)).collect()
+    (0..horizon)
+        .map(|t| tl.availability_at(t as f64, &mut rng))
+        .collect()
 }
 
 fn main() {
@@ -33,7 +35,10 @@ fn main() {
     // processes with a 250-time-unit dwell.
     let truth: Vec<AvailabilitySpec> = paper::availability_case(1)
         .into_iter()
-        .map(|pmf| AvailabilitySpec::Renewal { pmf, mean_dwell: 250.0 })
+        .map(|pmf| AvailabilitySpec::Renewal {
+            pmf,
+            mean_dwell: 250.0,
+        })
         .collect();
 
     // "Six weeks of monitoring", one sample per time unit.
@@ -41,9 +46,14 @@ fn main() {
     println!("Fitting per-type renewal models from {horizon}-sample monitor logs...\n");
 
     let mut fitted_types = Vec::new();
-    let mut table =
-        AsciiTable::new(["Type", "true E[α]", "fitted E[α]", "true dwell", "fitted dwell"])
-            .title("Model recovery from monitor logs");
+    let mut table = AsciiTable::new([
+        "Type",
+        "true E[α]",
+        "fitted E[α]",
+        "true dwell",
+        "fitted dwell",
+    ])
+    .title("Model recovery from monitor logs");
     for (j, spec) in truth.iter().enumerate() {
         let series = monitor_log(spec, horizon, 42 + j as u64);
         let fitted = fit_renewal_from_series(&series, 1.0, 20).expect("fit succeeds");
@@ -89,7 +99,11 @@ fn main() {
             .reference_platform(platform)
             .runtime_cases((1..=4).map(paper::platform_case).collect())
             .deadline(paper::DEADLINE)
-            .sim_params(SimParams { replicates: 25, mean_dwell: dwell, ..Default::default() })
+            .sim_params(SimParams {
+                replicates: 25,
+                mean_dwell: dwell,
+                ..Default::default()
+            })
             .build()
             .expect("valid config");
         let (alloc, report) = cdsf.stage_one(&ImPolicy::Robust).expect("stage I");
@@ -110,6 +124,10 @@ fn main() {
     let a_fit = run(fitted_platform, mean_fitted_dwell, "fitted model");
     println!(
         "\nSame allocation from fitted data: {}",
-        if a_true == a_fit { "yes — the monitor log was sufficient" } else { "no — inspect the fit" }
+        if a_true == a_fit {
+            "yes — the monitor log was sufficient"
+        } else {
+            "no — inspect the fit"
+        }
     );
 }

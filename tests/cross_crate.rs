@@ -10,9 +10,18 @@ use cdsf_workloads::paper;
 
 fn robust_alloc() -> Allocation {
     Allocation::new(vec![
-        Assignment { proc_type: ProcTypeId(0), procs: 2 },
-        Assignment { proc_type: ProcTypeId(0), procs: 2 },
-        Assignment { proc_type: ProcTypeId(1), procs: 8 },
+        Assignment {
+            proc_type: ProcTypeId(0),
+            procs: 2,
+        },
+        Assignment {
+            proc_type: ProcTypeId(0),
+            procs: 2,
+        },
+        Assignment {
+            proc_type: ProcTypeId(1),
+            procs: 8,
+        },
     ])
 }
 
@@ -21,13 +30,19 @@ fn exact_phi1_equals_monte_carlo_phi1() {
     let batch = paper::batch();
     let platform = paper::platform();
     let alloc = robust_alloc();
-    let exact = evaluate(&batch, &platform, &alloc, paper::DEADLINE).unwrap().joint;
+    let exact = evaluate(&batch, &platform, &alloc, paper::DEADLINE)
+        .unwrap()
+        .joint;
     let mc = monte_carlo_phi1(
         &batch,
         &platform,
         &alloc,
         paper::DEADLINE,
-        &MonteCarloConfig { replicates: 300_000, threads: 4, seed: 99 },
+        &MonteCarloConfig {
+            replicates: 300_000,
+            threads: 4,
+            seed: 99,
+        },
     )
     .unwrap();
     assert!((exact - mc).abs() < 0.01, "exact {exact} vs MC {mc}");
@@ -48,8 +63,7 @@ fn makespan_pmf_cdf_matches_sampled_makespans() {
     let samples = sample_makespans(&batch, &platform, &alloc, 100_000, 5).unwrap();
     for q in [2_000.0, 3_000.0, 3_250.0, 4_000.0, 6_000.0] {
         let exact = psi.cdf(q);
-        let empirical =
-            samples.iter().filter(|&&s| s <= q).count() as f64 / samples.len() as f64;
+        let empirical = samples.iter().filter(|&&s| s <= q).count() as f64 / samples.len() as f64;
         assert!(
             (exact - empirical).abs() < 0.02,
             "Pr(Ψ ≤ {q}): exact {exact} vs sampled {empirical}"
@@ -66,7 +80,11 @@ fn pmf_discretization_converges_to_stage1_numbers() {
     let mut values = Vec::new();
     for pulses in [8usize, 32, 128, 512] {
         let batch = paper::batch_with_pulses(pulses);
-        values.push(evaluate(&batch, &platform, &alloc, paper::DEADLINE).unwrap().joint);
+        values.push(
+            evaluate(&batch, &platform, &alloc, paper::DEADLINE)
+                .unwrap()
+                .joint,
+        );
     }
     let last = *values.last().unwrap();
     assert!((values[2] - last).abs() < 0.01, "{values:?}");
@@ -86,8 +104,7 @@ fn loaded_time_expectation_factorizes_over_availability() {
             let e_inv: f64 = avail.pulses().iter().map(|p| p.prob / p.value).sum();
             for n in [1u32, 2, 4] {
                 let loaded = loaded_time_pmf(app, &platform, id, n).unwrap();
-                let dedicated =
-                    cdsf_system::parallel_time::parallel_time_pmf(app, id, n).unwrap();
+                let dedicated = cdsf_system::parallel_time::parallel_time_pmf(app, id, n).unwrap();
                 let want = dedicated.expectation() * e_inv;
                 assert!(
                     (loaded.expectation() - want).abs() < 1e-6 * want,
@@ -132,7 +149,9 @@ fn executor_dedicated_makespan_matches_pmf_prediction() {
     let mut mean = 0.0;
     let reps = 20;
     for _ in 0..reps {
-        mean += execute(&TechniqueKind::Fac, &cfg, &mut rng).unwrap().makespan;
+        mean += execute(&TechniqueKind::Fac, &cfg, &mut rng)
+            .unwrap()
+            .makespan;
     }
     mean /= reps as f64;
     assert!(
@@ -155,10 +174,16 @@ fn meanfield_agrees_with_simulation_on_clear_cells() {
         .reference_platform(paper::platform())
         .runtime_cases((1..=4).map(paper::platform_case).collect())
         .deadline(paper::DEADLINE)
-        .sim_params(SimParams { replicates: 20, threads: 4, ..Default::default() })
+        .sim_params(SimParams {
+            replicates: 20,
+            threads: 4,
+            ..Default::default()
+        })
         .build()
         .unwrap();
-    let s4 = cdsf.run_scenario(&ImPolicy::Robust, &RasPolicy::Robust).unwrap();
+    let s4 = cdsf
+        .run_scenario(&ImPolicy::Robust, &RasPolicy::Robust)
+        .unwrap();
 
     let mf = MeanField::default();
     let grid = mf
@@ -174,7 +199,8 @@ fn meanfield_agrees_with_simulation_on_clear_cells() {
         clear_cells += 1;
         let simulated_met = s4.best_technique(cell.app, cell.case).is_some();
         assert_eq!(
-            cell.meets_deadline, simulated_met,
+            cell.meets_deadline,
+            simulated_met,
             "app {} case {}: mean-field {} vs simulated {}",
             cell.app + 1,
             cell.case,
@@ -182,7 +208,10 @@ fn meanfield_agrees_with_simulation_on_clear_cells() {
             simulated_met
         );
     }
-    assert!(clear_cells >= 6, "predictor should be Clear on most cells, got {clear_cells}");
+    assert!(
+        clear_cells >= 6,
+        "predictor should be Clear on most cells, got {clear_cells}"
+    );
 }
 
 #[test]
@@ -205,7 +234,10 @@ fn discretizer_feeds_consistent_iteration_stats() {
                 sigma_total <= paper::MEANS[id.0][j] / 10.0 + 1.0,
                 "{id}: σ {sigma_total}"
             );
-            assert!(sigma_total >= paper::MEANS[id.0][j] / 10.0 * 0.9, "{id}: σ {sigma_total}");
+            assert!(
+                sigma_total >= paper::MEANS[id.0][j] / 10.0 * 0.9,
+                "{id}: σ {sigma_total}"
+            );
         }
     }
     // And a direct Normal round-trip for reference.

@@ -41,8 +41,14 @@ fn all_heuristics_produce_feasible_allocations_on_generated_instances() {
             Box::new(GreedyMinTime::new()),
             Box::new(GreedyMaxRobust::new()),
             Box::new(Sufferage::new()),
-            Box::new(SimulatedAnnealing { iterations: 4_000, ..Default::default() }),
-            Box::new(GeneticAlgorithm { generations: 40, ..Default::default() }),
+            Box::new(SimulatedAnnealing {
+                iterations: 4_000,
+                ..Default::default()
+            }),
+            Box::new(GeneticAlgorithm {
+                generations: 40,
+                ..Default::default()
+            }),
         ];
         for policy in &policies {
             let alloc = policy
@@ -62,18 +68,26 @@ fn robust_heuristics_beat_equal_share_on_average() {
     for seed in [3u64, 21, 55, 77] {
         let (batch, platform) = instance(seed);
         let deadline = 2_500.0;
-        let naive = EqualShare::new().allocate(&batch, &platform, deadline).unwrap();
-        let p_naive = evaluate(&batch, &platform, &naive, deadline).unwrap().joint;
-        let sa = SimulatedAnnealing { iterations: 8_000, ..Default::default() }
+        let naive = EqualShare::new()
             .allocate(&batch, &platform, deadline)
             .unwrap();
+        let p_naive = evaluate(&batch, &platform, &naive, deadline).unwrap().joint;
+        let sa = SimulatedAnnealing {
+            iterations: 8_000,
+            ..Default::default()
+        }
+        .allocate(&batch, &platform, deadline)
+        .unwrap();
         let p_sa = evaluate(&batch, &platform, &sa, deadline).unwrap().joint;
         total += 1;
         if p_sa >= p_naive {
             wins += 1;
         }
     }
-    assert!(wins >= total - 1, "SA beat EqualShare on only {wins}/{total} instances");
+    assert!(
+        wins >= total - 1,
+        "SA beat EqualShare on only {wins}/{total} instances"
+    );
 }
 
 #[test]
@@ -86,7 +100,11 @@ fn framework_runs_end_to_end_on_generated_instance() {
         .reference_platform(platform.clone())
         .runtime_cases(vec![platform, degraded])
         .deadline(2_500.0)
-        .sim_params(SimParams { replicates: 3, threads: 2, ..Default::default() })
+        .sim_params(SimParams {
+            replicates: 3,
+            threads: 2,
+            ..Default::default()
+        })
         .build()
         .unwrap();
     let result = cdsf
@@ -105,18 +123,24 @@ fn framework_runs_end_to_end_on_generated_instance() {
 #[test]
 fn custom_technique_set_flows_through() {
     use cdsf_dls::TechniqueKind;
-    let (batch, platform) = instance(13);
+    let (batch, platform) = instance(14);
     let cdsf = Cdsf::builder()
         .batch(batch)
         .reference_platform(platform)
         .deadline(2_500.0)
-        .sim_params(SimParams { replicates: 2, threads: 2, ..Default::default() })
+        .sim_params(SimParams {
+            replicates: 2,
+            threads: 2,
+            ..Default::default()
+        })
         .build()
         .unwrap();
     let custom = RasPolicy::Custom(vec![
         TechniqueKind::Gss,
         TechniqueKind::Tss,
-        TechniqueKind::Awf { variant: cdsf_dls::AwfVariant::ChunkWithOverhead },
+        TechniqueKind::Awf {
+            variant: cdsf_dls::AwfVariant::ChunkWithOverhead,
+        },
     ]);
     let result = cdsf
         .run_scenario(&ImPolicy::Custom(Box::new(GreedyMaxRobust::new())), &custom)
@@ -125,6 +149,8 @@ fn custom_technique_set_flows_through() {
         result.cells.iter().map(|c| c.technique.as_str()).collect();
     assert_eq!(
         names,
-        ["GSS", "TSS", "AWF-E"].into_iter().collect::<std::collections::HashSet<_>>()
+        ["GSS", "TSS", "AWF-E"]
+            .into_iter()
+            .collect::<std::collections::HashSet<_>>()
     );
 }

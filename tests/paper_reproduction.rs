@@ -14,7 +14,11 @@ fn paper_cdsf(replicates: usize) -> Cdsf {
         .reference_platform(paper::platform())
         .runtime_cases((1..=paper::NUM_CASES).map(paper::platform_case).collect())
         .deadline(paper::DEADLINE)
-        .sim_params(SimParams { replicates, threads: 4, ..Default::default() })
+        .sim_params(SimParams {
+            replicates,
+            threads: 4,
+            ..Default::default()
+        })
         .build()
         .unwrap()
 }
@@ -35,12 +39,25 @@ fn table4_naive_allocation() {
     let cdsf = paper_cdsf(2);
     let (alloc, report) = cdsf.stage_one(&ImPolicy::Naive).unwrap();
     let want = Allocation::new(vec![
-        Assignment { proc_type: ProcTypeId(1), procs: 4 },
-        Assignment { proc_type: ProcTypeId(0), procs: 4 },
-        Assignment { proc_type: ProcTypeId(1), procs: 4 },
+        Assignment {
+            proc_type: ProcTypeId(1),
+            procs: 4,
+        },
+        Assignment {
+            proc_type: ProcTypeId(0),
+            procs: 4,
+        },
+        Assignment {
+            proc_type: ProcTypeId(1),
+            procs: 4,
+        },
     ]);
     assert_eq!(alloc, want, "Table IV naive row");
-    assert!((report.joint - 0.26).abs() < 0.02, "φ1 = {} (paper 26%)", report.joint);
+    assert!(
+        (report.joint - 0.26).abs() < 0.02,
+        "φ1 = {} (paper 26%)",
+        report.joint
+    );
 }
 
 #[test]
@@ -48,9 +65,18 @@ fn table4_robust_allocation() {
     let cdsf = paper_cdsf(2);
     let (alloc, report) = cdsf.stage_one(&ImPolicy::Robust).unwrap();
     let want = Allocation::new(vec![
-        Assignment { proc_type: ProcTypeId(0), procs: 2 },
-        Assignment { proc_type: ProcTypeId(0), procs: 2 },
-        Assignment { proc_type: ProcTypeId(1), procs: 8 },
+        Assignment {
+            proc_type: ProcTypeId(0),
+            procs: 2,
+        },
+        Assignment {
+            proc_type: ProcTypeId(0),
+            procs: 2,
+        },
+        Assignment {
+            proc_type: ProcTypeId(1),
+            procs: 8,
+        },
     ]);
     assert_eq!(alloc, want, "Table IV robust row");
     assert!(
@@ -78,7 +104,9 @@ fn table5_expected_completion_times() {
 #[test]
 fn figure3_scenario1_violates_every_case() {
     let cdsf = paper_cdsf(15);
-    let s1 = cdsf.run_scenario(&ImPolicy::Naive, &RasPolicy::Naive).unwrap();
+    let s1 = cdsf
+        .run_scenario(&ImPolicy::Naive, &RasPolicy::Naive)
+        .unwrap();
     for case in 1..=4 {
         assert!(
             !s1.case_is_robust(case, 3),
@@ -94,7 +122,9 @@ fn figure4_scenario2_not_robust() {
     // meets case 1, a divergence documented in EXPERIMENTS.md; the
     // scenario's conclusion — not robust — holds through cases 2–4.)
     let cdsf = paper_cdsf(15);
-    let s2 = cdsf.run_scenario(&ImPolicy::Robust, &RasPolicy::Naive).unwrap();
+    let s2 = cdsf
+        .run_scenario(&ImPolicy::Robust, &RasPolicy::Naive)
+        .unwrap();
     for case in 2..=4 {
         assert!(
             !s2.case_is_robust(case, 3),
@@ -106,7 +136,9 @@ fn figure4_scenario2_not_robust() {
 #[test]
 fn figure5_scenario3_not_robust_and_app3_violates_case1() {
     let cdsf = paper_cdsf(15);
-    let s3 = cdsf.run_scenario(&ImPolicy::Naive, &RasPolicy::Robust).unwrap();
+    let s3 = cdsf
+        .run_scenario(&ImPolicy::Naive, &RasPolicy::Robust)
+        .unwrap();
     for case in 1..=4 {
         assert!(!s3.case_is_robust(case, 3), "scenario 3 case {case}");
     }
@@ -127,7 +159,9 @@ fn figure5_scenario3_not_robust_and_app3_violates_case1() {
 #[test]
 fn figure6_scenario4_robust_through_case3() {
     let cdsf = paper_cdsf(25);
-    let s4 = cdsf.run_scenario(&ImPolicy::Robust, &RasPolicy::Robust).unwrap();
+    let s4 = cdsf
+        .run_scenario(&ImPolicy::Robust, &RasPolicy::Robust)
+        .unwrap();
     for case in 1..=3 {
         assert!(
             s4.case_is_robust(case, 3),
@@ -138,18 +172,145 @@ fn figure6_scenario4_robust_through_case3() {
     // Paper Table VI: in case 4 application 2 violates with every
     // technique, application 1 meets the deadline.
     assert!(s4.best_technique(0, 4).is_some(), "app 1 meets Δ in case 4");
-    assert!(s4.best_technique(1, 4).is_none(), "app 2 violates Δ in case 4");
+    assert!(
+        s4.best_technique(1, 4).is_none(),
+        "app 2 violates Δ in case 4"
+    );
 }
 
 #[test]
 fn headline_system_robustness() {
     // Paper: (ρ1, ρ2) = (74.5 %, 30.77 %).
     let cdsf = paper_cdsf(25);
-    let s4 = cdsf.run_scenario(&ImPolicy::Robust, &RasPolicy::Robust).unwrap();
+    let s4 = cdsf
+        .run_scenario(&ImPolicy::Robust, &RasPolicy::Robust)
+        .unwrap();
     let r = cdsf.system_robustness(&s4);
     assert!((r.rho1 - 0.745).abs() < 0.02, "ρ1 = {}", r.rho1);
     assert!((r.rho2 - 0.3077).abs() < 0.02, "ρ2 = {}", r.rho2);
     assert_eq!(r.critical_case, Some(3));
+}
+
+// ---------------------------------------------------------------------------
+// Golden-file regression tests.
+//
+// The JSON snapshots under `tests/golden/` freeze the exact reproduction
+// outputs (allocations, probabilities, expected times, Table VI technique
+// grid) at the library-default seed. They are regenerated only on
+// intentional behavioural change via
+// `cargo run --release -p cdsf-bench --bin golden_snapshot`; any unplanned
+// drift in the Stage-I engine or Stage-II simulator fails here first.
+// ---------------------------------------------------------------------------
+
+/// Float tolerance for golden comparisons: covers JSON round-trip noise
+/// only, far below any behavioural change worth noticing.
+const GOLDEN_TOL: f64 = 1e-9;
+
+fn golden(name: &str) -> serde_json::Value {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("bad JSON in {name}: {e:?}"))
+}
+
+fn golden_alloc(v: &serde_json::Value) -> Allocation {
+    Allocation::new(
+        v.as_array()
+            .expect("allocation array")
+            .iter()
+            .map(|pair| Assignment {
+                proc_type: ProcTypeId(pair[0].as_u64().expect("type index") as usize),
+                procs: pair[1].as_u64().expect("processor count") as u32,
+            })
+            .collect(),
+    )
+}
+
+fn golden_f64s(v: &serde_json::Value) -> Vec<f64> {
+    v.as_array()
+        .expect("float array")
+        .iter()
+        .map(|x| x.as_f64().expect("float"))
+        .collect()
+}
+
+#[test]
+fn golden_table4_allocations_and_probabilities() {
+    let snap = golden("table4.json");
+    let cdsf = paper_cdsf(2); // stage one never touches the replicate count
+    for (key, policy) in [("naive", ImPolicy::Naive), ("robust", ImPolicy::Robust)] {
+        let (alloc, report) = cdsf.stage_one(&policy).unwrap();
+        assert_eq!(
+            alloc,
+            golden_alloc(&snap[key]["allocation"]),
+            "{key} allocation drifted"
+        );
+        let phi1 = snap[key]["phi1"].as_f64().unwrap();
+        assert!(
+            (report.joint - phi1).abs() <= GOLDEN_TOL,
+            "{key} φ1 drifted: {} vs golden {phi1}",
+            report.joint
+        );
+        let per_app = golden_f64s(&snap[key]["per_app"]);
+        assert_eq!(report.per_app.len(), per_app.len());
+        for (i, (got, want)) in report.per_app.iter().zip(&per_app).enumerate() {
+            assert!(
+                (got - want).abs() <= GOLDEN_TOL,
+                "{key} app {i} probability drifted: {got} vs golden {want}"
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_table5_expected_times() {
+    let snap = golden("table5.json");
+    let cdsf = paper_cdsf(2);
+    for (key, policy) in [("naive", ImPolicy::Naive), ("robust", ImPolicy::Robust)] {
+        let (_, report) = cdsf.stage_one(&policy).unwrap();
+        let want = golden_f64s(&snap[key]);
+        assert_eq!(report.expected_times.len(), want.len());
+        for (i, (got, want)) in report.expected_times.iter().zip(&want).enumerate() {
+            assert!(
+                (got - want).abs() <= GOLDEN_TOL * (1.0 + want.abs()),
+                "{key} app {i} expected time drifted: {got} vs golden {want}"
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_table6_technique_grid() {
+    // Must match the snapshot generator: replicates 25, default seed.
+    // Per-cell seeding makes the grid independent of the thread count.
+    let snap = golden("table6.json");
+    let cdsf = paper_cdsf(25);
+    let s4 = cdsf
+        .run_scenario(&ImPolicy::Robust, &RasPolicy::Robust)
+        .unwrap();
+    let grid = s4.table6(cdsf.batch().len(), paper::NUM_CASES);
+    let rows = snap["techniques"].as_array().expect("technique rows");
+    assert_eq!(grid.len(), rows.len(), "row count drifted");
+    for (i, (got_row, want_row)) in grid.iter().zip(rows).enumerate() {
+        let want_row = want_row.as_array().expect("technique row");
+        assert_eq!(
+            got_row.len(),
+            want_row.len(),
+            "column count drifted at row {i}"
+        );
+        for (j, (got, want)) in got_row.iter().zip(want_row).enumerate() {
+            let want = want.as_str().map(str::to_owned);
+            assert_eq!(
+                *got,
+                want,
+                "Table VI cell (app {}, case {}) drifted",
+                i + 1,
+                j + 1
+            );
+        }
+    }
 }
 
 #[test]

@@ -21,8 +21,16 @@ use rand::SeedableRng;
 fn diurnal_trace_to_framework_pipeline() {
     // Two types with different day/night profiles.
     let traces = [
-        DiurnalTrace { night_availability: 0.95, day_availability: 0.7, ..Default::default() },
-        DiurnalTrace { night_availability: 0.85, day_availability: 0.35, ..Default::default() },
+        DiurnalTrace {
+            night_availability: 0.95,
+            day_availability: 0.7,
+            ..Default::default()
+        },
+        DiurnalTrace {
+            night_availability: 0.85,
+            day_availability: 0.35,
+            ..Default::default()
+        },
     ];
     let mut types = Vec::new();
     for (j, t) in traces.iter().enumerate() {
@@ -53,7 +61,11 @@ fn diurnal_trace_to_framework_pipeline() {
         .batch(paper::batch_with_pulses(16))
         .reference_platform(fitted_platform)
         .deadline(paper::DEADLINE)
-        .sim_params(SimParams { replicates: 3, threads: 2, ..Default::default() })
+        .sim_params(SimParams {
+            replicates: 3,
+            threads: 2,
+            ..Default::default()
+        })
         .build()
         .unwrap();
     let (alloc, report) = cdsf.stage_one(&ImPolicy::Robust).unwrap();
@@ -70,7 +82,11 @@ fn advisor_saves_work_and_agrees_with_grid() {
         .reference_platform(paper::platform())
         .runtime_cases((1..=4).map(paper::platform_case).collect())
         .deadline(paper::DEADLINE)
-        .sim_params(SimParams { replicates: 10, threads: 4, ..Default::default() })
+        .sim_params(SimParams {
+            replicates: 10,
+            threads: 4,
+            ..Default::default()
+        })
         .build()
         .unwrap();
     let advice = Advisor::default()
@@ -101,7 +117,11 @@ fn robustness_metrics_are_mutually_consistent() {
         .batch(batch.clone())
         .reference_platform(platform.clone())
         .deadline(paper::DEADLINE)
-        .sim_params(SimParams { replicates: 2, threads: 2, ..Default::default() })
+        .sim_params(SimParams {
+            replicates: 2,
+            threads: 2,
+            ..Default::default()
+        })
         .build()
         .unwrap();
     let (alloc, _) = cdsf.stage_one(&ImPolicy::Robust).unwrap();
@@ -132,9 +152,12 @@ fn arrival_queue_on_degraded_case() {
     let batches: Vec<_> = (0..3).map(|_| paper::batch_with_pulses(8)).collect();
     let reference = paper::platform();
     let runtime = paper::platform_case(2);
-    let sim = SimParams { replicates: 2, threads: 2, ..Default::default() };
-    let mb = MultiBatch::new(&batches, &reference, &runtime, 2.0 * paper::DEADLINE, sim)
-        .unwrap();
+    let sim = SimParams {
+        replicates: 6,
+        threads: 2,
+        ..Default::default()
+    };
+    let mb = MultiBatch::new(&batches, &reference, &runtime, 2.0 * paper::DEADLINE, sim).unwrap();
     let arrivals = [0.0, 1_000.0, 2_000.0];
     let naive = mb
         .run_with_arrivals(&ImPolicy::Naive, &RasPolicy::Naive, &arrivals, 3)

@@ -1,0 +1,369 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Implements the measurement surface this workspace's benches use —
+//! `Criterion::{bench_function, benchmark_group}`, groups with
+//! `sample_size`/`throughput`/`bench_function`/`bench_with_input`,
+//! `Bencher::iter`, `BenchmarkId`, and the `criterion_group!`/
+//! `criterion_main!` macros — over a plain wall-clock harness that
+//! prints mean/min per benchmark. Filtering works like criterion:
+//! positional CLI args are substring filters on the benchmark ID.
+//! Set `CDSF_BENCH_TARGET_MS` to adjust per-benchmark measuring time
+//! (default 300 ms; e.g. 50 for a quick smoke run).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filters: Vec<String>,
+    target: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let target_ms: u64 = std::env::var("CDSF_BENCH_TARGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        Criterion {
+            filters: Vec::new(),
+            target: Duration::from_millis(target_ms),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI arguments (positional args become substring filters).
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                self.filters.push(arg);
+            }
+        }
+        self
+    }
+
+    /// Overrides the default sample count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id().full;
+        run_benchmark(
+            &id,
+            self.target,
+            self.sample_size,
+            &self.filters,
+            None,
+            &mut f,
+        );
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().full);
+        run_benchmark(
+            &full,
+            self.criterion.target,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            &self.criterion.filters,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs a parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().full);
+        run_benchmark(
+            &full,
+            self.criterion.target,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            &self.criterion.filters,
+            self.throughput,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark (function name plus optional parameter).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Function name + parameter value.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter value only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into [`BenchmarkId`] (accepts `&str`, `String`, `BenchmarkId`).
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            full: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { full: self }
+    }
+}
+
+/// Per-iteration work metric for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes per iteration, decimal multiple reporting.
+    BytesDecimal(u64),
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    target: Duration,
+    sample_size: usize,
+    filters: &[String],
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    if !filters.is_empty() && !filters.iter().any(|flt| id.contains(flt.as_str())) {
+        return;
+    }
+
+    // Calibrate: grow the iteration count until one sample takes a
+    // meaningful slice of the per-benchmark time budget.
+    let mut iters: u64 = 1;
+    let per_sample = target / (sample_size as u32);
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        assert!(
+            b.elapsed > Duration::ZERO || iters > 0,
+            "benchmark closure must call Bencher::iter"
+        );
+        if b.elapsed >= per_sample || b.elapsed >= Duration::from_millis(50) || iters > 1 << 40 {
+            break;
+        }
+        let grow = if b.elapsed.is_zero() {
+            100
+        } else {
+            (per_sample.as_nanos() / b.elapsed.as_nanos().max(1) + 1).min(100) as u64
+        };
+        iters = iters.saturating_mul(grow.max(2));
+    }
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    let min = samples_ns[0];
+    let max = *samples_ns.last().unwrap();
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(" ({:.3e} elem/s)", n as f64 * 1e9 / mean),
+        Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+            format!(" ({:.3e} B/s)", n as f64 * 1e9 / mean)
+        }
+    });
+    println!(
+        "{id:<50} time: [{} {} {}]{}",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max),
+        rate.unwrap_or_default(),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(c: &mut Criterion) {
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function(BenchmarkId::new("param", 4), |b| {
+            b.iter(|| (0..4u64).product::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        std::env::set_var("CDSF_BENCH_TARGET_MS", "5");
+        let mut c = Criterion {
+            target: Duration::from_millis(5),
+            sample_size: 2,
+            ..Default::default()
+        };
+        work(&mut c);
+    }
+
+    #[test]
+    fn filters_skip_non_matching() {
+        let mut c = Criterion {
+            filters: vec!["nomatch".to_string()],
+            ..Default::default()
+        };
+        // Must return instantly without running the (expensive) closure.
+        c.bench_function("expensive", |_b| panic!("should be filtered out"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Minimal offline stand-in for `crossbeam`: scoped threads implemented
+//! over `std::thread::scope`, exposing the `crossbeam::thread::scope`
+//! API subset this workspace uses.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of joining a scoped thread.
+    pub type ThreadResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle passed to [`scope`] closures; spawn threads through it.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the
+        /// scope handle (crossbeam convention) so it can spawn nested work.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result.
+        pub fn join(self) -> ThreadResult<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope in which spawned threads may borrow from the
+    /// enclosing stack frame; all threads are joined before it returns.
+    ///
+    /// Unlike upstream crossbeam this propagates panics from unjoined
+    /// threads (std semantics) instead of returning `Err`; panics from
+    /// threads the caller joined explicitly still surface through
+    /// [`ScopedJoinHandle::join`].
+    pub fn scope<'env, F, R>(f: F) -> ThreadResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let n = crate::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,418 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! Instead of the visitor-based serde data model, this stand-in routes
+//! everything through a small [`Content`] tree: `Serialize` renders a
+//! value into a `Content`, `Deserialize` rebuilds a value from one.
+//! The derive macros in the companion `serde_derive` crate generate
+//! `to_content`/`from_content` impls, and the `serde_json` stand-in
+//! converts `Content` to and from JSON text. The external conventions
+//! (struct -> object, newtype -> inner value, unit enum variant ->
+//! string, data-carrying variant -> single-entry object) match real
+//! `serde_json` output, so fixtures stay portable.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The intermediate tree every value serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An insertion-ordered string-keyed map.
+    Map(Vec<(String, Content)>),
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A value renderable into a [`Content`] tree.
+pub trait Serialize {
+    /// Renders `self` into the serde data model.
+    fn to_content(&self) -> Content;
+}
+
+/// A value reconstructible from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from the serde data model.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Derive-support helpers (referenced by generated code; not public API).
+// ---------------------------------------------------------------------------
+
+/// Looks up a struct field by name in a map content node.
+pub fn __field<'a>(map: &'a [(String, Content)], name: &str) -> Option<&'a Content> {
+    map.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// Produces the value for a missing field: `Option` fields fall back to
+/// `None` (via `from_content(Null)`), everything else errors.
+pub fn __missing<T: Deserialize>(name: &str) -> Result<T, DeError> {
+    T::from_content(&Content::Null).map_err(|_| DeError::custom(format!("missing field `{name}`")))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls.
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let v = match content {
+                    Content::U64(v) => *v,
+                    Content::I64(v) if *v >= 0 => *v as u64,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected unsigned integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(v).map_err(|_| {
+                    DeError::custom(format!(
+                        "integer {v} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let v = match content {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v).map_err(|_| {
+                        DeError::custom(format!("integer {v} out of i64 range"))
+                    })?,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(v).map_err(|_| {
+                    DeError::custom(format!(
+                        "integer {v} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                match content {
+                    Content::F64(v) => Ok(*v as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    Content::I64(v) => Ok(*v as $t),
+                    other => Err(DeError::custom(format!(
+                        "expected number, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::custom(format!(
+                "expected single-character string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compound impls.
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(Box::new(T::from_content(content)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => Ok(Some(T::from_content(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::custom(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($len:literal => ($($t:ident . $idx:tt),+),)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                match content {
+                    Content::Seq(items) if items.len() == $len => {
+                        Ok(($($t::from_content(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::custom(format!(
+                        "expected sequence of length {}, got {other:?}", $len
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    1 => (A.0),
+    2 => (A.0, B.1),
+    3 => (A.0, B.1, C.2),
+    4 => (A.0, B.1, C.2, D.3),
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            other => Err(DeError::custom(format!("expected map, got {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_content(&self) -> Content {
+        // Sort for deterministic output, matching serde_json's BTreeMap-backed maps.
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            other => Err(DeError::custom(format!("expected map, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_missing_field_contract() {
+        // `__missing` must produce None for Option and an error otherwise.
+        assert_eq!(__missing::<Option<f64>>("x").unwrap(), None);
+        assert!(__missing::<f64>("x").is_err());
+        assert!(__missing::<Vec<f64>>("x").is_err());
+    }
+
+    #[test]
+    fn numeric_cross_decoding() {
+        assert_eq!(f64::from_content(&Content::U64(3)).unwrap(), 3.0);
+        assert_eq!(u32::from_content(&Content::I64(7)).unwrap(), 7);
+        assert!(u32::from_content(&Content::I64(-7)).is_err());
+        assert!(u8::from_content(&Content::U64(300)).is_err());
+    }
+
+    #[test]
+    fn tuple_and_vec_round_trip() {
+        let v = vec![(1.0f64, 2.0f64), (3.0, 4.0)];
+        let c = v.to_content();
+        let back: Vec<(f64, f64)> = Deserialize::from_content(&c).unwrap();
+        assert_eq!(v, back);
+    }
+}

@@ -1,0 +1,545 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `serde::Serialize`/`serde::Deserialize` impls against the
+//! Content-tree data model of the vendored `serde` stand-in. Supports
+//! the item shapes this workspace uses: named-field structs, tuple
+//! (newtype) structs, and enums with unit / newtype / tuple / struct
+//! variants, plus the `#[serde(default)]` field attribute. Anything
+//! else fails loudly with a `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    ty: String,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(Vec<String>),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        types: Vec<String>,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => format!(
+            "#[automatically_derived]\n#[allow(unused, clippy::all, clippy::pedantic)]\n{}",
+            generate(&item, mode)
+        ),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse()
+        .expect("serde_derive stand-in generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.bump() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!(
+                "serde stand-in: expected identifier, found {other:?}"
+            )),
+        }
+    }
+
+    /// Consumes `#[...]` attribute pairs; returns true if any carried
+    /// `#[serde(default)]`. Unsupported serde attributes error.
+    fn skip_attrs(&mut self) -> Result<bool, String> {
+        let mut has_default = false;
+        loop {
+            let is_attr = matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#');
+            if !is_attr {
+                return Ok(has_default);
+            }
+            self.pos += 1;
+            match self.bump() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let Some(TokenTree::Ident(id)) = inner.first() {
+                        if id.to_string() == "serde" {
+                            match inner.get(1) {
+                                Some(TokenTree::Group(args)) => {
+                                    let body = args.stream().to_string();
+                                    if body.trim() == "default" {
+                                        has_default = true;
+                                    } else {
+                                        return Err(format!(
+                                            "serde stand-in: unsupported attribute #[serde({body})]"
+                                        ));
+                                    }
+                                }
+                                other => {
+                                    return Err(format!(
+                                        "serde stand-in: malformed serde attribute {other:?}"
+                                    ))
+                                }
+                            }
+                        }
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "serde stand-in: malformed attribute, found {other:?}"
+                    ))
+                }
+            }
+        }
+    }
+
+    fn skip_visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Collects type tokens up to a top-level `,` (tracking `<`/`>` depth).
+    fn take_type(&mut self) -> Result<String, String> {
+        let mut depth = 0i32;
+        let mut collected = TokenStream::new();
+        let mut any = false;
+        while let Some(tok) = self.peek() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            collected.extend(std::iter::once(self.bump().unwrap()));
+            any = true;
+        }
+        if !any {
+            return Err("serde stand-in: empty type".to_string());
+        }
+        Ok(collected.to_string())
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(group);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let default = c.skip_attrs()?;
+        if c.at_end() {
+            break;
+        }
+        c.skip_visibility();
+        let name = c.expect_ident()?;
+        if !c.eat_punct(':') {
+            return Err(format!("serde stand-in: expected `:` after field `{name}`"));
+        }
+        let ty = c.take_type()?;
+        fields.push(Field { name, ty, default });
+        c.eat_punct(',');
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(group: TokenStream) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(group);
+    let mut types = Vec::new();
+    while !c.at_end() {
+        c.skip_attrs()?;
+        if c.at_end() {
+            break;
+        }
+        c.skip_visibility();
+        types.push(c.take_type()?);
+        c.eat_punct(',');
+    }
+    Ok(types)
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(group);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.skip_attrs()?;
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident()?;
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                c.pos += 1;
+                VariantKind::Tuple(parse_tuple_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                c.pos += 1;
+                VariantKind::Struct(parse_named_fields(g)?)
+            }
+            _ => VariantKind::Unit,
+        };
+        if c.eat_punct('=') {
+            return Err(format!(
+                "serde stand-in: explicit discriminant on variant `{name}` is unsupported"
+            ));
+        }
+        variants.push(Variant { name, kind });
+        c.eat_punct(',');
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attrs()?;
+    c.skip_visibility();
+    let keyword = c.expect_ident()?;
+    let name = c.expect_ident()?;
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stand-in: generic type `{name}` is unsupported"
+        ));
+    }
+    match keyword.as_str() {
+        "struct" => match c.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct {
+                    name,
+                    types: parse_tuple_fields(g.stream())?,
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("serde stand-in: unsupported struct body {other:?}")),
+        },
+        "enum" => match c.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("serde stand-in: unsupported enum body {other:?}")),
+        },
+        other => Err(format!("serde stand-in: cannot derive for `{other}` items")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation.
+// ---------------------------------------------------------------------------
+
+fn generate(item: &Item, mode: Mode) -> String {
+    match (item, mode) {
+        (Item::NamedStruct { name, fields }, Mode::Serialize) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__m.push(({:?}.to_string(), ::serde::Serialize::to_content(&self.{})));\n",
+                        f.name, f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                 let mut __m: Vec<(String, ::serde::Content)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Content::Map(__m)\n}}\n}}\n"
+            )
+        }
+        (Item::NamedStruct { name, fields }, Mode::Deserialize) => {
+            let builds: String = fields.iter().map(named_field_build).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let __m = match __c {{\n\
+                 ::serde::Content::Map(m) => m,\n\
+                 other => return Err(::serde::DeError::custom(format!(\n\
+                 \"expected map for struct {name}, got {{other:?}}\"))),\n}};\n\
+                 ::std::result::Result::Ok({name} {{\n{builds}}})\n}}\n}}\n"
+            )
+        }
+        (Item::TupleStruct { name, types }, Mode::Serialize) => {
+            if types.len() == 1 {
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                     ::serde::Serialize::to_content(&self.0)\n}}\n}}\n"
+                )
+            } else {
+                let items: Vec<String> = (0..types.len())
+                    .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                    .collect();
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                     ::serde::Content::Seq(vec![{}])\n}}\n}}\n",
+                    items.join(", ")
+                )
+            }
+        }
+        (Item::TupleStruct { name, types }, Mode::Deserialize) => {
+            if types.len() == 1 {
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__c)?))\n}}\n}}\n"
+                )
+            } else {
+                let n = types.len();
+                let items: Vec<String> = (0..n)
+                    .map(|i| format!("::serde::Deserialize::from_content(&__s[{i}])?"))
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     match __c {{\n\
+                     ::serde::Content::Seq(__s) if __s.len() == {n} =>\n\
+                     ::std::result::Result::Ok({name}({items})),\n\
+                     other => Err(::serde::DeError::custom(format!(\n\
+                     \"expected sequence of {n} for tuple struct {name}, got {{other:?}}\"))),\n}}\n}}\n}}\n",
+                    items = items.join(", ")
+                )
+            }
+        }
+        (Item::UnitStruct { name }, Mode::Serialize) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ ::serde::Content::Null }}\n}}\n"
+        ),
+        (Item::UnitStruct { name }, Mode::Deserialize) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(_: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+             ::std::result::Result::Ok({name})\n}}\n}}\n"
+        ),
+        (Item::Enum { name, variants }, Mode::Serialize) => {
+            let arms: String = variants.iter().map(|v| enum_ser_arm(name, v)).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                 match self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+        (Item::Enum { name, variants }, Mode::Deserialize) => generate_enum_de(name, variants),
+    }
+}
+
+fn named_field_build(f: &Field) -> String {
+    let fallback = if f.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!("::serde::__missing::<{}>({:?})?", f.ty, f.name)
+    };
+    format!(
+        "{}: match ::serde::__field(__m, {:?}) {{\n\
+         Some(__v) => ::serde::Deserialize::from_content(__v)?,\n\
+         None => {fallback},\n}},\n",
+        f.name, f.name
+    )
+}
+
+fn enum_ser_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => {
+            format!("{enum_name}::{vname} => ::serde::Content::Str({vname:?}.to_string()),\n")
+        }
+        VariantKind::Tuple(types) => {
+            let binds: Vec<String> = (0..types.len()).map(|i| format!("__f{i}")).collect();
+            let inner = if types.len() == 1 {
+                "::serde::Serialize::to_content(__f0)".to_string()
+            } else {
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_content({b})"))
+                    .collect();
+                format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+            };
+            format!(
+                "{enum_name}::{vname}({}) => ::serde::Content::Map(vec![({vname:?}.to_string(), {inner})]),\n",
+                binds.join(", ")
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__m.push(({:?}.to_string(), ::serde::Serialize::to_content({})));\n",
+                        f.name, f.name
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vname} {{ {} }} => {{\n\
+                 let mut __m: Vec<(String, ::serde::Content)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Content::Map(vec![({vname:?}.to_string(), ::serde::Content::Map(__m))])\n}}\n",
+                binds.join(", ")
+            )
+        }
+    }
+}
+
+fn generate_enum_de(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            format!(
+                "{:?} => ::std::result::Result::Ok({name}::{}),\n",
+                v.name, v.name
+            )
+        })
+        .collect();
+    let data_arms: String = variants
+        .iter()
+        .filter_map(|v| match &v.kind {
+            VariantKind::Unit => None,
+            VariantKind::Tuple(types) if types.len() == 1 => Some(format!(
+                "{:?} => ::std::result::Result::Ok({name}::{}(::serde::Deserialize::from_content(__v)?)),\n",
+                v.name, v.name
+            )),
+            VariantKind::Tuple(types) => {
+                let n = types.len();
+                let items: Vec<String> = (0..n)
+                    .map(|i| format!("::serde::Deserialize::from_content(&__s[{i}])?"))
+                    .collect();
+                Some(format!(
+                    "{vn:?} => match __v {{\n\
+                     ::serde::Content::Seq(__s) if __s.len() == {n} =>\n\
+                     ::std::result::Result::Ok({name}::{vn}({items})),\n\
+                     other => Err(::serde::DeError::custom(format!(\n\
+                     \"expected sequence of {n} for variant {vn}, got {{other:?}}\"))),\n}},\n",
+                    vn = v.name,
+                    items = items.join(", ")
+                ))
+            }
+            VariantKind::Struct(fields) => {
+                let builds: String = fields.iter().map(named_field_build).collect();
+                Some(format!(
+                    "{vn:?} => {{\n\
+                     let __m = match __v {{\n\
+                     ::serde::Content::Map(m) => m,\n\
+                     other => return Err(::serde::DeError::custom(format!(\n\
+                     \"expected map for variant {vn}, got {{other:?}}\"))),\n}};\n\
+                     ::std::result::Result::Ok({name}::{vn} {{\n{builds}}})\n}}\n",
+                    vn = v.name
+                ))
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         match __c {{\n\
+         ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+         {unit_arms}\
+         other => Err(::serde::DeError::custom(format!(\n\
+         \"unknown unit variant `{{other}}` for enum {name}\"))),\n}},\n\
+         ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+         let (__k, __v) = &__entries[0];\n\
+         match __k.as_str() {{\n\
+         {data_arms}\
+         other => Err(::serde::DeError::custom(format!(\n\
+         \"unknown variant `{{other}}` for enum {name}\"))),\n}}\n}},\n\
+         other => Err(::serde::DeError::custom(format!(\n\
+         \"expected string or single-entry map for enum {name}, got {{other:?}}\"))),\n}}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,171 @@
+//! Minimal offline stand-in for `serde_json`, built on the vendored
+//! `serde` stand-in's `Content` tree. Covers the subset this workspace
+//! uses: typed `from_str`/`from_slice`, `to_string`/`to_string_pretty`,
+//! the dynamic [`Value`] type with indexing/accessors, and the [`json!`]
+//! macro (object/array/expression forms).
+
+use serde::{Content, DeError, Deserialize, Serialize};
+use std::fmt;
+
+mod parse;
+mod value;
+mod write;
+
+pub use value::{Map, Number, Value};
+
+/// Serialization/deserialization error.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Deserializes a value from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let content = parse::parse(s)?;
+    Ok(T::from_content(&content)?)
+}
+
+/// Deserializes a value from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Serializes a value to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::write(&value.to_content(), false))
+}
+
+/// Serializes a value to pretty-printed JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::write(&value.to_content(), true))
+}
+
+/// Converts any serializable value into a dynamic [`Value`].
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value::content_to_value(value.to_content())
+}
+
+/// Builds a [`Value`] from JSON-ish syntax. Supports `null`, object
+/// literals with expression values, array literals, and bare
+/// expressions; nested object/array literals must themselves be
+/// wrapped in `json!`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::to_value(&$elem)),* ])
+    };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut __map = $crate::Map::new();
+        $( __map.insert(($key).to_string(), $crate::to_value(&$val)); )*
+        $crate::Value::Object(__map)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[allow(dead_code)]
+fn content_round_trip(c: &Content) -> Content {
+    c.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&"a\"b\n").unwrap(), r#""a\"b\n""#);
+        let x: f64 = from_str("2.5e-3").unwrap();
+        assert!((x - 0.0025).abs() < 1e-15);
+        let n: u64 = from_str("18446744073709551615").unwrap();
+        assert_eq!(n, u64::MAX);
+        let i: i64 = from_str("-42").unwrap();
+        assert_eq!(i, -42);
+    }
+
+    #[test]
+    fn vec_and_tuple_round_trips() {
+        let v = vec![(1.0f64, 0.25f64), (2.0, 0.75)];
+        let json = to_string(&v).unwrap();
+        let back: Vec<(f64, f64)> = from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn value_access() {
+        let v: Value = from_str(r#"{"phi1": 0.745, "rows": [1, 2, 3], "name": "x"}"#).unwrap();
+        assert_eq!(v["phi1"].as_f64(), Some(0.745));
+        assert!(v["phi1"].is_number());
+        assert_eq!(v["rows"].as_array().map(|a| a.len()), Some(3));
+        assert_eq!(v["rows"][1].as_u64(), Some(2));
+        assert_eq!(v["name"].as_str(), Some("x"));
+        assert!(v["missing"].is_null());
+        assert_eq!(v.get("phi1").and_then(Value::as_f64), Some(0.745));
+    }
+
+    #[test]
+    fn json_macro_forms() {
+        let name = String::from("exhaustive");
+        let v = json!({ "allocator": name, "phi1": 0.5, "ok": true });
+        assert_eq!(v["allocator"].as_str(), Some("exhaustive"));
+        assert_eq!(v["phi1"].as_f64(), Some(0.5));
+        assert_eq!(v["ok"].as_bool(), Some(true));
+        let arr = json!([1.0, 2.0]);
+        assert_eq!(arr.as_array().unwrap().len(), 2);
+        assert!(json!(null).is_null());
+    }
+
+    #[test]
+    fn pretty_print_shape() {
+        let v = json!({ "a": 1u32 });
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(pretty, "{\n  \"a\": 1\n}");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "tab\t newline\n quote\" back\\ unicode\u{1F600}\u{7}";
+        let json = to_string(&s).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1, ]").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("{\"a\": 1,}").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+}

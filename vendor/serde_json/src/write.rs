@@ -1,0 +1,98 @@
+//! JSON writers (compact and 2-space pretty) over `serde::Content`.
+
+use serde::Content;
+use std::fmt::Write as _;
+
+pub fn write(content: &Content, pretty: bool) -> String {
+    let mut out = String::new();
+    emit(content, pretty, 0, &mut out);
+    out
+}
+
+fn emit(content: &Content, pretty: bool, indent: usize, out: &mut String) {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Content::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Content::F64(v) => {
+            if v.is_finite() {
+                // Rust's Display prints the shortest round-trip digits.
+                let _ = write!(out, "{v}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        Content::Str(s) => emit_string(s, out),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(pretty, indent + 1, out);
+                emit(item, pretty, indent + 1, out);
+            }
+            newline(pretty, indent, out);
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(pretty, indent + 1, out);
+                emit_string(key, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                emit(value, pretty, indent + 1, out);
+            }
+            newline(pretty, indent, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline(pretty: bool, indent: usize, out: &mut String) {
+    if pretty {
+        out.push('\n');
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn emit_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
