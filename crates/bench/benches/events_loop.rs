@@ -1,0 +1,75 @@
+//! Online event-engine throughput: full scenario runs per second, the cost
+//! of reactive remapping vs the static clamp baseline, and scaling with
+//! the watchdog checkpoint count.
+
+use cdsf_events::{EngineConfig, EventEngine};
+use cdsf_workloads::faults::{self, SCENARIO_DEADLINE, SCENARIO_PULSES};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn cfg(remap: bool, watchdogs: usize) -> EngineConfig {
+    let mut cfg = EngineConfig::new(SCENARIO_DEADLINE);
+    cfg.remap = remap;
+    cfg.watchdog_checks = watchdogs;
+    cfg.threads = 2;
+    cfg
+}
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("events/scenario");
+    group.sample_size(20);
+    for name in faults::scenario_names() {
+        let (batch, platform, plan) =
+            cdsf_events::paper_scenario(name, SCENARIO_PULSES).expect("scenario");
+        let config = cfg(true, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| {
+                let engine = EventEngine::new(&batch, &platform, &plan, &config).unwrap();
+                black_box(engine.run().unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_remap_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("events/remap_cost");
+    group.sample_size(20);
+    let (batch, platform, plan) =
+        cdsf_events::paper_scenario("crash", SCENARIO_PULSES).expect("scenario");
+    for (label, remap) in [("reactive", true), ("static", false)] {
+        let config = cfg(remap, 2);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let engine = EventEngine::new(&batch, &platform, &plan, &config).unwrap();
+                black_box(engine.run().unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_watchdog_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("events/watchdog_scaling");
+    group.sample_size(20);
+    let (batch, platform, plan) =
+        cdsf_events::paper_scenario("mixed", SCENARIO_PULSES).expect("scenario");
+    for &n in &[1usize, 4, 16] {
+        let config = cfg(true, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let engine = EventEngine::new(&batch, &platform, &plan, &config).unwrap();
+                black_box(engine.run().unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scenarios,
+    bench_remap_cost,
+    bench_watchdog_scaling
+);
+criterion_main!(benches);

@@ -3,8 +3,9 @@
 //! The snapshots freeze the paper-reproduction outputs (Tables IV, V and
 //! VI) at the library-default simulation seed so `tests/paper_reproduction.rs`
 //! can detect any behavioural drift in the Stage-I engine or the Stage-II
-//! simulation. Run this binary only when an intentional change shifts the
-//! reproduced numbers:
+//! simulation, plus the canonical crash-scenario event log pinned by the
+//! `cdsf-events` regression suite. Run this binary only when an intentional
+//! change shifts the reproduced numbers:
 //!
 //! ```sh
 //! cargo run --release -p cdsf-bench --bin golden_snapshot
@@ -12,7 +13,8 @@
 
 use cdsf_bench::paper_cdsf;
 use cdsf_core::{ImPolicy, RasPolicy, SimParams};
-use cdsf_workloads::paper;
+use cdsf_events::{EngineConfig, EventEngine};
+use cdsf_workloads::{faults, paper};
 use serde_json::{json, Value};
 use std::path::PathBuf;
 
@@ -73,12 +75,26 @@ fn main() {
         "techniques": result.table6(cdsf.batch().len(), paper::NUM_CASES),
     });
 
+    // The canonical online fault scenario: staggered arrivals, a Type-1
+    // group crash at t = 600, reactive remapping on. The full report
+    // (event log + metrics) is pinned byte-for-byte.
+    let (batch, platform, plan) =
+        cdsf_events::paper_scenario("crash", faults::SCENARIO_PULSES).expect("crash scenario");
+    let mut events_cfg = EngineConfig::new(faults::SCENARIO_DEADLINE);
+    events_cfg.threads = 4;
+    let report = EventEngine::new(&batch, &platform, &plan, &events_cfg)
+        .expect("crash scenario validates")
+        .run()
+        .expect("crash scenario runs");
+    let events_crash = serde_json::to_value(&report);
+
     let dir = golden_dir();
     std::fs::create_dir_all(&dir).expect("create tests/golden");
     for (name, value) in [
         ("table4.json", &table4),
         ("table5.json", &table5),
         ("table6.json", &table6),
+        ("events_crash.json", &events_crash),
     ] {
         let path = dir.join(name);
         let pretty = serde_json::to_string_pretty(value).expect("serialize golden value");

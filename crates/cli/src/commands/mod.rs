@@ -4,6 +4,7 @@
 pub mod advise;
 pub mod config;
 pub mod correlate;
+pub mod events;
 pub mod generate;
 pub mod paper;
 pub mod queue;
@@ -44,6 +45,10 @@ COMMANDS:
   run-config  run a JSON experiment spec --file PATH
   queue       run a multi-batch queue (paper batch repeated)
               [--batches N] [--replicates R] [--seed S]
+  events      run a named online fault scenario (event-driven scheduler)
+              [--scenario crash|collapse|stall|drift|mixed] [--seed S]
+              [--deadline D] [--remap 0|1] [--threshold P] [--watchdogs N]
+              [--allocator NAME] [--pulses N] [--dwell T] [--overhead H]
   help        this text
 
 All commands accept --json for machine-readable output."
@@ -97,6 +102,7 @@ mod tests {
             "sweep",
             "generate",
             "queue",
+            "events",
             "correlate",
             "init-config",
             "run-config",

@@ -10,6 +10,7 @@
 //! cdsf sweep --steps 10 --max-decrease 0.5
 //! cdsf generate --apps 10 --types 4 --seed 7
 //! cdsf queue --batches 4
+//! cdsf events --scenario crash --remap 0
 //! cdsf help
 //! ```
 //!
@@ -40,6 +41,7 @@ pub fn run(raw: Vec<String>) -> Result<String, CliError> {
         "init-config" => commands::config::run_init(&args),
         "run-config" => commands::config::run_config(&args),
         "queue" => commands::queue::run(&args),
+        "events" => commands::events::run(&args),
         "help" | "--help" | "-h" => Ok(commands::help_text().to_string()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }

@@ -61,7 +61,7 @@ pub use error::CoreError;
 pub use framework::{Cdsf, CdsfBuilder, ScenarioResult, SystemRobustness};
 pub use policy::{ImPolicy, RasPolicy, Scenario};
 pub use report::AsciiTable;
-pub use simulation::{CellResult, SimParams};
+pub use simulation::{default_threads, CellResult, SimParams};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;
@@ -89,7 +89,7 @@ pub mod prelude {
     pub use crate::meanfield::MeanField;
     pub use crate::multibatch::MultiBatch;
     pub use crate::policy::{ImPolicy, RasPolicy, Scenario};
-    pub use crate::simulation::{CellResult, SimParams};
+    pub use crate::simulation::{default_threads, CellResult, SimParams};
     pub use cdsf_dls::executor::{execute, ExecutorConfig};
     pub use cdsf_dls::TechniqueKind;
     pub use cdsf_ra::allocators::{EqualShare, Exhaustive, Sufferage};

@@ -31,6 +31,22 @@ impl ImPolicy {
         !matches!(self, ImPolicy::Naive)
     }
 
+    /// Resolves a CLI-style allocator name to a policy. Accepts the two
+    /// paper policies plus every allocator shipped by `cdsf-ra`.
+    pub fn by_name(name: &str) -> Option<ImPolicy> {
+        use cdsf_ra::allocators as ra;
+        Some(match name {
+            "naive" | "equal-share" => ImPolicy::Naive,
+            "robust" | "exhaustive" => ImPolicy::Robust,
+            "greedy-min-time" => ImPolicy::Custom(Box::new(ra::GreedyMinTime::new())),
+            "greedy-max-robust" => ImPolicy::Custom(Box::new(ra::GreedyMaxRobust::new())),
+            "sufferage" => ImPolicy::Custom(Box::new(ra::Sufferage::new())),
+            "sa" | "annealing" => ImPolicy::Custom(Box::new(ra::SimulatedAnnealing::default())),
+            "ga" | "genetic" => ImPolicy::Custom(Box::new(ra::GeneticAlgorithm::default())),
+            _ => return None,
+        })
+    }
+
     /// Runs the policy.
     pub fn allocate(
         &self,

@@ -41,10 +41,17 @@ impl Default for SimParams {
             mean_dwell: 300.0,
             overhead: 1.0,
             seed: 0xCD5F,
-            threads: 4,
+            threads: default_threads(),
         }
     }
 }
+
+/// Default worker-thread count: the machine's available parallelism with a
+/// floor of 1. Thread counts never affect results — every grid cell and
+/// every φ₁ table entry derives its own seed — so the default can safely
+/// track the host. (Canonical definition lives in `cdsf-system` so the
+/// lower crates share it.)
+pub use cdsf_system::default_threads;
 
 impl SimParams {
     /// Validates the parameters.

@@ -545,6 +545,242 @@ pub fn replicate_makespans(
         .collect()
 }
 
+/// Outcome of [`ExecutorSession::advance_until`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SessionStatus {
+    /// The loop finished at the given absolute time (`≤` the horizon).
+    Completed {
+        /// Absolute completion time of the whole application.
+        finish: f64,
+    },
+    /// Work remains past the horizon; call `advance_until` again later.
+    Paused,
+}
+
+/// Carried-over progress extracted from an interrupted session — the
+/// contract between a fault/remap event and the executor that resumes the
+/// application on its new processor group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResumeState {
+    /// Serial prologue iterations still to execute.
+    pub serial_iters_left: u64,
+    /// Parallel loop iterations still to execute (undispatched plus those
+    /// returned by aborted in-flight chunks).
+    pub parallel_iters_left: u64,
+    /// Dedicated-speed work sunk into chunks that were aborted mid-flight
+    /// (their iterations are re-executed from scratch after the remap).
+    pub wasted_work: f64,
+}
+
+/// A chunk currently assigned to a worker (most recent dispatch).
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    size: u64,
+    compute_start: f64,
+    finish: f64,
+}
+
+/// A resumable, time-bounded loop execution: the same event loop as
+/// [`execute`], but driven externally in `[t, t')` slices so an online
+/// engine can interleave many applications with fault and drift events.
+///
+/// Determinism contract: with the same configuration and RNG stream,
+/// `advance_until(f64::INFINITY)` reproduces [`execute`] exactly — both
+/// consume randomness in the identical order (serial prologue sample, then
+/// one work sample + one availability walk per dispatched chunk), and the
+/// pause points never touch the RNG.
+pub struct ExecutorSession {
+    cfg: ExecutorConfig,
+    technique: Box<dyn Technique>,
+    workers: Vec<WorkerState>,
+    heap: BinaryHeap<Reverse<(OrderedF64, usize)>>,
+    in_flight: Vec<Option<InFlight>>,
+    remaining: u64,
+    chunks: u64,
+    start: f64,
+    serial_end: f64,
+}
+
+impl ExecutorSession {
+    /// Opens a session starting at absolute time `start`. The serial
+    /// prologue is committed immediately (its work is sampled here), so the
+    /// RNG stream matches [`execute`] from the first draw.
+    pub fn new(
+        kind: &TechniqueKind,
+        cfg: ExecutorConfig,
+        start: f64,
+        rng: &mut dyn RngCore,
+    ) -> Result<Self> {
+        cfg.validate()?;
+        if !(start >= 0.0) || !start.is_finite() {
+            return Err(DlsError::BadParameter {
+                name: "start",
+                value: start,
+            });
+        }
+        let technique = kind.build(cfg.num_workers, cfg.parallel_iters)?;
+        let mut workers = build_workers(&cfg)?;
+        let serial_end = if cfg.serial_iters > 0 {
+            let work = sample_chunk_work(cfg.serial_iters, cfg.iter_mean, cfg.iter_sigma, rng);
+            workers[0].timeline.finish_time(start, work, rng)
+        } else {
+            start
+        };
+        let heap = (0..cfg.num_workers)
+            .map(|i| Reverse((OrderedF64(serial_end), i)))
+            .collect();
+        Ok(Self {
+            in_flight: vec![None; cfg.num_workers],
+            remaining: cfg.parallel_iters,
+            chunks: 0,
+            start,
+            serial_end,
+            technique,
+            workers,
+            heap,
+            cfg,
+        })
+    }
+
+    /// Absolute session start time.
+    pub fn start(&self) -> f64 {
+        self.start
+    }
+
+    /// End of the serial prologue (equals `start` when there is none).
+    pub fn serial_end(&self) -> f64 {
+        self.serial_end
+    }
+
+    /// Parallel iterations not yet dispatched to any worker.
+    pub fn remaining_parallel(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Chunks dispatched so far.
+    pub fn chunks(&self) -> u64 {
+        self.chunks
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &ExecutorConfig {
+        &self.cfg
+    }
+
+    /// A lower bound on the completion time: the latest committed event
+    /// (serial prologue end or an in-flight chunk finish). Exact once all
+    /// iterations are dispatched.
+    pub fn lower_bound_finish(&self) -> f64 {
+        self.in_flight
+            .iter()
+            .flatten()
+            .map(|c| c.finish)
+            .fold(self.serial_end, f64::max)
+    }
+
+    /// Parallel iterations not completed by time `t`: undispatched ones
+    /// plus in-flight chunks finishing after `t`. Pure bookkeeping (no RNG,
+    /// no state change) — used for live progress projections.
+    pub fn outstanding_parallel(&self, t: f64) -> u64 {
+        self.remaining
+            + self
+                .in_flight
+                .iter()
+                .flatten()
+                .filter(|c| c.finish > t)
+                .map(|c| c.size)
+                .sum::<u64>()
+    }
+
+    /// Whether the serial prologue is still executing at time `t`.
+    pub fn in_serial_phase(&self, t: f64) -> bool {
+        self.cfg.serial_iters > 0 && t < self.serial_end
+    }
+
+    /// Runs the event loop up to absolute time `t`: dispatches every chunk
+    /// whose worker frees at or before `t`, exactly as [`execute`] would.
+    pub fn advance_until(&mut self, t: f64, rng: &mut dyn RngCore) -> SessionStatus {
+        while self.remaining > 0 {
+            let &Reverse((OrderedF64(now), w)) = self.heap.peek().expect("heap never empties");
+            if now > t {
+                return SessionStatus::Paused;
+            }
+            self.heap.pop();
+            // The worker's previous chunk (if any) completed at `now`.
+            self.in_flight[w] = None;
+            let snapshot: Vec<WorkerSnapshot> = self.workers.iter().map(|s| s.snapshot).collect();
+            let ctx = SchedContext {
+                worker: w,
+                num_workers: self.cfg.num_workers,
+                total_iters: self.cfg.parallel_iters,
+                remaining: self.remaining,
+                now,
+                workers: &snapshot,
+            };
+            let size = self.technique.next_chunk(&ctx).clamp(1, self.remaining);
+            self.remaining -= size;
+            self.chunks += 1;
+            let work = sample_chunk_work(size, self.cfg.iter_mean, self.cfg.iter_sigma, rng);
+            let compute_start = now + self.cfg.overhead;
+            let finish = self.workers[w]
+                .timeline
+                .finish_time(compute_start, work, rng);
+            self.workers[w].observe(size, finish - compute_start, finish - now);
+            self.in_flight[w] = Some(InFlight {
+                size,
+                compute_start,
+                finish,
+            });
+            self.heap.push(Reverse((OrderedF64(finish), w)));
+        }
+        let finish = self.lower_bound_finish();
+        if finish <= t {
+            SessionStatus::Completed { finish }
+        } else {
+            SessionStatus::Paused
+        }
+    }
+
+    /// Tears the session down at absolute time `t` (a fault or a remap
+    /// decision) and returns the progress a successor session must carry:
+    ///
+    /// * during the serial prologue, completed prologue iterations are
+    ///   credited from the work integral `∫ A` on worker 0 (at least one
+    ///   iteration always remains — the one interrupted mid-execution);
+    /// * afterwards, chunks finishing after `t` are aborted: their
+    ///   iterations return to the remaining pool and the availability
+    ///   already consumed on them is reported as wasted work.
+    pub fn interrupt(mut self, t: f64, rng: &mut dyn RngCore) -> ResumeState {
+        if self.cfg.serial_iters > 0 && t < self.serial_end {
+            let done_work = self.workers[0].timeline.work_between(self.start, t, rng);
+            let done = ((done_work / self.cfg.iter_mean) as u64)
+                .min(self.cfg.serial_iters.saturating_sub(1));
+            return ResumeState {
+                serial_iters_left: self.cfg.serial_iters - done,
+                parallel_iters_left: self.cfg.parallel_iters,
+                wasted_work: (done_work - done as f64 * self.cfg.iter_mean).max(0.0),
+            };
+        }
+        let mut wasted = 0.0;
+        let mut aborted = 0u64;
+        for w in 0..self.in_flight.len() {
+            if let Some(c) = self.in_flight[w] {
+                if c.finish > t {
+                    aborted += c.size;
+                    wasted += self.workers[w]
+                        .timeline
+                        .work_between(c.compute_start, t, rng);
+                }
+            }
+        }
+        ResumeState {
+            serial_iters_left: 0,
+            parallel_iters_left: self.remaining + aborted,
+            wasted_work: wasted,
+        }
+    }
+}
+
 /// `f64` wrapper with a total order for use in the event heap. Simulation
 /// times are always finite (validated inputs), so `total_cmp` is safe.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -869,6 +1105,139 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn session_reproduces_execute_exactly() {
+        // Same seed, same config: a session driven to infinity must land on
+        // the same makespan, chunk count and RNG stream as `execute`.
+        let mut cfg = base_cfg();
+        cfg.serial_iters = 100;
+        cfg.iter_sigma = 0.3;
+        cfg.overhead = 1.0;
+        cfg.availability = vec![AvailabilitySpec::Renewal {
+            pmf: cdsf_pmf::Pmf::from_pairs([(0.5, 0.5), (1.0, 0.5)]).unwrap(),
+            mean_dwell: 50.0,
+        }];
+        for kind in [TechniqueKind::Fac, TechniqueKind::Af, TechniqueKind::Static] {
+            let run = execute(&kind, &cfg, &mut rng(21)).unwrap();
+            let mut r = rng(21);
+            let mut session = ExecutorSession::new(&kind, cfg.clone(), 0.0, &mut r).unwrap();
+            let status = session.advance_until(f64::INFINITY, &mut r);
+            let SessionStatus::Completed { finish } = status else {
+                panic!("{}: session did not complete", kind.name());
+            };
+            assert_eq!(finish, run.makespan, "{} makespan", kind.name());
+            assert_eq!(session.chunks(), run.chunks, "{} chunks", kind.name());
+        }
+    }
+
+    #[test]
+    fn session_is_pause_point_invariant() {
+        // Chopping the timeline into arbitrary horizons must not change the
+        // outcome: pausing never consumes randomness.
+        let mut cfg = base_cfg();
+        cfg.iter_sigma = 0.2;
+        cfg.availability = vec![AvailabilitySpec::Renewal {
+            pmf: cdsf_pmf::Pmf::from_pairs([(0.25, 0.25), (1.0, 0.75)]).unwrap(),
+            mean_dwell: 80.0,
+        }];
+        let mut r1 = rng(5);
+        let mut one = ExecutorSession::new(&TechniqueKind::Fac, cfg.clone(), 0.0, &mut r1).unwrap();
+        let SessionStatus::Completed { finish: f_one } = one.advance_until(f64::INFINITY, &mut r1)
+        else {
+            panic!("must complete")
+        };
+        let mut r2 = rng(5);
+        let mut many = ExecutorSession::new(&TechniqueKind::Fac, cfg, 0.0, &mut r2).unwrap();
+        let mut t = 100.0;
+        let f_many = loop {
+            match many.advance_until(t, &mut r2) {
+                SessionStatus::Completed { finish } => break finish,
+                SessionStatus::Paused => t += 173.0,
+            }
+        };
+        assert_eq!(f_one, f_many);
+    }
+
+    #[test]
+    fn session_interrupt_during_serial_prologue() {
+        let cfg = ExecutorConfig::builder()
+            .workers(4)
+            .serial_iters(100)
+            .parallel_iters(400)
+            .iter_time_mean_sigma(1.0, 0.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut r = rng(3);
+        let mut s = ExecutorSession::new(&TechniqueKind::Fac, cfg, 0.0, &mut r).unwrap();
+        assert_eq!(s.serial_end(), 100.0); // dedicated worker, σ = 0
+        assert_eq!(s.advance_until(30.0, &mut r), SessionStatus::Paused);
+        let resume = s.interrupt(30.0, &mut r);
+        assert_eq!(resume.serial_iters_left, 70);
+        assert_eq!(resume.parallel_iters_left, 400);
+        assert!(resume.wasted_work < 1.0, "wasted {}", resume.wasted_work);
+    }
+
+    #[test]
+    fn session_interrupt_conserves_parallel_iterations() {
+        let cfg = base_cfg(); // 4096 iters, 4 dedicated workers, σ = 0
+        let mut r = rng(11);
+        let mut s = ExecutorSession::new(&TechniqueKind::Fac, cfg.clone(), 0.0, &mut r).unwrap();
+        assert_eq!(s.advance_until(1000.0, &mut r), SessionStatus::Paused);
+        let undispatched = s.remaining_parallel();
+        let resume = s.interrupt(1000.0, &mut r);
+        assert_eq!(resume.serial_iters_left, 0);
+        // Aborted in-flight chunks return their iterations on top of the
+        // undispatched pool; completed iterations stay completed.
+        assert!(resume.parallel_iters_left >= undispatched);
+        assert!(resume.parallel_iters_left < cfg.parallel_iters);
+        // Dedicated workers, 500 time units: at most 4·500 iterations of
+        // progress can be wiped out, and wasted work is bounded by what the
+        // aborted chunks could have computed by t.
+        let done = cfg.parallel_iters - resume.parallel_iters_left;
+        assert!(done > 0, "some iterations must survive the interrupt");
+        assert!(resume.wasted_work <= 4.0 * 1000.0);
+    }
+
+    #[test]
+    fn session_resume_completes_leftover_work() {
+        // Interrupt a run, rebuild a fresh session with the leftover
+        // counts (as a remap would), and finish it: total iterations done
+        // across both sessions must equal the original workload.
+        let cfg = base_cfg();
+        let mut r = rng(17);
+        let mut first =
+            ExecutorSession::new(&TechniqueKind::Fac, cfg.clone(), 0.0, &mut r).unwrap();
+        assert_eq!(first.advance_until(400.0, &mut r), SessionStatus::Paused);
+        let resume = first.interrupt(400.0, &mut r);
+        let cfg2 = ExecutorConfig::builder()
+            .workers(2)
+            .parallel_iters(resume.parallel_iters_left)
+            .iter_time_mean_sigma(1.0, 0.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut second = ExecutorSession::new(&TechniqueKind::Fac, cfg2, 400.0, &mut r).unwrap();
+        let SessionStatus::Completed { finish } = second.advance_until(f64::INFINITY, &mut r)
+        else {
+            panic!("resumed session must complete")
+        };
+        // 2 dedicated workers at unit speed from t = 400.
+        let expect = 400.0 + resume.parallel_iters_left as f64 / 2.0;
+        assert!(
+            (finish - expect).abs() < 16.0,
+            "finish {finish} vs fluid bound {expect}"
+        );
+    }
+
+    #[test]
+    fn session_validates_start() {
+        let cfg = base_cfg();
+        let mut r = rng(1);
+        assert!(ExecutorSession::new(&TechniqueKind::Fac, cfg.clone(), -1.0, &mut r).is_err());
+        assert!(ExecutorSession::new(&TechniqueKind::Fac, cfg, f64::INFINITY, &mut r).is_err());
     }
 
     #[test]

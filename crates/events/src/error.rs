@@ -1,0 +1,88 @@
+use std::fmt;
+
+/// Errors produced by the online scheduling layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EventsError {
+    /// Engine configuration or fault plan inconsistent with the workload.
+    BadConfig {
+        /// What is wrong.
+        what: &'static str,
+    },
+    /// A numeric parameter was out of its domain.
+    BadParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Failure in the framework layer (policies, thread defaults).
+    Core(cdsf_core::CoreError),
+    /// Failure in Stage-I allocation or the φ₁ engine.
+    Ra(cdsf_ra::RaError),
+    /// Failure in a Stage-II executor session.
+    Dls(cdsf_dls::DlsError),
+    /// Failure in the system model (platform/application construction).
+    System(cdsf_system::SystemError),
+    /// Failure in PMF arithmetic (availability scaling).
+    Pmf(cdsf_pmf::PmfError),
+}
+
+impl fmt::Display for EventsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventsError::BadConfig { what } => write!(f, "invalid event-engine setup: {what}"),
+            EventsError::BadParameter { name, value } => {
+                write!(f, "parameter `{name}` = {value} is out of domain")
+            }
+            EventsError::Core(e) => write!(f, "framework error: {e}"),
+            EventsError::Ra(e) => write!(f, "stage I error: {e}"),
+            EventsError::Dls(e) => write!(f, "stage II error: {e}"),
+            EventsError::System(e) => write!(f, "system model error: {e}"),
+            EventsError::Pmf(e) => write!(f, "pmf error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EventsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EventsError::Core(e) => Some(e),
+            EventsError::Ra(e) => Some(e),
+            EventsError::Dls(e) => Some(e),
+            EventsError::System(e) => Some(e),
+            EventsError::Pmf(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cdsf_core::CoreError> for EventsError {
+    fn from(e: cdsf_core::CoreError) -> Self {
+        EventsError::Core(e)
+    }
+}
+
+impl From<cdsf_ra::RaError> for EventsError {
+    fn from(e: cdsf_ra::RaError) -> Self {
+        EventsError::Ra(e)
+    }
+}
+
+impl From<cdsf_dls::DlsError> for EventsError {
+    fn from(e: cdsf_dls::DlsError) -> Self {
+        EventsError::Dls(e)
+    }
+}
+
+impl From<cdsf_system::SystemError> for EventsError {
+    fn from(e: cdsf_system::SystemError) -> Self {
+        EventsError::System(e)
+    }
+}
+
+impl From<cdsf_pmf::PmfError> for EventsError {
+    fn from(e: cdsf_pmf::PmfError) -> Self {
+        EventsError::Pmf(e)
+    }
+}

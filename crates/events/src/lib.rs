@@ -1,0 +1,76 @@
+//! # `cdsf-events` — the event-driven online scheduling layer
+//!
+//! The paper's CDSF maps a batch once (Stage I) and lets dynamic loop
+//! scheduling absorb runtime uncertainty (Stage II); its future work asks
+//! what happens when runtime availability diverges from the historical
+//! model *mid-execution*. This crate answers that question with a
+//! deterministic discrete-event engine that runs a batch forward in time
+//! under a declarative fault scenario
+//! ([`cdsf_workloads::faults::FaultPlan`]):
+//!
+//! * **staggered arrivals** start each application's Stage-II executor at
+//!   its own time on the group Stage I assigned it;
+//! * **availability drift** periodically redraws each processor type's
+//!   availability PMF around the historical reference;
+//! * **injected faults** — permanent processor-group crashes, persistent
+//!   availability collapses, and transient near-zero stalls;
+//! * **watchdogs** project every running application's completion time at
+//!   fixed checkpoints and flag projected deadline misses.
+//!
+//! On a configured trigger (a crash, live `φ₁` dropping below a threshold
+//! after a collapse/drift, or a watchdog firing) the engine performs
+//! **reactive Stage-I remapping**: unfinished applications are re-allocated
+//! on the surviving resources by any [`cdsf_core::ImPolicy`] against a
+//! [`cdsf_ra::Phi1Engine`] built live for the *remnant* batch, and the
+//! Stage-II executors resume with carried-over iteration counts
+//! ([`cdsf_dls::executor::ExecutorSession`]). With remapping disabled the
+//! engine instead clamps each affected group to the surviving capacity —
+//! the static baseline the remapper is measured against.
+//!
+//! ## Determinism contract
+//!
+//! The same `(batch, platform, plan, config)` produces a byte-identical
+//! serialized [`EventLog`], for any worker-thread count: every
+//! application session owns an RNG stream seeded from
+//! `(seed, app, generation)`, drift scales are hash-derived from
+//! `(seed, type, round)`, the event schedule is fixed up front with a
+//! stable sort, and completions are reported in `(time, app)` order.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod engine;
+mod error;
+pub mod event;
+pub mod metrics;
+
+pub use config::EngineConfig;
+pub use engine::{EventEngine, RunReport};
+pub use error::EventsError;
+pub use event::{EventLog, EventRecord, LogEntry, RemapAssignment, RemapReason};
+pub use metrics::{AppOutcome, RunMetrics};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, EventsError>;
+
+/// Assembles the paper fixture plus a named fault scenario — the shared
+/// entry point of the `cdsf events` CLI subcommand, the golden snapshot,
+/// the regression tests, and the criterion bench. `pulses` controls the
+/// execution-time discretization (16 is plenty for scenario studies;
+/// the paper reproduction uses 64).
+pub fn paper_scenario(
+    name: &str,
+    pulses: usize,
+) -> Option<(
+    cdsf_system::Batch,
+    cdsf_system::Platform,
+    cdsf_workloads::faults::FaultPlan,
+)> {
+    let plan = cdsf_workloads::faults::scenario(name)?;
+    Some((
+        cdsf_workloads::paper::batch_with_pulses(pulses),
+        cdsf_workloads::paper::platform(),
+        plan,
+    ))
+}

@@ -1,0 +1,135 @@
+//! Property-based invariants of the online event engine over randomly
+//! generated fault plans:
+//!
+//! * **conservation** — every application that arrives terminates exactly
+//!   once (finished, missed, or dropped with a cause);
+//! * **determinism** — identical `(plan, seed)` replays byte-identically;
+//! * **capacity** — no mapping entry in the log (initial, remap, or clamp)
+//!   ever assigns more processors of a type than survive at that moment.
+
+use cdsf_events::{EngineConfig, EventEngine, LogEntry, RunReport};
+use cdsf_workloads::faults::{FaultPlan, SCENARIO_DEADLINE, SCENARIO_PULSES};
+use proptest::prelude::*;
+
+/// Strategy: one random fault — `(kind, time, type, u)` with the unit draw
+/// `u` shaping the kind-specific parameter — valid for the two-type paper
+/// platform and firing inside the run horizon (2 · deadline).
+fn arb_fault() -> impl Strategy<Value = (u8, f64, usize, f64)> {
+    (0u8..3, 50.0f64..9_000.0, 0usize..2, 0.0f64..1.0)
+}
+
+/// Strategy: a full plan — up to three staggered arrivals, up to three
+/// faults, and (half the time) a drift process.
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        collection::vec(0.0f64..1_500.0, 0..=3),
+        collection::vec(arb_fault(), 0..=3),
+        (0u8..2, 300.0f64..2_000.0, 0.4f64..0.9),
+    )
+        .prop_map(|(arrivals, faults, (with_drift, period, min_scale))| {
+            let mut plan = FaultPlan::new("generated").arrivals(&arrivals);
+            for (kind, time, proc_type, u) in faults {
+                plan = match kind {
+                    0 => plan.crash_at(time, proc_type, 1 + (u * 7.99) as u32),
+                    1 => plan.collapse_at(time, proc_type, 0.15 + u * 0.7),
+                    _ => plan.stall_at(time, proc_type, 50.0 + u * 1_950.0),
+                };
+            }
+            if with_drift == 1 {
+                plan = plan.drift(period, min_scale, 1.0);
+            }
+            plan
+        })
+}
+
+fn run(plan: &FaultPlan, remap: bool, seed: u64) -> RunReport {
+    let (batch, platform, _) =
+        cdsf_events::paper_scenario("crash", SCENARIO_PULSES).expect("paper fixture");
+    let mut cfg = EngineConfig::new(SCENARIO_DEADLINE);
+    cfg.remap = remap;
+    cfg.seed = seed;
+    cfg.threads = 2;
+    EventEngine::new(&batch, &platform, plan, &cfg)
+        .expect("generated plan validates")
+        .run()
+        .expect("generated plan runs")
+}
+
+/// Walks the log asserting the capacity invariant: every mapping entry
+/// fits within the processors surviving when it was written, and every
+/// group size is a power of two.
+fn assert_capacity_invariant(report: &RunReport) {
+    // The paper platform: 4 Type-1 + 8 Type-2 processors.
+    let mut alive = [4u32, 8u32];
+    for r in &report.log.records {
+        match &r.entry {
+            LogEntry::Crash {
+                proc_type,
+                surviving,
+                ..
+            } => alive[*proc_type] = *surviving,
+            LogEntry::InitialMap { assignments, .. } | LogEntry::Remap { assignments, .. } => {
+                let mut used = [0u32, 0u32];
+                for a in assignments {
+                    assert!(a.procs.is_power_of_two(), "group {} not 2^k", a.procs);
+                    used[a.proc_type] += a.procs;
+                }
+                for j in 0..2 {
+                    assert!(
+                        used[j] <= alive[j],
+                        "t={}: {} procs of type {j} assigned, {} alive",
+                        r.time,
+                        used[j],
+                        alive[j]
+                    );
+                }
+            }
+            LogEntry::Clamp { procs, .. } => {
+                assert!(procs.is_power_of_two(), "clamped group {procs} not 2^k");
+            }
+            _ => {}
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every arrived application ends in exactly one terminal state, with
+    /// and without reactive remapping.
+    #[test]
+    fn applications_are_conserved(plan in arb_plan(), remap_bit in 0u8..2, seed in 0u64..1_000) {
+        let remap = remap_bit == 1;
+        let report = run(&plan, remap, seed);
+        let m = &report.metrics;
+        prop_assert_eq!(m.apps, 3);
+        prop_assert_eq!(m.finished + m.missed + m.dropped, m.apps);
+        prop_assert_eq!(m.per_app.len(), m.apps);
+        for o in &m.per_app {
+            let terminal = o.outcome == "finished"
+                || o.outcome == "missed"
+                || o.outcome.starts_with("dropped: ");
+            prop_assert!(terminal, "app {} has no terminal outcome: {}", o.app, o.outcome);
+            prop_assert!(o.end >= 0.0 && o.end.is_finite());
+        }
+        let expected_rate = m.finished as f64 / m.apps as f64;
+        prop_assert!((m.deadline_hit_rate - expected_rate).abs() < 1e-12);
+    }
+
+    /// Identical `(plan, seed)` replays byte-identically.
+    #[test]
+    fn replay_is_deterministic(plan in arb_plan(), seed in 0u64..1_000) {
+        let a = run(&plan, true, seed);
+        let b = run(&plan, true, seed);
+        prop_assert_eq!(a.log.to_json().unwrap(), b.log.to_json().unwrap());
+        prop_assert_eq!(a.metrics, b.metrics);
+    }
+
+    /// Remapping never assigns more processors than survive.
+    #[test]
+    fn mappings_fit_surviving_capacity(plan in arb_plan(), remap_bit in 0u8..2, seed in 0u64..1_000) {
+        let remap = remap_bit == 1;
+        let report = run(&plan, remap, seed);
+        assert_capacity_invariant(&report);
+    }
+}

@@ -38,7 +38,9 @@ pub struct Exhaustive {
 
 impl Default for Exhaustive {
     fn default() -> Self {
-        Self { threads: 4 }
+        Self {
+            threads: cdsf_system::default_threads(),
+        }
     }
 }
 

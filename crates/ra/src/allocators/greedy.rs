@@ -60,7 +60,9 @@ impl Default for GreedyMinTime {
 impl GreedyMinTime {
     /// Creates the policy with the default thread count.
     pub fn new() -> Self {
-        Self { threads: 4 }
+        Self {
+            threads: cdsf_system::default_threads(),
+        }
     }
 }
 
@@ -164,7 +166,9 @@ impl Default for GreedyMaxRobust {
 impl GreedyMaxRobust {
     /// Creates the policy with the default thread count.
     pub fn new() -> Self {
-        Self { threads: 4 }
+        Self {
+            threads: cdsf_system::default_threads(),
+        }
     }
 }
 
@@ -252,7 +256,9 @@ impl Default for Sufferage {
 impl Sufferage {
     /// Creates the policy with the default thread count.
     pub fn new() -> Self {
-        Self { threads: 4 }
+        Self {
+            threads: cdsf_system::default_threads(),
+        }
     }
 }
 

@@ -152,7 +152,7 @@ impl Default for SimulatedAnnealing {
             cooling: 0.9995,
             seed: 0x5EED,
             restarts: 4,
-            threads: 4,
+            threads: cdsf_system::default_threads(),
         }
     }
 }
@@ -346,7 +346,7 @@ impl Default for GeneticAlgorithm {
             mutation_rate: 0.05,
             tournament: 3,
             seed: 0xBEEF,
-            threads: 4,
+            threads: cdsf_system::default_threads(),
         }
     }
 }
@@ -390,7 +390,7 @@ impl GeneticAlgorithm {
             mutation_rate,
             tournament,
             seed,
-            threads: 4,
+            threads: cdsf_system::default_threads(),
         })
     }
 

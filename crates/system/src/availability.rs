@@ -470,6 +470,30 @@ impl Timeline {
         }
     }
 
+    /// Dedicated-speed work delivered over `[t0, t1]`: `∫_t0^t1 A(s) ds`.
+    ///
+    /// The inverse query of [`Timeline::finish_time`] — used to account
+    /// for partial progress when a computation is interrupted at `t1`
+    /// (fault injection, reactive remapping). Returns 0 for `t1 ≤ t0`.
+    pub fn work_between(&mut self, t0: f64, t1: f64, rng: &mut dyn RngCore) -> f64 {
+        assert!(t0 >= 0.0, "t0 must be non-negative, got {t0}");
+        if !(t1 > t0) {
+            return 0.0;
+        }
+        self.extend_to_time(t1, rng);
+        let mut acc = 0.0;
+        let first = self.starts.partition_point(|&s| s <= t0) - 1;
+        for k in first..self.levels.len() {
+            let s = self.starts[k].max(t0);
+            if s >= t1 {
+                break;
+            }
+            let e = self.starts[k + 1].min(t1);
+            acc += (e - s) * self.levels[k];
+        }
+        acc
+    }
+
     /// Average availability over `[0, t]` for a materialized horizon —
     /// diagnostic used by tests to confirm stationary behaviour.
     pub fn mean_availability_until(&mut self, t: f64, rng: &mut dyn RngCore) -> f64 {
@@ -714,6 +738,48 @@ mod tests {
         let mut r = rng();
         let mean = tl.mean_availability_until(300_000.0, &mut r);
         assert!((mean - want).abs() < 0.01, "long-run {mean} vs {want}");
+    }
+
+    #[test]
+    fn work_between_inverts_finish_time() {
+        let pmf = Pmf::from_pairs([(0.25, 0.25), (0.5, 0.25), (1.0, 0.5)]).unwrap();
+        let spec = AvailabilitySpec::Renewal {
+            pmf,
+            mean_dwell: 5.0,
+        };
+        let mut tl = Timeline::new(&spec).unwrap();
+        let mut r = rng();
+        for (start, work) in [(0.0, 17.0), (3.0, 100.0), (42.5, 1.0)] {
+            let finish = tl.finish_time(start, work, &mut r);
+            let got = tl.work_between(start, finish, &mut r);
+            assert!(
+                (got - work).abs() < 1e-9,
+                "∫A over [{start}, {finish}] = {got}, expected {work}"
+            );
+        }
+    }
+
+    #[test]
+    fn work_between_degenerate_intervals() {
+        let mut tl = Timeline::new(&AvailabilitySpec::Constant { a: 0.5 }).unwrap();
+        let mut r = rng();
+        assert_eq!(tl.work_between(5.0, 5.0, &mut r), 0.0);
+        assert_eq!(tl.work_between(9.0, 2.0, &mut r), 0.0);
+        assert!((tl.work_between(2.0, 10.0, &mut r) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn work_between_is_additive() {
+        let spec = AvailabilitySpec::Trace {
+            segments: vec![(1.0, 10.0), (0.25, 10.0)],
+        };
+        let mut tl = Timeline::new(&spec).unwrap();
+        let mut r = rng();
+        let whole = tl.work_between(0.0, 35.0, &mut r);
+        let parts = tl.work_between(0.0, 12.0, &mut r) + tl.work_between(12.0, 35.0, &mut r);
+        assert!((whole - parts).abs() < 1e-12);
+        // 10·1 + 10·0.25 + 10·1 + 5·0.25 = 23.75.
+        assert!((whole - 23.75).abs() < 1e-12);
     }
 
     #[test]

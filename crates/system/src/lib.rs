@@ -38,3 +38,15 @@ pub use platform::{Platform, ProcTypeId, ProcessorType};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, SystemError>;
+
+/// The default worker-thread count for parallel computation: the host's
+/// available parallelism, floored at 1. Every parallel path in the
+/// workspace is thread-count-invariant in its *results* (see `DESIGN.md`),
+/// so this only tunes speed — except Monte-Carlo estimators, whose
+/// configs keep fixed thread defaults for cross-machine reproducibility.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .max(1)
+}

@@ -10,10 +10,14 @@
 //!   many processor types, and availability cases targeting a given
 //!   weighted-availability decrease (the paper's future-work "larger scale
 //!   problem").
+//! * [`faults`] — declarative [`faults::FaultPlan`] scenarios (arrivals,
+//!   crashes, collapses, stalls, drift) consumed by the `cdsf-events`
+//!   online engine, including named scenarios for the paper fixture.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod faults;
 pub mod generators;
 pub mod paper;
 pub mod traces;
