@@ -1,0 +1,432 @@
+//! Records the Stage-I φ₁ kernel performance snapshot (`BENCH_stage1.json`).
+//!
+//! Runs the same kernel comparisons as the `phi1_kernel` criterion suite
+//! (plus headline entries from `pmf_ops`/`ra_search` territory) with a
+//! self-contained median-of-samples timer, and writes machine-normalized
+//! results — medians plus the derived speedup ratios that the repo's perf
+//! trajectory tracks. Ratios, not absolute nanoseconds, are the contract:
+//! they divide out the host's clock so snapshots from different machines
+//! stay comparable.
+//!
+//! ```sh
+//! cargo run --release -p cdsf-bench --bin bench_snapshot          # refresh
+//! cargo run --release -p cdsf-bench --bin bench_snapshot -- --check
+//! ```
+//!
+//! `--check` runs a reduced-iteration smoke pass (validating that every
+//! kernel still executes) and then verifies the *committed* snapshot
+//! exists and is schema-valid, without overwriting it — the CI guard.
+
+use cdsf_pmf::discretize::{Discretize, Normal};
+use cdsf_pmf::Pmf;
+use cdsf_ra::robustness::ProbabilityTable;
+use cdsf_ra::{Assignment, DeltaFitness, OptionProbs, Phi1Engine};
+use cdsf_system::{Batch, Platform};
+use cdsf_workloads::generators::{BatchGenerator, PlatformGenerator, Range};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::{json, Value};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Current snapshot schema. Bump when the JSON shape changes.
+const SCHEMA_VERSION: u64 = 1;
+
+const DEADLINE: f64 = 2_800.0;
+
+fn snapshot_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_stage1.json")
+}
+
+/// Median wall-clock nanoseconds per call over `samples` samples of
+/// `iters` calls each.
+fn measure<F: FnMut()>(samples: usize, iters: usize, mut f: F) -> f64 {
+    let mut medians = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        medians.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    medians.sort_by(f64::total_cmp);
+    medians[medians.len() / 2]
+}
+
+/// The pre-rewrite `Pmf::cdf`: partition point plus a prefix re-sum.
+fn legacy_cdf(pmf: &Pmf, x: f64) -> f64 {
+    let idx = pmf.pulses().partition_point(|p| p.value <= x);
+    pmf.pulses()[..idx].iter().map(|p| p.prob).sum()
+}
+
+/// The pre-rewrite `Landscape::fitness`: a full probability-table walk.
+fn full_fitness(table: &ProbabilityTable, genome: &[Assignment]) -> f64 {
+    let mut p = 1.0;
+    for (i, asg) in genome.iter().enumerate() {
+        match table.prob(i, asg.proc_type, asg.procs) {
+            Some(q) => p *= q,
+            None => return 0.0,
+        }
+    }
+    p
+}
+
+fn bench_instance(num_apps: usize) -> (Batch, Platform) {
+    let platform = PlatformGenerator {
+        num_types: 3,
+        procs_per_type: (8, 16),
+        availability_pulses: 3,
+        availability_range: Range::new(0.3, 1.0).unwrap(),
+    }
+    .generate(11)
+    .unwrap();
+    let batch = BatchGenerator {
+        num_apps,
+        total_iters: (1_000, 8_000),
+        serial_fraction: Range::new(0.02, 0.2).unwrap(),
+        mean_exec_time: Range::new(1_000.0, 6_000.0).unwrap(),
+        type_heterogeneity: Range::new(0.6, 1.8).unwrap(),
+        pulses: 12,
+    }
+    .generate(&platform, 12)
+    .unwrap();
+    (batch, platform)
+}
+
+struct BenchResult {
+    name: &'static str,
+    median_ns: f64,
+    per_unit: &'static str,
+}
+
+fn push(out: &mut Vec<BenchResult>, r: BenchResult) {
+    eprintln!("  {:<42} {:>12.1} ns/{}", r.name, r.median_ns, r.per_unit);
+    out.push(r);
+}
+
+fn run_suite(samples: usize, scale: usize) -> Vec<BenchResult> {
+    let mut out = Vec::new();
+
+    // --- pmf_ops territory: single-CDF lookup, prefix vs re-sum ---------
+    let pmf = Normal::new(1_000.0, 100.0).unwrap().equiprobable(1024);
+    push(
+        &mut out,
+        BenchResult {
+            name: "pmf/cdf/prefix_1024",
+            median_ns: measure(samples, 2_000 * scale, || {
+                black_box(pmf.cdf(black_box(1_050.0)));
+            }),
+            per_unit: "lookup",
+        },
+    );
+    push(
+        &mut out,
+        BenchResult {
+            name: "pmf/cdf/legacy_scan_1024",
+            median_ns: measure(samples, 500 * scale, || {
+                black_box(legacy_cdf(&pmf, black_box(1_050.0)));
+            }),
+            per_unit: "lookup",
+        },
+    );
+
+    // --- batched deadline sweep ------------------------------------------
+    let sweep: Vec<f64> = (0..256).map(|i| 600.0 + 3.2 * i as f64).collect();
+    push(
+        &mut out,
+        BenchResult {
+            name: "pmf/cdf_many/batched_256",
+            median_ns: measure(samples, 50 * scale, || {
+                black_box(pmf.cdf_many(black_box(&sweep)));
+            }),
+            per_unit: "sweep",
+        },
+    );
+    push(
+        &mut out,
+        BenchResult {
+            name: "pmf/cdf_many/pointwise_256",
+            median_ns: measure(samples, 50 * scale, || {
+                let v: Vec<f64> = sweep.iter().map(|&x| pmf.cdf(x)).collect();
+                black_box(v);
+            }),
+            per_unit: "sweep",
+        },
+    );
+
+    // --- engine build (the reactive-remap latency path) -------------------
+    let (batch, platform) = bench_instance(32);
+    push(
+        &mut out,
+        BenchResult {
+            name: "phi1/engine_build/t1_apps32",
+            median_ns: measure(samples, scale.max(1), || {
+                black_box(Phi1Engine::build(&batch, &platform).unwrap());
+            }),
+            per_unit: "build",
+        },
+    );
+    push(
+        &mut out,
+        BenchResult {
+            name: "phi1/engine_build/t4_apps32",
+            median_ns: measure(samples, scale.max(1), || {
+                black_box(Phi1Engine::build_parallel(&batch, &platform, 4).unwrap());
+            }),
+            per_unit: "build",
+        },
+    );
+
+    // --- probability-table derivation: SoA pass vs legacy nested scan -----
+    let engine = Phi1Engine::build(&batch, &platform).unwrap();
+    let deadlines: Vec<f64> = (0..32).map(|i| 1_200.0 + 100.0 * i as f64).collect();
+    push(
+        &mut out,
+        BenchResult {
+            name: "phi1/table_sweep/soa_32d",
+            median_ns: measure(samples, 5 * scale, || {
+                for &d in &deadlines {
+                    black_box(engine.table(d).unwrap());
+                }
+            }),
+            per_unit: "sweep",
+        },
+    );
+    push(
+        &mut out,
+        BenchResult {
+            name: "phi1/table_sweep/legacy_32d",
+            median_ns: measure(samples, 5 * scale, || {
+                for &d in &deadlines {
+                    let mut probs = Vec::with_capacity(engine.num_apps());
+                    for app in 0..engine.num_apps() {
+                        let mut per_type: Vec<Option<Vec<f64>>> = vec![None; engine.num_types()];
+                        for asg in engine.options(app) {
+                            let pmf = engine.loaded_pmf(app, asg.proc_type, asg.procs).unwrap();
+                            per_type[asg.proc_type.0]
+                                .get_or_insert_with(Vec::new)
+                                .push(legacy_cdf(pmf, d));
+                        }
+                        probs.push(per_type);
+                    }
+                    black_box(probs);
+                }
+            }),
+            per_unit: "sweep",
+        },
+    );
+
+    // --- SA mutation-evaluation throughput --------------------------------
+    let (big_batch, big_platform) = bench_instance(64);
+    let big_engine = Phi1Engine::build(&big_batch, &big_platform).unwrap();
+    let table = big_engine.table(DEADLINE).unwrap();
+    let probs = OptionProbs::from_engine(&big_engine, DEADLINE).unwrap();
+    let options: Vec<Vec<Assignment>> = (0..big_engine.num_apps())
+        .map(|a| big_engine.options(a))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(7);
+    let genome: Vec<Assignment> = options.iter().map(|o| o[o.len() - 1]).collect();
+    let moves: Vec<(usize, Assignment)> = (0..4_096)
+        .map(|_| {
+            let app = rng.gen_range(0..genome.len());
+            (app, options[app][rng.gen_range(0..options[app].len())])
+        })
+        .collect();
+    let n_moves = moves.len() as f64;
+    push(
+        &mut out,
+        BenchResult {
+            name: "phi1/sa_mutation/delta_apps64",
+            median_ns: measure(samples, scale.max(1), || {
+                let mut delta = DeltaFitness::new(&probs, &genome);
+                let mut acc = 0.0;
+                for &(app, asg) in &moves {
+                    delta.set_gene(app, asg);
+                    acc += delta.fitness();
+                }
+                black_box(acc);
+            }) / n_moves,
+            per_unit: "mutation_eval",
+        },
+    );
+    push(
+        &mut out,
+        BenchResult {
+            name: "phi1/sa_mutation/full_recompute_apps64",
+            median_ns: measure(samples, scale.max(1), || {
+                let mut g = genome.clone();
+                let mut acc = 0.0;
+                for &(app, asg) in &moves {
+                    g[app] = asg;
+                    acc += full_fitness(&table, &g);
+                }
+                black_box(acc);
+            }) / n_moves,
+            per_unit: "mutation_eval",
+        },
+    );
+
+    // --- ra_search territory: one full SA allocation ----------------------
+    // 16 apps: comfortably within the seed-11 platform's 31 processors, so
+    // the instance is feasible and `Landscape::repair` terminates.
+    let (sa_batch, sa_platform) = bench_instance(16);
+    let sa = cdsf_ra::allocators::SimulatedAnnealing {
+        iterations: 2_000 * scale,
+        seed: 3,
+        threads: 1,
+        restarts: 1,
+        ..Default::default()
+    };
+    use cdsf_ra::Allocator;
+    push(
+        &mut out,
+        BenchResult {
+            name: "ra/sa_allocate/apps16",
+            median_ns: measure(samples, 1, || {
+                black_box(sa.allocate(&sa_batch, &sa_platform, DEADLINE).unwrap());
+            }),
+            per_unit: "allocation",
+        },
+    );
+
+    out
+}
+
+fn median_of(results: &[BenchResult], name: &str) -> f64 {
+    results
+        .iter()
+        .find(|r| r.name == name)
+        .unwrap_or_else(|| panic!("missing bench {name}"))
+        .median_ns
+}
+
+fn to_json(results: &[BenchResult], mode: &str) -> Value {
+    let delta = median_of(results, "phi1/sa_mutation/delta_apps64");
+    let full = median_of(results, "phi1/sa_mutation/full_recompute_apps64");
+    let soa = median_of(results, "phi1/table_sweep/soa_32d");
+    let legacy_table = median_of(results, "phi1/table_sweep/legacy_32d");
+    let prefix = median_of(results, "pmf/cdf/prefix_1024");
+    let scan = median_of(results, "pmf/cdf/legacy_scan_1024");
+    json!({
+        "schema_version": SCHEMA_VERSION,
+        "mode": mode,
+        "instance": json!({
+            "sa_mutation_apps": 64,
+            "sa_allocate_apps": 16,
+            "table_sweep_apps": 32,
+            "table_sweep_deadlines": 32,
+            "deadline": DEADLINE,
+        }),
+        "benches": results.iter().map(|r| json!({
+            "name": r.name,
+            "median_ns": r.median_ns,
+            "per": r.per_unit,
+        })).collect::<Vec<_>>(),
+        "derived": json!({
+            "sa_mutation_speedup": full / delta,
+            "table_sweep_speedup": legacy_table / soa,
+            "cdf_lookup_speedup": scan / prefix,
+            "candidate_evals_per_sec": 1e9 / delta,
+        }),
+    })
+}
+
+/// Validates the committed snapshot's schema; returns an error string on
+/// the first violation.
+fn validate(snapshot: &Value) -> Result<(), String> {
+    let schema = snapshot
+        .get("schema_version")
+        .and_then(Value::as_u64)
+        .ok_or("missing schema_version")?;
+    if schema != SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {schema} != supported {SCHEMA_VERSION}"
+        ));
+    }
+    let benches = snapshot
+        .get("benches")
+        .and_then(Value::as_array)
+        .ok_or("missing benches array")?;
+    if benches.is_empty() {
+        return Err("benches array is empty".into());
+    }
+    for b in benches {
+        let name = b
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("bench entry missing name")?;
+        let ns = b
+            .get("median_ns")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("bench {name} missing median_ns"))?;
+        if !(ns > 0.0) || !ns.is_finite() {
+            return Err(format!("bench {name} has invalid median_ns {ns}"));
+        }
+    }
+    let derived = snapshot
+        .get("derived")
+        .ok_or("missing derived metrics object")?;
+    for key in [
+        "sa_mutation_speedup",
+        "table_sweep_speedup",
+        "cdf_lookup_speedup",
+        "candidate_evals_per_sec",
+    ] {
+        let v = derived
+            .get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("derived missing {key}"))?;
+        if !(v > 0.0) || !v.is_finite() {
+            return Err(format!("derived {key} is invalid: {v}"));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let path = snapshot_path();
+
+    let (samples, scale, mode) = if check {
+        (3, 1, "check")
+    } else {
+        (9, 4, "full")
+    };
+    eprintln!("running φ₁ kernel suite ({mode} mode)...");
+    let results = run_suite(samples, scale);
+    let snapshot = to_json(&results, mode);
+    let derived = &snapshot["derived"];
+    eprintln!(
+        "  sa_mutation_speedup   {:.2}x\n  table_sweep_speedup   {:.2}x\n  cdf_lookup_speedup    {:.2}x\n  candidate_evals/sec   {:.3e}",
+        derived["sa_mutation_speedup"].as_f64().unwrap(),
+        derived["table_sweep_speedup"].as_f64().unwrap(),
+        derived["cdf_lookup_speedup"].as_f64().unwrap(),
+        derived["candidate_evals_per_sec"].as_f64().unwrap(),
+    );
+
+    if check {
+        // Smoke pass done; now guard the committed snapshot.
+        let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!(
+                "error: committed snapshot {} unreadable: {e}",
+                path.display()
+            );
+            std::process::exit(1);
+        });
+        let committed: Value = serde_json::from_str(&raw).unwrap_or_else(|e| {
+            eprintln!("error: committed snapshot is not valid JSON: {e}");
+            std::process::exit(1);
+        });
+        if let Err(msg) = validate(&committed) {
+            eprintln!("error: committed snapshot is schema-invalid: {msg}");
+            std::process::exit(1);
+        }
+        eprintln!("ok: committed {} is schema-valid", path.display());
+    } else {
+        validate(&snapshot).expect("freshly-produced snapshot must be schema-valid");
+        std::fs::write(&path, serde_json::to_string_pretty(&snapshot).unwrap())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
+    }
+}

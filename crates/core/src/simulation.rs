@@ -182,13 +182,13 @@ pub fn simulate_grid(
     let next = AtomicUsize::new(0);
     let results: Vec<Option<CellResult>> = {
         let cells = parking_lot::Mutex::new(vec![None; tasks.len()]);
-        crossbeam::thread::scope(|scope| -> Result<()> {
+        std::thread::scope(|scope| -> Result<()> {
             let mut handles = Vec::new();
             for _ in 0..params.threads {
                 let tasks = &tasks;
                 let next = &next;
                 let cells = &cells;
-                handles.push(scope.spawn(move |_| -> Result<()> {
+                handles.push(scope.spawn(move || -> Result<()> {
                     loop {
                         let idx = next.fetch_add(1, Ordering::Relaxed);
                         if idx >= tasks.len() {
@@ -214,8 +214,7 @@ pub fn simulate_grid(
                 h.join().expect("simulation worker panicked")?;
             }
             Ok(())
-        })
-        .expect("simulation scope panicked")?;
+        })?;
         cells.into_inner()
     };
 

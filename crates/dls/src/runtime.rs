@@ -2,7 +2,7 @@
 //! body with any [`TechniqueKind`].
 //!
 //! Everything else in this crate *simulates* loop execution; this module
-//! *performs* it. [`run_parallel_loop`] spawns worker threads (crossbeam
+//! *performs* it. [`run_parallel_loop`] spawns worker threads (std
 //! scoped, no 'static bound on the body), and each worker repeatedly:
 //!
 //! 1. locks the shared [`Scheduler`], asks the technique for a chunk
@@ -199,12 +199,12 @@ where
     let per_worker_busy: Vec<Mutex<f64>> = (0..threads).map(|_| Mutex::new(0.0)).collect();
 
     let wall_start = Instant::now();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for w in 0..threads {
             let shared = &shared;
             let iters_slot = &per_worker_iterations[w];
             let busy_slot = &per_worker_busy[w];
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let claimed = shared.lock().claim(w);
                 let Some((start, size)) = claimed else { break };
                 let t0 = Instant::now();
@@ -217,8 +217,7 @@ where
                 *busy_slot.lock() += seconds;
             });
         }
-    })
-    .expect("runtime worker panicked");
+    });
     let wall_seconds = wall_start.elapsed().as_secs_f64();
 
     let chunks = shared.into_inner().chunks;

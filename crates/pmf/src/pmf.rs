@@ -1,7 +1,7 @@
 //! The [`Pmf`] type: a finite discrete probability mass function over `f64`.
 
 use crate::{PmfError, Result};
-use serde::{Deserialize, Serialize};
+use serde::{Content, DeError, Deserialize, Serialize};
 
 /// Tolerance used when checking that probabilities sum to one.
 ///
@@ -35,9 +35,53 @@ pub struct Pulse {
 /// All binary operations assume *independence* of the two operands, which is
 /// the modelling assumption the paper makes throughout (execution times are
 /// independent across applications, and independent of availability).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Alongside the pulses the PMF stores a precomputed prefix-CDF table
+/// (`cum[i] = Σ_{j ≤ i} prob[j]`, summed left to right), so [`Pmf::cdf`]
+/// is a binary search plus one array read rather than a re-summation.
+/// Because the prefix sums accumulate in exactly the pulse order the old
+/// linear scan used, every CDF value is bit-identical to the scan result.
+#[derive(Debug, Clone)]
 pub struct Pmf {
     pulses: Vec<Pulse>,
+    /// Prefix sums of the pulse probabilities: `cum[i] = prob[0] + … +
+    /// prob[i]` folded left to right from `0.0`. Derived from `pulses` by
+    /// every constructor; excluded from equality and serialization.
+    cum: Vec<f64>,
+}
+
+impl PartialEq for Pmf {
+    fn eq(&self, other: &Self) -> bool {
+        // `cum` is a pure function of `pulses`; comparing it too would be
+        // redundant (and would make equality depend on an internal cache).
+        self.pulses == other.pulses
+    }
+}
+
+impl Serialize for Pmf {
+    fn to_content(&self) -> Content {
+        // Wire format identical to the former `#[derive(Serialize)]` on
+        // `struct Pmf { pulses: Vec<Pulse> }` — the prefix table is
+        // rebuilt on deserialization, never persisted.
+        Content::Map(vec![(
+            "pulses".to_string(),
+            Serialize::to_content(&self.pulses),
+        )])
+    }
+}
+
+impl Deserialize for Pmf {
+    fn from_content(content: &Content) -> std::result::Result<Self, DeError> {
+        let map = match content {
+            Content::Map(m) => m,
+            _ => return Err(DeError::custom("expected map for Pmf")),
+        };
+        let pulses: Vec<Pulse> = match serde::__field(map, "pulses") {
+            Some(v) => Deserialize::from_content(v)?,
+            None => serde::__missing("pulses")?,
+        };
+        Ok(Self::with_prefix_table(pulses))
+    }
 }
 
 impl Pmf {
@@ -195,7 +239,18 @@ impl Pmf {
                 prob: 1.0,
             });
         }
-        Self { pulses: out }
+        Self::with_prefix_table(out)
+    }
+
+    /// Wraps already-canonical pulses, computing the prefix-CDF table.
+    fn with_prefix_table(pulses: Vec<Pulse>) -> Self {
+        let mut cum = Vec::with_capacity(pulses.len());
+        let mut acc = 0.0f64;
+        for p in &pulses {
+            acc += p.prob;
+            cum.push(acc);
+        }
+        Self { pulses, cum }
     }
 
     // ------------------------------------------------------------------
@@ -279,10 +334,49 @@ impl Pmf {
 
     /// `Pr(X ≤ x)` — the paper's deadline-satisfaction probability when `x`
     /// is the deadline Δ and `self` is a completion-time PMF.
+    ///
+    /// A binary search over the sorted support plus one prefix-table read;
+    /// bit-identical to the legacy linear re-sum because the table folds
+    /// the probabilities in the same left-to-right order.
     pub fn cdf(&self, x: f64) -> f64 {
         // Pulses are sorted: partition_point finds the first value > x.
         let idx = self.pulses.partition_point(|p| p.value <= x);
-        self.pulses[..idx].iter().map(|p| p.prob).sum()
+        if idx == 0 {
+            0.0
+        } else {
+            self.cum[idx - 1]
+        }
+    }
+
+    /// Batched CDF: `Pr(X ≤ x)` for every query in `xs`, in input order.
+    ///
+    /// Ascending query sequences (the common deadline-sweep shape) are
+    /// answered in one merged pass over the support — `O(len + xs.len())`
+    /// instead of `O(xs.len()·log len)`; unsorted queries fall back to one
+    /// binary search each. Every element equals `self.cdf(x)` exactly.
+    pub fn cdf_many(&self, xs: &[f64]) -> Vec<f64> {
+        let sorted = xs.windows(2).all(|w| w[0] <= w[1]);
+        if !sorted {
+            return xs.iter().map(|&x| self.cdf(x)).collect();
+        }
+        let mut out = Vec::with_capacity(xs.len());
+        let mut idx = 0usize; // first pulse with value > current x
+        for &x in xs {
+            while idx < self.pulses.len() && self.pulses[idx].value <= x {
+                idx += 1;
+            }
+            out.push(if idx == 0 { 0.0 } else { self.cum[idx - 1] });
+        }
+        out
+    }
+
+    /// The prefix-CDF table: `cumulative()[i] = Pr(X ≤ pulses()[i].value)`,
+    /// accumulated left to right. One entry per pulse; the last entry is 1
+    /// within [`PROB_TOLERANCE`]. This is the raw material the Stage-I
+    /// engine copies into its SoA arena.
+    #[inline]
+    pub fn cumulative(&self) -> &[f64] {
+        &self.cum
     }
 
     /// `Pr(X > x)`.
@@ -325,14 +419,14 @@ impl Pmf {
     /// are clamped.
     pub fn quantile(&self, q: f64) -> f64 {
         let q = q.clamp(0.0, 1.0);
-        let mut acc = 0.0;
-        for p in &self.pulses {
-            acc += p.prob;
-            if acc + PROB_TOLERANCE >= q {
-                return p.value;
-            }
+        // First pulse whose prefix mass reaches q — the same answer the
+        // legacy walk produced, found by binary search on the prefix table
+        // (`cum` is non-decreasing, so the predicate is monotone).
+        let idx = self.cum.partition_point(|&c| c + PROB_TOLERANCE < q);
+        match self.pulses.get(idx) {
+            Some(p) => p.value,
+            None => self.max_value(),
         }
-        self.max_value()
     }
 
     // ------------------------------------------------------------------

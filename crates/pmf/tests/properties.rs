@@ -193,10 +193,68 @@ proptest! {
     }
 
     #[test]
-    fn serde_round_trip(pmf in arb_pmf()) {
+    fn serde_round_trip(pmf in arb_pmf(), x in -2e4f64..2e4f64) {
         let json = serde_json::to_string(&pmf).unwrap();
         let back: Pmf = serde_json::from_str(&json).unwrap();
         prop_assert!(pmf.approx_eq(&back, 0.0), "serde round-trip changed the PMF");
+        // The prefix-CDF table is not serialized; deserialization must
+        // rebuild it bit-identically.
+        prop_assert_eq!(back.cumulative(), pmf.cumulative());
+        prop_assert_eq!(back.cdf(x), pmf.cdf(x));
+    }
+
+    #[test]
+    fn prefix_cdf_equals_legacy_linear_scan(pmf in arb_pmf(), x in -2e4f64..2e4f64) {
+        // The pre-rewrite `cdf` re-summed its prefix on every call; the
+        // prefix table folds the same probabilities in the same order, so
+        // the results must be bit-identical — not merely close.
+        let legacy: f64 = pmf
+            .pulses()
+            .iter()
+            .take_while(|p| p.value <= x)
+            .map(|p| p.prob)
+            .sum();
+        prop_assert_eq!(pmf.cdf(x), legacy);
+        // Also at every support value (the boundary cases).
+        for p in pmf.pulses() {
+            let legacy_at: f64 = pmf
+                .pulses()
+                .iter()
+                .take_while(|q| q.value <= p.value)
+                .map(|q| q.prob)
+                .sum();
+            prop_assert_eq!(pmf.cdf(p.value), legacy_at);
+        }
+    }
+
+    #[test]
+    fn cdf_many_equals_pointwise_cdf(
+        pmf in arb_pmf(),
+        xs in prop::collection::vec(-2e4f64..2e4f64, 0..16),
+        sort_sel in 0u32..2,
+    ) {
+        // Both the merged single-pass path (sorted queries) and the
+        // binary-search fallback (unsorted) must agree with `cdf` exactly.
+        let mut xs = xs;
+        if sort_sel == 1 {
+            xs.sort_by(f64::total_cmp);
+        }
+        let batch = pmf.cdf_many(&xs);
+        prop_assert_eq!(batch.len(), xs.len());
+        for (&x, &c) in xs.iter().zip(&batch) {
+            prop_assert_eq!(c, pmf.cdf(x));
+        }
+    }
+
+    #[test]
+    fn cumulative_table_invariants(pmf in arb_pmf()) {
+        let cum = pmf.cumulative();
+        prop_assert_eq!(cum.len(), pmf.len());
+        prop_assert!(cum.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!((cum[cum.len() - 1] - 1.0).abs() <= 1e-6);
+        for (p, &c) in pmf.pulses().iter().zip(cum) {
+            prop_assert_eq!(pmf.cdf(p.value), c);
+        }
     }
 
     #[test]

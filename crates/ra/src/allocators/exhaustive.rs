@@ -301,14 +301,14 @@ impl Allocator for Exhaustive {
         let bound = AtomicU64::new(0);
         let cursor = AtomicUsize::new(0);
 
-        let results: Vec<Option<Best>> = crossbeam::thread::scope(|scope| {
+        let results: Vec<Option<Best>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.threads);
             for _ in 0..self.threads {
                 let space = &space;
                 let frontier = &frontier;
                 let bound = &bound;
                 let cursor = &cursor;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut best: Option<Best> = None;
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -336,8 +336,7 @@ impl Allocator for Exhaustive {
                 .into_iter()
                 .map(|h| h.join().expect("search worker panicked"))
                 .collect()
-        })
-        .expect("search scope panicked");
+        });
 
         let best = results
             .into_iter()

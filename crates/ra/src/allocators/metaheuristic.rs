@@ -1,27 +1,30 @@
 //! Metaheuristic allocators for large instances: simulated annealing and a
 //! genetic algorithm.
 //!
-//! Both operate on the shared [`Phi1Engine`]'s memoized probability table
-//! (so one candidate evaluation is `O(N)` lookups), maintain feasibility
-//! with a shared capacity-repair routine, and are fully deterministic given
-//! their seed — including under parallelism: SA runs independent restart
-//! chains with per-chain seeds and merges by `(fitness, lowest chain)`;
-//! GA evaluates fitness in order-stitched parallel chunks, which are pure
-//! table lookups and hence bit-identical to the serial sweep.
+//! Both score candidates through the flat [`OptionProbs`] φ₁ kernel (one
+//! evaluation is `N` contiguous array reads), the SA inner loop maintains
+//! its genome state incrementally via [`DeltaFitness`] (`O(changed)`
+//! lookups per mutation), and both maintain feasibility with a shared
+//! capacity-repair routine. They are fully deterministic given their seed
+//! — including under parallelism: SA runs independent restart chains with
+//! per-chain seeds and merges by `(fitness, lowest chain)`; GA evaluates
+//! fitness in order-stitched parallel chunks, which are pure array reads
+//! and hence bit-identical to the serial sweep.
 
 use super::{engine_options, Allocator};
 use crate::allocation::{Allocation, Assignment};
 use crate::engine::Phi1Engine;
-use crate::robustness::ProbabilityTable;
+use crate::phi1::{DeltaFitness, OptionProbs};
 use crate::{RaError, Result};
 use cdsf_system::{Batch, Platform};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Per-app option lists plus the probability table: the search landscape.
+/// Per-app option lists plus the flat per-option φ₁ probabilities: the
+/// search landscape.
 struct Landscape {
     options: Vec<Vec<Assignment>>,
-    table: ProbabilityTable,
+    probs: OptionProbs,
     capacities: Vec<u32>,
 }
 
@@ -33,11 +36,11 @@ impl Landscape {
     }
 
     fn from_engine(engine: &Phi1Engine, platform: &Platform, deadline: f64) -> Result<Self> {
-        let table = engine.table(deadline)?;
+        let probs = OptionProbs::from_engine(engine, deadline)?;
         let options = engine_options(engine)?;
         Ok(Self {
             options,
-            table,
+            probs,
             capacities: platform.types().iter().map(|t| t.count()).collect(),
         })
     }
@@ -46,16 +49,10 @@ impl Landscape {
         self.options.len()
     }
 
-    /// Joint probability of a genome; 0.0 for any missing lookup.
+    /// Joint probability of a genome; exactly 0.0 for any missing lookup
+    /// (bit-identical to the legacy probability-table product).
     fn fitness(&self, genome: &[Assignment]) -> f64 {
-        let mut p = 1.0;
-        for (i, asg) in genome.iter().enumerate() {
-            match self.table.prob(i, asg.proc_type, asg.procs) {
-                Some(q) => p *= q,
-                None => return 0.0,
-            }
-        }
-        p
+        self.probs.fitness(genome)
     }
 
     fn is_feasible(&self, genome: &[Assignment]) -> bool {
@@ -204,10 +201,17 @@ impl SimulatedAnnealing {
         if !land.is_feasible(&current) {
             return None;
         }
-        let mut current_fit = land.fitness(&current);
+        // Incremental evaluator over the current genome: a proposal only
+        // pays `O(changed)` probability lookups (the mutated gene plus any
+        // genes touched by repair), and the exact product it reports is
+        // bit-identical to a full recompute — so the Metropolis branch and
+        // the RNG stream are unchanged from the legacy O(N)-lookup loop.
+        let mut delta = DeltaFitness::new(&land.probs, &current);
+        let mut current_fit = delta.fitness();
         let mut best = current.clone();
         let mut best_fit = current_fit;
         let mut temp = self.initial_temp;
+        let mut changed: Vec<usize> = Vec::with_capacity(land.num_apps());
 
         for _ in 0..self.iterations {
             let app = rng.gen_range(0..land.num_apps());
@@ -219,7 +223,14 @@ impl SimulatedAnnealing {
                 temp *= self.cooling;
                 continue;
             }
-            let fit = land.fitness(&candidate);
+            changed.clear();
+            for (i, (new, old)) in candidate.iter().zip(&current).enumerate() {
+                if new != old {
+                    delta.set_gene(i, *new);
+                    changed.push(i);
+                }
+            }
+            let fit = delta.fitness();
             let accept = fit >= current_fit
                 || rng.gen::<f64>() < ((fit - current_fit) / temp.max(1e-12)).exp();
             if accept {
@@ -228,6 +239,12 @@ impl SimulatedAnnealing {
                 if fit > best_fit {
                     best = current.clone();
                     best_fit = fit;
+                }
+            } else {
+                // Roll the evaluator back to `current` (pure lookups, so
+                // the cached state is exactly as before the proposal).
+                for &i in &changed {
+                    delta.set_gene(i, current[i]);
                 }
             }
             temp *= self.cooling;
@@ -279,12 +296,12 @@ impl Allocator for SimulatedAnnealing {
         } else {
             let workers = self.threads.min(self.restarts);
             let chunk = self.restarts.div_ceil(workers);
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let land = &land;
                 let chain_seeds = &chain_seeds;
                 let mut handles = Vec::with_capacity(workers);
                 for t in 0..workers {
-                    handles.push(scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
                         let lo = t * chunk;
                         let hi = ((t + 1) * chunk).min(chain_seeds.len());
                         chain_seeds[lo..hi]
@@ -298,7 +315,6 @@ impl Allocator for SimulatedAnnealing {
                     .flat_map(|h| h.join().expect("annealing chain panicked"))
                     .collect()
             })
-            .expect("annealing scope panicked")
         };
 
         // Deterministic merge: best fitness, ties to the lowest chain index
@@ -400,22 +416,20 @@ impl GeneticAlgorithm {
             return pop.iter().map(|g| land.fitness(g)).collect();
         }
         let chunk = pop.len().div_ceil(self.threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.threads);
             for piece in pop.chunks(chunk) {
                 let land = &*land;
-                handles.push(
-                    scope.spawn(move |_| {
+                handles
+                    .push(scope.spawn(move || {
                         piece.iter().map(|g| land.fitness(g)).collect::<Vec<f64>>()
-                    }),
-                );
+                    }));
             }
             handles
                 .into_iter()
                 .flat_map(|h| h.join().expect("fitness worker panicked"))
                 .collect()
         })
-        .expect("fitness scope panicked")
     }
 }
 

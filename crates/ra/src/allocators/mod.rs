@@ -5,7 +5,7 @@
 //!   optimized.
 //! * [`Exhaustive`] — the paper's "robust IM": enumerate every feasible
 //!   allocation and keep the one maximizing `φ₁`. Parallelized with
-//!   crossbeam scoped threads; only viable for small instances, which is
+//!   scoped worker threads; only viable for small instances, which is
 //!   exactly the paper's point.
 //! * [`GreedyMinTime`], [`GreedyMaxRobust`], [`Sufferage`] — list-scheduling
 //!   heuristics in the Min-min/Max-min/Sufferage tradition, scored on the

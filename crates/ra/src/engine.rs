@@ -21,6 +21,18 @@
 //! any number of deadlines: [`Phi1Engine::table`] derives a
 //! [`ProbabilityTable`] for a given Δ with CDF evaluations only.
 //!
+//! # Storage layout
+//!
+//! Cells live in one contiguous arena (`cells: Vec<Cell>`) addressed by a
+//! flat `(app, type) → (start, len)` offset table, so a triple lookup is
+//! two array reads and an add — no nested `Vec<Vec<Option<Vec<_>>>>`
+//! pointer chasing. The hot query paths never touch the `Pmf` objects at
+//! all: the loaded PMFs' pulse values and prefix-CDF tables are mirrored
+//! into structure-of-arrays slices (`loaded_values` / `loaded_cums`,
+//! delimited by `pulse_off`, plus per-cell cached `expected`), so
+//! [`Phi1Engine::prob`] is a binary search over a contiguous `f64` run and
+//! [`Phi1Engine::table`] is one linear pass over the arena.
+//!
 //! # Determinism contract
 //!
 //! The cell set is a deterministic function of `(batch, platform)`, and
@@ -29,7 +41,9 @@
 //! list over scoped worker threads and stitches results back *by cell
 //! index*, so the engine built with any `threads ≥ 1` is bit-identical to
 //! the serial build — equality, not approximate agreement, is asserted in
-//! the `engine_equivalence` integration tests.
+//! the `engine_equivalence` integration tests. The SoA mirrors copy the
+//! loaded PMFs' own prefix tables verbatim, so SoA answers are the same
+//! bits as `Pmf::cdf` on the cached PMFs.
 
 use crate::allocation::{Allocation, Assignment};
 use crate::robustness::ProbabilityTable;
@@ -45,8 +59,6 @@ struct Cell {
     dedicated: Pmf,
     /// Loaded completion-time PMF (dedicated ÷ availability).
     loaded: Pmf,
-    /// Cached `loaded.expectation()`.
-    expected: f64,
 }
 
 /// A flattened build job: compute the cell for application `app` on `2^k`
@@ -55,7 +67,6 @@ struct Cell {
 struct Job {
     app: usize,
     ty: usize,
-    k: usize,
     procs: u32,
 }
 
@@ -68,9 +79,23 @@ struct Job {
 /// Monte-Carlo sampler inputs without recomputing any PMF arithmetic.
 #[derive(Debug, Clone)]
 pub struct Phi1Engine {
-    /// `cells[app][type]` maps `k = log2(procs)` → cell (`None` where the
-    /// application has no execution-time PMF for the type).
-    cells: Vec<Vec<Option<Vec<Cell>>>>,
+    num_apps: usize,
+    num_types: usize,
+    /// `(app * num_types + type)` → arena range of that pair's cells
+    /// (`k = log2(procs)` is the offset within the range); `None` where
+    /// the application has no execution-time PMF for the type.
+    index: Vec<Option<(u32, u32)>>,
+    /// Contiguous cell arena, grouped by `(app, type)` with `k` ascending.
+    cells: Vec<Cell>,
+    /// `pulse_off[c]..pulse_off[c + 1]` delimits cell `c`'s pulses in the
+    /// SoA mirrors below (one extra trailing entry).
+    pulse_off: Vec<u32>,
+    /// Loaded-PMF pulse values, all cells back to back.
+    loaded_values: Vec<f64>,
+    /// Matching prefix-CDF table (copied from [`Pmf::cumulative`]).
+    loaded_cums: Vec<f64>,
+    /// Cached `loaded.expectation()` per cell.
+    expected: Vec<f64>,
     /// Availability PMF per processor type (for Monte-Carlo sampling).
     availability: Vec<Pmf>,
 }
@@ -95,43 +120,53 @@ impl Phi1Engine {
             });
         }
 
-        // Enumerate the cell set and pre-shape the cache.
+        let num_apps = batch.len();
+        let num_types = platform.num_types();
+
+        // Enumerate the cell set. Jobs are emitted app-major, then
+        // type-major, then `k` ascending — exactly the arena order — so
+        // the computed cells land in the arena by plain extension.
         let mut jobs: Vec<Job> = Vec::new();
-        let mut cells: Vec<Vec<Option<Vec<Cell>>>> = Vec::with_capacity(batch.len());
+        let mut index: Vec<Option<(u32, u32)>> = Vec::with_capacity(num_apps * num_types);
         for (i, (id, app)) in batch.iter().enumerate() {
             debug_assert_eq!(i, id.0);
-            let mut per_type = Vec::with_capacity(platform.num_types());
-            for j in 0..platform.num_types() {
+            for j in 0..num_types {
                 let ty = ProcTypeId(j);
                 if app.exec_time(ty).is_err() {
-                    per_type.push(None);
+                    index.push(None);
                     continue;
                 }
                 let options = platform.pow2_options(ty)?;
-                for (k, &procs) in options.iter().enumerate() {
+                let start = jobs.len() as u32;
+                for &procs in options.iter() {
                     jobs.push(Job {
                         app: i,
                         ty: j,
-                        k,
                         procs,
                     });
                 }
-                per_type.push(Some(Vec::with_capacity(options.len())));
+                index.push(Some((start, options.len() as u32)));
             }
-            cells.push(per_type);
         }
 
-        let computed = compute_cells(batch, platform, &jobs, threads)?;
+        let cells = compute_cells(batch, platform, &jobs, threads)?;
 
-        // Stitch results back in job order (jobs are emitted with `k`
-        // ascending per `(app, type)`, so plain pushes land at index `k`).
-        for (job, cell) in jobs.iter().zip(computed) {
-            let slot = cells[job.app][job.ty]
-                .as_mut()
-                .expect("job emitted only for types with a PMF");
-            debug_assert_eq!(slot.len(), job.k);
-            slot.push(cell);
+        // Mirror the hot per-cell data into flat SoA slices.
+        let mut pulse_off = Vec::with_capacity(cells.len() + 1);
+        let mut loaded_values = Vec::new();
+        let mut loaded_cums = Vec::new();
+        let mut expected = Vec::with_capacity(cells.len());
+        let mut off = 0u32;
+        for cell in &cells {
+            pulse_off.push(off);
+            for p in cell.loaded.pulses() {
+                loaded_values.push(p.value);
+            }
+            loaded_cums.extend_from_slice(cell.loaded.cumulative());
+            expected.push(cell.loaded.expectation());
+            off += cell.loaded.len() as u32;
         }
+        pulse_off.push(off);
 
         let availability = platform
             .types()
@@ -139,27 +174,59 @@ impl Phi1Engine {
             .map(|t| t.availability().clone())
             .collect();
         Ok(Self {
+            num_apps,
+            num_types,
+            index,
             cells,
+            pulse_off,
+            loaded_values,
+            loaded_cums,
+            expected,
             availability,
         })
     }
 
     /// Number of applications covered.
     pub fn num_apps(&self) -> usize {
-        self.cells.len()
+        self.num_apps
     }
 
     /// Number of processor types covered.
     pub fn num_types(&self) -> usize {
-        self.availability.len()
+        self.num_types
     }
 
-    fn cell(&self, app: usize, proc_type: ProcTypeId, procs: u32) -> Option<&Cell> {
-        if !procs.is_power_of_two() {
+    /// Arena index of a triple's cell; `None` out of range.
+    #[inline]
+    fn cell_index(&self, app: usize, proc_type: ProcTypeId, procs: u32) -> Option<usize> {
+        if !procs.is_power_of_two() || app >= self.num_apps || proc_type.0 >= self.num_types {
             return None;
         }
         let k = procs.trailing_zeros() as usize;
-        self.cells.get(app)?.get(proc_type.0)?.as_ref()?.get(k)
+        let (start, len) = self.index[app * self.num_types + proc_type.0]?;
+        if k >= len as usize {
+            return None;
+        }
+        Some(start as usize + k)
+    }
+
+    fn cell(&self, app: usize, proc_type: ProcTypeId, procs: u32) -> Option<&Cell> {
+        self.cell_index(app, proc_type, procs)
+            .map(|c| &self.cells[c])
+    }
+
+    /// CDF of cell `c`'s loaded PMF straight from the SoA mirror — the
+    /// same partition-point + prefix-table read as [`Pmf::cdf`] over the
+    /// same bits, so the result is identical.
+    #[inline]
+    fn cell_cdf(&self, c: usize, deadline: f64) -> f64 {
+        let (s, e) = (self.pulse_off[c] as usize, self.pulse_off[c + 1] as usize);
+        let idx = self.loaded_values[s..e].partition_point(|&v| v <= deadline);
+        if idx == 0 {
+            0.0
+        } else {
+            self.loaded_cums[s + idx - 1]
+        }
     }
 
     /// The loaded completion-time PMF of application `app` on `procs` (a
@@ -181,11 +248,12 @@ impl Phi1Engine {
 
     /// Cached expected loaded completion time.
     pub fn expected_time(&self, app: usize, proc_type: ProcTypeId, procs: u32) -> Option<f64> {
-        self.cell(app, proc_type, procs).map(|c| c.expected)
+        self.cell_index(app, proc_type, procs)
+            .map(|c| self.expected[c])
     }
 
-    /// `Pr(T ≤ Δ)` for a triple at an arbitrary deadline — a CDF lookup on
-    /// the cached loaded PMF, bit-identical to
+    /// `Pr(T ≤ Δ)` for a triple at an arbitrary deadline — a prefix-table
+    /// read on the SoA mirror of the cached loaded PMF, bit-identical to
     /// [`cdsf_system::parallel_time::completion_probability`].
     pub fn prob(
         &self,
@@ -194,16 +262,24 @@ impl Phi1Engine {
         procs: u32,
         deadline: f64,
     ) -> Option<f64> {
-        self.cell(app, proc_type, procs)
-            .map(|c| c.loaded.cdf(deadline))
+        self.cell_index(app, proc_type, procs)
+            .map(|c| self.cell_cdf(c, deadline))
     }
 
     /// `φ₁` of a full allocation at `deadline` by lookup; `None` if any
     /// triple is unknown. (Capacity feasibility is *not* checked here.)
+    ///
+    /// Once the running product hits exactly 0.0 the remaining CDF reads
+    /// cannot change it, so they are skipped — only the (cheap) existence
+    /// checks continue, preserving the `None`-on-unknown contract.
     pub fn joint(&self, alloc: &Allocation, deadline: f64) -> Option<f64> {
         let mut p = 1.0;
         for (i, asg) in alloc.assignments().iter().enumerate() {
-            p *= self.prob(i, asg.proc_type, asg.procs, deadline)?;
+            let c = self.cell_index(i, asg.proc_type, asg.procs)?;
+            if p == 0.0 {
+                continue;
+            }
+            p *= self.cell_cdf(c, deadline);
         }
         Some(p)
     }
@@ -212,12 +288,12 @@ impl Phi1Engine {
     /// deterministic (type-major, count-ascending) order.
     pub fn options(&self, app: usize) -> Vec<Assignment> {
         let mut out = Vec::new();
-        let Some(per_type) = self.cells.get(app) else {
+        if app >= self.num_apps {
             return out;
-        };
-        for (j, slot) in per_type.iter().enumerate() {
-            if let Some(cells) = slot {
-                for k in 0..cells.len() {
+        }
+        for j in 0..self.num_types {
+            if let Some((_, len)) = self.index[app * self.num_types + j] {
+                for k in 0..len as usize {
                     out.push(Assignment {
                         proc_type: ProcTypeId(j),
                         procs: 1 << k,
@@ -228,9 +304,10 @@ impl Phi1Engine {
         out
     }
 
-    /// Derives the memoized [`ProbabilityTable`] for one deadline. Exactly
-    /// equal — not merely close — to [`ProbabilityTable::build`] on the
-    /// same inputs, because both evaluate the same loaded PMFs' CDFs.
+    /// Derives the memoized [`ProbabilityTable`] for one deadline in one
+    /// linear pass over the arena. Exactly equal — not merely close — to
+    /// [`ProbabilityTable::build`] on the same inputs, because both
+    /// evaluate the same loaded PMFs' CDFs.
     pub fn table(&self, deadline: f64) -> Result<ProbabilityTable> {
         if !(deadline > 0.0) || !deadline.is_finite() {
             return Err(RaError::BadParameter {
@@ -238,19 +315,18 @@ impl Phi1Engine {
                 value: deadline,
             });
         }
-        let probs = self
-            .cells
-            .iter()
-            .map(|per_type| {
-                per_type
-                    .iter()
-                    .map(|slot| {
-                        slot.as_ref()
-                            .map(|cells| cells.iter().map(|c| c.loaded.cdf(deadline)).collect())
-                    })
-                    .collect()
-            })
-            .collect();
+        let mut probs = Vec::with_capacity(self.num_apps);
+        for app in 0..self.num_apps {
+            let mut per_type = Vec::with_capacity(self.num_types);
+            for ty in 0..self.num_types {
+                per_type.push(self.index[app * self.num_types + ty].map(|(start, len)| {
+                    (start..start + len)
+                        .map(|c| self.cell_cdf(c as usize, deadline))
+                        .collect()
+                }));
+            }
+            probs.push(per_type);
+        }
         Ok(ProbabilityTable::from_raw(probs, deadline))
     }
 }
@@ -270,12 +346,7 @@ fn compute_cells(
         let ty = ProcTypeId(job.ty);
         let dedicated = parallel_time_pmf(app, ty, job.procs)?;
         let loaded = loaded_time_pmf(app, platform, ty, job.procs)?;
-        let expected = loaded.expectation();
-        Ok(Cell {
-            dedicated,
-            loaded,
-            expected,
-        })
+        Ok(Cell { dedicated, loaded })
     };
 
     let threads = threads.min(jobs.len()).max(1);
@@ -284,18 +355,17 @@ fn compute_cells(
     }
 
     let chunk = jobs.len().div_ceil(threads);
-    let results: Vec<Result<Vec<Cell>>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Result<Vec<Cell>>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for piece in jobs.chunks(chunk) {
             let compute = &compute;
-            handles.push(scope.spawn(move |_| piece.iter().map(compute).collect()));
+            handles.push(scope.spawn(move || piece.iter().map(compute).collect()));
         }
         handles
             .into_iter()
             .map(|h| h.join().expect("engine build worker panicked"))
             .collect()
-    })
-    .expect("engine build scope panicked");
+    });
 
     let mut out = Vec::with_capacity(jobs.len());
     for piece in results {
@@ -328,6 +398,30 @@ mod tests {
                     );
                     let p_direct = completion_probability(app, &p, ty, n, DEADLINE).unwrap();
                     assert_eq!(engine.prob(i, ty, n, DEADLINE).unwrap(), p_direct);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soa_mirror_matches_pmf_cdf_everywhere() {
+        let (b, p) = (paper_batch(32), paper_platform());
+        let engine = Phi1Engine::build(&b, &p).unwrap();
+        for i in 0..b.len() {
+            for j in 0..p.num_types() {
+                let ty = ProcTypeId(j);
+                for n in p.pow2_options(ty).unwrap() {
+                    let pmf = engine.loaded_pmf(i, ty, n).unwrap();
+                    // Probe below, between, at, and above support points.
+                    let mut probes = vec![0.0, pmf.min_value() - 1.0, pmf.max_value() + 1.0];
+                    for pulse in pmf.pulses() {
+                        probes.push(pulse.value);
+                        probes.push(pulse.value + 0.5);
+                    }
+                    let pmf = pmf.clone();
+                    for x in probes {
+                        assert_eq!(engine.prob(i, ty, n, x).unwrap(), pmf.cdf(x));
+                    }
                 }
             }
         }
@@ -388,6 +482,27 @@ mod tests {
         assert!(engine.prob(9, ProcTypeId(0), 2, DEADLINE).is_none());
         assert!(engine.prob(0, ProcTypeId(0), 64, DEADLINE).is_none());
         assert!(engine.expected_time(0, ProcTypeId(0), 64).is_none());
+    }
+
+    #[test]
+    fn joint_zero_short_circuit_keeps_none_contract() {
+        let (b, p) = (paper_batch(8), paper_platform());
+        let engine = Phi1Engine::build(&b, &p).unwrap();
+        // An impossible deadline drives every factor to 0.0; the early
+        // exit must still return Some(0.0) for known triples...
+        let alloc = Allocation::new(vec![
+            Assignment {
+                proc_type: ProcTypeId(0),
+                procs: 1,
+            };
+            b.len()
+        ]);
+        assert_eq!(engine.joint(&alloc, 1e-6), Some(0.0));
+        // ...and None when a later triple is unknown, even after the
+        // product has already hit zero.
+        let mut bad = alloc.assignments().to_vec();
+        bad[b.len() - 1].procs = 3;
+        assert_eq!(engine.joint(&Allocation::new(bad), 1e-6), None);
     }
 
     #[test]

@@ -13,8 +13,11 @@
 //! * [`engine`] — the shared φ₁ evaluation engine: a memoized PMF cache
 //!   keyed by `(app, type, power-of-two share)` with a deterministic
 //!   parallel build, backing every allocator and both estimators;
+//! * [`phi1`] — flat per-option probability kernels ([`OptionProbs`]) and
+//!   the incremental genome evaluator ([`DeltaFitness`]) that the
+//!   metaheuristic inner loops score candidates with;
 //! * [`robustness`] — the exact PMF-arithmetic evaluation of φ₁ (with a
-//!   memoized per-assignment probability table) and a crossbeam-parallel
+//!   memoized per-assignment probability table) and a thread-parallel
 //!   Monte-Carlo estimator used to cross-check it;
 //! * [`allocators`] — the Stage-I policies:
 //!   [`allocators::EqualShare`] (the paper's naïve load balancing),
@@ -34,6 +37,7 @@ pub mod allocators;
 pub mod correlation;
 pub mod engine;
 mod error;
+pub mod phi1;
 pub mod radius;
 pub mod robustness;
 pub mod surface;
@@ -42,6 +46,7 @@ pub use allocation::{Allocation, Assignment};
 pub use allocators::Allocator;
 pub use engine::Phi1Engine;
 pub use error::RaError;
+pub use phi1::{DeltaFitness, OptionProbs};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, RaError>;

@@ -1,0 +1,463 @@
+//! Flat φ₁ scoring kernels for the Stage-I search loops.
+//!
+//! [`OptionProbs`] freezes one deadline's per-option probabilities (and
+//! their logs) into a dense `(app, type, k)`-strided array so a genome
+//! evaluation is `N` contiguous reads and multiplies — no nested-`Vec`
+//! probability-table walks. [`DeltaFitness`] layers an incremental
+//! evaluator on top for the metaheuristic inner loops: a mutation updates
+//! the cached state in `O(changed)` lookups instead of re-deriving all `N`
+//! per-gene probabilities.
+//!
+//! # Determinism contract
+//!
+//! These kernels are drop-in replacements for the legacy
+//! `ProbabilityTable`-walking fitness, *bit-identical* — not approximately
+//! equal — on the quantities that steer a search:
+//!
+//! * [`OptionProbs::fitness`] folds the same probability values in the
+//!   same gene order as the legacy product, so the result is the same
+//!   `f64` bits. A missing option still yields exactly `0.0`, and because
+//!   every factor is a CDF value in `[0, 1]`, a running product that hits
+//!   `+0.0` can never leave it — the early exits return the identical
+//!   value the full fold would have produced.
+//! * [`DeltaFitness::fitness`] multiplies the *cached per-gene
+//!   probabilities*, which are pure lookups — the incremental part of the
+//!   state only decides how cheaply they are maintained, never their
+//!   values. Simulated-annealing acceptance tests therefore see the same
+//!   fitness bits, take the same branches, and consume the same RNG
+//!   stream as the full recompute.
+//! * [`DeltaFitness::log_fitness`] is the only *advisory* quantity: the
+//!   running log-sum is maintained by `O(1)` add/subtract per mutation
+//!   and drifts by float rounding (≤ a few ulps per update), so it is
+//!   re-synced exactly every [`DeltaFitness::RESYNC_INTERVAL`] updates.
+//!   Property tests pin it exactly at re-sync points and within `1e-12`
+//!   (relative) between them. Decisions must use [`DeltaFitness::fitness`].
+
+use crate::allocation::Assignment;
+use crate::engine::Phi1Engine;
+use crate::{RaError, Result};
+
+/// Dense per-option φ₁ probabilities (and log-probabilities) at one
+/// deadline, strided by `(app, type, k = log2(procs))`.
+///
+/// Missing options (type without a PMF for the app, or a power-of-two
+/// share the platform does not offer) are stored as `NaN` so a single
+/// array read answers both "what is the probability?" and "does the
+/// option exist?".
+#[derive(Debug, Clone)]
+pub struct OptionProbs {
+    num_apps: usize,
+    num_types: usize,
+    /// Options per `(app, type)` run: `k ∈ 0..stride`.
+    stride: usize,
+    /// `probs[(app * num_types + ty) * stride + k]`; `NaN` = missing.
+    probs: Vec<f64>,
+    /// `ln` of each probability (`-inf` for 0.0, `NaN` for missing).
+    log_probs: Vec<f64>,
+}
+
+impl OptionProbs {
+    /// Freezes the engine's probabilities at `deadline` into flat arrays.
+    pub fn from_engine(engine: &Phi1Engine, deadline: f64) -> Result<Self> {
+        if !(deadline > 0.0) || !deadline.is_finite() {
+            return Err(RaError::BadParameter {
+                name: "deadline",
+                value: deadline,
+            });
+        }
+        let num_apps = engine.num_apps();
+        let num_types = engine.num_types();
+        let mut stride = 1usize;
+        let options: Vec<Vec<Assignment>> = (0..num_apps).map(|a| engine.options(a)).collect();
+        for asg in options.iter().flatten() {
+            stride = stride.max(asg.procs.trailing_zeros() as usize + 1);
+        }
+        let mut probs = vec![f64::NAN; num_apps * num_types * stride];
+        let mut log_probs = vec![f64::NAN; num_apps * num_types * stride];
+        for (app, opts) in options.iter().enumerate() {
+            for asg in opts {
+                let k = asg.procs.trailing_zeros() as usize;
+                let idx = (app * num_types + asg.proc_type.0) * stride + k;
+                let q = engine
+                    .prob(app, asg.proc_type, asg.procs, deadline)
+                    .expect("engine.options() only lists cached triples");
+                probs[idx] = q;
+                log_probs[idx] = q.ln();
+            }
+        }
+        Ok(Self {
+            num_apps,
+            num_types,
+            stride,
+            probs,
+            log_probs,
+        })
+    }
+
+    /// Number of applications covered.
+    pub fn num_apps(&self) -> usize {
+        self.num_apps
+    }
+
+    /// Flat index of a gene's option; `None` out of range.
+    #[inline]
+    fn slot(&self, app: usize, asg: &Assignment) -> Option<usize> {
+        if app >= self.num_apps || asg.proc_type.0 >= self.num_types || !asg.procs.is_power_of_two()
+        {
+            return None;
+        }
+        let k = asg.procs.trailing_zeros() as usize;
+        if k >= self.stride {
+            return None;
+        }
+        Some((app * self.num_types + asg.proc_type.0) * self.stride + k)
+    }
+
+    /// Raw probability read: `NaN` when the option does not exist.
+    #[inline]
+    fn raw(&self, app: usize, asg: &Assignment) -> f64 {
+        match self.slot(app, asg) {
+            Some(i) => self.probs[i],
+            None => f64::NAN,
+        }
+    }
+
+    /// `Pr(T_app ≤ Δ)` for one option; `None` when the option is unknown.
+    pub fn prob(&self, app: usize, asg: &Assignment) -> Option<f64> {
+        let q = self.raw(app, asg);
+        if q.is_nan() {
+            None
+        } else {
+            Some(q)
+        }
+    }
+
+    /// Precomputed `ln Pr(T_app ≤ Δ)` (`-inf` for probability zero);
+    /// `None` when the option is unknown.
+    pub fn log_prob(&self, app: usize, asg: &Assignment) -> Option<f64> {
+        let i = self.slot(app, asg)?;
+        if self.probs[i].is_nan() {
+            None
+        } else {
+            Some(self.log_probs[i])
+        }
+    }
+
+    /// Joint probability of a genome — the same left-to-right product of
+    /// the same values as the legacy probability-table walk, hence
+    /// bit-identical; exactly `0.0` for any missing lookup. The product
+    /// can never recover once it reaches `+0.0` (all factors are
+    /// non-negative), so zero-probability genomes short-circuit.
+    pub fn fitness(&self, genome: &[Assignment]) -> f64 {
+        let mut p = 1.0;
+        for (i, asg) in genome.iter().enumerate() {
+            let q = self.raw(i, asg);
+            if q.is_nan() {
+                return 0.0;
+            }
+            p *= q;
+            if p == 0.0 {
+                return 0.0;
+            }
+        }
+        p
+    }
+}
+
+/// Incremental genome evaluator: `O(changed)` state maintenance per
+/// mutation, exact product fitness, advisory running log-fitness with
+/// periodic exact re-sync.
+///
+/// The cached per-gene probabilities are authoritative (pure lookups, no
+/// accumulated state), so [`DeltaFitness::fitness`] is bit-identical to
+/// [`OptionProbs::fitness`] on the same genome no matter what mutation
+/// sequence produced it. Only the running log-sum accumulates rounding,
+/// which the automatic re-sync bounds.
+#[derive(Debug, Clone)]
+pub struct DeltaFitness<'a> {
+    probs: &'a OptionProbs,
+    /// Current per-gene probability (`NaN` if the gene's option is
+    /// unknown).
+    gene_probs: Vec<f64>,
+    /// Matching log-probabilities (meaningful only for alive genes).
+    gene_logs: Vec<f64>,
+    /// Genes that are missing or have probability exactly `0.0` — any
+    /// such gene pins the joint probability to `0.0`.
+    dead: usize,
+    /// Running Σ log-prob over alive genes (advisory; see `log_fitness`).
+    log_sum: f64,
+    /// Mutations applied since the last exact re-sync.
+    updates: usize,
+}
+
+impl<'a> DeltaFitness<'a> {
+    /// Mutations between automatic exact re-syncs of the running log-sum.
+    pub const RESYNC_INTERVAL: usize = 64;
+
+    /// Caches per-gene probabilities for `genome` (one lookup per gene).
+    pub fn new(probs: &'a OptionProbs, genome: &[Assignment]) -> Self {
+        let mut gene_probs = Vec::with_capacity(genome.len());
+        let mut gene_logs = Vec::with_capacity(genome.len());
+        let mut dead = 0usize;
+        for (i, asg) in genome.iter().enumerate() {
+            let q = probs.raw(i, asg);
+            if q.is_nan() || q == 0.0 {
+                dead += 1;
+                gene_logs.push(0.0);
+            } else {
+                gene_logs.push(probs.log_prob(i, asg).expect("alive gene has a log"));
+            }
+            gene_probs.push(q);
+        }
+        let mut this = Self {
+            probs,
+            gene_probs,
+            gene_logs,
+            dead,
+            log_sum: 0.0,
+            updates: 0,
+        };
+        this.resync();
+        this
+    }
+
+    /// Replaces gene `i`'s option: one probability lookup, `O(1)` state
+    /// update. Automatically re-syncs the log-sum every
+    /// [`Self::RESYNC_INTERVAL`] updates.
+    pub fn set_gene(&mut self, i: usize, asg: Assignment) {
+        let old = self.gene_probs[i];
+        if old.is_nan() || old == 0.0 {
+            self.dead -= 1;
+        } else {
+            self.log_sum -= self.gene_logs[i];
+        }
+        let q = self.probs.raw(i, &asg);
+        if q.is_nan() || q == 0.0 {
+            self.dead += 1;
+            self.gene_logs[i] = 0.0;
+        } else {
+            let l = self.probs.log_prob(i, &asg).expect("alive gene has a log");
+            self.gene_logs[i] = l;
+            self.log_sum += l;
+        }
+        self.gene_probs[i] = q;
+        self.updates += 1;
+        if self.updates >= Self::RESYNC_INTERVAL {
+            self.resync();
+        }
+    }
+
+    /// Exact joint probability of the current genome: the same
+    /// left-to-right fold over the same cached values as
+    /// [`OptionProbs::fitness`], bit-identical. Genomes with a dead gene
+    /// short-circuit to exactly `0.0`.
+    pub fn fitness(&self) -> f64 {
+        if self.dead > 0 {
+            return 0.0;
+        }
+        let mut p = 1.0;
+        for &q in &self.gene_probs {
+            p *= q;
+        }
+        p
+    }
+
+    /// Advisory running `ln φ₁`: `-inf` when any gene is dead, otherwise
+    /// the incrementally-maintained log-sum — exact right after a
+    /// re-sync, within float-rounding drift (re-synced away every
+    /// [`Self::RESYNC_INTERVAL`] updates) in between.
+    pub fn log_fitness(&self) -> f64 {
+        if self.dead > 0 {
+            return f64::NEG_INFINITY;
+        }
+        self.log_sum
+    }
+
+    /// Mutations applied since the last exact re-sync.
+    pub fn updates_since_resync(&self) -> usize {
+        self.updates
+    }
+
+    /// Recomputes the log-sum exactly (left-to-right over alive genes).
+    pub fn resync(&mut self) {
+        let mut sum = 0.0;
+        for (i, &q) in self.gene_probs.iter().enumerate() {
+            if !(q.is_nan() || q == 0.0) {
+                sum += self.gene_logs[i];
+            }
+        }
+        self.log_sum = sum;
+        self.updates = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocators::testutil::*;
+    use crate::robustness::ProbabilityTable;
+    use cdsf_system::ProcTypeId;
+
+    fn setup() -> (OptionProbs, Vec<Vec<Assignment>>) {
+        let (b, p) = (paper_batch(32), paper_platform());
+        let engine = Phi1Engine::build(&b, &p).unwrap();
+        let probs = OptionProbs::from_engine(&engine, DEADLINE).unwrap();
+        let options: Vec<Vec<Assignment>> =
+            (0..engine.num_apps()).map(|a| engine.options(a)).collect();
+        (probs, options)
+    }
+
+    /// Per-app option of maximal probability (strictly positive on the
+    /// paper instance at the paper deadline).
+    fn best_genome(probs: &OptionProbs, options: &[Vec<Assignment>]) -> Vec<Assignment> {
+        options
+            .iter()
+            .enumerate()
+            .map(|(app, opts)| {
+                *opts
+                    .iter()
+                    .max_by(|a, b| {
+                        probs
+                            .prob(app, a)
+                            .unwrap()
+                            .total_cmp(&probs.prob(app, b).unwrap())
+                    })
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_probability_table_per_option() {
+        let (b, p) = (paper_batch(32), paper_platform());
+        let table = ProbabilityTable::build(&b, &p, DEADLINE).unwrap();
+        let (probs, options) = setup();
+        for (app, opts) in options.iter().enumerate() {
+            for asg in opts {
+                let expected = table.prob(app, asg.proc_type, asg.procs).unwrap();
+                assert_eq!(probs.prob(app, asg).unwrap(), expected);
+                assert_eq!(probs.log_prob(app, asg).unwrap(), expected.ln());
+            }
+        }
+    }
+
+    #[test]
+    fn fitness_matches_legacy_product_fold() {
+        let (b, p) = (paper_batch(32), paper_platform());
+        let table = ProbabilityTable::build(&b, &p, DEADLINE).unwrap();
+        let (probs, options) = setup();
+        let genome: Vec<Assignment> = options.iter().map(|o| o[0]).collect();
+        let mut legacy = 1.0;
+        for (i, asg) in genome.iter().enumerate() {
+            legacy *= table.prob(i, asg.proc_type, asg.procs).unwrap();
+        }
+        assert_eq!(probs.fitness(&genome), legacy);
+    }
+
+    #[test]
+    fn missing_options_are_none_and_zero_fitness() {
+        let (probs, options) = setup();
+        let bad = Assignment {
+            proc_type: ProcTypeId(9),
+            procs: 2,
+        };
+        assert_eq!(probs.prob(0, &bad), None);
+        assert_eq!(probs.log_prob(0, &bad), None);
+        let not_pow2 = Assignment {
+            proc_type: ProcTypeId(0),
+            procs: 3,
+        };
+        assert_eq!(probs.prob(0, &not_pow2), None);
+        let mut genome: Vec<Assignment> = options.iter().map(|o| o[0]).collect();
+        genome[1] = bad;
+        assert_eq!(probs.fitness(&genome), 0.0);
+    }
+
+    #[test]
+    fn delta_tracks_full_recompute_exactly() {
+        let (probs, options) = setup();
+        let mut genome: Vec<Assignment> = options.iter().map(|o| o[0]).collect();
+        let mut delta = DeltaFitness::new(&probs, &genome);
+        assert_eq!(delta.fitness(), probs.fitness(&genome));
+        // Deterministic mutation walk over every app and option.
+        for step in 0..200usize {
+            let i = step % genome.len();
+            let opts = &options[i];
+            let asg = opts[(step * 7 + 3) % opts.len()];
+            genome[i] = asg;
+            delta.set_gene(i, asg);
+            assert_eq!(delta.fitness(), probs.fitness(&genome), "step {step}");
+        }
+    }
+
+    #[test]
+    fn dead_gene_short_circuits_and_revives() {
+        let (probs, options) = setup();
+        let genome = best_genome(&probs, &options);
+        let mut delta = DeltaFitness::new(&probs, &genome);
+        let alive = delta.fitness();
+        assert!(alive > 0.0);
+        let bad = Assignment {
+            proc_type: ProcTypeId(9),
+            procs: 2,
+        };
+        delta.set_gene(2, bad);
+        assert_eq!(delta.fitness(), 0.0);
+        assert_eq!(delta.log_fitness(), f64::NEG_INFINITY);
+        delta.set_gene(2, genome[2]);
+        assert_eq!(delta.fitness(), alive);
+    }
+
+    #[test]
+    fn log_fitness_is_exact_after_resync() {
+        let (probs, options) = setup();
+        // Restrict the walk to strictly-positive options so the exact
+        // reference log-sum stays finite.
+        let positive: Vec<Vec<Assignment>> = options
+            .iter()
+            .enumerate()
+            .map(|(app, opts)| {
+                opts.iter()
+                    .copied()
+                    .filter(|a| probs.prob(app, a).unwrap() > 0.0)
+                    .collect()
+            })
+            .collect();
+        let genome = best_genome(&probs, &options);
+        let mut delta = DeltaFitness::new(&probs, &genome);
+        let mut current = genome.clone();
+        for step in 0..(DeltaFitness::RESYNC_INTERVAL * 3) {
+            let i = step % current.len();
+            let asg = positive[i][(step * 5 + 1) % positive[i].len()];
+            current[i] = asg;
+            delta.set_gene(i, asg);
+            let exact: f64 = current
+                .iter()
+                .enumerate()
+                .map(|(a, g)| probs.log_prob(a, g).unwrap())
+                .sum();
+            if delta.updates_since_resync() == 0 {
+                assert_eq!(delta.log_fitness(), exact, "step {step}");
+            } else {
+                let err = (delta.log_fitness() - exact).abs();
+                assert!(err <= 1e-12 * exact.abs().max(1.0), "step {step}: {err}");
+            }
+        }
+        delta.resync();
+        let exact: f64 = current
+            .iter()
+            .enumerate()
+            .map(|(a, g)| probs.log_prob(a, g).unwrap())
+            .sum();
+        assert_eq!(delta.log_fitness(), exact);
+    }
+
+    #[test]
+    fn rejects_bad_deadline() {
+        let (b, p) = (paper_batch(8), paper_platform());
+        let engine = Phi1Engine::build(&b, &p).unwrap();
+        assert!(OptionProbs::from_engine(&engine, 0.0).is_err());
+        assert!(OptionProbs::from_engine(&engine, f64::NAN).is_err());
+        assert!(OptionProbs::from_engine(&engine, f64::INFINITY).is_err());
+    }
+}

@@ -9,7 +9,7 @@
 //!   allocations with pure lookups.
 //! * **Monte Carlo** — sample execution times and per-type availabilities,
 //!   form the realized makespan, count deadline hits. Replicates are
-//!   fanned out over crossbeam scoped threads with per-thread RNG streams
+//!   fanned out over scoped worker threads with per-thread RNG streams
 //!   derived from a single seed, so the estimate is reproducible and
 //!   parallel-deterministic.
 
@@ -321,10 +321,10 @@ fn mc_core(
         });
     }
     let per_thread = cfg.replicates.div_ceil(cfg.threads);
-    let hits: u64 = crossbeam::thread::scope(|scope| {
+    let hits: u64 = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(cfg.threads);
         for k in 0..cfg.threads {
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(k as u64));
                 let mut hits = 0u64;
                 for _ in 0..per_thread {
@@ -348,8 +348,7 @@ fn mc_core(
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
             .sum()
-    })
-    .expect("scope panicked");
+    });
 
     let total = (per_thread * cfg.threads) as u64;
     let (lo, hi) = cdsf_pmf::stats::wilson_interval(hits, total, 1.96);

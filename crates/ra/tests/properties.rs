@@ -6,7 +6,7 @@ use cdsf_ra::allocators::{
     allocate_incremental, EqualShare, Exhaustive, GreedyMaxRobust, Sufferage,
 };
 use cdsf_ra::robustness::{evaluate, ProbabilityTable};
-use cdsf_ra::{Allocation, Allocator, Phi1Engine};
+use cdsf_ra::{Allocation, Allocator, Assignment, DeltaFitness, OptionProbs, Phi1Engine};
 use cdsf_system::{Application, Batch, Platform, ProcessorType};
 use proptest::prelude::*;
 
@@ -188,5 +188,62 @@ proptest! {
             let via = table.joint(alloc).unwrap();
             prop_assert!((direct - via).abs() < 1e-9);
         }
+    }
+
+    /// The incremental delta-fitness evaluator equals a full recompute on
+    /// random mutation sequences: the product fitness is bit-identical
+    /// after every mutation, and the advisory running log-fitness is exact
+    /// right after a re-sync and within 1e-12 (relative) between re-syncs.
+    #[test]
+    fn delta_fitness_equals_full_recompute(
+        (platform, batch, deadline) in arb_instance(),
+        moves in prop::collection::vec((0usize..64, 0usize..64), 1..200),
+    ) {
+        let engine = Phi1Engine::build(&batch, &platform).unwrap();
+        let probs = OptionProbs::from_engine(&engine, deadline).unwrap();
+        let options: Vec<Vec<Assignment>> =
+            (0..engine.num_apps()).map(|a| engine.options(a)).collect();
+        let mut genome: Vec<Assignment> = options.iter().map(|o| o[0]).collect();
+        let mut delta = DeltaFitness::new(&probs, &genome);
+        prop_assert_eq!(delta.fitness(), probs.fitness(&genome));
+
+        for (step, &(app_sel, opt_sel)) in moves.iter().enumerate() {
+            let app = app_sel % genome.len();
+            let asg = options[app][opt_sel % options[app].len()];
+            genome[app] = asg;
+            delta.set_gene(app, asg);
+
+            // Exact product, bit-identical to the full recompute.
+            prop_assert_eq!(delta.fitness(), probs.fitness(&genome), "step {}", step);
+
+            // Advisory log-sum vs. exact left-to-right recompute.
+            let all_alive = genome
+                .iter()
+                .enumerate()
+                .all(|(a, g)| probs.prob(a, g).is_some_and(|q| q > 0.0));
+            if all_alive {
+                let exact: f64 = genome
+                    .iter()
+                    .enumerate()
+                    .map(|(a, g)| probs.log_prob(a, g).unwrap())
+                    .sum();
+                if delta.updates_since_resync() == 0 {
+                    prop_assert_eq!(delta.log_fitness(), exact, "step {}", step);
+                } else {
+                    let err = (delta.log_fitness() - exact).abs();
+                    prop_assert!(
+                        err <= 1e-12 * exact.abs().max(1.0),
+                        "step {}: drift {} vs exact {}",
+                        step, err, exact
+                    );
+                }
+            } else {
+                prop_assert_eq!(delta.log_fitness(), f64::NEG_INFINITY);
+            }
+        }
+
+        // Forcing a re-sync restores exactness no matter the history.
+        delta.resync();
+        prop_assert_eq!(delta.fitness(), probs.fitness(&genome));
     }
 }

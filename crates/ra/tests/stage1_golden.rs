@@ -1,0 +1,154 @@
+//! Golden pin of Stage-I allocator outputs.
+//!
+//! `tests/golden/stage1_allocs.json` freezes the exact allocation every
+//! Stage-I policy returns on the paper instance and on a generated 7-app
+//! instance, across several seeds and thread counts. The snapshot was
+//! captured *before* the flat-SoA φ₁ kernel rewrite; keeping it green
+//! proves the prefix-CDF tables, the arena-backed engine, and the
+//! incremental delta-fitness evaluator are bit-identical replacements,
+//! not approximations.
+//!
+//! Regenerate (only for an *intentional* behaviour change):
+//!
+//! ```sh
+//! CDSF_BLESS=1 cargo test -p cdsf-ra --test stage1_golden
+//! ```
+
+use cdsf_ra::allocators::{
+    EqualShare, Exhaustive, GeneticAlgorithm, GreedyMaxRobust, GreedyMinTime, SimulatedAnnealing,
+    Sufferage,
+};
+use cdsf_ra::{Allocation, Allocator};
+use cdsf_system::{Batch, Platform};
+use cdsf_workloads::generators::{BatchGenerator, PlatformGenerator, Range};
+use cdsf_workloads::paper;
+use serde_json::{json, Value};
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/stage1_allocs.json")
+}
+
+fn generated_instance(seed: u64) -> (Batch, Platform) {
+    let platform = PlatformGenerator {
+        num_types: 3,
+        procs_per_type: (8, 16),
+        availability_pulses: 3,
+        availability_range: Range::new(0.3, 1.0).unwrap(),
+    }
+    .generate(seed)
+    .unwrap();
+    let batch = BatchGenerator {
+        num_apps: 7,
+        total_iters: (1_000, 8_000),
+        serial_fraction: Range::new(0.02, 0.2).unwrap(),
+        mean_exec_time: Range::new(1_000.0, 6_000.0).unwrap(),
+        type_heterogeneity: Range::new(0.6, 1.8).unwrap(),
+        pulses: 12,
+    }
+    .generate(&platform, seed.wrapping_add(1))
+    .unwrap();
+    (batch, platform)
+}
+
+fn alloc_json(alloc: &Allocation) -> Value {
+    Value::Array(
+        alloc
+            .assignments()
+            .iter()
+            .map(|a| json!([a.proc_type.0, a.procs]))
+            .collect(),
+    )
+}
+
+/// Every pinned `(label, allocation)` pair, in deterministic order.
+fn compute_all() -> Vec<(String, Allocation)> {
+    let mut out = Vec::new();
+    let instances: Vec<(&str, Batch, Platform, f64)> = vec![
+        (
+            "paper",
+            paper::batch_with_pulses(32),
+            paper::platform(),
+            paper::DEADLINE,
+        ),
+        {
+            let (b, p) = generated_instance(47);
+            ("gen47", b, p, 2_800.0)
+        },
+    ];
+    for (tag, batch, platform, deadline) in &instances {
+        let deterministic: Vec<(&str, Box<dyn Allocator>)> = vec![
+            ("equal_share", Box::new(EqualShare::new())),
+            ("greedy_min_time", Box::new(GreedyMinTime::new())),
+            ("greedy_max_robust", Box::new(GreedyMaxRobust::new())),
+            ("sufferage", Box::new(Sufferage::new())),
+        ];
+        for (name, policy) in &deterministic {
+            let alloc = policy.allocate(batch, platform, *deadline).unwrap();
+            out.push((format!("{tag}/{name}"), alloc));
+        }
+        for threads in [1usize, 4] {
+            let alloc = Exhaustive::new(threads)
+                .unwrap()
+                .allocate(batch, platform, *deadline)
+                .unwrap();
+            out.push((format!("{tag}/exhaustive/t{threads}"), alloc));
+        }
+        for seed in [1u64, 2, 3] {
+            for threads in [1usize, 8] {
+                let sa = SimulatedAnnealing {
+                    iterations: 3_000,
+                    seed,
+                    threads,
+                    ..Default::default()
+                };
+                let alloc = sa.allocate(batch, platform, *deadline).unwrap();
+                out.push((format!("{tag}/sa/s{seed}/t{threads}"), alloc));
+            }
+        }
+        for seed in [1u64, 2] {
+            for threads in [1usize, 8] {
+                let ga = GeneticAlgorithm {
+                    generations: 25,
+                    seed,
+                    threads,
+                    ..Default::default()
+                };
+                let alloc = ga.allocate(batch, platform, *deadline).unwrap();
+                out.push((format!("{tag}/ga/s{seed}/t{threads}"), alloc));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn allocations_match_pre_rewrite_golden() {
+    let computed = compute_all();
+    let as_json: Value = Value::Array(
+        computed
+            .iter()
+            .map(|(label, alloc)| json!({ "label": label, "allocation": alloc_json(alloc) }))
+            .collect(),
+    );
+
+    let path = golden_path();
+    if std::env::var("CDSF_BLESS").is_ok() {
+        std::fs::write(&path, serde_json::to_string_pretty(&as_json).unwrap()).unwrap();
+        return;
+    }
+
+    let raw = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    let golden: Value = serde_json::from_str(&raw).unwrap();
+    let golden = golden.as_array().unwrap();
+    assert_eq!(golden.len(), computed.len(), "golden entry count drifted");
+    for (entry, (label, alloc)) in golden.iter().zip(&computed) {
+        assert_eq!(entry["label"].as_str().unwrap(), label, "pin order drifted");
+        assert_eq!(
+            entry["allocation"],
+            alloc_json(alloc),
+            "allocation for `{label}` diverged from the pre-rewrite pin"
+        );
+    }
+}
