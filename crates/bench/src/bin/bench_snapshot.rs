@@ -1,28 +1,40 @@
-//! Records the Stage-I φ₁ kernel performance snapshot (`BENCH_stage1.json`).
+//! Records the kernel performance snapshots (`BENCH_stage1.json` and
+//! `BENCH_stage2.json`).
 //!
-//! Runs the same kernel comparisons as the `phi1_kernel` criterion suite
-//! (plus headline entries from `pmf_ops`/`ra_search` territory) with a
-//! self-contained median-of-samples timer, and writes machine-normalized
-//! results — medians plus the derived speedup ratios that the repo's perf
-//! trajectory tracks. Ratios, not absolute nanoseconds, are the contract:
-//! they divide out the host's clock so snapshots from different machines
-//! stay comparable.
+//! The default (stage-1) suite runs the same kernel comparisons as the
+//! `phi1_kernel` criterion suite (plus headline entries from
+//! `pmf_ops`/`ra_search` territory); `--stage2` runs the Stage-II
+//! hot-path suite mirroring `stage2_kernel` (prefix-table Timeline
+//! queries vs. legacy linear walks, scratch-arena executor replicates,
+//! replicate-parallel grid). Both use a self-contained median-of-samples
+//! timer and write machine-normalized results — medians plus the derived
+//! speedup ratios that the repo's perf trajectory tracks. Ratios, not
+//! absolute nanoseconds, are the contract: they divide out the host's
+//! clock so snapshots from different machines stay comparable.
 //!
 //! ```sh
-//! cargo run --release -p cdsf-bench --bin bench_snapshot          # refresh
+//! cargo run --release -p cdsf-bench --bin bench_snapshot            # stage 1
+//! cargo run --release -p cdsf-bench --bin bench_snapshot -- --stage2
 //! cargo run --release -p cdsf-bench --bin bench_snapshot -- --check
+//! cargo run --release -p cdsf-bench --bin bench_snapshot -- --stage2 --check
 //! ```
 //!
 //! `--check` runs a reduced-iteration smoke pass (validating that every
 //! kernel still executes) and then verifies the *committed* snapshot
 //! exists and is schema-valid, without overwriting it — the CI guard.
 
+use cdsf_core::simulation::simulate_grid;
+use cdsf_core::SimParams;
+use cdsf_dls::executor::{execute, execute_in, ExecutorConfig, ExecutorScratch};
+use cdsf_dls::TechniqueKind;
 use cdsf_pmf::discretize::{Discretize, Normal};
 use cdsf_pmf::Pmf;
 use cdsf_ra::robustness::ProbabilityTable;
-use cdsf_ra::{Assignment, DeltaFitness, OptionProbs, Phi1Engine};
-use cdsf_system::{Batch, Platform};
+use cdsf_ra::{Allocation, Assignment, DeltaFitness, OptionProbs, Phi1Engine};
+use cdsf_system::availability::{AvailabilitySpec, Timeline};
+use cdsf_system::{Batch, Platform, ProcTypeId};
 use cdsf_workloads::generators::{BatchGenerator, PlatformGenerator, Range};
+use cdsf_workloads::paper;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde_json::{json, Value};
@@ -30,13 +42,21 @@ use std::hint::black_box;
 use std::path::PathBuf;
 use std::time::Instant;
 
-/// Current snapshot schema. Bump when the JSON shape changes.
+/// Current stage-1 snapshot schema. Bump when the JSON shape changes.
 const SCHEMA_VERSION: u64 = 1;
+
+/// Current stage-2 snapshot schema. Bump when the JSON shape changes.
+const STAGE2_SCHEMA_VERSION: u64 = 1;
 
 const DEADLINE: f64 = 2_800.0;
 
-fn snapshot_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_stage1.json")
+fn snapshot_path(stage2: bool) -> PathBuf {
+    let name = if stage2 {
+        "../../BENCH_stage2.json"
+    } else {
+        "../../BENCH_stage1.json"
+    };
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(name)
 }
 
 /// Median wall-clock nanoseconds per call over `samples` samples of
@@ -293,6 +313,271 @@ fn run_suite(samples: usize, scale: usize) -> Vec<BenchResult> {
     out
 }
 
+// --- Stage-II suite ------------------------------------------------------
+
+/// The pre-rewrite `Timeline::finish_time`: locate the dispatch segment by
+/// a forward walk, then subtract each segment's capacity until the work is
+/// exhausted. O(S) per query against the kernel's O(log S).
+fn legacy_finish_time(starts: &[f64], levels: &[f64], start: f64, work: f64) -> f64 {
+    let mut k = 0;
+    while k + 1 < starts.len() && starts[k + 1] <= start {
+        k += 1;
+    }
+    let mut t = start;
+    let mut remaining = work;
+    loop {
+        let end = starts.get(k + 1).copied().unwrap_or(f64::INFINITY);
+        let cap = (end - t) * levels[k];
+        if cap >= remaining {
+            return t + remaining / levels[k];
+        }
+        remaining -= cap;
+        t = end;
+        k += 1;
+    }
+}
+
+/// The pre-rewrite `Timeline::work_between`: accumulate the overlap of
+/// every materialized segment with `[t0, t1]`.
+fn legacy_work_between(starts: &[f64], levels: &[f64], t0: f64, t1: f64) -> f64 {
+    let mut acc = 0.0;
+    for (k, &level) in levels.iter().enumerate() {
+        let seg_start = starts[k];
+        if seg_start >= t1 {
+            break;
+        }
+        let seg_end = starts.get(k + 1).copied().unwrap_or(f64::INFINITY);
+        let lo = seg_start.max(t0);
+        let hi = seg_end.min(t1);
+        if hi > lo {
+            acc += (hi - lo) * level;
+        }
+    }
+    acc
+}
+
+fn stage2_spec() -> AvailabilitySpec {
+    AvailabilitySpec::Renewal {
+        pmf: Pmf::from_pairs([(0.3, 0.25), (0.6, 0.35), (1.0, 0.4)]).unwrap(),
+        mean_dwell: 5.0,
+    }
+}
+
+/// A timeline materialized out to `horizon` plus query points that stay
+/// inside the materialized range, so the timed lookups never extend the
+/// realization (both kernels see the identical segment table).
+fn warmed_timeline(horizon: f64) -> (Timeline, Vec<(f64, f64)>) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut tl = Timeline::new(&stage2_spec()).unwrap();
+    tl.work_between(0.0, horizon, &mut rng);
+    let mut qrng = StdRng::seed_from_u64(7);
+    let queries: Vec<(f64, f64)> = (0..64)
+        .map(|_| {
+            (
+                qrng.gen_range(0.0..horizon * 0.8),
+                qrng.gen_range(1.0..horizon * 0.05),
+            )
+        })
+        .collect();
+    (tl, queries)
+}
+
+const STAGE2_SEGMENTS: usize = 10_000;
+const STAGE2_REPLICATES: u64 = 25;
+
+fn run_stage2_suite(samples: usize, scale: usize) -> Vec<BenchResult> {
+    let mut out = Vec::new();
+
+    // --- Timeline queries: prefix kernels vs legacy linear walks ----------
+    let (mut tl, queries) = warmed_timeline(STAGE2_SEGMENTS as f64 * 5.0);
+    let mut rng = StdRng::seed_from_u64(1);
+    let n_q = queries.len() as f64;
+    push(
+        &mut out,
+        BenchResult {
+            name: "timeline/finish_time/prefix_10k",
+            median_ns: measure(samples, 200 * scale, || {
+                let mut acc = 0.0;
+                for &(start, work) in &queries {
+                    acc += tl.finish_time(black_box(start), black_box(work), &mut rng);
+                }
+                black_box(acc);
+            }) / n_q,
+            per_unit: "lookup",
+        },
+    );
+    let (starts, levels, _) = tl.segments();
+    let (starts, levels) = (starts.to_vec(), levels.to_vec());
+    push(
+        &mut out,
+        BenchResult {
+            name: "timeline/finish_time/legacy_walk_10k",
+            median_ns: measure(samples, 2 * scale, || {
+                let mut acc = 0.0;
+                for &(start, work) in &queries {
+                    acc += legacy_finish_time(&starts, &levels, black_box(start), work);
+                }
+                black_box(acc);
+            }) / n_q,
+            per_unit: "lookup",
+        },
+    );
+    push(
+        &mut out,
+        BenchResult {
+            name: "timeline/work_between/prefix_10k",
+            median_ns: measure(samples, 200 * scale, || {
+                let mut acc = 0.0;
+                for &(t0, span) in &queries {
+                    acc += tl.work_between(black_box(t0), black_box(t0 + span), &mut rng);
+                }
+                black_box(acc);
+            }) / n_q,
+            per_unit: "lookup",
+        },
+    );
+    push(
+        &mut out,
+        BenchResult {
+            name: "timeline/work_between/legacy_scan_10k",
+            median_ns: measure(samples, 2 * scale, || {
+                let mut acc = 0.0;
+                for &(t0, span) in &queries {
+                    acc += legacy_work_between(&starts, &levels, black_box(t0), t0 + span);
+                }
+                black_box(acc);
+            }) / n_q,
+            per_unit: "lookup",
+        },
+    );
+    push(
+        &mut out,
+        BenchResult {
+            name: "timeline/mean_avail/prefix_10k",
+            median_ns: measure(samples, 200 * scale, || {
+                let mut acc = 0.0;
+                for &(t, _) in &queries {
+                    acc += tl.mean_availability_until(black_box(t.max(1.0)), &mut rng);
+                }
+                black_box(acc);
+            }) / n_q,
+            per_unit: "lookup",
+        },
+    );
+    push(
+        &mut out,
+        BenchResult {
+            name: "timeline/mean_avail/legacy_scan_10k",
+            median_ns: measure(samples, 2 * scale, || {
+                let mut acc = 0.0;
+                for &(t, _) in &queries {
+                    let t = t.max(1.0);
+                    acc += legacy_work_between(&starts, &levels, 0.0, black_box(t)) / t;
+                }
+                black_box(acc);
+            }) / n_q,
+            per_unit: "lookup",
+        },
+    );
+
+    // --- executor replicates: scratch arena vs fresh allocation -----------
+    let cfg = ExecutorConfig::builder()
+        .workers(12)
+        .parallel_iters(2_048)
+        .iter_time_mean_sigma(1.0, 0.1)
+        .unwrap()
+        .availability(stage2_spec())
+        .overhead(0.01)
+        .build()
+        .unwrap();
+    push(
+        &mut out,
+        BenchResult {
+            name: "executor/replicates25/scratch_arena",
+            median_ns: measure(samples, scale.max(1), || {
+                let mut scratch = ExecutorScratch::new();
+                let mut acc = 0.0;
+                for r in 0..STAGE2_REPLICATES {
+                    let mut rng = StdRng::seed_from_u64(100 + r);
+                    acc += execute_in(&TechniqueKind::Fac, &cfg, &mut scratch, &mut rng)
+                        .unwrap()
+                        .makespan;
+                }
+                black_box(acc);
+            }) / STAGE2_REPLICATES as f64,
+            per_unit: "replicate",
+        },
+    );
+    push(
+        &mut out,
+        BenchResult {
+            name: "executor/replicates25/fresh_alloc",
+            median_ns: measure(samples, scale.max(1), || {
+                let mut acc = 0.0;
+                for r in 0..STAGE2_REPLICATES {
+                    let mut rng = StdRng::seed_from_u64(100 + r);
+                    acc += execute(&TechniqueKind::Fac, &cfg, &mut rng)
+                        .unwrap()
+                        .makespan;
+                }
+                black_box(acc);
+            }) / STAGE2_REPLICATES as f64,
+            per_unit: "replicate",
+        },
+    );
+
+    // --- replicate-parallel grid wall-clock --------------------------------
+    let batch = paper::batch_with_pulses(8);
+    let cases = vec![paper::platform_case(1)];
+    let techniques = [TechniqueKind::Fac, TechniqueKind::Af];
+    let alloc = Allocation::new(vec![
+        Assignment {
+            proc_type: ProcTypeId(0),
+            procs: 2,
+        },
+        Assignment {
+            proc_type: ProcTypeId(0),
+            procs: 2,
+        },
+        Assignment {
+            proc_type: ProcTypeId(1),
+            procs: 8,
+        },
+    ]);
+    for (name, threads) in [
+        ("grid/replicates25/threads1", 1usize),
+        ("grid/replicates25/threads4", 4),
+    ] {
+        let params = SimParams {
+            replicates: STAGE2_REPLICATES as usize,
+            threads,
+            ..Default::default()
+        };
+        push(
+            &mut out,
+            BenchResult {
+                name,
+                median_ns: measure(samples, scale.max(1), || {
+                    black_box(
+                        simulate_grid(
+                            &batch,
+                            &alloc,
+                            &cases,
+                            &techniques,
+                            paper::DEADLINE,
+                            &params,
+                        )
+                        .unwrap(),
+                    );
+                }),
+                per_unit: "grid",
+            },
+        );
+    }
+
+    out
+}
+
 fn median_of(results: &[BenchResult], name: &str) -> f64 {
     results
         .iter()
@@ -332,16 +617,59 @@ fn to_json(results: &[BenchResult], mode: &str) -> Value {
     })
 }
 
-/// Validates the committed snapshot's schema; returns an error string on
-/// the first violation.
-fn validate(snapshot: &Value) -> Result<(), String> {
+fn to_stage2_json(results: &[BenchResult], mode: &str) -> Value {
+    let ft_prefix = median_of(results, "timeline/finish_time/prefix_10k");
+    let ft_legacy = median_of(results, "timeline/finish_time/legacy_walk_10k");
+    let wb_prefix = median_of(results, "timeline/work_between/prefix_10k");
+    let wb_legacy = median_of(results, "timeline/work_between/legacy_scan_10k");
+    let ma_prefix = median_of(results, "timeline/mean_avail/prefix_10k");
+    let ma_legacy = median_of(results, "timeline/mean_avail/legacy_scan_10k");
+    let scratch = median_of(results, "executor/replicates25/scratch_arena");
+    let fresh = median_of(results, "executor/replicates25/fresh_alloc");
+    let grid1 = median_of(results, "grid/replicates25/threads1");
+    let grid4 = median_of(results, "grid/replicates25/threads4");
+    json!({
+        "schema_version": STAGE2_SCHEMA_VERSION,
+        "mode": mode,
+        "instance": json!({
+            "timeline_segments": STAGE2_SEGMENTS,
+            "replicates": STAGE2_REPLICATES,
+            "executor_workers": 12,
+            "executor_parallel_iters": 2_048,
+            "grid_cells": 6,
+            "host_threads": cdsf_core::default_threads(),
+        }),
+        "benches": results.iter().map(|r| json!({
+            "name": r.name,
+            "median_ns": r.median_ns,
+            "per": r.per_unit,
+        })).collect::<Vec<_>>(),
+        "derived": json!({
+            "finish_time_speedup": ft_legacy / ft_prefix,
+            "work_between_speedup": wb_legacy / wb_prefix,
+            "mean_availability_speedup": ma_legacy / ma_prefix,
+            "executor_scratch_speedup": fresh / scratch,
+            "grid_thread4_speedup": grid1 / grid4,
+            "finish_lookups_per_sec": 1e9 / ft_prefix,
+        }),
+    })
+}
+
+/// Validates a committed snapshot's schema; returns an error string on
+/// the first violation. `derived_keys` and the expected schema version
+/// distinguish the stage-1 and stage-2 shapes.
+fn validate_with(
+    snapshot: &Value,
+    expected_schema: u64,
+    derived_keys: &[&str],
+) -> Result<(), String> {
     let schema = snapshot
         .get("schema_version")
         .and_then(Value::as_u64)
         .ok_or("missing schema_version")?;
-    if schema != SCHEMA_VERSION {
+    if schema != expected_schema {
         return Err(format!(
-            "schema_version {schema} != supported {SCHEMA_VERSION}"
+            "schema_version {schema} != supported {expected_schema}"
         ));
     }
     let benches = snapshot
@@ -367,14 +695,9 @@ fn validate(snapshot: &Value) -> Result<(), String> {
     let derived = snapshot
         .get("derived")
         .ok_or("missing derived metrics object")?;
-    for key in [
-        "sa_mutation_speedup",
-        "table_sweep_speedup",
-        "cdf_lookup_speedup",
-        "candidate_evals_per_sec",
-    ] {
+    for key in derived_keys {
         let v = derived
-            .get(key)
+            .get(*key)
             .and_then(Value::as_f64)
             .ok_or_else(|| format!("derived missing {key}"))?;
         if !(v > 0.0) || !v.is_finite() {
@@ -384,26 +707,62 @@ fn validate(snapshot: &Value) -> Result<(), String> {
     Ok(())
 }
 
+const STAGE1_DERIVED: &[&str] = &[
+    "sa_mutation_speedup",
+    "table_sweep_speedup",
+    "cdf_lookup_speedup",
+    "candidate_evals_per_sec",
+];
+
+const STAGE2_DERIVED: &[&str] = &[
+    "finish_time_speedup",
+    "work_between_speedup",
+    "mean_availability_speedup",
+    "executor_scratch_speedup",
+    "grid_thread4_speedup",
+    "finish_lookups_per_sec",
+];
+
+fn validate(snapshot: &Value) -> Result<(), String> {
+    validate_with(snapshot, SCHEMA_VERSION, STAGE1_DERIVED)
+}
+
+fn validate_stage2(snapshot: &Value) -> Result<(), String> {
+    validate_with(snapshot, STAGE2_SCHEMA_VERSION, STAGE2_DERIVED)
+}
+
 fn main() {
-    let check = std::env::args().any(|a| a == "--check");
-    let path = snapshot_path();
+    let args: Vec<String> = std::env::args().collect();
+    let check = args.iter().any(|a| a == "--check");
+    let stage2 = args.iter().any(|a| a == "--stage2");
+    let path = snapshot_path(stage2);
 
     let (samples, scale, mode) = if check {
         (3, 1, "check")
     } else {
         (9, 4, "full")
     };
-    eprintln!("running φ₁ kernel suite ({mode} mode)...");
-    let results = run_suite(samples, scale);
-    let snapshot = to_json(&results, mode);
-    let derived = &snapshot["derived"];
-    eprintln!(
-        "  sa_mutation_speedup   {:.2}x\n  table_sweep_speedup   {:.2}x\n  cdf_lookup_speedup    {:.2}x\n  candidate_evals/sec   {:.3e}",
-        derived["sa_mutation_speedup"].as_f64().unwrap(),
-        derived["table_sweep_speedup"].as_f64().unwrap(),
-        derived["cdf_lookup_speedup"].as_f64().unwrap(),
-        derived["candidate_evals_per_sec"].as_f64().unwrap(),
-    );
+    let (results, snapshot) = if stage2 {
+        eprintln!("running Stage-II kernel suite ({mode} mode)...");
+        let results = run_stage2_suite(samples, scale);
+        let snapshot = to_stage2_json(&results, mode);
+        (results, snapshot)
+    } else {
+        eprintln!("running φ₁ kernel suite ({mode} mode)...");
+        let results = run_suite(samples, scale);
+        let snapshot = to_json(&results, mode);
+        (results, snapshot)
+    };
+    drop(results);
+    let derived = snapshot["derived"].as_object().unwrap();
+    for (key, v) in derived.iter() {
+        if key.ends_with("_speedup") {
+            eprintln!("  {:<28} {:.2}x", key, v.as_f64().unwrap());
+        } else {
+            eprintln!("  {:<28} {:.3e}", key, v.as_f64().unwrap());
+        }
+    }
+    let validator = if stage2 { validate_stage2 } else { validate };
 
     if check {
         // Smoke pass done; now guard the committed snapshot.
@@ -418,13 +777,13 @@ fn main() {
             eprintln!("error: committed snapshot is not valid JSON: {e}");
             std::process::exit(1);
         });
-        if let Err(msg) = validate(&committed) {
+        if let Err(msg) = validator(&committed) {
             eprintln!("error: committed snapshot is schema-invalid: {msg}");
             std::process::exit(1);
         }
         eprintln!("ok: committed {} is schema-valid", path.display());
     } else {
-        validate(&snapshot).expect("freshly-produced snapshot must be schema-valid");
+        validator(&snapshot).expect("freshly-produced snapshot must be schema-valid");
         std::fs::write(&path, serde_json::to_string_pretty(&snapshot).unwrap())
             .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
         eprintln!("wrote {}", path.display());

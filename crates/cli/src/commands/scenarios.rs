@@ -14,6 +14,7 @@ struct CellJson {
     mean_makespan: f64,
     std_makespan: f64,
     meets_deadline: bool,
+    deadline_hit_rate: f64,
 }
 
 #[derive(Serialize)]
@@ -48,6 +49,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
                         mean_makespan: c.mean_makespan,
                         std_makespan: c.std_makespan,
                         meets_deadline: c.meets_deadline,
+                        deadline_hit_rate: c.deadline_hit_rate,
                     })
                     .collect(),
             });

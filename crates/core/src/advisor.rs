@@ -127,7 +127,7 @@ impl Advisor {
                     cdsf.deadline(),
                     cdsf.sim_params(),
                 )?;
-                if cell.meets_deadline
+                if cell.robust_verdict()
                     && best.as_ref().map_or(true, |(_, m)| cell.mean_makespan < *m)
                 {
                     best = Some((cell.technique.clone(), cell.mean_makespan));
@@ -185,9 +185,14 @@ mod tests {
             .unwrap();
         assert_eq!(advice.cells.len(), 12);
         for cell in &advice.cells {
-            let full_met = full.best_technique(cell.app, cell.case).is_some();
-            // Mean-field Clear cells must agree; simulated cells use the
-            // same seeds as the full grid and agree by construction.
+            // The advisor accepts a technique only under the combined
+            // mean + hit-rate verdict, so compare against the same rule
+            // applied to the full grid's cells (simulated cells share the
+            // full grid's seeds and agree by construction).
+            let full_met = full
+                .cells
+                .iter()
+                .any(|c| c.app == cell.app && c.case == cell.case && c.robust_verdict());
             assert_eq!(
                 cell.meets_deadline,
                 full_met,

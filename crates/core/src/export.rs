@@ -11,7 +11,7 @@ use std::path::Path;
 
 /// CSV header used by [`scenario_to_csv`].
 pub const CSV_HEADER: &str =
-    "scenario,app,case,technique,mean_makespan,std_makespan,mean_chunks,meets_deadline";
+    "scenario,app,case,technique,mean_makespan,std_makespan,mean_chunks,meets_deadline,deadline_hit_rate";
 
 /// Renders a scenario's simulation grid as CSV (header + one row per
 /// cell). Applications are 1-based in the output, matching the paper.
@@ -26,14 +26,15 @@ pub fn scenario_to_csv(result: &ScenarioResult) -> String {
     for c in &result.cells {
         writeln!(
             out,
-            "{scenario},{},{},{},{:.6},{:.6},{:.2},{}",
+            "{scenario},{},{},{},{:.6},{:.6},{:.2},{},{:.4}",
             c.app + 1,
             c.case,
             c.technique,
             c.mean_makespan,
             c.std_makespan,
             c.mean_chunks,
-            c.meets_deadline
+            c.meets_deadline,
+            c.deadline_hit_rate
         )
         .expect("writing to String cannot fail");
     }
@@ -113,7 +114,10 @@ mod tests {
         assert_eq!(lines.len(), 1 + result.cells.len());
         // Every data row has the full column count.
         for line in &lines[1..] {
-            assert_eq!(line.split(',').count(), 8, "{line}");
+            assert_eq!(line.split(',').count(), 9, "{line}");
+            // The hit-rate column is a fraction in [0, 1].
+            let hit_rate: f64 = line.rsplit(',').next().unwrap().parse().unwrap();
+            assert!((0.0..=1.0).contains(&hit_rate), "{line}");
         }
         assert!(lines[1].starts_with("1,1,1,STATIC,"));
     }

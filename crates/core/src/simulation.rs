@@ -3,7 +3,7 @@
 //! threads.
 
 use crate::{CoreError, Result};
-use cdsf_dls::executor::{execute, ExecutorConfig};
+use cdsf_dls::executor::{execute_in, ExecutorConfig, ExecutorScratch};
 use cdsf_dls::TechniqueKind;
 use cdsf_pmf::stats::Welford;
 use cdsf_ra::Allocation;
@@ -12,7 +12,7 @@ use cdsf_system::{Batch, Platform};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Parameters of the Stage-II simulation.
 ///
@@ -102,8 +102,14 @@ pub struct CellResult {
     pub mean_chunks: f64,
     /// Number of replicates behind the statistics.
     pub replicates: usize,
-    /// Whether the *mean* makespan meets the deadline.
+    /// Whether the *mean* makespan meets the deadline (the paper's
+    /// Table-VI criterion; `best_technique` and the headline tables key
+    /// off this).
     pub meets_deadline: bool,
+    /// Fraction of replicates whose makespan meets the deadline — the
+    /// empirical `φ₂ = P(makespan ≤ Δ)`. A mean-based pass with a low hit
+    /// rate flags a verdict carried by a lucky tail.
+    pub deadline_hit_rate: f64,
 }
 
 impl CellResult {
@@ -118,8 +124,22 @@ impl CellResult {
 
     /// Whether the deadline verdict is statistically resolved: the 95 %
     /// confidence interval of the mean lies entirely on one side of Δ.
+    /// With zero replicates there is no evidence at all, so the verdict is
+    /// explicitly unresolved (the half-width degenerates to 0 there, which
+    /// would otherwise claim perfect resolution).
     pub fn verdict_is_resolved(&self, deadline: f64) -> bool {
+        if self.replicates == 0 {
+            return false;
+        }
         (self.mean_makespan - deadline).abs() > self.ci95_halfwidth()
+    }
+
+    /// The advisor's combined deadline verdict: the mean makespan meets Δ
+    /// *and* at least half the replicates meet it individually, so a pass
+    /// cannot be carried by a lucky minority of fast runs while the
+    /// majority of realizations blow the deadline.
+    pub fn robust_verdict(&self) -> bool {
+        self.meets_deadline && self.deadline_hit_rate >= 0.5
     }
 }
 
@@ -136,10 +156,146 @@ fn cell_seed(base: u64, app: usize, case: usize, tech: usize, replicate_block: u
     z ^ (z >> 31)
 }
 
+/// One prepared grid cell: the executor configuration plus the identity
+/// needed for seeding and labelling.
+struct CellSpec {
+    app_idx: usize,
+    /// 1-based, paper numbering.
+    case: usize,
+    tech_idx: usize,
+    technique: TechniqueKind,
+    cfg: ExecutorConfig,
+}
+
+/// Builds the executor configuration for one `(app, case, technique)`
+/// cell: the application's iteration profile on its allocated group under
+/// the case's availability renewal process.
+#[allow(clippy::too_many_arguments)]
+fn build_cell_spec(
+    batch: &Batch,
+    alloc: &Allocation,
+    case_platform: &Platform,
+    technique: &TechniqueKind,
+    app_idx: usize,
+    case: usize,
+    tech_idx: usize,
+    params: &SimParams,
+) -> Result<CellSpec> {
+    let app = batch.app(cdsf_system::AppId(app_idx))?;
+    let asg = alloc.assignment(app_idx).ok_or(CoreError::BadConfig {
+        what: "allocation does not cover application",
+    })?;
+    let avail_pmf = case_platform
+        .proc_type(asg.proc_type)?
+        .availability()
+        .clone();
+    let cfg = ExecutorConfig::builder()
+        .from_application(app, asg.proc_type)?
+        .workers(asg.procs as usize)
+        .overhead(params.overhead)
+        .availability(AvailabilitySpec::Renewal {
+            pmf: avail_pmf,
+            mean_dwell: params.mean_dwell,
+        })
+        .build()?;
+    Ok(CellSpec {
+        app_idx,
+        case,
+        tech_idx,
+        technique: technique.clone(),
+        cfg,
+    })
+}
+
+/// Runs every replicate of every prepared cell across the worker threads
+/// and reduces each cell's replicates in order.
+///
+/// Work is claimed at `(cell, replicate)` granularity from one atomic
+/// counter, so a few large cells — or a single cell, as in the advisor's
+/// targeted path — still saturate all threads. Each replicate writes its
+/// `(makespan, chunk count)` into its own pre-assigned slot (disjoint
+/// `AtomicU64` stores of the `f64` bits; the thread-scope join publishes
+/// them), and the reduction then pushes replicates into the Welford
+/// accumulators in replicate order — bit-identical to a sequential loop,
+/// for any thread count.
+fn run_cells(specs: &[CellSpec], deadline: f64, params: &SimParams) -> Result<Vec<CellResult>> {
+    let reps = params.replicates;
+    let total = specs.len() * reps;
+    let makespan_slots: Vec<AtomicU64> = (0..total).map(|_| AtomicU64::new(0)).collect();
+    let chunk_slots: Vec<AtomicU64> = (0..total).map(|_| AtomicU64::new(0)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| -> Result<()> {
+        let mut handles = Vec::new();
+        for _ in 0..params.threads.min(total.max(1)) {
+            let next = &next;
+            let makespan_slots = &makespan_slots;
+            let chunk_slots = &chunk_slots;
+            handles.push(scope.spawn(move || -> Result<()> {
+                let mut scratch = ExecutorScratch::new();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= total {
+                        return Ok(());
+                    }
+                    let spec = &specs[idx / reps];
+                    let r = idx % reps;
+                    let seed = cell_seed(
+                        params.seed,
+                        spec.app_idx,
+                        spec.case,
+                        spec.tech_idx,
+                        r as u64,
+                    );
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let run = execute_in(&spec.technique, &spec.cfg, &mut scratch, &mut rng)?;
+                    makespan_slots[idx].store(run.makespan.to_bits(), Ordering::Relaxed);
+                    chunk_slots[idx].store((run.chunks as f64).to_bits(), Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("simulation worker panicked")?;
+        }
+        Ok(())
+    })?;
+
+    Ok(specs
+        .iter()
+        .enumerate()
+        .map(|(s, spec)| {
+            let mut makespans = Welford::new();
+            let mut chunks = Welford::new();
+            let mut hits = 0usize;
+            for r in 0..reps {
+                let m = f64::from_bits(makespan_slots[s * reps + r].load(Ordering::Relaxed));
+                makespans.push(m);
+                chunks.push(f64::from_bits(
+                    chunk_slots[s * reps + r].load(Ordering::Relaxed),
+                ));
+                if m <= deadline {
+                    hits += 1;
+                }
+            }
+            CellResult {
+                app: spec.app_idx,
+                case: spec.case,
+                technique: spec.technique.name().to_string(),
+                mean_makespan: makespans.mean(),
+                std_makespan: makespans.std_dev(),
+                mean_chunks: chunks.mean(),
+                replicates: reps,
+                meets_deadline: makespans.mean() <= deadline,
+                deadline_hit_rate: hits as f64 / reps as f64,
+            }
+        })
+        .collect())
+}
+
 /// Simulates the whole grid: every application of `batch` (placed per
 /// `alloc`), under every runtime availability case, with every technique.
 ///
-/// Cells are independent and individually seeded, so the result is
+/// Every `(cell, replicate)` is independently seeded, so the result is
 /// identical for any thread count.
 pub fn simulate_grid(
     batch: &Batch,
@@ -161,67 +317,24 @@ pub fn simulate_grid(
         });
     }
 
-    // Build the task list: one entry per (app, case, technique).
-    struct Task {
-        app: usize,
-        case: usize, // 1-based
-        tech: usize,
-    }
-    let mut tasks = Vec::new();
+    let mut specs = Vec::with_capacity(batch.len() * runtime_cases.len() * techniques.len());
     for app in 0..batch.len() {
         for case in 1..=runtime_cases.len() {
-            for tech in 0..techniques.len() {
-                tasks.push(Task { app, case, tech });
+            for (tech, technique) in techniques.iter().enumerate() {
+                specs.push(build_cell_spec(
+                    batch,
+                    alloc,
+                    &runtime_cases[case - 1],
+                    technique,
+                    app,
+                    case,
+                    tech,
+                    params,
+                )?);
             }
         }
     }
-
-    // Work-stealing by atomic counter; each task index is claimed exactly
-    // once, results land in a mutex-guarded slot vector (contention is one
-    // lock per completed cell, negligible next to the simulation itself).
-    let next = AtomicUsize::new(0);
-    let results: Vec<Option<CellResult>> = {
-        let cells = parking_lot::Mutex::new(vec![None; tasks.len()]);
-        std::thread::scope(|scope| -> Result<()> {
-            let mut handles = Vec::new();
-            for _ in 0..params.threads {
-                let tasks = &tasks;
-                let next = &next;
-                let cells = &cells;
-                handles.push(scope.spawn(move || -> Result<()> {
-                    loop {
-                        let idx = next.fetch_add(1, Ordering::Relaxed);
-                        if idx >= tasks.len() {
-                            return Ok(());
-                        }
-                        let t = &tasks[idx];
-                        let cell = simulate_cell(
-                            batch,
-                            alloc,
-                            &runtime_cases[t.case - 1],
-                            &techniques[t.tech],
-                            t.app,
-                            t.case,
-                            t.tech,
-                            deadline,
-                            params,
-                        )?;
-                        cells.lock()[idx] = Some(cell);
-                    }
-                }));
-            }
-            for h in handles {
-                h.join().expect("simulation worker panicked")?;
-            }
-            Ok(())
-        })?;
-        cells.into_inner()
-    };
-
-    Ok(results
-        .into_iter()
-        .map(|c| c.expect("all tasks completed"))
-        .collect())
+    run_cells(&specs, deadline, params)
 }
 
 /// Simulates a single `(application, case, technique)` cell on demand —
@@ -229,7 +342,8 @@ pub fn simulate_grid(
 /// that mean-field screening could not resolve. `case` is the 1-based
 /// label recorded in the result; seeding matches [`simulate_grid`] when
 /// `tech_idx` equals the technique's position there, so targeted and
-/// full-grid results are bit-identical.
+/// full-grid results are bit-identical. Replicates fan out over
+/// `params.threads` just like the full grid.
 #[allow(clippy::too_many_arguments)]
 pub fn simulate_single_cell(
     batch: &Batch,
@@ -243,7 +357,7 @@ pub fn simulate_single_cell(
     params: &SimParams,
 ) -> Result<CellResult> {
     params.validate()?;
-    simulate_cell(
+    let spec = build_cell_spec(
         batch,
         alloc,
         case_platform,
@@ -251,64 +365,10 @@ pub fn simulate_single_cell(
         app_idx,
         case,
         tech_idx,
-        deadline,
         params,
-    )
-}
-
-/// Simulates one cell: `replicates` runs of one application on its
-/// allocated group under one availability case with one technique.
-#[allow(clippy::too_many_arguments)]
-fn simulate_cell(
-    batch: &Batch,
-    alloc: &Allocation,
-    case_platform: &Platform,
-    technique: &TechniqueKind,
-    app_idx: usize,
-    case: usize,
-    tech_idx: usize,
-    deadline: f64,
-    params: &SimParams,
-) -> Result<CellResult> {
-    let app = batch.app(cdsf_system::AppId(app_idx))?;
-    let asg = alloc.assignment(app_idx).ok_or(CoreError::BadConfig {
-        what: "allocation does not cover application",
-    })?;
-    let avail_pmf = case_platform
-        .proc_type(asg.proc_type)?
-        .availability()
-        .clone();
-
-    let cfg = ExecutorConfig::builder()
-        .from_application(app, asg.proc_type)?
-        .workers(asg.procs as usize)
-        .overhead(params.overhead)
-        .availability(AvailabilitySpec::Renewal {
-            pmf: avail_pmf,
-            mean_dwell: params.mean_dwell,
-        })
-        .build()?;
-
-    let mut makespans = Welford::new();
-    let mut chunks = Welford::new();
-    for r in 0..params.replicates {
-        let seed = cell_seed(params.seed, app_idx, case, tech_idx, r as u64);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let run = execute(technique, &cfg, &mut rng)?;
-        makespans.push(run.makespan);
-        chunks.push(run.chunks as f64);
-    }
-
-    Ok(CellResult {
-        app: app_idx,
-        case,
-        technique: technique.name().to_string(),
-        mean_makespan: makespans.mean(),
-        std_makespan: makespans.std_dev(),
-        mean_chunks: chunks.mean(),
-        replicates: params.replicates,
-        meets_deadline: makespans.mean() <= deadline,
-    })
+    )?;
+    let mut cells = run_cells(std::slice::from_ref(&spec), deadline, params)?;
+    Ok(cells.pop().expect("one spec yields one cell"))
 }
 
 #[cfg(test)]
@@ -397,9 +457,11 @@ mod tests {
 
     #[test]
     fn grid_is_deterministic_across_thread_counts() {
+        // Replicate-granularity splits: 7 replicates (not divisible by 4
+        // or 16) must land bit-identically for 1, 4 and 16 threads.
         let batch = paper::batch_with_pulses(8);
         let cases = vec![paper::platform_case(1)];
-        let techniques = vec![TechniqueKind::Fac];
+        let techniques = vec![TechniqueKind::Fac, TechniqueKind::Af];
         let mk = |threads: usize| {
             simulate_grid(
                 &batch,
@@ -408,14 +470,62 @@ mod tests {
                 &techniques,
                 paper::DEADLINE,
                 &SimParams {
-                    replicates: 4,
+                    replicates: 7,
                     threads,
                     ..Default::default()
                 },
             )
             .unwrap()
         };
-        assert_eq!(mk(1), mk(4));
+        let one = mk(1);
+        assert_eq!(one, mk(4));
+        assert_eq!(one, mk(16));
+    }
+
+    #[test]
+    fn single_cell_equals_full_grid_cell() {
+        // The advisor's targeted path must reproduce the full grid's cell
+        // exactly (same seeds, same replicate fan-out).
+        let batch = paper::batch_with_pulses(8);
+        let cases: Vec<_> = (1..=2).map(paper::platform_case).collect();
+        let techniques = vec![TechniqueKind::Static, TechniqueKind::Fac];
+        let params = SimParams {
+            replicates: 5,
+            threads: 4,
+            ..Default::default()
+        };
+        let grid = simulate_grid(
+            &batch,
+            &robust_alloc(),
+            &cases,
+            &techniques,
+            paper::DEADLINE,
+            &params,
+        )
+        .unwrap();
+        for (case, platform) in cases.iter().enumerate().map(|(i, p)| (i + 1, p)) {
+            for (tech_idx, technique) in techniques.iter().enumerate() {
+                for app in 0..batch.len() {
+                    let single = simulate_single_cell(
+                        &batch,
+                        &robust_alloc(),
+                        platform,
+                        technique,
+                        app,
+                        case,
+                        tech_idx,
+                        paper::DEADLINE,
+                        &params,
+                    )
+                    .unwrap();
+                    let from_grid = grid
+                        .iter()
+                        .find(|c| c.app == app && c.case == case && c.technique == technique.name())
+                        .unwrap();
+                    assert_eq!(&single, from_grid, "app {app} case {case} tech {tech_idx}");
+                }
+            }
+        }
     }
 
     #[test]
@@ -452,16 +562,49 @@ mod tests {
             mean_chunks: 50.0,
             replicates: 25,
             meets_deadline: true,
+            deadline_hit_rate: 0.8,
         };
         // 1.96 · 300 / 5 = 117.6.
         assert!((cell.ci95_halfwidth() - 117.6).abs() < 1e-9);
         assert!(cell.verdict_is_resolved(3250.0)); // 250 > 117.6
         assert!(!cell.verdict_is_resolved(3050.0)); // 50 < 117.6
+                                                    // Zero replicates: no evidence, so never resolved — even though the
+                                                    // degenerate half-width is 0 (the implicit-divide trap).
         let zero = CellResult {
             replicates: 0,
             ..cell
         };
         assert_eq!(zero.ci95_halfwidth(), 0.0);
+        assert!(!zero.verdict_is_resolved(3250.0));
+        assert!(!zero.verdict_is_resolved(2000.0));
+    }
+
+    #[test]
+    fn hit_rate_is_consistent_with_makespan_spread() {
+        let batch = paper::batch_with_pulses(8);
+        let cells = simulate_grid(
+            &batch,
+            &robust_alloc(),
+            &[paper::platform_case(1)],
+            &[TechniqueKind::Fac],
+            paper::DEADLINE,
+            &SimParams {
+                replicates: 8,
+                threads: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for c in &cells {
+            assert!((0.0..=1.0).contains(&c.deadline_hit_rate), "{c:?}");
+            // All replicates on one side of Δ pins the hit rate.
+            if c.mean_makespan + 3.0 * c.std_makespan <= paper::DEADLINE {
+                assert_eq!(c.deadline_hit_rate, 1.0, "{c:?}");
+            }
+            if c.mean_makespan - 3.0 * c.std_makespan > paper::DEADLINE {
+                assert_eq!(c.deadline_hit_rate, 0.0, "{c:?}");
+            }
+        }
     }
 
     #[test]

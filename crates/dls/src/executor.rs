@@ -315,6 +315,17 @@ struct WorkerState {
 }
 
 impl WorkerState {
+    /// Rebinds the worker to a fresh availability realization and zeroed
+    /// statistics, keeping the timeline's segment buffers. A reset worker
+    /// is indistinguishable from a newly-built one.
+    fn reset(&mut self, spec: &AvailabilitySpec) -> crate::Result<()> {
+        self.timeline.reset(spec)?;
+        self.iter_times = Welford::new();
+        self.iter_times_total = Welford::new();
+        self.snapshot = WorkerSnapshot::default();
+        Ok(())
+    }
+
     fn observe(&mut self, size: u64, compute_time: f64, total_time: f64) {
         let per_iter = compute_time / size as f64;
         let per_iter_total = total_time / size as f64;
@@ -363,29 +374,6 @@ fn wrap(rng: &mut dyn RngCore) -> impl Rng + '_ {
     W(rng)
 }
 
-/// Runs one loop execution with a technique selected by kind.
-pub fn execute(
-    kind: &TechniqueKind,
-    cfg: &ExecutorConfig,
-    rng: &mut dyn RngCore,
-) -> Result<RunResult> {
-    let mut technique = kind.build(cfg.num_workers, cfg.parallel_iters)?;
-    execute_with(technique.as_mut(), cfg, rng)
-}
-
-/// Runs one loop execution with an explicit technique instance.
-///
-/// The instance must be fresh (techniques are stateful across a run).
-pub fn execute_with(
-    technique: &mut dyn Technique,
-    cfg: &ExecutorConfig,
-    rng: &mut dyn RngCore,
-) -> Result<RunResult> {
-    cfg.validate()?;
-    let mut workers = build_workers(cfg)?;
-    run_one_step(technique, cfg, &mut workers, 0.0, rng)
-}
-
 /// Builds the per-worker state (availability timelines + statistics).
 fn build_workers(cfg: &ExecutorConfig) -> Result<Vec<WorkerState>> {
     (0..cfg.num_workers)
@@ -400,16 +388,110 @@ fn build_workers(cfg: &ExecutorConfig) -> Result<Vec<WorkerState>> {
         .collect()
 }
 
+/// Reusable executor working memory: the per-worker state (availability
+/// timelines + statistics), the event heap, and the snapshot buffer handed
+/// to techniques at each dispatch.
+///
+/// One run allocates these once; [`execute_in`] then reuses them across
+/// replicates, so the chunk-dispatch loop is allocation-free in steady
+/// state. [`ExecutorScratch::prepare`] rebinds every buffer to a fresh
+/// realization, making a reused scratch bit-identical to a fresh one (the
+/// determinism contract the replicate-parallel simulation grid relies on).
+#[derive(Default)]
+pub struct ExecutorScratch {
+    workers: Vec<WorkerState>,
+    heap: BinaryHeap<Reverse<(OrderedF64, usize)>>,
+    snapshots: Vec<WorkerSnapshot>,
+}
+
+impl ExecutorScratch {
+    /// Creates an empty scratch arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets the arena for one execution of `cfg`: existing workers are
+    /// rebound to fresh availability realizations (keeping their segment
+    /// buffers), missing workers are built, extra ones dropped.
+    fn prepare(&mut self, cfg: &ExecutorConfig) -> Result<()> {
+        self.workers.truncate(cfg.num_workers);
+        for (i, w) in self.workers.iter_mut().enumerate() {
+            w.reset(cfg.spec_for(i))?;
+        }
+        for i in self.workers.len()..cfg.num_workers {
+            self.workers.push(WorkerState {
+                timeline: Timeline::new(cfg.spec_for(i))?,
+                iter_times: Welford::new(),
+                iter_times_total: Welford::new(),
+                snapshot: WorkerSnapshot::default(),
+            });
+        }
+        self.heap.clear();
+        self.snapshots.clear();
+        Ok(())
+    }
+}
+
+/// Runs one loop execution with a technique selected by kind.
+pub fn execute(
+    kind: &TechniqueKind,
+    cfg: &ExecutorConfig,
+    rng: &mut dyn RngCore,
+) -> Result<RunResult> {
+    let mut scratch = ExecutorScratch::new();
+    execute_in(kind, cfg, &mut scratch, rng)
+}
+
+/// Runs one loop execution with an explicit technique instance.
+///
+/// The instance must be fresh (techniques are stateful across a run).
+pub fn execute_with(
+    technique: &mut dyn Technique,
+    cfg: &ExecutorConfig,
+    rng: &mut dyn RngCore,
+) -> Result<RunResult> {
+    let mut scratch = ExecutorScratch::new();
+    execute_with_in(technique, cfg, &mut scratch, rng)
+}
+
+/// Runs one loop execution inside a reusable scratch arena. Results are
+/// bit-identical to [`execute`] with the same RNG stream; only the
+/// allocation behaviour differs.
+pub fn execute_in(
+    kind: &TechniqueKind,
+    cfg: &ExecutorConfig,
+    scratch: &mut ExecutorScratch,
+    rng: &mut dyn RngCore,
+) -> Result<RunResult> {
+    let mut technique = kind.build(cfg.num_workers, cfg.parallel_iters)?;
+    execute_with_in(technique.as_mut(), cfg, scratch, rng)
+}
+
+/// [`execute_with`] inside a reusable scratch arena.
+pub fn execute_with_in(
+    technique: &mut dyn Technique,
+    cfg: &ExecutorConfig,
+    scratch: &mut ExecutorScratch,
+    rng: &mut dyn RngCore,
+) -> Result<RunResult> {
+    cfg.validate()?;
+    scratch.prepare(cfg)?;
+    run_one_step(technique, cfg, scratch, 0.0, rng)
+}
+
 /// Executes one serial prologue + parallel loop starting at `start`,
-/// against persistent worker state.
+/// against the persistent worker state in `scratch` (the event heap and
+/// snapshot buffer are cleared here; worker statistics and timelines carry
+/// over, which is what time-stepping needs).
 fn run_one_step(
     technique: &mut dyn Technique,
     cfg: &ExecutorConfig,
-    workers: &mut [WorkerState],
+    scratch: &mut ExecutorScratch,
     start: f64,
     rng: &mut dyn RngCore,
 ) -> Result<RunResult> {
     let p = cfg.num_workers;
+    let workers = &mut scratch.workers;
 
     // Serial prologue on worker 0.
     let serial_end = if cfg.serial_iters > 0 {
@@ -421,9 +503,9 @@ fn run_one_step(
     let serial_time = serial_end - start;
 
     // Parallel loop: min-heap of (free_time, worker).
-    let mut heap: BinaryHeap<Reverse<(OrderedF64, usize)>> = (0..p)
-        .map(|i| Reverse((OrderedF64(serial_end), i)))
-        .collect();
+    let heap = &mut scratch.heap;
+    heap.clear();
+    heap.extend((0..p).map(|i| Reverse((OrderedF64(serial_end), i))));
     let mut remaining = cfg.parallel_iters;
     let mut chunks = 0u64;
     let mut worker_finish = vec![serial_end; p];
@@ -431,14 +513,15 @@ fn run_one_step(
 
     while remaining > 0 {
         let Reverse((OrderedF64(now), w)) = heap.pop().expect("heap never empties early");
-        let snapshot: Vec<WorkerSnapshot> = workers.iter().map(|s| s.snapshot).collect();
+        scratch.snapshots.clear();
+        scratch.snapshots.extend(workers.iter().map(|s| s.snapshot));
         let ctx = SchedContext {
             worker: w,
             num_workers: p,
             total_iters: cfg.parallel_iters,
             remaining,
             now,
-            workers: &snapshot,
+            workers: &scratch.snapshots,
         };
         let size = technique.next_chunk(&ctx).clamp(1, remaining);
         remaining -= size;
@@ -511,7 +594,8 @@ pub fn execute_timestepping(
     }
     cfg.validate()?;
     let mut technique = kind.build(cfg.num_workers, cfg.parallel_iters)?;
-    let mut workers = build_workers(cfg)?;
+    let mut scratch = ExecutorScratch::new();
+    scratch.prepare(cfg)?;
     let mut step_durations = Vec::with_capacity(steps);
     let mut chunks = 0u64;
     let mut now = 0.0f64;
@@ -519,7 +603,7 @@ pub fn execute_timestepping(
         if step > 0 {
             technique.on_timestep();
         }
-        let run = run_one_step(technique.as_mut(), cfg, &mut workers, now, rng)?;
+        let run = run_one_step(technique.as_mut(), cfg, &mut scratch, now, rng)?;
         now += run.makespan;
         chunks += run.chunks;
         step_durations.push(run.makespan);
@@ -540,8 +624,9 @@ pub fn replicate_makespans(
     replicates: usize,
     rng: &mut dyn RngCore,
 ) -> Result<Vec<f64>> {
+    let mut scratch = ExecutorScratch::new();
     (0..replicates)
-        .map(|_| execute(kind, cfg, rng).map(|r| r.makespan))
+        .map(|_| execute_in(kind, cfg, &mut scratch, rng).map(|r| r.makespan))
         .collect()
 }
 
@@ -595,6 +680,9 @@ pub struct ExecutorSession {
     workers: Vec<WorkerState>,
     heap: BinaryHeap<Reverse<(OrderedF64, usize)>>,
     in_flight: Vec<Option<InFlight>>,
+    /// Snapshot buffer reused across dispatches (same role as
+    /// [`ExecutorScratch::snapshots`]).
+    snapshots: Vec<WorkerSnapshot>,
     remaining: u64,
     chunks: u64,
     start: f64,
@@ -631,6 +719,7 @@ impl ExecutorSession {
             .collect();
         Ok(Self {
             in_flight: vec![None; cfg.num_workers],
+            snapshots: Vec::with_capacity(cfg.num_workers),
             remaining: cfg.parallel_iters,
             chunks: 0,
             start,
@@ -708,14 +797,16 @@ impl ExecutorSession {
             self.heap.pop();
             // The worker's previous chunk (if any) completed at `now`.
             self.in_flight[w] = None;
-            let snapshot: Vec<WorkerSnapshot> = self.workers.iter().map(|s| s.snapshot).collect();
+            self.snapshots.clear();
+            self.snapshots
+                .extend(self.workers.iter().map(|s| s.snapshot));
             let ctx = SchedContext {
                 worker: w,
                 num_workers: self.cfg.num_workers,
                 total_iters: self.cfg.parallel_iters,
                 remaining: self.remaining,
                 now,
-                workers: &snapshot,
+                workers: &self.snapshots,
             };
             let size = self.technique.next_chunk(&ctx).clamp(1, self.remaining);
             self.remaining -= size;
@@ -1238,6 +1329,56 @@ mod tests {
         let mut r = rng(1);
         assert!(ExecutorSession::new(&TechniqueKind::Fac, cfg.clone(), -1.0, &mut r).is_err());
         assert!(ExecutorSession::new(&TechniqueKind::Fac, cfg, f64::INFINITY, &mut r).is_err());
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_runs() {
+        let mut cfg = base_cfg();
+        cfg.serial_iters = 50;
+        cfg.iter_sigma = 0.3;
+        cfg.overhead = 1.0;
+        cfg.availability = vec![AvailabilitySpec::Renewal {
+            pmf: cdsf_pmf::Pmf::from_pairs([(0.5, 0.5), (1.0, 0.5)]).unwrap(),
+            mean_dwell: 50.0,
+        }];
+        let mut fresh_rng = rng(33);
+        let fresh: Vec<RunResult> = (0..5)
+            .map(|_| execute(&TechniqueKind::Af, &cfg, &mut fresh_rng).unwrap())
+            .collect();
+        let mut reused_rng = rng(33);
+        let mut scratch = ExecutorScratch::new();
+        for (i, f) in fresh.iter().enumerate() {
+            let g = execute_in(&TechniqueKind::Af, &cfg, &mut scratch, &mut reused_rng).unwrap();
+            assert_eq!(
+                g.makespan.to_bits(),
+                f.makespan.to_bits(),
+                "replicate {i} makespan"
+            );
+            assert_eq!(g.chunks, f.chunks, "replicate {i} chunks");
+            assert_eq!(g.worker_finish, f.worker_finish, "replicate {i} finishes");
+        }
+    }
+
+    #[test]
+    fn scratch_adapts_to_changing_worker_counts() {
+        // prepare() must grow and shrink the worker pool without leaking
+        // state from a previous configuration.
+        let mut scratch = ExecutorScratch::new();
+        for p in [4usize, 2, 6] {
+            let cfg = ExecutorConfig::builder()
+                .workers(p)
+                .parallel_iters(1024)
+                .iter_time_mean_sigma(1.0, 0.2)
+                .unwrap()
+                .availability(AvailabilitySpec::Constant { a: 0.5 })
+                .build()
+                .unwrap();
+            let reused =
+                execute_in(&TechniqueKind::Fac, &cfg, &mut scratch, &mut rng(p as u64)).unwrap();
+            let fresh = execute(&TechniqueKind::Fac, &cfg, &mut rng(p as u64)).unwrap();
+            assert_eq!(reused.makespan.to_bits(), fresh.makespan.to_bits());
+            assert_eq!(reused.worker_finish.len(), p);
+        }
     }
 
     #[test]

@@ -401,6 +401,35 @@ impl Timeline {
         })
     }
 
+    /// Rebinds the timeline to a fresh realization of `spec`, reusing the
+    /// segment buffers (capacity is kept). A reset timeline is
+    /// indistinguishable from a freshly-constructed one — the executor's
+    /// scratch arena relies on this to avoid per-replicate allocations.
+    pub fn reset(&mut self, spec: &AvailabilitySpec) -> Result<()> {
+        self.process = spec.build()?;
+        self.starts.clear();
+        self.starts.push(0.0);
+        self.levels.clear();
+        self.cum_work.clear();
+        self.cum_work.push(0.0);
+        Ok(())
+    }
+
+    /// Number of materialized segments.
+    pub fn segment_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Read-only view of the materialized realization as
+    /// `(starts, levels, cum_work)`: segment `k` covers
+    /// `[starts[k], starts[k+1])` at level `levels[k]`, and
+    /// `cum_work[k] = ∫_0^{starts[k]} A(s) ds`. Used by diagnostics and the
+    /// benchmark harness (which replays the legacy linear-scan kernels over
+    /// the same realization).
+    pub fn segments(&self) -> (&[f64], &[f64], &[f64]) {
+        (&self.starts, &self.levels, &self.cum_work)
+    }
+
     /// Ensures segments cover at least time `t` (or enough work), extending
     /// lazily from the process.
     fn extend_to_time(&mut self, t: f64, rng: &mut dyn RngCore) {
@@ -429,15 +458,30 @@ impl Timeline {
     /// Instantaneous availability at time `t ≥ 0`.
     pub fn availability_at(&mut self, t: f64, rng: &mut dyn RngCore) -> f64 {
         self.extend_to_time(t, rng);
+        self.levels[self.segment_index(t)]
+    }
+
+    /// Index of the materialized segment containing `t`. Requires the
+    /// realization to cover `t` (`extend_to_time` first).
+    fn segment_index(&self, t: f64) -> usize {
         // Last start > t, so partition_point ∈ [1, len).
-        let idx = self.starts.partition_point(|&s| s <= t);
-        self.levels[idx - 1]
+        self.starts.partition_point(|&s| s <= t) - 1
+    }
+
+    /// Prefix work integral `W(t) = ∫_0^t A(s) ds` for a covered `t` — the
+    /// one helper all three integration queries share.
+    fn prefix_work_at(&self, t: f64) -> f64 {
+        let k = self.segment_index(t);
+        self.cum_work[k] + (t - self.starts[k]) * self.levels[k]
     }
 
     /// Smallest `t'` such that `∫_start^{t'} A(s) ds = work`.
     ///
     /// `work` is expressed in dedicated-processor time units (the time the
-    /// computation would take at availability 1.0).
+    /// computation would take at availability 1.0). Implemented as a binary
+    /// search over the cumulative-work prefix table: `t'` is the point
+    /// where `W(t') = W(start) + work`, found in O(log S) for S
+    /// materialized segments instead of a linear segment walk.
     pub fn finish_time(&mut self, start: f64, work: f64, rng: &mut dyn RngCore) -> f64 {
         assert!(start >= 0.0, "start must be non-negative, got {start}");
         assert!(work >= 0.0, "work must be non-negative, got {work}");
@@ -445,8 +489,104 @@ impl Timeline {
             return start;
         }
         self.extend_to_time(start, rng);
+        let target = self.prefix_work_at(start) + work;
+        // Materialize until the prefix table covers the target (an
+        // infinite segment caps the table with +∞ and always covers).
+        while *self.cum_work.last().expect("non-empty") < target {
+            self.push_segment(rng);
+        }
+        self.finish_from_target(target, start)
+    }
+
+    /// Shared tail of the finish-time search: the segment `m` with
+    /// `cum_work[m] ≤ target ≤ cum_work[m+1]` located by binary search,
+    /// then one interpolation inside it. Clamped below at `start` so
+    /// rounding in the prefix subtraction can never move a finish before
+    /// its own dispatch.
+    fn finish_from_target(&self, target: f64, start: f64) -> f64 {
+        let m = (self.cum_work.partition_point(|&c| c <= target) - 1).min(self.levels.len() - 1);
+        (self.starts[m] + (target - self.cum_work[m]) / self.levels[m]).max(start)
+    }
+
+    /// Dedicated-speed work delivered over `[t0, t1]`: `∫_t0^t1 A(s) ds`.
+    ///
+    /// The inverse query of [`Timeline::finish_time`] — used to account
+    /// for partial progress when a computation is interrupted at `t1`
+    /// (fault injection, reactive remapping). Returns 0 for `t1 ≤ t0`.
+    /// Two prefix lookups (`W(t1) − W(t0)`), clamped at 0 against
+    /// cancellation rounding.
+    pub fn work_between(&mut self, t0: f64, t1: f64, rng: &mut dyn RngCore) -> f64 {
+        assert!(t0 >= 0.0, "t0 must be non-negative, got {t0}");
+        if !(t1 > t0) {
+            return 0.0;
+        }
+        self.extend_to_time(t1, rng);
+        (self.prefix_work_at(t1) - self.prefix_work_at(t0)).max(0.0)
+    }
+
+    /// Average availability over `[0, t]` for a materialized horizon —
+    /// one prefix lookup, `W(t) / t`.
+    pub fn mean_availability_until(&mut self, t: f64, rng: &mut dyn RngCore) -> f64 {
+        assert!(t > 0.0);
+        self.extend_to_time(t, rng);
+        self.prefix_work_at(t) / t
+    }
+}
+
+#[cfg(test)]
+impl Timeline {
+    /// Reference linear-scan `finish_time`: identical arithmetic to the
+    /// binary-search kernel (same prefix table, same interpolation) but the
+    /// finishing segment is located by walking the table front to back.
+    /// Property tests pin the production kernel to this bit-for-bit, which
+    /// isolates the binary search as the only thing that could go wrong.
+    fn finish_time_linear(&mut self, start: f64, work: f64, rng: &mut dyn RngCore) -> f64 {
+        assert!(start >= 0.0 && work >= 0.0);
+        if work == 0.0 {
+            return start;
+        }
+        self.extend_to_time(start, rng);
+        let target = self.prefix_work_at(start) + work;
+        while *self.cum_work.last().expect("non-empty") < target {
+            self.push_segment(rng);
+        }
+        let mut m = 0;
+        while m + 1 < self.cum_work.len() && self.cum_work[m + 1] <= target {
+            m += 1;
+        }
+        let m = m.min(self.levels.len() - 1);
+        (self.starts[m] + (target - self.cum_work[m]) / self.levels[m]).max(start)
+    }
+
+    /// Reference linear-scan `work_between`: same prefix arithmetic with
+    /// the covering segments located by walking instead of binary search.
+    fn work_between_linear(&mut self, t0: f64, t1: f64, rng: &mut dyn RngCore) -> f64 {
+        assert!(t0 >= 0.0);
+        if !(t1 > t0) {
+            return 0.0;
+        }
+        self.extend_to_time(t1, rng);
+        let walk = |t: f64| {
+            let mut k = 0;
+            while k + 1 < self.starts.len() && self.starts[k + 1] <= t {
+                k += 1;
+            }
+            self.cum_work[k] + (t - self.starts[k]) * self.levels[k]
+        };
+        (walk(t1) - walk(t0)).max(0.0)
+    }
+
+    /// The pre-prefix production `finish_time`: sequential capacity
+    /// subtraction along the spanned segments. Kept as the semantic anchor
+    /// — the prefix kernel must agree with it to within re-association
+    /// rounding on every realization.
+    fn finish_time_legacy(&mut self, start: f64, work: f64, rng: &mut dyn RngCore) -> f64 {
+        assert!(start >= 0.0 && work >= 0.0);
+        if work == 0.0 {
+            return start;
+        }
+        self.extend_to_time(start, rng);
         let seg = self.starts.partition_point(|&s| s <= start) - 1;
-        // Work delivered from `start` to the end of segment `seg`.
         let mut remaining = work;
         let mut idx = seg;
         let mut pos = start;
@@ -468,47 +608,6 @@ impl Timeline {
             pos = seg_end;
             idx += 1;
         }
-    }
-
-    /// Dedicated-speed work delivered over `[t0, t1]`: `∫_t0^t1 A(s) ds`.
-    ///
-    /// The inverse query of [`Timeline::finish_time`] — used to account
-    /// for partial progress when a computation is interrupted at `t1`
-    /// (fault injection, reactive remapping). Returns 0 for `t1 ≤ t0`.
-    pub fn work_between(&mut self, t0: f64, t1: f64, rng: &mut dyn RngCore) -> f64 {
-        assert!(t0 >= 0.0, "t0 must be non-negative, got {t0}");
-        if !(t1 > t0) {
-            return 0.0;
-        }
-        self.extend_to_time(t1, rng);
-        let mut acc = 0.0;
-        let first = self.starts.partition_point(|&s| s <= t0) - 1;
-        for k in first..self.levels.len() {
-            let s = self.starts[k].max(t0);
-            if s >= t1 {
-                break;
-            }
-            let e = self.starts[k + 1].min(t1);
-            acc += (e - s) * self.levels[k];
-        }
-        acc
-    }
-
-    /// Average availability over `[0, t]` for a materialized horizon —
-    /// diagnostic used by tests to confirm stationary behaviour.
-    pub fn mean_availability_until(&mut self, t: f64, rng: &mut dyn RngCore) -> f64 {
-        assert!(t > 0.0);
-        self.extend_to_time(t, rng);
-        let mut acc = 0.0;
-        for k in 0..self.levels.len() {
-            let s = self.starts[k];
-            if s >= t {
-                break;
-            }
-            let e = self.starts[k + 1].min(t);
-            acc += (e - s) * self.levels[k];
-        }
-        acc / t
     }
 }
 
@@ -813,5 +912,153 @@ mod tests {
         let f = tl.finish_time(10.0, 40.0, &mut r);
         assert!(f >= 10.0 + 40.0 / 0.8 - 1e-9);
         assert!(f <= 10.0 + 40.0 / 0.2 + 1e-9);
+    }
+
+    #[test]
+    fn reset_timeline_is_indistinguishable_from_fresh() {
+        let pmf = Pmf::from_pairs([(0.25, 0.25), (0.5, 0.25), (1.0, 0.5)]).unwrap();
+        let spec = AvailabilitySpec::Renewal {
+            pmf,
+            mean_dwell: 3.0,
+        };
+        let mut fresh = Timeline::new(&spec).unwrap();
+        // Warm `reused` with a different realization, then rebind it.
+        let mut reused = Timeline::new(&AvailabilitySpec::Constant { a: 0.9 }).unwrap();
+        let mut junk = rng();
+        reused.finish_time(0.0, 50.0, &mut junk);
+        reused.reset(&spec).unwrap();
+        let mut ra = StdRng::seed_from_u64(7);
+        let mut rb = StdRng::seed_from_u64(7);
+        for (s, w) in [(0.0, 10.0), (12.0, 3.0), (40.0, 80.0)] {
+            let a = fresh.finish_time(s, w, &mut ra);
+            let b = reused.finish_time(s, w, &mut rb);
+            assert_eq!(a.to_bits(), b.to_bits(), "diverged at ({s}, {w})");
+        }
+        assert_eq!(fresh.segment_count(), reused.segment_count());
+    }
+
+    mod prefix_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random spec covering every process family: exponential renewal,
+        /// general renewal (uniform / log-normal dwells), two-state Markov,
+        /// and cycling traces.
+        fn arb_spec() -> impl Strategy<Value = AvailabilitySpec> {
+            let pmf = || Pmf::from_pairs([(0.25, 0.25), (0.5, 0.25), (1.0, 0.5)]).unwrap();
+            prop_oneof![
+                (0.5f64..30.0).prop_map(move |mean_dwell| AvailabilitySpec::Renewal {
+                    pmf: pmf(),
+                    mean_dwell,
+                }),
+                (1.0f64..10.0, 1.0f64..20.0).prop_map(move |(lo, span)| {
+                    AvailabilitySpec::RenewalGeneral {
+                        pmf: pmf(),
+                        dwell: DwellDistribution::Uniform { lo, hi: lo + span },
+                    }
+                }),
+                (1.0f64..20.0, 0.1f64..1.5).prop_map(move |(mean, cov)| {
+                    AvailabilitySpec::RenewalGeneral {
+                        pmf: pmf(),
+                        dwell: DwellDistribution::LogNormal { mean, cov },
+                    }
+                }),
+                (0.5f64..1.0, 0.05f64..0.5, 1.0f64..30.0, 1.0f64..30.0).prop_map(
+                    |(up, down, mean_up, mean_down)| AvailabilitySpec::TwoStateMarkov {
+                        up,
+                        down,
+                        mean_up,
+                        mean_down,
+                    }
+                ),
+                prop::collection::vec((0.05f64..=1.0, 0.5f64..15.0), 1..6)
+                    .prop_map(|segments| AvailabilitySpec::Trace { segments }),
+            ]
+        }
+
+        proptest! {
+            /// The binary-search kernel must agree with the linear-scan
+            /// reference bit-for-bit: same prefix table, same interpolation,
+            /// only the segment lookup differs.
+            #[test]
+            fn finish_time_matches_linear_scan_bitwise(
+                spec in arb_spec(),
+                seed in 0u64..1_000,
+                queries in prop::collection::vec((0.0f64..200.0, 0.01f64..50.0), 1..8),
+            ) {
+                let mut tl = Timeline::new(&spec).unwrap();
+                let mut r = StdRng::seed_from_u64(seed);
+                for &(start, work) in &queries {
+                    let fast = tl.finish_time(start, work, &mut r);
+                    let linear = tl.finish_time_linear(start, work, &mut r);
+                    prop_assert_eq!(
+                        fast.to_bits(),
+                        linear.to_bits(),
+                        "finish_time({}, {}) = {} vs linear {}",
+                        start, work, fast, linear
+                    );
+                }
+            }
+
+            /// Prefix-difference `work_between` vs walking the segments.
+            #[test]
+            fn work_between_matches_linear_scan_bitwise(
+                spec in arb_spec(),
+                seed in 0u64..1_000,
+                queries in prop::collection::vec((0.0f64..300.0, 0.0f64..300.0), 1..8),
+            ) {
+                let mut tl = Timeline::new(&spec).unwrap();
+                let mut r = StdRng::seed_from_u64(seed);
+                for &(a, b) in &queries {
+                    let (t0, t1) = if a <= b { (a, b) } else { (b, a) };
+                    let fast = tl.work_between(t0, t1, &mut r);
+                    let linear = tl.work_between_linear(t0, t1, &mut r);
+                    prop_assert_eq!(
+                        fast.to_bits(),
+                        linear.to_bits(),
+                        "work_between({}, {}) = {} vs linear {}",
+                        t0, t1, fast, linear
+                    );
+                }
+            }
+
+            /// Semantic anchor: the prefix formulation may re-associate
+            /// floating-point sums relative to the old sequential capacity
+            /// subtraction, but only at rounding level.
+            #[test]
+            fn finish_time_agrees_with_legacy_subtraction(
+                spec in arb_spec(),
+                seed in 0u64..1_000,
+                queries in prop::collection::vec((0.0f64..200.0, 0.01f64..50.0), 1..8),
+            ) {
+                let mut tl = Timeline::new(&spec).unwrap();
+                let mut r = StdRng::seed_from_u64(seed);
+                for &(start, work) in &queries {
+                    let fast = tl.finish_time(start, work, &mut r);
+                    let legacy = tl.finish_time_legacy(start, work, &mut r);
+                    let tol = 1e-7 * legacy.abs().max(1.0);
+                    prop_assert!(
+                        (fast - legacy).abs() <= tol,
+                        "finish_time({}, {}) = {} vs legacy {}",
+                        start, work, fast, legacy
+                    );
+                }
+            }
+
+            /// `mean_availability_until` is the same prefix integral scaled
+            /// by `1/t`, so it must match `work_between(0, t) / t`.
+            #[test]
+            fn mean_availability_is_scaled_prefix_work(
+                spec in arb_spec(),
+                seed in 0u64..1_000,
+                t in 0.1f64..500.0,
+            ) {
+                let mut tl = Timeline::new(&spec).unwrap();
+                let mut r = StdRng::seed_from_u64(seed);
+                let mean = tl.mean_availability_until(t, &mut r);
+                let work = tl.work_between(0.0, t, &mut r);
+                prop_assert_eq!((work / t).to_bits(), mean.to_bits());
+            }
+        }
     }
 }

@@ -131,6 +131,28 @@ pub mod strategy {
         }
     }
 
+    /// Uniform choice between boxed strategies of a common value type —
+    /// the backing type of [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union over the given (non-empty) options.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].new_value(rng)
+        }
+    }
+
     macro_rules! impl_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for Range<$t> {
@@ -307,7 +329,7 @@ pub mod prelude {
     pub use crate::collection;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 
 /// Namespace mirror of proptest's `prop::` module tree.
@@ -360,6 +382,17 @@ macro_rules! __proptest_fns {
             }
         }
         $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type
+/// (unweighted subset of proptest's `prop_oneof!`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(::std::boxed::Box::new($strat) as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
     };
 }
 
@@ -428,6 +461,10 @@ mod tests {
 
         fn flat_map_dependent((n, i) in (1usize..10).prop_flat_map(|n| (Just(n), 0usize..n))) {
             prop_assert!(i < n);
+        }
+
+        fn oneof_draws_from_every_arm(x in prop_oneof![0u64..10, 100u64..110, (0u64..5).prop_map(|v| v + 1000)]) {
+            prop_assert!(x < 10u64 || (100u64..110).contains(&x) || (1000u64..1005).contains(&x));
         }
 
         fn early_return_ok(x in 0u32..10) {
