@@ -28,11 +28,13 @@ use cdsf_core::SimParams;
 use cdsf_dls::executor::{execute, execute_in, ExecutorConfig, ExecutorScratch};
 use cdsf_dls::TechniqueKind;
 use cdsf_pmf::discretize::{Discretize, Normal};
-use cdsf_pmf::Pmf;
+use cdsf_pmf::{CombineScratch, Pmf};
+use cdsf_ra::engine::RebuildMap;
 use cdsf_ra::robustness::ProbabilityTable;
-use cdsf_ra::{Allocation, Assignment, DeltaFitness, OptionProbs, Phi1Engine};
+use cdsf_ra::{Allocation, Assignment, DeltaFitness, EngineCache, OptionProbs, Phi1Engine};
 use cdsf_system::availability::{AvailabilitySpec, Timeline};
-use cdsf_system::{Batch, Platform, ProcTypeId};
+use cdsf_system::parallel_time::{amdahl_rescale, loaded_time_pmf_in};
+use cdsf_system::{Application, Batch, Platform, ProcTypeId};
 use cdsf_workloads::generators::{BatchGenerator, PlatformGenerator, Range};
 use cdsf_workloads::paper;
 use rand::rngs::StdRng;
@@ -43,7 +45,9 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 /// Current stage-1 snapshot schema. Bump when the JSON shape changes.
-const SCHEMA_VERSION: u64 = 1;
+/// v2 added the `pmf_build` section (fused loaded-PMF kernel, incremental
+/// engine rebuilds) and its derived ratios.
+const SCHEMA_VERSION: u64 = 2;
 
 /// Current stage-2 snapshot schema. Bump when the JSON shape changes.
 const STAGE2_SCHEMA_VERSION: u64 = 1;
@@ -92,6 +96,53 @@ fn full_fitness(table: &ProbabilityTable, genome: &[Assignment]) -> f64 {
     p
 }
 
+/// `app` with every per-type execution PMF rescaled by `frac` (the shape a
+/// remnant remap produces for a partially-finished application).
+fn rescaled_app(app: &Application, frac: f64, num_types: usize) -> Application {
+    let mut b = Application::builder(app.name())
+        .serial_iters(app.serial_iters())
+        .parallel_iters(app.parallel_iters());
+    for j in 0..num_types {
+        b = b.exec_time_pmf(app.exec_time(ProcTypeId(j)).unwrap().scale(frac).unwrap());
+    }
+    b.build().unwrap()
+}
+
+/// `batch` with application `changed` rescaled by `frac` — a single-app
+/// remnant: everything else is bit-identical to the original.
+fn single_app_remnant(batch: &Batch, num_types: usize, changed: usize, frac: f64) -> Batch {
+    Batch::new(
+        batch
+            .apps()
+            .iter()
+            .enumerate()
+            .map(|(i, app)| {
+                if i == changed {
+                    rescaled_app(app, frac, num_types)
+                } else {
+                    app.clone()
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Every `(app, type, power-of-two count)` cell of the engine grid.
+fn engine_cells(batch: &Batch, platform: &Platform) -> Vec<(usize, ProcTypeId, u32)> {
+    let mut cells = Vec::new();
+    for i in 0..batch.len() {
+        for j in 0..platform.num_types() {
+            let count = platform.proc_type(ProcTypeId(j)).unwrap().count();
+            let mut n = 1u32;
+            while n <= count {
+                cells.push((i, ProcTypeId(j), n));
+                n *= 2;
+            }
+        }
+    }
+    cells
+}
+
 fn bench_instance(num_apps: usize) -> (Batch, Platform) {
     let platform = PlatformGenerator {
         num_types: 3,
@@ -108,6 +159,31 @@ fn bench_instance(num_apps: usize) -> (Batch, Platform) {
         mean_exec_time: Range::new(1_000.0, 6_000.0).unwrap(),
         type_heterogeneity: Range::new(0.6, 1.8).unwrap(),
         pulses: 12,
+    }
+    .generate(&platform, 12)
+    .unwrap();
+    (batch, platform)
+}
+
+/// A pulse-rich instance for the PMF-construction benches: 384 execution
+/// pulses against the usual 3 availability pulses, the regime where the
+/// legacy two-step chain's comparison sort and intermediate PMF dominate.
+fn rich_instance() -> (Batch, Platform) {
+    let platform = PlatformGenerator {
+        num_types: 3,
+        procs_per_type: (8, 16),
+        availability_pulses: 3,
+        availability_range: Range::new(0.3, 1.0).unwrap(),
+    }
+    .generate(11)
+    .unwrap();
+    let batch = BatchGenerator {
+        num_apps: 8,
+        total_iters: (1_000, 8_000),
+        serial_fraction: Range::new(0.02, 0.2).unwrap(),
+        mean_exec_time: Range::new(1_000.0, 6_000.0).unwrap(),
+        type_heterogeneity: Range::new(0.6, 1.8).unwrap(),
+        pulses: 384,
     }
     .generate(&platform, 12)
     .unwrap();
@@ -195,6 +271,97 @@ fn run_suite(samples: usize, scale: usize) -> Vec<BenchResult> {
                 black_box(Phi1Engine::build_parallel(&batch, &platform, 4).unwrap());
             }),
             per_unit: "build",
+        },
+    );
+
+    // --- pmf_build: fused loaded-PMF kernel vs two-step reference ---------
+    // Every (app, type, power-of-two count) cell of a pulse-rich grid
+    // (the regime where the avoided re-sort and intermediate PMF dominate),
+    // built once per iteration: fused single-pass scale→quotient with a
+    // reused scratch arena vs the legacy amdahl_rescale + quotient chain.
+    let (rich_batch, rich_platform) = rich_instance();
+    let cells = engine_cells(&rich_batch, &rich_platform);
+    let n_cells = cells.len() as f64;
+    let rich_apps = rich_batch.apps();
+    push(
+        &mut out,
+        BenchResult {
+            name: "pmf_build/loaded_fused_p384",
+            median_ns: measure(samples, 2 * scale, || {
+                let mut scratch = CombineScratch::new();
+                for &(i, j, n) in &cells {
+                    black_box(
+                        loaded_time_pmf_in(&rich_apps[i], &rich_platform, j, n, &mut scratch)
+                            .unwrap(),
+                    );
+                }
+            }) / n_cells,
+            per_unit: "cell",
+        },
+    );
+    push(
+        &mut out,
+        BenchResult {
+            name: "pmf_build/loaded_two_step_p384",
+            median_ns: measure(samples, 2 * scale, || {
+                for &(i, j, n) in &cells {
+                    let app = &rich_apps[i];
+                    let avail = rich_platform.proc_type(j).unwrap().availability();
+                    let parallel =
+                        amdahl_rescale(app.exec_time(j).unwrap(), app.serial_fraction(), n)
+                            .unwrap();
+                    black_box(parallel.quotient(avail).unwrap());
+                }
+            }) / n_cells,
+            per_unit: "cell",
+        },
+    );
+
+    // --- incremental rebuild: verified cell reuse vs full rebuild ---------
+    // Alternating single-app remnants (app 0 at 0.5× / 0.25×) so every
+    // iteration is a genuine one-app-changed rebuild, never a no-op.
+    let num_types = platform.num_types();
+    let remnants = [
+        single_app_remnant(&batch, num_types, 0, 0.5),
+        single_app_remnant(&batch, num_types, 0, 0.25),
+    ];
+    let identity_apps: Vec<Option<usize>> = (0..batch.len()).map(Some).collect();
+    let identity_types: Vec<Option<usize>> = (0..num_types).map(Some).collect();
+    let mut cache = EngineCache::build(&batch, &platform, 1).unwrap();
+    let mut flip = 0usize;
+    push(
+        &mut out,
+        BenchResult {
+            name: "pmf_build/rebuild_remap_1app32",
+            median_ns: measure(samples, 2 * scale, || {
+                flip ^= 1;
+                black_box(
+                    cache
+                        .rebuild_with(
+                            &remnants[flip],
+                            &platform,
+                            RebuildMap {
+                                apps: &identity_apps,
+                                types: &identity_types,
+                            },
+                            1,
+                        )
+                        .unwrap(),
+                );
+            }),
+            per_unit: "rebuild",
+        },
+    );
+    let mut flip = 0usize;
+    push(
+        &mut out,
+        BenchResult {
+            name: "pmf_build/rebuild_full_1app32",
+            median_ns: measure(samples, 2 * scale, || {
+                flip ^= 1;
+                black_box(Phi1Engine::build_parallel(&remnants[flip], &platform, 1).unwrap());
+            }),
+            per_unit: "rebuild",
         },
     );
 
@@ -593,6 +760,12 @@ fn to_json(results: &[BenchResult], mode: &str) -> Value {
     let legacy_table = median_of(results, "phi1/table_sweep/legacy_32d");
     let prefix = median_of(results, "pmf/cdf/prefix_1024");
     let scan = median_of(results, "pmf/cdf/legacy_scan_1024");
+    let fused = median_of(results, "pmf_build/loaded_fused_p384");
+    let two_step = median_of(results, "pmf_build/loaded_two_step_p384");
+    let t1 = median_of(results, "phi1/engine_build/t1_apps32");
+    let t4 = median_of(results, "phi1/engine_build/t4_apps32");
+    let remap = median_of(results, "pmf_build/rebuild_remap_1app32");
+    let full_rebuild = median_of(results, "pmf_build/rebuild_full_1app32");
     json!({
         "schema_version": SCHEMA_VERSION,
         "mode": mode,
@@ -601,6 +774,11 @@ fn to_json(results: &[BenchResult], mode: &str) -> Value {
             "sa_allocate_apps": 16,
             "table_sweep_apps": 32,
             "table_sweep_deadlines": 32,
+            "pmf_build_apps": 8,
+            "pmf_build_exec_pulses": 384,
+            "pmf_build_avail_pulses": 3,
+            "rebuild_apps": 32,
+            "rebuild_changed_apps": 1,
             "deadline": DEADLINE,
         }),
         "benches": results.iter().map(|r| json!({
@@ -613,6 +791,9 @@ fn to_json(results: &[BenchResult], mode: &str) -> Value {
             "table_sweep_speedup": legacy_table / soa,
             "cdf_lookup_speedup": scan / prefix,
             "candidate_evals_per_sec": 1e9 / delta,
+            "pmf_build_fused_speedup": two_step / fused,
+            "engine_build_t4_vs_t1": t4 / t1,
+            "remap_rebuild_speedup": full_rebuild / remap,
         }),
     })
 }
@@ -712,7 +893,15 @@ const STAGE1_DERIVED: &[&str] = &[
     "table_sweep_speedup",
     "cdf_lookup_speedup",
     "candidate_evals_per_sec",
+    "pmf_build_fused_speedup",
+    "engine_build_t4_vs_t1",
+    "remap_rebuild_speedup",
 ];
+
+/// The threaded engine build must not regress past the serial one: with
+/// the work-size threshold in place, small instances fall back to the
+/// serial path and `t4 ≈ t1`. Allow 10% timing noise.
+const ENGINE_BUILD_T4_VS_T1_MAX: f64 = 1.1;
 
 const STAGE2_DERIVED: &[&str] = &[
     "finish_time_speedup",
@@ -724,7 +913,17 @@ const STAGE2_DERIVED: &[&str] = &[
 ];
 
 fn validate(snapshot: &Value) -> Result<(), String> {
-    validate_with(snapshot, SCHEMA_VERSION, STAGE1_DERIVED)
+    validate_with(snapshot, SCHEMA_VERSION, STAGE1_DERIVED)?;
+    let ratio = snapshot["derived"]["engine_build_t4_vs_t1"]
+        .as_f64()
+        .ok_or("derived missing engine_build_t4_vs_t1")?;
+    if ratio > ENGINE_BUILD_T4_VS_T1_MAX {
+        return Err(format!(
+            "engine_build_t4_vs_t1 {ratio:.3} exceeds {ENGINE_BUILD_T4_VS_T1_MAX} — \
+             the threaded build has regressed past the serial one"
+        ));
+    }
+    Ok(())
 }
 
 fn validate_stage2(snapshot: &Value) -> Result<(), String> {

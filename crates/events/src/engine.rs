@@ -36,8 +36,9 @@ use crate::metrics::{AppOutcome, RunMetrics};
 use crate::{EventsError, Result};
 use cdsf_dls::executor::{ExecutorConfig, ExecutorSession, SessionStatus};
 use cdsf_pmf::Pmf;
-use cdsf_ra::Phi1Engine;
+use cdsf_ra::engine::RebuildMap;
 use cdsf_ra::{Allocation, Assignment};
+use cdsf_ra::{EngineCache, Phi1Engine};
 use cdsf_system::availability::AvailabilitySpec;
 use cdsf_system::platform::prev_power_of_two;
 use cdsf_system::{Application, Batch, Platform, ProcTypeId, ProcessorType};
@@ -129,6 +130,16 @@ struct State {
     remap_count: usize,
     clamp_count: usize,
     wasted: f64,
+    /// Verified-reuse Stage-I engine cache: every reactive rebuild goes
+    /// through [`EngineCache::rebuild_with`] so cells of unchanged
+    /// `(app, type, k)` triples (pending apps, undrifted types) carry
+    /// over bit-identically instead of being recomputed.
+    cache: EngineCache,
+    /// Original batch index of each app slot in the cached engine.
+    cache_apps: Vec<usize>,
+    /// Original reference-platform index of each type slot in the cached
+    /// engine.
+    cache_types: Vec<usize>,
 }
 
 /// SplitMix64 finalizer — the workspace's standard seed-mixing primitive.
@@ -291,14 +302,17 @@ impl<'a> EventEngine<'a> {
     /// Builds the live state: Stage-I initial mapping, pristine types,
     /// pending applications.
     fn initial_state(&self) -> Result<State> {
-        let engine = Phi1Engine::build_parallel(self.batch, self.reference, self.cfg.threads)?;
+        let cache = EngineCache::build(self.batch, self.reference, self.cfg.threads)?;
         let alloc = self.cfg.allocator.allocate_with_engine(
             self.batch,
             self.reference,
-            &engine,
+            cache.engine(),
             self.cfg.deadline,
         )?;
-        let phi1 = engine.joint(&alloc, self.cfg.deadline).unwrap_or(0.0);
+        let phi1 = cache
+            .engine()
+            .joint(&alloc, self.cfg.deadline)
+            .unwrap_or(0.0);
 
         let types = self
             .reference
@@ -352,6 +366,9 @@ impl<'a> EventEngine<'a> {
             remap_count: 0,
             clamp_count: 0,
             wasted: 0.0,
+            cache,
+            cache_apps: (0..self.batch.len()).collect(),
+            cache_types: (0..self.reference.num_types()).collect(),
         })
     }
 
@@ -765,13 +782,53 @@ impl<'a> EventEngine<'a> {
         Ok(())
     }
 
+    /// Rebuilds the cached Stage-I engine for a remnant `(batch, platform)`
+    /// through [`EngineCache::rebuild_with`], so only the cells whose
+    /// inputs genuinely changed are recomputed.
+    ///
+    /// `actives` / `surviving` carry the *original* batch and reference
+    /// indices each remnant row came from; matching them against the
+    /// origins recorded at the previous (re)build yields the reuse hints.
+    /// Hints are advisory — `rebuild_with` verifies every one bitwise —
+    /// so the returned engine is always bit-identical to a fresh
+    /// `Phi1Engine::build_parallel(remnant, reduced, threads)` and the
+    /// event log stays byte-replayable.
+    fn remnant_engine<'s>(
+        &self,
+        st: &'s mut State,
+        remnant: &Batch,
+        reduced: &Platform,
+        actives: &[usize],
+        surviving: &[usize],
+    ) -> Result<&'s Phi1Engine> {
+        let apps: Vec<Option<usize>> = actives
+            .iter()
+            .map(|&i| st.cache_apps.iter().position(|&x| x == i))
+            .collect();
+        let types: Vec<Option<usize>> = surviving
+            .iter()
+            .map(|&j| st.cache_types.iter().position(|&x| x == j))
+            .collect();
+        st.cache_apps = actives.to_vec();
+        st.cache_types = surviving.to_vec();
+        Ok(st.cache.rebuild_with(
+            remnant,
+            reduced,
+            RebuildMap {
+                apps: &apps,
+                types: &types,
+            },
+            self.cfg.threads,
+        )?)
+    }
+
     /// Joint probability that every active application finishes its
     /// *remaining* work within the remaining window under the current
     /// assignments and live availability; `None` when nothing is active.
     /// Leftover counts are non-destructive estimates (sessions keep
     /// running): outstanding parallel iterations plus, during the serial
     /// prologue, the stored serial leftover.
-    fn live_phi1(&self, st: &State, t: f64) -> Result<Option<f64>> {
+    fn live_phi1(&self, st: &mut State, t: f64) -> Result<Option<f64>> {
         let actives = self.active_apps(st);
         if actives.is_empty() {
             return Ok(None);
@@ -809,7 +866,7 @@ impl<'a> EventEngine<'a> {
         }
         let remnant = Batch::new(apps);
         let reduced = self.reduced_platform(st, &surviving)?;
-        let engine = Phi1Engine::build_parallel(&remnant, &reduced, self.cfg.threads)?;
+        let engine = self.remnant_engine(st, &remnant, &reduced, &actives, &surviving)?;
         Ok(Some(
             engine
                 .joint(&Allocation::new(assignments), self.window(t))
@@ -893,18 +950,23 @@ impl<'a> EventEngine<'a> {
         let remnant = Batch::new(apps);
         let reduced = self.reduced_platform(st, surviving)?;
         let window = self.window(t);
-        let engine = Phi1Engine::build_parallel(&remnant, &reduced, self.cfg.threads)?;
-        let Ok(alloc) = self
-            .cfg
-            .allocator
-            .allocate_with_engine(&remnant, &reduced, &engine, window)
-        else {
-            return Ok(false);
+        // Scope the engine borrow (it lives inside `st.cache`) so the
+        // assignment writes below can re-borrow `st` mutably.
+        let (alloc, phi1) = {
+            let engine = self.remnant_engine(st, &remnant, &reduced, actives, surviving)?;
+            let Ok(alloc) = self
+                .cfg
+                .allocator
+                .allocate_with_engine(&remnant, &reduced, engine, window)
+            else {
+                return Ok(false);
+            };
+            if alloc.validate(&remnant, &reduced).is_err() {
+                return Ok(false);
+            }
+            let phi1 = engine.joint(&alloc, window).unwrap_or(0.0);
+            (alloc, phi1)
         };
-        if alloc.validate(&remnant, &reduced).is_err() {
-            return Ok(false);
-        }
-        let phi1 = engine.joint(&alloc, window).unwrap_or(0.0);
         let mut entries = Vec::with_capacity(actives.len());
         for (k, &i) in actives.iter().enumerate() {
             let a = alloc.assignment(k).expect("allocation arity checked");

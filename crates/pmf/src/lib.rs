@@ -44,11 +44,13 @@
 
 pub mod discretize;
 mod error;
+mod kernel;
 mod pmf;
 pub mod sample;
 pub mod stats;
 
 pub use error::PmfError;
+pub use kernel::CombineScratch;
 pub use pmf::{Pmf, Pulse, PROB_TOLERANCE};
 
 /// Crate-wide result alias.

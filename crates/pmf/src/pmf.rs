@@ -220,36 +220,27 @@ impl Pmf {
     /// Sorts, merges equal values, and drops zero-probability pulses.
     fn canonicalize(mut pulses: Vec<Pulse>) -> Self {
         pulses.sort_by(|a, b| a.value.total_cmp(&b.value));
-        let mut out: Vec<Pulse> = Vec::with_capacity(pulses.len());
-        for p in pulses {
-            if p.prob == 0.0 {
-                continue;
-            }
-            match out.last_mut() {
-                Some(last) if last.value == p.value => last.prob += p.prob,
-                _ => out.push(p),
-            }
-        }
-        if out.is_empty() {
-            // All masses were zero but the sum check passed — impossible
-            // unless tolerance let through a degenerate input; keep a single
-            // zero-value pulse rather than violating invariant 1.
-            out.push(Pulse {
-                value: 0.0,
-                prob: 1.0,
-            });
-        }
-        Self::with_prefix_table(out)
+        // If all masses were zero, merge_sorted keeps a single zero-value
+        // pulse rather than violating invariant 1.
+        Self::merge_sorted(pulses)
     }
 
     /// Wraps already-canonical pulses, computing the prefix-CDF table.
-    fn with_prefix_table(pulses: Vec<Pulse>) -> Self {
+    pub(crate) fn with_prefix_table(pulses: Vec<Pulse>) -> Self {
         let mut cum = Vec::with_capacity(pulses.len());
         let mut acc = 0.0f64;
         for p in &pulses {
             acc += p.prob;
             cum.push(acc);
         }
+        Self { pulses, cum }
+    }
+
+    /// Wraps already-canonical pulses together with their precomputed
+    /// prefix-CDF table. The fused kernels build both in a single pass;
+    /// `cum` must be the left-to-right `acc += prob` fold over `pulses`.
+    pub(crate) fn from_parts(pulses: Vec<Pulse>, cum: Vec<f64>) -> Self {
+        debug_assert_eq!(pulses.len(), cum.len());
         Self { pulses, cum }
     }
 
@@ -435,27 +426,71 @@ impl Pmf {
 
     /// Applies `f` to every support value. The result is re-canonicalized
     /// (values that collide are merged). `f` must return finite values.
+    ///
+    /// **Monotone fast path.** Support values are visited in ascending
+    /// order, so when `f` is monotone non-decreasing the mapped values come
+    /// out already sorted and the canonicalizing re-sort is a no-op. This
+    /// method detects that case in the same pass that applies `f` (one
+    /// `total_cmp` per pulse) and skips the sort, merging equal adjacent
+    /// values directly — exactly the pass `canonicalize` would run after
+    /// its (stable, hence order-preserving) no-op sort, so the result is
+    /// bit-identical either way. Non-monotone maps silently take the
+    /// canonicalizing path; `f` is still applied exactly once per pulse.
     pub fn map(&self, mut f: impl FnMut(f64) -> f64) -> Result<Self> {
         let mut pulses = Vec::with_capacity(self.pulses.len());
+        let mut sorted = true;
         for p in &self.pulses {
             let value = f(p.value);
             if !value.is_finite() {
                 return Err(PmfError::NonFiniteValue(value));
+            }
+            if let Some(last) = pulses.last() {
+                let last: &Pulse = last;
+                if value.total_cmp(&last.value) == std::cmp::Ordering::Less {
+                    sorted = false;
+                }
             }
             pulses.push(Pulse {
                 value,
                 prob: p.prob,
             });
         }
-        Ok(Self::canonicalize(pulses))
+        if !sorted {
+            return Ok(Self::canonicalize(pulses));
+        }
+        Ok(Self::merge_sorted(pulses))
     }
 
-    /// Multiplies every support value by `c`.
+    /// The merge/skip/fallback tail of [`canonicalize`](Self::canonicalize)
+    /// for pulses already sorted by `total_cmp` (stable-sort order).
+    pub(crate) fn merge_sorted(pulses: Vec<Pulse>) -> Self {
+        let mut out: Vec<Pulse> = Vec::with_capacity(pulses.len());
+        for p in pulses {
+            if p.prob == 0.0 {
+                continue;
+            }
+            match out.last_mut() {
+                Some(last) if last.value == p.value => last.prob += p.prob,
+                _ => out.push(p),
+            }
+        }
+        if out.is_empty() {
+            out.push(Pulse {
+                value: 0.0,
+                prob: 1.0,
+            });
+        }
+        Self::with_prefix_table(out)
+    }
+
+    /// Multiplies every support value by `c`. Monotone for `c > 0`, so this
+    /// takes [`map`](Self::map)'s sorted fast path.
     pub fn scale(&self, c: f64) -> Result<Self> {
         self.map(|v| v * c)
     }
 
-    /// Adds `c` to every support value.
+    /// Adds `c` to every support value. Always monotone, so this takes
+    /// [`map`](Self::map)'s sorted fast path.
     pub fn shift(&self, c: f64) -> Result<Self> {
         self.map(|v| v + c)
     }

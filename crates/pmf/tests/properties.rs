@@ -268,3 +268,118 @@ proptest! {
         }
     }
 }
+
+/// Bit-level equality: every pulse value and probability has identical bits
+/// (stricter than `==`, which conflates `-0.0` and `0.0`).
+fn bits_equal(a: &Pmf, b: &Pmf) -> bool {
+    a.len() == b.len()
+        && a.pulses().iter().zip(b.pulses()).all(|(x, y)| {
+            x.value.to_bits() == y.value.to_bits() && x.prob.to_bits() == y.prob.to_bits()
+        })
+}
+
+proptest! {
+    // ------------------------------------------------------------------
+    // Fused-kernel pins: every fast path must be bit-identical to the
+    // canonicalizing reference it replaces.
+    // ------------------------------------------------------------------
+
+    /// `map`'s sorted fast path (monotone transform) against the always-
+    /// canonicalizing reference, reconstructed via `from_pairs` (collect
+    /// then canonicalize — the pre-fast-path behavior).
+    #[test]
+    fn map_monotone_fast_path_matches_canonicalizing_reference(
+        pmf in arb_pmf(),
+        c in 1e-3f64..1e3f64,
+    ) {
+        let scaled = pmf.scale(c).unwrap();
+        let reference =
+            Pmf::from_pairs(pmf.pulses().iter().map(|p| (p.value * c, p.prob))).unwrap();
+        prop_assert!(bits_equal(&scaled, &reference));
+
+        let shifted = pmf.shift(c).unwrap();
+        let reference =
+            Pmf::from_pairs(pmf.pulses().iter().map(|p| (p.value + c, p.prob))).unwrap();
+        prop_assert!(bits_equal(&shifted, &reference));
+    }
+
+    /// Non-monotone maps must take the canonicalizing path and still agree
+    /// with the reference (negative scale reverses the support order).
+    #[test]
+    fn map_non_monotone_falls_back_identically(pmf in arb_pmf(), c in 1e-3f64..1e3f64) {
+        let scaled = pmf.scale(-c).unwrap();
+        let reference =
+            Pmf::from_pairs(pmf.pulses().iter().map(|p| (p.value * -c, p.prob))).unwrap();
+        prop_assert!(bits_equal(&scaled, &reference));
+
+        let folded = pmf.map(|v| v * v).unwrap();
+        let reference =
+            Pmf::from_pairs(pmf.pulses().iter().map(|p| (p.value * p.value, p.prob))).unwrap();
+        prop_assert!(bits_equal(&folded, &reference));
+    }
+
+    /// The fused scale→quotient kernel against the explicit two-step
+    /// reference, including scratch reuse across calls.
+    #[test]
+    fn fused_scale_quotient_matches_two_step(
+        exec in arb_positive_pmf(),
+        factors in prop::collection::vec(1e-3f64..4.0f64, 1..=6),
+        avail in arb_availability(),
+    ) {
+        let mut scratch = cdsf_pmf::CombineScratch::new();
+        // Single-factor entry point, scratch reused across the loop.
+        for &f in &factors {
+            let fused = exec.scale_quotient_with(f, &avail, &mut scratch).unwrap();
+            let two_step = exec.scale(f).unwrap().quotient(&avail).unwrap();
+            prop_assert!(bits_equal(&fused, &two_step));
+        }
+        // Family entry point (shared probability products).
+        let family = exec.scale_quotient_family(&factors, &avail, &mut scratch).unwrap();
+        prop_assert_eq!(family.len(), factors.len());
+        for (&f, fused) in factors.iter().zip(&family) {
+            let two_step = exec.scale(f).unwrap().quotient(&avail).unwrap();
+            prop_assert!(bits_equal(fused, &two_step));
+        }
+    }
+
+    /// The sorted-merge `max` fast path against `combine`-based `max`.
+    /// Both the linear-scan (few pulses) and heap (many pulses) merge
+    /// paths are exercised by the 1..=12 pulse range.
+    #[test]
+    fn max_with_matches_combine_max(a in arb_pmf(), b in arb_pmf()) {
+        let mut scratch = cdsf_pmf::CombineScratch::new();
+        let fast = a.max_with(&b, &mut scratch).unwrap();
+        let reference = a.max(&b).unwrap();
+        prop_assert!(bits_equal(&fast, &reference));
+    }
+
+    /// The sorted-merge product fast path (monotone case: non-negative
+    /// right support) against the canonicalizing `combine`.
+    #[test]
+    fn product_with_matches_combine_product(a in arb_pmf(), b in arb_positive_pmf()) {
+        let mut scratch = cdsf_pmf::CombineScratch::new();
+        let fast = a.product_with(&b, &mut scratch).unwrap();
+        let reference = a.combine(&b, |x, y| x * y).unwrap();
+        prop_assert!(bits_equal(&fast, &reference));
+    }
+
+    /// Mixed-sign right operand makes the product non-monotone; the kernel
+    /// must detect the descent and fall back, still bit-identically.
+    #[test]
+    fn product_with_mixed_sign_falls_back_identically(a in arb_pmf(), b in arb_pmf()) {
+        let mut scratch = cdsf_pmf::CombineScratch::new();
+        let fast = a.product_with(&b, &mut scratch).unwrap();
+        let reference = a.combine(&b, |x, y| x * y).unwrap();
+        prop_assert!(bits_equal(&fast, &reference));
+    }
+
+    /// Generic monotone combine with addition (always monotone) against
+    /// the classical convolution.
+    #[test]
+    fn combine_monotone_add_matches_add(a in arb_pmf(), b in arb_pmf()) {
+        let mut scratch = cdsf_pmf::CombineScratch::new();
+        let fast = a.combine_monotone(&b, |x, y| x + y, &mut scratch).unwrap();
+        let reference = a.add(&b).unwrap();
+        prop_assert!(bits_equal(&fast, &reference));
+    }
+}

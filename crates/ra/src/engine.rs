@@ -48,11 +48,16 @@
 use crate::allocation::{Allocation, Assignment};
 use crate::robustness::ProbabilityTable;
 use crate::{RaError, Result};
-use cdsf_pmf::Pmf;
-use cdsf_system::parallel_time::{loaded_time_pmf, parallel_time_pmf};
-use cdsf_system::{Batch, Platform, ProcTypeId};
+use cdsf_pmf::{CombineScratch, Pmf};
+use cdsf_system::parallel_time::{amdahl_factor, parallel_time_pmf};
+use cdsf_system::{Batch, Platform, ProcTypeId, SystemError};
+use std::sync::Arc;
 
 /// One memoized `(app, type, 2^k share)` cell.
+///
+/// Cells are held behind [`Arc`] so an incremental rebuild
+/// ([`Phi1Engine::rebuild_with`]) can carry unchanged cells over by
+/// reference-count bump instead of deep-cloning their PMFs.
 #[derive(Debug, Clone)]
 struct Cell {
     /// Dedicated parallel-time PMF (Amdahl-rescaled execution time).
@@ -61,13 +66,59 @@ struct Cell {
     loaded: Pmf,
 }
 
-/// A flattened build job: compute the cell for application `app` on `2^k`
-/// processors of type `ty`.
+/// A build job: compute the cells for one `(application, processor type)`
+/// pair — all power-of-two share options at once, so the fused kernel can
+/// share the availability-expanded probability products across the family.
 #[derive(Debug, Clone, Copy)]
-struct Job {
+struct Pair {
     app: usize,
     ty: usize,
-    procs: u32,
+    /// Arena offset of this pair's first cell.
+    start: u32,
+    /// Number of power-of-two options (cells) for this pair.
+    count: u32,
+}
+
+/// Estimated construction work — pulse-pair kernel operations, summed over
+/// the cells that actually need computing — below which
+/// [`Phi1Engine::build_parallel`] runs serially regardless of the
+/// requested thread count. For small instances the scoped-thread
+/// spawn/join overhead (hundreds of microseconds) dwarfs the kernel time,
+/// which is how the pre-threshold build managed to get *slower* with more
+/// threads; above the threshold the kernel time dominates and the fan-out
+/// pays for itself.
+pub const PARALLEL_BUILD_MIN_WORK: u64 = 1 << 16;
+
+/// Index maps from a rebuilt engine's coordinate space into the engine it
+/// is rebuilt from: `apps[i]` / `types[j]` give the previous batch/platform
+/// index of new app `i` / new type `j`, or `None` for genuinely new
+/// entries. Hints are *verified*, not trusted — a cell is only reused if
+/// the mapped app's execution PMF, serial fraction, and the mapped type's
+/// availability PMF are bit-identical — so stale hints cost recomputation,
+/// never correctness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RebuildMap<'a> {
+    /// Per new-app index: the corresponding app index in the previous batch.
+    pub apps: &'a [Option<usize>],
+    /// Per new-type index: the corresponding type index in the previous
+    /// platform.
+    pub types: &'a [Option<usize>],
+}
+
+/// Verified-reuse plan: `src[c]` is the previous engine's arena index
+/// whose cell is bit-identical to new cell `c`, or `None` to compute.
+struct ReusePlan<'a> {
+    prev: &'a Phi1Engine,
+    src: Vec<Option<u32>>,
+}
+
+/// Bit-level PMF equality — stricter than `==`, which conflates
+/// `-0.0`/`0.0`; reuse must guarantee *bit*-identical rebuilt engines.
+fn pmf_bits_equal(a: &Pmf, b: &Pmf) -> bool {
+    a.len() == b.len()
+        && a.pulses().iter().zip(b.pulses()).all(|(x, y)| {
+            x.value.to_bits() == y.value.to_bits() && x.prob.to_bits() == y.prob.to_bits()
+        })
 }
 
 /// Memoized per-`(application, processor type, power-of-two share)` PMF
@@ -86,7 +137,7 @@ pub struct Phi1Engine {
     /// the application has no execution-time PMF for the type.
     index: Vec<Option<(u32, u32)>>,
     /// Contiguous cell arena, grouped by `(app, type)` with `k` ascending.
-    cells: Vec<Cell>,
+    cells: Vec<Arc<Cell>>,
     /// `pulse_off[c]..pulse_off[c + 1]` delimits cell `c`'s pulses in the
     /// SoA mirrors below (one extra trailing entry).
     pulse_off: Vec<u32>,
@@ -108,8 +159,116 @@ impl Phi1Engine {
 
     /// Builds the cache with `threads` workers. Cells are independent and
     /// stitched back by index, so the result is bit-identical for every
-    /// thread count.
+    /// thread count. Builds whose estimated kernel work is below
+    /// [`PARALLEL_BUILD_MIN_WORK`] run serially — spawning threads for
+    /// them is a net loss.
     pub fn build_parallel(batch: &Batch, platform: &Platform, threads: usize) -> Result<Self> {
+        Self::build_parallel_with_min_work(batch, platform, threads, PARALLEL_BUILD_MIN_WORK)
+    }
+
+    /// [`build_parallel`](Self::build_parallel) with an explicit
+    /// serial-fallback threshold (estimated pulse-pair operations). Pass
+    /// `0` to force the multi-threaded path regardless of instance size —
+    /// useful for tuning and for exercising the parallel code path in
+    /// tests.
+    pub fn build_parallel_with_min_work(
+        batch: &Batch,
+        platform: &Platform,
+        threads: usize,
+        min_work: u64,
+    ) -> Result<Self> {
+        Self::build_inner(batch, platform, threads, min_work, None)
+    }
+
+    /// Rebuilds the engine for a new `(batch, platform)` — typically a
+    /// remnant of the previous one after an online event — reusing every
+    /// `(app, type, k)` cell whose inputs are bit-identical under `map`'s
+    /// (verified) index correspondences. Returns the new engine and the
+    /// number of cells carried over. The result is bit-identical to a
+    /// fresh [`build_parallel`](Self::build_parallel) on the same inputs:
+    /// reuse is keyed on the exact inputs of the cell kernel (execution
+    /// PMF bits, serial fraction bits, availability bits), so a reused
+    /// cell *is* the cell a fresh build would compute.
+    ///
+    /// `prev_batch` / `prev_platform` must be the inputs this engine was
+    /// built from; the engine does not retain them (the bookkeeping lives
+    /// in [`crate::engine_cache::EngineCache`]).
+    pub fn rebuild_with(
+        &self,
+        prev_batch: &Batch,
+        prev_platform: &Platform,
+        batch: &Batch,
+        platform: &Platform,
+        map: RebuildMap<'_>,
+        threads: usize,
+    ) -> Result<(Self, usize)> {
+        let num_types = platform.num_types();
+        let prev_apps = prev_batch.apps();
+        let mut src: Vec<Option<u32>> = Vec::new();
+        for (i, (_, app)) in batch.iter().enumerate() {
+            // Resolve and verify the app hint once per app.
+            let prev_app = map
+                .apps
+                .get(i)
+                .copied()
+                .flatten()
+                .and_then(|a| prev_apps.get(a).map(|pa| (a, pa)))
+                .filter(|(_, pa)| {
+                    pa.serial_fraction().to_bits() == app.serial_fraction().to_bits()
+                });
+            for j in 0..num_types {
+                let ty = ProcTypeId(j);
+                if app.exec_time(ty).is_err() {
+                    continue;
+                }
+                let options = platform.pow2_options(ty)?.len();
+                let prev_range = prev_app.and_then(|(a, pa)| {
+                    let t = map
+                        .types
+                        .get(j)
+                        .copied()
+                        .flatten()
+                        .filter(|&t| t < prev_platform.num_types())?;
+                    let pt = ProcTypeId(t);
+                    let prev_exec = pa.exec_time(pt).ok()?;
+                    if !pmf_bits_equal(prev_exec, app.exec_time(ty).ok()?) {
+                        return None;
+                    }
+                    let prev_avail = prev_platform.proc_type(pt).ok()?.availability();
+                    let avail = platform.proc_type(ty).ok()?.availability();
+                    if !pmf_bits_equal(prev_avail, avail) {
+                        return None;
+                    }
+                    self.index.get(a * self.num_types + t).copied().flatten()
+                });
+                for k in 0..options {
+                    src.push(
+                        prev_range.and_then(|(start, len)| {
+                            (k < len as usize).then_some(start + k as u32)
+                        }),
+                    );
+                }
+            }
+        }
+        let reused = src.iter().filter(|s| s.is_some()).count();
+        let plan = ReusePlan { prev: self, src };
+        let engine = Self::build_inner(
+            batch,
+            platform,
+            threads,
+            PARALLEL_BUILD_MIN_WORK,
+            Some(&plan),
+        )?;
+        Ok((engine, reused))
+    }
+
+    fn build_inner(
+        batch: &Batch,
+        platform: &Platform,
+        threads: usize,
+        min_work: u64,
+        reuse: Option<&ReusePlan<'_>>,
+    ) -> Result<Self> {
         if batch.is_empty() {
             return Err(RaError::EmptyBatch);
         }
@@ -123,10 +282,12 @@ impl Phi1Engine {
         let num_apps = batch.len();
         let num_types = platform.num_types();
 
-        // Enumerate the cell set. Jobs are emitted app-major, then
-        // type-major, then `k` ascending — exactly the arena order — so
-        // the computed cells land in the arena by plain extension.
-        let mut jobs: Vec<Job> = Vec::new();
+        // Enumerate the cell set. Pairs are emitted app-major then
+        // type-major, each spanning its `k`-ascending cell run — exactly
+        // the arena order — so the computed cells land in the arena by
+        // plain extension.
+        let mut pairs: Vec<Pair> = Vec::new();
+        let mut total_cells = 0u32;
         let mut index: Vec<Option<(u32, u32)>> = Vec::with_capacity(num_apps * num_types);
         for (i, (id, app)) in batch.iter().enumerate() {
             debug_assert_eq!(i, id.0);
@@ -136,20 +297,22 @@ impl Phi1Engine {
                     index.push(None);
                     continue;
                 }
-                let options = platform.pow2_options(ty)?;
-                let start = jobs.len() as u32;
-                for &procs in options.iter() {
-                    jobs.push(Job {
-                        app: i,
-                        ty: j,
-                        procs,
-                    });
-                }
-                index.push(Some((start, options.len() as u32)));
+                let count = platform.pow2_options(ty)?.len() as u32;
+                pairs.push(Pair {
+                    app: i,
+                    ty: j,
+                    start: total_cells,
+                    count,
+                });
+                index.push(Some((total_cells, count)));
+                total_cells += count;
             }
         }
+        if let Some(plan) = reuse {
+            debug_assert_eq!(plan.src.len(), total_cells as usize);
+        }
 
-        let cells = compute_cells(batch, platform, &jobs, threads)?;
+        let cells = compute_cells(batch, platform, &pairs, threads, min_work, reuse)?;
 
         // Mirror the hot per-cell data into flat SoA slices.
         let mut pulse_off = Vec::with_capacity(cells.len() + 1);
@@ -212,7 +375,7 @@ impl Phi1Engine {
 
     fn cell(&self, app: usize, proc_type: ProcTypeId, procs: u32) -> Option<&Cell> {
         self.cell_index(app, proc_type, procs)
-            .map(|c| &self.cells[c])
+            .map(|c| self.cells[c].as_ref())
     }
 
     /// CDF of cell `c`'s loaded PMF straight from the SoA mirror — the
@@ -331,35 +494,121 @@ impl Phi1Engine {
     }
 }
 
-/// Computes all cells, fanning out over `threads` scoped workers when the
-/// job list is large enough to pay for the spawns. Results are returned in
-/// job order; the first failing job (in job order) decides the error.
+/// Computes all cells pair by pair through the fused scale→quotient
+/// kernel, fanning out over `threads` scoped workers only when the
+/// estimated kernel work of the cells that actually need computing is at
+/// least `min_work`. Results are returned in arena order; the first
+/// failing pair (in pair order) decides the error.
+///
+/// Parallel chunking is by *application* (contiguous pair ranges split
+/// only at app boundaries, balanced by estimated work), not by cell: an
+/// app's pairs share batch-locality, and coarse chunks keep the per-spawn
+/// overhead amortized — per-cell round-robin was the shape that made the
+/// old build slower under threads than serial on small instances.
 fn compute_cells(
     batch: &Batch,
     platform: &Platform,
-    jobs: &[Job],
+    pairs: &[Pair],
     threads: usize,
-) -> Result<Vec<Cell>> {
+    min_work: u64,
+    reuse: Option<&ReusePlan<'_>>,
+) -> Result<Vec<Arc<Cell>>> {
     let apps: Vec<_> = batch.iter().map(|(_, app)| app).collect();
-    let compute = |job: &Job| -> Result<Cell> {
-        let app = apps[job.app];
-        let ty = ProcTypeId(job.ty);
-        let dedicated = parallel_time_pmf(app, ty, job.procs)?;
-        let loaded = loaded_time_pmf(app, platform, ty, job.procs)?;
-        Ok(Cell { dedicated, loaded })
-    };
+    let total_cells = pairs.last().map_or(0, |p| (p.start + p.count) as usize);
 
-    let threads = threads.min(jobs.len()).max(1);
+    let cell_src = |arena: u32| -> Option<u32> { reuse.and_then(|r| r.src[arena as usize]) };
+
+    // Estimated work per pair: pulse-pair kernel operations over the
+    // cells not satisfied by reuse.
+    let work: Vec<u64> = pairs
+        .iter()
+        .map(|p| {
+            let ty = ProcTypeId(p.ty);
+            let exec_len = apps[p.app].exec_time(ty).map_or(0, |e| e.len()) as u64;
+            let avail_len = platform.proc_type(ty).map_or(0, |t| t.availability().len()) as u64;
+            let computed = (0..p.count)
+                .filter(|&k| cell_src(p.start + k).is_none())
+                .count() as u64;
+            computed * exec_len * avail_len
+        })
+        .collect();
+    let total_work: u64 = work.iter().sum();
+
+    let compute_pair =
+        |pair: &Pair, scratch: &mut CombineScratch, out: &mut Vec<Arc<Cell>>| -> Result<()> {
+            let app = apps[pair.app];
+            let ty = ProcTypeId(pair.ty);
+            let s = app.serial_fraction();
+            // The Amdahl factors of the cells that need computing; the
+            // fused family call shares the availability-expanded
+            // probability products across all of them.
+            let factors: Vec<f64> = (0..pair.count)
+                .filter(|&k| cell_src(pair.start + k).is_none())
+                .map(|k| amdahl_factor(s, 1u32 << k))
+                .collect();
+            let exec = app.exec_time(ty)?;
+            let avail = platform.proc_type(ty)?.availability();
+            let mut loadeds = exec
+                .scale_quotient_family(&factors, avail, scratch)
+                .map_err(SystemError::from)?
+                .into_iter();
+            for k in 0..pair.count {
+                match cell_src(pair.start + k) {
+                    Some(prev) => {
+                        let plan = reuse.expect("reused cell implies a plan");
+                        out.push(Arc::clone(&plan.prev.cells[prev as usize]));
+                    }
+                    None => {
+                        let dedicated = parallel_time_pmf(app, ty, 1u32 << k)?;
+                        let loaded = loadeds.next().expect("family aligned with factors");
+                        out.push(Arc::new(Cell { dedicated, loaded }));
+                    }
+                }
+            }
+            Ok(())
+        };
+
+    let threads = if total_work < min_work {
+        1
+    } else {
+        threads.min(pairs.len()).max(1)
+    };
     if threads == 1 {
-        return jobs.iter().map(compute).collect();
+        let mut out = Vec::with_capacity(total_cells);
+        let mut scratch = CombineScratch::new();
+        for pair in pairs {
+            compute_pair(pair, &mut scratch, &mut out)?;
+        }
+        return Ok(out);
     }
 
-    let chunk = jobs.len().div_ceil(threads);
-    let results: Vec<Result<Vec<Cell>>> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for piece in jobs.chunks(chunk) {
-            let compute = &compute;
-            handles.push(scope.spawn(move || piece.iter().map(compute).collect()));
+    // Chunk boundaries: contiguous, app-aligned, work-balanced.
+    let target = total_work.div_ceil(threads as u64).max(1);
+    let mut bounds: Vec<usize> = vec![0];
+    let mut acc = 0u64;
+    for idx in 0..pairs.len() {
+        acc += work[idx];
+        let app_boundary = idx + 1 == pairs.len() || pairs[idx + 1].app != pairs[idx].app;
+        if app_boundary && acc >= target && bounds.len() < threads && idx + 1 < pairs.len() {
+            bounds.push(idx + 1);
+            acc = 0;
+        }
+    }
+    bounds.push(pairs.len());
+
+    let results: Vec<Result<Vec<Arc<Cell>>>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(bounds.len() - 1);
+        for w in bounds.windows(2) {
+            let piece = &pairs[w[0]..w[1]];
+            let compute_pair = &compute_pair;
+            handles.push(scope.spawn(move || {
+                let mut scratch = CombineScratch::new();
+                let mut out = Vec::new();
+                for pair in piece {
+                    compute_pair(pair, &mut scratch, &mut out)?;
+                }
+                Ok(out)
+            }));
         }
         handles
             .into_iter()
@@ -367,7 +616,7 @@ fn compute_cells(
             .collect()
     });
 
-    let mut out = Vec::with_capacity(jobs.len());
+    let mut out = Vec::with_capacity(total_cells);
     for piece in results {
         out.extend(piece?);
     }
@@ -378,7 +627,7 @@ fn compute_cells(
 mod tests {
     use super::*;
     use crate::allocators::testutil::*;
-    use cdsf_system::parallel_time::completion_probability;
+    use cdsf_system::parallel_time::{completion_probability, loaded_time_pmf};
 
     #[test]
     fn cells_match_direct_pmf_arithmetic() {
@@ -503,6 +752,118 @@ mod tests {
         let mut bad = alloc.assignments().to_vec();
         bad[b.len() - 1].procs = 3;
         assert_eq!(engine.joint(&Allocation::new(bad), 1e-6), None);
+    }
+
+    fn assert_engines_identical(a: &Phi1Engine, b: &Phi1Engine) {
+        assert_eq!(a.num_apps, b.num_apps);
+        assert_eq!(a.num_types, b.num_types);
+        assert_eq!(a.index, b.index);
+        assert_eq!(a.pulse_off, b.pulse_off);
+        assert_eq!(a.cells.len(), b.cells.len());
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert!(pmf_bits_equal(&x.dedicated, &y.dedicated));
+            assert!(pmf_bits_equal(&x.loaded, &y.loaded));
+        }
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.loaded_values), bits(&b.loaded_values));
+        assert_eq!(bits(&a.loaded_cums), bits(&b.loaded_cums));
+        assert_eq!(bits(&a.expected), bits(&b.expected));
+        for (x, y) in a.availability.iter().zip(&b.availability) {
+            assert!(pmf_bits_equal(x, y));
+        }
+    }
+
+    /// A copy of `app` with every execution PMF scaled by `frac` — the
+    /// shape of a remnant-app rescale in the online scheduler.
+    fn scaled_app(app: &cdsf_system::Application, frac: f64) -> cdsf_system::Application {
+        let mut b = cdsf_system::Application::builder(app.name())
+            .serial_iters(app.serial_iters())
+            .parallel_iters(app.parallel_iters());
+        for j in 0..app.num_proc_types() {
+            b = b.exec_time_pmf(app.exec_time(ProcTypeId(j)).unwrap().scale(frac).unwrap());
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn forced_parallel_build_is_bit_identical_to_serial() {
+        // `min_work = 0` forces the threaded path even though this
+        // instance sits below the serial-fallback threshold.
+        let (b, p) = (paper_batch(32), paper_platform());
+        let serial = Phi1Engine::build(&b, &p).unwrap();
+        for threads in [2usize, 3, 4, 16] {
+            let par = Phi1Engine::build_parallel_with_min_work(&b, &p, threads, 0).unwrap();
+            assert_engines_identical(&serial, &par);
+        }
+    }
+
+    #[test]
+    fn rebuild_with_identity_map_reuses_every_cell() {
+        let (b, p) = (paper_batch(16), paper_platform());
+        let engine = Phi1Engine::build(&b, &p).unwrap();
+        let apps: Vec<Option<usize>> = (0..b.len()).map(Some).collect();
+        let types: Vec<Option<usize>> = (0..p.num_types()).map(Some).collect();
+        let map = RebuildMap {
+            apps: &apps,
+            types: &types,
+        };
+        let (rebuilt, reused) = engine.rebuild_with(&b, &p, &b, &p, map, 2).unwrap();
+        assert_eq!(reused, engine.cells.len());
+        assert_engines_identical(&engine, &rebuilt);
+        assert_engines_identical(&rebuilt, &Phi1Engine::build(&b, &p).unwrap());
+    }
+
+    #[test]
+    fn rebuild_with_changed_app_recomputes_only_that_app() {
+        let (b, p) = (paper_batch(16), paper_platform());
+        let engine = Phi1Engine::build(&b, &p).unwrap();
+        // App 1 keeps running and its remnant shrinks; everyone else is
+        // untouched.
+        let mut apps_vec: Vec<_> = b.apps().to_vec();
+        apps_vec[1] = scaled_app(&apps_vec[1], 0.5);
+        let changed = Batch::new(apps_vec);
+        let hints: Vec<Option<usize>> = (0..b.len()).map(Some).collect();
+        let types: Vec<Option<usize>> = (0..p.num_types()).map(Some).collect();
+        let map = RebuildMap {
+            apps: &hints,
+            types: &types,
+        };
+        let (rebuilt, reused) = engine.rebuild_with(&b, &p, &changed, &p, map, 2).unwrap();
+        let per_app = engine.cells.len() / b.len();
+        assert_eq!(reused, engine.cells.len() - per_app);
+        assert_engines_identical(&rebuilt, &Phi1Engine::build(&changed, &p).unwrap());
+    }
+
+    #[test]
+    fn rebuild_with_subset_and_stale_hints_stays_bit_identical() {
+        let (b, p) = (paper_batch(12), paper_platform());
+        let engine = Phi1Engine::build(&b, &p).unwrap();
+        // Remnant: apps [2, 0] with app 0 rescaled; one hint is stale
+        // (points at the wrong app), one is missing entirely.
+        let apps_vec = b.apps();
+        let remnant = Batch::new(vec![apps_vec[2].clone(), scaled_app(&apps_vec[0], 0.25)]);
+        let hints = [Some(1usize), None]; // 1 is the wrong app, 0 unhinted
+        let types: Vec<Option<usize>> = (0..p.num_types()).map(Some).collect();
+        let map = RebuildMap {
+            apps: &hints,
+            types: &types,
+        };
+        let (rebuilt, reused) = engine.rebuild_with(&b, &p, &remnant, &p, map, 1).unwrap();
+        // Verification rejects the stale hint and the rescaled app, so
+        // nothing is reused — but the result is still exactly right.
+        assert_eq!(reused, 0);
+        assert_engines_identical(&rebuilt, &Phi1Engine::build(&remnant, &p).unwrap());
+
+        // Correct hints: the unscaled remnant app's cells carry over.
+        let hints = [Some(2usize), Some(0)];
+        let map = RebuildMap {
+            apps: &hints,
+            types: &types,
+        };
+        let (rebuilt, reused) = engine.rebuild_with(&b, &p, &remnant, &p, map, 1).unwrap();
+        let per_app = engine.cells.len() / b.len();
+        assert_eq!(reused, per_app);
+        assert_engines_identical(&rebuilt, &Phi1Engine::build(&remnant, &p).unwrap());
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Incremental [`Phi1Engine`] rebuilds for online rescheduling.
+//!
+//! The event-driven scheduler rebuilds its Stage-I engine on every
+//! reactive remap, but most of the inputs rarely change: a crash removes
+//! one processor type, an arrival adds one app, a remnant remap rescales
+//! the *running* apps' execution PMFs while every pending app is
+//! untouched. [`EngineCache`] keeps the `(batch, platform)` an engine was
+//! built from alongside the engine itself, so the next rebuild can hand
+//! [`Phi1Engine::rebuild_with`] everything it needs to carry
+//! bit-identical cells over instead of recomputing them.
+
+use crate::engine::{Phi1Engine, RebuildMap};
+use crate::Result;
+use cdsf_system::{Batch, Platform};
+
+/// A [`Phi1Engine`] bundled with the inputs it was built from, supporting
+/// verified incremental rebuilds.
+///
+/// The cache owns clones of the batch and platform: `rebuild_with` needs
+/// the *previous* execution and availability PMFs to verify that a hinted
+/// cell is genuinely unchanged, and the engine itself does not retain
+/// them.
+#[derive(Debug, Clone)]
+pub struct EngineCache {
+    batch: Batch,
+    platform: Platform,
+    engine: Phi1Engine,
+    reused_cells: usize,
+}
+
+impl EngineCache {
+    /// Builds a fresh engine for `(batch, platform)` and caches the inputs.
+    pub fn build(batch: &Batch, platform: &Platform, threads: usize) -> Result<Self> {
+        Ok(Self {
+            batch: batch.clone(),
+            platform: platform.clone(),
+            engine: Phi1Engine::build_parallel(batch, platform, threads)?,
+            reused_cells: 0,
+        })
+    }
+
+    /// The current engine.
+    pub fn engine(&self) -> &Phi1Engine {
+        &self.engine
+    }
+
+    /// How many cells the most recent [`rebuild_with`](Self::rebuild_with)
+    /// carried over unchanged (0 after [`build`](Self::build)).
+    pub fn reused_cells(&self) -> usize {
+        self.reused_cells
+    }
+
+    /// Rebuilds the cached engine for a new `(batch, platform)`, reusing
+    /// every cell whose inputs `map` proves (bit-identically) unchanged,
+    /// then re-homes the cache on the new inputs. Returns the rebuilt
+    /// engine; the result is bit-identical to a fresh
+    /// `Phi1Engine::build_parallel(batch, platform, threads)`.
+    pub fn rebuild_with(
+        &mut self,
+        batch: &Batch,
+        platform: &Platform,
+        map: RebuildMap<'_>,
+        threads: usize,
+    ) -> Result<&Phi1Engine> {
+        let (engine, reused) =
+            self.engine
+                .rebuild_with(&self.batch, &self.platform, batch, platform, map, threads)?;
+        self.batch = batch.clone();
+        self.platform = platform.clone();
+        self.engine = engine;
+        self.reused_cells = reused;
+        Ok(&self.engine)
+    }
+}

@@ -36,6 +36,7 @@ pub mod allocation;
 pub mod allocators;
 pub mod correlation;
 pub mod engine;
+pub mod engine_cache;
 mod error;
 pub mod phi1;
 pub mod radius;
@@ -44,7 +45,8 @@ pub mod surface;
 
 pub use allocation::{Allocation, Assignment};
 pub use allocators::Allocator;
-pub use engine::Phi1Engine;
+pub use engine::{Phi1Engine, RebuildMap};
+pub use engine_cache::EngineCache;
 pub use error::RaError;
 pub use phi1::{DeltaFitness, OptionProbs};
 

@@ -247,3 +247,91 @@ proptest! {
         prop_assert_eq!(delta.fitness(), probs.fitness(&genome));
     }
 }
+
+/// Bit-level PMF equality (stricter than `==`).
+fn pmf_bits_eq(a: &Pmf, b: &Pmf) -> bool {
+    a.len() == b.len()
+        && a.pulses().iter().zip(b.pulses()).all(|(x, y)| {
+            x.value.to_bits() == y.value.to_bits() && x.prob.to_bits() == y.prob.to_bits()
+        })
+}
+
+/// A copy of `app` with every execution PMF scaled by `frac` — the shape
+/// of a remnant app after partial progress (`frac = 1.0` means pending,
+/// which is a bitwise no-op and therefore reusable).
+fn rescaled_app(app: &Application, frac: f64, num_types: usize) -> Application {
+    use cdsf_system::ProcTypeId;
+    let mut b = Application::builder(app.name())
+        .serial_iters(app.serial_iters())
+        .parallel_iters(app.parallel_iters());
+    for j in 0..num_types {
+        b = b.exec_time_pmf(app.exec_time(ProcTypeId(j)).unwrap().scale(frac).unwrap());
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    /// `rebuild_with` (via `EngineCache`) equals a fresh `build_parallel`
+    /// on the same remnant batch, bit for bit, across random instances,
+    /// random app subsets, and random progress fractions.
+    #[test]
+    fn rebuild_with_matches_fresh_build_on_remnant(
+        (platform, batch) in arb_platform().prop_flat_map(|p| {
+            let nt = p.num_types();
+            (Just(p), arb_batch(nt))
+        }),
+        keep in prop::collection::vec(0u8..2, 4),
+        fracs in prop::collection::vec(0.1f64..=1.0, 4),
+        pending in prop::collection::vec(0u8..2, 4),
+    ) {
+        use cdsf_ra::engine::RebuildMap;
+        use cdsf_ra::EngineCache;
+        use cdsf_system::ProcTypeId;
+
+        let nt = platform.num_types();
+        let mut cache = EngineCache::build(&batch, &platform, 2).unwrap();
+
+        let mut remnant_apps = Vec::new();
+        let mut hints: Vec<Option<usize>> = Vec::new();
+        for (i, app) in batch.apps().iter().enumerate() {
+            // Always keep app 0 so the remnant is never empty.
+            if i != 0 && keep[i % keep.len()] == 0 {
+                continue;
+            }
+            let frac = if pending[i % pending.len()] == 1 {
+                1.0 // untouched pending app: scale(1.0) is a bitwise no-op
+            } else {
+                fracs[i % fracs.len()]
+            };
+            remnant_apps.push(rescaled_app(app, frac, nt));
+            hints.push(Some(i));
+        }
+        let remnant = Batch::new(remnant_apps);
+        let types: Vec<Option<usize>> = (0..nt).map(Some).collect();
+
+        let rebuilt = cache
+            .rebuild_with(&remnant, &platform, RebuildMap { apps: &hints, types: &types }, 2)
+            .unwrap()
+            .clone();
+        let fresh = Phi1Engine::build_parallel(&remnant, &platform, 2).unwrap();
+
+        for i in 0..remnant.len() {
+            for j in 0..nt {
+                let ty = ProcTypeId(j);
+                for n in platform.pow2_options(ty).unwrap() {
+                    let (a, b) = (rebuilt.loaded_pmf(i, ty, n), fresh.loaded_pmf(i, ty, n));
+                    prop_assert_eq!(a.is_some(), b.is_some());
+                    if let (Some(a), Some(b)) = (a, b) {
+                        prop_assert!(pmf_bits_eq(a, b));
+                    }
+                    let (a, b) = (rebuilt.dedicated_pmf(i, ty, n), fresh.dedicated_pmf(i, ty, n));
+                    if let (Some(a), Some(b)) = (a, b) {
+                        prop_assert!(pmf_bits_eq(a, b));
+                    }
+                    let (a, b) = (rebuilt.expected_time(i, ty, n), fresh.expected_time(i, ty, n));
+                    prop_assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits));
+                }
+            }
+        }
+    }
+}

@@ -15,13 +15,21 @@
 use crate::application::Application;
 use crate::platform::{Platform, ProcTypeId};
 use crate::{Result, SystemError};
-use cdsf_pmf::Pmf;
+use cdsf_pmf::{CombineScratch, Pmf};
 
-/// Paper Eq. (2): rescales a single-processor execution-time PMF to `n`
-/// processors with serial fraction `s` (parallel fraction `1 − s`).
+/// The Amdahl rescale factor of paper Eq. (2): `s + (1 − s)/n`.
 ///
-/// Probabilities are untouched; only pulse values change.
-pub fn amdahl_rescale(single_proc: &Pmf, serial_fraction: f64, n: u32) -> Result<Pmf> {
+/// Every pulse of the single-processor PMF is multiplied by this factor;
+/// the exact expression (including evaluation order) is shared by the
+/// two-step and fused construction paths so they stay bit-identical.
+#[inline]
+pub fn amdahl_factor(serial_fraction: f64, n: u32) -> f64 {
+    let p = 1.0 - serial_fraction;
+    serial_fraction + p / n as f64
+}
+
+/// Validates Eq. (2)'s parameter domain (`s ∈ [0, 1]`, `n ≥ 1`).
+fn check_amdahl_params(serial_fraction: f64, n: u32) -> Result<()> {
     if !(0.0..=1.0).contains(&serial_fraction) {
         return Err(SystemError::BadParameter {
             name: "serial_fraction",
@@ -34,9 +42,18 @@ pub fn amdahl_rescale(single_proc: &Pmf, serial_fraction: f64, n: u32) -> Result
             value: 0.0,
         });
     }
-    let p = 1.0 - serial_fraction;
-    let factor = serial_fraction + p / n as f64;
-    single_proc.scale(factor).map_err(SystemError::from)
+    Ok(())
+}
+
+/// Paper Eq. (2): rescales a single-processor execution-time PMF to `n`
+/// processors with serial fraction `s` (parallel fraction `1 − s`).
+///
+/// Probabilities are untouched; only pulse values change.
+pub fn amdahl_rescale(single_proc: &Pmf, serial_fraction: f64, n: u32) -> Result<Pmf> {
+    check_amdahl_params(serial_fraction, n)?;
+    single_proc
+        .scale(amdahl_factor(serial_fraction, n))
+        .map_err(SystemError::from)
 }
 
 /// Dedicated parallel-time PMF of `app` on `n` processors of type `j`
@@ -54,9 +71,26 @@ pub fn loaded_time_pmf(
     j: ProcTypeId,
     n: u32,
 ) -> Result<Pmf> {
-    let dedicated = parallel_time_pmf(app, j, n)?;
+    loaded_time_pmf_in(app, platform, j, n, &mut CombineScratch::new())
+}
+
+/// [`loaded_time_pmf`] through the fused scale→quotient kernel with a
+/// caller-provided scratch arena: one pass per `(t, a)` pulse pair, no
+/// intermediate Amdahl PMF, no re-sort, no per-call `Vec` churn.
+/// Bit-identical to the two-step `amdahl_rescale` + `quotient` reference
+/// (pinned by proptest in `tests/properties.rs`).
+pub fn loaded_time_pmf_in(
+    app: &Application,
+    platform: &Platform,
+    j: ProcTypeId,
+    n: u32,
+    scratch: &mut CombineScratch,
+) -> Result<Pmf> {
+    let exec = app.exec_time(j)?;
+    check_amdahl_params(app.serial_fraction(), n)?;
     let avail = platform.proc_type(j)?.availability();
-    dedicated.quotient(avail).map_err(SystemError::from)
+    exec.scale_quotient_with(amdahl_factor(app.serial_fraction(), n), avail, scratch)
+        .map_err(SystemError::from)
 }
 
 /// `Pr(T ≤ Δ)` for one application under a given `(type, count)` assignment.
@@ -95,12 +129,16 @@ pub fn makespan_pmf(
     platform: &Platform,
     max_pulses: usize,
 ) -> Result<Pmf> {
+    // One scratch serves both the fused loaded-time builds and the
+    // sorted-merge max chain, so the whole makespan computation performs
+    // no comparison sort and reuses its buffers across links.
+    let mut scratch = CombineScratch::new();
     let mut acc: Option<Pmf> = None;
     for &(app, j, n) in assignments {
-        let t = loaded_time_pmf(app, platform, j, n)?;
+        let t = loaded_time_pmf_in(app, platform, j, n, &mut scratch)?;
         acc = Some(match acc {
             None => t,
-            Some(prev) => prev.max(&t)?.coalesce(max_pulses),
+            Some(prev) => prev.max_with(&t, &mut scratch)?.coalesce(max_pulses),
         });
     }
     acc.ok_or(SystemError::UnknownApp(0))

@@ -130,3 +130,48 @@ proptest! {
         prop_assert!((app.serial_fraction() + app.parallel_fraction() - 1.0).abs() < 1e-12);
     }
 }
+
+/// Bit-level PMF equality (stricter than `==`: distinguishes `-0.0`/`0.0`).
+fn pmf_bits_equal(a: &Pmf, b: &Pmf) -> bool {
+    a.len() == b.len()
+        && a.pulses().iter().zip(b.pulses()).all(|(x, y)| {
+            x.value.to_bits() == y.value.to_bits() && x.prob.to_bits() == y.prob.to_bits()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fused loaded-PMF kernel is bit-for-bit equal to the two-step
+    /// `amdahl_rescale` + availability-quotient reference across random
+    /// apps/platforms, every type, and several processor counts — this is
+    /// the pin that lets `loaded_time_pmf` (and the Stage-I engine) route
+    /// through the fused path without moving any golden file.
+    #[test]
+    fn fused_loaded_pmf_matches_two_step_reference(
+        platform in arb_platform(),
+        seed_app in (1usize..=4).prop_flat_map(arb_application),
+    ) {
+        use cdsf_system::parallel_time::loaded_time_pmf_in;
+        let mut scratch = cdsf_pmf::CombineScratch::new();
+        for j in 0..platform.num_types().min(seed_app.num_proc_types()) {
+            let j = ProcTypeId(j);
+            let count = platform.proc_type(j).unwrap().count();
+            for n in [1u32, 2, 3, count.max(1)] {
+                let fused = loaded_time_pmf_in(&seed_app, &platform, j, n, &mut scratch).unwrap();
+                let two_step = amdahl_rescale(
+                    seed_app.exec_time(j).unwrap(),
+                    seed_app.serial_fraction(),
+                    n,
+                )
+                .unwrap()
+                .quotient(platform.proc_type(j).unwrap().availability())
+                .unwrap();
+                prop_assert!(pmf_bits_equal(&fused, &two_step));
+                // The public entry point routes through the same kernel.
+                let public = loaded_time_pmf(&seed_app, &platform, j, n).unwrap();
+                prop_assert!(pmf_bits_equal(&public, &two_step));
+            }
+        }
+    }
+}
