@@ -12,7 +12,7 @@ use cdsf_system::{Batch, Platform};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Parameters of the Stage-II simulation.
 ///
@@ -210,55 +210,45 @@ fn build_cell_spec(
 /// Runs every replicate of every prepared cell across the worker threads
 /// and reduces each cell's replicates in order.
 ///
-/// Work is claimed at `(cell, replicate)` granularity from one atomic
-/// counter, so a few large cells — or a single cell, as in the advisor's
-/// targeted path — still saturate all threads. Each replicate writes its
-/// `(makespan, chunk count)` into its own pre-assigned slot (disjoint
-/// `AtomicU64` stores of the `f64` bits; the thread-scope join publishes
-/// them), and the reduction then pushes replicates into the Welford
-/// accumulators in replicate order — bit-identical to a sequential loop,
-/// for any thread count.
+/// Work is scheduled at `(cell, replicate)` granularity over the
+/// [`cdsf_system::pool`] work-stealing pool (chunked deques, one
+/// [`ExecutorScratch`] per worker reused across owned and stolen chunks),
+/// so a few large cells — or a single cell, as in the advisor's targeted
+/// path — still saturate all threads without the old per-replicate
+/// contended claim counter. Each replicate derives its own seed and
+/// writes its `(makespan, chunk count)` into its own pre-assigned slot
+/// (disjoint `AtomicU64` stores of the `f64` bits; the pool's join
+/// publishes them), and the reduction then pushes replicates into the
+/// Welford accumulators in replicate order — bit-identical to a
+/// sequential loop, for any thread count and any steal interleaving.
 fn run_cells(specs: &[CellSpec], deadline: f64, params: &SimParams) -> Result<Vec<CellResult>> {
     let reps = params.replicates;
     let total = specs.len() * reps;
     let makespan_slots: Vec<AtomicU64> = (0..total).map(|_| AtomicU64::new(0)).collect();
     let chunk_slots: Vec<AtomicU64> = (0..total).map(|_| AtomicU64::new(0)).collect();
-    let next = AtomicUsize::new(0);
 
-    std::thread::scope(|scope| -> Result<()> {
-        let mut handles = Vec::new();
-        for _ in 0..params.threads.min(total.max(1)) {
-            let next = &next;
-            let makespan_slots = &makespan_slots;
-            let chunk_slots = &chunk_slots;
-            handles.push(scope.spawn(move || -> Result<()> {
-                let mut scratch = ExecutorScratch::new();
-                loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= total {
-                        return Ok(());
-                    }
-                    let spec = &specs[idx / reps];
-                    let r = idx % reps;
-                    let seed = cell_seed(
-                        params.seed,
-                        spec.app_idx,
-                        spec.case,
-                        spec.tech_idx,
-                        r as u64,
-                    );
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    let run = execute_in(&spec.technique, &spec.cfg, &mut scratch, &mut rng)?;
-                    makespan_slots[idx].store(run.makespan.to_bits(), Ordering::Relaxed);
-                    chunk_slots[idx].store((run.chunks as f64).to_bits(), Ordering::Relaxed);
-                }
-            }));
-        }
-        for h in handles {
-            h.join().expect("simulation worker panicked")?;
-        }
-        Ok(())
-    })?;
+    cdsf_system::pool::run(
+        params.threads,
+        total,
+        None,
+        ExecutorScratch::new,
+        |idx, scratch: &mut ExecutorScratch| -> Result<()> {
+            let spec = &specs[idx / reps];
+            let r = idx % reps;
+            let seed = cell_seed(
+                params.seed,
+                spec.app_idx,
+                spec.case,
+                spec.tech_idx,
+                r as u64,
+            );
+            let mut rng = StdRng::seed_from_u64(seed);
+            let run = execute_in(&spec.technique, &spec.cfg, scratch, &mut rng)?;
+            makespan_slots[idx].store(run.makespan.to_bits(), Ordering::Relaxed);
+            chunk_slots[idx].store((run.chunks as f64).to_bits(), Ordering::Relaxed);
+            Ok(())
+        },
+    )?;
 
     Ok(specs
         .iter()

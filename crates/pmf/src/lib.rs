@@ -45,6 +45,7 @@
 pub mod discretize;
 mod error;
 mod kernel;
+pub mod lanes;
 mod pmf;
 pub mod sample;
 pub mod stats;

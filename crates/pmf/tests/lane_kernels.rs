@@ -1,0 +1,126 @@
+//! Property tests pinning the 4-wide lane kernels to their scalar
+//! references at the `f64::to_bits` level.
+//!
+//! The `cdsf_pmf::lanes` module promises bit-identity, not approximate
+//! agreement — goldens and the determinism battery depend on it — so these
+//! tests feed both sides adversarial inputs (subnormals, signed zeros,
+//! exact ties, huge magnitudes, empty and sub-lane tails) and compare raw
+//! bits. Every kernel is exercised across lengths 0..(several lanes + all
+//! tail residues); the scalar references are compiled unconditionally, so
+//! this suite pins the pair regardless of whether the `lanes` feature is
+//! driving the dispatch.
+
+use cdsf_pmf::lanes::{
+    cdf_many_lanes, cdf_many_scalar, prefix_cdf_lanes, prefix_cdf_scalar, quotient_fill_lanes,
+    quotient_fill_scalar,
+};
+use cdsf_pmf::Pulse;
+use proptest::prelude::*;
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Adversarial finite f64s: signed zeros, subnormals, exact tie grids,
+/// huge and tiny magnitudes.
+fn adversarial_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0f64),
+        Just(-0.0f64),
+        Just(f64::MIN_POSITIVE),
+        Just(f64::MIN_POSITIVE / 8.0),  // subnormal
+        Just(-f64::MIN_POSITIVE / 8.0), // negative subnormal
+        Just(f64::MAX / 4.0),
+        (-64i32..64).prop_map(|i| f64::from(i) * 0.25), // exact ties
+        -1e12f64..1e12f64,
+        -2.0f64..2.0f64,
+    ]
+}
+
+/// Strictly positive divisors, including subnormal and huge ones.
+fn adversarial_divisor() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(f64::MIN_POSITIVE),
+        Just(f64::MIN_POSITIVE / 4.0),
+        Just(f64::MAX / 8.0),
+        Just(1.0f64),
+        1e-9f64..1e9f64,
+    ]
+}
+
+/// Pulse runs of length 0..=19 — every lane/tail residue plus several full
+/// lanes — with adversarial values *and* probabilities.
+fn adversarial_pulses() -> impl Strategy<Value = Vec<Pulse>> {
+    prop::collection::vec((adversarial_f64(), adversarial_f64()), 0..20).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(value, prob)| Pulse { value, prob })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn quotient_fill_lane_equals_scalar(
+        values in prop::collection::vec(adversarial_f64(), 0..20),
+        d in adversarial_divisor(),
+        prefix in prop::collection::vec(adversarial_f64(), 0..3),
+    ) {
+        // Both kernels *append*; seed the destinations with a shared
+        // prefix to prove neither touches pre-existing contents.
+        let mut scalar = prefix.clone();
+        let mut lanes = prefix;
+        quotient_fill_scalar(&mut scalar, &values, d);
+        quotient_fill_lanes(&mut lanes, &values, d);
+        prop_assert_eq!(bits(&scalar), bits(&lanes));
+    }
+
+    #[test]
+    fn prefix_cdf_lane_equals_scalar(pulses in adversarial_pulses()) {
+        prop_assert_eq!(
+            bits(&prefix_cdf_scalar(&pulses)),
+            bits(&prefix_cdf_lanes(&pulses))
+        );
+    }
+
+    #[test]
+    fn cdf_many_lane_equals_scalar(
+        mut pulses in adversarial_pulses(),
+        queries in prop::collection::vec(adversarial_f64(), 0..20),
+        sort_queries in prop_oneof![Just(true), Just(false)],
+    ) {
+        // The lookup contract assumes a support sorted by total_cmp (ties
+        // allowed — equal values must resolve to the same cum slot on both
+        // sides).
+        pulses.sort_by(|a, b| a.value.total_cmp(&b.value));
+        let cum = prefix_cdf_scalar(&pulses);
+        let mut queries = queries;
+        if sort_queries {
+            // Exercise the merged single-cursor path, not just the
+            // per-query binary-search fallback.
+            queries.sort_by(f64::total_cmp);
+        }
+        prop_assert_eq!(
+            bits(&cdf_many_scalar(&pulses, &cum, &queries)),
+            bits(&cdf_many_lanes(&pulses, &cum, &queries))
+        );
+    }
+
+    #[test]
+    fn cdf_many_matches_pmf_cdf(
+        support in prop::collection::vec(((-1e4f64..1e4f64), 1e-3f64..1.0f64), 1..=12),
+        queries in prop::collection::vec(-2e4f64..2e4f64, 0..16),
+        sort_queries in prop_oneof![Just(true), Just(false)],
+    ) {
+        // End to end through the public API: the dispatched cdf_many must
+        // agree bitwise with one cdf() call per query, on both the sorted
+        // and the unsorted path.
+        let pmf = cdsf_pmf::Pmf::from_weighted(support).expect("positive weights");
+        let mut queries = queries;
+        if sort_queries {
+            queries.sort_by(f64::total_cmp);
+        }
+        let per_query: Vec<f64> = queries.iter().map(|&x| pmf.cdf(x)).collect();
+        prop_assert_eq!(bits(&pmf.cdf_many(&queries)), bits(&per_query));
+    }
+}

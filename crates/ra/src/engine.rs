@@ -37,11 +37,14 @@
 //!
 //! The cell set is a deterministic function of `(batch, platform)`, and
 //! each cell is computed by the same code path as the serial helpers in
-//! [`cdsf_system::parallel_time`]. The parallel build partitions the cell
-//! list over scoped worker threads and stitches results back *by cell
-//! index*, so the engine built with any `threads ≥ 1` is bit-identical to
-//! the serial build — equality, not approximate agreement, is asserted in
-//! the `engine_equivalence` integration tests. The SoA mirrors copy the
+//! [`cdsf_system::parallel_time`]. The parallel build schedules
+//! `(app, type)` pair families over the [`cdsf_system::pool`]
+//! work-stealing pool, each family writing into its own pre-assigned
+//! slot, and stitches the slots back *by pair index*, so the engine built
+//! with any `threads ≥ 1` is bit-identical to the serial build regardless
+//! of steal interleaving — equality, not approximate agreement, is
+//! asserted in the `engine_equivalence` integration tests and the
+//! cross-crate `determinism` suite. The SoA mirrors copy the
 //! loaded PMFs' own prefix tables verbatim, so SoA answers are the same
 //! bits as `Pmf::cdf` on the cached PMFs.
 
@@ -50,8 +53,9 @@ use crate::robustness::ProbabilityTable;
 use crate::{RaError, Result};
 use cdsf_pmf::{CombineScratch, Pmf};
 use cdsf_system::parallel_time::{amdahl_factor, parallel_time_pmf};
+use cdsf_system::pool::{self, PoolStats};
 use cdsf_system::{Batch, Platform, ProcTypeId, SystemError};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// One memoized `(app, type, 2^k share)` cell.
 ///
@@ -177,6 +181,22 @@ impl Phi1Engine {
         threads: usize,
         min_work: u64,
     ) -> Result<Self> {
+        Self::build_inner(batch, platform, threads, min_work, None).map(|(e, _)| e)
+    }
+
+    /// [`build_parallel_with_min_work`](Self::build_parallel_with_min_work)
+    /// plus the work-stealing pool's scheduling metadata
+    /// ([`PoolStats`]): which worker built how many `(app, type)` pair
+    /// families and how many chunks it stole. The engine itself is
+    /// bit-identical to the uninstrumented build; only the stats are
+    /// interleaving-dependent. Intended for tuning and for the pool's
+    /// starvation stress tests.
+    pub fn build_parallel_instrumented(
+        batch: &Batch,
+        platform: &Platform,
+        threads: usize,
+        min_work: u64,
+    ) -> Result<(Self, PoolStats)> {
         Self::build_inner(batch, platform, threads, min_work, None)
     }
 
@@ -252,7 +272,7 @@ impl Phi1Engine {
         }
         let reused = src.iter().filter(|s| s.is_some()).count();
         let plan = ReusePlan { prev: self, src };
-        let engine = Self::build_inner(
+        let (engine, _) = Self::build_inner(
             batch,
             platform,
             threads,
@@ -268,7 +288,7 @@ impl Phi1Engine {
         threads: usize,
         min_work: u64,
         reuse: Option<&ReusePlan<'_>>,
-    ) -> Result<Self> {
+    ) -> Result<(Self, PoolStats)> {
         if batch.is_empty() {
             return Err(RaError::EmptyBatch);
         }
@@ -312,7 +332,7 @@ impl Phi1Engine {
             debug_assert_eq!(plan.src.len(), total_cells as usize);
         }
 
-        let cells = compute_cells(batch, platform, &pairs, threads, min_work, reuse)?;
+        let (cells, stats) = compute_cells(batch, platform, &pairs, threads, min_work, reuse)?;
 
         // Mirror the hot per-cell data into flat SoA slices.
         let mut pulse_off = Vec::with_capacity(cells.len() + 1);
@@ -336,17 +356,20 @@ impl Phi1Engine {
             .iter()
             .map(|t| t.availability().clone())
             .collect();
-        Ok(Self {
-            num_apps,
-            num_types,
-            index,
-            cells,
-            pulse_off,
-            loaded_values,
-            loaded_cums,
-            expected,
-            availability,
-        })
+        Ok((
+            Self {
+                num_apps,
+                num_types,
+                index,
+                cells,
+                pulse_off,
+                loaded_values,
+                loaded_cums,
+                expected,
+                availability,
+            },
+            stats,
+        ))
     }
 
     /// Number of applications covered.
@@ -495,16 +518,21 @@ impl Phi1Engine {
 }
 
 /// Computes all cells pair by pair through the fused scale→quotient
-/// kernel, fanning out over `threads` scoped workers only when the
-/// estimated kernel work of the cells that actually need computing is at
-/// least `min_work`. Results are returned in arena order; the first
-/// failing pair (in pair order) decides the error.
+/// kernel, fanning out over the [`cdsf_system::pool`] work-stealing pool
+/// only when the estimated kernel work of the cells that actually need
+/// computing is at least `min_work`. Results are returned in arena order;
+/// the first failing pair (in pair order) decides the error — that is the
+/// pool's min-task-index error contract.
 ///
-/// Parallel chunking is by *application* (contiguous pair ranges split
-/// only at app boundaries, balanced by estimated work), not by cell: an
-/// app's pairs share batch-locality, and coarse chunks keep the per-spawn
-/// overhead amortized — per-cell round-robin was the shape that made the
-/// old build slower under threads than serial on small instances.
+/// The unit of work is an `(app, type)` *pair family*, never a single
+/// cell: the fused `scale_quotient_family` kernel shares the
+/// availability-expanded probability products across the pair's whole
+/// power-of-two run, and splitting below pair granularity would forfeit
+/// that sharing. Each pair's cells go into a per-pair [`OnceLock`] slot
+/// and are stitched in pair order afterwards, so the arena — and with it
+/// the whole engine — is bit-identical for every thread count and every
+/// steal interleaving. Per-worker [`CombineScratch`] arenas are created
+/// once and reused across all (owned and stolen) pairs a worker executes.
 fn compute_cells(
     batch: &Batch,
     platform: &Platform,
@@ -512,7 +540,7 @@ fn compute_cells(
     threads: usize,
     min_work: u64,
     reuse: Option<&ReusePlan<'_>>,
-) -> Result<Vec<Arc<Cell>>> {
+) -> Result<(Vec<Arc<Cell>>, PoolStats)> {
     let apps: Vec<_> = batch.iter().map(|(_, app)| app).collect();
     let total_cells = pairs.last().map_or(0, |p| (p.start + p.count) as usize);
 
@@ -573,54 +601,30 @@ fn compute_cells(
     } else {
         threads.min(pairs.len()).max(1)
     };
-    if threads == 1 {
-        let mut out = Vec::with_capacity(total_cells);
-        let mut scratch = CombineScratch::new();
-        for pair in pairs {
-            compute_pair(pair, &mut scratch, &mut out)?;
-        }
-        return Ok(out);
-    }
 
-    // Chunk boundaries: contiguous, app-aligned, work-balanced.
-    let target = total_work.div_ceil(threads as u64).max(1);
-    let mut bounds: Vec<usize> = vec![0];
-    let mut acc = 0u64;
-    for idx in 0..pairs.len() {
-        acc += work[idx];
-        let app_boundary = idx + 1 == pairs.len() || pairs[idx + 1].app != pairs[idx].app;
-        if app_boundary && acc >= target && bounds.len() < threads && idx + 1 < pairs.len() {
-            bounds.push(idx + 1);
-            acc = 0;
-        }
-    }
-    bounds.push(pairs.len());
-
-    let results: Vec<Result<Vec<Arc<Cell>>>> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(bounds.len() - 1);
-        for w in bounds.windows(2) {
-            let piece = &pairs[w[0]..w[1]];
-            let compute_pair = &compute_pair;
-            handles.push(scope.spawn(move || {
-                let mut scratch = CombineScratch::new();
-                let mut out = Vec::new();
-                for pair in piece {
-                    compute_pair(pair, &mut scratch, &mut out)?;
-                }
-                Ok(out)
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("engine build worker panicked"))
-            .collect()
-    });
+    // One result slot per pair; the pool schedules, the slots preserve
+    // arena order, the stitch below is the in-order deterministic
+    // reduction.
+    let slots: Vec<OnceLock<Vec<Arc<Cell>>>> = (0..pairs.len()).map(|_| OnceLock::new()).collect();
+    let stats = pool::run(
+        threads,
+        pairs.len(),
+        Some(&work),
+        CombineScratch::new,
+        |idx, scratch: &mut CombineScratch| -> Result<()> {
+            let pair = &pairs[idx];
+            let mut out = Vec::with_capacity(pair.count as usize);
+            compute_pair(pair, scratch, &mut out)?;
+            slots[idx].set(out).expect("each pair is computed once");
+            Ok(())
+        },
+    )?;
 
     let mut out = Vec::with_capacity(total_cells);
-    for piece in results {
-        out.extend(piece?);
+    for slot in slots {
+        out.extend(slot.into_inner().expect("error-free run fills every slot"));
     }
-    Ok(out)
+    Ok((out, stats))
 }
 
 #[cfg(test)]

@@ -31,6 +31,7 @@ mod error;
 pub mod fit;
 pub mod parallel_time;
 pub mod platform;
+pub mod pool;
 
 pub use application::{AppId, Application, ApplicationBuilder, Batch};
 pub use error::SystemError;

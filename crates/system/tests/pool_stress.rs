@@ -1,0 +1,106 @@
+//! Stress tests for the work-stealing pool under pathologically skewed
+//! work distributions.
+//!
+//! The scenario that breaks fixed partitioning: one work unit is orders of
+//! magnitude heavier than all the others, so whichever worker owns it is
+//! busy for the whole run while the remaining workers' seeded blocks are
+//! tiny. Two properties must survive this, deterministically, on every
+//! host (including single-core CI runners):
+//!
+//! 1. **No starvation** — every worker executes at least one task. The
+//!    pool makes this a structural guarantee, not a timing accident: each
+//!    worker's first seeded chunk is reserved for its owner, and thieves
+//!    skip (and yield to) victims that have not claimed theirs yet.
+//! 2. **Serial equivalence** — the slot-written results are bit-identical
+//!    to a one-worker run, regardless of how chunks got stolen.
+
+use cdsf_system::pool;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Deterministic per-task value with cost proportional to `weight` —
+/// a SplitMix64-style mix iterated `weight` times, so heavy tasks really
+/// are heavy at runtime, not just in the weight table.
+fn grind(seed: u64, weight: u64) -> u64 {
+    let mut z = seed;
+    for _ in 0..weight {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+    }
+    z
+}
+
+/// Runs `weights.len()` grind tasks over `workers`, returning the slot
+/// vector and the pool's scheduling stats.
+fn run_grind(workers: usize, seed: u64, weights: &[u64]) -> (Vec<u64>, pool::PoolStats) {
+    let slots: Vec<AtomicU64> = (0..weights.len()).map(|_| AtomicU64::new(0)).collect();
+    let stats = pool::run(
+        workers,
+        weights.len(),
+        Some(weights),
+        || (),
+        |i, _: &mut ()| -> Result<(), ()> {
+            slots[i].store(grind(seed ^ i as u64, weights[i]), Ordering::Relaxed);
+            Ok(())
+        },
+    )
+    .expect("grind tasks never fail");
+    (
+        slots.iter().map(|s| s.load(Ordering::Relaxed)).collect(),
+        stats,
+    )
+}
+
+#[test]
+fn skewed_weights_starve_no_worker_and_match_serial() {
+    // One unit with 100× the work of the rest — the "one app with 100× the
+    // pulses" profile the Stage-I engine produces.
+    let mut weights = vec![2_000u64; 64];
+    weights[0] = 200_000;
+    let seed = 0xCD5F_0006;
+
+    let (serial, _) = run_grind(1, seed, &weights);
+    for workers in [2usize, 4, 7] {
+        let (parallel, stats) = run_grind(workers, seed, &weights);
+        assert_eq!(parallel, serial, "results diverge at {workers} workers");
+        assert_eq!(stats.workers, workers);
+        assert_eq!(stats.tasks_run.iter().sum::<usize>(), weights.len());
+        assert!(
+            stats.no_worker_starved(),
+            "a worker starved at {workers} workers: {:?}",
+            stats.tasks_run
+        );
+    }
+}
+
+#[test]
+fn heavy_unit_in_every_position_is_stealable() {
+    // Wherever the heavy unit sits — first, mid-block, last — the other
+    // workers must still find work and the results must match serial.
+    let seed = 0x5EED;
+    for heavy_at in [0usize, 7, 31, 62] {
+        let mut weights = vec![500u64; 63]; // 63: indivisible by 4 workers
+        weights[heavy_at] = 50_000;
+        let (serial, _) = run_grind(1, seed, &weights);
+        let (parallel, stats) = run_grind(4, seed, &weights);
+        assert_eq!(parallel, serial, "heavy_at={heavy_at}");
+        assert!(
+            stats.no_worker_starved(),
+            "heavy_at={heavy_at}: {:?}",
+            stats.tasks_run
+        );
+    }
+}
+
+#[test]
+fn more_workers_than_meaningful_work_still_terminates_cleanly() {
+    // 7 workers, 7 tasks, one dominant: each worker is seeded exactly one
+    // chunk (its reserved one), so every worker runs exactly one task.
+    let mut weights = vec![100u64; 7];
+    weights[3] = 10_000;
+    let (serial, _) = run_grind(1, 1, &weights);
+    let (parallel, stats) = run_grind(7, 1, &weights);
+    assert_eq!(parallel, serial);
+    assert_eq!(stats.tasks_run, vec![1usize; 7]);
+}

@@ -1,0 +1,206 @@
+//! Cross-crate determinism battery: every parallel path in the framework
+//! must produce *bit-identical* results at every worker count.
+//!
+//! The work-stealing pool (`cdsf_system::pool`) schedules nondeterministically
+//! — which worker runs which chunk depends on timing — so these tests pin
+//! the contract that scheduling freedom never leaks into results: tasks
+//! write to pre-assigned slots and reductions run in task order. Each test
+//! runs the same computation at 1, 2, 4, and 7 workers (7 exercises
+//! non-divisible work splits) and compares against the single-thread run at
+//! the `f64::to_bits` level — equality of bits, not approximate agreement.
+
+use cdsf_core::simulation::{simulate_grid, SimParams};
+use cdsf_dls::TechniqueKind;
+use cdsf_ra::allocators::{EqualShare, GreedyMaxRobust};
+use cdsf_ra::{Allocator, Assignment, Phi1Engine};
+use cdsf_system::ProcTypeId;
+use cdsf_workloads::paper;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+/// Every `(app, type, procs)` triple of an engine, flattened to bits:
+/// loaded pulses, dedicated pulses, cached expectation, and CDF probes.
+fn engine_fingerprint(engine: &Phi1Engine, deadline: f64) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for app in 0..engine.num_apps() {
+        for ty in 0..engine.num_types() {
+            let ty = ProcTypeId(ty);
+            let mut procs = 1u32;
+            while let Some(loaded) = engine.loaded_pmf(app, ty, procs) {
+                for p in loaded.pulses() {
+                    bits.push(p.value.to_bits());
+                    bits.push(p.prob.to_bits());
+                }
+                for &c in loaded.cumulative() {
+                    bits.push(c.to_bits());
+                }
+                let dedicated = engine.dedicated_pmf(app, ty, procs).expect("cell exists");
+                for p in dedicated.pulses() {
+                    bits.push(p.value.to_bits());
+                    bits.push(p.prob.to_bits());
+                }
+                bits.push(engine.expected_time(app, ty, procs).unwrap().to_bits());
+                for x in [deadline * 0.5, deadline, deadline * 2.0] {
+                    bits.push(engine.prob(app, ty, procs, x).unwrap().to_bits());
+                }
+                procs *= 2;
+            }
+        }
+    }
+    bits
+}
+
+#[test]
+fn engine_build_is_bit_identical_across_thread_counts() {
+    let (batch, platform) = (paper::batch_with_pulses(24), paper::platform());
+    // min_work = 0 forces the threaded pool path even though this instance
+    // is below the serial-fallback threshold.
+    let reference = Phi1Engine::build(&batch, &platform).unwrap();
+    let want = engine_fingerprint(&reference, paper::DEADLINE);
+    assert!(!want.is_empty());
+    for threads in THREAD_COUNTS {
+        let engine =
+            Phi1Engine::build_parallel_with_min_work(&batch, &platform, threads, 0).unwrap();
+        assert_eq!(
+            engine_fingerprint(&engine, paper::DEADLINE),
+            want,
+            "engine differs at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn phi1_tables_are_bit_identical_across_thread_counts() {
+    let (batch, platform) = (paper::batch_with_pulses(24), paper::platform());
+    let reference = Phi1Engine::build(&batch, &platform).unwrap();
+    let table_bits = |engine: &Phi1Engine, deadline: f64| -> Vec<u64> {
+        let table = engine.table(deadline).unwrap();
+        let mut bits = Vec::new();
+        for app in 0..engine.num_apps() {
+            for asg in engine.options(app) {
+                bits.push(table.prob(app, asg.proc_type, asg.procs).unwrap().to_bits());
+            }
+        }
+        bits
+    };
+    for deadline in [paper::DEADLINE * 0.5, paper::DEADLINE] {
+        let want = table_bits(&reference, deadline);
+        for threads in THREAD_COUNTS {
+            let engine =
+                Phi1Engine::build_parallel_with_min_work(&batch, &platform, threads, 0).unwrap();
+            assert_eq!(
+                table_bits(&engine, deadline),
+                want,
+                "φ1 table differs at {threads} threads, Δ = {deadline}"
+            );
+        }
+    }
+}
+
+#[test]
+fn allocations_are_thread_count_invariant() {
+    let (batch, platform) = (paper::batch_with_pulses(24), paper::platform());
+    let flat = |assignments: &[Assignment]| -> Vec<(usize, u32)> {
+        assignments
+            .iter()
+            .map(|a| (a.proc_type.0, a.procs))
+            .collect()
+    };
+    let reference = Phi1Engine::build(&batch, &platform).unwrap();
+    let greedy = GreedyMaxRobust::default();
+    let equal = EqualShare;
+    let want_greedy = greedy
+        .allocate_with_engine(&batch, &platform, &reference, paper::DEADLINE)
+        .unwrap();
+    let want_equal = equal
+        .allocate_with_engine(&batch, &platform, &reference, paper::DEADLINE)
+        .unwrap();
+    for threads in THREAD_COUNTS {
+        let engine =
+            Phi1Engine::build_parallel_with_min_work(&batch, &platform, threads, 0).unwrap();
+        let got_greedy = greedy
+            .allocate_with_engine(&batch, &platform, &engine, paper::DEADLINE)
+            .unwrap();
+        let got_equal = equal
+            .allocate_with_engine(&batch, &platform, &engine, paper::DEADLINE)
+            .unwrap();
+        assert_eq!(
+            flat(got_greedy.assignments()),
+            flat(want_greedy.assignments()),
+            "GreedyMaxRobust allocation differs at {threads} threads"
+        );
+        assert_eq!(
+            flat(got_equal.assignments()),
+            flat(want_equal.assignments()),
+            "EqualShare allocation differs at {threads} threads"
+        );
+    }
+}
+
+/// `CellResult` flattened to bits — `PartialEq` on f64 would already treat
+/// `-0.0 == 0.0` and `NaN != NaN`; the determinism contract is stronger.
+fn cell_bits(cells: &[cdsf_core::simulation::CellResult]) -> Vec<(usize, usize, String, [u64; 4])> {
+    cells
+        .iter()
+        .map(|c| {
+            (
+                c.app,
+                c.case,
+                c.technique.clone(),
+                [
+                    c.mean_makespan.to_bits(),
+                    c.std_makespan.to_bits(),
+                    c.mean_chunks.to_bits(),
+                    c.deadline_hit_rate.to_bits(),
+                ],
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn stage2_grid_is_bit_identical_across_thread_counts() {
+    let batch = paper::batch_with_pulses(8);
+    let alloc = cdsf_ra::Allocation::new(vec![
+        Assignment {
+            proc_type: ProcTypeId(0),
+            procs: 2,
+        },
+        Assignment {
+            proc_type: ProcTypeId(0),
+            procs: 2,
+        },
+        Assignment {
+            proc_type: ProcTypeId(1),
+            procs: 8,
+        },
+    ]);
+    let cases: Vec<_> = (1..=2).map(paper::platform_case).collect();
+    let techniques = vec![TechniqueKind::Static, TechniqueKind::Fac, TechniqueKind::Af];
+    // 7 replicates: indivisible by 2 and 4, equal to the widest worker
+    // count, so every split shape is exercised.
+    let run = |threads: usize| {
+        simulate_grid(
+            &batch,
+            &alloc,
+            &cases,
+            &techniques,
+            paper::DEADLINE,
+            &SimParams {
+                replicates: 7,
+                threads,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    };
+    let want = cell_bits(&run(1));
+    assert_eq!(want.len(), 3 * 2 * 3);
+    for threads in THREAD_COUNTS {
+        assert_eq!(
+            cell_bits(&run(threads)),
+            want,
+            "grid differs at {threads} threads"
+        );
+    }
+}
