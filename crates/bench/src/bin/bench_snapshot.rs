@@ -12,16 +12,23 @@
 //! absolute nanoseconds, are the contract: they divide out the host's
 //! clock so snapshots from different machines stay comparable.
 //!
+//! `--serve` switches to the service suite: it replays the canonical
+//! loadgen stream (10k requests, 6 tenants, 2 shards) against an
+//! in-process `cdsf-serve` instance and writes `BENCH_serve.json`.
+//!
 //! ```sh
 //! cargo run --release -p cdsf-bench --bin bench_snapshot            # stage 1
 //! cargo run --release -p cdsf-bench --bin bench_snapshot -- --stage2
+//! cargo run --release -p cdsf-bench --bin bench_snapshot -- --serve
 //! cargo run --release -p cdsf-bench --bin bench_snapshot -- --check
 //! cargo run --release -p cdsf-bench --bin bench_snapshot -- --stage2 --check
+//! cargo run --release -p cdsf-bench --bin bench_snapshot -- --serve --check
 //! ```
 //!
 //! `--check` runs a reduced-iteration smoke pass (validating that every
-//! kernel still executes) and then verifies the *committed* snapshot
-//! exists and is schema-valid, without overwriting it — the CI guard.
+//! kernel still executes — for `--serve`, a short error-free replay) and
+//! then verifies the *committed* snapshot exists and is schema-valid,
+//! without overwriting it — the CI guard.
 
 use cdsf_core::simulation::simulate_grid;
 use cdsf_core::SimParams;
@@ -29,9 +36,11 @@ use cdsf_dls::executor::{execute, execute_in, ExecutorConfig, ExecutorScratch};
 use cdsf_dls::TechniqueKind;
 use cdsf_pmf::discretize::{Discretize, Normal};
 use cdsf_pmf::{CombineScratch, Pmf};
-use cdsf_ra::engine::RebuildMap;
+use cdsf_ra::engine::{RebuildMap, PARALLEL_BUILD_MIN_WORK};
 use cdsf_ra::robustness::ProbabilityTable;
 use cdsf_ra::{Allocation, Assignment, DeltaFitness, EngineCache, OptionProbs, Phi1Engine};
+use cdsf_serve::loadgen::{run_local, LoadgenConfig};
+use cdsf_serve::ServeConfig;
 use cdsf_system::availability::{AvailabilitySpec, Timeline};
 use cdsf_system::parallel_time::{amdahl_rescale, loaded_time_pmf_in};
 use cdsf_system::{Application, Batch, Platform, ProcTypeId};
@@ -53,12 +62,26 @@ use std::time::Instant;
 /// path), redefined `engine_build_t4_vs_t1` as a *speedup* (`t1 / t4`,
 /// bigger is better, matching `grid_thread4_speedup`), and added
 /// `host_threads` to the instance block so the guard can be host-aware.
-const SCHEMA_VERSION: u64 = 3;
+/// v4 added the `pool` section: per-worker `PoolStats` from one
+/// instrumented 4-thread engine build, so the work-stealing pool's
+/// balance (tasks per worker, chunks stolen, starvation) is visible in
+/// the committed snapshot, not only in the serve `Stats` endpoint.
+const SCHEMA_VERSION: u64 = 4;
 
 /// Current stage-2 snapshot schema. Bump when the JSON shape changes.
 /// v2 added the host-aware `grid_thread4_speedup` floor (≥ 3× on hosts
 /// with ≥ 4 cores, no-regression bound elsewhere).
 const STAGE2_SCHEMA_VERSION: u64 = 2;
+
+/// Serve snapshot schema this guard understands — must match
+/// [`cdsf_serve::LoadgenReport`]'s `schema_version`.
+const SERVE_SCHEMA_VERSION: u64 = 1;
+
+/// Floors the ISSUE pins for the committed serve benchmark: the replay
+/// must exercise real multi-tenant sharding, not a toy stream.
+const SERVE_MIN_REQUESTS: u64 = 10_000;
+const SERVE_MIN_TENANTS: u64 = 4;
+const SERVE_MIN_SHARDS: u64 = 2;
 
 /// Parallel-speedup floors for the 4-thread bench guards. A host with at
 /// least 4 cores must show real scaling from the work-stealing pool; on
@@ -81,13 +104,8 @@ fn parallel_speedup_floor(host_threads: u64) -> f64 {
 
 const DEADLINE: f64 = 2_800.0;
 
-fn snapshot_path(stage2: bool) -> PathBuf {
-    let name = if stage2 {
-        "../../BENCH_stage2.json"
-    } else {
-        "../../BENCH_stage1.json"
-    };
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(name)
+fn snapshot_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../{name}"))
 }
 
 /// Median wall-clock nanoseconds per call over `samples` samples of
@@ -776,6 +794,28 @@ fn run_stage2_suite(samples: usize, scale: usize) -> Vec<BenchResult> {
     out
 }
 
+/// One instrumented 4-thread build of the pulse-rich instance, reported
+/// as a JSON block: the work-stealing pool's per-worker task/steal
+/// balance for the exact build that the `t4_p384` bench times. Numbers
+/// are measured on this host, never assumed — on a narrow host the
+/// engine may clamp the worker count, and the guard only requires that
+/// no worker starved.
+fn pool_section() -> Value {
+    let (batch, platform) = rich_instance();
+    let (_, stats) =
+        Phi1Engine::build_parallel_instrumented(&batch, &platform, 4, PARALLEL_BUILD_MIN_WORK)
+            .expect("instrumented engine build must succeed on the bench instance");
+    json!({
+        "build_threads": 4,
+        "workers": stats.workers,
+        "tasks_total": stats.total_tasks(),
+        "chunks_stolen_total": stats.total_steals(),
+        "tasks_per_worker": stats.tasks_run,
+        "chunks_stolen_per_worker": stats.chunks_stolen,
+        "no_worker_starved": stats.no_worker_starved(),
+    })
+}
+
 fn median_of(results: &[BenchResult], name: &str) -> f64 {
     results
         .iter()
@@ -820,6 +860,7 @@ fn to_json(results: &[BenchResult], mode: &str) -> Value {
             "median_ns": r.median_ns,
             "per": r.per_unit,
         })).collect::<Vec<_>>(),
+        "pool": pool_section(),
         "derived": json!({
             "sa_mutation_speedup": full / delta,
             "table_sweep_speedup": legacy_table / soa,
@@ -961,8 +1002,47 @@ fn check_speedup_floor(snapshot: &Value, key: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates the stage-1 `pool` block: the instrumented build's stats
+/// must be internally consistent and starvation-free.
+fn check_pool_section(snapshot: &Value) -> Result<(), String> {
+    let pool = snapshot.get("pool").ok_or("missing pool section")?;
+    let workers = pool
+        .get("workers")
+        .and_then(Value::as_u64)
+        .ok_or("pool missing workers")?;
+    if workers == 0 {
+        return Err("pool workers is 0".into());
+    }
+    let tasks = pool
+        .get("tasks_total")
+        .and_then(Value::as_u64)
+        .ok_or("pool missing tasks_total")?;
+    if tasks == 0 {
+        return Err("pool tasks_total is 0".into());
+    }
+    let per_worker = pool
+        .get("tasks_per_worker")
+        .and_then(Value::as_array)
+        .ok_or("pool missing tasks_per_worker")?;
+    if per_worker.len() != workers as usize {
+        return Err(format!(
+            "pool tasks_per_worker has {} entries for {workers} workers",
+            per_worker.len()
+        ));
+    }
+    pool.get("chunks_stolen_total")
+        .and_then(Value::as_u64)
+        .ok_or("pool missing chunks_stolen_total")?;
+    match pool.get("no_worker_starved").and_then(Value::as_bool) {
+        Some(true) => Ok(()),
+        Some(false) => Err("pool reports a starved worker".into()),
+        None => Err("pool missing no_worker_starved".into()),
+    }
+}
+
 fn validate(snapshot: &Value) -> Result<(), String> {
     validate_with(snapshot, SCHEMA_VERSION, STAGE1_DERIVED)?;
+    check_pool_section(snapshot)?;
     check_speedup_floor(snapshot, "engine_build_t4_vs_t1")
 }
 
@@ -971,11 +1051,179 @@ fn validate_stage2(snapshot: &Value) -> Result<(), String> {
     check_speedup_floor(snapshot, "grid_thread4_speedup")
 }
 
+// --- Serve suite ---------------------------------------------------------
+
+/// The canonical loadgen replay behind the committed `BENCH_serve.json`:
+/// 10k requests from 6 tenants over 4 connections against a 2-shard
+/// in-process server. `--check` shrinks the stream but keeps the tenant
+/// and shard multiplicity, so the smoke pass still crosses shards.
+fn serve_configs(check: bool) -> (LoadgenConfig, ServeConfig) {
+    let load = if check {
+        LoadgenConfig {
+            requests: 400,
+            tenants: 4,
+            connections: 4,
+            ..LoadgenConfig::default()
+        }
+    } else {
+        LoadgenConfig::default()
+    };
+    let serve = ServeConfig {
+        shards: 2,
+        ..ServeConfig::default()
+    };
+    (load, serve)
+}
+
+fn u64_field(snapshot: &Value, key: &str) -> Result<u64, String> {
+    snapshot
+        .get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing {key}"))
+}
+
+fn f64_field(snapshot: &Value, key: &str) -> Result<f64, String> {
+    let v = snapshot
+        .get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing {key}"))?;
+    if !v.is_finite() {
+        return Err(format!("{key} is not finite: {v}"));
+    }
+    Ok(v)
+}
+
+/// Validates a serve snapshot ([`cdsf_serve::LoadgenReport`] JSON): the
+/// replay must meet the multi-tenant floors, finish without a single
+/// error, and carry a coherent per-shard stats block.
+fn validate_serve(snapshot: &Value) -> Result<(), String> {
+    let schema = u64_field(snapshot, "schema_version")?;
+    if schema != SERVE_SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {schema} != supported {SERVE_SCHEMA_VERSION}"
+        ));
+    }
+    let requests = u64_field(snapshot, "requests")?;
+    let tenants = u64_field(snapshot, "tenants")?;
+    let shards = u64_field(snapshot, "shards")?;
+    if requests < SERVE_MIN_REQUESTS || tenants < SERVE_MIN_TENANTS || shards < SERVE_MIN_SHARDS {
+        return Err(format!(
+            "replay {requests} requests / {tenants} tenants / {shards} shards is below \
+             the {SERVE_MIN_REQUESTS}/{SERVE_MIN_TENANTS}/{SERVE_MIN_SHARDS} floors"
+        ));
+    }
+    if u64_field(snapshot, "ok")? == 0 {
+        return Err("no request succeeded".into());
+    }
+    let errors = u64_field(snapshot, "errors")?;
+    if errors != 0 {
+        return Err(format!("committed replay has {errors} request errors"));
+    }
+    if !(f64_field(snapshot, "throughput_rps")? > 0.0) {
+        return Err("throughput_rps is not positive".into());
+    }
+    let p50 = u64_field(snapshot, "latency_p50_us")?;
+    let p99 = u64_field(snapshot, "latency_p99_us")?;
+    if p99 < p50 {
+        return Err(format!("latency p99 {p99}us below p50 {p50}us"));
+    }
+    let hit_rate = f64_field(snapshot, "cache_hit_rate")?;
+    if !(0.0..=1.0).contains(&hit_rate) {
+        return Err(format!("cache_hit_rate {hit_rate} outside [0, 1]"));
+    }
+    if f64_field(snapshot, "coalescing_factor")? < 1.0 {
+        return Err("coalescing_factor below 1".into());
+    }
+    let stats = snapshot.get("stats").ok_or("missing stats block")?;
+    let per_shard = stats
+        .get("per_shard")
+        .and_then(Value::as_array)
+        .ok_or("stats missing per_shard")?;
+    if per_shard.len() != shards as usize {
+        return Err(format!(
+            "stats has {} per-shard entries for {shards} shards",
+            per_shard.len()
+        ));
+    }
+    let total = stats.get("total").ok_or("stats missing total")?;
+    if u64_field(total, "submits")? == 0 {
+        return Err("stats total has no submits".into());
+    }
+    u64_field(total, "pool_runs")?;
+    Ok(())
+}
+
+/// The `--serve` entry point: replay the loadgen stream, then either
+/// write the fresh report (full mode) or guard the committed one
+/// (`--check`). Returns the process exit path directly like `main`.
+fn run_serve(check: bool, path: &std::path::Path) {
+    let (load_cfg, serve_cfg) = serve_configs(check);
+    eprintln!(
+        "running serve replay ({} mode): {} requests, {} tenants, {} shards...",
+        if check { "check" } else { "full" },
+        load_cfg.requests,
+        load_cfg.tenants,
+        serve_cfg.shards,
+    );
+    let report = run_local(&load_cfg, serve_cfg).unwrap_or_else(|e| {
+        eprintln!("error: serve replay failed: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "  {:.0} req/s | p50 {} us | p99 {} us | hit rate {:.3} | \
+         coalescing {:.3} | {} errors",
+        report.throughput_rps,
+        report.latency_p50_us,
+        report.latency_p99_us,
+        report.cache_hit_rate,
+        report.coalescing_factor,
+        report.errors,
+    );
+    if report.errors != 0 {
+        eprintln!("error: smoke replay produced {} errors", report.errors);
+        std::process::exit(1);
+    }
+
+    if check {
+        let raw = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!(
+                "error: committed snapshot {} unreadable: {e}",
+                path.display()
+            );
+            std::process::exit(1);
+        });
+        let committed: Value = serde_json::from_str(&raw).unwrap_or_else(|e| {
+            eprintln!("error: committed snapshot is not valid JSON: {e}");
+            std::process::exit(1);
+        });
+        if let Err(msg) = validate_serve(&committed) {
+            eprintln!("error: committed snapshot is schema-invalid: {msg}");
+            std::process::exit(1);
+        }
+        eprintln!("ok: committed {} is schema-valid", path.display());
+    } else {
+        let snapshot = serde_json::to_value(&report);
+        validate_serve(&snapshot).expect("freshly-produced serve snapshot must be schema-valid");
+        std::fs::write(path, serde_json::to_string_pretty(&snapshot).unwrap())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let check = args.iter().any(|a| a == "--check");
     let stage2 = args.iter().any(|a| a == "--stage2");
-    let path = snapshot_path(stage2);
+    let serve = args.iter().any(|a| a == "--serve");
+    if serve {
+        run_serve(check, &snapshot_path("BENCH_serve.json"));
+        return;
+    }
+    let path = snapshot_path(if stage2 {
+        "BENCH_stage2.json"
+    } else {
+        "BENCH_stage1.json"
+    });
 
     let (samples, scale, mode) = if check {
         (3, 1, "check")

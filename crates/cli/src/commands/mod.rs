@@ -9,6 +9,7 @@ pub mod generate;
 pub mod paper;
 pub mod queue;
 pub mod scenarios;
+pub mod serve;
 pub mod stage1;
 pub mod surface;
 pub mod sweep;
@@ -49,6 +50,9 @@ COMMANDS:
               [--scenario crash|collapse|stall|drift|mixed] [--seed S]
               [--deadline D] [--remap 0|1] [--threshold P] [--watchdogs N]
               [--allocator NAME] [--pulses N] [--dwell T] [--overhead H]
+  serve       run the multi-tenant scheduling service (NDJSON over TCP)
+              [--host H] [--port N (0 = ephemeral)] [--shards N]
+              [--cache N] [--threads N] [--allocator NAME] [--threshold P]
   help        this text
 
 All commands accept --json for machine-readable output."
@@ -108,6 +112,7 @@ mod tests {
             "run-config",
             "advise",
             "surface",
+            "serve",
         ] {
             assert!(help_text().contains(cmd), "help missing {cmd}");
         }

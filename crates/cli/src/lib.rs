@@ -42,6 +42,7 @@ pub fn run(raw: Vec<String>) -> Result<String, CliError> {
         "run-config" => commands::config::run_config(&args),
         "queue" => commands::queue::run(&args),
         "events" => commands::events::run(&args),
+        "serve" => commands::serve::run(&args),
         "help" | "--help" | "-h" => Ok(commands::help_text().to_string()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }

@@ -51,10 +51,6 @@ use serde::{Deserialize, Serialize};
 /// exact zero would never finish any work).
 const STALL_AVAILABILITY: f64 = 0.02;
 
-/// Floor for scaled availability levels — collapse/drift never push a
-/// level below this (or above 1).
-const MIN_AVAILABILITY: f64 = 0.01;
-
 /// Smallest remaining deadline window a remap optimizes over.
 const MIN_WINDOW: f64 = 1.0;
 
@@ -165,11 +161,11 @@ fn drift_scale(seed: u64, proc_type: usize, round: u64, min: f64, max: f64) -> f
     min + (max - min) * u
 }
 
-/// Scales every availability level by `c`, clamped into
-/// `[MIN_AVAILABILITY, 1]` so the result stays a valid availability PMF.
-fn scale_availability(pmf: &Pmf, c: f64) -> Result<Pmf> {
-    Ok(pmf.map(|v| (v * c).clamp(MIN_AVAILABILITY, 1.0))?)
-}
+/// Scales every availability level by `c` — the shared remap entry point,
+/// re-exported here under the engine's historical private name so every
+/// collapse/drift call site stays byte-identical to the pre-refactor
+/// behaviour.
+use crate::remap::scale_availability;
 
 impl<'a> EventEngine<'a> {
     /// Validates the scenario against the workload and builds the engine.

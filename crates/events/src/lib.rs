@@ -44,6 +44,7 @@ pub mod engine;
 mod error;
 pub mod event;
 pub mod metrics;
+pub mod remap;
 
 pub use config::EngineConfig;
 pub use engine::{EventEngine, RunReport};

@@ -515,6 +515,41 @@ impl Phi1Engine {
         }
         Ok(ProbabilityTable::from_raw(probs, deadline))
     }
+
+    /// FNV-1a digest of every table the engine serves answers from: the
+    /// cell layout plus the exact bits of each cell's dedicated and loaded
+    /// PMFs (values, probabilities, prefix CDFs), cached expectations, and
+    /// the availability PMFs. Two engines with equal fingerprints answer
+    /// every `prob`/`expected_time`/`table` query with the same bits, so
+    /// the serving layer's snapshot/restore and crash-replay suites assert
+    /// state equality through this one `u64` instead of walking the
+    /// arenas.
+    pub fn table_fingerprint(&self) -> u64 {
+        let mut h = crate::engine_cache::fnv1a_seed();
+        h = crate::engine_cache::fnv1a_u64(h, self.num_apps as u64);
+        h = crate::engine_cache::fnv1a_u64(h, self.num_types as u64);
+        for slot in &self.index {
+            match slot {
+                None => h = crate::engine_cache::fnv1a_u64(h, u64::MAX),
+                Some((start, len)) => {
+                    h = crate::engine_cache::fnv1a_u64(h, *start as u64);
+                    h = crate::engine_cache::fnv1a_u64(h, *len as u64);
+                }
+            }
+        }
+        for cell in &self.cells {
+            for pmf in [&cell.dedicated, &cell.loaded] {
+                h = crate::engine_cache::fnv1a_pmf(h, pmf);
+            }
+        }
+        for e in &self.expected {
+            h = crate::engine_cache::fnv1a_u64(h, e.to_bits());
+        }
+        for pmf in &self.availability {
+            h = crate::engine_cache::fnv1a_pmf(h, pmf);
+        }
+        h
+    }
 }
 
 /// Computes all cells pair by pair through the fused scale→quotient

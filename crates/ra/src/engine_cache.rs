@@ -1,60 +1,387 @@
-//! Incremental [`Phi1Engine`] rebuilds for online rescheduling.
+//! A size-bounded, LRU, bitwise-verified [`Phi1Engine`] cache.
 //!
 //! The event-driven scheduler rebuilds its Stage-I engine on every
-//! reactive remap, but most of the inputs rarely change: a crash removes
-//! one processor type, an arrival adds one app, a remnant remap rescales
-//! the *running* apps' execution PMFs while every pending app is
-//! untouched. [`EngineCache`] keeps the `(batch, platform)` an engine was
-//! built from alongside the engine itself, so the next rebuild can hand
-//! [`Phi1Engine::rebuild_with`] everything it needs to carry
-//! bit-identical cells over instead of recomputing them.
+//! reactive remap, and the serving layer builds one engine per distinct
+//! tenant workload. Most of those inputs repeat: a crash removes one
+//! processor type, a remnant remap rescales the *running* apps' PMFs, a
+//! tenant resubmits the same seeded workload spec. [`EngineCache`] keeps
+//! recently built engines alongside the `(batch, platform)` they were
+//! built from, keyed by a fingerprint of the exact cell-kernel input bits,
+//! so
+//!
+//! * an exact resubmission is a **hit** — the cached engine is returned
+//!   without touching a kernel (and, because builds are deterministic, it
+//!   is bit-identical to the engine a fresh build would produce);
+//! * a near miss (one app or type changed) goes through
+//!   [`Phi1Engine::rebuild_with`], carrying every bit-identical cell over
+//!   from the cached predecessor;
+//! * everything is **bounded**: the cache holds at most `capacity`
+//!   entries, evicting the least-recently-used engine deterministically
+//!   (pure function of the operation sequence — no clocks, no hashing
+//!   order).
+//!
+//! Hit/miss/rebuild counters and the pool scheduling totals of every
+//! build the cache performed are retained for the serving layer's `Stats`
+//! endpoint and the bench snapshots.
 
 use crate::engine::{Phi1Engine, RebuildMap};
 use crate::Result;
-use cdsf_system::{Batch, Platform};
+use cdsf_pmf::Pmf;
+use cdsf_system::pool::PoolTotals;
+use cdsf_system::{Batch, Platform, ProcTypeId};
+use std::collections::VecDeque;
 
-/// A [`Phi1Engine`] bundled with the inputs it was built from, supporting
-/// verified incremental rebuilds.
-///
-/// The cache owns clones of the batch and platform: `rebuild_with` needs
-/// the *previous* execution and availability PMFs to verify that a hinted
-/// cell is genuinely unchanged, and the engine itself does not retain
-/// them.
+/// Default entry bound: enough for a handful of tenants' working sets to
+/// stay resident per shard without letting engines (the heavyweight
+/// objects) accumulate without limit across remaps.
+pub const DEFAULT_CAPACITY: usize = 8;
+
+// ---------------------------------------------------------------------------
+// Input fingerprinting (FNV-1a over the exact cell-kernel input bits).
+// ---------------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The FNV-1a initial state.
+pub(crate) fn fnv1a_seed() -> u64 {
+    FNV_OFFSET
+}
+
+/// Folds one `u64` into an FNV-1a state byte by byte.
+pub(crate) fn fnv1a_u64(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Folds a PMF's exact pulse bits (length, values, probabilities) into an
+/// FNV-1a state.
+pub(crate) fn fnv1a_pmf(mut h: u64, pmf: &Pmf) -> u64 {
+    h = fnv1a_u64(h, pmf.pulses().len() as u64);
+    for p in pmf.pulses() {
+        h = fnv1a_u64(h, p.value.to_bits());
+        h = fnv1a_u64(h, p.prob.to_bits());
+    }
+    h
+}
+
+/// Fingerprint of everything the engine build kernel reads: per
+/// application the iteration split and the execution-time PMF bits per
+/// type, per processor type the count (which fixes the power-of-two
+/// option lattice) and the availability PMF bits. Application and type
+/// *names* are deliberately excluded — they do not influence a single
+/// cell bit, so renaming a workload must not cause a rebuild.
+pub fn inputs_key(batch: &Batch, platform: &Platform) -> u64 {
+    let mut h = fnv1a_seed();
+    h = fnv1a_u64(h, batch.len() as u64);
+    for (_, app) in batch.iter() {
+        h = fnv1a_u64(h, app.serial_iters());
+        h = fnv1a_u64(h, app.parallel_iters());
+        h = fnv1a_u64(h, app.num_proc_types() as u64);
+        for j in 0..app.num_proc_types() {
+            if let Ok(pmf) = app.exec_time(ProcTypeId(j)) {
+                h = fnv1a_pmf(h, pmf);
+            }
+        }
+    }
+    h = fnv1a_u64(h, platform.num_types() as u64);
+    for ty in platform.types() {
+        h = fnv1a_u64(h, ty.count() as u64);
+        h = fnv1a_pmf(h, ty.availability());
+    }
+    h
+}
+
+/// Bit-level equality of two PMFs (`to_bits`, so `-0.0 ≠ 0.0` — the same
+/// strictness `rebuild_with` verifies reuse with).
+fn pmf_bits_eq(a: &Pmf, b: &Pmf) -> bool {
+    a.pulses().len() == b.pulses().len()
+        && a.pulses().iter().zip(b.pulses()).all(|(x, y)| {
+            x.value.to_bits() == y.value.to_bits() && x.prob.to_bits() == y.prob.to_bits()
+        })
+}
+
+/// Structural bit-equality of the cell-kernel inputs — the collision
+/// guard behind [`inputs_key`]: a key match alone never serves an engine.
+fn inputs_eq(ba: &Batch, pa: &Platform, bb: &Batch, pb: &Platform) -> bool {
+    if ba.len() != bb.len() || pa.num_types() != pb.num_types() {
+        return false;
+    }
+    for ((_, x), (_, y)) in ba.iter().zip(bb.iter()) {
+        if x.serial_iters() != y.serial_iters()
+            || x.parallel_iters() != y.parallel_iters()
+            || x.num_proc_types() != y.num_proc_types()
+        {
+            return false;
+        }
+        for j in 0..x.num_proc_types() {
+            match (x.exec_time(ProcTypeId(j)), y.exec_time(ProcTypeId(j))) {
+                (Ok(px), Ok(py)) if pmf_bits_eq(px, py) => {}
+                (Err(_), Err(_)) => {}
+                _ => return false,
+            }
+        }
+    }
+    pa.types()
+        .iter()
+        .zip(pb.types())
+        .all(|(x, y)| x.count() == y.count() && pmf_bits_eq(x.availability(), y.availability()))
+}
+
+// ---------------------------------------------------------------------------
+// The cache.
+// ---------------------------------------------------------------------------
+
+/// One resident engine with the inputs it was built from. The cache owns
+/// clones of the batch and platform: `rebuild_with` needs the *previous*
+/// execution and availability PMFs to verify that a hinted cell is
+/// genuinely unchanged, and the engine itself does not retain them.
 #[derive(Debug, Clone)]
-pub struct EngineCache {
+struct CacheEntry {
+    key: u64,
     batch: Batch,
     platform: Platform,
     engine: Phi1Engine,
     reused_cells: usize,
 }
 
+/// What a cache operation produced: the engine plus how it was obtained.
+#[derive(Debug)]
+pub struct CacheOutcome<'a> {
+    /// The (front-of-cache) engine serving the request.
+    pub engine: &'a Phi1Engine,
+    /// The engine's input fingerprint, usable as `prev_key` for a later
+    /// [`EngineCache::rebuild_keyed`].
+    pub key: u64,
+    /// `true` when the engine was already resident (no kernel ran).
+    pub hit: bool,
+    /// Cells carried over bit-identically when this outcome came from an
+    /// incremental rebuild; `0` for hits and fresh builds.
+    pub reused_cells: usize,
+}
+
+/// A bounded LRU of [`Phi1Engine`]s with bitwise-verified reuse.
+///
+/// Entries are ordered most- to least-recently used; every operation that
+/// touches an entry promotes it to the front, and inserts evict from the
+/// back once `capacity` is reached. Eviction is a deterministic function
+/// of the operation sequence.
+#[derive(Debug, Clone)]
+pub struct EngineCache {
+    capacity: usize,
+    entries: VecDeque<CacheEntry>,
+    hits: u64,
+    misses: u64,
+    rebuilds: u64,
+    pool: PoolTotals,
+}
+
 impl EngineCache {
-    /// Builds a fresh engine for `(batch, platform)` and caches the inputs.
+    /// An empty cache holding at most `capacity` engines (clamped to
+    /// at least 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            entries: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+            rebuilds: 0,
+            pool: PoolTotals::default(),
+        }
+    }
+
+    /// Builds a fresh engine for `(batch, platform)` and caches it in a
+    /// cache of [`DEFAULT_CAPACITY`].
     pub fn build(batch: &Batch, platform: &Platform, threads: usize) -> Result<Self> {
-        Ok(Self {
+        let mut cache = Self::with_capacity(DEFAULT_CAPACITY);
+        cache.get_or_build(batch, platform, threads)?;
+        Ok(cache)
+    }
+
+    /// The most recently used engine.
+    ///
+    /// # Panics
+    /// On an empty cache (one created by [`with_capacity`](Self::with_capacity)
+    /// with no build performed yet).
+    pub fn engine(&self) -> &Phi1Engine {
+        &self
+            .entries
+            .front()
+            .expect("EngineCache::engine on an empty cache")
+            .engine
+    }
+
+    /// How many cells the most recent operation carried over via
+    /// incremental rebuild (0 after a fresh build or an exact hit).
+    pub fn reused_cells(&self) -> usize {
+        self.entries.front().map_or(0, |e| e.reused_cells)
+    }
+
+    /// Resident engines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no engine is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Exact-input lookups served without running a kernel.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that required a fresh engine build.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Operations served by an incremental [`Phi1Engine::rebuild_with`].
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Scheduling totals of every pool-backed build this cache performed.
+    pub fn pool_totals(&self) -> &PoolTotals {
+        &self.pool
+    }
+
+    /// Whether an engine with this input fingerprint is resident.
+    pub fn contains(&self, key: u64) -> bool {
+        self.entries.iter().any(|e| e.key == key)
+    }
+
+    /// The resident engine for `key`, promoted to the front; does not
+    /// touch the hit/miss counters (observability reads should not skew
+    /// the workload-facing rates).
+    pub fn peek(&mut self, key: u64) -> Option<&Phi1Engine> {
+        let pos = self.entries.iter().position(|e| e.key == key)?;
+        self.promote(pos);
+        Some(&self.entries[0].engine)
+    }
+
+    /// Returns the engine for `(batch, platform)`, building it (with
+    /// `threads` workers over the shared pool) only if no bit-identical
+    /// entry is resident. Hits are verified structurally, not just by
+    /// fingerprint, so a hit's engine is always bit-identical to the
+    /// engine a fresh build would produce.
+    pub fn get_or_build(
+        &mut self,
+        batch: &Batch,
+        platform: &Platform,
+        threads: usize,
+    ) -> Result<CacheOutcome<'_>> {
+        let key = inputs_key(batch, platform);
+        if let Some(pos) = self
+            .entries
+            .iter()
+            .position(|e| e.key == key && inputs_eq(&e.batch, &e.platform, batch, platform))
+        {
+            self.hits += 1;
+            self.promote(pos);
+            let entry = &mut self.entries[0];
+            entry.reused_cells = 0;
+            return Ok(CacheOutcome {
+                engine: &entry.engine,
+                key,
+                hit: true,
+                reused_cells: 0,
+            });
+        }
+        self.misses += 1;
+        let (engine, stats) = Phi1Engine::build_parallel_instrumented(
+            batch,
+            platform,
+            threads,
+            crate::engine::PARALLEL_BUILD_MIN_WORK,
+        )?;
+        self.pool.absorb(&stats);
+        self.insert(CacheEntry {
+            key,
             batch: batch.clone(),
             platform: platform.clone(),
-            engine: Phi1Engine::build_parallel(batch, platform, threads)?,
+            engine,
+            reused_cells: 0,
+        });
+        Ok(CacheOutcome {
+            engine: &self.entries[0].engine,
+            key,
+            hit: false,
             reused_cells: 0,
         })
     }
 
-    /// The current engine.
-    pub fn engine(&self) -> &Phi1Engine {
-        &self.engine
-    }
-
-    /// How many cells the most recent [`rebuild_with`](Self::rebuild_with)
-    /// carried over unchanged (0 after [`build`](Self::build)).
-    pub fn reused_cells(&self) -> usize {
-        self.reused_cells
-    }
-
-    /// Rebuilds the cached engine for a new `(batch, platform)`, reusing
-    /// every cell whose inputs `map` proves (bit-identically) unchanged,
-    /// then re-homes the cache on the new inputs. Returns the rebuilt
-    /// engine; the result is bit-identical to a fresh
+    /// Rebuilds toward `(batch, platform)` from the resident entry with
+    /// fingerprint `prev_key`, reusing every cell whose inputs `map`
+    /// proves (bit-identically) unchanged. Falls back in order:
+    ///
+    /// 1. the *target* inputs are already resident → exact hit, no kernel;
+    /// 2. `prev_key` is resident → incremental [`Phi1Engine::rebuild_with`];
+    /// 3. otherwise → fresh build (counted as a miss).
+    ///
+    /// Every path yields an engine bit-identical to
     /// `Phi1Engine::build_parallel(batch, platform, threads)`.
+    pub fn rebuild_keyed(
+        &mut self,
+        prev_key: u64,
+        batch: &Batch,
+        platform: &Platform,
+        map: RebuildMap<'_>,
+        threads: usize,
+    ) -> Result<CacheOutcome<'_>> {
+        let key = inputs_key(batch, platform);
+        if let Some(pos) = self
+            .entries
+            .iter()
+            .position(|e| e.key == key && inputs_eq(&e.batch, &e.platform, batch, platform))
+        {
+            self.hits += 1;
+            self.promote(pos);
+            let entry = &mut self.entries[0];
+            entry.reused_cells = 0;
+            return Ok(CacheOutcome {
+                engine: &entry.engine,
+                key,
+                hit: true,
+                reused_cells: 0,
+            });
+        }
+        let Some(pos) = self.entries.iter().position(|e| e.key == prev_key) else {
+            return self.get_or_build(batch, platform, threads);
+        };
+        let prev = &self.entries[pos];
+        let (engine, reused) =
+            prev.engine
+                .rebuild_with(&prev.batch, &prev.platform, batch, platform, map, threads)?;
+        self.rebuilds += 1;
+        self.insert(CacheEntry {
+            key,
+            batch: batch.clone(),
+            platform: platform.clone(),
+            engine,
+            reused_cells: reused,
+        });
+        Ok(CacheOutcome {
+            engine: &self.entries[0].engine,
+            key,
+            hit: false,
+            reused_cells: reused,
+        })
+    }
+
+    /// Rebuilds from the most recently used entry — the pre-LRU API the
+    /// online event engine drives its reactive remaps through. Equivalent
+    /// to [`rebuild_keyed`](Self::rebuild_keyed) with the front entry's
+    /// key (or a fresh build on an empty cache).
     pub fn rebuild_with(
         &mut self,
         batch: &Batch,
@@ -62,13 +389,26 @@ impl EngineCache {
         map: RebuildMap<'_>,
         threads: usize,
     ) -> Result<&Phi1Engine> {
-        let (engine, reused) =
-            self.engine
-                .rebuild_with(&self.batch, &self.platform, batch, platform, map, threads)?;
-        self.batch = batch.clone();
-        self.platform = platform.clone();
-        self.engine = engine;
-        self.reused_cells = reused;
-        Ok(&self.engine)
+        match self.entries.front().map(|e| e.key) {
+            Some(prev_key) => Ok(self
+                .rebuild_keyed(prev_key, batch, platform, map, threads)?
+                .engine),
+            None => Ok(self.get_or_build(batch, platform, threads)?.engine),
+        }
+    }
+
+    /// Moves `entries[pos]` to the front (most recently used).
+    fn promote(&mut self, pos: usize) {
+        if pos > 0 {
+            let entry = self.entries.remove(pos).expect("position checked");
+            self.entries.push_front(entry);
+        }
+    }
+
+    /// Pushes a new most-recently-used entry, evicting the back once over
+    /// capacity.
+    fn insert(&mut self, entry: CacheEntry) {
+        self.entries.push_front(entry);
+        self.entries.truncate(self.capacity);
     }
 }

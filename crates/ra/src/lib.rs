@@ -46,7 +46,7 @@ pub mod surface;
 pub use allocation::{Allocation, Assignment};
 pub use allocators::Allocator;
 pub use engine::{Phi1Engine, RebuildMap};
-pub use engine_cache::EngineCache;
+pub use engine_cache::{inputs_key, CacheOutcome, EngineCache};
 pub use error::RaError;
 pub use phi1::{DeltaFitness, OptionProbs};
 

@@ -1,0 +1,128 @@
+//! `loadgen` — replay a seeded synthetic tenant stream against the
+//! scheduling service and write a benchmark report.
+//!
+//! ```text
+//! loadgen [--requests N] [--tenants N] [--connections N] [--shards N]
+//!         [--seed N] [--skew F] [--fault-rate F] [--threads N]
+//!         [--addr HOST:PORT] [--shutdown] [--out PATH]
+//! ```
+//!
+//! Without `--addr` an in-process server is started on an ephemeral port
+//! and shut down cleanly after the run. With `--addr`, `--shutdown`
+//! additionally sends a `Shutdown` request after the replay so a scripted
+//! server process (e.g. a CI smoke test around `cdsf serve`) exits
+//! cleanly. The report (see [`cdsf_serve::LoadgenReport`]) is written as
+//! JSON to `--out` (default `BENCH_serve.json`).
+
+use cdsf_serve::loadgen::{run, run_local, LoadgenConfig};
+use cdsf_serve::{Client, Request, ServeConfig, ShardStats};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--requests N] [--tenants N] [--connections N] [--shards N]\n\
+         \u{20}              [--seed N] [--skew F] [--fault-rate F] [--threads N]\n\
+         \u{20}              [--addr HOST:PORT] [--shutdown] [--out PATH]"
+    );
+    std::process::exit(2)
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(value) = value else {
+        eprintln!("loadgen: {flag} needs a value");
+        usage()
+    };
+    match value.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("loadgen: bad value `{value}` for {flag}");
+            usage()
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut cfg = LoadgenConfig::default();
+    let mut serve_cfg = ServeConfig::default();
+    let mut addr: Option<String> = None;
+    let mut shutdown = false;
+    let mut out = "BENCH_serve.json".to_string();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--requests" => cfg.requests = parse(&arg, args.next()),
+            "--tenants" => cfg.tenants = parse(&arg, args.next()),
+            "--connections" => cfg.connections = parse(&arg, args.next()),
+            "--shards" => serve_cfg.shards = parse(&arg, args.next()),
+            "--seed" => cfg.seed = parse(&arg, args.next()),
+            "--skew" => cfg.skew = parse(&arg, args.next()),
+            "--fault-rate" => cfg.fault_rate = parse(&arg, args.next()),
+            "--threads" => serve_cfg.build_threads = parse(&arg, args.next()),
+            "--addr" => addr = Some(parse(&arg, args.next())),
+            "--shutdown" => shutdown = true,
+            "--out" => out = parse(&arg, args.next()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("loadgen: unknown flag `{other}`");
+                usage()
+            }
+        }
+    }
+
+    let result = match &addr {
+        Some(addr) => {
+            let report = run(&cfg, addr.clone());
+            if shutdown {
+                if let Ok(mut client) = Client::connect(addr.as_str()) {
+                    let _ = client.request(&Request::Shutdown);
+                }
+            }
+            report
+        }
+        None => run_local(&cfg, serve_cfg),
+    };
+    let report = match result {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("loadgen: serializing report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("loadgen: writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let t = &report.stats.total;
+    println!(
+        "loadgen: {} requests over {} tenants / {} shards in {:.2}s ({:.0} req/s)",
+        report.requests, report.tenants, report.shards, report.elapsed_s, report.throughput_rps
+    );
+    println!(
+        "  latency p50 {} us | p99 {} us | max {} us",
+        report.latency_p50_us, report.latency_p99_us, report.latency_max_us
+    );
+    println!(
+        "  cache hit rate {:.3} | coalescing {:.3} | builds {} | rebuilds {} | errors {}",
+        report.cache_hit_rate, report.coalescing_factor, t.builds, t.cache_rebuilds, report.errors
+    );
+    print_pool(t);
+    println!("  report -> {out}");
+    ExitCode::SUCCESS
+}
+
+fn print_pool(t: &ShardStats) {
+    println!(
+        "  pool: {} runs, {} tasks, {} chunks stolen",
+        t.pool_runs, t.pool_tasks_run, t.pool_chunks_stolen
+    );
+}

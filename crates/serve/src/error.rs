@@ -1,0 +1,70 @@
+//! The service's error type and the conversions that feed it.
+
+use std::fmt;
+use std::io;
+
+/// Convenient alias used throughout the serve crate.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// Errors produced by the scheduling service.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// Socket or channel plumbing failed.
+    Io(io::Error),
+    /// A request was malformed or out of the admitted domain; the message
+    /// is sent back to the client verbatim.
+    Protocol(String),
+    /// A framework layer rejected the work (allocation, engine build,
+    /// event remap).
+    Framework(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::Framework(msg) => write!(f, "scheduling error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<cdsf_ra::RaError> for ServeError {
+    fn from(e: cdsf_ra::RaError) -> Self {
+        ServeError::Framework(e.to_string())
+    }
+}
+
+impl From<cdsf_system::SystemError> for ServeError {
+    fn from(e: cdsf_system::SystemError) -> Self {
+        ServeError::Framework(e.to_string())
+    }
+}
+
+impl From<cdsf_events::EventsError> for ServeError {
+    fn from(e: cdsf_events::EventsError) -> Self {
+        ServeError::Framework(e.to_string())
+    }
+}
+
+impl From<cdsf_core::CoreError> for ServeError {
+    fn from(e: cdsf_core::CoreError) -> Self {
+        ServeError::Framework(e.to_string())
+    }
+}

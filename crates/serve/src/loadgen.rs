@@ -1,0 +1,427 @@
+//! Replayable load generation against a running service.
+//!
+//! The stream is a pure function of [`LoadgenConfig`]: tenants are drawn
+//! from a Zipf-like skew, each tenant cycles a small pool of workload
+//! specs (so the engine cache sees realistic re-submission), and faults
+//! arrive as Degrade/Drift injections at a configurable rate. Replaying
+//! the same config therefore issues byte-identical request lines — only
+//! the measured latencies differ between runs.
+//!
+//! Per-tenant ordering is preserved by pinning every tenant to one
+//! client connection (`tenant index mod connections`), mirroring how the
+//! server pins tenants to shards; an `Inject` can never overtake the
+//! `Submit` that must precede it.
+
+use crate::error::{Result, ServeError};
+use crate::protocol::{Request, Response, StatsReply, SubmitRequest};
+use crate::server::{Client, Server};
+use crate::shard::ServeConfig;
+use crate::tenant::{TenantEvent, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::net::ToSocketAddrs;
+use std::time::Instant;
+
+/// A seeded synthetic tenant stream.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Distinct tenants (the ISSUE floor for a benchmark run is 4).
+    pub tenants: usize,
+    /// Total requests to replay (the benchmark floor is 10 000).
+    pub requests: usize,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Stream seed — same seed, same request bytes.
+    pub seed: u64,
+    /// Zipf exponent for tenant popularity (0 = uniform).
+    pub skew: f64,
+    /// Fraction of requests that inject a fault/drift event.
+    pub fault_rate: f64,
+    /// Fraction of requests that snapshot a tenant.
+    pub snapshot_rate: f64,
+    /// Workload specs each tenant cycles through (re-submission → cache
+    /// hits; distinct specs → builds).
+    pub specs_per_tenant: usize,
+    /// Globally shared specs (popular "template" workloads).
+    pub shared_specs: usize,
+    /// Fraction of submissions drawing from the shared pool — the source
+    /// of cross-tenant cache hits and same-batch coalescing.
+    pub shared_rate: f64,
+    /// Common deadline Δ for every submission.
+    pub deadline: f64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            tenants: 6,
+            requests: 10_000,
+            connections: 4,
+            seed: 42,
+            skew: 1.0,
+            fault_rate: 0.05,
+            snapshot_rate: 0.01,
+            specs_per_tenant: 3,
+            shared_specs: 2,
+            shared_rate: 0.3,
+            deadline: 2_800.0,
+        }
+    }
+}
+
+impl LoadgenConfig {
+    fn validated(mut self) -> Result<Self> {
+        self.tenants = self.tenants.max(1);
+        self.connections = self.connections.clamp(1, self.tenants);
+        self.specs_per_tenant = self.specs_per_tenant.max(1);
+        if self.requests == 0 {
+            return Err(ServeError::Protocol("requests must be positive".into()));
+        }
+        for (name, v, lo, hi) in [
+            ("skew", self.skew, 0.0, 8.0),
+            ("fault_rate", self.fault_rate, 0.0, 1.0),
+            ("snapshot_rate", self.snapshot_rate, 0.0, 1.0),
+            ("shared_rate", self.shared_rate, 0.0, 1.0),
+        ] {
+            if !(lo..=hi).contains(&v) {
+                return Err(ServeError::Protocol(format!(
+                    "{name} {v} out of [{lo}, {hi}]"
+                )));
+            }
+        }
+        if !(self.deadline > 0.0) || !self.deadline.is_finite() {
+            return Err(ServeError::Protocol(
+                "deadline must be finite and positive".into(),
+            ));
+        }
+        Ok(self)
+    }
+
+    fn tenant_name(i: usize) -> String {
+        format!("tenant-{i:03}")
+    }
+
+    /// The full deterministic request stream, in issue order.
+    pub fn stream(&self) -> Result<Vec<Request>> {
+        let cfg = self.clone().validated()?;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // Per-tenant spec pools. Sizes stay small enough that a single
+        // engine build is milliseconds, large enough to exercise the
+        // pool-backed parallel kernels.
+        let mut pools: Vec<Vec<WorkloadSpec>> = Vec::with_capacity(cfg.tenants);
+        for t in 0..cfg.tenants {
+            let mut pool = Vec::with_capacity(cfg.specs_per_tenant);
+            for s in 0..cfg.specs_per_tenant {
+                pool.push(WorkloadSpec {
+                    apps: rng.gen_range(3..=6),
+                    types: rng.gen_range(2..=3),
+                    pulses: rng.gen_range(5..=8),
+                    seed: cfg
+                        .seed
+                        .wrapping_mul(1_000_003)
+                        .wrapping_add((t * cfg.specs_per_tenant + s) as u64),
+                });
+            }
+            pools.push(pool);
+        }
+        // Popular "template" workloads many tenants submit verbatim.
+        let shared: Vec<WorkloadSpec> = (0..cfg.shared_specs.max(1))
+            .map(|s| WorkloadSpec {
+                apps: rng.gen_range(3..=6),
+                types: rng.gen_range(2..=3),
+                pulses: rng.gen_range(5..=8),
+                seed: cfg.seed.wrapping_mul(7_368_787).wrapping_add(s as u64),
+            })
+            .collect();
+
+        // Zipf-like tenant popularity: weight 1/(rank+1)^skew.
+        let weights: Vec<f64> = (0..cfg.tenants)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(cfg.skew))
+            .collect();
+        let total_weight: f64 = weights.iter().sum();
+
+        let mut submitted = vec![false; cfg.tenants];
+        let mut types_now = vec![0usize; cfg.tenants];
+        let mut stream = Vec::with_capacity(cfg.requests);
+        for n in 0..cfg.requests {
+            // Warm-up: the first pass touches every tenant once so
+            // injections always have a submission to land on.
+            let t = if n < cfg.tenants {
+                n
+            } else {
+                let mut x = rng.gen::<f64>() * total_weight;
+                let mut pick = cfg.tenants - 1;
+                for (i, w) in weights.iter().enumerate() {
+                    if x < *w {
+                        pick = i;
+                        break;
+                    }
+                    x -= w;
+                }
+                pick
+            };
+            let roll: f64 = rng.gen();
+            let req = if submitted[t] && roll < cfg.fault_rate {
+                let event = if rng.gen_bool(0.6) {
+                    TenantEvent::Degrade {
+                        proc_type: rng.gen_range(0..types_now[t]),
+                        factor: rng.gen_range(0.5..0.95),
+                    }
+                } else {
+                    TenantEvent::Drift {
+                        factor: rng.gen_range(0.7..1.3),
+                    }
+                };
+                Request::Inject(crate::protocol::InjectRequest {
+                    tenant: Self::tenant_name(t),
+                    event,
+                })
+            } else if submitted[t] && roll < cfg.fault_rate + cfg.snapshot_rate {
+                Request::Snapshot {
+                    tenant: Self::tenant_name(t),
+                }
+            } else {
+                let spec = if rng.gen_bool(cfg.shared_rate) {
+                    shared[rng.gen_range(0..shared.len())]
+                } else {
+                    pools[t][rng.gen_range(0..cfg.specs_per_tenant)]
+                };
+                submitted[t] = true;
+                types_now[t] = spec.types;
+                Request::Submit(SubmitRequest {
+                    tenant: Self::tenant_name(t),
+                    spec,
+                    deadline: cfg.deadline,
+                    allocator: None,
+                    threshold: None,
+                })
+            };
+            stream.push(req);
+        }
+        Ok(stream)
+    }
+}
+
+/// What a replay measured. Serialized verbatim into `BENCH_serve.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadgenReport {
+    /// Report schema version (bump on breaking shape changes).
+    pub schema_version: u32,
+    /// Requests replayed.
+    pub requests: u64,
+    /// Distinct tenants in the stream.
+    pub tenants: u64,
+    /// Client connections used.
+    pub connections: u64,
+    /// Worker shards serving the run.
+    pub shards: u64,
+    /// Stream seed.
+    pub seed: u64,
+    /// Zipf exponent used.
+    pub skew: f64,
+    /// Fault-injection rate used.
+    pub fault_rate: f64,
+    /// Wall-clock seconds for the whole replay.
+    pub elapsed_s: f64,
+    /// Requests per second over the replay.
+    pub throughput_rps: f64,
+    /// Median request latency, microseconds.
+    pub latency_p50_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub latency_p99_us: u64,
+    /// Mean request latency, microseconds.
+    pub latency_mean_us: u64,
+    /// Worst request latency, microseconds.
+    pub latency_max_us: u64,
+    /// Requests answered without error.
+    pub ok: u64,
+    /// Requests answered with `Response::Error`.
+    pub errors: u64,
+    /// Exact-input cache hit rate across shards.
+    pub cache_hit_rate: f64,
+    /// Requests served per engine build across shards.
+    pub coalescing_factor: f64,
+    /// The server's final counters.
+    pub stats: StatsReply,
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((p / 100.0) * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+/// Replays the stream against an already-running server. The server is
+/// left running (stats are read, nothing is shut down).
+pub fn run<A: ToSocketAddrs + Clone + Send + 'static>(
+    cfg: &LoadgenConfig,
+    addr: A,
+) -> Result<LoadgenReport> {
+    let cfg = cfg.clone().validated()?;
+    let stream = cfg.stream()?;
+
+    // Pin tenants to connections so per-tenant order survives concurrency.
+    let mut per_conn: Vec<Vec<Request>> = vec![Vec::new(); cfg.connections];
+    for req in stream {
+        let t: usize = req
+            .tenant()
+            .and_then(|name| name.rsplit('-').next())
+            .and_then(|d| d.parse().ok())
+            .unwrap_or(0);
+        per_conn[t % cfg.connections].push(req);
+    }
+
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(cfg.connections);
+    for reqs in per_conn {
+        let addr = addr.clone();
+        handles.push(std::thread::spawn(
+            move || -> std::io::Result<(Vec<u64>, u64, u64)> {
+                let mut client = Client::connect(addr)?;
+                let mut lat_us = Vec::with_capacity(reqs.len());
+                let (mut ok, mut errors) = (0u64, 0u64);
+                for req in &reqs {
+                    let t0 = Instant::now();
+                    let resp = client.request(req)?;
+                    lat_us.push(t0.elapsed().as_micros() as u64);
+                    match resp {
+                        Response::Error { .. } => errors += 1,
+                        _ => ok += 1,
+                    }
+                }
+                Ok((lat_us, ok, errors))
+            },
+        ));
+    }
+    let mut lat_us = Vec::new();
+    let (mut ok, mut errors) = (0u64, 0u64);
+    for handle in handles {
+        let (l, o, e) = handle
+            .join()
+            .map_err(|_| ServeError::Protocol("a replay connection panicked".into()))??;
+        lat_us.extend(l);
+        ok += o;
+        errors += e;
+    }
+    let elapsed_s = started.elapsed().as_secs_f64();
+    lat_us.sort_unstable();
+
+    let mut client = Client::connect(addr)?;
+    let stats = match client.request(&Request::Stats)? {
+        Response::Stats(s) => s,
+        other => {
+            return Err(ServeError::Protocol(format!(
+                "stats request answered with {other:?}"
+            )))
+        }
+    };
+
+    let mean = if lat_us.is_empty() {
+        0
+    } else {
+        lat_us.iter().sum::<u64>() / lat_us.len() as u64
+    };
+    Ok(LoadgenReport {
+        schema_version: 1,
+        requests: lat_us.len() as u64,
+        tenants: cfg.tenants as u64,
+        connections: cfg.connections as u64,
+        shards: stats.shards,
+        seed: cfg.seed,
+        skew: cfg.skew,
+        fault_rate: cfg.fault_rate,
+        elapsed_s,
+        throughput_rps: if elapsed_s > 0.0 {
+            lat_us.len() as f64 / elapsed_s
+        } else {
+            0.0
+        },
+        latency_p50_us: percentile(&lat_us, 50.0),
+        latency_p99_us: percentile(&lat_us, 99.0),
+        latency_mean_us: mean,
+        latency_max_us: lat_us.last().copied().unwrap_or(0),
+        ok,
+        errors,
+        cache_hit_rate: stats.total.cache_hit_rate(),
+        coalescing_factor: stats.total.coalescing_factor(),
+        stats,
+    })
+}
+
+/// Spins up an in-process server on an ephemeral port, replays the
+/// stream, shuts the server down cleanly, and reports.
+pub fn run_local(cfg: &LoadgenConfig, serve_cfg: ServeConfig) -> Result<LoadgenReport> {
+    let server = Server::bind("127.0.0.1:0", serve_cfg)?;
+    let addr = server.addr();
+    let result = run(cfg, addr);
+    let mut client = Client::connect(addr)?;
+    let _ = client.request(&Request::Shutdown)?;
+    server.wait();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_and_well_formed() {
+        let cfg = LoadgenConfig {
+            requests: 200,
+            tenants: 4,
+            ..LoadgenConfig::default()
+        };
+        let a = cfg.stream().unwrap();
+        let b = cfg.stream().unwrap();
+        assert_eq!(a.len(), 200);
+        let (ja, jb) = (
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+        );
+        assert_eq!(ja, jb, "same config, same bytes");
+        // The warm-up pass covers every tenant before any injection.
+        let mut seen = std::collections::HashSet::new();
+        for req in a.iter().take(4) {
+            assert!(matches!(req, Request::Submit(_)));
+            seen.insert(req.tenant().unwrap().to_string());
+        }
+        assert_eq!(seen.len(), 4);
+        assert!(
+            a.iter().any(|r| matches!(r, Request::Inject(_))),
+            "stream exercises injections"
+        );
+    }
+
+    #[test]
+    fn percentiles_pick_from_sorted_tail() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 51);
+        assert_eq!(percentile(&v, 99.0), 99);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn small_replay_end_to_end() {
+        let cfg = LoadgenConfig {
+            requests: 120,
+            tenants: 4,
+            connections: 2,
+            ..LoadgenConfig::default()
+        };
+        let serve_cfg = ServeConfig {
+            shards: 2,
+            build_threads: 2,
+            ..ServeConfig::default()
+        };
+        let report = run_local(&cfg, serve_cfg).unwrap();
+        assert_eq!(report.requests, 120);
+        assert_eq!(report.errors, 0, "clean stream replays without errors");
+        assert_eq!(report.shards, 2);
+        assert!(report.cache_hit_rate > 0.0, "spec pools re-hit the cache");
+        assert!(report.stats.total.submits > 0);
+    }
+}

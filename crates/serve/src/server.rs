@@ -1,0 +1,265 @@
+//! The TCP front end: accept loop, per-connection threads, shard router.
+//!
+//! Plain `std::net` — one listener thread accepting connections, one
+//! thread per connection reading JSON lines, N shard threads doing the
+//! scheduling work. A connection thread never computes anything: it
+//! parses a request, routes it to the owning shard's queue, blocks on a
+//! reply channel, and writes the reply line. Per-connection ordering is
+//! therefore request order, and per-tenant ordering is total (one shard
+//! owns a tenant).
+//!
+//! Shutdown: `Shutdown` flips an atomic flag and pokes the listener with
+//! a throwaway self-connection so `accept` returns; the accept loop then
+//! exits, shard queues get `Stop`, and [`Server::wait`] joins everything
+//! and returns the final service-wide stats.
+
+use crate::protocol::{read_line, write_line, Request, Response, ShardStats, StatsReply};
+use crate::shard::{run_shard, shard_of, ServeConfig, ShardCore, ShardMsg};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Routes requests to shard queues. Cheap to clone — one per connection
+/// thread, plus one kept by the [`Server`] for its own shutdown path.
+#[derive(Clone)]
+pub struct Router {
+    shards: Vec<mpsc::Sender<ShardMsg>>,
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl Router {
+    /// Serves one request to completion, whichever shard owns it.
+    pub fn route(&self, req: Request) -> Response {
+        match req.tenant() {
+            Some(tenant) => {
+                let shard = shard_of(tenant, self.shards.len());
+                let (tx, rx) = mpsc::channel();
+                if self.shards[shard].send(ShardMsg::Req(req, tx)).is_err() {
+                    return Response::Error {
+                        message: "shard is down".to_string(),
+                    };
+                }
+                rx.recv().unwrap_or(Response::Error {
+                    message: "shard dropped the request".to_string(),
+                })
+            }
+            None => match req {
+                Request::Stats => Response::Stats(self.gather_stats()),
+                Request::Shutdown => {
+                    self.begin_shutdown();
+                    Response::Bye
+                }
+                _ => Response::Error {
+                    message: "unroutable request".to_string(),
+                },
+            },
+        }
+    }
+
+    /// Collects and aggregates every shard's counters.
+    pub fn gather_stats(&self) -> StatsReply {
+        let mut per_shard = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let (tx, rx) = mpsc::channel();
+            if shard.send(ShardMsg::Stats(tx)).is_ok() {
+                if let Ok(stats) = rx.recv() {
+                    per_shard.push(stats);
+                }
+            }
+        }
+        let mut total = ShardStats {
+            shard: u64::MAX,
+            ..ShardStats::default()
+        };
+        for s in &per_shard {
+            total.merge(s);
+        }
+        StatsReply {
+            shards: self.shards.len() as u64,
+            per_shard,
+            total,
+        }
+    }
+
+    /// Flips the shutdown flag and unblocks the accept loop.
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            // The accept loop is blocked in `accept`; a throwaway
+            // connection makes it return and observe the flag.
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// A running scheduling service.
+pub struct Server {
+    addr: SocketAddr,
+    router: Router,
+    accept_handle: Option<JoinHandle<()>>,
+    shard_handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use `"127.0.0.1:0"` for an ephemeral port), spawns
+    /// the shard and accept threads, and starts serving immediately.
+    pub fn bind<A: ToSocketAddrs>(addr: A, cfg: ServeConfig) -> io::Result<Server> {
+        let cfg = cfg.normalized();
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+
+        let mut senders = Vec::with_capacity(cfg.shards);
+        let mut shard_handles = Vec::with_capacity(cfg.shards);
+        for id in 0..cfg.shards {
+            let (tx, rx) = mpsc::channel::<ShardMsg>();
+            senders.push(tx);
+            let cfg = cfg.clone();
+            shard_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("cdsf-shard-{id}"))
+                    .spawn(move || {
+                        let mut core = ShardCore::new(id, cfg);
+                        run_shard(&mut core, &rx);
+                    })?,
+            );
+        }
+
+        let router = Router {
+            shards: senders,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            addr,
+        };
+
+        let accept_router = router.clone();
+        let conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_handle = std::thread::Builder::new()
+            .name("cdsf-accept".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_router.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let router = accept_router.clone();
+                    if let Ok(handle) = std::thread::Builder::new()
+                        .name("cdsf-conn".to_string())
+                        .spawn(move || serve_connection(stream, &router))
+                    {
+                        let mut handles = conn_handles.lock().expect("connection registry");
+                        handles.push(handle);
+                        // Reap finished connections so a long-lived server
+                        // does not accumulate dead handles.
+                        let (done, live): (Vec<_>, Vec<_>) =
+                            handles.drain(..).partition(|h| h.is_finished());
+                        for h in done {
+                            let _ = h.join();
+                        }
+                        *handles = live;
+                    }
+                }
+                // Drain the remaining connection threads before exiting so
+                // `wait` observes a fully quiescent service.
+                let handles = std::mem::take(&mut *conn_handles.lock().expect("registry"));
+                for h in handles {
+                    let _ = h.join();
+                }
+            })?;
+
+        Ok(Server {
+            addr,
+            router,
+            accept_handle: Some(accept_handle),
+            shard_handles,
+        })
+    }
+
+    /// The bound address (the actual port when bound ephemerally).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A router handle for driving the server in-process (no socket).
+    pub fn router(&self) -> Router {
+        self.router.clone()
+    }
+
+    /// Requests shutdown as if a client had sent [`Request::Shutdown`].
+    pub fn shutdown(&self) {
+        self.router.begin_shutdown();
+    }
+
+    /// Blocks until the accept loop exits (a client sent `Shutdown`, or
+    /// [`Server::shutdown`] ran), then stops the shards and returns the
+    /// final service-wide stats.
+    pub fn wait(mut self) -> StatsReply {
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        let stats = self.router.gather_stats();
+        for shard in &self.router.shards {
+            let _ = shard.send(ShardMsg::Stop);
+        }
+        for h in self.shard_handles.drain(..) {
+            let _ = h.join();
+        }
+        stats
+    }
+}
+
+/// One connection: read a line, route, write the reply, repeat until EOF
+/// or `Shutdown`'s `Bye`.
+fn serve_connection(stream: TcpStream, router: &Router) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    while let Ok(Some(parsed)) = read_line::<Request, _>(&mut reader) {
+        let response = match parsed {
+            Ok(req) => router.route(req),
+            Err(e) => Response::Error {
+                message: format!("bad request line: {e}"),
+            },
+        };
+        let last = matches!(response, Response::Bye);
+        if write_line(&mut writer, &response).is_err() || last {
+            break;
+        }
+    }
+}
+
+/// A blocking client speaking the line protocol over one connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let read_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and blocks for its reply.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        write_line(&mut self.writer, req)?;
+        match read_line::<Response, _>(&mut self.reader)? {
+            Some(Ok(resp)) => Ok(resp),
+            Some(Err(e)) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unparseable response: {e}"),
+            )),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+        }
+    }
+}

@@ -1,0 +1,652 @@
+//! Worker shards: single-threaded scheduling cores behind mpsc queues.
+//!
+//! Each shard owns its tenants and a bounded LRU [`EngineCache`]
+//! outright — no locks, no shared state — so every operation on a shard
+//! is a deterministic function of its request sequence. Tenants hash to
+//! shards by FNV-1a of the tenant name, which keeps a tenant's requests
+//! totally ordered without any cross-shard coordination.
+//!
+//! **Admission coalescing.** A shard drains its queue into an admission
+//! batch (up to [`ServeConfig::drain_limit`] requests) and serves the
+//! batch in arrival order against the shared cache. When several queued
+//! requests need the same engine — same workload spec bits — the first
+//! runs `build_parallel` once and the rest are served from the entry it
+//! inserted; they are accounted as `coalesced`. Because the cache only
+//! ever returns engines bit-identical to a fresh build (exact-input
+//! verification, deterministic kernels), a coalesced request's reply is
+//! bit-identical to the reply it would have received had it run its own
+//! build serially — concurrency changes latency, never bytes.
+
+use crate::error::{Result, ServeError};
+use crate::protocol::{
+    FingerprintReply, InjectReply, Request, Response, RestoreReply, RobustVerdict, ShardStats,
+    SubmitReply, SubmitRequest, WireAssignment,
+};
+use crate::tenant::{TenantSnapshot, TenantState};
+use cdsf_core::ImPolicy;
+use cdsf_ra::robustness::evaluate_with_engine;
+use cdsf_ra::{Allocation, EngineCache, Phi1Engine, RebuildMap};
+use cdsf_system::{Batch, Platform};
+use std::collections::{BTreeMap, HashSet};
+use std::sync::mpsc;
+
+/// Service configuration, shared by every shard.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker shards (tenants hash across them).
+    pub shards: usize,
+    /// Engines resident per shard ([`EngineCache`] bound).
+    pub cache_capacity: usize,
+    /// Worker threads per engine build (the work-stealing pool width).
+    pub build_threads: usize,
+    /// Allocator when a `Submit` names none.
+    pub default_allocator: String,
+    /// φ₁ threshold when a `Submit` names none.
+    pub phi1_threshold: f64,
+    /// Most requests one admission batch may drain from the queue.
+    pub drain_limit: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            shards: 2,
+            cache_capacity: 8,
+            build_threads: cdsf_core::default_threads(),
+            default_allocator: "sufferage".to_string(),
+            phi1_threshold: 0.8,
+            drain_limit: 128,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Clamps the knobs into their sane domains.
+    pub fn normalized(mut self) -> Self {
+        self.shards = self.shards.max(1);
+        self.cache_capacity = self.cache_capacity.max(1);
+        self.build_threads = self.build_threads.max(1);
+        self.drain_limit = self.drain_limit.max(1);
+        self
+    }
+}
+
+/// FNV-1a of a tenant name — the shard routing hash. Stable across runs
+/// and platforms so a tenant always lands on the same shard.
+pub fn shard_of(tenant: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in tenant.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards.max(1) as u64) as usize
+}
+
+/// A message on a shard's queue.
+pub enum ShardMsg {
+    /// Serve one request; reply on the provided channel.
+    Req(Request, mpsc::Sender<Response>),
+    /// Report the shard's counters.
+    Stats(mpsc::Sender<ShardStats>),
+    /// Exit the shard loop.
+    Stop,
+}
+
+/// One shard's entire state. Public so tests (and the loadgen's in-process
+/// mode) can drive a shard without sockets.
+pub struct ShardCore {
+    id: usize,
+    cfg: ServeConfig,
+    cache: EngineCache,
+    tenants: BTreeMap<String, TenantState>,
+    submits: u64,
+    injects: u64,
+    snapshots: u64,
+    restores: u64,
+    errors: u64,
+    alloc_fallbacks: u64,
+    coalesced: u64,
+    builds: u64,
+}
+
+impl ShardCore {
+    /// A fresh shard with an empty cache and no tenants.
+    pub fn new(id: usize, cfg: ServeConfig) -> Self {
+        let cfg = cfg.normalized();
+        Self {
+            id,
+            cache: EngineCache::with_capacity(cfg.cache_capacity),
+            cfg,
+            tenants: BTreeMap::new(),
+            submits: 0,
+            injects: 0,
+            snapshots: 0,
+            restores: 0,
+            errors: 0,
+            alloc_fallbacks: 0,
+            coalesced: 0,
+            builds: 0,
+        }
+    }
+
+    /// Serves one request (an admission batch of one).
+    pub fn handle(&mut self, req: &Request) -> Response {
+        self.process_batch(std::slice::from_ref(req))
+            .pop()
+            .expect("one reply per request")
+    }
+
+    /// Serves an admission batch in arrival order, coalescing same-spec
+    /// engine builds within the batch. Replies line up index-for-index
+    /// with `reqs`.
+    pub fn process_batch(&mut self, reqs: &[Request]) -> Vec<Response> {
+        let mut keys_built: HashSet<u64> = HashSet::new();
+        reqs.iter()
+            .map(|req| match self.dispatch(req, &mut keys_built) {
+                Ok(resp) => resp,
+                Err(e) => {
+                    self.errors += 1;
+                    Response::Error {
+                        message: e.to_string(),
+                    }
+                }
+            })
+            .collect()
+    }
+
+    fn dispatch(&mut self, req: &Request, keys_built: &mut HashSet<u64>) -> Result<Response> {
+        match req {
+            Request::Submit(r) => self.submit(r, keys_built),
+            Request::Inject(r) => self.inject(&r.tenant, &r.event, keys_built),
+            Request::Snapshot { tenant } => self.snapshot(tenant),
+            Request::Restore { snapshot } => self.restore(snapshot, keys_built),
+            Request::Fingerprint { tenant } => self.fingerprint(tenant),
+            Request::Stats | Request::Shutdown => Err(ServeError::Protocol(
+                "control requests are handled by the router, not a shard".to_string(),
+            )),
+        }
+    }
+
+    /// Folds one engine-producing (or engine-finding) cache outcome into
+    /// the admission counters.
+    fn account(&mut self, key: u64, hit: bool, keys_built: &mut HashSet<u64>) {
+        if hit {
+            if keys_built.contains(&key) {
+                self.coalesced += 1;
+            }
+        } else {
+            self.builds += 1;
+            keys_built.insert(key);
+        }
+    }
+
+    fn submit(&mut self, r: &SubmitRequest, keys_built: &mut HashSet<u64>) -> Result<Response> {
+        if !(r.deadline > 0.0) || !r.deadline.is_finite() {
+            return Err(ServeError::Protocol(format!(
+                "deadline {} must be finite and positive",
+                r.deadline
+            )));
+        }
+        let threshold = r.threshold.unwrap_or(self.cfg.phi1_threshold);
+        if !(threshold > 0.0) || threshold > 1.0 {
+            return Err(ServeError::Protocol(format!(
+                "threshold {threshold} out of (0, 1]"
+            )));
+        }
+        let allocator_name = r
+            .allocator
+            .clone()
+            .unwrap_or_else(|| self.cfg.default_allocator.clone());
+        let policy = resolve_allocator(&allocator_name)?;
+
+        let (batch, platform) = r.spec.expand()?;
+        let threads = self.cfg.build_threads;
+        let outcome = self.cache.get_or_build(&batch, &platform, threads)?;
+        let (key, hit) = (outcome.key, outcome.hit);
+        let (alloc, fell_back) =
+            allocate_or_fallback(&policy, &batch, &platform, outcome.engine, r.deadline)?;
+        let report = evaluate_with_engine(outcome.engine, &batch, &platform, &alloc, r.deadline)?;
+        self.alloc_fallbacks += u64::from(fell_back);
+        self.account(key, hit, keys_built);
+
+        self.tenants.insert(
+            r.tenant.clone(),
+            TenantState {
+                spec: r.spec,
+                deadline: r.deadline,
+                allocator: allocator_name,
+                threshold,
+                batch,
+                platform,
+                engine_key: key,
+                events_applied: 0,
+            },
+        );
+        self.submits += 1;
+        Ok(Response::Submit(SubmitReply {
+            tenant: r.tenant.clone(),
+            engine_key: key,
+            assignments: wire_assignments(&alloc),
+            per_app_phi1: report.per_app,
+            expected_times: report.expected_times,
+            verdict: RobustVerdict {
+                phi1: report.joint,
+                threshold,
+                robust: report.joint >= threshold,
+                guaranteed_tier: None,
+            },
+        }))
+    }
+
+    fn inject(
+        &mut self,
+        tenant: &str,
+        event: &crate::tenant::TenantEvent,
+        keys_built: &mut HashSet<u64>,
+    ) -> Result<Response> {
+        let state = self
+            .tenants
+            .get(tenant)
+            .ok_or_else(|| unknown_tenant(tenant))?;
+        let (batch, platform, apps_map, types_map) = state.apply_event(event)?;
+        let policy = resolve_allocator(&state.allocator)?;
+        let (prev_key, deadline, threshold) = (state.engine_key, state.deadline, state.threshold);
+
+        let threads = self.cfg.build_threads;
+        let outcome = self.cache.rebuild_keyed(
+            prev_key,
+            &batch,
+            &platform,
+            RebuildMap {
+                apps: &apps_map,
+                types: &types_map,
+            },
+            threads,
+        )?;
+        let (key, hit, reused) = (outcome.key, outcome.hit, outcome.reused_cells);
+        let (alloc, fell_back) =
+            allocate_or_fallback(&policy, &batch, &platform, outcome.engine, deadline)?;
+        let report = evaluate_with_engine(outcome.engine, &batch, &platform, &alloc, deadline)?;
+        self.alloc_fallbacks += u64::from(fell_back);
+        self.account(key, hit, keys_built);
+
+        let state = self.tenants.get_mut(tenant).expect("checked above");
+        state.batch = batch;
+        state.platform = platform;
+        state.engine_key = key;
+        state.events_applied += 1;
+        self.injects += 1;
+        Ok(Response::Inject(InjectReply {
+            tenant: tenant.to_string(),
+            engine_key: key,
+            reused_cells: reused as u64,
+            assignments: wire_assignments(&alloc),
+            per_app_phi1: report.per_app,
+            verdict: RobustVerdict {
+                phi1: report.joint,
+                threshold,
+                robust: report.joint >= threshold,
+                guaranteed_tier: None,
+            },
+        }))
+    }
+
+    fn snapshot(&mut self, tenant: &str) -> Result<Response> {
+        let state = self
+            .tenants
+            .get(tenant)
+            .ok_or_else(|| unknown_tenant(tenant))?;
+        let snapshot = state.snapshot(tenant);
+        self.snapshots += 1;
+        Ok(Response::Snapshot { snapshot })
+    }
+
+    fn restore(
+        &mut self,
+        snapshot: &TenantSnapshot,
+        keys_built: &mut HashSet<u64>,
+    ) -> Result<Response> {
+        let mut state = TenantState::from_snapshot(snapshot);
+        let threads = self.cfg.build_threads;
+        let outcome = self
+            .cache
+            .get_or_build(&state.batch, &state.platform, threads)?;
+        let (key, hit) = (outcome.key, outcome.hit);
+        let fingerprint = outcome.engine.table_fingerprint();
+        self.account(key, hit, keys_built);
+        state.engine_key = key;
+        self.tenants.insert(snapshot.tenant.clone(), state);
+        self.restores += 1;
+        Ok(Response::Restored(RestoreReply {
+            tenant: snapshot.tenant.clone(),
+            engine_key: key,
+            fingerprint,
+        }))
+    }
+
+    fn fingerprint(&mut self, tenant: &str) -> Result<Response> {
+        let state = self
+            .tenants
+            .get(tenant)
+            .ok_or_else(|| unknown_tenant(tenant))?;
+        let key = state.engine_key;
+        let fingerprint = match self.cache.peek(key) {
+            Some(engine) => engine.table_fingerprint(),
+            // Evicted: rebuild from the tenant's stored inputs. The build
+            // is deterministic, so the digest matches the evicted engine's.
+            None => {
+                let (batch, platform) = (state.batch.clone(), state.platform.clone());
+                let threads = self.cfg.build_threads;
+                self.cache
+                    .get_or_build(&batch, &platform, threads)?
+                    .engine
+                    .table_fingerprint()
+            }
+        };
+        Ok(Response::Fingerprint(FingerprintReply {
+            tenant: tenant.to_string(),
+            engine_key: key,
+            fingerprint,
+        }))
+    }
+
+    /// The shard's counters, cache and pool telemetry included.
+    pub fn stats(&self) -> ShardStats {
+        let pool = self.cache.pool_totals();
+        ShardStats {
+            shard: self.id as u64,
+            tenants: self.tenants.len() as u64,
+            submits: self.submits,
+            injects: self.injects,
+            snapshots: self.snapshots,
+            restores: self.restores,
+            errors: self.errors,
+            alloc_fallbacks: self.alloc_fallbacks,
+            cache_len: self.cache.len() as u64,
+            cache_capacity: self.cache.capacity() as u64,
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_rebuilds: self.cache.rebuilds(),
+            coalesced: self.coalesced,
+            builds: self.builds,
+            pool_runs: pool.runs,
+            pool_tasks_run: pool.tasks_run,
+            pool_chunks_stolen: pool.chunks_stolen,
+        }
+    }
+}
+
+fn unknown_tenant(tenant: &str) -> ServeError {
+    ServeError::Protocol(format!("unknown tenant `{tenant}` (submit first)"))
+}
+
+fn resolve_allocator(name: &str) -> Result<ImPolicy> {
+    ImPolicy::by_name(name)
+        .ok_or_else(|| ServeError::Protocol(format!("unknown allocator `{name}`")))
+}
+
+/// Runs the requested policy; if its greedy packing paints itself into a
+/// corner ("no feasible allocation" on an instance equal-share can still
+/// fit), falls back deterministically to equal-share rather than
+/// rejecting the workload. Returns whether the fallback was taken; the
+/// original error propagates when even equal-share cannot pack the batch.
+fn allocate_or_fallback(
+    policy: &ImPolicy,
+    batch: &Batch,
+    platform: &Platform,
+    engine: &Phi1Engine,
+    deadline: f64,
+) -> Result<(Allocation, bool)> {
+    match policy.allocate_with_engine(batch, platform, engine, deadline) {
+        Ok(alloc) => Ok((alloc, false)),
+        Err(primary) => {
+            if matches!(policy, ImPolicy::Naive) {
+                return Err(ServeError::Framework(primary.to_string()));
+            }
+            match ImPolicy::Naive.allocate_with_engine(batch, platform, engine, deadline) {
+                Ok(alloc) => Ok((alloc, true)),
+                Err(_) => Err(ServeError::Framework(primary.to_string())),
+            }
+        }
+    }
+}
+
+fn wire_assignments(alloc: &Allocation) -> Vec<WireAssignment> {
+    alloc
+        .assignments()
+        .iter()
+        .map(|a| WireAssignment {
+            proc_type: a.proc_type.0,
+            procs: a.procs,
+        })
+        .collect()
+}
+
+/// The shard thread loop: block for one message, drain the queue into an
+/// admission batch (stopping at [`ServeConfig::drain_limit`] or a control
+/// message), serve it, reply in arrival order, then handle the control
+/// message. Exits on [`ShardMsg::Stop`] or a closed queue.
+pub fn run_shard(core: &mut ShardCore, rx: &mpsc::Receiver<ShardMsg>) {
+    loop {
+        let Ok(first) = rx.recv() else { break };
+        let mut control = None;
+        let mut admitted: Vec<(Request, mpsc::Sender<Response>)> = Vec::new();
+        match first {
+            ShardMsg::Req(req, tx) => admitted.push((req, tx)),
+            other => control = Some(other),
+        }
+        if control.is_none() {
+            while admitted.len() < core.cfg.drain_limit {
+                match rx.try_recv() {
+                    Ok(ShardMsg::Req(req, tx)) => admitted.push((req, tx)),
+                    Ok(other) => {
+                        control = Some(other);
+                        break;
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+        if !admitted.is_empty() {
+            let reqs: Vec<Request> = admitted.iter().map(|(r, _)| r.clone()).collect();
+            let replies = core.process_batch(&reqs);
+            for ((_, tx), reply) in admitted.into_iter().zip(replies) {
+                // A client that hung up just discards its reply.
+                let _ = tx.send(reply);
+            }
+        }
+        match control {
+            Some(ShardMsg::Stats(tx)) => {
+                let _ = tx.send(core.stats());
+            }
+            Some(ShardMsg::Stop) => break,
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::{TenantEvent, WorkloadSpec};
+
+    fn spec(seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            apps: 3,
+            types: 2,
+            pulses: 6,
+            seed,
+        }
+    }
+
+    fn submit(tenant: &str, seed: u64) -> Request {
+        Request::Submit(SubmitRequest {
+            tenant: tenant.to_string(),
+            spec: spec(seed),
+            deadline: 2_800.0,
+            allocator: None,
+            threshold: None,
+        })
+    }
+
+    fn test_cfg() -> ServeConfig {
+        ServeConfig {
+            build_threads: 2,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for shards in [1usize, 2, 4, 7] {
+            for name in ["acme", "globex", "initech", "umbrella"] {
+                let s = shard_of(name, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(name, shards));
+            }
+        }
+    }
+
+    #[test]
+    fn submit_then_inject_then_fingerprint() {
+        let mut core = ShardCore::new(0, test_cfg());
+        let resp = core.handle(&submit("acme", 7));
+        let Response::Submit(reply) = resp else {
+            panic!("expected submit reply, got {resp:?}");
+        };
+        assert_eq!(reply.assignments.len(), 3);
+        assert_eq!(reply.per_app_phi1.len(), 3);
+        assert!((0.0..=1.0).contains(&reply.verdict.phi1));
+
+        let resp = core.handle(&Request::Inject(crate::protocol::InjectRequest {
+            tenant: "acme".to_string(),
+            event: TenantEvent::Degrade {
+                proc_type: 0,
+                factor: 0.5,
+            },
+        }));
+        let Response::Inject(inj) = resp else {
+            panic!("expected inject reply, got {resp:?}");
+        };
+        assert_ne!(inj.engine_key, reply.engine_key, "inputs changed");
+        assert!(
+            inj.reused_cells > 0,
+            "degrading one type keeps the other's cells"
+        );
+
+        let resp = core.handle(&Request::Fingerprint {
+            tenant: "acme".to_string(),
+        });
+        let Response::Fingerprint(fp) = resp else {
+            panic!("expected fingerprint reply, got {resp:?}");
+        };
+        assert_eq!(fp.engine_key, inj.engine_key);
+
+        let stats = core.stats();
+        assert_eq!(stats.submits, 1);
+        assert_eq!(stats.injects, 1);
+        assert_eq!(stats.tenants, 1);
+        assert_eq!(stats.cache_rebuilds, 1);
+    }
+
+    #[test]
+    fn same_spec_submits_coalesce_within_a_batch() {
+        let mut core = ShardCore::new(0, test_cfg());
+        let reqs: Vec<Request> = (0..4).map(|i| submit(&format!("tenant-{i}"), 42)).collect();
+        let replies = core.process_batch(&reqs);
+        assert_eq!(replies.len(), 4);
+        let keys: Vec<u64> = replies
+            .iter()
+            .map(|r| match r {
+                Response::Submit(s) => s.engine_key,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert!(
+            keys.windows(2).all(|w| w[0] == w[1]),
+            "one engine serves all"
+        );
+        let stats = core.stats();
+        assert_eq!(stats.builds, 1, "one build for four same-spec submits");
+        assert_eq!(stats.coalesced, 3);
+        assert!((core.stats().coalescing_factor() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coalesced_reply_is_bit_identical_to_serial() {
+        let reqs: Vec<Request> = (0..3).map(|i| submit(&format!("t{i}"), 9)).collect();
+        // Serial: every request in its own admission batch.
+        let mut serial = ShardCore::new(0, test_cfg());
+        let serial_replies: Vec<Response> = reqs.iter().map(|r| serial.handle(r)).collect();
+        // Coalesced: all in one batch.
+        let mut batched = ShardCore::new(0, test_cfg());
+        let batched_replies = batched.process_batch(&reqs);
+        for (a, b) in serial_replies.iter().zip(&batched_replies) {
+            let (Response::Submit(a), Response::Submit(b)) = (a, b) else {
+                panic!("unexpected reply shape");
+            };
+            assert_eq!(a.engine_key, b.engine_key);
+            for (x, y) in a.per_app_phi1.iter().zip(&b.per_app_phi1) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            for (x, y) in a.expected_times.iter().zip(&b.expected_times) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            assert_eq!(a.verdict.phi1.to_bits(), b.verdict.phi1.to_bits());
+            assert_eq!(a.assignments, b.assignments);
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip_is_byte_identical() {
+        let mut a = ShardCore::new(0, test_cfg());
+        a.handle(&submit("acme", 5));
+        a.handle(&Request::Inject(crate::protocol::InjectRequest {
+            tenant: "acme".to_string(),
+            event: TenantEvent::Drift { factor: 0.8 },
+        }));
+        let Response::Snapshot { snapshot } = a.handle(&Request::Snapshot {
+            tenant: "acme".to_string(),
+        }) else {
+            panic!("expected snapshot");
+        };
+        let Response::Fingerprint(before) = a.handle(&Request::Fingerprint {
+            tenant: "acme".to_string(),
+        }) else {
+            panic!("expected fingerprint");
+        };
+
+        // "Crash": a brand-new shard restores from the snapshot (via JSON,
+        // as the wire would carry it).
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let snapshot: TenantSnapshot = serde_json::from_str(&json).unwrap();
+        let mut b = ShardCore::new(0, test_cfg());
+        let Response::Restored(rest) = b.handle(&Request::Restore { snapshot }) else {
+            panic!("expected restore reply");
+        };
+        assert_eq!(rest.engine_key, before.engine_key);
+        assert_eq!(
+            rest.fingerprint, before.fingerprint,
+            "tables byte-identical"
+        );
+    }
+
+    #[test]
+    fn unknown_tenant_and_allocator_are_protocol_errors() {
+        let mut core = ShardCore::new(0, test_cfg());
+        let resp = core.handle(&Request::Inject(crate::protocol::InjectRequest {
+            tenant: "ghost".to_string(),
+            event: TenantEvent::Drift { factor: 0.9 },
+        }));
+        assert!(matches!(resp, Response::Error { .. }));
+        let resp = core.handle(&Request::Submit(SubmitRequest {
+            tenant: "acme".to_string(),
+            spec: spec(1),
+            deadline: 2_800.0,
+            allocator: Some("no-such-policy".to_string()),
+            threshold: None,
+        }));
+        assert!(matches!(resp, Response::Error { .. }));
+        assert_eq!(core.stats().errors, 2);
+    }
+}
