@@ -74,14 +74,34 @@ const SCHEMA_VERSION: u64 = 4;
 const STAGE2_SCHEMA_VERSION: u64 = 2;
 
 /// Serve snapshot schema this guard understands — must match
-/// [`cdsf_serve::LoadgenReport`]'s `schema_version`.
-const SERVE_SCHEMA_VERSION: u64 = 1;
+/// [`cdsf_serve::LoadgenReport`]'s `schema_version`. v2 is the pipelined
+/// data plane: the loadgen runs a closed-loop send window instead of
+/// lockstep request/reply, discards a warm-up prefix from the latency
+/// percentiles, and records `pipeline`, `warmup_discarded`,
+/// `host_threads`, and `latency_p999_us` so the throughput/latency
+/// guards below can be host-aware.
+const SERVE_SCHEMA_VERSION: u64 = 2;
 
 /// Floors the ISSUE pins for the committed serve benchmark: the replay
 /// must exercise real multi-tenant sharding, not a toy stream.
 const SERVE_MIN_REQUESTS: u64 = 10_000;
 const SERVE_MIN_TENANTS: u64 = 4;
 const SERVE_MIN_SHARDS: u64 = 2;
+
+/// Performance floors for the committed serve snapshot, anchored to the
+/// last *lockstep* (schema v1) snapshot: 8 484.86 req/s at p99 1 309 µs.
+/// The zero-allocation data plane must clear ≥ 3× that throughput and
+/// halve the p99 — but only on hosts wide enough for 2 shards + 2
+/// writer threads + the loadgen to actually overlap; on narrow hosts
+/// (CI containers are routinely 1-2 cores) the guard degrades to the v1
+/// throughput bound so a thin runner cannot mask a real regression on a
+/// real host. Selected by the snapshot's recorded `host_threads` —
+/// numbers are always measured, never assumed.
+const SERVE_V1_THROUGHPUT_RPS: f64 = 8_484.86;
+const SERVE_V1_P99_US: u64 = 1_309;
+const SERVE_THROUGHPUT_MIN_WIDE_HOST: f64 = SERVE_V1_THROUGHPUT_RPS * 3.0;
+const SERVE_P99_MAX_WIDE_HOST: u64 = SERVE_V1_P99_US / 2;
+const SERVE_THROUGHPUT_MIN_NARROW_HOST: f64 = SERVE_V1_THROUGHPUT_RPS;
 
 /// Parallel-speedup floors for the 4-thread bench guards. A host with at
 /// least 4 cores must show real scaling from the work-stealing pool; on
@@ -1119,13 +1139,50 @@ fn validate_serve(snapshot: &Value) -> Result<(), String> {
     if errors != 0 {
         return Err(format!("committed replay has {errors} request errors"));
     }
-    if !(f64_field(snapshot, "throughput_rps")? > 0.0) {
+    let throughput = f64_field(snapshot, "throughput_rps")?;
+    if !(throughput > 0.0) {
         return Err("throughput_rps is not positive".into());
+    }
+    if u64_field(snapshot, "pipeline")? == 0 {
+        return Err("pipeline window is zero".into());
+    }
+    // Warm-up discard must be recorded (it may legitimately be 0 only if
+    // the run was configured that way; the canonical replay discards 200).
+    let warmup = u64_field(snapshot, "warmup_discarded")?;
+    if warmup == 0 {
+        return Err("warmup_discarded is zero — percentiles include cold builds".into());
     }
     let p50 = u64_field(snapshot, "latency_p50_us")?;
     let p99 = u64_field(snapshot, "latency_p99_us")?;
+    let p999 = u64_field(snapshot, "latency_p999_us")?;
     if p99 < p50 {
         return Err(format!("latency p99 {p99}us below p50 {p50}us"));
+    }
+    if p999 < p99 {
+        return Err(format!("latency p999 {p999}us below p99 {p99}us"));
+    }
+    let host_threads = u64_field(snapshot, "host_threads")?;
+    if host_threads == 0 {
+        return Err("host_threads is zero".into());
+    }
+    if host_threads >= 4 {
+        if throughput < SERVE_THROUGHPUT_MIN_WIDE_HOST {
+            return Err(format!(
+                "throughput {throughput:.0} req/s below the wide-host floor \
+                 {SERVE_THROUGHPUT_MIN_WIDE_HOST:.0} (3x the lockstep v1 snapshot)"
+            ));
+        }
+        if p99 > SERVE_P99_MAX_WIDE_HOST {
+            return Err(format!(
+                "p99 {p99}us above the wide-host ceiling {SERVE_P99_MAX_WIDE_HOST}us \
+                 (half the lockstep v1 snapshot)"
+            ));
+        }
+    } else if throughput < SERVE_THROUGHPUT_MIN_NARROW_HOST {
+        return Err(format!(
+            "throughput {throughput:.0} req/s below the narrow-host floor \
+             {SERVE_THROUGHPUT_MIN_NARROW_HOST:.0} (the lockstep v1 snapshot)"
+        ));
     }
     let hit_rate = f64_field(snapshot, "cache_hit_rate")?;
     if !(0.0..=1.0).contains(&hit_rate) {
@@ -1150,6 +1207,33 @@ fn validate_serve(snapshot: &Value) -> Result<(), String> {
         return Err("stats total has no submits".into());
     }
     u64_field(total, "pool_runs")?;
+    // v2 invariants: the totals row carries no shard id (the old
+    // `u64::MAX` sentinel must never reappear on the wire), batched
+    // drains were observed, and the reply codec flushed in bursts.
+    if total.get("shard").is_some_and(|s| !s.is_null()) {
+        return Err("stats total row carries a shard id".into());
+    }
+    let drains: u64 = total
+        .get("drain_depths")
+        .and_then(Value::as_array)
+        .ok_or("stats total missing drain_depths")?
+        .iter()
+        .filter_map(Value::as_u64)
+        .sum();
+    if drains == 0 {
+        return Err("drain-depth histogram is empty".into());
+    }
+    let codec = stats.get("codec").ok_or("stats missing codec block")?;
+    let frames = u64_field(codec, "reply_frames")?;
+    let flushes = u64_field(codec, "flushes")?;
+    if frames == 0 {
+        return Err("codec recorded no reply frames".into());
+    }
+    if flushes > frames {
+        return Err(format!(
+            "codec flushes {flushes} exceed reply frames {frames}"
+        ));
+    }
     Ok(())
 }
 

@@ -19,6 +19,7 @@ use crate::{RaError, Result};
 use cdsf_system::{Batch, Platform};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
 
 /// Per-app option lists plus the flat per-option φ₁ probabilities: the
 /// search landscape.
@@ -154,6 +155,41 @@ impl Default for SimulatedAnnealing {
     }
 }
 
+/// Telemetry from one pooled multi-start annealing run
+/// ([`SimulatedAnnealing::allocate_multi_start`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiStartReport {
+    /// Restart chains launched.
+    pub restarts: usize,
+    /// Index of the chain whose best genome won the in-order argmax
+    /// reduction (ties go to the lowest index, so this is invariant
+    /// across worker counts).
+    pub winner: usize,
+    /// Workers the pool actually engaged (1 on the inline serial path).
+    pub workers: usize,
+    /// Restart chunks stolen across workers (0 on serial runs).
+    pub chunks_stolen: u64,
+}
+
+/// Per-worker scratch for the pooled restart chains: one incremental
+/// evaluator plus the proposal buffers, allocated by the first chain a
+/// worker runs and re-primed in place for every later chain.
+struct ChainScratch<'a> {
+    delta: Option<DeltaFitness<'a>>,
+    candidate: Vec<Assignment>,
+    changed: Vec<usize>,
+}
+
+impl ChainScratch<'_> {
+    fn new() -> Self {
+        Self {
+            delta: None,
+            candidate: Vec::new(),
+            changed: Vec::new(),
+        }
+    }
+}
+
 impl SimulatedAnnealing {
     /// Creates the policy, validating parameters (default restart/thread
     /// counts).
@@ -186,8 +222,17 @@ impl SimulatedAnnealing {
     }
 
     /// One annealing chain from `seed`; `None` when no feasible start was
-    /// found.
-    fn run_chain(&self, land: &Landscape, seed: u64) -> Option<(Vec<Assignment>, f64)> {
+    /// found. The chain's state machine — RNG stream, proposal sequence,
+    /// Metropolis branches — is untouched by the scratch reuse: the
+    /// proposal buffer carries the same bytes a fresh clone would, and
+    /// [`DeltaFitness::reset`] leaves the evaluator bit-identical to a
+    /// fresh `new`.
+    fn run_chain<'a>(
+        &self,
+        land: &'a Landscape,
+        seed: u64,
+        scratch: &mut ChainScratch<'a>,
+    ) -> Option<(Vec<Assignment>, f64)> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut current = land.random_genome(&mut rng);
         // Ensure a feasible start even if repair gave up on a pathological
@@ -206,50 +251,127 @@ impl SimulatedAnnealing {
         // genes touched by repair), and the exact product it reports is
         // bit-identical to a full recompute — so the Metropolis branch and
         // the RNG stream are unchanged from the legacy O(N)-lookup loop.
-        let mut delta = DeltaFitness::new(&land.probs, &current);
+        if let Some(delta) = scratch.delta.as_mut() {
+            delta.reset(&current);
+        } else {
+            scratch.delta = Some(DeltaFitness::new(&land.probs, &current));
+        }
+        let delta = scratch.delta.as_mut().expect("evaluator primed above");
         let mut current_fit = delta.fitness();
         let mut best = current.clone();
         let mut best_fit = current_fit;
         let mut temp = self.initial_temp;
-        let mut changed: Vec<usize> = Vec::with_capacity(land.num_apps());
 
         for _ in 0..self.iterations {
             let app = rng.gen_range(0..land.num_apps());
             let opt = land.options[app][rng.gen_range(0..land.options[app].len())];
-            let mut candidate = current.clone();
-            candidate[app] = opt;
-            land.repair(&mut candidate, &mut rng);
-            if !land.is_feasible(&candidate) {
+            // The proposal reuses the scratch buffer (copy-in + swap on
+            // accept) instead of cloning a fresh Vec per iteration.
+            scratch.candidate.clear();
+            scratch.candidate.extend_from_slice(&current);
+            scratch.candidate[app] = opt;
+            land.repair(&mut scratch.candidate, &mut rng);
+            if !land.is_feasible(&scratch.candidate) {
                 temp *= self.cooling;
                 continue;
             }
-            changed.clear();
-            for (i, (new, old)) in candidate.iter().zip(&current).enumerate() {
+            scratch.changed.clear();
+            for (i, (new, old)) in scratch.candidate.iter().zip(&current).enumerate() {
                 if new != old {
                     delta.set_gene(i, *new);
-                    changed.push(i);
+                    scratch.changed.push(i);
                 }
             }
             let fit = delta.fitness();
             let accept = fit >= current_fit
                 || rng.gen::<f64>() < ((fit - current_fit) / temp.max(1e-12)).exp();
             if accept {
-                current = candidate;
+                std::mem::swap(&mut current, &mut scratch.candidate);
                 current_fit = fit;
                 if fit > best_fit {
-                    best = current.clone();
+                    best.clear();
+                    best.extend_from_slice(&current);
                     best_fit = fit;
                 }
             } else {
                 // Roll the evaluator back to `current` (pure lookups, so
                 // the cached state is exactly as before the proposal).
-                for &i in &changed {
+                for &i in &scratch.changed {
                     delta.set_gene(i, current[i]);
                 }
             }
             temp *= self.cooling;
         }
         Some((best, best_fit))
+    }
+
+    /// Pooled multi-start annealing: the `restarts` seeded chains run as
+    /// independent tasks on the shared work-stealing pool
+    /// ([`cdsf_system::pool::run`]), each worker reusing one
+    /// [`DeltaFitness`] + proposal-buffer scratch across every chain it
+    /// executes. Chain `c` writes its result into slot `c`; the reduction
+    /// is an in-order argmax with strict `>` (ties keep the lowest chain
+    /// index), so the winning allocation — and the reported winner index —
+    /// is a function of the seeds alone, never of worker count or steal
+    /// interleaving.
+    pub fn allocate_multi_start(
+        &self,
+        platform: &Platform,
+        engine: &Phi1Engine,
+        deadline: f64,
+    ) -> Result<(Allocation, MultiStartReport)> {
+        if self.restarts == 0 {
+            return Err(RaError::BadParameter {
+                name: "restarts",
+                value: 0.0,
+            });
+        }
+        if self.threads == 0 {
+            return Err(RaError::BadParameter {
+                name: "threads",
+                value: 0.0,
+            });
+        }
+        // One pre-assigned result slot per chain: (best genome, fitness).
+        type ChainSlot = Mutex<Option<(Vec<Assignment>, f64)>>;
+        let land = Landscape::from_engine(engine, platform, deadline)?;
+        let slots: Vec<ChainSlot> = (0..self.restarts).map(|_| Mutex::new(None)).collect();
+        let land_ref = &land;
+        let stats = cdsf_system::pool::run(
+            self.threads,
+            self.restarts,
+            None,
+            ChainScratch::new,
+            |c, scratch| {
+                let out = self.run_chain(land_ref, self.seed.wrapping_add(c as u64), scratch);
+                *slots[c].lock().expect("chain slot") = out;
+                Ok::<(), RaError>(())
+            },
+        )?;
+
+        // Deterministic merge: best fitness, ties to the lowest chain index
+        // (strict `>` keeps the earlier chain on equal fitness).
+        let mut best: Option<(usize, Vec<Assignment>, f64)> = None;
+        for (c, slot) in slots.into_iter().enumerate() {
+            let Some((genome, fit)) = slot.into_inner().expect("chain slot") else {
+                continue;
+            };
+            if best.as_ref().map_or(true, |(_, _, bf)| fit > *bf) {
+                best = Some((c, genome, fit));
+            }
+        }
+        match best {
+            Some((winner, genome, _)) => Ok((
+                Allocation::new(genome),
+                MultiStartReport {
+                    restarts: self.restarts,
+                    winner,
+                    workers: stats.workers,
+                    chunks_stolen: stats.chunks_stolen.iter().map(|&c| c as u64).sum(),
+                },
+            )),
+            None => Err(RaError::NoFeasibleAllocation),
+        }
     }
 }
 
@@ -270,65 +392,8 @@ impl Allocator for SimulatedAnnealing {
         engine: &Phi1Engine,
         deadline: f64,
     ) -> Result<Allocation> {
-        if self.restarts == 0 {
-            return Err(RaError::BadParameter {
-                name: "restarts",
-                value: 0.0,
-            });
-        }
-        if self.threads == 0 {
-            return Err(RaError::BadParameter {
-                name: "threads",
-                value: 0.0,
-            });
-        }
-        let land = Landscape::from_engine(engine, platform, deadline)?;
-
-        let chain_seeds: Vec<u64> = (0..self.restarts)
-            .map(|c| self.seed.wrapping_add(c as u64))
-            .collect();
-        let chains: Vec<Option<(Vec<Assignment>, f64)>> = if self.threads == 1 || self.restarts == 1
-        {
-            chain_seeds
-                .iter()
-                .map(|&s| self.run_chain(&land, s))
-                .collect()
-        } else {
-            let workers = self.threads.min(self.restarts);
-            let chunk = self.restarts.div_ceil(workers);
-            std::thread::scope(|scope| {
-                let land = &land;
-                let chain_seeds = &chain_seeds;
-                let mut handles = Vec::with_capacity(workers);
-                for t in 0..workers {
-                    handles.push(scope.spawn(move || {
-                        let lo = t * chunk;
-                        let hi = ((t + 1) * chunk).min(chain_seeds.len());
-                        chain_seeds[lo..hi]
-                            .iter()
-                            .map(|&s| self.run_chain(land, s))
-                            .collect::<Vec<_>>()
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("annealing chain panicked"))
-                    .collect()
-            })
-        };
-
-        // Deterministic merge: best fitness, ties to the lowest chain index
-        // (strict `>` keeps the earlier chain on equal fitness).
-        let mut best: Option<(Vec<Assignment>, f64)> = None;
-        for chain in chains.into_iter().flatten() {
-            if best.as_ref().map_or(true, |(_, bf)| chain.1 > *bf) {
-                best = Some(chain);
-            }
-        }
-        match best {
-            Some((genome, _)) => Ok(Allocation::new(genome)),
-            None => Err(RaError::NoFeasibleAllocation),
-        }
+        self.allocate_multi_start(platform, engine, deadline)
+            .map(|(alloc, _)| alloc)
     }
 }
 

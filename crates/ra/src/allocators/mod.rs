@@ -26,7 +26,7 @@ pub use equal_share::EqualShare;
 pub use exhaustive::Exhaustive;
 pub use greedy::{GreedyMaxRobust, GreedyMinTime, Sufferage};
 pub use incremental::{allocate_incremental, allocate_incremental_with_engine};
-pub use metaheuristic::{GeneticAlgorithm, SimulatedAnnealing};
+pub use metaheuristic::{GeneticAlgorithm, MultiStartReport, SimulatedAnnealing};
 
 use crate::allocation::{Allocation, Assignment};
 use crate::engine::Phi1Engine;

@@ -281,6 +281,22 @@ impl EngineCache {
         threads: usize,
     ) -> Result<CacheOutcome<'_>> {
         let key = inputs_key(batch, platform);
+        self.get_or_build_keyed(key, batch, platform, threads)
+    }
+
+    /// [`EngineCache::get_or_build`] for a caller that has already hashed
+    /// the inputs — `key` **must** equal `inputs_key(batch, platform)`.
+    /// The serve shard's spec-expansion cache stores the key alongside
+    /// the expanded inputs, so repeat submissions skip the full-input
+    /// FNV walk entirely.
+    pub fn get_or_build_keyed(
+        &mut self,
+        key: u64,
+        batch: &Batch,
+        platform: &Platform,
+        threads: usize,
+    ) -> Result<CacheOutcome<'_>> {
+        debug_assert_eq!(key, inputs_key(batch, platform), "stale precomputed key");
         if let Some(pos) = self
             .entries
             .iter()

@@ -44,7 +44,7 @@ pub mod robustness;
 pub mod surface;
 
 pub use allocation::{Allocation, Assignment};
-pub use allocators::Allocator;
+pub use allocators::{Allocator, MultiStartReport, SimulatedAnnealing};
 pub use engine::{Phi1Engine, RebuildMap};
 pub use engine_cache::{inputs_key, CacheOutcome, EngineCache};
 pub use error::RaError;

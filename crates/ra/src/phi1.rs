@@ -196,29 +196,39 @@ impl<'a> DeltaFitness<'a> {
 
     /// Caches per-gene probabilities for `genome` (one lookup per gene).
     pub fn new(probs: &'a OptionProbs, genome: &[Assignment]) -> Self {
-        let mut gene_probs = Vec::with_capacity(genome.len());
-        let mut gene_logs = Vec::with_capacity(genome.len());
-        let mut dead = 0usize;
-        for (i, asg) in genome.iter().enumerate() {
-            let q = probs.raw(i, asg);
-            if q.is_nan() || q == 0.0 {
-                dead += 1;
-                gene_logs.push(0.0);
-            } else {
-                gene_logs.push(probs.log_prob(i, asg).expect("alive gene has a log"));
-            }
-            gene_probs.push(q);
-        }
         let mut this = Self {
             probs,
-            gene_probs,
-            gene_logs,
-            dead,
+            gene_probs: Vec::with_capacity(genome.len()),
+            gene_logs: Vec::with_capacity(genome.len()),
+            dead: 0,
             log_sum: 0.0,
             updates: 0,
         };
-        this.resync();
+        this.reset(genome);
         this
+    }
+
+    /// Re-primes the evaluator for a fresh `genome` in place, keeping the
+    /// per-gene buffers — after a reset the state is bit-identical to
+    /// `DeltaFitness::new(probs, genome)`, without its two allocations.
+    /// The restart chains of the pooled multi-start annealer lean on this
+    /// to reuse one evaluator per worker across every chain it runs.
+    pub fn reset(&mut self, genome: &[Assignment]) {
+        self.gene_probs.clear();
+        self.gene_logs.clear();
+        self.dead = 0;
+        for (i, asg) in genome.iter().enumerate() {
+            let q = self.probs.raw(i, asg);
+            if q.is_nan() || q == 0.0 {
+                self.dead += 1;
+                self.gene_logs.push(0.0);
+            } else {
+                self.gene_logs
+                    .push(self.probs.log_prob(i, asg).expect("alive gene has a log"));
+            }
+            self.gene_probs.push(q);
+        }
+        self.resync();
     }
 
     /// Replaces gene `i`'s option: one probability lookup, `O(1)` state

@@ -4,6 +4,7 @@
 //! ```text
 //! loadgen [--requests N] [--tenants N] [--connections N] [--shards N]
 //!         [--seed N] [--skew F] [--fault-rate F] [--threads N]
+//!         [--pipeline N] [--warmup N]
 //!         [--addr HOST:PORT] [--shutdown] [--out PATH]
 //! ```
 //!
@@ -22,6 +23,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--requests N] [--tenants N] [--connections N] [--shards N]\n\
          \u{20}              [--seed N] [--skew F] [--fault-rate F] [--threads N]\n\
+         \u{20}              [--pipeline N] [--warmup N]\n\
          \u{20}              [--addr HOST:PORT] [--shutdown] [--out PATH]"
     );
     std::process::exit(2)
@@ -58,6 +60,8 @@ fn main() -> ExitCode {
             "--seed" => cfg.seed = parse(&arg, args.next()),
             "--skew" => cfg.skew = parse(&arg, args.next()),
             "--fault-rate" => cfg.fault_rate = parse(&arg, args.next()),
+            "--pipeline" => cfg.pipeline = parse(&arg, args.next()),
+            "--warmup" => cfg.warmup = parse(&arg, args.next()),
             "--threads" => serve_cfg.build_threads = parse(&arg, args.next()),
             "--addr" => addr = Some(parse(&arg, args.next())),
             "--shutdown" => shutdown = true,
@@ -108,8 +112,12 @@ fn main() -> ExitCode {
         report.requests, report.tenants, report.shards, report.elapsed_s, report.throughput_rps
     );
     println!(
-        "  latency p50 {} us | p99 {} us | max {} us",
-        report.latency_p50_us, report.latency_p99_us, report.latency_max_us
+        "  latency p50 {} us | p99 {} us | p999 {} us | max {} us ({} warm-up discarded)",
+        report.latency_p50_us,
+        report.latency_p99_us,
+        report.latency_p999_us,
+        report.latency_max_us,
+        report.warmup_discarded
     );
     println!(
         "  cache hit rate {:.3} | coalescing {:.3} | builds {} | rebuilds {} | errors {}",

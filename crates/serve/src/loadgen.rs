@@ -50,6 +50,15 @@ pub struct LoadgenConfig {
     pub shared_rate: f64,
     /// Common deadline Δ for every submission.
     pub deadline: f64,
+    /// Requests each connection keeps in flight (1 = lockstep). The
+    /// pipelined server answers in request order, so per-tenant ordering
+    /// is untouched; only the transport dead time changes.
+    pub pipeline: usize,
+    /// Warm-up replies discarded from the latency distribution (spread
+    /// across connections, rounded up per connection). They still count
+    /// toward `ok`/`errors` and throughput — the discard only keeps
+    /// cold-cache builds out of the percentiles.
+    pub warmup: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -66,6 +75,8 @@ impl Default for LoadgenConfig {
             shared_specs: 2,
             shared_rate: 0.3,
             deadline: 2_800.0,
+            pipeline: 16,
+            warmup: 200,
         }
     }
 }
@@ -75,6 +86,7 @@ impl LoadgenConfig {
         self.tenants = self.tenants.max(1);
         self.connections = self.connections.clamp(1, self.tenants);
         self.specs_per_tenant = self.specs_per_tenant.max(1);
+        self.pipeline = self.pipeline.max(1);
         if self.requests == 0 {
             return Err(ServeError::Protocol("requests must be positive".into()));
         }
@@ -227,10 +239,21 @@ pub struct LoadgenReport {
     pub elapsed_s: f64,
     /// Requests per second over the replay.
     pub throughput_rps: f64,
+    /// Requests each connection kept in flight.
+    pub pipeline: u64,
+    /// Warm-up replies excluded from the latency percentiles (they still
+    /// count toward `requests`, `ok`/`errors`, and throughput).
+    pub warmup_discarded: u64,
+    /// Worker threads the serving host reports
+    /// ([`cdsf_core::default_threads`]) — floors in the snapshot check
+    /// are host-aware, so the report records what the host was.
+    pub host_threads: u64,
     /// Median request latency, microseconds.
     pub latency_p50_us: u64,
     /// 99th-percentile request latency, microseconds.
     pub latency_p99_us: u64,
+    /// 99.9th-percentile request latency, microseconds.
+    pub latency_p999_us: u64,
     /// Mean request latency, microseconds.
     pub latency_mean_us: u64,
     /// Worst request latency, microseconds.
@@ -275,35 +298,52 @@ pub fn run<A: ToSocketAddrs + Clone + Send + 'static>(
         per_conn[t % cfg.connections].push(req);
     }
 
+    // Each connection keeps a window of requests in flight; the server's
+    // writer answers in request order, so replies pair with send times
+    // FIFO. Warm-up replies are measured but discarded from the
+    // distribution afterwards.
+    let window = cfg.pipeline;
+    let warmup_per_conn = cfg.warmup.div_ceil(cfg.connections);
     let started = Instant::now();
     let mut handles = Vec::with_capacity(cfg.connections);
     for reqs in per_conn {
         let addr = addr.clone();
         handles.push(std::thread::spawn(
-            move || -> std::io::Result<(Vec<u64>, u64, u64)> {
+            move || -> std::io::Result<(Vec<u64>, u64, u64, u64)> {
                 let mut client = Client::connect(addr)?;
                 let mut lat_us = Vec::with_capacity(reqs.len());
                 let (mut ok, mut errors) = (0u64, 0u64);
-                for req in &reqs {
-                    let t0 = Instant::now();
-                    let resp = client.request(req)?;
+                let mut sent_at: std::collections::VecDeque<Instant> =
+                    std::collections::VecDeque::with_capacity(window);
+                let mut next = reqs.iter();
+                loop {
+                    while sent_at.len() < window {
+                        let Some(req) = next.next() else { break };
+                        sent_at.push_back(Instant::now());
+                        client.send(req)?;
+                    }
+                    let Some(t0) = sent_at.pop_front() else { break };
+                    let resp = client.recv()?;
                     lat_us.push(t0.elapsed().as_micros() as u64);
                     match resp {
                         Response::Error { .. } => errors += 1,
                         _ => ok += 1,
                     }
                 }
-                Ok((lat_us, ok, errors))
+                let discard = warmup_per_conn.min(lat_us.len());
+                lat_us.drain(..discard);
+                Ok((lat_us, discard as u64, ok, errors))
             },
         ));
     }
     let mut lat_us = Vec::new();
-    let (mut ok, mut errors) = (0u64, 0u64);
+    let (mut discarded, mut ok, mut errors) = (0u64, 0u64, 0u64);
     for handle in handles {
-        let (l, o, e) = handle
+        let (l, d, o, e) = handle
             .join()
             .map_err(|_| ServeError::Protocol("a replay connection panicked".into()))??;
         lat_us.extend(l);
+        discarded += d;
         ok += o;
         errors += e;
     }
@@ -325,9 +365,10 @@ pub fn run<A: ToSocketAddrs + Clone + Send + 'static>(
     } else {
         lat_us.iter().sum::<u64>() / lat_us.len() as u64
     };
+    let replayed = ok + errors;
     Ok(LoadgenReport {
-        schema_version: 1,
-        requests: lat_us.len() as u64,
+        schema_version: 2,
+        requests: replayed,
         tenants: cfg.tenants as u64,
         connections: cfg.connections as u64,
         shards: stats.shards,
@@ -336,12 +377,16 @@ pub fn run<A: ToSocketAddrs + Clone + Send + 'static>(
         fault_rate: cfg.fault_rate,
         elapsed_s,
         throughput_rps: if elapsed_s > 0.0 {
-            lat_us.len() as f64 / elapsed_s
+            replayed as f64 / elapsed_s
         } else {
             0.0
         },
+        pipeline: window as u64,
+        warmup_discarded: discarded,
+        host_threads: cdsf_core::default_threads() as u64,
         latency_p50_us: percentile(&lat_us, 50.0),
         latency_p99_us: percentile(&lat_us, 99.0),
+        latency_p999_us: percentile(&lat_us, 99.9),
         latency_mean_us: mean,
         latency_max_us: lat_us.last().copied().unwrap_or(0),
         ok,
@@ -402,6 +447,9 @@ mod tests {
         assert_eq!(percentile(&v, 50.0), 51);
         assert_eq!(percentile(&v, 99.0), 99);
         assert_eq!(percentile(&[], 50.0), 0);
+        let w: Vec<u64> = (1..=1000).collect();
+        assert_eq!(percentile(&w, 99.9), 999);
+        assert_eq!(percentile(&w, 99.0), 990);
     }
 
     #[test]
@@ -410,6 +458,8 @@ mod tests {
             requests: 120,
             tenants: 4,
             connections: 2,
+            pipeline: 8,
+            warmup: 20,
             ..LoadgenConfig::default()
         };
         let serve_cfg = ServeConfig {
@@ -418,10 +468,30 @@ mod tests {
             ..ServeConfig::default()
         };
         let report = run_local(&cfg, serve_cfg).unwrap();
+        assert_eq!(report.schema_version, 2);
         assert_eq!(report.requests, 120);
         assert_eq!(report.errors, 0, "clean stream replays without errors");
         assert_eq!(report.shards, 2);
+        assert_eq!(report.pipeline, 8);
+        assert_eq!(
+            report.warmup_discarded, 20,
+            "10 cold replies per connection"
+        );
+        assert!(report.host_threads >= 1);
+        assert!(report.latency_p999_us >= report.latency_p99_us);
         assert!(report.cache_hit_rate > 0.0, "spec pools re-hit the cache");
         assert!(report.stats.total.submits > 0);
+        assert!(
+            report.stats.total.drain_depths.iter().sum::<u64>() > 0,
+            "shards recorded admission batches"
+        );
+        assert!(
+            report.stats.codec.reply_frames >= 120,
+            "writers framed every reply"
+        );
+        assert!(
+            report.stats.codec.flushes <= report.stats.codec.reply_frames,
+            "at most one flush per frame"
+        );
     }
 }

@@ -15,6 +15,7 @@
 
 use crate::tenant::{TenantEvent, TenantSnapshot, WorkloadSpec};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::io::{BufRead, Write};
 
 /// A client request.
@@ -167,11 +168,32 @@ pub struct FingerprintReply {
     pub fingerprint: u64,
 }
 
+/// Why an allocation fell back to equal-share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// The requested heuristic reported `NoFeasibleAllocation` but
+    /// equal-share still packed the batch.
+    Infeasible,
+    /// Any other Stage-I failure the fallback absorbed.
+    Other,
+}
+
+/// Log₂ buckets of the admission batch-depth histogram
+/// ([`ShardStats::drain_depths`]): 1, 2–3, 4–7, 8–15, 16–31, 32–63,
+/// 64–127, ≥128.
+pub const DRAIN_DEPTH_BUCKETS: usize = 8;
+
 /// One shard's counters.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are hand-written (the vendored serde
+/// stand-in's derive cannot express skip-if-`None`): the `shard` field is
+/// *omitted* — not `null` — on the totals row, and every counter added
+/// after schema v1 defaults to zero/empty when absent, so v1 payloads
+/// still parse.
+#[derive(Debug, Clone, Default)]
 pub struct ShardStats {
-    /// Shard index.
-    pub shard: u64,
+    /// Shard index; `None` on the aggregated totals row.
+    pub shard: Option<u64>,
     /// Tenants resident on this shard.
     pub tenants: u64,
     /// `Submit` requests served.
@@ -187,6 +209,30 @@ pub struct ShardStats {
     /// Allocations that fell back to equal-share after the requested
     /// heuristic found no feasible packing.
     pub alloc_fallbacks: u64,
+    /// Fallbacks whose primary failure was `NoFeasibleAllocation` —
+    /// a property of the spec/deadline, never of the serving shard.
+    pub alloc_fallbacks_infeasible: u64,
+    /// Fallbacks absorbed for any other Stage-I failure.
+    pub alloc_fallbacks_other: u64,
+    /// Spec-expansion cache hits (submission reused an expanded
+    /// `(batch, platform, key)` triple without regenerating it).
+    pub spec_cache_hits: u64,
+    /// Spec-expansion cache misses (fresh generator run + input hash).
+    pub spec_cache_misses: u64,
+    /// Allocation-result cache hits: `(engine key, deadline bits,
+    /// allocator)` seen before, so no allocator or evaluator ran at all.
+    pub alloc_cache_hits: u64,
+    /// Allocation-result cache misses (the allocator actually ran).
+    pub alloc_cache_misses: u64,
+    /// Admission batch-depth histogram in log₂ buckets
+    /// ([`DRAIN_DEPTH_BUCKETS`]): how many requests each queue drain
+    /// coalesced into one batch.
+    pub drain_depths: Vec<u64>,
+    /// Pooled multi-start SA runs this shard executed.
+    pub sa_multistart_runs: u64,
+    /// Wins per SA restart-chain index (`sa_restart_wins[c]` counts runs
+    /// chain `c` won) — evidence the extra restarts earn their keep.
+    pub sa_restart_wins: Vec<u64>,
     /// Engines resident in the shard's LRU cache.
     pub cache_len: u64,
     /// The cache's entry bound.
@@ -215,6 +261,14 @@ impl ShardStats {
     /// Folds another shard's counters into this one (used for the
     /// service-wide totals row; `shard`/`cache_capacity` keep `self`'s).
     pub fn merge(&mut self, other: &ShardStats) {
+        fn merge_hist(into: &mut Vec<u64>, from: &[u64]) {
+            if into.len() < from.len() {
+                into.resize(from.len(), 0);
+            }
+            for (a, b) in into.iter_mut().zip(from) {
+                *a += b;
+            }
+        }
         self.tenants += other.tenants;
         self.submits += other.submits;
         self.injects += other.injects;
@@ -222,6 +276,15 @@ impl ShardStats {
         self.restores += other.restores;
         self.errors += other.errors;
         self.alloc_fallbacks += other.alloc_fallbacks;
+        self.alloc_fallbacks_infeasible += other.alloc_fallbacks_infeasible;
+        self.alloc_fallbacks_other += other.alloc_fallbacks_other;
+        self.spec_cache_hits += other.spec_cache_hits;
+        self.spec_cache_misses += other.spec_cache_misses;
+        self.alloc_cache_hits += other.alloc_cache_hits;
+        self.alloc_cache_misses += other.alloc_cache_misses;
+        merge_hist(&mut self.drain_depths, &other.drain_depths);
+        self.sa_multistart_runs += other.sa_multistart_runs;
+        merge_hist(&mut self.sa_restart_wins, &other.sa_restart_wins);
         self.cache_len += other.cache_len;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
@@ -254,6 +317,148 @@ impl ShardStats {
     }
 }
 
+impl Serialize for ShardStats {
+    fn to_content(&self) -> serde::Content {
+        let mut m: Vec<(String, serde::Content)> = Vec::with_capacity(27);
+        // Omitted entirely (not `null`) on the totals row.
+        if let Some(id) = self.shard {
+            m.push(("shard".to_string(), id.to_content()));
+        }
+        m.push(("tenants".to_string(), self.tenants.to_content()));
+        m.push(("submits".to_string(), self.submits.to_content()));
+        m.push(("injects".to_string(), self.injects.to_content()));
+        m.push(("snapshots".to_string(), self.snapshots.to_content()));
+        m.push(("restores".to_string(), self.restores.to_content()));
+        m.push(("errors".to_string(), self.errors.to_content()));
+        m.push((
+            "alloc_fallbacks".to_string(),
+            self.alloc_fallbacks.to_content(),
+        ));
+        m.push((
+            "alloc_fallbacks_infeasible".to_string(),
+            self.alloc_fallbacks_infeasible.to_content(),
+        ));
+        m.push((
+            "alloc_fallbacks_other".to_string(),
+            self.alloc_fallbacks_other.to_content(),
+        ));
+        m.push((
+            "spec_cache_hits".to_string(),
+            self.spec_cache_hits.to_content(),
+        ));
+        m.push((
+            "spec_cache_misses".to_string(),
+            self.spec_cache_misses.to_content(),
+        ));
+        m.push((
+            "alloc_cache_hits".to_string(),
+            self.alloc_cache_hits.to_content(),
+        ));
+        m.push((
+            "alloc_cache_misses".to_string(),
+            self.alloc_cache_misses.to_content(),
+        ));
+        m.push(("drain_depths".to_string(), self.drain_depths.to_content()));
+        m.push((
+            "sa_multistart_runs".to_string(),
+            self.sa_multistart_runs.to_content(),
+        ));
+        m.push((
+            "sa_restart_wins".to_string(),
+            self.sa_restart_wins.to_content(),
+        ));
+        m.push(("cache_len".to_string(), self.cache_len.to_content()));
+        m.push((
+            "cache_capacity".to_string(),
+            self.cache_capacity.to_content(),
+        ));
+        m.push(("cache_hits".to_string(), self.cache_hits.to_content()));
+        m.push(("cache_misses".to_string(), self.cache_misses.to_content()));
+        m.push((
+            "cache_rebuilds".to_string(),
+            self.cache_rebuilds.to_content(),
+        ));
+        m.push(("coalesced".to_string(), self.coalesced.to_content()));
+        m.push(("builds".to_string(), self.builds.to_content()));
+        m.push(("pool_runs".to_string(), self.pool_runs.to_content()));
+        m.push((
+            "pool_tasks_run".to_string(),
+            self.pool_tasks_run.to_content(),
+        ));
+        m.push((
+            "pool_chunks_stolen".to_string(),
+            self.pool_chunks_stolen.to_content(),
+        ));
+        serde::Content::Map(m)
+    }
+}
+
+impl Deserialize for ShardStats {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::DeError> {
+        let serde::Content::Map(entries) = content else {
+            return Err(serde::DeError::custom(format!(
+                "expected map for ShardStats, got {content:?}"
+            )));
+        };
+        // Every counter defaults when absent, so schema-v1 payloads
+        // (no histograms, no per-reason fallbacks) still parse.
+        fn get<T: Deserialize + Default>(
+            entries: &[(String, serde::Content)],
+            name: &str,
+        ) -> Result<T, serde::DeError> {
+            match serde::__field(entries, name) {
+                Some(c) => T::from_content(c),
+                None => Ok(T::default()),
+            }
+        }
+        Ok(ShardStats {
+            shard: get(entries, "shard")?,
+            tenants: get(entries, "tenants")?,
+            submits: get(entries, "submits")?,
+            injects: get(entries, "injects")?,
+            snapshots: get(entries, "snapshots")?,
+            restores: get(entries, "restores")?,
+            errors: get(entries, "errors")?,
+            alloc_fallbacks: get(entries, "alloc_fallbacks")?,
+            alloc_fallbacks_infeasible: get(entries, "alloc_fallbacks_infeasible")?,
+            alloc_fallbacks_other: get(entries, "alloc_fallbacks_other")?,
+            spec_cache_hits: get(entries, "spec_cache_hits")?,
+            spec_cache_misses: get(entries, "spec_cache_misses")?,
+            alloc_cache_hits: get(entries, "alloc_cache_hits")?,
+            alloc_cache_misses: get(entries, "alloc_cache_misses")?,
+            drain_depths: get(entries, "drain_depths")?,
+            sa_multistart_runs: get(entries, "sa_multistart_runs")?,
+            sa_restart_wins: get(entries, "sa_restart_wins")?,
+            cache_len: get(entries, "cache_len")?,
+            cache_capacity: get(entries, "cache_capacity")?,
+            cache_hits: get(entries, "cache_hits")?,
+            cache_misses: get(entries, "cache_misses")?,
+            cache_rebuilds: get(entries, "cache_rebuilds")?,
+            coalesced: get(entries, "coalesced")?,
+            builds: get(entries, "builds")?,
+            pool_runs: get(entries, "pool_runs")?,
+            pool_tasks_run: get(entries, "pool_tasks_run")?,
+            pool_chunks_stolen: get(entries, "pool_chunks_stolen")?,
+        })
+    }
+}
+
+/// Reply-path codec counters, aggregated over every connection writer.
+/// The pre-pipeline data plane paid one `String` allocation and one
+/// socket flush per reply; after it, `reply_frames` replies were encoded
+/// into retained per-connection buffers (`reply_frames` Strings saved)
+/// and drained in `flushes` flushes (`reply_frames - flushes` syscall
+/// round-trips saved).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct CodecStats {
+    /// Reply bytes written (JSON lines, newline included).
+    pub reply_bytes: u64,
+    /// Reply frames encoded into retained buffers.
+    pub reply_frames: u64,
+    /// Socket flushes issued (one per drained burst, not per reply).
+    pub flushes: u64,
+}
+
 /// Reply to [`Request::Stats`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StatsReply {
@@ -263,6 +468,9 @@ pub struct StatsReply {
     pub per_shard: Vec<ShardStats>,
     /// The sum across shards.
     pub total: ShardStats,
+    /// Reply-codec counters across all connection writers.
+    #[serde(default)]
+    pub codec: CodecStats,
 }
 
 /// A server response.
@@ -292,23 +500,111 @@ pub enum Response {
     },
 }
 
-/// Writes one message as a JSON line and flushes it.
-pub fn write_line<T: Serialize, W: Write>(w: &mut W, msg: &T) -> std::io::Result<()> {
-    let json = serde_json::to_string(msg)
+/// A borrowed, serialize-only view of the hot [`Response`] variants.
+///
+/// Variant and field names mirror [`Response`] exactly, and the vendored
+/// `serde_json` emits identical bytes for a borrowed `&str`/slice and its
+/// owned counterpart — so `encode_line(buf, &view)` produces the same
+/// line `encode_line(buf, &response)` would, without ever cloning the
+/// tenant id, error message, or result vectors into an owned `Response`.
+/// The server's own data plane gets zero-clone replies by *moving* owned
+/// strings out of the request; this view is for encoders that only hold
+/// borrows (in-process embedders, benches, golden tests).
+#[derive(Debug)]
+pub enum ResponseView<'a> {
+    /// Borrowed form of [`Response::Submit`].
+    Submit(SubmitReplyView<'a>),
+    /// Borrowed form of [`Response::Error`].
+    Error {
+        /// Human-readable cause.
+        message: Cow<'a, str>,
+    },
+}
+
+/// Borrowed form of [`SubmitReply`]: same field names, identical bytes.
+#[derive(Debug)]
+pub struct SubmitReplyView<'a> {
+    /// Echoed tenant.
+    pub tenant: Cow<'a, str>,
+    /// Input fingerprint of the engine that served this request.
+    pub engine_key: u64,
+    /// The Stage-I allocation, one assignment per application.
+    pub assignments: &'a [WireAssignment],
+    /// Per-application `Pr(T_i ≤ Δ)` under the allocation.
+    pub per_app_phi1: &'a [f64],
+    /// Per-application expected completion times.
+    pub expected_times: &'a [f64],
+    /// The verdict (joint φ₁ and threshold call).
+    pub verdict: &'a RobustVerdict,
+}
+
+// The stand-in derive does not take lifetime-generic types, so the views
+// spell out the same external conventions the derive uses: newtype
+// variant -> single-entry object, struct variant -> single-entry object
+// of a field map, fields in declaration order.
+impl Serialize for ResponseView<'_> {
+    fn to_content(&self) -> serde::Content {
+        match self {
+            ResponseView::Submit(v) => {
+                serde::Content::Map(vec![("Submit".to_string(), v.to_content())])
+            }
+            ResponseView::Error { message } => serde::Content::Map(vec![(
+                "Error".to_string(),
+                serde::Content::Map(vec![("message".to_string(), message.as_ref().to_content())]),
+            )]),
+        }
+    }
+}
+
+impl Serialize for SubmitReplyView<'_> {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Map(vec![
+            ("tenant".to_string(), self.tenant.as_ref().to_content()),
+            ("engine_key".to_string(), self.engine_key.to_content()),
+            ("assignments".to_string(), self.assignments.to_content()),
+            ("per_app_phi1".to_string(), self.per_app_phi1.to_content()),
+            (
+                "expected_times".to_string(),
+                self.expected_times.to_content(),
+            ),
+            ("verdict".to_string(), self.verdict.to_content()),
+        ])
+    }
+}
+
+/// Serializes one message as a JSON line appended to `buf` (no flush, no
+/// intermediate `String`). Callers that retain `buf` across calls pay
+/// zero allocations per line once the buffer has grown to the working
+/// line length; the bytes are identical to `serde_json::to_string` + `\n`
+/// (`to_writer` and `to_string` share one serializer).
+pub fn encode_line<T: Serialize>(buf: &mut Vec<u8>, msg: &T) -> std::io::Result<()> {
+    serde_json::to_writer(&mut *buf, msg)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-    w.write_all(json.as_bytes())?;
-    w.write_all(b"\n")?;
+    buf.push(b'\n');
+    Ok(())
+}
+
+/// Writes one message as a JSON line and flushes it — the lockstep
+/// (request/reply) convenience used by [`crate::Client`] and tests. The
+/// pipelined server writer uses [`encode_line`] into a retained buffer
+/// with one flush per burst instead.
+pub fn write_line<T: Serialize, W: Write>(w: &mut W, msg: &T) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(256);
+    encode_line(&mut buf, msg)?;
+    w.write_all(&buf)?;
     w.flush()
 }
 
-/// Reads one JSON line; `Ok(None)` on a clean EOF.
-pub fn read_line<T: serde::Deserialize, R: BufRead>(
+/// Reads one JSON line into the caller's retained `line` buffer;
+/// `Ok(None)` on a clean EOF. Reusing `line` across calls keeps the
+/// read path allocation-free in steady state.
+pub fn read_line_into<T: serde::Deserialize, R: BufRead>(
     r: &mut R,
+    line: &mut String,
 ) -> std::io::Result<Option<Result<T, String>>> {
-    let mut line = String::new();
     loop {
         line.clear();
-        if r.read_line(&mut line)? == 0 {
+        if r.read_line(line)? == 0 {
             return Ok(None);
         }
         if !line.trim().is_empty() {
@@ -318,6 +614,14 @@ pub fn read_line<T: serde::Deserialize, R: BufRead>(
     Ok(Some(
         serde_json::from_str(line.trim()).map_err(|e| e.to_string()),
     ))
+}
+
+/// Reads one JSON line; `Ok(None)` on a clean EOF.
+pub fn read_line<T: serde::Deserialize, R: BufRead>(
+    r: &mut R,
+) -> std::io::Result<Option<Result<T, String>>> {
+    let mut line = String::new();
+    read_line_into(r, &mut line)
 }
 
 #[cfg(test)]
@@ -373,6 +677,126 @@ mod tests {
             _ => panic!("variant changed in transit"),
         }
         assert!(matches!(back[4], Request::Shutdown));
+    }
+
+    #[test]
+    fn encode_line_matches_write_line_bytes() {
+        let resp = Response::Submit(SubmitReply {
+            tenant: "acme".into(),
+            engine_key: 0xDEAD_BEEF,
+            assignments: vec![WireAssignment {
+                proc_type: 1,
+                procs: 4,
+            }],
+            per_app_phi1: vec![0.25, 0.1 + 0.2], // non-representable bits
+            expected_times: vec![1_234.567_89],
+            verdict: RobustVerdict {
+                phi1: 0.075,
+                threshold: 0.8,
+                robust: false,
+                guaranteed_tier: None,
+            },
+        });
+        let mut via_write = Vec::new();
+        write_line(&mut via_write, &resp).unwrap();
+        let mut via_encode = Vec::with_capacity(8); // forces regrowth
+        encode_line(&mut via_encode, &resp).unwrap();
+        assert_eq!(via_write, via_encode);
+        // A retained buffer appends, preserving earlier lines.
+        encode_line(&mut via_encode, &resp).unwrap();
+        assert_eq!(via_encode.len(), 2 * via_write.len());
+    }
+
+    #[test]
+    fn borrowed_response_view_serializes_byte_identically() {
+        let owned = Response::Submit(SubmitReply {
+            tenant: "tenant-007".into(),
+            engine_key: 42,
+            assignments: vec![
+                WireAssignment {
+                    proc_type: 0,
+                    procs: 2,
+                },
+                WireAssignment {
+                    proc_type: 2,
+                    procs: 1,
+                },
+            ],
+            per_app_phi1: vec![0.9, 0.99],
+            expected_times: vec![100.5, 7.0 / 3.0],
+            verdict: RobustVerdict {
+                phi1: 0.891,
+                threshold: 0.8,
+                robust: true,
+                guaranteed_tier: None,
+            },
+        });
+        let Response::Submit(reply) = &owned else {
+            unreachable!()
+        };
+        let view = ResponseView::Submit(SubmitReplyView {
+            tenant: Cow::Borrowed(&reply.tenant),
+            engine_key: reply.engine_key,
+            assignments: &reply.assignments,
+            per_app_phi1: &reply.per_app_phi1,
+            expected_times: &reply.expected_times,
+            verdict: &reply.verdict,
+        });
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        encode_line(&mut a, &owned).unwrap();
+        encode_line(&mut b, &view).unwrap();
+        assert_eq!(a, b, "borrowed view changed the wire bytes");
+
+        let owned_err = Response::Error {
+            message: "bad request line: trailing garbage".into(),
+        };
+        let view_err = ResponseView::Error {
+            message: Cow::Borrowed("bad request line: trailing garbage"),
+        };
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        encode_line(&mut a, &owned_err).unwrap();
+        encode_line(&mut b, &view_err).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn totals_row_omits_the_shard_field() {
+        let mut total = ShardStats::default();
+        total.merge(&ShardStats {
+            shard: Some(0),
+            submits: 3,
+            drain_depths: vec![1, 2],
+            sa_restart_wins: vec![0, 1, 0, 0],
+            ..ShardStats::default()
+        });
+        total.merge(&ShardStats {
+            shard: Some(1),
+            submits: 4,
+            drain_depths: vec![5],
+            sa_restart_wins: vec![2],
+            ..ShardStats::default()
+        });
+        assert_eq!(total.shard, None);
+        assert_eq!(total.submits, 7);
+        assert_eq!(total.drain_depths, vec![6, 2]);
+        assert_eq!(total.sa_restart_wins, vec![2, 1, 0, 0]);
+        let json = serde_json::to_string(&total).unwrap();
+        assert!(
+            !json.contains("18446744073709551615") && !json.contains("\"shard\""),
+            "totals row must not serialize a shard id: {json}"
+        );
+        // Old v1 payloads (no histograms, numeric shard) still parse.
+        let back: ShardStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.shard, None);
+        let per_shard: ShardStats = serde_json::from_str(
+            &serde_json::to_string(&ShardStats {
+                shard: Some(3),
+                ..ShardStats::default()
+            })
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(per_shard.shard, Some(3));
     }
 
     #[test]

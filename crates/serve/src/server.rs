@@ -1,25 +1,67 @@
 //! The TCP front end: accept loop, per-connection threads, shard router.
 //!
-//! Plain `std::net` — one listener thread accepting connections, one
-//! thread per connection reading JSON lines, N shard threads doing the
-//! scheduling work. A connection thread never computes anything: it
-//! parses a request, routes it to the owning shard's queue, blocks on a
-//! reply channel, and writes the reply line. Per-connection ordering is
-//! therefore request order, and per-tenant ordering is total (one shard
-//! owns a tenant).
+//! Plain `std::net` — one listener thread accepting connections, two
+//! threads per connection (a reader and a writer), N shard threads doing
+//! the scheduling work. Connection threads never compute anything.
+//!
+//! **Pipelined connections.** The reader parses each JSON line, stamps
+//! it with its position in the connection's request order, and forwards
+//! it to the owning shard's queue *without waiting for the reply* — a
+//! client may have any number of requests in flight on one connection.
+//! Shards answer onto the connection's frame channel as they finish;
+//! the writer thread re-sequences frames with a [`std::collections::BTreeMap`]
+//! keyed by sequence number and writes every reply in request order, so
+//! the wire contract (replies in request order per connection) is
+//! unchanged from the lockstep server. Per-tenant ordering stays total
+//! because one shard owns a tenant and the reader enqueues in read order.
+//!
+//! **Batched reply codec.** The writer encodes each contiguous run of
+//! ready frames into one retained byte buffer ([`encode_line`], no
+//! intermediate `String`s) and issues a single `write_all` + `flush` per
+//! burst rather than per reply. Snapshot serialization — the largest
+//! reply by far — therefore happens here, off the shard loop. Aggregate
+//! codec counters (bytes, frames, flushes) surface in
+//! [`StatsReply::codec`].
 //!
 //! Shutdown: `Shutdown` flips an atomic flag and pokes the listener with
 //! a throwaway self-connection so `accept` returns; the accept loop then
 //! exits, shard queues get `Stop`, and [`Server::wait`] joins everything
 //! and returns the final service-wide stats.
 
-use crate::protocol::{read_line, write_line, Request, Response, ShardStats, StatsReply};
-use crate::shard::{run_shard, shard_of, ServeConfig, ShardCore, ShardMsg};
-use std::io::{self, BufReader, BufWriter};
+use crate::protocol::{
+    encode_line, read_line_into, CodecStats, Request, Response, ShardStats, StatsReply,
+};
+use crate::shard::{run_shard, shard_of, ConnFrame, ReplyTo, ServeConfig, ShardCore, ShardMsg};
+use std::collections::BTreeMap;
+use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+
+/// Reply-codec counters shared by every connection writer.
+#[derive(Default)]
+struct CodecCounters {
+    reply_bytes: AtomicU64,
+    reply_frames: AtomicU64,
+    flushes: AtomicU64,
+}
+
+impl CodecCounters {
+    fn record(&self, bytes: u64, frames: u64) {
+        self.reply_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.reply_frames.fetch_add(frames, Ordering::Relaxed);
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> CodecStats {
+        CodecStats {
+            reply_bytes: self.reply_bytes.load(Ordering::Relaxed),
+            reply_frames: self.reply_frames.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// Routes requests to shard queues. Cheap to clone — one per connection
 /// thread, plus one kept by the [`Server`] for its own shutdown path.
@@ -27,17 +69,23 @@ use std::thread::JoinHandle;
 pub struct Router {
     shards: Vec<mpsc::Sender<ShardMsg>>,
     shutdown: Arc<AtomicBool>,
+    codec: Arc<CodecCounters>,
     addr: SocketAddr,
 }
 
 impl Router {
-    /// Serves one request to completion, whichever shard owns it.
+    /// Serves one request to completion, whichever shard owns it — the
+    /// synchronous in-process path (tests, embedders). TCP connections
+    /// use the pipelined frame path instead.
     pub fn route(&self, req: Request) -> Response {
         match req.tenant() {
             Some(tenant) => {
                 let shard = shard_of(tenant, self.shards.len());
                 let (tx, rx) = mpsc::channel();
-                if self.shards[shard].send(ShardMsg::Req(req, tx)).is_err() {
+                if self.shards[shard]
+                    .send(ShardMsg::Req(req, ReplyTo::Sync(tx)))
+                    .is_err()
+                {
                     return Response::Error {
                         message: "shard is down".to_string(),
                     };
@@ -70,10 +118,8 @@ impl Router {
                 }
             }
         }
-        let mut total = ShardStats {
-            shard: u64::MAX,
-            ..ShardStats::default()
-        };
+        // The totals row carries no shard index (`shard: None`).
+        let mut total = ShardStats::default();
         for s in &per_shard {
             total.merge(s);
         }
@@ -81,6 +127,7 @@ impl Router {
             shards: self.shards.len() as u64,
             per_shard,
             total,
+            codec: self.codec.snapshot(),
         }
     }
 
@@ -129,6 +176,7 @@ impl Server {
         let router = Router {
             shards: senders,
             shutdown: Arc::new(AtomicBool::new(false)),
+            codec: Arc::new(CodecCounters::default()),
             addr,
         };
 
@@ -208,32 +256,141 @@ impl Server {
     }
 }
 
-/// One connection: read a line, route, write the reply, repeat until EOF
-/// or `Shutdown`'s `Bye`.
+/// One connection's reader half: parse each line, stamp it with its
+/// sequence number, and forward it — tenant-scoped requests go to their
+/// shard's queue without blocking; control requests and parse errors are
+/// answered directly onto the frame channel (still in sequence, so the
+/// writer interleaves them correctly with in-flight shard replies). On
+/// EOF the frame channel is dropped and the writer joined.
 fn serve_connection(stream: TcpStream, router: &Router) {
-    let Ok(read_half) = stream.try_clone() else {
+    let Ok(write_half) = stream.try_clone() else {
         return;
     };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
-    while let Ok(Some(parsed)) = read_line::<Request, _>(&mut reader) {
-        let response = match parsed {
-            Ok(req) => router.route(req),
-            Err(e) => Response::Error {
-                message: format!("bad request line: {e}"),
+    let (tx, rx) = mpsc::channel::<ConnFrame>();
+    let codec = Arc::clone(&router.codec);
+    let Ok(writer) = std::thread::Builder::new()
+        .name("cdsf-conn-writer".to_string())
+        .spawn(move || connection_writer(write_half, &rx, &codec))
+    else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut seq: u64 = 0;
+    while let Ok(Some(parsed)) = read_line_into::<Request, _>(&mut reader, &mut line) {
+        let mut last = false;
+        match parsed {
+            Ok(req) => match req.tenant() {
+                Some(tenant) => {
+                    let shard = shard_of(tenant, router.shards.len());
+                    let framed = ReplyTo::Framed {
+                        seq,
+                        tx: tx.clone(),
+                    };
+                    if let Err(mpsc::SendError(ShardMsg::Req(_, to))) =
+                        router.shards[shard].send(ShardMsg::Req(req, framed))
+                    {
+                        to.send(Response::Error {
+                            message: "shard is down".to_string(),
+                        });
+                    }
+                }
+                None => {
+                    let resp = match req {
+                        Request::Stats => Response::Stats(router.gather_stats()),
+                        Request::Shutdown => {
+                            router.begin_shutdown();
+                            last = true;
+                            Response::Bye
+                        }
+                        _ => Response::Error {
+                            message: "unroutable request".to_string(),
+                        },
+                    };
+                    let _ = tx.send(ConnFrame { seq, resp, last });
+                }
             },
-        };
-        let last = matches!(response, Response::Bye);
-        if write_line(&mut writer, &response).is_err() || last {
+            Err(e) => {
+                let _ = tx.send(ConnFrame {
+                    seq,
+                    resp: Response::Error {
+                        message: format!("bad request line: {e}"),
+                    },
+                    last: false,
+                });
+            }
+        }
+        seq += 1;
+        if last {
             break;
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+}
+
+/// One connection's writer half: re-sequence reply frames and write each
+/// contiguous run as a single buffered burst.
+///
+/// Frames may arrive out of request order (different shards finish at
+/// different times); `pending` holds them until the next expected
+/// sequence number shows up. Each iteration blocks for one frame,
+/// absorbs whatever else is already queued, encodes the ready run into
+/// the retained buffer, and issues one `write_all` + `flush`. A gap in
+/// the run is never a deadlock: the missing sequence number is in flight
+/// at a shard (or the reader), and `recv` will deliver it. Exits after
+/// writing a frame marked `last` (`Bye`), or when every sender
+/// (reader + shards) has hung up.
+fn connection_writer(
+    stream: TcpStream,
+    rx: &mpsc::Receiver<ConnFrame>,
+    codec: &CodecCounters,
+) -> io::Result<()> {
+    let mut w = BufWriter::new(stream);
+    let mut pending: BTreeMap<u64, ConnFrame> = BTreeMap::new();
+    let mut next_seq: u64 = 0;
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    loop {
+        let Ok(frame) = rx.recv() else {
+            return Ok(());
+        };
+        pending.insert(frame.seq, frame);
+        while let Ok(f) = rx.try_recv() {
+            pending.insert(f.seq, f);
+        }
+        buf.clear();
+        let mut frames: u64 = 0;
+        let mut done = false;
+        while let Some(f) = pending.remove(&next_seq) {
+            next_seq += 1;
+            encode_line(&mut buf, &f.resp)?;
+            frames += 1;
+            if f.last {
+                done = true;
+                break;
+            }
+        }
+        if frames > 0 {
+            w.write_all(&buf)?;
+            w.flush()?;
+            codec.record(buf.len() as u64, frames);
+        }
+        if done {
+            return Ok(());
         }
     }
 }
 
 /// A blocking client speaking the line protocol over one connection.
+///
+/// [`Client::request`] is the lockstep convenience; for pipelining, queue
+/// any number of [`Client::send`]s, [`Client::flush`], then drain with
+/// [`Client::recv`] — the server answers in send order.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    buf: Vec<u8>,
+    line: String,
 }
 
 impl Client {
@@ -244,13 +401,28 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(read_half),
             writer: BufWriter::new(stream),
+            buf: Vec::with_capacity(256),
+            line: String::new(),
         })
     }
 
-    /// Sends one request and blocks for its reply.
-    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
-        write_line(&mut self.writer, req)?;
-        match read_line::<Response, _>(&mut self.reader)? {
+    /// Queues one request without flushing (pipelining path).
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        self.buf.clear();
+        encode_line(&mut self.buf, req)?;
+        self.writer.write_all(&self.buf)
+    }
+
+    /// Pushes every queued request to the server.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Blocks for the next in-order reply (flushes queued requests
+    /// first, so a bare `send` + `recv` cannot deadlock).
+    pub fn recv(&mut self) -> io::Result<Response> {
+        self.writer.flush()?;
+        match read_line_into::<Response, _>(&mut self.reader, &mut self.line)? {
             Some(Ok(resp)) => Ok(resp),
             Some(Err(e)) => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -261,5 +433,26 @@ impl Client {
                 "server closed the connection",
             )),
         }
+    }
+
+    /// Sends one request and blocks for its reply (lockstep).
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        self.send(req)?;
+        self.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{read_line, write_line};
+
+    #[test]
+    fn write_line_and_read_line_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_line(&mut buf, &Request::Stats).unwrap();
+        let mut rd = BufReader::new(buf.as_slice());
+        let parsed = read_line::<Request, _>(&mut rd).unwrap().unwrap().unwrap();
+        assert!(matches!(parsed, Request::Stats));
     }
 }

@@ -16,18 +16,33 @@
 //! verification, deterministic kernels), a coalesced request's reply is
 //! bit-identical to the reply it would have received had it run its own
 //! build serially — concurrency changes latency, never bytes.
+//!
+//! **Hot-path caches.** Two deterministic per-shard LRUs sit in front of
+//! the engine cache: a *spec-expansion* cache (`WorkloadSpec → (inputs
+//! key, batch, platform)`, skipping the generator run and the full-input
+//! hash on repeat submissions) and an *allocation-result* cache
+//! (`(engine key, deadline bits, allocator) → allocation + scores`,
+//! skipping the allocator and evaluator entirely). Both are sound
+//! bit-for-bit: spec expansion is a pure function of the spec, the
+//! engine cache structurally verifies every hit, and every Stage-I
+//! allocator is a deterministic function of the engine-key-identified
+//! inputs — so a cached reply carries exactly the bytes a cold one
+//! would. Eviction (`VecDeque` promote-to-front + truncate) is itself a
+//! deterministic function of the request sequence.
 
 use crate::error::{Result, ServeError};
 use crate::protocol::{
-    FingerprintReply, InjectReply, Request, Response, RestoreReply, RobustVerdict, ShardStats,
-    SubmitReply, SubmitRequest, WireAssignment,
+    FallbackReason, FingerprintReply, InjectReply, InjectRequest, Request, Response, RestoreReply,
+    RobustVerdict, ShardStats, SubmitReply, SubmitRequest, WireAssignment, DRAIN_DEPTH_BUCKETS,
 };
-use crate::tenant::{TenantSnapshot, TenantState};
-use cdsf_core::ImPolicy;
+use crate::tenant::{TenantSnapshot, TenantState, WorkloadSpec};
+use cdsf_core::{CoreError, ImPolicy};
 use cdsf_ra::robustness::evaluate_with_engine;
-use cdsf_ra::{Allocation, EngineCache, Phi1Engine, RebuildMap};
+use cdsf_ra::{
+    Allocation, EngineCache, MultiStartReport, Phi1Engine, RaError, RebuildMap, SimulatedAnnealing,
+};
 use cdsf_system::{Batch, Platform};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::mpsc;
 
 /// Service configuration, shared by every shard.
@@ -82,14 +97,84 @@ pub fn shard_of(tenant: &str, shards: usize) -> usize {
     (h % shards.max(1) as u64) as usize
 }
 
+/// One sequence-numbered reply frame on a connection's reply lane.
+#[derive(Debug)]
+pub struct ConnFrame {
+    /// Position in the connection's request order.
+    pub seq: u64,
+    /// The reply; the connection's writer thread serializes it into its
+    /// retained buffer (keeping `Snapshot` serialization — and every
+    /// other reply's — off the shard loop).
+    pub resp: Response,
+    /// The writer exits after writing this frame (`Bye`).
+    pub last: bool,
+}
+
+/// Where a served request's reply goes.
+pub enum ReplyTo {
+    /// An in-process caller blocking on a channel ([`crate::Router`]'s
+    /// synchronous path, tests, the stats poller).
+    Sync(mpsc::Sender<Response>),
+    /// A connection's pipelined reply lane: frames are re-sequenced and
+    /// batch-flushed by the connection's writer thread.
+    Framed {
+        /// Position in the connection's request order.
+        seq: u64,
+        /// The connection's frame channel.
+        tx: mpsc::Sender<ConnFrame>,
+    },
+}
+
+impl ReplyTo {
+    /// Delivers `resp`; a hung-up receiver just discards it.
+    pub fn send(self, resp: Response) {
+        match self {
+            ReplyTo::Sync(tx) => {
+                let _ = tx.send(resp);
+            }
+            ReplyTo::Framed { seq, tx } => {
+                let _ = tx.send(ConnFrame {
+                    seq,
+                    resp,
+                    last: false,
+                });
+            }
+        }
+    }
+}
+
 /// A message on a shard's queue.
 pub enum ShardMsg {
-    /// Serve one request; reply on the provided channel.
-    Req(Request, mpsc::Sender<Response>),
+    /// Serve one request; reply to the provided destination.
+    Req(Request, ReplyTo),
     /// Report the shard's counters.
     Stats(mpsc::Sender<ShardStats>),
     /// Exit the shard loop.
     Stop,
+}
+
+/// A cached spec expansion: the inputs key plus the expanded pair, so a
+/// repeat submission pays neither the generator run nor the full-input
+/// FNV walk.
+struct SpecEntry {
+    spec: WorkloadSpec,
+    key: u64,
+    batch: Batch,
+    platform: Platform,
+}
+
+/// A cached allocation outcome. Allocators are deterministic functions
+/// of the engine (identified by `engine_key`) and the deadline, so the
+/// stored reply fields are bit-identical to what a fresh run produces.
+struct AllocEntry {
+    engine_key: u64,
+    deadline_bits: u64,
+    allocator: String,
+    assignments: Vec<WireAssignment>,
+    per_app: Vec<f64>,
+    expected_times: Vec<f64>,
+    joint: f64,
+    fallback: Option<FallbackReason>,
 }
 
 /// One shard's entire state. Public so tests (and the loadgen's in-process
@@ -99,12 +184,25 @@ pub struct ShardCore {
     cfg: ServeConfig,
     cache: EngineCache,
     tenants: BTreeMap<String, TenantState>,
+    spec_cache: VecDeque<SpecEntry>,
+    spec_cache_cap: usize,
+    alloc_cache: VecDeque<AllocEntry>,
+    alloc_cache_cap: usize,
     submits: u64,
     injects: u64,
     snapshots: u64,
     restores: u64,
     errors: u64,
     alloc_fallbacks: u64,
+    alloc_fallbacks_infeasible: u64,
+    alloc_fallbacks_other: u64,
+    spec_cache_hits: u64,
+    spec_cache_misses: u64,
+    alloc_cache_hits: u64,
+    alloc_cache_misses: u64,
+    drain_depths: [u64; DRAIN_DEPTH_BUCKETS],
+    sa_multistart_runs: u64,
+    sa_restart_wins: Vec<u64>,
     coalesced: u64,
     builds: u64,
 }
@@ -113,17 +211,34 @@ impl ShardCore {
     /// A fresh shard with an empty cache and no tenants.
     pub fn new(id: usize, cfg: ServeConfig) -> Self {
         let cfg = cfg.normalized();
+        // The front caches are cheap per entry (a spec expansion is a few
+        // KB, an allocation outcome a few hundred bytes), so they run 4×
+        // deeper than the engine cache they shield.
+        let front_cap = (cfg.cache_capacity * 4).max(8);
         Self {
             id,
             cache: EngineCache::with_capacity(cfg.cache_capacity),
             cfg,
             tenants: BTreeMap::new(),
+            spec_cache: VecDeque::new(),
+            spec_cache_cap: front_cap,
+            alloc_cache: VecDeque::new(),
+            alloc_cache_cap: front_cap,
             submits: 0,
             injects: 0,
             snapshots: 0,
             restores: 0,
             errors: 0,
             alloc_fallbacks: 0,
+            alloc_fallbacks_infeasible: 0,
+            alloc_fallbacks_other: 0,
+            spec_cache_hits: 0,
+            spec_cache_misses: 0,
+            alloc_cache_hits: 0,
+            alloc_cache_misses: 0,
+            drain_depths: [0; DRAIN_DEPTH_BUCKETS],
+            sa_multistart_runs: 0,
+            sa_restart_wins: Vec::new(),
             coalesced: 0,
             builds: 0,
         }
@@ -142,22 +257,30 @@ impl ShardCore {
     pub fn process_batch(&mut self, reqs: &[Request]) -> Vec<Response> {
         let mut keys_built: HashSet<u64> = HashSet::new();
         reqs.iter()
-            .map(|req| match self.dispatch(req, &mut keys_built) {
-                Ok(resp) => resp,
-                Err(e) => {
-                    self.errors += 1;
-                    Response::Error {
-                        message: e.to_string(),
-                    }
-                }
-            })
+            .map(|req| self.serve_owned(req.clone(), &mut keys_built))
             .collect()
     }
 
-    fn dispatch(&mut self, req: &Request, keys_built: &mut HashSet<u64>) -> Result<Response> {
+    /// Serves one owned request within an admission batch whose
+    /// coalescing state lives in `keys_built`. Owning the request lets
+    /// the reply *move* the tenant id (and other strings) instead of
+    /// cloning them — the shard loop's zero-clone path.
+    pub fn serve_owned(&mut self, req: Request, keys_built: &mut HashSet<u64>) -> Response {
+        match self.dispatch(req, keys_built) {
+            Ok(resp) => resp,
+            Err(e) => {
+                self.errors += 1;
+                Response::Error {
+                    message: e.to_string(),
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, req: Request, keys_built: &mut HashSet<u64>) -> Result<Response> {
         match req {
             Request::Submit(r) => self.submit(r, keys_built),
-            Request::Inject(r) => self.inject(&r.tenant, &r.event, keys_built),
+            Request::Inject(r) => self.inject(r, keys_built),
             Request::Snapshot { tenant } => self.snapshot(tenant),
             Request::Restore { snapshot } => self.restore(snapshot, keys_built),
             Request::Fingerprint { tenant } => self.fingerprint(tenant),
@@ -180,76 +303,215 @@ impl ShardCore {
         }
     }
 
-    fn submit(&mut self, r: &SubmitRequest, keys_built: &mut HashSet<u64>) -> Result<Response> {
-        if !(r.deadline > 0.0) || !r.deadline.is_finite() {
+    /// Per-request fallback accounting — cached outcomes count too, so
+    /// the rate keeps meaning "requests whose allocation fell back",
+    /// independent of cache warmth.
+    fn record_fallback(&mut self, fallback: Option<FallbackReason>) {
+        let Some(reason) = fallback else { return };
+        self.alloc_fallbacks += 1;
+        match reason {
+            FallbackReason::Infeasible => self.alloc_fallbacks_infeasible += 1,
+            FallbackReason::Other => self.alloc_fallbacks_other += 1,
+        }
+    }
+
+    fn record_sa(&mut self, report: &MultiStartReport) {
+        self.sa_multistart_runs += 1;
+        if self.sa_restart_wins.len() < report.restarts {
+            self.sa_restart_wins.resize(report.restarts, 0);
+        }
+        self.sa_restart_wins[report.winner] += 1;
+    }
+
+    /// Ensures the front spec-cache entry expands `spec`, running the
+    /// generator + input hash only on a miss.
+    fn spec_to_front(&mut self, spec: WorkloadSpec) -> Result<()> {
+        match self.spec_cache.iter().position(|e| e.spec == spec) {
+            Some(pos) => {
+                self.spec_cache_hits += 1;
+                if pos > 0 {
+                    let e = self.spec_cache.remove(pos).expect("position exists");
+                    self.spec_cache.push_front(e);
+                }
+            }
+            None => {
+                self.spec_cache_misses += 1;
+                let (batch, platform) = spec.expand()?;
+                let key = cdsf_ra::inputs_key(&batch, &platform);
+                self.spec_cache.push_front(SpecEntry {
+                    spec,
+                    key,
+                    batch,
+                    platform,
+                });
+                self.spec_cache.truncate(self.spec_cache_cap);
+            }
+        }
+        Ok(())
+    }
+
+    fn submit(&mut self, r: SubmitRequest, keys_built: &mut HashSet<u64>) -> Result<Response> {
+        let SubmitRequest {
+            tenant,
+            spec,
+            deadline,
+            allocator,
+            threshold,
+        } = r;
+        if !(deadline > 0.0) || !deadline.is_finite() {
             return Err(ServeError::Protocol(format!(
-                "deadline {} must be finite and positive",
-                r.deadline
+                "deadline {deadline} must be finite and positive"
             )));
         }
-        let threshold = r.threshold.unwrap_or(self.cfg.phi1_threshold);
+        let threshold = threshold.unwrap_or(self.cfg.phi1_threshold);
         if !(threshold > 0.0) || threshold > 1.0 {
             return Err(ServeError::Protocol(format!(
                 "threshold {threshold} out of (0, 1]"
             )));
         }
-        let allocator_name = r
-            .allocator
-            .clone()
-            .unwrap_or_else(|| self.cfg.default_allocator.clone());
-        let policy = resolve_allocator(&allocator_name)?;
+        let allocator_name = allocator.unwrap_or_else(|| self.cfg.default_allocator.clone());
+        let policy = resolve_policy(&allocator_name, &self.cfg)?;
 
-        let (batch, platform) = r.spec.expand()?;
+        self.spec_to_front(spec)?;
         let threads = self.cfg.build_threads;
-        let outcome = self.cache.get_or_build(&batch, &platform, threads)?;
-        let (key, hit) = (outcome.key, outcome.hit);
-        let (alloc, fell_back) =
-            allocate_or_fallback(&policy, &batch, &platform, outcome.engine, r.deadline)?;
-        let report = evaluate_with_engine(outcome.engine, &batch, &platform, &alloc, r.deadline)?;
-        self.alloc_fallbacks += u64::from(fell_back);
+        let entry = &self.spec_cache[0];
+        let key = entry.key;
+        let outcome = self
+            .cache
+            .get_or_build_keyed(key, &entry.batch, &entry.platform, threads)?;
+        let hit = outcome.hit;
+
+        let deadline_bits = deadline.to_bits();
+        let cached_pos = self.alloc_cache.iter().position(|e| {
+            e.engine_key == key && e.deadline_bits == deadline_bits && e.allocator == allocator_name
+        });
+        let mut sa_report = None;
+        let (assignments, per_app, expected_times, joint, fallback) = match cached_pos {
+            // Served start-to-finish from the result cache: no allocator,
+            // no evaluator. (Promotion happens below, after the engine
+            // borrow ends.)
+            Some(pos) => {
+                let e = &self.alloc_cache[pos];
+                (
+                    e.assignments.clone(),
+                    e.per_app.clone(),
+                    e.expected_times.clone(),
+                    e.joint,
+                    e.fallback,
+                )
+            }
+            None => {
+                let run = allocate_or_fallback(
+                    &policy,
+                    &entry.batch,
+                    &entry.platform,
+                    outcome.engine,
+                    deadline,
+                )?;
+                let report = evaluate_with_engine(
+                    outcome.engine,
+                    &entry.batch,
+                    &entry.platform,
+                    &run.alloc,
+                    deadline,
+                )?;
+                sa_report = run.sa;
+                (
+                    wire_assignments(&run.alloc),
+                    report.per_app,
+                    report.expected_times,
+                    report.joint,
+                    run.fallback,
+                )
+            }
+        };
+        // Engine borrow over; fold the outcome into the caches/counters.
+        match cached_pos {
+            Some(pos) => {
+                self.alloc_cache_hits += 1;
+                if pos > 0 {
+                    let e = self.alloc_cache.remove(pos).expect("position exists");
+                    self.alloc_cache.push_front(e);
+                }
+            }
+            None => {
+                self.alloc_cache_misses += 1;
+                self.alloc_cache.push_front(AllocEntry {
+                    engine_key: key,
+                    deadline_bits,
+                    allocator: allocator_name.clone(),
+                    assignments: assignments.clone(),
+                    per_app: per_app.clone(),
+                    expected_times: expected_times.clone(),
+                    joint,
+                    fallback,
+                });
+                self.alloc_cache.truncate(self.alloc_cache_cap);
+            }
+        }
+        if let Some(sa) = sa_report {
+            self.record_sa(&sa);
+        }
+        self.record_fallback(fallback);
         self.account(key, hit, keys_built);
 
-        self.tenants.insert(
-            r.tenant.clone(),
-            TenantState {
-                spec: r.spec,
-                deadline: r.deadline,
-                allocator: allocator_name,
-                threshold,
-                batch,
-                platform,
-                engine_key: key,
-                events_applied: 0,
-            },
-        );
+        let entry = &self.spec_cache[0];
+        match self.tenants.get_mut(&tenant) {
+            Some(state) => {
+                // Re-submission of inputs the state already holds: skip
+                // the batch/platform clones, just refresh the parameters.
+                if state.engine_key != key || state.spec != spec || state.events_applied != 0 {
+                    state.batch = entry.batch.clone();
+                    state.platform = entry.platform.clone();
+                }
+                state.spec = spec;
+                state.deadline = deadline;
+                state.allocator = allocator_name;
+                state.threshold = threshold;
+                state.engine_key = key;
+                state.events_applied = 0;
+            }
+            None => {
+                self.tenants.insert(
+                    tenant.clone(),
+                    TenantState {
+                        spec,
+                        deadline,
+                        allocator: allocator_name,
+                        threshold,
+                        batch: entry.batch.clone(),
+                        platform: entry.platform.clone(),
+                        engine_key: key,
+                        events_applied: 0,
+                    },
+                );
+            }
+        }
         self.submits += 1;
         Ok(Response::Submit(SubmitReply {
-            tenant: r.tenant.clone(),
+            tenant,
             engine_key: key,
-            assignments: wire_assignments(&alloc),
-            per_app_phi1: report.per_app,
-            expected_times: report.expected_times,
+            assignments,
+            per_app_phi1: per_app,
+            expected_times,
             verdict: RobustVerdict {
-                phi1: report.joint,
+                phi1: joint,
                 threshold,
-                robust: report.joint >= threshold,
+                robust: joint >= threshold,
                 guaranteed_tier: None,
             },
         }))
     }
 
-    fn inject(
-        &mut self,
-        tenant: &str,
-        event: &crate::tenant::TenantEvent,
-        keys_built: &mut HashSet<u64>,
-    ) -> Result<Response> {
+    fn inject(&mut self, r: InjectRequest, keys_built: &mut HashSet<u64>) -> Result<Response> {
+        let InjectRequest { tenant, event } = r;
         let state = self
             .tenants
-            .get(tenant)
-            .ok_or_else(|| unknown_tenant(tenant))?;
-        let (batch, platform, apps_map, types_map) = state.apply_event(event)?;
-        let policy = resolve_allocator(&state.allocator)?;
+            .get(&tenant)
+            .ok_or_else(|| unknown_tenant(&tenant))?;
+        let (batch, platform, apps_map, types_map) = state.apply_event(&event)?;
+        let allocator_name = state.allocator.clone();
+        let policy = resolve_policy(&allocator_name, &self.cfg)?;
         let (prev_key, deadline, threshold) = (state.engine_key, state.deadline, state.threshold);
 
         let threads = self.cfg.build_threads;
@@ -264,49 +526,106 @@ impl ShardCore {
             threads,
         )?;
         let (key, hit, reused) = (outcome.key, outcome.hit, outcome.reused_cells);
-        let (alloc, fell_back) =
-            allocate_or_fallback(&policy, &batch, &platform, outcome.engine, deadline)?;
-        let report = evaluate_with_engine(outcome.engine, &batch, &platform, &alloc, deadline)?;
-        self.alloc_fallbacks += u64::from(fell_back);
+        let deadline_bits = deadline.to_bits();
+        let cached_pos = self.alloc_cache.iter().position(|e| {
+            e.engine_key == key && e.deadline_bits == deadline_bits && e.allocator == allocator_name
+        });
+        let mut sa_report = None;
+        let (assignments, per_app, expected_times, joint, fallback) = match cached_pos {
+            Some(pos) => {
+                let e = &self.alloc_cache[pos];
+                (
+                    e.assignments.clone(),
+                    e.per_app.clone(),
+                    e.expected_times.clone(),
+                    e.joint,
+                    e.fallback,
+                )
+            }
+            None => {
+                let run =
+                    allocate_or_fallback(&policy, &batch, &platform, outcome.engine, deadline)?;
+                let report =
+                    evaluate_with_engine(outcome.engine, &batch, &platform, &run.alloc, deadline)?;
+                sa_report = run.sa;
+                (
+                    wire_assignments(&run.alloc),
+                    report.per_app,
+                    report.expected_times,
+                    report.joint,
+                    run.fallback,
+                )
+            }
+        };
+        match cached_pos {
+            Some(pos) => {
+                self.alloc_cache_hits += 1;
+                if pos > 0 {
+                    let e = self.alloc_cache.remove(pos).expect("position exists");
+                    self.alloc_cache.push_front(e);
+                }
+            }
+            None => {
+                self.alloc_cache_misses += 1;
+                self.alloc_cache.push_front(AllocEntry {
+                    engine_key: key,
+                    deadline_bits,
+                    allocator: allocator_name.clone(),
+                    assignments: assignments.clone(),
+                    per_app: per_app.clone(),
+                    expected_times,
+                    joint,
+                    fallback,
+                });
+                self.alloc_cache.truncate(self.alloc_cache_cap);
+            }
+        }
+        if let Some(sa) = sa_report {
+            self.record_sa(&sa);
+        }
+        self.record_fallback(fallback);
         self.account(key, hit, keys_built);
 
-        let state = self.tenants.get_mut(tenant).expect("checked above");
+        let state = self.tenants.get_mut(&tenant).expect("checked above");
         state.batch = batch;
         state.platform = platform;
         state.engine_key = key;
         state.events_applied += 1;
         self.injects += 1;
         Ok(Response::Inject(InjectReply {
-            tenant: tenant.to_string(),
+            tenant,
             engine_key: key,
             reused_cells: reused as u64,
-            assignments: wire_assignments(&alloc),
-            per_app_phi1: report.per_app,
+            assignments,
+            per_app_phi1: per_app,
             verdict: RobustVerdict {
-                phi1: report.joint,
+                phi1: joint,
                 threshold,
-                robust: report.joint >= threshold,
+                robust: joint >= threshold,
                 guaranteed_tier: None,
             },
         }))
     }
 
-    fn snapshot(&mut self, tenant: &str) -> Result<Response> {
+    fn snapshot(&mut self, tenant: String) -> Result<Response> {
         let state = self
             .tenants
-            .get(tenant)
-            .ok_or_else(|| unknown_tenant(tenant))?;
-        let snapshot = state.snapshot(tenant);
+            .get(&tenant)
+            .ok_or_else(|| unknown_tenant(&tenant))?;
+        // The shard only clones the state here (cheap relative to JSON);
+        // the expensive serialization of this reply happens on the
+        // connection's writer thread, off the shard loop.
+        let snapshot = state.snapshot(&tenant);
         self.snapshots += 1;
         Ok(Response::Snapshot { snapshot })
     }
 
     fn restore(
         &mut self,
-        snapshot: &TenantSnapshot,
+        snapshot: TenantSnapshot,
         keys_built: &mut HashSet<u64>,
     ) -> Result<Response> {
-        let mut state = TenantState::from_snapshot(snapshot);
+        let mut state = TenantState::from_snapshot(&snapshot);
         let threads = self.cfg.build_threads;
         let outcome = self
             .cache
@@ -315,20 +634,21 @@ impl ShardCore {
         let fingerprint = outcome.engine.table_fingerprint();
         self.account(key, hit, keys_built);
         state.engine_key = key;
-        self.tenants.insert(snapshot.tenant.clone(), state);
+        let tenant = snapshot.tenant;
+        self.tenants.insert(tenant.clone(), state);
         self.restores += 1;
         Ok(Response::Restored(RestoreReply {
-            tenant: snapshot.tenant.clone(),
+            tenant,
             engine_key: key,
             fingerprint,
         }))
     }
 
-    fn fingerprint(&mut self, tenant: &str) -> Result<Response> {
+    fn fingerprint(&mut self, tenant: String) -> Result<Response> {
         let state = self
             .tenants
-            .get(tenant)
-            .ok_or_else(|| unknown_tenant(tenant))?;
+            .get(&tenant)
+            .ok_or_else(|| unknown_tenant(&tenant))?;
         let key = state.engine_key;
         let fingerprint = match self.cache.peek(key) {
             Some(engine) => engine.table_fingerprint(),
@@ -344,17 +664,26 @@ impl ShardCore {
             }
         };
         Ok(Response::Fingerprint(FingerprintReply {
-            tenant: tenant.to_string(),
+            tenant,
             engine_key: key,
             fingerprint,
         }))
+    }
+
+    /// Buckets one admission batch's drain depth into the log₂ histogram.
+    pub fn record_drain_depth(&mut self, depth: usize) {
+        if depth == 0 {
+            return;
+        }
+        let bucket = (usize::BITS - 1 - depth.leading_zeros()) as usize;
+        self.drain_depths[bucket.min(DRAIN_DEPTH_BUCKETS - 1)] += 1;
     }
 
     /// The shard's counters, cache and pool telemetry included.
     pub fn stats(&self) -> ShardStats {
         let pool = self.cache.pool_totals();
         ShardStats {
-            shard: self.id as u64,
+            shard: Some(self.id as u64),
             tenants: self.tenants.len() as u64,
             submits: self.submits,
             injects: self.injects,
@@ -362,6 +691,15 @@ impl ShardCore {
             restores: self.restores,
             errors: self.errors,
             alloc_fallbacks: self.alloc_fallbacks,
+            alloc_fallbacks_infeasible: self.alloc_fallbacks_infeasible,
+            alloc_fallbacks_other: self.alloc_fallbacks_other,
+            spec_cache_hits: self.spec_cache_hits,
+            spec_cache_misses: self.spec_cache_misses,
+            alloc_cache_hits: self.alloc_cache_hits,
+            alloc_cache_misses: self.alloc_cache_misses,
+            drain_depths: self.drain_depths.to_vec(),
+            sa_multistart_runs: self.sa_multistart_runs,
+            sa_restart_wins: self.sa_restart_wins.clone(),
             cache_len: self.cache.len() as u64,
             cache_capacity: self.cache.capacity() as u64,
             cache_hits: self.cache.hits(),
@@ -380,32 +718,94 @@ fn unknown_tenant(tenant: &str) -> ServeError {
     ServeError::Protocol(format!("unknown tenant `{tenant}` (submit first)"))
 }
 
-fn resolve_allocator(name: &str) -> Result<ImPolicy> {
-    ImPolicy::by_name(name)
-        .ok_or_else(|| ServeError::Protocol(format!("unknown allocator `{name}`")))
+/// How a shard runs a named allocator.
+enum ShardPolicy {
+    /// The framework's policy dispatch, unchanged.
+    Standard(ImPolicy),
+    /// `sa`/`annealing` resolve to the pooled multi-start annealer with
+    /// the shard's configured pool width — same seeds, same in-order
+    /// argmax, so the allocation (and reply bytes) are identical to the
+    /// serial annealer for every width.
+    PooledSa(SimulatedAnnealing),
+}
+
+fn resolve_policy(name: &str, cfg: &ServeConfig) -> Result<ShardPolicy> {
+    match name {
+        "sa" | "annealing" => Ok(ShardPolicy::PooledSa(SimulatedAnnealing {
+            threads: cfg.build_threads,
+            ..SimulatedAnnealing::default()
+        })),
+        _ => ImPolicy::by_name(name)
+            .map(ShardPolicy::Standard)
+            .ok_or_else(|| ServeError::Protocol(format!("unknown allocator `{name}`"))),
+    }
+}
+
+/// One allocation run's outcome: the allocation, whether (and why) it
+/// fell back, and the pooled-SA telemetry when that path ran.
+struct AllocRun {
+    alloc: Allocation,
+    fallback: Option<FallbackReason>,
+    sa: Option<MultiStartReport>,
+}
+
+fn classify_core(e: &CoreError) -> FallbackReason {
+    match e {
+        CoreError::Ra(RaError::NoFeasibleAllocation) => FallbackReason::Infeasible,
+        _ => FallbackReason::Other,
+    }
 }
 
 /// Runs the requested policy; if its greedy packing paints itself into a
 /// corner ("no feasible allocation" on an instance equal-share can still
 /// fit), falls back deterministically to equal-share rather than
-/// rejecting the workload. Returns whether the fallback was taken; the
-/// original error propagates when even equal-share cannot pack the batch.
+/// rejecting the workload. The fallback reason records whether the
+/// primary failure was infeasibility (a property of the spec/deadline)
+/// or something else; the original error propagates when even
+/// equal-share cannot pack the batch.
 fn allocate_or_fallback(
-    policy: &ImPolicy,
+    policy: &ShardPolicy,
     batch: &Batch,
     platform: &Platform,
     engine: &Phi1Engine,
     deadline: f64,
-) -> Result<(Allocation, bool)> {
-    match policy.allocate_with_engine(batch, platform, engine, deadline) {
-        Ok(alloc) => Ok((alloc, false)),
-        Err(primary) => {
-            if matches!(policy, ImPolicy::Naive) {
-                return Err(ServeError::Framework(primary.to_string()));
+) -> Result<AllocRun> {
+    let primary: std::result::Result<AllocRun, (String, FallbackReason)> = match policy {
+        ShardPolicy::Standard(p) => match p.allocate_with_engine(batch, platform, engine, deadline)
+        {
+            Ok(alloc) => Ok(AllocRun {
+                alloc,
+                fallback: None,
+                sa: None,
+            }),
+            Err(e) => Err((e.to_string(), classify_core(&e))),
+        },
+        ShardPolicy::PooledSa(sa) => match sa.allocate_multi_start(platform, engine, deadline) {
+            Ok((alloc, report)) => Ok(AllocRun {
+                alloc,
+                fallback: None,
+                sa: Some(report),
+            }),
+            Err(RaError::NoFeasibleAllocation) => Err((
+                RaError::NoFeasibleAllocation.to_string(),
+                FallbackReason::Infeasible,
+            )),
+            Err(e) => Err((e.to_string(), FallbackReason::Other)),
+        },
+    };
+    match primary {
+        Ok(run) => Ok(run),
+        Err((message, reason)) => {
+            if matches!(policy, ShardPolicy::Standard(ImPolicy::Naive)) {
+                return Err(ServeError::Framework(message));
             }
             match ImPolicy::Naive.allocate_with_engine(batch, platform, engine, deadline) {
-                Ok(alloc) => Ok((alloc, true)),
-                Err(_) => Err(ServeError::Framework(primary.to_string())),
+                Ok(alloc) => Ok(AllocRun {
+                    alloc,
+                    fallback: Some(reason),
+                    sa: None,
+                }),
+                Err(_) => Err(ServeError::Framework(message)),
             }
         }
     }
@@ -424,21 +824,25 @@ fn wire_assignments(alloc: &Allocation) -> Vec<WireAssignment> {
 
 /// The shard thread loop: block for one message, drain the queue into an
 /// admission batch (stopping at [`ServeConfig::drain_limit`] or a control
-/// message), serve it, reply in arrival order, then handle the control
-/// message. Exits on [`ShardMsg::Stop`] or a closed queue.
+/// message), serve it in arrival order — each reply leaves for its
+/// connection's writer the moment it is computed — then handle the
+/// control message. The admission arena and the per-batch coalescing set
+/// are reused across batches, so a warm shard loop allocates nothing for
+/// the batching itself. Exits on [`ShardMsg::Stop`] or a closed queue.
 pub fn run_shard(core: &mut ShardCore, rx: &mpsc::Receiver<ShardMsg>) {
+    let mut admitted: Vec<(Request, ReplyTo)> = Vec::new();
+    let mut keys_built: HashSet<u64> = HashSet::new();
     loop {
         let Ok(first) = rx.recv() else { break };
         let mut control = None;
-        let mut admitted: Vec<(Request, mpsc::Sender<Response>)> = Vec::new();
         match first {
-            ShardMsg::Req(req, tx) => admitted.push((req, tx)),
+            ShardMsg::Req(req, to) => admitted.push((req, to)),
             other => control = Some(other),
         }
         if control.is_none() {
             while admitted.len() < core.cfg.drain_limit {
                 match rx.try_recv() {
-                    Ok(ShardMsg::Req(req, tx)) => admitted.push((req, tx)),
+                    Ok(ShardMsg::Req(req, to)) => admitted.push((req, to)),
                     Ok(other) => {
                         control = Some(other);
                         break;
@@ -448,11 +852,11 @@ pub fn run_shard(core: &mut ShardCore, rx: &mpsc::Receiver<ShardMsg>) {
             }
         }
         if !admitted.is_empty() {
-            let reqs: Vec<Request> = admitted.iter().map(|(r, _)| r.clone()).collect();
-            let replies = core.process_batch(&reqs);
-            for ((_, tx), reply) in admitted.into_iter().zip(replies) {
-                // A client that hung up just discards its reply.
-                let _ = tx.send(reply);
+            core.record_drain_depth(admitted.len());
+            keys_built.clear();
+            for (req, to) in admitted.drain(..) {
+                let reply = core.serve_owned(req, &mut keys_built);
+                to.send(reply);
             }
         }
         match control {
@@ -570,6 +974,12 @@ mod tests {
         assert_eq!(stats.builds, 1, "one build for four same-spec submits");
         assert_eq!(stats.coalesced, 3);
         assert!((core.stats().coalescing_factor() - 4.0).abs() < 1e-12);
+        // The front caches shielded the repeats: one expansion, one
+        // allocator run, three hits each.
+        assert_eq!(stats.spec_cache_misses, 1);
+        assert_eq!(stats.spec_cache_hits, 3);
+        assert_eq!(stats.alloc_cache_misses, 1);
+        assert_eq!(stats.alloc_cache_hits, 3);
     }
 
     #[test]
@@ -595,6 +1005,107 @@ mod tests {
             assert_eq!(a.verdict.phi1.to_bits(), b.verdict.phi1.to_bits());
             assert_eq!(a.assignments, b.assignments);
         }
+    }
+
+    #[test]
+    fn warm_cached_reply_is_bit_identical_to_cold() {
+        // The spec-expansion and allocation-result caches must be
+        // invisible in the bytes: the same submit served cold (all
+        // misses) and warm (all hits) produces identical replies.
+        let mut core = ShardCore::new(0, test_cfg());
+        let req = submit("acme", 1_234);
+        let cold = core.handle(&req);
+        let warm = core.handle(&req);
+        let warm2 = core.handle(&req);
+        let cold_bytes = serde_json::to_string(&cold).unwrap();
+        assert_eq!(cold_bytes, serde_json::to_string(&warm).unwrap());
+        assert_eq!(cold_bytes, serde_json::to_string(&warm2).unwrap());
+        let stats = core.stats();
+        assert_eq!(stats.spec_cache_misses, 1);
+        assert_eq!(stats.alloc_cache_misses, 1);
+        assert_eq!(stats.alloc_cache_hits, 2);
+    }
+
+    #[test]
+    fn fallback_is_a_function_of_the_spec_not_the_shard() {
+        // Satellite: the committed bench shows shard 0 with 949 fallbacks
+        // vs shard 1 with 3 — that skew is tenant routing (which shard
+        // *sees* the fallback-y spec), not shard-dependent behavior.
+        // Serve the same requests on shards with different ids: replies
+        // and fallback counters must be identical.
+        let reqs: Vec<Request> = (0..24)
+            .flat_map(|i| {
+                vec![
+                    submit(&format!("tenant-{i}"), 40 + (i % 6) as u64),
+                    Request::Inject(crate::protocol::InjectRequest {
+                        tenant: format!("tenant-{i}"),
+                        event: TenantEvent::Degrade {
+                            proc_type: 0,
+                            factor: 0.5 + 0.01 * (i % 5) as f64,
+                        },
+                    }),
+                ]
+            })
+            .collect();
+        let mut shard0 = ShardCore::new(0, test_cfg());
+        let mut shard7 = ShardCore::new(7, test_cfg());
+        let replies0 = shard0.process_batch(&reqs);
+        let replies7 = shard7.process_batch(&reqs);
+        assert_eq!(
+            serde_json::to_string(&replies0).unwrap(),
+            serde_json::to_string(&replies7).unwrap(),
+            "shard id leaked into replies"
+        );
+        let (s0, s7) = (shard0.stats(), shard7.stats());
+        assert_eq!(s0.alloc_fallbacks, s7.alloc_fallbacks);
+        assert_eq!(s0.alloc_fallbacks_infeasible, s7.alloc_fallbacks_infeasible);
+        assert_eq!(s0.alloc_fallbacks_other, s7.alloc_fallbacks_other);
+        // Every fallback is accounted to exactly one reason.
+        assert_eq!(
+            s0.alloc_fallbacks,
+            s0.alloc_fallbacks_infeasible + s0.alloc_fallbacks_other
+        );
+    }
+
+    #[test]
+    fn pooled_sa_allocator_serves_and_reports_wins() {
+        let mut core = ShardCore::new(0, test_cfg());
+        let resp = core.handle(&Request::Submit(SubmitRequest {
+            tenant: "acme".to_string(),
+            spec: spec(3),
+            deadline: 2_800.0,
+            allocator: Some("sa".to_string()),
+            threshold: None,
+        }));
+        let Response::Submit(reply) = resp else {
+            panic!("expected submit reply, got {resp:?}");
+        };
+        assert_eq!(reply.assignments.len(), 3);
+        let stats = core.stats();
+        assert_eq!(stats.sa_multistart_runs, 1);
+        assert_eq!(stats.sa_restart_wins.iter().sum::<u64>(), 1);
+        // A warm repeat is served from the result cache — no second run.
+        let warm = core.handle(&Request::Submit(SubmitRequest {
+            tenant: "acme".to_string(),
+            spec: spec(3),
+            deadline: 2_800.0,
+            allocator: Some("sa".to_string()),
+            threshold: None,
+        }));
+        assert_eq!(
+            serde_json::to_string(&Response::Submit(reply)).unwrap(),
+            serde_json::to_string(&warm).unwrap()
+        );
+        assert_eq!(core.stats().sa_multistart_runs, 1);
+    }
+
+    #[test]
+    fn drain_depths_land_in_log2_buckets() {
+        let mut core = ShardCore::new(0, test_cfg());
+        for depth in [1, 2, 3, 4, 7, 8, 127, 128, 4096] {
+            core.record_drain_depth(depth);
+        }
+        assert_eq!(core.stats().drain_depths, vec![1, 2, 2, 1, 0, 0, 1, 2]);
     }
 
     #[test]

@@ -269,3 +269,151 @@ fn tcp_server_serves_concurrent_clients() {
     let final_stats = server.wait();
     assert_eq!(final_stats.total.submits, 6);
 }
+
+/// The pipelined data plane is invisible in the bytes: a connection with
+/// many requests in flight gets exactly the replies — in exactly the
+/// order — a lockstep connection gets for the same stream, even though
+/// the requests fan out across shards and complete out of order.
+#[test]
+fn pipelined_replies_match_lockstep_in_order_and_bytes() {
+    // Tenants spread across both shards; repeated specs exercise the
+    // caches; injections force cross-request state dependencies.
+    let mut reqs = Vec::new();
+    for i in 0..10 {
+        let spec = WorkloadSpec {
+            apps: 3,
+            types: 2,
+            pulses: 5,
+            seed: 300 + (i % 3) as u64,
+        };
+        reqs.push(submit(&format!("tenant-{i}"), spec, 2_800.0));
+    }
+    for i in 0..10 {
+        reqs.push(Request::Inject(InjectRequest {
+            tenant: format!("tenant-{i}"),
+            event: TenantEvent::Drift { factor: 0.9 },
+        }));
+        reqs.push(Request::Fingerprint {
+            tenant: format!("tenant-{i}"),
+        });
+    }
+
+    let run = |pipelined: bool| -> Vec<String> {
+        let cfg = ServeConfig {
+            shards: 2,
+            build_threads: 2,
+            ..ServeConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let mut replies = Vec::with_capacity(reqs.len());
+        if pipelined {
+            // Everything in flight at once, then drain in order.
+            for req in &reqs {
+                client.send(req).expect("send");
+            }
+            client.flush().expect("flush");
+            for _ in &reqs {
+                replies.push(client.recv().expect("recv"));
+            }
+        } else {
+            for req in &reqs {
+                replies.push(client.request(req).expect("request"));
+            }
+        }
+        assert!(matches!(
+            client.request(&Request::Shutdown).expect("shutdown"),
+            Response::Bye
+        ));
+        server.wait();
+        reply_bytes(&replies)
+    };
+
+    let lockstep = run(false);
+    let pipelined = run(true);
+    assert_eq!(
+        lockstep, pipelined,
+        "pipelining changed reply bytes or order"
+    );
+    // Order check independent of determinism: reply i echoes request i's
+    // tenant.
+    for (req, reply) in reqs.iter().zip(&pipelined) {
+        let tenant = req.tenant().expect("tenant-scoped");
+        assert!(
+            reply.contains(&format!("\"{tenant}\"")),
+            "reply out of order: expected {tenant} in {reply}"
+        );
+    }
+}
+
+/// Satellite 1 over the wire: the aggregated totals row omits the
+/// `shard` field entirely (it used to carry a `u64::MAX` sentinel),
+/// while per-shard rows keep their real ids — checked on the raw JSON,
+/// not the deserialized struct.
+#[test]
+fn stats_totals_row_omits_shard_id_on_the_wire() {
+    let cfg = ServeConfig {
+        shards: 2,
+        build_threads: 2,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let spec = WorkloadSpec {
+        apps: 3,
+        types: 2,
+        pulses: 5,
+        seed: 7,
+    };
+    ask(&mut client, &submit("acme", spec, 2_800.0));
+
+    // Speak the protocol by hand to inspect the raw reply line.
+    let mut raw = std::net::TcpStream::connect(server.addr()).expect("connect raw");
+    {
+        use std::io::Write;
+        raw.write_all(b"\"Stats\"\n").expect("write stats request");
+        raw.flush().expect("flush");
+    }
+    let mut line = String::new();
+    {
+        use std::io::BufRead;
+        std::io::BufReader::new(&raw)
+            .read_line(&mut line)
+            .expect("read stats reply");
+    }
+    let v: serde_json::Value = serde_json::from_str(&line).expect("stats reply parses");
+    let stats = v.get("Stats").expect("Stats variant");
+    let total = stats.get("total").expect("total row");
+    assert!(
+        total.get("shard").is_none(),
+        "totals row serialized a shard id: {line}"
+    );
+    assert!(!line.contains("18446744073709551615"), "sentinel leaked");
+    let per_shard = stats
+        .get("per_shard")
+        .and_then(|p| p.as_array())
+        .expect("per_shard rows");
+    for (i, row) in per_shard.iter().enumerate() {
+        assert_eq!(
+            row.get("shard").and_then(|s| s.as_u64()),
+            Some(i as u64),
+            "per-shard row keeps its id"
+        );
+    }
+    // Close the raw connection before shutdown: `Server::wait` joins
+    // every connection thread, and this one's reader needs the EOF.
+    drop(raw);
+
+    // The codec counters flow through the typed reply too.
+    let Response::Stats(typed) = ask(&mut client, &Request::Stats) else {
+        panic!("expected stats");
+    };
+    assert_eq!(typed.total.shard, None);
+    assert!(typed.codec.reply_frames > 0, "writers recorded frames");
+
+    assert!(matches!(
+        ask(&mut client, &Request::Shutdown),
+        Response::Bye
+    ));
+    server.wait();
+}

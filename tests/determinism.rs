@@ -11,7 +11,7 @@
 
 use cdsf_core::simulation::{simulate_grid, SimParams};
 use cdsf_dls::TechniqueKind;
-use cdsf_ra::allocators::{EqualShare, GreedyMaxRobust};
+use cdsf_ra::allocators::{EqualShare, GreedyMaxRobust, SimulatedAnnealing};
 use cdsf_ra::{Allocator, Assignment, Phi1Engine};
 use cdsf_system::ProcTypeId;
 use cdsf_workloads::paper;
@@ -133,6 +133,65 @@ fn allocations_are_thread_count_invariant() {
             flat(got_equal.assignments()),
             flat(want_equal.assignments()),
             "EqualShare allocation differs at {threads} threads"
+        );
+    }
+}
+
+/// The pooled multi-start annealer's winner is picked by a strict-`>`
+/// in-order argmax over the restart chains, and each chain's RNG is
+/// seeded by its chain index — so the chosen allocation, the winning
+/// chain, and the stolen-chunk-free telemetry are all functions of the
+/// *inputs*, never of how the pool interleaved the chains. This is the
+/// contract that lets the serving layer route `"sa"` requests through
+/// the pool while keeping reply bytes identical at every worker count.
+#[test]
+fn pooled_multi_start_annealing_is_thread_count_invariant() {
+    let (batch, platform) = (paper::batch_with_pulses(24), paper::platform());
+    let flat = |assignments: &[Assignment]| -> Vec<(usize, u32)> {
+        assignments
+            .iter()
+            .map(|a| (a.proc_type.0, a.procs))
+            .collect()
+    };
+    let engine = Phi1Engine::build(&batch, &platform).unwrap();
+    // Short chains keep the battery fast; 4 restarts over 7 workers still
+    // exercises chunk stealing and the non-divisible split.
+    let sa_at = |threads: usize| SimulatedAnnealing {
+        iterations: 2_000,
+        restarts: 4,
+        threads,
+        ..SimulatedAnnealing::default()
+    };
+    let (want_alloc, want_report) = sa_at(1)
+        .allocate_multi_start(&platform, &engine, paper::DEADLINE)
+        .unwrap();
+    assert_eq!(want_report.restarts, 4);
+    assert_eq!(want_report.workers, 1, "single-thread run stays inline");
+    for threads in THREAD_COUNTS {
+        let (alloc, report) = sa_at(threads)
+            .allocate_multi_start(&platform, &engine, paper::DEADLINE)
+            .unwrap();
+        assert_eq!(
+            flat(alloc.assignments()),
+            flat(want_alloc.assignments()),
+            "pooled SA allocation differs at {threads} threads"
+        );
+        assert_eq!(
+            report.winner, want_report.winner,
+            "winning restart chain differs at {threads} threads"
+        );
+        assert_eq!(report.restarts, 4);
+    }
+    // The single-allocation entry point rides the same multi-start path:
+    // its answer must match at every width too.
+    for threads in THREAD_COUNTS {
+        let alloc = sa_at(threads)
+            .allocate_with_engine(&batch, &platform, &engine, paper::DEADLINE)
+            .unwrap();
+        assert_eq!(
+            flat(alloc.assignments()),
+            flat(want_alloc.assignments()),
+            "allocate_with_engine diverged from multi-start at {threads} threads"
         );
     }
 }

@@ -56,6 +56,18 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     Ok(write::write(&value.to_content(), false))
 }
 
+/// Serializes a value as compact JSON straight into an `io::Write` —
+/// byte-identical to [`to_string`] (one emitter serves both), with no
+/// intermediate `String`. With a caller-retained `Vec<u8>`, repeated
+/// calls are allocation-free once the buffer has grown to the working
+/// message size.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(
+    writer: &mut W,
+    value: &T,
+) -> Result<(), Error> {
+    write::write_io(&value.to_content(), writer).map_err(|e| Error::new(e.to_string()))
+}
+
 /// Serializes a value to pretty-printed JSON (2-space indent).
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     Ok(write::write(&value.to_content(), true))

@@ -1,7 +1,12 @@
 //! JSON writers (compact and 2-space pretty) over `serde::Content`.
+//!
+//! The emitter is generic over [`std::fmt::Write`] so the same code
+//! path serves [`write`] (into a fresh `String`) and [`write_io`] (into
+//! a caller-retained byte buffer or socket, no intermediate `String`).
+//! Both produce identical bytes for the same `Content`.
 
 use serde::Content;
-use std::fmt::Write as _;
+use std::io;
 
 pub fn write(content: &Content, pretty: bool) -> String {
     let mut out = String::new();
@@ -9,10 +14,49 @@ pub fn write(content: &Content, pretty: bool) -> String {
     out
 }
 
-fn emit(content: &Content, pretty: bool, indent: usize, out: &mut String) {
+/// Emits compact JSON straight into an [`io::Write`] (JSON text is
+/// always valid UTF-8, so byte-level writes are safe). Returns the
+/// first write error, if any.
+pub fn write_io<W: io::Write>(content: &Content, out: &mut W) -> io::Result<()> {
+    let mut sink = IoSink { out, err: None };
+    emit(content, false, 0, &mut sink);
+    match sink.err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Adapts an `io::Write` to the `fmt::Write` the emitter uses, parking
+/// the first io error (later writes become no-ops) so the caller gets
+/// it back with io fidelity instead of a flattened `fmt::Error`.
+struct IoSink<'a, W: io::Write> {
+    out: &'a mut W,
+    err: Option<io::Error>,
+}
+
+impl<W: io::Write> std::fmt::Write for IoSink<'_, W> {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        if self.err.is_some() {
+            return Err(std::fmt::Error);
+        }
+        match self.out.write_all(s.as_bytes()) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.err = Some(e);
+                Err(std::fmt::Error)
+            }
+        }
+    }
+}
+
+fn emit<W: std::fmt::Write>(content: &Content, pretty: bool, indent: usize, out: &mut W) {
     match content {
-        Content::Null => out.push_str("null"),
-        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::Null => {
+            let _ = out.write_str("null");
+        }
+        Content::Bool(b) => {
+            let _ = out.write_str(if *b { "true" } else { "false" });
+        }
         Content::U64(v) => {
             let _ = write!(out, "{v}");
         }
@@ -24,75 +68,91 @@ fn emit(content: &Content, pretty: bool, indent: usize, out: &mut String) {
                 // Rust's Display prints the shortest round-trip digits.
                 let _ = write!(out, "{v}");
             } else {
-                out.push_str("null");
+                let _ = out.write_str("null");
             }
         }
         Content::Str(s) => emit_string(s, out),
         Content::Seq(items) => {
             if items.is_empty() {
-                out.push_str("[]");
+                let _ = out.write_str("[]");
                 return;
             }
-            out.push('[');
+            let _ = out.write_char('[');
             for (i, item) in items.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    let _ = out.write_char(',');
                 }
                 newline(pretty, indent + 1, out);
                 emit(item, pretty, indent + 1, out);
             }
             newline(pretty, indent, out);
-            out.push(']');
+            let _ = out.write_char(']');
         }
         Content::Map(entries) => {
             if entries.is_empty() {
-                out.push_str("{}");
+                let _ = out.write_str("{}");
                 return;
             }
-            out.push('{');
+            let _ = out.write_char('{');
             for (i, (key, value)) in entries.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    let _ = out.write_char(',');
                 }
                 newline(pretty, indent + 1, out);
                 emit_string(key, out);
-                out.push(':');
+                let _ = out.write_char(':');
                 if pretty {
-                    out.push(' ');
+                    let _ = out.write_char(' ');
                 }
                 emit(value, pretty, indent + 1, out);
             }
             newline(pretty, indent, out);
-            out.push('}');
+            let _ = out.write_char('}');
         }
     }
 }
 
-fn newline(pretty: bool, indent: usize, out: &mut String) {
+fn newline<W: std::fmt::Write>(pretty: bool, indent: usize, out: &mut W) {
     if pretty {
-        out.push('\n');
+        let _ = out.write_char('\n');
         for _ in 0..indent {
-            out.push_str("  ");
+            let _ = out.write_str("  ");
         }
     }
 }
 
-fn emit_string(s: &str, out: &mut String) {
-    out.push('"');
+fn emit_string<W: std::fmt::Write>(s: &str, out: &mut W) {
+    let _ = out.write_char('"');
     for ch in s.chars() {
         match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            '\u{8}' => out.push_str("\\b"),
-            '\u{c}' => out.push_str("\\f"),
+            '"' => {
+                let _ = out.write_str("\\\"");
+            }
+            '\\' => {
+                let _ = out.write_str("\\\\");
+            }
+            '\n' => {
+                let _ = out.write_str("\\n");
+            }
+            '\r' => {
+                let _ = out.write_str("\\r");
+            }
+            '\t' => {
+                let _ = out.write_str("\\t");
+            }
+            '\u{8}' => {
+                let _ = out.write_str("\\b");
+            }
+            '\u{c}' => {
+                let _ = out.write_str("\\f");
+            }
             c if (c as u32) < 0x20 => {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
-            c => out.push(c),
+            c => {
+                let _ = out.write_char(c);
+            }
         }
     }
-    out.push('"');
+    let _ = out.write_char('"');
 }
