@@ -66,7 +66,13 @@ use std::time::Instant;
 /// instrumented 4-thread engine build, so the work-stealing pool's
 /// balance (tasks per worker, chunks stolen, starvation) is visible in
 /// the committed snapshot, not only in the serve `Stats` endpoint.
-const SCHEMA_VERSION: u64 = 4;
+/// v5 added the `ra_lattice` section and the `lattice_vs_sa_speedup`
+/// derived ratio: the exact lattice branch-and-bound vs the SA baseline
+/// on the apps16 instance, with the solve's node/prune counters and an
+/// exactness guard (`lattice_phi1 >= sa_phi1` on the recorded values;
+/// `serde_json` round-trips `f64` exactly, so the comparison is
+/// bit-faithful).
+const SCHEMA_VERSION: u64 = 5;
 
 /// Current stage-2 snapshot schema. Bump when the JSON shape changes.
 /// v2 added the host-aware `grid_thread4_speedup` floor (≥ 3× on hosts
@@ -79,8 +85,11 @@ const STAGE2_SCHEMA_VERSION: u64 = 2;
 /// lockstep request/reply, discards a warm-up prefix from the latency
 /// percentiles, and records `pipeline`, `warmup_discarded`,
 /// `host_threads`, and `latency_p999_us` so the throughput/latency
-/// guards below can be host-aware.
-const SERVE_SCHEMA_VERSION: u64 = 2;
+/// guards below can be host-aware. v3 added `policy_mix`: the replay
+/// routes that fraction of submits through the explicit "sa"/"lattice"
+/// policies, so the committed snapshot exercises both Stage-I solvers
+/// (`sa_multistart_runs` was silently 0 before).
+const SERVE_SCHEMA_VERSION: u64 = 3;
 
 /// Floors the ISSUE pins for the committed serve benchmark: the replay
 /// must exercise real multi-tenant sharding, not a toy stream.
@@ -88,20 +97,25 @@ const SERVE_MIN_REQUESTS: u64 = 10_000;
 const SERVE_MIN_TENANTS: u64 = 4;
 const SERVE_MIN_SHARDS: u64 = 2;
 
-/// Performance floors for the committed serve snapshot, anchored to the
-/// last *lockstep* (schema v1) snapshot: 8 484.86 req/s at p99 1 309 µs.
-/// The zero-allocation data plane must clear ≥ 3× that throughput and
-/// halve the p99 — but only on hosts wide enough for 2 shards + 2
-/// writer threads + the loadgen to actually overlap; on narrow hosts
-/// (CI containers are routinely 1-2 cores) the guard degrades to the v1
-/// throughput bound so a thin runner cannot mask a real regression on a
-/// real host. Selected by the snapshot's recorded `host_threads` —
-/// numbers are always measured, never assumed.
-const SERVE_V1_THROUGHPUT_RPS: f64 = 8_484.86;
-const SERVE_V1_P99_US: u64 = 1_309;
-const SERVE_THROUGHPUT_MIN_WIDE_HOST: f64 = SERVE_V1_THROUGHPUT_RPS * 3.0;
-const SERVE_P99_MAX_WIDE_HOST: u64 = SERVE_V1_P99_US / 2;
-const SERVE_THROUGHPUT_MIN_NARROW_HOST: f64 = SERVE_V1_THROUGHPUT_RPS;
+/// Performance floors for the committed serve snapshot. The v2 stream
+/// was pure cache/data-plane traffic, anchored to the lockstep v1
+/// snapshot (8 484.86 req/s at p99 1 309 µs; the pipelined rewrite had
+/// to clear 3× that throughput at half the p99). The v3 canonical
+/// stream deliberately routes a 2% `policy_mix` of submits through the
+/// explicit "sa"/"lattice" Stage-I solvers, which puts a few dozen
+/// multi-start SA runs (~20 ms each, single-threaded) *inside* the
+/// replay — so the floors re-anchor to the first v3 runs on a 1-core
+/// host (4.6-5.7 k req/s, 65 SA runs) with margin for the solver-bound
+/// run-to-run spread, and the
+/// wide-host p99 ceiling moves to the solver tail: an SA cache miss
+/// *is* the p99 path now. Narrow hosts (CI containers are routinely
+/// 1-2 cores) keep a degraded throughput bound so a thin runner cannot
+/// mask a real regression on a real host. Selected by the snapshot's
+/// recorded `host_threads` — numbers are always measured, never
+/// assumed.
+const SERVE_THROUGHPUT_MIN_WIDE_HOST: f64 = 9_000.0;
+const SERVE_P99_MAX_WIDE_US: u64 = 50_000;
+const SERVE_THROUGHPUT_MIN_NARROW_HOST: f64 = 3_500.0;
 
 /// Parallel-speedup floors for the 4-thread bench guards. A host with at
 /// least 4 cores must show real scaling from the work-stealing pool; on
@@ -121,6 +135,24 @@ fn parallel_speedup_floor(host_threads: u64) -> f64 {
         PARALLEL_SPEEDUP_MIN_NARROW_HOST
     }
 }
+
+/// The Stage-II grid clamps its worker count to the host width (and runs
+/// strictly inline at one worker), so on a narrow host the `threads4`
+/// configuration executes the *identical* serial code as `threads1` —
+/// the ratio must not dip below parity anymore (it measured 0.93 when
+/// 4 workers oversubscribed 1 core). Wide hosts keep the scaling floor.
+fn grid_speedup_floor(host_threads: u64) -> f64 {
+    if host_threads >= 4 {
+        PARALLEL_SPEEDUP_MIN_WIDE_HOST
+    } else {
+        1.0
+    }
+}
+
+/// Floor for the exact-lattice vs SA headline ratio. Both sides are
+/// single-threaded CPU-bound medians on the same host, so the ratio
+/// divides out the clock and needs no host awareness.
+const LATTICE_VS_SA_SPEEDUP_MIN: f64 = 10.0;
 
 const DEADLINE: f64 = 2_800.0;
 
@@ -546,7 +578,95 @@ fn run_suite(samples: usize, scale: usize) -> Vec<BenchResult> {
         },
     );
 
+    // --- exact lattice branch-and-bound on the same instance --------------
+    // Warm path (engine + scratch reused) is what a serve shard's repeated
+    // allocations against a cached engine actually pay; it is the
+    // numerator host of `lattice_vs_sa_speedup`.
+    let sa_engine = Phi1Engine::build(&sa_batch, &sa_platform).unwrap();
+    let lattice = cdsf_ra::Lattice::new(1).unwrap();
+    let mut lattice_scratch = cdsf_ra::LatticeScratch::new();
+    push(
+        &mut out,
+        BenchResult {
+            name: "ra/lattice_allocate/apps16",
+            median_ns: measure(samples, 20 * scale, || {
+                black_box(
+                    lattice
+                        .solve_with_engine(&sa_platform, &sa_engine, DEADLINE, &mut lattice_scratch)
+                        .unwrap(),
+                );
+            }),
+            per_unit: "allocation",
+        },
+    );
+    let robust = cdsf_ra::GammaRobust {
+        threads: 1,
+        ..Default::default()
+    };
+    push(
+        &mut out,
+        BenchResult {
+            name: "ra/gamma_robust_allocate/apps16",
+            median_ns: measure(samples, 20 * scale, || {
+                black_box(
+                    robust
+                        .solve_with_engine(&sa_platform, &sa_engine, DEADLINE, &mut lattice_scratch)
+                        .unwrap(),
+                );
+            }),
+            per_unit: "allocation",
+        },
+    );
+
     out
+}
+
+/// One exact solve and one SA run on the apps16 instance, reported as a
+/// JSON block: the optima's φ1 values (the exactness guard compares
+/// them) and the search's node/prune counters at one worker, where the
+/// counts are deterministic. `sa_iterations` matches the timed
+/// `ra/sa_allocate/apps16` bench so the φ1 comparison describes the
+/// exact runs the speedup ratio is built from.
+fn ra_lattice_section(scale: usize) -> Value {
+    use cdsf_ra::robustness::evaluate;
+    use cdsf_ra::Allocator;
+
+    let (batch, platform) = bench_instance(16);
+    let engine = Phi1Engine::build(&batch, &platform).unwrap();
+    let lattice = cdsf_ra::Lattice::new(1).unwrap();
+    let mut scratch = cdsf_ra::LatticeScratch::new();
+    let (solution, report) = lattice
+        .solve_with_engine(&platform, &engine, DEADLINE, &mut scratch)
+        .expect("lattice solve must succeed on the bench instance");
+    let sa = cdsf_ra::allocators::SimulatedAnnealing {
+        iterations: 2_000 * scale,
+        seed: 3,
+        threads: 1,
+        restarts: 1,
+        ..Default::default()
+    };
+    let sa_alloc = sa
+        .allocate(&batch, &platform, DEADLINE)
+        .expect("SA must allocate on the bench instance");
+    let sa_phi1 = evaluate(&batch, &platform, &sa_alloc, DEADLINE)
+        .expect("SA allocation must evaluate")
+        .joint;
+    json!({
+        "apps": 16,
+        "deadline": DEADLINE,
+        "threads": 1,
+        "sa_iterations": 2_000 * scale,
+        "feasible": matches!(solution, cdsf_ra::LatticeSolution::Optimal { .. }),
+        "lattice_phi1": report.phi1,
+        "sa_phi1": sa_phi1,
+        "counters": json!({
+            "nodes": report.counters.nodes,
+            "screen_pruned": report.counters.screen_pruned,
+            "confirm_pruned": report.counters.confirm_pruned,
+            "capacity_pruned": report.counters.capacity_pruned,
+            "leaves": report.counters.leaves,
+        }),
+    })
 }
 
 // --- Stage-II suite ------------------------------------------------------
@@ -844,7 +964,7 @@ fn median_of(results: &[BenchResult], name: &str) -> f64 {
         .median_ns
 }
 
-fn to_json(results: &[BenchResult], mode: &str) -> Value {
+fn to_json(results: &[BenchResult], mode: &str, scale: usize) -> Value {
     let delta = median_of(results, "phi1/sa_mutation/delta_apps64");
     let full = median_of(results, "phi1/sa_mutation/full_recompute_apps64");
     let soa = median_of(results, "phi1/table_sweep/soa_32d");
@@ -857,6 +977,8 @@ fn to_json(results: &[BenchResult], mode: &str) -> Value {
     let t4 = median_of(results, "phi1/engine_build/t4_p384");
     let remap = median_of(results, "pmf_build/rebuild_remap_1app32");
     let full_rebuild = median_of(results, "pmf_build/rebuild_full_1app32");
+    let sa_alloc = median_of(results, "ra/sa_allocate/apps16");
+    let lattice_alloc = median_of(results, "ra/lattice_allocate/apps16");
     json!({
         "schema_version": SCHEMA_VERSION,
         "mode": mode,
@@ -881,6 +1003,7 @@ fn to_json(results: &[BenchResult], mode: &str) -> Value {
             "per": r.per_unit,
         })).collect::<Vec<_>>(),
         "pool": pool_section(),
+        "ra_lattice": ra_lattice_section(scale),
         "derived": json!({
             "sa_mutation_speedup": full / delta,
             "table_sweep_speedup": legacy_table / soa,
@@ -889,6 +1012,7 @@ fn to_json(results: &[BenchResult], mode: &str) -> Value {
             "pmf_build_fused_speedup": two_step / fused,
             "engine_build_t4_vs_t1": t1 / t4,
             "remap_rebuild_speedup": full_rebuild / remap,
+            "lattice_vs_sa_speedup": sa_alloc / lattice_alloc,
         }),
     })
 }
@@ -991,6 +1115,7 @@ const STAGE1_DERIVED: &[&str] = &[
     "pmf_build_fused_speedup",
     "engine_build_t4_vs_t1",
     "remap_rebuild_speedup",
+    "lattice_vs_sa_speedup",
 ];
 
 const STAGE2_DERIVED: &[&str] = &[
@@ -1002,21 +1127,84 @@ const STAGE2_DERIVED: &[&str] = &[
     "finish_lookups_per_sec",
 ];
 
-/// Enforces the host-aware parallel-speedup floor on one derived metric:
-/// the 4-thread run must beat the serial one by `parallel_speedup_floor`
+/// Enforces a host-aware parallel-speedup floor on one derived metric:
+/// the 4-thread run must beat the serial one by `floor_for(host_threads)`
 /// for the `host_threads` recorded in the snapshot's instance block.
-fn check_speedup_floor(snapshot: &Value, key: &str) -> Result<(), String> {
+fn check_speedup_floor(
+    snapshot: &Value,
+    key: &str,
+    floor_for: fn(u64) -> f64,
+) -> Result<(), String> {
     let ratio = snapshot["derived"][key]
         .as_f64()
         .ok_or_else(|| format!("derived missing {key}"))?;
     let host = snapshot["instance"]["host_threads"]
         .as_u64()
         .ok_or("instance missing host_threads")?;
-    let floor = parallel_speedup_floor(host);
+    let floor = floor_for(host);
     if ratio < floor {
         return Err(format!(
             "{key} {ratio:.3} is below the {floor} floor for a {host}-thread \
              host — the work-stealing pool has regressed"
+        ));
+    }
+    Ok(())
+}
+
+/// Validates the stage-1 `ra_lattice` block: the exact solver must
+/// record a deterministic search (nodes and leaves observed) and its
+/// optimum must dominate the SA baseline — `lattice_phi1 >= sa_phi1`
+/// compared on the recorded values, which `serde_json` round-trips
+/// bit-exactly for finite `f64`s. The speedup floor is checked against
+/// the derived ratio the same snapshot records.
+fn check_ra_lattice_section(snapshot: &Value) -> Result<(), String> {
+    let section = snapshot
+        .get("ra_lattice")
+        .ok_or("missing ra_lattice section")?;
+    let lattice_phi1 = section
+        .get("lattice_phi1")
+        .and_then(Value::as_f64)
+        .ok_or("ra_lattice missing lattice_phi1")?;
+    let sa_phi1 = section
+        .get("sa_phi1")
+        .and_then(Value::as_f64)
+        .ok_or("ra_lattice missing sa_phi1")?;
+    if !lattice_phi1.is_finite() || !sa_phi1.is_finite() {
+        return Err(format!(
+            "ra_lattice φ1 values are not finite: lattice {lattice_phi1}, sa {sa_phi1}"
+        ));
+    }
+    if lattice_phi1 < sa_phi1 {
+        return Err(format!(
+            "exactness violated: lattice_phi1 {lattice_phi1} < sa_phi1 {sa_phi1} — \
+             the branch-and-bound is no longer optimal"
+        ));
+    }
+    let counters = section
+        .get("counters")
+        .ok_or("ra_lattice missing counters")?;
+    for key in [
+        "nodes",
+        "screen_pruned",
+        "confirm_pruned",
+        "capacity_pruned",
+        "leaves",
+    ] {
+        let v = counters
+            .get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("ra_lattice counters missing {key}"))?;
+        if (key == "nodes" || key == "leaves") && v == 0 {
+            return Err(format!("ra_lattice counter {key} is 0 — no search ran"));
+        }
+    }
+    let speedup = snapshot["derived"]["lattice_vs_sa_speedup"]
+        .as_f64()
+        .ok_or("derived missing lattice_vs_sa_speedup")?;
+    if speedup < LATTICE_VS_SA_SPEEDUP_MIN {
+        return Err(format!(
+            "lattice_vs_sa_speedup {speedup:.2} is below the \
+             {LATTICE_VS_SA_SPEEDUP_MIN} floor"
         ));
     }
     Ok(())
@@ -1063,20 +1251,26 @@ fn check_pool_section(snapshot: &Value) -> Result<(), String> {
 fn validate(snapshot: &Value) -> Result<(), String> {
     validate_with(snapshot, SCHEMA_VERSION, STAGE1_DERIVED)?;
     check_pool_section(snapshot)?;
-    check_speedup_floor(snapshot, "engine_build_t4_vs_t1")
+    check_ra_lattice_section(snapshot)?;
+    check_speedup_floor(snapshot, "engine_build_t4_vs_t1", parallel_speedup_floor)
 }
 
 fn validate_stage2(snapshot: &Value) -> Result<(), String> {
     validate_with(snapshot, STAGE2_SCHEMA_VERSION, STAGE2_DERIVED)?;
-    check_speedup_floor(snapshot, "grid_thread4_speedup")
+    check_speedup_floor(snapshot, "grid_thread4_speedup", grid_speedup_floor)
 }
 
 // --- Serve suite ---------------------------------------------------------
 
 /// The canonical loadgen replay behind the committed `BENCH_serve.json`:
 /// 10k requests from 6 tenants over 4 connections against a 2-shard
-/// in-process server. `--check` shrinks the stream but keeps the tenant
-/// and shard multiplicity, so the smoke pass still crosses shards.
+/// in-process server, with 2% of submits routed through the explicit
+/// "sa"/"lattice" policies — enough to exercise the multi-start SA and
+/// exact-lattice counters without the solver work drowning the
+/// data-plane signal the floors track. `--check` shrinks the stream but
+/// keeps the tenant/shard multiplicity and the loadgen's default
+/// (heavier) policy mix, so the smoke pass crosses shards *and* both
+/// explicit solver paths.
 fn serve_configs(check: bool) -> (LoadgenConfig, ServeConfig) {
     let load = if check {
         LoadgenConfig {
@@ -1086,7 +1280,10 @@ fn serve_configs(check: bool) -> (LoadgenConfig, ServeConfig) {
             ..LoadgenConfig::default()
         }
     } else {
-        LoadgenConfig::default()
+        LoadgenConfig {
+            policy_mix: 0.02,
+            ..LoadgenConfig::default()
+        }
     };
     let serve = ServeConfig {
         shards: 2,
@@ -1169,19 +1366,19 @@ fn validate_serve(snapshot: &Value) -> Result<(), String> {
         if throughput < SERVE_THROUGHPUT_MIN_WIDE_HOST {
             return Err(format!(
                 "throughput {throughput:.0} req/s below the wide-host floor \
-                 {SERVE_THROUGHPUT_MIN_WIDE_HOST:.0} (3x the lockstep v1 snapshot)"
+                 {SERVE_THROUGHPUT_MIN_WIDE_HOST:.0} for the policy-mixed v3 stream"
             ));
         }
-        if p99 > SERVE_P99_MAX_WIDE_HOST {
+        if p99 > SERVE_P99_MAX_WIDE_US {
             return Err(format!(
-                "p99 {p99}us above the wide-host ceiling {SERVE_P99_MAX_WIDE_HOST}us \
-                 (half the lockstep v1 snapshot)"
+                "p99 {p99}us above the wide-host ceiling {SERVE_P99_MAX_WIDE_US}us \
+                 (the solver-tail bound of the policy-mixed v3 stream)"
             ));
         }
     } else if throughput < SERVE_THROUGHPUT_MIN_NARROW_HOST {
         return Err(format!(
             "throughput {throughput:.0} req/s below the narrow-host floor \
-             {SERVE_THROUGHPUT_MIN_NARROW_HOST:.0} (the lockstep v1 snapshot)"
+             {SERVE_THROUGHPUT_MIN_NARROW_HOST:.0} for the policy-mixed v3 stream"
         ));
     }
     let hit_rate = f64_field(snapshot, "cache_hit_rate")?;
@@ -1207,6 +1404,19 @@ fn validate_serve(snapshot: &Value) -> Result<(), String> {
         return Err("stats total has no submits".into());
     }
     u64_field(total, "pool_runs")?;
+    // v3 invariants: the replay declares its policy mix and, when it is
+    // positive, must actually have driven the SA path (the exact-lattice
+    // path shares the cache counters, so SA runs are the visible signal
+    // that the mix routed around the default policy).
+    let mix = f64_field(snapshot, "policy_mix")?;
+    if !(0.0..=1.0).contains(&mix) {
+        return Err(format!("policy_mix {mix} outside [0, 1]"));
+    }
+    if mix > 0.0 && u64_field(total, "sa_multistart_runs")? == 0 {
+        return Err(format!(
+            "policy_mix {mix} routed no submits through the SA policy"
+        ));
+    }
     // v2 invariants: the totals row carries no shard id (the old
     // `u64::MAX` sentinel must never reappear on the wire), batched
     // drains were observed, and the reply codec flushed in bursts.
@@ -1322,7 +1532,7 @@ fn main() {
     } else {
         eprintln!("running φ₁ kernel suite ({mode} mode)...");
         let results = run_suite(samples, scale);
-        let snapshot = to_json(&results, mode);
+        let snapshot = to_json(&results, mode, scale);
         (results, snapshot)
     };
     drop(results);

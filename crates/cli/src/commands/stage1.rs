@@ -5,8 +5,8 @@ use crate::commands::paper_cdsf;
 use cdsf_core::report::pct;
 use cdsf_core::{AsciiTable, ImPolicy};
 use cdsf_ra::allocators::{
-    EqualShare, Exhaustive, GeneticAlgorithm, GreedyMaxRobust, GreedyMinTime, SimulatedAnnealing,
-    Sufferage,
+    EqualShare, Exhaustive, GammaRobust, GeneticAlgorithm, GreedyMaxRobust, GreedyMinTime, Lattice,
+    SimulatedAnnealing, Sufferage,
 };
 use cdsf_ra::Allocator;
 use serde::Serialize;
@@ -33,6 +33,8 @@ pub fn allocator_by_name(name: &str) -> Result<Box<dyn Allocator + Send + Sync>,
         "sufferage" => Box::new(Sufferage::new()),
         "annealing" => Box::new(SimulatedAnnealing::default()),
         "genetic" => Box::new(GeneticAlgorithm::default()),
+        "lattice" => Box::new(Lattice::default()),
+        "gamma-robust" => Box::new(GammaRobust::default()),
         other => {
             return Err(CliError::BadValue {
                 flag: "--allocator".to_string(),
@@ -132,8 +134,20 @@ mod tests {
             "sufferage",
             "annealing",
             "genetic",
+            "lattice",
+            "gamma-robust",
         ] {
             assert!(allocator_by_name(name).is_ok(), "{name}");
         }
+    }
+
+    #[test]
+    fn lattice_matches_exhaustive_on_the_paper_instance() {
+        let ex = run(&args("stage1 --pulses 32 --allocator exhaustive --json")).unwrap();
+        let la = run(&args("stage1 --pulses 32 --allocator lattice --json")).unwrap();
+        let ex: serde_json::Value = serde_json::from_str(&ex).unwrap();
+        let la: serde_json::Value = serde_json::from_str(&la).unwrap();
+        assert_eq!(ex["assignments"], la["assignments"]);
+        assert_eq!(ex["phi1"], la["phi1"]);
     }
 }

@@ -43,6 +43,8 @@ impl ImPolicy {
             "sufferage" => ImPolicy::Custom(Box::new(ra::Sufferage::new())),
             "sa" | "annealing" => ImPolicy::Custom(Box::new(ra::SimulatedAnnealing::default())),
             "ga" | "genetic" => ImPolicy::Custom(Box::new(ra::GeneticAlgorithm::default())),
+            "lattice" => ImPolicy::Custom(Box::new(ra::Lattice::default())),
+            "gamma-robust" => ImPolicy::Custom(Box::new(ra::GammaRobust::default())),
             _ => return None,
         })
     }
@@ -237,6 +239,29 @@ mod tests {
         }
         let custom = ImPolicy::Custom(Box::new(cdsf_ra::allocators::Sufferage::new()));
         assert_eq!(Scenario::classify(&custom, &RasPolicy::Naive), None);
+    }
+
+    #[test]
+    fn by_name_resolves_every_shipped_allocator() {
+        for name in [
+            "naive",
+            "robust",
+            "greedy-min-time",
+            "greedy-max-robust",
+            "sufferage",
+            "sa",
+            "ga",
+            "lattice",
+            "gamma-robust",
+        ] {
+            assert!(ImPolicy::by_name(name).is_some(), "{name} must resolve");
+        }
+        assert_eq!(ImPolicy::by_name("lattice").unwrap().name(), "Lattice");
+        assert_eq!(
+            ImPolicy::by_name("gamma-robust").unwrap().name(),
+            "GammaRobust"
+        );
+        assert!(ImPolicy::by_name("nope").is_none());
     }
 
     #[test]

@@ -1,0 +1,1560 @@
+//! Prefix-CDF-pruned branch-and-bound over the power-of-2 allocation
+//! lattice: the *exact* Stage-I optimum at a fraction of the
+//! metaheuristics' cost, plus a Γ-robust worst-case variant.
+//!
+//! # Search skeleton
+//!
+//! Every application chooses one `(processor type, power-of-two count)`
+//! option, so Stage-I is a search over the small per-app option lattice
+//! under per-type capacity. [`Lattice`] explores it depth-first in a
+//! *permuted* application order — widest bound gap (`max φ − min φ`
+//! contribution) first, so the most discriminating decisions sit at the
+//! top of the tree — while the incumbent comparison stays in *canonical*
+//! (batch) order with exactly [`Exhaustive`](super::Exhaustive)'s total
+//! order: maximum `φ₁`, then minimum summed expected completion time,
+//! then lexicographically smallest option path. The result is
+//! bit-identical to `Exhaustive` — allocation bytes, `φ₁` bits and
+//! tie-breaks — which the equivalence suite pins.
+//!
+//! # Pruning
+//!
+//! Per-application `φ₁`-contribution bounds come straight from the
+//! [`Phi1Engine`]'s prefix-CDF tables — one linear pass per application
+//! over the SoA arena ([`Phi1Engine::option_stats_into`]). Because
+//! applications can outnumber processors, per-app maxima alone are far
+//! too loose; `prepare` folds them into a *budget DP*: for every
+//! permutation suffix and every total-processor budget, the best
+//! reachable log-probability sum (and minimum expected-time sum) with
+//! per-type capacities relaxed to their total. A subtree's optimistic
+//! bound (chosen probabilities × budget-feasible suffix bound) is then
+//! one table lookup, screened in log space; only bounds within `±EPS`
+//! of the incumbent trigger the *exact-product confirmation*: the bound
+//! product and the optimistic minimum expected-time sum are recomputed
+//! in canonical order with the same float association every leaf uses,
+//! so ties are decided by exact float comparisons with no margins at
+//! all (`fl(×)`/`fl(+)` are monotone per argument, hence every leaf
+//! below the node is bounded *bit-exactly*). Zero-probability bound
+//! factors are tracked by count rather than `ln(0)`, so deadline-starved
+//! instances degrade into an exact min-sum search instead of a tie
+//! explosion.
+//!
+//! # Parallelism
+//!
+//! Root-level branches (the first permuted application's options) fan
+//! out over the [`cdsf_system::pool`] work-stealing pool. Workers share
+//! a monotonic worst-case-`φ₁` lower bound (atomic `f64`-bits max) that
+//! only ever prunes subtrees *strictly* beaten on the primary key, and
+//! each branch's winner lands in its own slot; the final argmax is a
+//! strict in-order reduction, so results are bit-identical for every
+//! worker count and steal interleaving.
+//!
+//! # Γ-robust tier
+//!
+//! [`GammaRobust`] runs the same skeleton but scores each leaf by its
+//! *worst-case* `φ₁`: an adversary may degrade the availability of up
+//! to `Γ` processor types by a factor `γ`, and degrading availability
+//! by `γ` scales every loaded completion time by `1/γ`, so the degraded
+//! deadline probability is exactly `Pr(T ≤ γΔ)` — another prefix-CDF
+//! lookup, no new PMF arithmetic. The inner adversary is resolved
+//! exactly by enumerating the (few) type subsets of size `min(Γ, T)`.
+//! When even the optimum has zero (worst-case) `φ₁`, the solver returns
+//! [`LatticeSolution::Infeasible`] carrying `tightest_deadline` — the
+//! smallest deadline any feasible allocation could meet with positive
+//! probability, computed by an exact bottleneck search over the
+//! per-option minimum loaded completion times. That is a *proof* of
+//! infeasibility, not a heuristic fallback.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use super::Allocator;
+use crate::allocation::{Allocation, Assignment};
+use crate::engine::{OptionStats, Phi1Engine};
+use crate::{RaError, Result};
+use cdsf_system::{pool, Batch, Platform};
+
+/// Slack band of the log-space screen: bounds farther than this below
+/// the incumbent's log are pruned outright, bounds within the band go
+/// through the exact-product confirmation. The accumulated log-sum
+/// rounding over a 64-deep path is below `1e-11`, so the band is ~100×
+/// wider than the worst numerical error — the screen can only ever
+/// misroute a node *into* the (exact) confirmation, never prune one it
+/// should not.
+const EPS: f64 = 1e-9;
+
+/// Relative band of the zero-regime expected-time screen: subtrees whose
+/// optimistic sum exceeds the incumbent's by more than this factor are
+/// certain losers even after float re-association; anything closer goes
+/// through the exact confirmation.
+const SUM_BAND: f64 = 1.0 + 1e-9;
+
+/// Sentinel for "application not yet assigned" in the canonical path.
+const UNSET: u32 = u32::MAX;
+
+/// One candidate option with its precomputed bound data.
+#[derive(Debug, Clone, Copy)]
+struct Opt {
+    asg: Assignment,
+    /// `Pr(T ≤ Δ)` under nominal availability.
+    prob: f64,
+    /// `Pr(T ≤ γΔ)`: the probability if the option's own type is
+    /// degraded. Equals `prob` for the plain solver.
+    degraded: f64,
+    /// Expected loaded completion time.
+    exp_time: f64,
+    /// Smallest loaded completion-time pulse (infeasibility proofs).
+    min_loaded: f64,
+    /// `ln prob` when `prob > 0`, else unused (`d_zero` set instead).
+    d_log: f64,
+    /// 1 when this option's probability is exactly zero.
+    d_zero: u8,
+}
+
+/// Per-application aggregates of the bound tables.
+#[derive(Debug, Clone, Copy)]
+struct AppBounds {
+    /// Option range `start..start + len` in the flat option arena.
+    start: u32,
+    len: u32,
+    /// Maximum deadline probability over the options (the upper
+    /// φ₁-contribution bound).
+    max_prob: f64,
+    /// Minimum expected completion time over the options (the
+    /// optimistic sum bound used for exact tie pruning).
+    min_exp: f64,
+    /// `max_prob − min_prob`: the bound gap the search order keys on.
+    gap: f64,
+}
+
+/// Node/prune counters of one solve. Deterministic for single-threaded
+/// solves; at higher worker counts the shared bound makes visit counts
+/// interleaving-dependent (the *result* never is).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatticeCounters {
+    /// Search-tree nodes visited (including leaves).
+    pub nodes: u64,
+    /// Subtrees pruned by the log-space screen alone.
+    pub screen_pruned: u64,
+    /// Subtrees pruned by the exact-product confirmation.
+    pub confirm_pruned: u64,
+    /// Subtrees pruned because remaining capacity cannot host the
+    /// remaining applications.
+    pub capacity_pruned: u64,
+    /// Complete allocations evaluated.
+    pub leaves: u64,
+}
+
+impl LatticeCounters {
+    fn add(&mut self, o: &LatticeCounters) {
+        self.nodes += o.nodes;
+        self.screen_pruned += o.screen_pruned;
+        self.confirm_pruned += o.confirm_pruned;
+        self.capacity_pruned += o.capacity_pruned;
+        self.leaves += o.leaves;
+    }
+}
+
+/// Diagnostics of one solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatticeReport {
+    /// The optimum's objective: `φ₁` for [`Lattice`], worst-case `φ₁`
+    /// for [`GammaRobust`].
+    pub phi1: f64,
+    /// The optimum's nominal (undegraded) `φ₁`; equals `phi1` for the
+    /// plain solver.
+    pub nominal_phi1: f64,
+    /// The optimum's summed expected completion time.
+    pub sum_exp: f64,
+    /// Search counters.
+    pub counters: LatticeCounters,
+}
+
+/// Outcome of an exact lattice solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LatticeSolution {
+    /// The exact optimum, with positive (worst-case) `φ₁`.
+    Optimal {
+        /// The φ₁-optimal allocation.
+        alloc: Allocation,
+        /// Its objective value (worst-case `φ₁` for [`GammaRobust`]).
+        phi1: f64,
+    },
+    /// *Proof* that no feasible allocation meets the deadline with
+    /// positive (worst-case) probability.
+    Infeasible {
+        /// The best-effort optimum under the same total order (zero
+        /// probability, minimum summed expected time) — what a caller
+        /// that must allocate anyway should use.
+        alloc: Allocation,
+        /// The smallest deadline for which a feasible allocation with
+        /// positive (worst-case) `φ₁` exists: the min-bottleneck of the
+        /// per-option minimum loaded completion times. Solving again at
+        /// any deadline `≥` this value yields `Optimal`; any deadline
+        /// `<` it is provably hopeless.
+        tightest_deadline: f64,
+    },
+}
+
+impl LatticeSolution {
+    /// The allocation regardless of feasibility.
+    pub fn allocation(&self) -> &Allocation {
+        match self {
+            LatticeSolution::Optimal { alloc, .. } => alloc,
+            LatticeSolution::Infeasible { alloc, .. } => alloc,
+        }
+    }
+}
+
+/// Reusable solver state: bound tables, permutation, DFS buffers. All
+/// vectors retain capacity across solves, so a warm scratch makes
+/// repeated serve-path calls allocation-free.
+#[derive(Debug, Default)]
+pub struct LatticeScratch {
+    opts: Vec<Opt>,
+    apps: Vec<AppBounds>,
+    /// Search (permuted) application order: widest bound gap first.
+    perm: Vec<usize>,
+    /// Γ-adversary type subsets (bitmasks); empty for the plain solver.
+    subsets: Vec<u32>,
+    /// Engine linear-pass buffers.
+    stats: Vec<OptionStats>,
+    stats_degraded: Vec<OptionStats>,
+    /// Per-option `(cost, option index)` for the bottleneck proof.
+    costs: Vec<(f64, u32)>,
+    /// Serial-path DFS state.
+    state: SearchState,
+    /// Root free capacity per type.
+    root_free: Vec<u32>,
+    /// Budget-constrained suffix bound: `dlog[d * stride + b]` is the
+    /// maximum `Σ ln prob` the permuted applications `d..` can reach
+    /// using at most `b` processors *in total* (per-type splits relaxed
+    /// away); `-inf` when every such completion carries a zero factor
+    /// or does not fit the budget at all.
+    dlog: Vec<f64>,
+    /// Matching minimum `Σ expected time` under the same budget
+    /// relaxation (`+inf` when the budget cannot host the suffix);
+    /// screens the zero-probability regime where the total order falls
+    /// to the expected-time sum.
+    emin: Vec<f64>,
+    /// Row stride of `dlog`/`emin`: total processors + 1.
+    stride: usize,
+}
+
+impl LatticeScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The best complete allocation seen by one search, in a reusable slot.
+#[derive(Debug, Default, Clone)]
+struct BestSlot {
+    valid: bool,
+    /// Worst-case φ₁ (equals `prob` for the plain solver).
+    worst: f64,
+    /// Nominal φ₁, accumulated in canonical order.
+    prob: f64,
+    sum_exp: f64,
+    /// Canonical per-application option index.
+    path: Vec<u32>,
+}
+
+impl BestSlot {
+    /// Strict total order: worst-case φ₁ desc, nominal φ₁ desc, summed
+    /// expected time asc, path asc — [`super::Exhaustive`]'s order with
+    /// the worst-case key prepended (degenerate for the plain solver,
+    /// where `worst == prob`).
+    fn beaten_by(&self, worst: f64, prob: f64, sum_exp: f64, path: &[u32]) -> bool {
+        if !self.valid {
+            return true;
+        }
+        worst > self.worst
+            || (worst == self.worst
+                && (prob > self.prob
+                    || (prob == self.prob
+                        && (sum_exp < self.sum_exp
+                            || (sum_exp == self.sum_exp && path < self.path.as_slice())))))
+    }
+}
+
+/// Mutable per-worker DFS state.
+#[derive(Debug, Default)]
+struct SearchState {
+    /// Canonical path under construction (`UNSET` = unassigned).
+    chosen: Vec<u32>,
+    /// Free processors per type.
+    free: Vec<u32>,
+    free_total: u32,
+    /// Cached prune threshold: `max(local best, shared bound)`.
+    prune_bits: u64,
+    ln_prune: f64,
+    /// Per-depth child-ordering buffers (`(bound key, sum key, idx)`),
+    /// reused across visits and solves.
+    orders: Vec<Vec<(f64, f64, u32)>>,
+    best: BestSlot,
+    counters: LatticeCounters,
+}
+
+impl SearchState {
+    /// Resets for a fresh (sub)tree rooted at full capacity.
+    fn reset(&mut self, num_apps: usize, root_free: &[u32]) {
+        self.chosen.clear();
+        self.chosen.resize(num_apps, UNSET);
+        self.free.clear();
+        self.free.extend_from_slice(root_free);
+        self.free_total = root_free.iter().sum();
+        self.prune_bits = 0;
+        self.ln_prune = f64::NEG_INFINITY;
+        if self.orders.len() < num_apps {
+            self.orders.resize_with(num_apps, Vec::new);
+        }
+        self.best.valid = false;
+        self.best.path.clear();
+        self.best.path.resize(num_apps, UNSET);
+        self.counters = LatticeCounters::default();
+    }
+}
+
+/// Read-only search context shared by every worker of one solve.
+struct Ctx<'a> {
+    opts: &'a [Opt],
+    apps: &'a [AppBounds],
+    perm: &'a [usize],
+    subsets: &'a [u32],
+    /// Budget-constrained suffix bounds (see [`LatticeScratch::dlog`]).
+    dlog: &'a [f64],
+    emin: &'a [f64],
+    stride: usize,
+    /// Shared worst-case-φ₁ lower bound (`f64` bits; non-negative, so
+    /// bit order equals value order and `fetch_max` is a float max).
+    shared: &'a AtomicU64,
+}
+
+/// What the screen/confirmation decided about one child subtree.
+enum Verdict {
+    Prune,
+    Descend,
+}
+
+impl Ctx<'_> {
+    #[inline]
+    fn opt(&self, app: usize, idx: u32) -> &Opt {
+        &self.opts[(self.apps[app].start + idx) as usize]
+    }
+
+    /// Refreshes the cached prune threshold from the shared bound and
+    /// the local incumbent.
+    #[inline]
+    fn refresh_prune(&self, st: &mut SearchState) {
+        let shared = self.shared.load(Ordering::Relaxed);
+        let local = if st.best.valid {
+            st.best.worst.to_bits()
+        } else {
+            0
+        };
+        let bits = shared.max(local);
+        if bits != st.prune_bits {
+            st.prune_bits = bits;
+            st.ln_prune = f64::from_bits(bits).ln();
+        }
+    }
+
+    /// The exact-product confirmation for the subtree where `st.chosen`
+    /// holds the partial assignment: recomputes the optimistic bound
+    /// product and minimum expected-time sum in canonical application
+    /// order — the same association order every leaf uses, so by the
+    /// per-argument monotonicity of `fl(×)`/`fl(+)` every leaf below
+    /// satisfies `leaf.prob ≤ bound` and `leaf.sum ≥ min_sum`
+    /// *bit-exactly*, and the prune decisions below need no margins.
+    fn confirm(&self, st: &SearchState) -> Verdict {
+        let mut bound = 1.0f64;
+        let mut min_sum = 0.0f64;
+        for (app, ab) in self.apps.iter().enumerate() {
+            let c = st.chosen[app];
+            if c == UNSET {
+                bound *= ab.max_prob;
+                min_sum += ab.min_exp;
+            } else {
+                let o = self.opt(app, c);
+                bound *= o.prob;
+                min_sum += o.exp_time;
+            }
+        }
+        // Strictly beaten on the primary key by a leaf some worker has
+        // already committed: nothing below can be the global argmax.
+        if bound < f64::from_bits(st.prune_bits) {
+            return Verdict::Prune;
+        }
+        let b = &st.best;
+        if !b.valid || bound > b.worst {
+            return Verdict::Descend;
+        }
+        if bound < b.worst {
+            return Verdict::Prune;
+        }
+        // Tie on the worst-case key. A tying leaf must also saturate the
+        // nominal bound, so the nominal incumbent key decides next.
+        if bound < b.prob {
+            return Verdict::Prune;
+        }
+        if bound > b.prob {
+            return Verdict::Descend;
+        }
+        // Tie on both probability keys: the optimistic sum decides; an
+        // exact tie there may still be won on the path, so descend.
+        if min_sum > b.sum_exp {
+            return Verdict::Prune;
+        }
+        Verdict::Descend
+    }
+
+    /// Evaluates the complete allocation in `st.chosen`: canonical-order
+    /// probability product and expected-time sum, worst-case φ₁ over the
+    /// adversary subsets, incumbent update, shared-bound publication.
+    fn leaf(&self, st: &mut SearchState) {
+        st.counters.leaves += 1;
+        let mut prob = 1.0f64;
+        let mut sum_exp = 0.0f64;
+        for app in 0..self.apps.len() {
+            let o = self.opt(app, st.chosen[app]);
+            prob *= o.prob;
+            sum_exp += o.exp_time;
+        }
+        let worst = if self.subsets.is_empty() {
+            prob
+        } else {
+            let mut w = f64::INFINITY;
+            for &mask in self.subsets {
+                let mut p = 1.0f64;
+                for app in 0..self.apps.len() {
+                    let o = self.opt(app, st.chosen[app]);
+                    p *= if mask & (1 << o.asg.proc_type.0) != 0 {
+                        o.degraded
+                    } else {
+                        o.prob
+                    };
+                }
+                if p < w {
+                    w = p;
+                }
+            }
+            w
+        };
+        if st.best.beaten_by(worst, prob, sum_exp, &st.chosen) {
+            st.best.valid = true;
+            st.best.worst = worst;
+            st.best.prob = prob;
+            st.best.sum_exp = sum_exp;
+            st.best.path.copy_from_slice(&st.chosen);
+            self.shared.fetch_max(worst.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Depth-first search from permuted depth `depth`. `chosen_log` sums
+    /// the logs of the assigned positive probabilities, `zero_terms`
+    /// counts assigned exactly-zero probabilities, `chosen_sum` sums the
+    /// assigned expected times (in permutation order — used only by the
+    /// banded zero-regime screen, never for exact decisions).
+    fn dfs(
+        &self,
+        st: &mut SearchState,
+        depth: usize,
+        chosen_log: f64,
+        zero_terms: u32,
+        chosen_sum: f64,
+    ) {
+        st.counters.nodes += 1;
+        let n = self.apps.len();
+        if depth == n {
+            self.leaf(st);
+            return;
+        }
+        // Every remaining application needs at least one processor.
+        if st.free_total < (n - depth) as u32 {
+            st.counters.capacity_pruned += 1;
+            return;
+        }
+        let app = self.perm[depth];
+        let ab = self.apps[app];
+        // Score every capacity-feasible child by its optimistic bound:
+        // `-inf` when the bound is exactly zero (a committed zero factor
+        // or one the budget forces), in which case the optimistic
+        // expected-time sum is the secondary key.
+        let mut order = std::mem::take(&mut st.orders[depth]);
+        order.clear();
+        for idx in 0..ab.len {
+            let o = self.opt(app, idx);
+            if st.free[o.asg.proc_type.0] < o.asg.procs {
+                continue;
+            }
+            let b_after = (st.free_total - o.asg.procs) as usize;
+            let nxt = (depth + 1) * self.stride + b_after;
+            let suffix = self.dlog[nxt];
+            let (key, smin) = if o.d_zero != 0 || suffix == f64::NEG_INFINITY {
+                (f64::NEG_INFINITY, chosen_sum + o.exp_time + self.emin[nxt])
+            } else {
+                (chosen_log + o.d_log + suffix, 0.0)
+            };
+            order.push((key, smin, idx));
+        }
+        // Most promising child first, so the very first dive lands on a
+        // (near-)optimal incumbent and everything after prunes against
+        // it. The keys are deterministic functions of the tables and the
+        // partial assignment, so the exploration order — and with it the
+        // serial counters — is reproducible; the *result* is
+        // order-independent because the incumbent order is total.
+        order.sort_unstable_by(|a, b| {
+            b.0.total_cmp(&a.0)
+                .then_with(|| a.1.total_cmp(&b.1))
+                .then_with(|| a.2.cmp(&b.2))
+        });
+        let mut cut = order.len();
+        for (pos, &(key, smin, idx)) in order.iter().enumerate() {
+            self.refresh_prune(st);
+            let zero_bound = key == f64::NEG_INFINITY;
+            // Sorted screen: once one child is a certain loser, every
+            // remaining child is too (bounds only decrease along the
+            // order, and within the zero-bound tail the optimistic sums
+            // only increase).
+            if zero_bound {
+                if f64::from_bits(st.prune_bits) > 0.0 {
+                    cut = pos;
+                    break;
+                }
+                // Zero-probability regime: when the incumbent is all
+                // zero too, the order falls to the expected-time sum;
+                // prune clear losers, route near-ties to confirmation.
+                let b = &st.best;
+                if b.valid && b.worst == 0.0 && b.prob == 0.0 && smin > b.sum_exp * SUM_BAND {
+                    cut = pos;
+                    break;
+                }
+            } else if key < st.ln_prune - EPS {
+                cut = pos;
+                break;
+            }
+            let confirm = zero_bound || key <= st.ln_prune + EPS;
+            let o = *self.opt(app, idx);
+            st.chosen[app] = idx;
+            if confirm {
+                if let Verdict::Prune = self.confirm(st) {
+                    st.counters.confirm_pruned += 1;
+                    st.chosen[app] = UNSET;
+                    continue;
+                }
+            }
+            let child_zero = zero_terms + u32::from(o.d_zero);
+            let child_log = if o.d_zero == 0 {
+                chosen_log + o.d_log
+            } else {
+                chosen_log
+            };
+            st.free[o.asg.proc_type.0] -= o.asg.procs;
+            st.free_total -= o.asg.procs;
+            self.dfs(
+                st,
+                depth + 1,
+                child_log,
+                child_zero,
+                chosen_sum + o.exp_time,
+            );
+            st.free[o.asg.proc_type.0] += o.asg.procs;
+            st.free_total += o.asg.procs;
+            st.chosen[app] = UNSET;
+        }
+        st.counters.screen_pruned += (order.len() - cut) as u64;
+        st.orders[depth] = order;
+    }
+}
+
+/// Builds the scratch's bound tables, option arena, and search order for
+/// one `(engine, deadline, adversary)` instance — one linear pass per
+/// application over the engine's prefix-CDF arena, plus the per-app
+/// option sort. `gamma` is `Some((budget, degradation))` for the
+/// Γ-robust variant.
+fn prepare(
+    scratch: &mut LatticeScratch,
+    engine: &Phi1Engine,
+    platform: &Platform,
+    deadline: f64,
+    gamma: Option<(usize, f64)>,
+) -> Result<()> {
+    scratch.opts.clear();
+    scratch.apps.clear();
+    scratch.perm.clear();
+    scratch.subsets.clear();
+    scratch.root_free.clear();
+    scratch
+        .root_free
+        .extend(platform.types().iter().map(|t| t.count()));
+
+    let n = engine.num_apps();
+    for app in 0..n {
+        scratch.stats.clear();
+        engine.option_stats_into(app, deadline, &mut scratch.stats);
+        if scratch.stats.is_empty() {
+            return Err(RaError::NoFeasibleAllocation);
+        }
+        scratch.stats_degraded.clear();
+        if let Some((_, g)) = gamma {
+            engine.option_stats_into(app, g * deadline, &mut scratch.stats_degraded);
+        }
+        let start = scratch.opts.len();
+        for (k, s) in scratch.stats.iter().enumerate() {
+            let degraded = if gamma.is_some() {
+                scratch.stats_degraded[k].prob
+            } else {
+                s.prob
+            };
+            scratch.opts.push(Opt {
+                asg: s.asg,
+                prob: s.prob,
+                degraded,
+                exp_time: s.exp_time,
+                min_loaded: s.min_loaded,
+                d_log: 0.0,
+                d_zero: 0,
+            });
+        }
+        // Exhaustive's per-app option order: probability descending,
+        // expected time ascending, engine order on full ties (the sort
+        // is stable), so canonical paths mean the same thing in both
+        // solvers and the path tiebreak is shared.
+        scratch.opts[start..].sort_by(|a, b| {
+            b.prob
+                .total_cmp(&a.prob)
+                .then_with(|| a.exp_time.total_cmp(&b.exp_time))
+        });
+        let slice = &mut scratch.opts[start..];
+        let max_prob = slice.iter().map(|o| o.prob).fold(0.0f64, f64::max);
+        let min_prob = slice.iter().map(|o| o.prob).fold(f64::INFINITY, f64::min);
+        let min_exp = slice
+            .iter()
+            .map(|o| o.exp_time)
+            .fold(f64::INFINITY, f64::min);
+        for o in slice.iter_mut() {
+            if o.prob > 0.0 {
+                (o.d_log, o.d_zero) = (o.prob.ln(), 0);
+            } else {
+                (o.d_log, o.d_zero) = (0.0, 1);
+            }
+        }
+        let len = (scratch.opts.len() - start) as u32;
+        scratch.apps.push(AppBounds {
+            start: start as u32,
+            len,
+            max_prob,
+            min_exp,
+            gap: max_prob - min_prob,
+        });
+    }
+
+    // Search order: widest bound gap first (most discriminating choices
+    // at the top of the tree), fewer options and batch order as ties.
+    scratch.perm.extend(0..n);
+    let apps = &scratch.apps;
+    scratch.perm.sort_by(|&a, &b| {
+        apps[b]
+            .gap
+            .total_cmp(&apps[a].gap)
+            .then_with(|| apps[a].len.cmp(&apps[b].len))
+            .then_with(|| a.cmp(&b))
+    });
+
+    // Budget DP over the permutation suffixes, innermost loop over the
+    // options of one application. The per-type capacities are relaxed to
+    // their total, so the tables upper-bound (probability) / lower-bound
+    // (expected-time sum) every completion of the corresponding subtree —
+    // and unlike per-app maxima they stay sharp when applications
+    // outnumber processors and nobody can take their best option.
+    let total: usize = scratch.root_free.iter().map(|&f| f as usize).sum();
+    let stride = total + 1;
+    scratch.stride = stride;
+    scratch.dlog.clear();
+    scratch.dlog.resize((n + 1) * stride, 0.0);
+    scratch.emin.clear();
+    scratch.emin.resize((n + 1) * stride, 0.0);
+    for d in (0..n).rev() {
+        let ab = scratch.apps[scratch.perm[d]];
+        for b in 0..stride {
+            let mut best_log = f64::NEG_INFINITY;
+            let mut best_sum = f64::INFINITY;
+            for k in 0..ab.len {
+                let o = &scratch.opts[(ab.start + k) as usize];
+                let procs = o.asg.procs as usize;
+                if procs > b {
+                    continue;
+                }
+                let nxt = (d + 1) * stride + (b - procs);
+                if o.d_zero == 0 {
+                    let cand = o.d_log + scratch.dlog[nxt];
+                    if cand > best_log {
+                        best_log = cand;
+                    }
+                }
+                let s = o.exp_time + scratch.emin[nxt];
+                if s < best_sum {
+                    best_sum = s;
+                }
+            }
+            scratch.dlog[d * stride + b] = best_log;
+            scratch.emin[d * stride + b] = best_sum;
+        }
+    }
+
+    if let Some((budget, _)) = gamma {
+        let t = engine.num_types();
+        let k = budget.min(t);
+        push_subsets(t, k, 0, 0, &mut scratch.subsets);
+    }
+    Ok(())
+}
+
+/// Appends every `k`-subset of `0..t` as a bitmask, lexicographically.
+fn push_subsets(t: usize, k: usize, from: usize, mask: u32, out: &mut Vec<u32>) {
+    if k == 0 {
+        out.push(mask);
+        return;
+    }
+    for j in from..=t.saturating_sub(k) {
+        push_subsets(t, k - 1, j + 1, mask | (1 << j), out);
+    }
+}
+
+/// Exact min-bottleneck search over the minimum loaded completion times:
+/// the smallest deadline any capacity-feasible allocation can meet with
+/// positive (worst-case) probability. `cost_scale` is `1/γ` when an
+/// adversary with budget ≥ 1 can stretch any single application's
+/// completion, else `1`.
+fn tightest_deadline(scratch: &mut LatticeScratch, cost_scale: f64) -> f64 {
+    scratch.costs.clear();
+    for ab in &scratch.apps {
+        let start = scratch.costs.len();
+        for idx in 0..ab.len {
+            let o = &scratch.opts[(ab.start + idx) as usize];
+            scratch.costs.push((o.min_loaded * cost_scale, idx));
+        }
+        scratch.costs[start..].sort_by(|a, b| a.0.total_cmp(&b.0));
+    }
+    let mut free = scratch.root_free.clone();
+    let free_total: u32 = free.iter().sum();
+    let mut best = f64::INFINITY;
+    bottleneck_dfs(
+        &scratch.apps,
+        &scratch.opts,
+        &scratch.costs,
+        0,
+        0.0,
+        &mut free,
+        free_total,
+        &mut best,
+    );
+    best
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bottleneck_dfs(
+    apps: &[AppBounds],
+    opts: &[Opt],
+    costs: &[(f64, u32)],
+    depth: usize,
+    cur_max: f64,
+    free: &mut [u32],
+    free_total: u32,
+    best: &mut f64,
+) {
+    if depth == apps.len() {
+        // Pruning below keeps `cur_max < *best` invariant at leaves.
+        *best = cur_max;
+        return;
+    }
+    if free_total < (apps.len() - depth) as u32 {
+        return;
+    }
+    let ab = apps[depth];
+    for &(cost, idx) in &costs[ab.start as usize..(ab.start + ab.len) as usize] {
+        if cost >= *best {
+            break; // costs ascend: nothing later can improve
+        }
+        let o = &opts[(ab.start + idx) as usize];
+        if free[o.asg.proc_type.0] < o.asg.procs {
+            continue;
+        }
+        free[o.asg.proc_type.0] -= o.asg.procs;
+        bottleneck_dfs(
+            apps,
+            opts,
+            costs,
+            depth + 1,
+            cur_max.max(cost),
+            free,
+            free_total - o.asg.procs,
+            best,
+        );
+        free[o.asg.proc_type.0] += o.asg.procs;
+    }
+}
+
+/// Runs the full branch-and-bound for a prepared scratch and returns the
+/// winning slot plus aggregated counters; `None` when no
+/// capacity-feasible allocation exists.
+fn search(scratch: &mut LatticeScratch, threads: usize) -> Result<Option<BestSlot>> {
+    let n = scratch.apps.len();
+    let shared = AtomicU64::new(0);
+
+    if threads == 1 {
+        let ctx = Ctx {
+            opts: &scratch.opts,
+            apps: &scratch.apps,
+            perm: &scratch.perm,
+            subsets: &scratch.subsets,
+            dlog: &scratch.dlog,
+            emin: &scratch.emin,
+            stride: scratch.stride,
+            shared: &shared,
+        };
+        scratch.state.reset(n, &scratch.root_free);
+        ctx.dfs(&mut scratch.state, 0, 0.0, 0, 0.0);
+        return Ok(scratch.state.best.valid.then(|| scratch.state.best.clone()));
+    }
+
+    // Root split: one task per option of the first permuted application,
+    // fanned out over the work-stealing pool. Each task's winner lands
+    // in its own slot; the merge below is a strict in-order reduction,
+    // so the argmax is bit-identical for every worker count.
+    let first = scratch.perm[0];
+    let ab = scratch.apps[first];
+    let ctx_opts = &scratch.opts;
+    let ctx_apps = &scratch.apps;
+    let ctx_perm = &scratch.perm;
+    let ctx_subsets = &scratch.subsets;
+    let ctx_dlog = &scratch.dlog;
+    let ctx_emin = &scratch.emin;
+    let stride = scratch.stride;
+    let root_free = &scratch.root_free;
+    let slots: Vec<OnceLock<(Option<BestSlot>, LatticeCounters)>> =
+        (0..ab.len as usize).map(|_| OnceLock::new()).collect();
+    pool::run(
+        threads,
+        ab.len as usize,
+        None,
+        SearchState::default,
+        |idx, st: &mut SearchState| -> Result<()> {
+            let ctx = Ctx {
+                opts: ctx_opts,
+                apps: ctx_apps,
+                perm: ctx_perm,
+                subsets: ctx_subsets,
+                dlog: ctx_dlog,
+                emin: ctx_emin,
+                stride,
+                shared: &shared,
+            };
+            st.reset(n, root_free);
+            let o = *ctx.opt(first, idx as u32);
+            if st.free[o.asg.proc_type.0] >= o.asg.procs {
+                st.chosen[first] = idx as u32;
+                st.free[o.asg.proc_type.0] -= o.asg.procs;
+                st.free_total -= o.asg.procs;
+                let first_log = if o.d_zero == 0 { o.d_log } else { 0.0 };
+                ctx.dfs(st, 1, first_log, u32::from(o.d_zero), o.exp_time);
+            }
+            let best = st.best.valid.then(|| st.best.clone());
+            slots[idx]
+                .set((best, st.counters))
+                .expect("each root branch runs once");
+            Ok(())
+        },
+    )?;
+
+    let mut merged: Option<BestSlot> = None;
+    let mut counters = LatticeCounters::default();
+    for slot in slots {
+        let (best, c) = slot.into_inner().expect("error-free run fills every slot");
+        counters.add(&c);
+        if let Some(b) = best {
+            let take = match &merged {
+                None => true,
+                Some(m) => m.beaten_by(b.worst, b.prob, b.sum_exp, &b.path),
+            };
+            if take {
+                merged = Some(b);
+            }
+        }
+    }
+    // Stash the merged counters where `solve` builds the report from.
+    scratch.state.counters = counters;
+    Ok(merged)
+}
+
+/// Shared driver behind both allocators: validates, prepares the scratch,
+/// searches, and classifies the outcome.
+#[allow(clippy::too_many_arguments)]
+fn solve(
+    engine: &Phi1Engine,
+    platform: &Platform,
+    deadline: f64,
+    threads: usize,
+    gamma: Option<(usize, f64)>,
+    scratch: &mut LatticeScratch,
+) -> Result<(LatticeSolution, LatticeReport)> {
+    if !(deadline > 0.0) || !deadline.is_finite() {
+        return Err(RaError::BadParameter {
+            name: "deadline",
+            value: deadline,
+        });
+    }
+    if threads == 0 {
+        return Err(RaError::BadParameter {
+            name: "threads",
+            value: 0.0,
+        });
+    }
+    if let Some((_, g)) = gamma {
+        if !(g > 0.0 && g <= 1.0) {
+            return Err(RaError::BadParameter {
+                name: "degradation",
+                value: g,
+            });
+        }
+    }
+    prepare(scratch, engine, platform, deadline, gamma)?;
+    let best = search(scratch, threads)?.ok_or(RaError::NoFeasibleAllocation)?;
+
+    let alloc = Allocation::new(
+        best.path
+            .iter()
+            .enumerate()
+            .map(|(app, &idx)| scratch.opts[(scratch.apps[app].start + idx) as usize].asg)
+            .collect(),
+    );
+    let report = LatticeReport {
+        phi1: best.worst,
+        nominal_phi1: best.prob,
+        sum_exp: best.sum_exp,
+        counters: scratch.state.counters,
+    };
+    let solution = if best.worst > 0.0 {
+        LatticeSolution::Optimal {
+            alloc,
+            phi1: best.worst,
+        }
+    } else {
+        let scale = match gamma {
+            Some((budget, g)) if budget >= 1 => 1.0 / g,
+            _ => 1.0,
+        };
+        LatticeSolution::Infeasible {
+            alloc,
+            tightest_deadline: tightest_deadline(scratch, scale),
+        }
+    };
+    Ok((solution, report))
+}
+
+thread_local! {
+    /// Per-thread scratch behind the [`Allocator`] entry points, so the
+    /// serve path's repeated single-threaded calls reuse warm buffers.
+    static SCRATCH: RefCell<LatticeScratch> = RefCell::new(LatticeScratch::new());
+}
+
+/// Exact φ₁-optimal Stage-I allocation by prefix-CDF-pruned
+/// branch-and-bound (see the module docs). Bit-identical to
+/// [`super::Exhaustive`] — at a fraction of the node count.
+#[derive(Debug, Clone, Copy)]
+pub struct Lattice {
+    /// Worker threads for the engine build and the root-level split.
+    pub threads: usize,
+}
+
+impl Default for Lattice {
+    fn default() -> Self {
+        Self {
+            threads: cdsf_system::default_threads(),
+        }
+    }
+}
+
+impl Lattice {
+    /// Creates the policy with the given thread count (≥ 1).
+    pub fn new(threads: usize) -> Result<Self> {
+        if threads == 0 {
+            return Err(RaError::BadParameter {
+                name: "threads",
+                value: 0.0,
+            });
+        }
+        Ok(Self { threads })
+    }
+
+    /// Full-fidelity entry point: the exact solution (including the
+    /// infeasibility proof) and the search report, reusing `scratch`.
+    pub fn solve_with_engine(
+        &self,
+        platform: &Platform,
+        engine: &Phi1Engine,
+        deadline: f64,
+        scratch: &mut LatticeScratch,
+    ) -> Result<(LatticeSolution, LatticeReport)> {
+        solve(engine, platform, deadline, self.threads, None, scratch)
+    }
+}
+
+impl Allocator for Lattice {
+    fn name(&self) -> &'static str {
+        "Lattice"
+    }
+
+    fn allocate(&self, batch: &Batch, platform: &Platform, deadline: f64) -> Result<Allocation> {
+        if batch.is_empty() {
+            return Err(RaError::EmptyBatch);
+        }
+        let engine = Phi1Engine::build_parallel(batch, platform, self.threads)?;
+        self.allocate_with_engine(batch, platform, &engine, deadline)
+    }
+
+    fn allocate_with_engine(
+        &self,
+        batch: &Batch,
+        platform: &Platform,
+        engine: &Phi1Engine,
+        deadline: f64,
+    ) -> Result<Allocation> {
+        if batch.is_empty() {
+            return Err(RaError::EmptyBatch);
+        }
+        // Like `Exhaustive`, a deadline-infeasible instance still yields
+        // the best-effort (zero-probability, minimum expected time)
+        // allocation; only capacity infeasibility errors.
+        SCRATCH.with(|s| {
+            let mut scratch = s.borrow_mut();
+            let (solution, _) = self.solve_with_engine(platform, engine, deadline, &mut scratch)?;
+            Ok(solution.allocation().clone())
+        })
+    }
+}
+
+/// Γ-robust exact Stage-I allocation: maximizes the *worst-case* `φ₁`
+/// when an adversary may degrade the availability of up to
+/// [`budget`](Self::budget) processor types by
+/// [`degradation`](Self::degradation) (see the module docs). When even
+/// the optimum is hopeless, [`Allocator::allocate`] returns
+/// [`RaError::ProvenInfeasible`] carrying the exact tightest feasible
+/// deadline — a proof, not a fallback.
+#[derive(Debug, Clone, Copy)]
+pub struct GammaRobust {
+    /// Worker threads for the engine build and the root-level split.
+    pub threads: usize,
+    /// Γ: how many processor types the adversary may degrade at once.
+    pub budget: usize,
+    /// γ ∈ (0, 1]: availability multiplier of a degraded type (loaded
+    /// completion times stretch by `1/γ`).
+    pub degradation: f64,
+}
+
+impl Default for GammaRobust {
+    fn default() -> Self {
+        Self {
+            threads: cdsf_system::default_threads(),
+            budget: 1,
+            degradation: 0.9,
+        }
+    }
+}
+
+impl GammaRobust {
+    /// Full-fidelity entry point: the exact worst-case solution and the
+    /// search report, reusing `scratch`.
+    pub fn solve_with_engine(
+        &self,
+        platform: &Platform,
+        engine: &Phi1Engine,
+        deadline: f64,
+        scratch: &mut LatticeScratch,
+    ) -> Result<(LatticeSolution, LatticeReport)> {
+        solve(
+            engine,
+            platform,
+            deadline,
+            self.threads,
+            Some((self.budget, self.degradation)),
+            scratch,
+        )
+    }
+}
+
+impl Allocator for GammaRobust {
+    fn name(&self) -> &'static str {
+        "GammaRobust"
+    }
+
+    fn allocate(&self, batch: &Batch, platform: &Platform, deadline: f64) -> Result<Allocation> {
+        if batch.is_empty() {
+            return Err(RaError::EmptyBatch);
+        }
+        let engine = Phi1Engine::build_parallel(batch, platform, self.threads)?;
+        self.allocate_with_engine(batch, platform, &engine, deadline)
+    }
+
+    fn allocate_with_engine(
+        &self,
+        batch: &Batch,
+        platform: &Platform,
+        engine: &Phi1Engine,
+        deadline: f64,
+    ) -> Result<Allocation> {
+        if batch.is_empty() {
+            return Err(RaError::EmptyBatch);
+        }
+        SCRATCH.with(|s| {
+            let mut scratch = s.borrow_mut();
+            let (solution, _) = self.solve_with_engine(platform, engine, deadline, &mut scratch)?;
+            match solution {
+                LatticeSolution::Optimal { alloc, .. } => Ok(alloc),
+                LatticeSolution::Infeasible {
+                    tightest_deadline, ..
+                } => Err(RaError::ProvenInfeasible { tightest_deadline }),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocators::testutil::*;
+    use crate::allocators::Exhaustive;
+    use cdsf_system::ProcTypeId;
+
+    /// Unpruned reference search over a prepared scratch: plain recursion
+    /// in canonical application order, leaf evaluation copied verbatim
+    /// from [`Ctx::leaf`], no bounds. The total order is strict (distinct
+    /// allocations have distinct paths), so any search order yields the
+    /// same winner — which is exactly what the pruned solver must match.
+    fn unpruned_best(scratch: &LatticeScratch) -> Option<BestSlot> {
+        fn rec(
+            s: &LatticeScratch,
+            depth: usize,
+            free: &mut [u32],
+            chosen: &mut [u32],
+            best: &mut BestSlot,
+        ) {
+            let n = s.apps.len();
+            if depth == n {
+                let mut prob = 1.0f64;
+                let mut sum_exp = 0.0f64;
+                for (app, &choice) in chosen.iter().enumerate() {
+                    let o = &s.opts[(s.apps[app].start + choice) as usize];
+                    prob *= o.prob;
+                    sum_exp += o.exp_time;
+                }
+                let worst = if s.subsets.is_empty() {
+                    prob
+                } else {
+                    let mut w = f64::INFINITY;
+                    for &mask in &s.subsets {
+                        let mut p = 1.0f64;
+                        for (app, &choice) in chosen.iter().enumerate() {
+                            let o = &s.opts[(s.apps[app].start + choice) as usize];
+                            p *= if mask & (1 << o.asg.proc_type.0) != 0 {
+                                o.degraded
+                            } else {
+                                o.prob
+                            };
+                        }
+                        if p < w {
+                            w = p;
+                        }
+                    }
+                    w
+                };
+                if best.beaten_by(worst, prob, sum_exp, chosen) {
+                    best.valid = true;
+                    best.worst = worst;
+                    best.prob = prob;
+                    best.sum_exp = sum_exp;
+                    best.path.copy_from_slice(chosen);
+                }
+                return;
+            }
+            let ab = s.apps[depth];
+            for idx in 0..ab.len {
+                let o = s.opts[(ab.start + idx) as usize];
+                if free[o.asg.proc_type.0] < o.asg.procs {
+                    continue;
+                }
+                free[o.asg.proc_type.0] -= o.asg.procs;
+                chosen[depth] = idx;
+                rec(s, depth + 1, free, chosen, best);
+                chosen[depth] = UNSET;
+                free[o.asg.proc_type.0] += o.asg.procs;
+            }
+        }
+        let n = scratch.apps.len();
+        let mut free = scratch.root_free.clone();
+        let mut chosen = vec![UNSET; n];
+        let mut best = BestSlot {
+            path: vec![UNSET; n],
+            ..BestSlot::default()
+        };
+        rec(scratch, 0, &mut free, &mut chosen, &mut best);
+        best.valid.then_some(best)
+    }
+
+    fn assert_slots_bit_equal(a: &BestSlot, b: &BestSlot, what: &str) {
+        assert_eq!(a.path, b.path, "{what}: paths differ");
+        assert_eq!(
+            a.worst.to_bits(),
+            b.worst.to_bits(),
+            "{what}: worst-case φ₁ bits differ"
+        );
+        assert_eq!(a.prob.to_bits(), b.prob.to_bits(), "{what}: φ₁ bits differ");
+        assert_eq!(
+            a.sum_exp.to_bits(),
+            b.sum_exp.to_bits(),
+            "{what}: Σ expected-time bits differ"
+        );
+    }
+
+    #[test]
+    fn reproduces_paper_table4_robust_row() {
+        let alloc = Lattice::new(1)
+            .unwrap()
+            .allocate(&paper_batch(64), &paper_platform(), DEADLINE)
+            .unwrap();
+        let a = alloc.assignments();
+        assert_eq!(
+            a[0],
+            Assignment {
+                proc_type: ProcTypeId(0),
+                procs: 2
+            }
+        );
+        assert_eq!(
+            a[1],
+            Assignment {
+                proc_type: ProcTypeId(0),
+                procs: 2
+            }
+        );
+        assert_eq!(
+            a[2],
+            Assignment {
+                proc_type: ProcTypeId(1),
+                procs: 8
+            }
+        );
+    }
+
+    #[test]
+    fn matches_exhaustive_bit_exactly_across_deadlines() {
+        let (b, p) = (paper_batch(32), paper_platform());
+        let engine = Phi1Engine::build(&b, &p).unwrap();
+        // Spans infeasible (800), tight, the paper's, and slack deadlines;
+        // tight ones exercise zero-probability ties and the min-sum order.
+        for deadline in [800.0, 1500.0, 2500.0, DEADLINE, 5000.0, 20_000.0] {
+            let ex = Exhaustive::new(1)
+                .unwrap()
+                .allocate_with_engine(&b, &p, &engine, deadline)
+                .unwrap();
+            let la = Lattice::new(1)
+                .unwrap()
+                .allocate_with_engine(&b, &p, &engine, deadline)
+                .unwrap();
+            assert_eq!(ex, la, "deadline {deadline}: allocations differ");
+        }
+    }
+
+    #[test]
+    fn pruned_search_matches_unpruned_reference() {
+        let (b, p) = (paper_batch(32), paper_platform());
+        let engine = Phi1Engine::build(&b, &p).unwrap();
+        let mut scratch = LatticeScratch::new();
+        for deadline in [800.0, 2500.0, DEADLINE, 8000.0] {
+            for gamma in [None, Some((1, 0.9)), Some((2, 0.7))] {
+                prepare(&mut scratch, &engine, &p, deadline, gamma).unwrap();
+                let reference = unpruned_best(&scratch).unwrap();
+                let pruned = search(&mut scratch, 1).unwrap().unwrap();
+                assert_slots_bit_equal(
+                    &pruned,
+                    &reference,
+                    &format!("deadline {deadline}, gamma {gamma:?}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_result() {
+        let (b, p) = (paper_batch(32), paper_platform());
+        let engine = Phi1Engine::build(&b, &p).unwrap();
+        let mut scratch = LatticeScratch::new();
+        for deadline in [2500.0, DEADLINE] {
+            let baseline = Lattice::new(1)
+                .unwrap()
+                .solve_with_engine(&p, &engine, deadline, &mut scratch)
+                .unwrap();
+            let gamma_baseline = GammaRobust {
+                threads: 1,
+                ..GammaRobust::default()
+            }
+            .solve_with_engine(&p, &engine, deadline, &mut scratch)
+            .unwrap();
+            for threads in [2, 4, 7] {
+                let plain = Lattice::new(threads)
+                    .unwrap()
+                    .solve_with_engine(&p, &engine, deadline, &mut scratch)
+                    .unwrap();
+                assert_eq!(plain.0, baseline.0, "lattice, {threads} workers");
+                assert_eq!(
+                    plain.1.phi1.to_bits(),
+                    baseline.1.phi1.to_bits(),
+                    "lattice φ₁ bits, {threads} workers"
+                );
+                let robust = GammaRobust {
+                    threads,
+                    ..GammaRobust::default()
+                }
+                .solve_with_engine(&p, &engine, deadline, &mut scratch)
+                .unwrap();
+                assert_eq!(
+                    robust.0, gamma_baseline.0,
+                    "gamma-robust, {threads} workers"
+                );
+                assert_eq!(
+                    robust.1.phi1.to_bits(),
+                    gamma_baseline.1.phi1.to_bits(),
+                    "gamma-robust φ₁ bits, {threads} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_budget_zero_reduces_to_plain_lattice() {
+        let (b, p) = (paper_batch(32), paper_platform());
+        let engine = Phi1Engine::build(&b, &p).unwrap();
+        let mut scratch = LatticeScratch::new();
+        let plain = Lattice::new(1)
+            .unwrap()
+            .solve_with_engine(&p, &engine, DEADLINE, &mut scratch)
+            .unwrap();
+        let zero_budget = GammaRobust {
+            threads: 1,
+            budget: 0,
+            degradation: 0.9,
+        }
+        .solve_with_engine(&p, &engine, DEADLINE, &mut scratch)
+        .unwrap();
+        assert_eq!(plain.0, zero_budget.0);
+        assert_eq!(plain.1.phi1.to_bits(), zero_budget.1.phi1.to_bits());
+        assert_eq!(
+            zero_budget.1.phi1.to_bits(),
+            zero_budget.1.nominal_phi1.to_bits(),
+            "no adversary: worst case equals nominal"
+        );
+    }
+
+    #[test]
+    fn gamma_robust_matches_brute_force_adversary() {
+        let (b, p) = (paper_batch(16), paper_platform());
+        let engine = Phi1Engine::build(&b, &p).unwrap();
+        let (budget, g) = (1usize, 0.9f64);
+        let solver = GammaRobust {
+            threads: 1,
+            budget,
+            degradation: g,
+        };
+        let mut scratch = LatticeScratch::new();
+        let (solution, report) = solver
+            .solve_with_engine(&p, &engine, DEADLINE, &mut scratch)
+            .unwrap();
+        // Worst case over every feasible allocation × every adversary
+        // subset, with probabilities from the same engine lookups.
+        let mut best_worst = f64::NEG_INFINITY;
+        for alloc in Allocation::enumerate_feasible(&b, &p).unwrap() {
+            let mut worst = f64::INFINITY;
+            for degraded_type in 0..p.num_types() {
+                let mut prob = 1.0f64;
+                for (i, asg) in alloc.assignments().iter().enumerate() {
+                    let d = if asg.proc_type.0 == degraded_type {
+                        g * DEADLINE
+                    } else {
+                        DEADLINE
+                    };
+                    prob *= engine.prob(i, asg.proc_type, asg.procs, d).unwrap();
+                }
+                worst = worst.min(prob);
+            }
+            best_worst = best_worst.max(worst);
+        }
+        assert_eq!(report.phi1.to_bits(), best_worst.to_bits());
+        match solution {
+            LatticeSolution::Optimal { phi1, .. } => {
+                assert!(phi1 > 0.0);
+                assert_eq!(phi1.to_bits(), best_worst.to_bits());
+            }
+            LatticeSolution::Infeasible { .. } => panic!("paper instance is feasible"),
+        }
+    }
+
+    #[test]
+    fn infeasibility_proof_is_tight() {
+        let (b, p) = (paper_batch(32), paper_platform());
+        let engine = Phi1Engine::build(&b, &p).unwrap();
+        let solver = Lattice::new(1).unwrap();
+        let mut scratch = LatticeScratch::new();
+        let (solution, _) = solver
+            .solve_with_engine(&p, &engine, 100.0, &mut scratch)
+            .unwrap();
+        let LatticeSolution::Infeasible {
+            alloc,
+            tightest_deadline,
+        } = solution
+        else {
+            panic!("deadline 100 must be infeasible");
+        };
+        assert_eq!(alloc.assignments().len(), 3, "best-effort alloc returned");
+        assert!(tightest_deadline > 100.0);
+        // At the proven tightest deadline the instance becomes feasible…
+        let (at, _) = solver
+            .solve_with_engine(&p, &engine, tightest_deadline, &mut scratch)
+            .unwrap();
+        assert!(
+            matches!(at, LatticeSolution::Optimal { phi1, .. } if phi1 > 0.0),
+            "solving at the tightest deadline must be feasible"
+        );
+        // …and one ULP-ish below it provably is not.
+        let (below, _) = solver
+            .solve_with_engine(&p, &engine, tightest_deadline * (1.0 - 1e-12), &mut scratch)
+            .unwrap();
+        assert!(
+            matches!(below, LatticeSolution::Infeasible { .. }),
+            "below the tightest deadline must stay infeasible"
+        );
+    }
+
+    #[test]
+    fn gamma_allocate_reports_proven_infeasibility() {
+        let (b, p) = (paper_batch(32), paper_platform());
+        let solver = GammaRobust {
+            threads: 1,
+            ..GammaRobust::default()
+        };
+        let err = solver.allocate(&b, &p, 100.0).unwrap_err();
+        let RaError::ProvenInfeasible { tightest_deadline } = err else {
+            panic!("expected a proven-infeasible error, got {err}");
+        };
+        // The γ-adversary stretches the bottleneck by 1/γ relative to the
+        // plain proof.
+        let engine = Phi1Engine::build(&b, &p).unwrap();
+        let mut scratch = LatticeScratch::new();
+        let (plain, _) = Lattice::new(1)
+            .unwrap()
+            .solve_with_engine(&p, &engine, 100.0, &mut scratch)
+            .unwrap();
+        let LatticeSolution::Infeasible {
+            tightest_deadline: plain_tight,
+            ..
+        } = plain
+        else {
+            panic!("plain solver must also prove infeasibility");
+        };
+        assert_eq!(
+            tightest_deadline.to_bits(),
+            (plain_tight / solver.degradation).to_bits()
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_deterministic() {
+        let (b, p) = (paper_batch(32), paper_platform());
+        let engine = Phi1Engine::build(&b, &p).unwrap();
+        let solver = Lattice::new(1).unwrap();
+        let robust = GammaRobust {
+            threads: 1,
+            ..GammaRobust::default()
+        };
+        // Interleave plain/γ/infeasible solves through ONE scratch and
+        // check each against a cold scratch.
+        let mut warm = LatticeScratch::new();
+        for deadline in [DEADLINE, 100.0, 2500.0, 8000.0, DEADLINE] {
+            let w1 = solver
+                .solve_with_engine(&p, &engine, deadline, &mut warm)
+                .unwrap();
+            let c1 = solver
+                .solve_with_engine(&p, &engine, deadline, &mut LatticeScratch::new())
+                .unwrap();
+            assert_eq!(w1.0, c1.0, "plain, deadline {deadline}");
+            assert_eq!(w1.1.phi1.to_bits(), c1.1.phi1.to_bits());
+            let w2 = robust
+                .solve_with_engine(&p, &engine, deadline, &mut warm)
+                .unwrap();
+            let c2 = robust
+                .solve_with_engine(&p, &engine, deadline, &mut LatticeScratch::new())
+                .unwrap();
+            assert_eq!(w2.0, c2.0, "gamma, deadline {deadline}");
+            assert_eq!(w2.1.phi1.to_bits(), c2.1.phi1.to_bits());
+        }
+    }
+
+    #[test]
+    fn counters_show_pruning_work() {
+        let (b, p) = (paper_batch(32), paper_platform());
+        let engine = Phi1Engine::build(&b, &p).unwrap();
+        let mut scratch = LatticeScratch::new();
+        let (_, report) = Lattice::new(1)
+            .unwrap()
+            .solve_with_engine(&p, &engine, DEADLINE, &mut scratch)
+            .unwrap();
+        let c = report.counters;
+        assert!(c.leaves >= 1, "at least the optimum is a leaf");
+        assert!(c.nodes >= c.leaves);
+        assert!(
+            c.screen_pruned + c.confirm_pruned > 0,
+            "the paper instance must exercise the bound: {c:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let (b, p) = (paper_batch(8), paper_platform());
+        let engine = Phi1Engine::build(&b, &p).unwrap();
+        assert!(Lattice::new(0).is_err());
+        assert!(Lattice::new(1)
+            .unwrap()
+            .allocate_with_engine(&b, &p, &engine, f64::NAN)
+            .is_err());
+        assert!(Lattice::new(1)
+            .unwrap()
+            .allocate_with_engine(&cdsf_system::Batch::new(vec![]), &p, &engine, DEADLINE)
+            .is_err());
+        for bad_gamma in [0.0, -0.5, 1.5, f64::NAN] {
+            let solver = GammaRobust {
+                threads: 1,
+                budget: 1,
+                degradation: bad_gamma,
+            };
+            assert!(
+                solver
+                    .allocate_with_engine(&b, &p, &engine, DEADLINE)
+                    .is_err(),
+                "degradation {bad_gamma} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn prebuilt_engine_matches_self_built_path() {
+        let (b, p) = (paper_batch(32), paper_platform());
+        let engine = Phi1Engine::build(&b, &p).unwrap();
+        let direct = Lattice::new(1).unwrap().allocate(&b, &p, DEADLINE).unwrap();
+        let via_engine = Lattice::new(1)
+            .unwrap()
+            .allocate_with_engine(&b, &p, &engine, DEADLINE)
+            .unwrap();
+        assert_eq!(direct, via_engine);
+    }
+}

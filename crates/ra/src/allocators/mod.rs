@@ -12,6 +12,10 @@
 //!   stochastic robustness table instead of deterministic completion times.
 //! * [`SimulatedAnnealing`], [`GeneticAlgorithm`] — metaheuristics for the
 //!   large instances the paper defers to future work.
+//! * [`Lattice`] — exact branch-and-bound over the allocation lattice,
+//!   pruned with prefix-CDF bound tables; bit-identical to [`Exhaustive`]
+//!   at a fraction of the cost. [`GammaRobust`] is its Γ-budget
+//!   worst-case variant with provable infeasibility.
 //!
 //! All policies implement [`Allocator`] and are deterministic: the
 //! metaheuristics take explicit seeds.
@@ -20,12 +24,16 @@ mod equal_share;
 mod exhaustive;
 mod greedy;
 mod incremental;
+mod lattice;
 mod metaheuristic;
 
 pub use equal_share::EqualShare;
 pub use exhaustive::Exhaustive;
 pub use greedy::{GreedyMaxRobust, GreedyMinTime, Sufferage};
 pub use incremental::{allocate_incremental, allocate_incremental_with_engine};
+pub use lattice::{
+    GammaRobust, Lattice, LatticeCounters, LatticeReport, LatticeScratch, LatticeSolution,
+};
 pub use metaheuristic::{GeneticAlgorithm, MultiStartReport, SimulatedAnnealing};
 
 use crate::allocation::{Allocation, Assignment};

@@ -125,6 +125,25 @@ fn pmf_bits_equal(a: &Pmf, b: &Pmf) -> bool {
         })
 }
 
+/// Per-option Stage-I statistics of one application at one deadline, as
+/// produced by [`Phi1Engine::option_stats_into`]: the assignment itself,
+/// its deadline probability and expected loaded time (the quantities every
+/// allocator scores on), and the *minimum* loaded completion time — the
+/// smallest deadline for which the option has any chance at all, which is
+/// what the lattice solver's infeasibility proofs are built from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptionStats {
+    /// The `(type, power-of-two count)` option.
+    pub asg: Assignment,
+    /// `Pr(T ≤ Δ)` of the loaded completion time.
+    pub prob: f64,
+    /// Expected loaded completion time.
+    pub exp_time: f64,
+    /// Smallest loaded completion-time pulse value: `Pr(T ≤ Δ) = 0` for
+    /// every `Δ` below it, and `> 0` at it.
+    pub min_loaded: f64,
+}
+
 /// Memoized per-`(application, processor type, power-of-two share)` PMF
 /// cache backing every Stage-I φ₁ evaluation.
 ///
@@ -490,6 +509,37 @@ impl Phi1Engine {
         out
     }
 
+    /// Appends every option of `app` with its statistics at `deadline` to
+    /// `out` — one linear pass over the application's arena cells, in the
+    /// same deterministic (type-major, count-ascending) order as
+    /// [`Phi1Engine::options`]. Each entry is three SoA reads (prefix-CDF
+    /// lookup, cached expectation, first pulse value); nothing is
+    /// recomputed and nothing beyond `out`'s growth is allocated, so the
+    /// lattice solver can rebuild its bound tables from a warm scratch
+    /// without touching the allocator. Out-of-range `app` appends nothing.
+    pub fn option_stats_into(&self, app: usize, deadline: f64, out: &mut Vec<OptionStats>) {
+        if app >= self.num_apps {
+            return;
+        }
+        for j in 0..self.num_types {
+            let Some((start, len)) = self.index[app * self.num_types + j] else {
+                continue;
+            };
+            for k in 0..len {
+                let c = (start + k) as usize;
+                out.push(OptionStats {
+                    asg: Assignment {
+                        proc_type: ProcTypeId(j),
+                        procs: 1 << k,
+                    },
+                    prob: self.cell_cdf(c, deadline),
+                    exp_time: self.expected[c],
+                    min_loaded: self.loaded_values[self.pulse_off[c] as usize],
+                });
+            }
+        }
+    }
+
     /// Derives the memoized [`ProbabilityTable`] for one deadline in one
     /// linear pass over the arena. Exactly equal — not merely close — to
     /// [`ProbabilityTable::build`] on the same inputs, because both
@@ -759,6 +809,44 @@ mod tests {
             let direct = crate::allocators::app_options(app, &p).unwrap();
             assert_eq!(engine.options(i), direct);
         }
+    }
+
+    #[test]
+    fn option_stats_match_scalar_queries() {
+        let (b, p) = (paper_batch(16), paper_platform());
+        let engine = Phi1Engine::build(&b, &p).unwrap();
+        for app in 0..b.len() {
+            let mut stats = Vec::new();
+            engine.option_stats_into(app, DEADLINE, &mut stats);
+            let opts = engine.options(app);
+            assert_eq!(stats.len(), opts.len());
+            for (s, &asg) in stats.iter().zip(&opts) {
+                assert_eq!(s.asg, asg);
+                assert_eq!(
+                    s.prob,
+                    engine
+                        .prob(app, asg.proc_type, asg.procs, DEADLINE)
+                        .unwrap()
+                );
+                assert_eq!(
+                    s.exp_time,
+                    engine.expected_time(app, asg.proc_type, asg.procs).unwrap()
+                );
+                let pmf = engine.loaded_pmf(app, asg.proc_type, asg.procs).unwrap();
+                assert_eq!(s.min_loaded, pmf.min_value());
+                // Below the minimum pulse the option is hopeless; at it,
+                // it is not — the property the infeasibility proof uses.
+                assert_eq!(
+                    engine.prob(app, asg.proc_type, asg.procs, s.min_loaded),
+                    Some(pmf.cdf(s.min_loaded))
+                );
+                assert!(pmf.cdf(s.min_loaded) > 0.0);
+                assert_eq!(pmf.cdf(s.min_loaded * 0.999), 0.0);
+            }
+        }
+        let mut stats = Vec::new();
+        engine.option_stats_into(99, DEADLINE, &mut stats);
+        assert!(stats.is_empty());
     }
 
     #[test]

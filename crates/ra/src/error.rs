@@ -29,6 +29,14 @@ pub enum RaError {
     },
     /// No feasible allocation exists for the given batch and platform.
     NoFeasibleAllocation,
+    /// The lattice solver *proved* that no feasible allocation meets the
+    /// deadline with positive (worst-case) probability, and computed the
+    /// smallest deadline that would be feasible.
+    ProvenInfeasible {
+        /// The exact min-bottleneck deadline: solving again at any
+        /// deadline at or above this value succeeds.
+        tightest_deadline: f64,
+    },
     /// A search/heuristic parameter was out of its domain.
     BadParameter {
         /// Which parameter.
@@ -58,6 +66,10 @@ impl fmt::Display for RaError {
             RaError::NoFeasibleAllocation => {
                 write!(f, "no feasible allocation exists for this batch and platform")
             }
+            RaError::ProvenInfeasible { tightest_deadline } => write!(
+                f,
+                "deadline proven infeasible: tightest feasible deadline is {tightest_deadline}"
+            ),
             RaError::BadParameter { name, value } => {
                 write!(f, "parameter `{name}` = {value} is out of domain")
             }
@@ -106,6 +118,12 @@ mod tests {
                 "9",
             ),
             (RaError::NoFeasibleAllocation, "feasible"),
+            (
+                RaError::ProvenInfeasible {
+                    tightest_deadline: 3100.5,
+                },
+                "3100.5",
+            ),
             (
                 RaError::BadParameter {
                     name: "seed",

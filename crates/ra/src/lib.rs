@@ -44,8 +44,11 @@ pub mod robustness;
 pub mod surface;
 
 pub use allocation::{Allocation, Assignment};
-pub use allocators::{Allocator, MultiStartReport, SimulatedAnnealing};
-pub use engine::{Phi1Engine, RebuildMap};
+pub use allocators::{
+    Allocator, GammaRobust, Lattice, LatticeReport, LatticeScratch, LatticeSolution,
+    MultiStartReport, SimulatedAnnealing,
+};
+pub use engine::{OptionStats, Phi1Engine, RebuildMap};
 pub use engine_cache::{inputs_key, CacheOutcome, EngineCache};
 pub use error::RaError;
 pub use phi1::{DeltaFitness, OptionProbs};

@@ -7,8 +7,8 @@
 //! tests assert exact `f64` equality throughout; there are no tolerances.
 
 use cdsf_ra::allocators::{
-    allocate_incremental, allocate_incremental_with_engine, EqualShare, GeneticAlgorithm,
-    GreedyMaxRobust, GreedyMinTime, SimulatedAnnealing, Sufferage,
+    allocate_incremental, allocate_incremental_with_engine, EqualShare, GammaRobust,
+    GeneticAlgorithm, GreedyMaxRobust, GreedyMinTime, Lattice, SimulatedAnnealing, Sufferage,
 };
 use cdsf_ra::robustness::{
     evaluate, evaluate_with_engine, monte_carlo_phi1_ci, monte_carlo_phi1_ci_with_engine,
@@ -220,6 +220,82 @@ fn exhaustive_is_thread_invariant_on_generated_instance() {
             .allocate(&batch, &platform, deadline)
             .unwrap();
         assert_eq!(baseline, alloc, "exhaustive diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn lattice_equals_exhaustive_bit_exactly_across_deadlines() {
+    for (batch, platform) in [
+        paper_instance(),
+        generated_instance(53),
+        generated_instance(71),
+    ] {
+        for deadline in [900.0, 2_800.0, paper::DEADLINE, 50_000.0] {
+            let reference = cdsf_ra::allocators::Exhaustive::new(2)
+                .unwrap()
+                .allocate(&batch, &platform, deadline)
+                .unwrap();
+            let exact = Lattice::new(2)
+                .unwrap()
+                .allocate(&batch, &platform, deadline)
+                .unwrap();
+            assert_eq!(reference, exact, "lattice diverged at Δ {deadline}");
+            let p_ref = evaluate(&batch, &platform, &reference, deadline)
+                .unwrap()
+                .joint;
+            let p_lat = evaluate(&batch, &platform, &exact, deadline).unwrap().joint;
+            assert_eq!(
+                p_ref.to_bits(),
+                p_lat.to_bits(),
+                "φ1 bits diverged at Δ {deadline}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lattice_is_thread_invariant_on_generated_instance() {
+    let (batch, platform) = generated_instance(53);
+    let deadline = 2_800.0;
+    let baseline = Lattice::new(1)
+        .unwrap()
+        .allocate(&batch, &platform, deadline)
+        .unwrap();
+    for threads in [2, 4, 7, 16] {
+        let alloc = Lattice::new(threads)
+            .unwrap()
+            .allocate(&batch, &platform, deadline)
+            .unwrap();
+        assert_eq!(baseline, alloc, "lattice diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn gamma_robust_is_thread_invariant_on_generated_instance() {
+    use cdsf_ra::{LatticeScratch, LatticeSolution};
+    let (batch, platform) = generated_instance(53);
+    let engine = Phi1Engine::build(&batch, &platform).unwrap();
+    // Both regimes: a loose deadline (Optimal) and a hopeless one
+    // (Infeasible, carrying the tightest-deadline proof).
+    for deadline in [50_000.0, 1e-6] {
+        let solve = |threads| -> LatticeSolution {
+            let mut scratch = LatticeScratch::new();
+            GammaRobust {
+                threads,
+                ..Default::default()
+            }
+            .solve_with_engine(&platform, &engine, deadline, &mut scratch)
+            .unwrap()
+            .0
+        };
+        let baseline = solve(1);
+        for threads in [2, 4, 7, 16] {
+            assert_eq!(
+                baseline,
+                solve(threads),
+                "γ-robust diverged at {threads} threads, Δ {deadline}"
+            );
+        }
     }
 }
 

@@ -3,7 +3,7 @@
 use cdsf_pmf::discretize::{Discretize, Normal};
 use cdsf_pmf::Pmf;
 use cdsf_ra::allocators::{
-    allocate_incremental, EqualShare, Exhaustive, GreedyMaxRobust, Sufferage,
+    allocate_incremental, EqualShare, Exhaustive, GammaRobust, GreedyMaxRobust, Lattice, Sufferage,
 };
 use cdsf_ra::robustness::{evaluate, ProbabilityTable};
 use cdsf_ra::{Allocation, Allocator, Assignment, DeltaFitness, OptionProbs, Phi1Engine};
@@ -103,6 +103,55 @@ proptest! {
                 prop_assert!(p <= p_opt + 1e-9,
                     "{} φ1 {p} beat the exhaustive optimum {p_opt}", policy.name());
             }
+        }
+    }
+
+    /// The pruned lattice branch-and-bound is a drop-in for the unpruned
+    /// full enumeration: on arbitrary instances both policies agree on
+    /// feasibility, and when feasible return the *same* allocation with
+    /// bit-identical φ1 — i.e. pruning never changes the optimum.
+    #[test]
+    fn lattice_equals_exhaustive_on_arbitrary_instances(
+        (platform, batch, deadline) in arb_instance(),
+    ) {
+        let reference = Exhaustive::new(2).unwrap().allocate(&batch, &platform, deadline);
+        let exact = Lattice::new(2).unwrap().allocate(&batch, &platform, deadline);
+        match (reference, exact) {
+            (Ok(reference), Ok(exact)) => {
+                prop_assert_eq!(&reference, &exact, "lattice diverged from exhaustive");
+                let p_ref = evaluate(&batch, &platform, &reference, deadline).unwrap().joint;
+                let p_lat = evaluate(&batch, &platform, &exact, deadline).unwrap().joint;
+                prop_assert_eq!(p_ref.to_bits(), p_lat.to_bits());
+            }
+            (Err(_), Err(_)) => {}
+            (reference, exact) => prop_assert!(false,
+                "feasibility verdicts diverged: exhaustive {reference:?}, lattice {exact:?}"),
+        }
+    }
+
+    /// Γ-robustness costs probability, never creates it: when the robust
+    /// solver finds an allocation, its *nominal* φ1 cannot exceed the
+    /// nominal optimum, and hedging against zero adversary types is a
+    /// bitwise no-op relative to the plain lattice.
+    #[test]
+    fn gamma_robust_never_beats_the_nominal_optimum(
+        (platform, batch, deadline) in arb_instance(),
+        budget in 0usize..=2,
+    ) {
+        let robust = GammaRobust { threads: 2, budget, degradation: 0.9 };
+        let Ok(hedged) = robust.allocate(&batch, &platform, deadline) else {
+            return Ok(()); // capacity-infeasible or proven deadline-infeasible
+        };
+        let Ok(opt) = Exhaustive::new(2).unwrap().allocate(&batch, &platform, deadline) else {
+            return Ok(());
+        };
+        let p_hedged = evaluate(&batch, &platform, &hedged, deadline).unwrap().joint;
+        let p_opt = evaluate(&batch, &platform, &opt, deadline).unwrap().joint;
+        prop_assert!(p_hedged <= p_opt + 1e-9,
+            "robust nominal φ1 {p_hedged} beat the exhaustive optimum {p_opt}");
+        if budget == 0 {
+            let plain = Lattice::new(2).unwrap().allocate(&batch, &platform, deadline).unwrap();
+            prop_assert_eq!(&plain, &hedged, "Γ=0 diverged from the plain lattice");
         }
     }
 

@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! loadgen [--requests N] [--tenants N] [--connections N] [--shards N]
-//!         [--seed N] [--skew F] [--fault-rate F] [--threads N]
-//!         [--pipeline N] [--warmup N]
+//!         [--seed N] [--skew F] [--fault-rate F] [--policy-mix F]
+//!         [--threads N] [--pipeline N] [--warmup N]
 //!         [--addr HOST:PORT] [--shutdown] [--out PATH]
 //! ```
 //!
@@ -22,8 +22,8 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--requests N] [--tenants N] [--connections N] [--shards N]\n\
-         \u{20}              [--seed N] [--skew F] [--fault-rate F] [--threads N]\n\
-         \u{20}              [--pipeline N] [--warmup N]\n\
+         \u{20}              [--seed N] [--skew F] [--fault-rate F] [--policy-mix F]\n\
+         \u{20}              [--threads N] [--pipeline N] [--warmup N]\n\
          \u{20}              [--addr HOST:PORT] [--shutdown] [--out PATH]"
     );
     std::process::exit(2)
@@ -60,6 +60,7 @@ fn main() -> ExitCode {
             "--seed" => cfg.seed = parse(&arg, args.next()),
             "--skew" => cfg.skew = parse(&arg, args.next()),
             "--fault-rate" => cfg.fault_rate = parse(&arg, args.next()),
+            "--policy-mix" => cfg.policy_mix = parse(&arg, args.next()),
             "--pipeline" => cfg.pipeline = parse(&arg, args.next()),
             "--warmup" => cfg.warmup = parse(&arg, args.next()),
             "--threads" => serve_cfg.build_threads = parse(&arg, args.next()),

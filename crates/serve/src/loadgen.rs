@@ -48,6 +48,12 @@ pub struct LoadgenConfig {
     /// Fraction of submissions drawing from the shared pool — the source
     /// of cross-tenant cache hits and same-batch coalescing.
     pub shared_rate: f64,
+    /// Fraction of submissions naming an explicit Stage-I policy instead
+    /// of the server default, split evenly between the pooled
+    /// multi-start annealer (`sa`) and the exact branch-and-bound
+    /// (`lattice`) — so a replay exercises both solver paths and their
+    /// counters (`sa_multistart_runs`, per-policy cache keys).
+    pub policy_mix: f64,
     /// Common deadline Δ for every submission.
     pub deadline: f64,
     /// Requests each connection keeps in flight (1 = lockstep). The
@@ -74,6 +80,7 @@ impl Default for LoadgenConfig {
             specs_per_tenant: 3,
             shared_specs: 2,
             shared_rate: 0.3,
+            policy_mix: 0.2,
             deadline: 2_800.0,
             pipeline: 16,
             warmup: 200,
@@ -95,6 +102,7 @@ impl LoadgenConfig {
             ("fault_rate", self.fault_rate, 0.0, 1.0),
             ("snapshot_rate", self.snapshot_rate, 0.0, 1.0),
             ("shared_rate", self.shared_rate, 0.0, 1.0),
+            ("policy_mix", self.policy_mix, 0.0, 1.0),
         ] {
             if !(lo..=hi).contains(&v) {
                 return Err(ServeError::Protocol(format!(
@@ -202,12 +210,18 @@ impl LoadgenConfig {
                 };
                 submitted[t] = true;
                 types_now[t] = spec.types;
+                // Both rolls are always drawn, so streams with different
+                // mixes share the same tenant/spec sequence per seed.
+                let mixed = rng.gen_bool(cfg.policy_mix);
+                let pick_sa = rng.gen_bool(0.5);
+                let allocator = mixed.then(|| if pick_sa { "sa" } else { "lattice" }.to_string());
                 Request::Submit(SubmitRequest {
                     tenant: Self::tenant_name(t),
                     spec,
                     deadline: cfg.deadline,
-                    allocator: None,
+                    allocator,
                     threshold: None,
+                    qos: None,
                 })
             };
             stream.push(req);
@@ -235,6 +249,9 @@ pub struct LoadgenReport {
     pub skew: f64,
     /// Fault-injection rate used.
     pub fault_rate: f64,
+    /// Fraction of submissions naming an explicit policy (split between
+    /// `sa` and `lattice`).
+    pub policy_mix: f64,
     /// Wall-clock seconds for the whole replay.
     pub elapsed_s: f64,
     /// Requests per second over the replay.
@@ -367,7 +384,7 @@ pub fn run<A: ToSocketAddrs + Clone + Send + 'static>(
     };
     let replayed = ok + errors;
     Ok(LoadgenReport {
-        schema_version: 2,
+        schema_version: 3,
         requests: replayed,
         tenants: cfg.tenants as u64,
         connections: cfg.connections as u64,
@@ -375,6 +392,7 @@ pub fn run<A: ToSocketAddrs + Clone + Send + 'static>(
         seed: cfg.seed,
         skew: cfg.skew,
         fault_rate: cfg.fault_rate,
+        policy_mix: cfg.policy_mix,
         elapsed_s,
         throughput_rps: if elapsed_s > 0.0 {
             replayed as f64 / elapsed_s
@@ -442,6 +460,49 @@ mod tests {
     }
 
     #[test]
+    fn policy_mix_routes_submits_through_both_solvers() {
+        let named = |cfg: &LoadgenConfig, name: &str| {
+            cfg.stream()
+                .unwrap()
+                .iter()
+                .filter(|r| matches!(r, Request::Submit(s) if s.allocator.as_deref() == Some(name)))
+                .count()
+        };
+        let cfg = LoadgenConfig {
+            requests: 400,
+            tenants: 4,
+            policy_mix: 0.5,
+            ..LoadgenConfig::default()
+        };
+        assert!(named(&cfg, "sa") > 0, "mix must route submits through sa");
+        assert!(
+            named(&cfg, "lattice") > 0,
+            "mix must route submits through lattice"
+        );
+        let off = LoadgenConfig {
+            policy_mix: 0.0,
+            ..cfg.clone()
+        };
+        assert_eq!(named(&off, "sa") + named(&off, "lattice"), 0);
+        // The mix knob changes only the allocator column: same seed,
+        // same tenants and specs in the same order.
+        let tenants = |cfg: &LoadgenConfig| -> Vec<String> {
+            cfg.stream()
+                .unwrap()
+                .iter()
+                .filter_map(|r| r.tenant().map(str::to_string))
+                .collect()
+        };
+        assert_eq!(tenants(&cfg), tenants(&off));
+        assert!(LoadgenConfig {
+            policy_mix: 1.5,
+            ..LoadgenConfig::default()
+        }
+        .stream()
+        .is_err());
+    }
+
+    #[test]
     fn percentiles_pick_from_sorted_tail() {
         let v: Vec<u64> = (1..=100).collect();
         assert_eq!(percentile(&v, 50.0), 51);
@@ -468,9 +529,13 @@ mod tests {
             ..ServeConfig::default()
         };
         let report = run_local(&cfg, serve_cfg).unwrap();
-        assert_eq!(report.schema_version, 2);
+        assert_eq!(report.schema_version, 3);
         assert_eq!(report.requests, 120);
         assert_eq!(report.errors, 0, "clean stream replays without errors");
+        assert!(
+            report.stats.total.sa_multistart_runs > 0,
+            "default policy mix exercises the pooled annealer"
+        );
         assert_eq!(report.shards, 2);
         assert_eq!(report.pipeline, 8);
         assert_eq!(

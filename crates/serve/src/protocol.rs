@@ -7,11 +7,14 @@
 //! event log byte-replayable makes snapshots transported through this
 //! protocol restore to byte-identical engine state.
 //!
-//! The response schema is deliberately extensible: the
-//! [`RobustVerdict`] carries a reserved `guaranteed_tier` slot for the
-//! Γ-robust "guaranteed" QoS tier (worst-case feasibility within a
-//! budgeted availability-degradation set, ROADMAP item 5) next to the
-//! probabilistic φ₁ verdict served today.
+//! Submissions carry an optional `qos` tier: `probabilistic` (the
+//! default — maximize the joint deadline probability φ₁) or
+//! `guaranteed` (the Γ-robust tier — the allocation must keep positive
+//! worst-case φ₁ when up to Γ processor types degrade; a request whose
+//! deadline is *proven* unachievable is rejected with the tightest
+//! feasible deadline in the error detail rather than served
+//! best-effort). The [`RobustVerdict::guaranteed_tier`] slot, reserved
+//! since schema v1, is populated on guaranteed-tier replies.
 
 use crate::tenant::{TenantEvent, TenantSnapshot, WorkloadSpec};
 use serde::{Deserialize, Serialize};
@@ -75,6 +78,13 @@ pub struct SubmitRequest {
     /// φ₁ level above which the verdict reports `robust`; the server
     /// default when absent.
     pub threshold: Option<f64>,
+    /// QoS tier: `"probabilistic"` (default) serves the named
+    /// allocator's best φ₁ allocation; `"guaranteed"` routes through the
+    /// Γ-robust solver and *rejects* (with the tightest feasible
+    /// deadline) instead of serving a deadline proven unachievable.
+    /// Absent on v1 clients — defaults to probabilistic.
+    #[serde(default)]
+    pub qos: Option<String>,
 }
 
 /// `Inject`: a disruption to an already-submitted tenant workload.
@@ -104,10 +114,11 @@ pub struct RobustVerdict {
     pub threshold: f64,
     /// `phi1 ≥ threshold`.
     pub robust: bool,
-    /// Reserved: worst-case feasibility under a budgeted availability
-    /// uncertainty set (the Γ-robust "guaranteed tier"). Always `None`
-    /// until that allocator lands; kept in the schema so clients can
-    /// depend on its presence.
+    /// Worst-case feasibility under the budgeted availability
+    /// uncertainty set: `Some(true)` on guaranteed-tier replies (the
+    /// Γ-robust solver proved positive worst-case φ₁ — infeasible
+    /// guaranteed requests are rejected, never answered `Some(false)`),
+    /// `None` on probabilistic-tier replies.
     pub guaranteed_tier: Option<bool>,
 }
 
@@ -168,12 +179,20 @@ pub struct FingerprintReply {
     pub fingerprint: u64,
 }
 
-/// Why an allocation fell back to equal-share.
+/// Why an allocation fell back from the requested heuristic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FallbackReason {
-    /// The requested heuristic reported `NoFeasibleAllocation` but
-    /// equal-share still packed the batch.
-    Infeasible,
+    /// The requested heuristic reported `NoFeasibleAllocation`. The
+    /// shard adjudicates the claim with the exact lattice solver:
+    /// `proven` records whether the instance really admits no
+    /// positive-φ₁ allocation (a property of the spec/deadline) or the
+    /// heuristic merely painted itself into a corner on a feasible
+    /// instance.
+    Infeasible {
+        /// `true`: the exact solver confirmed infeasibility; `false`:
+        /// a feasible allocation exists and was served instead.
+        proven: bool,
+    },
     /// Any other Stage-I failure the fallback absorbed.
     Other,
 }
@@ -211,7 +230,15 @@ pub struct ShardStats {
     pub alloc_fallbacks: u64,
     /// Fallbacks whose primary failure was `NoFeasibleAllocation` —
     /// a property of the spec/deadline, never of the serving shard.
+    /// Always `alloc_fallbacks_infeasible_proven +
+    /// alloc_fallbacks_infeasible_heuristic`.
     pub alloc_fallbacks_infeasible: u64,
+    /// Infeasibility claims the exact lattice solver *confirmed*: no
+    /// allocation of the instance reaches positive φ₁ at the deadline.
+    pub alloc_fallbacks_infeasible_proven: u64,
+    /// Infeasibility claims the exact solver *refuted*: a feasible
+    /// allocation existed and was served in place of the heuristic's.
+    pub alloc_fallbacks_infeasible_heuristic: u64,
     /// Fallbacks absorbed for any other Stage-I failure.
     pub alloc_fallbacks_other: u64,
     /// Spec-expansion cache hits (submission reused an expanded
@@ -277,6 +304,8 @@ impl ShardStats {
         self.errors += other.errors;
         self.alloc_fallbacks += other.alloc_fallbacks;
         self.alloc_fallbacks_infeasible += other.alloc_fallbacks_infeasible;
+        self.alloc_fallbacks_infeasible_proven += other.alloc_fallbacks_infeasible_proven;
+        self.alloc_fallbacks_infeasible_heuristic += other.alloc_fallbacks_infeasible_heuristic;
         self.alloc_fallbacks_other += other.alloc_fallbacks_other;
         self.spec_cache_hits += other.spec_cache_hits;
         self.spec_cache_misses += other.spec_cache_misses;
@@ -319,7 +348,7 @@ impl ShardStats {
 
 impl Serialize for ShardStats {
     fn to_content(&self) -> serde::Content {
-        let mut m: Vec<(String, serde::Content)> = Vec::with_capacity(27);
+        let mut m: Vec<(String, serde::Content)> = Vec::with_capacity(29);
         // Omitted entirely (not `null`) on the totals row.
         if let Some(id) = self.shard {
             m.push(("shard".to_string(), id.to_content()));
@@ -337,6 +366,14 @@ impl Serialize for ShardStats {
         m.push((
             "alloc_fallbacks_infeasible".to_string(),
             self.alloc_fallbacks_infeasible.to_content(),
+        ));
+        m.push((
+            "alloc_fallbacks_infeasible_proven".to_string(),
+            self.alloc_fallbacks_infeasible_proven.to_content(),
+        ));
+        m.push((
+            "alloc_fallbacks_infeasible_heuristic".to_string(),
+            self.alloc_fallbacks_infeasible_heuristic.to_content(),
         ));
         m.push((
             "alloc_fallbacks_other".to_string(),
@@ -421,6 +458,11 @@ impl Deserialize for ShardStats {
             errors: get(entries, "errors")?,
             alloc_fallbacks: get(entries, "alloc_fallbacks")?,
             alloc_fallbacks_infeasible: get(entries, "alloc_fallbacks_infeasible")?,
+            alloc_fallbacks_infeasible_proven: get(entries, "alloc_fallbacks_infeasible_proven")?,
+            alloc_fallbacks_infeasible_heuristic: get(
+                entries,
+                "alloc_fallbacks_infeasible_heuristic",
+            )?,
             alloc_fallbacks_other: get(entries, "alloc_fallbacks_other")?,
             spec_cache_hits: get(entries, "spec_cache_hits")?,
             spec_cache_misses: get(entries, "spec_cache_misses")?,
@@ -642,6 +684,7 @@ mod tests {
                 deadline: 2_800.0,
                 allocator: Some("sufferage".into()),
                 threshold: None,
+                qos: Some("guaranteed".into()),
             }),
             Request::Inject(InjectRequest {
                 tenant: "acme".into(),
@@ -673,10 +716,23 @@ mod tests {
                 assert_eq!(a.deadline.to_bits(), b.deadline.to_bits());
                 assert_eq!(a.allocator, b.allocator);
                 assert!(a.threshold.is_none());
+                assert_eq!(a.qos, b.qos);
             }
             _ => panic!("variant changed in transit"),
         }
         assert!(matches!(back[4], Request::Shutdown));
+    }
+
+    #[test]
+    fn v1_submit_without_qos_still_parses() {
+        // A pre-QoS client's payload (no `qos` key) must keep parsing,
+        // defaulting to the probabilistic tier.
+        let line = r#"{"Submit":{"tenant":"acme","spec":{"apps":3,"types":2,"pulses":6,"seed":1},"deadline":2800.0,"allocator":null,"threshold":null}}"#;
+        let req: Request = serde_json::from_str(line).unwrap();
+        let Request::Submit(s) = req else {
+            panic!("expected submit");
+        };
+        assert_eq!(s.qos, None);
     }
 
     #[test]

@@ -39,7 +39,8 @@ use crate::tenant::{TenantSnapshot, TenantState, WorkloadSpec};
 use cdsf_core::{CoreError, ImPolicy};
 use cdsf_ra::robustness::evaluate_with_engine;
 use cdsf_ra::{
-    Allocation, EngineCache, MultiStartReport, Phi1Engine, RaError, RebuildMap, SimulatedAnnealing,
+    Allocation, EngineCache, Lattice, LatticeScratch, LatticeSolution, MultiStartReport,
+    Phi1Engine, RaError, RebuildMap, SimulatedAnnealing,
 };
 use cdsf_system::{Batch, Platform};
 use std::collections::{BTreeMap, HashSet, VecDeque};
@@ -195,6 +196,8 @@ pub struct ShardCore {
     errors: u64,
     alloc_fallbacks: u64,
     alloc_fallbacks_infeasible: u64,
+    alloc_fallbacks_infeasible_proven: u64,
+    alloc_fallbacks_infeasible_heuristic: u64,
     alloc_fallbacks_other: u64,
     spec_cache_hits: u64,
     spec_cache_misses: u64,
@@ -231,6 +234,8 @@ impl ShardCore {
             errors: 0,
             alloc_fallbacks: 0,
             alloc_fallbacks_infeasible: 0,
+            alloc_fallbacks_infeasible_proven: 0,
+            alloc_fallbacks_infeasible_heuristic: 0,
             alloc_fallbacks_other: 0,
             spec_cache_hits: 0,
             spec_cache_misses: 0,
@@ -310,7 +315,14 @@ impl ShardCore {
         let Some(reason) = fallback else { return };
         self.alloc_fallbacks += 1;
         match reason {
-            FallbackReason::Infeasible => self.alloc_fallbacks_infeasible += 1,
+            FallbackReason::Infeasible { proven } => {
+                self.alloc_fallbacks_infeasible += 1;
+                if proven {
+                    self.alloc_fallbacks_infeasible_proven += 1;
+                } else {
+                    self.alloc_fallbacks_infeasible_heuristic += 1;
+                }
+            }
             FallbackReason::Other => self.alloc_fallbacks_other += 1,
         }
     }
@@ -357,6 +369,7 @@ impl ShardCore {
             deadline,
             allocator,
             threshold,
+            qos,
         } = r;
         if !(deadline > 0.0) || !deadline.is_finite() {
             return Err(ServeError::Protocol(format!(
@@ -369,7 +382,22 @@ impl ShardCore {
                 "threshold {threshold} out of (0, 1]"
             )));
         }
-        let allocator_name = allocator.unwrap_or_else(|| self.cfg.default_allocator.clone());
+        let guaranteed = match qos.as_deref() {
+            None | Some("probabilistic") => false,
+            Some("guaranteed") => true,
+            Some(other) => {
+                return Err(ServeError::Protocol(format!(
+                    "unknown qos tier `{other}` (expected `guaranteed` or `probabilistic`)"
+                )))
+            }
+        };
+        // The guaranteed tier is *defined* by the Γ-robust solver; it
+        // overrides any requested allocator.
+        let allocator_name = if guaranteed {
+            "gamma-robust".to_string()
+        } else {
+            allocator.unwrap_or_else(|| self.cfg.default_allocator.clone())
+        };
         let policy = resolve_policy(&allocator_name, &self.cfg)?;
 
         self.spec_to_front(spec)?;
@@ -407,6 +435,7 @@ impl ShardCore {
                     &entry.platform,
                     outcome.engine,
                     deadline,
+                    threads,
                 )?;
                 let report = evaluate_with_engine(
                     outcome.engine,
@@ -455,6 +484,9 @@ impl ShardCore {
         self.record_fallback(fallback);
         self.account(key, hit, keys_built);
 
+        // A successful Γ-robust run *is* the guaranteed-tier certificate
+        // (infeasible guaranteed requests error out above).
+        let guaranteed_tier = (allocator_name == "gamma-robust").then_some(true);
         let entry = &self.spec_cache[0];
         match self.tenants.get_mut(&tenant) {
             Some(state) => {
@@ -498,7 +530,7 @@ impl ShardCore {
                 phi1: joint,
                 threshold,
                 robust: joint >= threshold,
-                guaranteed_tier: None,
+                guaranteed_tier,
             },
         }))
     }
@@ -543,8 +575,14 @@ impl ShardCore {
                 )
             }
             None => {
-                let run =
-                    allocate_or_fallback(&policy, &batch, &platform, outcome.engine, deadline)?;
+                let run = allocate_or_fallback(
+                    &policy,
+                    &batch,
+                    &platform,
+                    outcome.engine,
+                    deadline,
+                    threads,
+                )?;
                 let report =
                     evaluate_with_engine(outcome.engine, &batch, &platform, &run.alloc, deadline)?;
                 sa_report = run.sa;
@@ -602,7 +640,9 @@ impl ShardCore {
                 phi1: joint,
                 threshold,
                 robust: joint >= threshold,
-                guaranteed_tier: None,
+                // A guaranteed tenant's reactive remap re-proves the
+                // worst case or errors above, like its submit did.
+                guaranteed_tier: (allocator_name == "gamma-robust").then_some(true),
             },
         }))
     }
@@ -692,6 +732,8 @@ impl ShardCore {
             errors: self.errors,
             alloc_fallbacks: self.alloc_fallbacks,
             alloc_fallbacks_infeasible: self.alloc_fallbacks_infeasible,
+            alloc_fallbacks_infeasible_proven: self.alloc_fallbacks_infeasible_proven,
+            alloc_fallbacks_infeasible_heuristic: self.alloc_fallbacks_infeasible_heuristic,
             alloc_fallbacks_other: self.alloc_fallbacks_other,
             spec_cache_hits: self.spec_cache_hits,
             spec_cache_misses: self.spec_cache_misses,
@@ -749,28 +791,32 @@ struct AllocRun {
     sa: Option<MultiStartReport>,
 }
 
-fn classify_core(e: &CoreError) -> FallbackReason {
-    match e {
-        CoreError::Ra(RaError::NoFeasibleAllocation) => FallbackReason::Infeasible,
-        _ => FallbackReason::Other,
-    }
+/// Whether a Stage-I failure is an infeasibility claim — the class of
+/// failure the exact lattice solver can adjudicate.
+fn is_infeasible_claim(e: &CoreError) -> bool {
+    matches!(e, CoreError::Ra(RaError::NoFeasibleAllocation))
 }
 
-/// Runs the requested policy; if its greedy packing paints itself into a
-/// corner ("no feasible allocation" on an instance equal-share can still
-/// fit), falls back deterministically to equal-share rather than
-/// rejecting the workload. The fallback reason records whether the
-/// primary failure was infeasibility (a property of the spec/deadline)
-/// or something else; the original error propagates when even
-/// equal-share cannot pack the batch.
+/// Runs the requested policy. A Γ-robust infeasibility *proof*
+/// propagates as an error (the message carries the tightest feasible
+/// deadline for the client to retry with). A heuristic's
+/// `NoFeasibleAllocation` claim is adjudicated by the exact lattice
+/// solver instead of blindly falling back to equal-share: if a feasible
+/// allocation exists the solver's optimum is served (`proven: false` —
+/// the heuristic merely painted itself into a corner); if none does,
+/// the solver's best-effort minimum-expected-time allocation is served
+/// under a proof (`proven: true`). Other Stage-I failures keep the
+/// deterministic equal-share fallback; the original error propagates
+/// when even that cannot pack the batch.
 fn allocate_or_fallback(
     policy: &ShardPolicy,
     batch: &Batch,
     platform: &Platform,
     engine: &Phi1Engine,
     deadline: f64,
+    threads: usize,
 ) -> Result<AllocRun> {
-    let primary: std::result::Result<AllocRun, (String, FallbackReason)> = match policy {
+    let primary: std::result::Result<AllocRun, (String, bool)> = match policy {
         ShardPolicy::Standard(p) => match p.allocate_with_engine(batch, platform, engine, deadline)
         {
             Ok(alloc) => Ok(AllocRun {
@@ -778,7 +824,12 @@ fn allocate_or_fallback(
                 fallback: None,
                 sa: None,
             }),
-            Err(e) => Err((e.to_string(), classify_core(&e))),
+            // The guaranteed tier's rejection path: no fallback softens
+            // a worst-case infeasibility proof.
+            Err(CoreError::Ra(e @ RaError::ProvenInfeasible { .. })) => {
+                return Err(ServeError::Framework(e.to_string()))
+            }
+            Err(e) => Err((e.to_string(), is_infeasible_claim(&e))),
         },
         ShardPolicy::PooledSa(sa) => match sa.allocate_multi_start(platform, engine, deadline) {
             Ok((alloc, report)) => Ok(AllocRun {
@@ -786,28 +837,44 @@ fn allocate_or_fallback(
                 fallback: None,
                 sa: Some(report),
             }),
-            Err(RaError::NoFeasibleAllocation) => Err((
-                RaError::NoFeasibleAllocation.to_string(),
-                FallbackReason::Infeasible,
-            )),
-            Err(e) => Err((e.to_string(), FallbackReason::Other)),
+            Err(e) => {
+                let infeasible = matches!(e, RaError::NoFeasibleAllocation);
+                Err((e.to_string(), infeasible))
+            }
         },
     };
-    match primary {
-        Ok(run) => Ok(run),
-        Err((message, reason)) => {
-            if matches!(policy, ShardPolicy::Standard(ImPolicy::Naive)) {
-                return Err(ServeError::Framework(message));
-            }
-            match ImPolicy::Naive.allocate_with_engine(batch, platform, engine, deadline) {
-                Ok(alloc) => Ok(AllocRun {
-                    alloc,
-                    fallback: Some(reason),
-                    sa: None,
-                }),
-                Err(_) => Err(ServeError::Framework(message)),
-            }
+    let (message, claims_infeasible) = match primary {
+        Ok(run) => return Ok(run),
+        Err(pair) => pair,
+    };
+    if matches!(policy, ShardPolicy::Standard(ImPolicy::Naive)) {
+        return Err(ServeError::Framework(message));
+    }
+    if claims_infeasible {
+        let lattice = Lattice { threads };
+        let mut scratch = LatticeScratch::new();
+        if let Ok((solution, _)) =
+            lattice.solve_with_engine(platform, engine, deadline, &mut scratch)
+        {
+            let proven = matches!(solution, LatticeSolution::Infeasible { .. });
+            return Ok(AllocRun {
+                alloc: solution.allocation().clone(),
+                fallback: Some(FallbackReason::Infeasible { proven }),
+                sa: None,
+            });
         }
+        // Even the exact solver has no packing (capacity infeasibility).
+        // Equal-share allocates within the same lattice, so it cannot
+        // succeed either — propagate the primary failure.
+        return Err(ServeError::Framework(message));
+    }
+    match ImPolicy::Naive.allocate_with_engine(batch, platform, engine, deadline) {
+        Ok(alloc) => Ok(AllocRun {
+            alloc,
+            fallback: Some(FallbackReason::Other),
+            sa: None,
+        }),
+        Err(_) => Err(ServeError::Framework(message)),
     }
 }
 
@@ -890,6 +957,7 @@ mod tests {
             deadline: 2_800.0,
             allocator: None,
             threshold: None,
+            qos: None,
         })
     }
 
@@ -1059,12 +1127,121 @@ mod tests {
         let (s0, s7) = (shard0.stats(), shard7.stats());
         assert_eq!(s0.alloc_fallbacks, s7.alloc_fallbacks);
         assert_eq!(s0.alloc_fallbacks_infeasible, s7.alloc_fallbacks_infeasible);
+        assert_eq!(
+            s0.alloc_fallbacks_infeasible_proven,
+            s7.alloc_fallbacks_infeasible_proven
+        );
         assert_eq!(s0.alloc_fallbacks_other, s7.alloc_fallbacks_other);
-        // Every fallback is accounted to exactly one reason.
+        // Every fallback is accounted to exactly one reason, and every
+        // infeasibility claim is adjudicated one way or the other.
         assert_eq!(
             s0.alloc_fallbacks,
             s0.alloc_fallbacks_infeasible + s0.alloc_fallbacks_other
         );
+        assert_eq!(
+            s0.alloc_fallbacks_infeasible,
+            s0.alloc_fallbacks_infeasible_proven + s0.alloc_fallbacks_infeasible_heuristic
+        );
+    }
+
+    #[test]
+    fn guaranteed_qos_stamps_tier_or_rejects_with_tightest_deadline() {
+        let mut core = ShardCore::new(0, test_cfg());
+        // A generous deadline: the Γ-robust solver certifies positive
+        // worst-case φ₁ and the reply carries the tier stamp.
+        let resp = core.handle(&Request::Submit(SubmitRequest {
+            tenant: "acme".to_string(),
+            spec: spec(7),
+            deadline: 1.0e9,
+            allocator: None,
+            threshold: None,
+            qos: Some("guaranteed".to_string()),
+        }));
+        let Response::Submit(reply) = resp else {
+            panic!("expected submit reply, got {resp:?}");
+        };
+        assert_eq!(reply.verdict.guaranteed_tier, Some(true));
+        assert!(reply.verdict.phi1 > 0.0);
+        // A hopeless deadline: rejected with the infeasibility proof —
+        // the tightest feasible deadline — never served best-effort.
+        let resp = core.handle(&Request::Submit(SubmitRequest {
+            tenant: "acme".to_string(),
+            spec: spec(7),
+            deadline: 1.0e-6,
+            allocator: None,
+            threshold: None,
+            qos: Some("guaranteed".to_string()),
+        }));
+        let Response::Error { message } = resp else {
+            panic!("expected rejection, got {resp:?}");
+        };
+        assert!(message.contains("tightest"), "{message}");
+        assert_eq!(
+            core.stats().alloc_fallbacks,
+            0,
+            "rejections never fall back"
+        );
+        // Unknown tiers are protocol errors.
+        let resp = core.handle(&Request::Submit(SubmitRequest {
+            tenant: "acme".to_string(),
+            spec: spec(7),
+            deadline: 2_800.0,
+            allocator: None,
+            threshold: None,
+            qos: Some("platinum".to_string()),
+        }));
+        let Response::Error { message } = resp else {
+            panic!("expected error, got {resp:?}");
+        };
+        assert!(message.contains("qos"), "{message}");
+    }
+
+    #[test]
+    fn probabilistic_qos_is_the_default_tier() {
+        // `qos: probabilistic` must be byte-identical to omitting it.
+        let mut a = ShardCore::new(0, test_cfg());
+        let mut b = ShardCore::new(0, test_cfg());
+        let explicit = b.handle(&Request::Submit(SubmitRequest {
+            tenant: "acme".to_string(),
+            spec: spec(5),
+            deadline: 2_800.0,
+            allocator: None,
+            threshold: None,
+            qos: Some("probabilistic".to_string()),
+        }));
+        let implicit = a.handle(&submit("acme", 5));
+        assert_eq!(
+            serde_json::to_string(&implicit).unwrap(),
+            serde_json::to_string(&explicit).unwrap()
+        );
+    }
+
+    #[test]
+    fn infeasible_claims_are_adjudicated_by_the_exact_solver() {
+        // A deadline no allocation can meet: the heuristic's fallback is
+        // served from the lattice's best-effort optimum under a *proof*,
+        // and the proven counter (not the heuristic one) records it.
+        let mut core = ShardCore::new(0, test_cfg());
+        let resp = core.handle(&Request::Submit(SubmitRequest {
+            tenant: "acme".to_string(),
+            spec: spec(7),
+            deadline: 1.0e-6,
+            allocator: Some("greedy-min-time".to_string()),
+            threshold: None,
+            qos: None,
+        }));
+        let stats = core.stats();
+        if stats.alloc_fallbacks_infeasible > 0 {
+            let Response::Submit(reply) = resp else {
+                panic!("probabilistic tier still serves best-effort, got {resp:?}");
+            };
+            assert_eq!(reply.verdict.phi1, 0.0);
+            assert_eq!(stats.alloc_fallbacks_infeasible_proven, 1);
+            assert_eq!(stats.alloc_fallbacks_infeasible_heuristic, 0);
+        } else {
+            // The heuristic allocated without erroring; nothing to prove.
+            assert!(matches!(resp, Response::Submit(_)));
+        }
     }
 
     #[test]
@@ -1076,6 +1253,7 @@ mod tests {
             deadline: 2_800.0,
             allocator: Some("sa".to_string()),
             threshold: None,
+            qos: None,
         }));
         let Response::Submit(reply) = resp else {
             panic!("expected submit reply, got {resp:?}");
@@ -1091,6 +1269,7 @@ mod tests {
             deadline: 2_800.0,
             allocator: Some("sa".to_string()),
             threshold: None,
+            qos: None,
         }));
         assert_eq!(
             serde_json::to_string(&Response::Submit(reply)).unwrap(),
@@ -1156,6 +1335,7 @@ mod tests {
             deadline: 2_800.0,
             allocator: Some("no-such-policy".to_string()),
             threshold: None,
+            qos: None,
         }));
         assert!(matches!(resp, Response::Error { .. }));
         assert_eq!(core.stats().errors, 2);

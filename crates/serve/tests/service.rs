@@ -34,6 +34,7 @@ fn submit(tenant: &str, spec: WorkloadSpec, deadline: f64) -> Request {
         deadline,
         allocator: None,
         threshold: None,
+        qos: None,
     })
 }
 

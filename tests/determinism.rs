@@ -196,6 +196,62 @@ fn pooled_multi_start_annealing_is_thread_count_invariant() {
     }
 }
 
+/// The exact lattice branch-and-bound splits its root branches across
+/// the pool and merges them with a strict in-order argmax, so the
+/// solution — allocation, φ1 bits, and the Γ-robust variant's worst-case
+/// objective — is a function of the inputs alone, never of how the pool
+/// interleaved the root subtrees.
+#[test]
+fn lattice_solvers_are_thread_count_invariant() {
+    use cdsf_ra::{GammaRobust, Lattice, LatticeScratch};
+    let (batch, platform) = (paper::batch_with_pulses(24), paper::platform());
+    let engine = Phi1Engine::build(&batch, &platform).unwrap();
+
+    let solve = |threads: usize| {
+        let mut scratch = LatticeScratch::new();
+        Lattice::new(threads)
+            .unwrap()
+            .solve_with_engine(&platform, &engine, paper::DEADLINE, &mut scratch)
+            .unwrap()
+    };
+    let (want, want_report) = solve(1);
+    for threads in THREAD_COUNTS {
+        let (solution, report) = solve(threads);
+        assert_eq!(
+            solution, want,
+            "lattice solution differs at {threads} threads"
+        );
+        assert_eq!(
+            report.phi1.to_bits(),
+            want_report.phi1.to_bits(),
+            "lattice φ1 bits differ at {threads} threads"
+        );
+    }
+
+    let robust_solve = |threads: usize| {
+        let mut scratch = LatticeScratch::new();
+        GammaRobust {
+            threads,
+            ..Default::default()
+        }
+        .solve_with_engine(&platform, &engine, paper::DEADLINE, &mut scratch)
+        .unwrap()
+    };
+    let (want, want_report) = robust_solve(1);
+    for threads in THREAD_COUNTS {
+        let (solution, report) = robust_solve(threads);
+        assert_eq!(
+            solution, want,
+            "γ-robust solution differs at {threads} threads"
+        );
+        assert_eq!(
+            report.phi1.to_bits(),
+            want_report.phi1.to_bits(),
+            "γ-robust worst-case φ1 bits differ at {threads} threads"
+        );
+    }
+}
+
 /// `CellResult` flattened to bits — `PartialEq` on f64 would already treat
 /// `-0.0 == 0.0` and `NaN != NaN`; the determinism contract is stronger.
 fn cell_bits(cells: &[cdsf_core::simulation::CellResult]) -> Vec<(usize, usize, String, [u64; 4])> {
