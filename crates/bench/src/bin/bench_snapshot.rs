@@ -36,9 +36,12 @@ use cdsf_dls::executor::{execute, execute_in, ExecutorConfig, ExecutorScratch};
 use cdsf_dls::TechniqueKind;
 use cdsf_pmf::discretize::{Discretize, Normal};
 use cdsf_pmf::{CombineScratch, Pmf};
+use cdsf_ra::cell_store::DEFAULT_CELL_CAPACITY;
 use cdsf_ra::engine::{RebuildMap, PARALLEL_BUILD_MIN_WORK};
 use cdsf_ra::robustness::ProbabilityTable;
-use cdsf_ra::{Allocation, Assignment, DeltaFitness, EngineCache, OptionProbs, Phi1Engine};
+use cdsf_ra::{
+    Allocation, Assignment, CellStore, DeltaFitness, EngineCache, OptionProbs, Phi1Engine,
+};
 use cdsf_serve::loadgen::{run_local, LoadgenConfig};
 use cdsf_serve::ServeConfig;
 use cdsf_system::availability::{AvailabilitySpec, Timeline};
@@ -72,7 +75,16 @@ use std::time::Instant;
 /// exactness guard (`lattice_phi1 >= sa_phi1` on the recorded values;
 /// `serde_json` round-trips `f64` exactly, so the comparison is
 /// bit-faithful).
-const SCHEMA_VERSION: u64 = 5;
+/// v6 added the `cell_store` section (content-addressed cell interning:
+/// cold vs store-warm partial-overlap engine builds on a 24-app catalog,
+/// with the store's hit/miss/verify counters and a `≥ 5×` warm-speedup
+/// floor), the `gamma_robust_speedup_vs_v5` derived ratio pinning the
+/// screened Γ-robust solver against the v5 snapshot's committed
+/// `ra/gamma_robust_allocate/apps16` median, and
+/// `tasks_seeded_per_worker` in the `pool` section — the deterministic
+/// initial-seeding balance of the work-stealing pool, guarded so the
+/// old everything-on-one-deque skew cannot regress back in.
+const SCHEMA_VERSION: u64 = 6;
 
 /// Current stage-2 snapshot schema. Bump when the JSON shape changes.
 /// v2 added the host-aware `grid_thread4_speedup` floor (≥ 3× on hosts
@@ -88,8 +100,15 @@ const STAGE2_SCHEMA_VERSION: u64 = 2;
 /// guards below can be host-aware. v3 added `policy_mix`: the replay
 /// routes that fraction of submits through the explicit "sa"/"lattice"
 /// policies, so the committed snapshot exercises both Stage-I solvers
-/// (`sa_multistart_runs` was silently 0 before).
-const SERVE_SCHEMA_VERSION: u64 = 3;
+/// (`sa_multistart_runs` was silently 0 before). v4 added
+/// `catalog_overlap` (the fraction of tenant specs drawing their
+/// applications from a shared catalog) and the service-wide
+/// content-addressed cell-store counters
+/// (`cell_store_hits`/`_misses`/`_verify_rejects`/`_hit_rate`). The
+/// canonical replay keeps `catalog_overlap` at 0.0 so the throughput
+/// floors keep measuring the uncontended data plane; the CI smoke
+/// separately drives an overlapping stream and asserts nonzero hits.
+const SERVE_SCHEMA_VERSION: u64 = 4;
 
 /// Floors the ISSUE pins for the committed serve benchmark: the replay
 /// must exercise real multi-tenant sharding, not a toy stream.
@@ -153,6 +172,25 @@ fn grid_speedup_floor(host_threads: u64) -> f64 {
 /// single-threaded CPU-bound medians on the same host, so the ratio
 /// divides out the clock and needs no host awareness.
 const LATTICE_VS_SA_SPEEDUP_MIN: f64 = 10.0;
+
+/// The v5 snapshot's committed `ra/gamma_robust_allocate/apps16` median
+/// (full mode, the repo's canonical 1-core bench host). The suffix-DP
+/// screen added with the v6 schema must keep the Γ-robust solve at
+/// least [`GAMMA_ROBUST_SPEEDUP_MIN`]× faster than this anchor. The
+/// comparison is absolute nanoseconds against a committed baseline, so
+/// it only binds snapshots regenerated on the same host class — which
+/// is exactly how the committed artifact is produced; the margin
+/// (measured ~2.4-2.6×) absorbs normal clock spread.
+const GAMMA_ROBUST_BASELINE_V5_NS: f64 = 525_892.3;
+const GAMMA_ROBUST_SPEEDUP_MIN: f64 = 2.0;
+
+/// Floor for the store-warm partial-overlap engine build vs the cold
+/// kernel path on the 24-app catalog. Both sides are single-threaded
+/// medians from the same run, so the ratio divides out the clock.
+/// Measured ~7.4× on the canonical host (23 of 24 applications
+/// resident); 5× leaves room for run-to-run spread while still failing
+/// if store resolution stops short-circuiting the kernel.
+const CELL_STORE_WARM_SPEEDUP_MIN: f64 = 5.0;
 
 const DEADLINE: f64 = 2_800.0;
 
@@ -285,6 +323,56 @@ fn rich_instance() -> (Batch, Platform) {
     .generate(&platform, 12)
     .unwrap();
     (batch, platform)
+}
+
+/// Catalog apps shared by the two cell-store batches.
+const CATALOG_APPS: usize = 24;
+/// The one application `catalog_instance`'s second batch replaces.
+const CATALOG_SWAP_INDEX: usize = 11;
+const CATALOG_SWAP_SEED: u64 = 777;
+
+/// One catalog application on the pulse-rich platform: generated alone
+/// from its own seed, exactly like a serve `WorkloadSpec` with
+/// `app_seeds` does it, so two batches naming the same seed carry
+/// bit-identical applications.
+fn catalog_app(platform: &Platform, seed: u64) -> Application {
+    BatchGenerator {
+        num_apps: 1,
+        total_iters: (1_000, 8_000),
+        serial_fraction: Range::new(0.02, 0.2).unwrap(),
+        mean_exec_time: Range::new(1_000.0, 6_000.0).unwrap(),
+        type_heterogeneity: Range::new(0.6, 1.8).unwrap(),
+        pulses: 384,
+    }
+    .generate(platform, seed)
+    .unwrap()
+    .apps()[0]
+        .clone()
+}
+
+/// The cell-store bench instance: two 24-app batches on the pulse-rich
+/// platform sharing 23 applications (`next` swaps one mid-batch app for
+/// a fresh seed). Building `prev` against a store and then timing the
+/// `next` build measures the steady-state cross-tenant case: every
+/// shared cell resolves from the store, only the swapped app pays the
+/// kernel.
+fn catalog_instance() -> (Platform, Batch, Batch) {
+    let platform = PlatformGenerator {
+        num_types: 3,
+        procs_per_type: (8, 16),
+        availability_pulses: 3,
+        availability_range: Range::new(0.3, 1.0).unwrap(),
+    }
+    .generate(11)
+    .unwrap();
+    let apps: Vec<Application> = (0..CATALOG_APPS)
+        .map(|i| catalog_app(&platform, 100 + i as u64))
+        .collect();
+    let prev = Batch::new(apps.clone());
+    let mut next_apps = apps;
+    next_apps[CATALOG_SWAP_INDEX] = catalog_app(&platform, CATALOG_SWAP_SEED);
+    let next = Batch::new(next_apps);
+    (platform, prev, next)
 }
 
 struct BenchResult {
@@ -615,6 +703,44 @@ fn run_suite(samples: usize, scale: usize) -> Vec<BenchResult> {
                 );
             }),
             per_unit: "allocation",
+        },
+    );
+
+    // --- content-addressed cell store: cold vs store-warm builds ----------
+    // Cold is the plain kernel path on the catalog's second batch. Warm
+    // uses a *fresh store per sample*: the first batch is built into it
+    // untimed, then a single build of the overlapping batch is timed —
+    // one measurement per sample, because any further build against the
+    // same store would be full-overlap warm, not the partial-overlap
+    // case the ratio tracks.
+    let (cat_platform, cat_prev, cat_next) = catalog_instance();
+    push(
+        &mut out,
+        BenchResult {
+            name: "cell_store/engine_build_cold/catalog24_p384",
+            median_ns: measure(samples, scale.max(1), || {
+                black_box(Phi1Engine::build_parallel(&cat_next, &cat_platform, 1).unwrap());
+            }),
+            per_unit: "build",
+        },
+    );
+    let mut warm_ns = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let store = CellStore::new(DEFAULT_CELL_CAPACITY);
+        Phi1Engine::build_parallel_with_store(&cat_prev, &cat_platform, 1, &store).unwrap();
+        let t0 = Instant::now();
+        black_box(
+            Phi1Engine::build_parallel_with_store(&cat_next, &cat_platform, 1, &store).unwrap(),
+        );
+        warm_ns.push(t0.elapsed().as_nanos() as f64);
+    }
+    warm_ns.sort_by(f64::total_cmp);
+    push(
+        &mut out,
+        BenchResult {
+            name: "cell_store/engine_build_warm_partial/catalog24_p384",
+            median_ns: warm_ns[warm_ns.len() / 2],
+            per_unit: "build",
         },
     );
 
@@ -951,8 +1077,42 @@ fn pool_section() -> Value {
         "tasks_total": stats.total_tasks(),
         "chunks_stolen_total": stats.total_steals(),
         "tasks_per_worker": stats.tasks_run,
+        "tasks_seeded_per_worker": stats.tasks_seeded,
         "chunks_stolen_per_worker": stats.chunks_stolen,
         "no_worker_starved": stats.no_worker_starved(),
+    })
+}
+
+/// One prev→next catalog build pair against a fresh store, reported as a
+/// JSON block: the store's counters for the exact sequence the
+/// `cell_store/*` benches time, plus a bit-identity cross-check — the
+/// store-resolved engine must fingerprint identically to a storeless
+/// build of the same batch (the equivalence suites prove this per-cell;
+/// the committed artifact records it held for the benched instance too).
+fn cell_store_section() -> Value {
+    let (platform, prev, next) = catalog_instance();
+    let store = CellStore::new(DEFAULT_CELL_CAPACITY);
+    Phi1Engine::build_parallel_with_store(&prev, &platform, 1, &store)
+        .expect("catalog prev build must succeed");
+    let warm = Phi1Engine::build_parallel_with_store(&next, &platform, 1, &store)
+        .expect("catalog next build must succeed");
+    let cold =
+        Phi1Engine::build_parallel(&next, &platform, 1).expect("catalog cold build must succeed");
+    let stats = store.stats();
+    json!({
+        "catalog_apps": CATALOG_APPS,
+        "shared_apps": CATALOG_APPS - 1,
+        "exec_pulses": 384,
+        "build_threads": 1,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "verify_rejects": stats.verify_rejects,
+        "insertions": stats.insertions,
+        "evictions": stats.evictions,
+        "resident": stats.resident,
+        "capacity": stats.capacity,
+        "hit_rate": stats.hit_rate(),
+        "fingerprint_match": warm.table_fingerprint() == cold.table_fingerprint(),
     })
 }
 
@@ -979,6 +1139,12 @@ fn to_json(results: &[BenchResult], mode: &str, scale: usize) -> Value {
     let full_rebuild = median_of(results, "pmf_build/rebuild_full_1app32");
     let sa_alloc = median_of(results, "ra/sa_allocate/apps16");
     let lattice_alloc = median_of(results, "ra/lattice_allocate/apps16");
+    let gamma_alloc = median_of(results, "ra/gamma_robust_allocate/apps16");
+    let store_cold = median_of(results, "cell_store/engine_build_cold/catalog24_p384");
+    let store_warm = median_of(
+        results,
+        "cell_store/engine_build_warm_partial/catalog24_p384",
+    );
     json!({
         "schema_version": SCHEMA_VERSION,
         "mode": mode,
@@ -1004,6 +1170,7 @@ fn to_json(results: &[BenchResult], mode: &str, scale: usize) -> Value {
         })).collect::<Vec<_>>(),
         "pool": pool_section(),
         "ra_lattice": ra_lattice_section(scale),
+        "cell_store": cell_store_section(),
         "derived": json!({
             "sa_mutation_speedup": full / delta,
             "table_sweep_speedup": legacy_table / soa,
@@ -1013,6 +1180,8 @@ fn to_json(results: &[BenchResult], mode: &str, scale: usize) -> Value {
             "engine_build_t4_vs_t1": t1 / t4,
             "remap_rebuild_speedup": full_rebuild / remap,
             "lattice_vs_sa_speedup": sa_alloc / lattice_alloc,
+            "gamma_robust_speedup_vs_v5": GAMMA_ROBUST_BASELINE_V5_NS / gamma_alloc,
+            "cell_store_warm_speedup": store_cold / store_warm,
         }),
     })
 }
@@ -1116,6 +1285,8 @@ const STAGE1_DERIVED: &[&str] = &[
     "engine_build_t4_vs_t1",
     "remap_rebuild_speedup",
     "lattice_vs_sa_speedup",
+    "gamma_robust_speedup_vs_v5",
+    "cell_store_warm_speedup",
 ];
 
 const STAGE2_DERIVED: &[&str] = &[
@@ -1238,6 +1409,44 @@ fn check_pool_section(snapshot: &Value) -> Result<(), String> {
             per_worker.len()
         ));
     }
+    // The initial seeding is deterministic (a pure function of the task
+    // weights and worker count), so unlike the scheduling-noise columns
+    // it can carry a hard balance bound: every worker starts with work,
+    // and no deque holds more than twice the even share. The bench
+    // instance's near-uniform cell weights make the task-count bound
+    // valid; the pre-v6 seeding (everything after the reserved first
+    // chunks on one deque — [1, 21, 1, 1] here) fails it outright.
+    let seeded: Vec<u64> = pool
+        .get("tasks_seeded_per_worker")
+        .and_then(Value::as_array)
+        .ok_or("pool missing tasks_seeded_per_worker")?
+        .iter()
+        .map(|v| v.as_u64().ok_or("tasks_seeded_per_worker entry not a u64"))
+        .collect::<Result<_, _>>()?;
+    if seeded.len() != workers as usize {
+        return Err(format!(
+            "pool tasks_seeded_per_worker has {} entries for {workers} workers",
+            seeded.len()
+        ));
+    }
+    if seeded.iter().sum::<u64>() != tasks {
+        return Err(format!(
+            "pool seeded {} tasks but ran {tasks} — the seeding no longer covers the grid",
+            seeded.iter().sum::<u64>()
+        ));
+    }
+    let even_share = tasks.div_ceil(workers);
+    for (w, &s) in seeded.iter().enumerate() {
+        if s == 0 {
+            return Err(format!("pool worker {w} was seeded no tasks"));
+        }
+        if s > 2 * even_share {
+            return Err(format!(
+                "pool worker {w} was seeded {s} tasks, above 2× the even share \
+                 {even_share} — the weight-balanced seeding has regressed"
+            ));
+        }
+    }
     pool.get("chunks_stolen_total")
         .and_then(Value::as_u64)
         .ok_or("pool missing chunks_stolen_total")?;
@@ -1248,10 +1457,80 @@ fn check_pool_section(snapshot: &Value) -> Result<(), String> {
     }
 }
 
+/// Validates the stage-1 `cell_store` block and its two derived floors:
+/// the counters must describe a real prev→next catalog pair (hits from
+/// the shared applications, zero verify rejects, a fingerprint-identical
+/// engine), the store-warm build must clear the
+/// [`CELL_STORE_WARM_SPEEDUP_MIN`] ratio, and the screened Γ-robust
+/// solver must hold its [`GAMMA_ROBUST_SPEEDUP_MIN`]× margin over the
+/// committed v5 anchor.
+fn check_cell_store_section(snapshot: &Value) -> Result<(), String> {
+    let section = snapshot
+        .get("cell_store")
+        .ok_or("missing cell_store section")?;
+    let hits = u64_field(section, "hits")?;
+    let misses = u64_field(section, "misses")?;
+    if hits == 0 {
+        return Err("cell_store recorded no hits — the overlapping build resolved nothing".into());
+    }
+    if misses == 0 {
+        return Err("cell_store recorded no misses — the cold build never consulted it".into());
+    }
+    let rejects = u64_field(section, "verify_rejects")?;
+    if rejects != 0 {
+        return Err(format!(
+            "cell_store recorded {rejects} verify rejects — structural hashes \
+             collided on the bench instance"
+        ));
+    }
+    let resident = u64_field(section, "resident")?;
+    let capacity = u64_field(section, "capacity")?;
+    if resident > capacity {
+        return Err(format!(
+            "cell_store resident {resident} exceeds capacity {capacity}"
+        ));
+    }
+    let hit_rate = f64_field(section, "hit_rate")?;
+    if !(0.0..=1.0).contains(&hit_rate) {
+        return Err(format!("cell_store hit_rate {hit_rate} outside [0, 1]"));
+    }
+    match section.get("fingerprint_match").and_then(Value::as_bool) {
+        Some(true) => {}
+        Some(false) => {
+            return Err("cell_store fingerprint_match is false — a store-resolved \
+                 engine diverged from the storeless build"
+                .into())
+        }
+        None => return Err("cell_store missing fingerprint_match".into()),
+    }
+    let warm_speedup = snapshot["derived"]["cell_store_warm_speedup"]
+        .as_f64()
+        .ok_or("derived missing cell_store_warm_speedup")?;
+    if warm_speedup < CELL_STORE_WARM_SPEEDUP_MIN {
+        return Err(format!(
+            "cell_store_warm_speedup {warm_speedup:.2} is below the \
+             {CELL_STORE_WARM_SPEEDUP_MIN} floor — store resolution no longer \
+             short-circuits the kernel"
+        ));
+    }
+    let gamma_speedup = snapshot["derived"]["gamma_robust_speedup_vs_v5"]
+        .as_f64()
+        .ok_or("derived missing gamma_robust_speedup_vs_v5")?;
+    if gamma_speedup < GAMMA_ROBUST_SPEEDUP_MIN {
+        return Err(format!(
+            "gamma_robust_speedup_vs_v5 {gamma_speedup:.2} is below the \
+             {GAMMA_ROBUST_SPEEDUP_MIN} floor against the committed \
+             {GAMMA_ROBUST_BASELINE_V5_NS} ns anchor"
+        ));
+    }
+    Ok(())
+}
+
 fn validate(snapshot: &Value) -> Result<(), String> {
     validate_with(snapshot, SCHEMA_VERSION, STAGE1_DERIVED)?;
     check_pool_section(snapshot)?;
     check_ra_lattice_section(snapshot)?;
+    check_cell_store_section(snapshot)?;
     check_speedup_floor(snapshot, "engine_build_t4_vs_t1", parallel_speedup_floor)
 }
 
@@ -1416,6 +1695,31 @@ fn validate_serve(snapshot: &Value) -> Result<(), String> {
         return Err(format!(
             "policy_mix {mix} routed no submits through the SA policy"
         ));
+    }
+    // v4 invariants: the replay declares its catalog overlap and carries
+    // coherent service-wide cell-store counters. Every engine build goes
+    // through the shared store, so a replay with submits must at least
+    // have recorded misses; hits are only required of overlapping
+    // streams (the canonical replay keeps `catalog_overlap` at 0.0, and
+    // per-tenant seeds make cross-tenant hits coincidental there).
+    let overlap = f64_field(snapshot, "catalog_overlap")?;
+    if !(0.0..=1.0).contains(&overlap) {
+        return Err(format!("catalog_overlap {overlap} outside [0, 1]"));
+    }
+    let cs_hits = u64_field(snapshot, "cell_store_hits")?;
+    let cs_misses = u64_field(snapshot, "cell_store_misses")?;
+    if cs_hits + cs_misses == 0 {
+        return Err("cell store was never consulted — engine builds bypassed it".into());
+    }
+    let cs_rejects = u64_field(snapshot, "cell_store_verify_rejects")?;
+    if cs_rejects != 0 {
+        return Err(format!(
+            "replay recorded {cs_rejects} cell-store verify rejects"
+        ));
+    }
+    let cs_rate = f64_field(snapshot, "cell_store_hit_rate")?;
+    if !(0.0..=1.0).contains(&cs_rate) {
+        return Err(format!("cell_store_hit_rate {cs_rate} outside [0, 1]"));
     }
     // v2 invariants: the totals row carries no shard id (the old
     // `u64::MAX` sentinel must never reappear on the wire), batched

@@ -44,6 +44,7 @@
 
 pub mod discretize;
 mod error;
+pub mod hash;
 mod kernel;
 pub mod lanes;
 mod pmf;

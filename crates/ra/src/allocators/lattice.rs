@@ -57,6 +57,17 @@
 //! deadline probability is exactly `Pr(T ≤ γΔ)` — another prefix-CDF
 //! lookup, no new PMF arithmetic. The inner adversary is resolved
 //! exactly by enumerating the (few) type subsets of size `min(Γ, T)`.
+//! The search then prunes against *worst-case* bounds, not nominal
+//! ones: `prepare` recomputes the budget DP once per adversary subset
+//! (degraded probabilities where the subset hits an option's type) and
+//! the screen key is the minimum over subsets of the per-mask log
+//! chains, with the nominal key retained as a tiebreak and as the guard
+//! of the zero-regime expected-time screen — a zero worst-case bound
+//! with positive nominal probability can still win on the nominal key,
+//! so only the exact confirmation may prune it. The confirmation stays
+//! the nominal-only exact cascade: every leaf's worst case is dominated
+//! by its nominal probability, which the nominal bound dominates
+//! bit-exactly, so a nominal cut can never discard a worst-case winner.
 //! When even the optimum has zero (worst-case) `φ₁`, the solver returns
 //! [`LatticeSolution::Infeasible`] carrying `tightest_deadline` — the
 //! smallest deadline any feasible allocation could meet with positive
@@ -109,6 +120,30 @@ struct Opt {
     d_log: f64,
     /// 1 when this option's probability is exactly zero.
     d_zero: u8,
+    /// `ln degraded` when `degraded > 0` (`dg_zero` set otherwise).
+    /// Mirrors `d_log` for the Γ-robust per-mask bound tables.
+    dg_log: f64,
+    /// 1 when the degraded probability is exactly zero.
+    dg_zero: u8,
+}
+
+/// The log of one option's probability under adversary subset `mask`:
+/// the degraded log when the option's own type is degraded, the nominal
+/// log otherwise, `-inf` when that probability is exactly zero (so the
+/// value composes by plain addition — `-inf` absorbs).
+#[inline]
+fn mask_opt_log(o: &Opt, mask: u32) -> f64 {
+    if mask & (1 << o.asg.proc_type.0) != 0 {
+        if o.dg_zero != 0 {
+            f64::NEG_INFINITY
+        } else {
+            o.dg_log
+        }
+    } else if o.d_zero != 0 {
+        f64::NEG_INFINITY
+    } else {
+        o.d_log
+    }
 }
 
 /// Per-application aggregates of the bound tables.
@@ -239,6 +274,17 @@ pub struct LatticeScratch {
     emin: Vec<f64>,
     /// Row stride of `dlog`/`emin`: total processors + 1.
     stride: usize,
+    /// Γ-robust per-mask suffix bounds: `wdlog[m * (n+1) * stride + d *
+    /// stride + b]` is `dlog` recomputed with adversary subset `m`'s
+    /// per-option probabilities (degraded where the type is hit). Empty
+    /// for the plain solver. The worst-case screen key is the minimum
+    /// over masks — far sharper than the nominal bound when degradation
+    /// moves the optimum.
+    wdlog: Vec<f64>,
+    /// Per-option per-mask log probability, `wopt_log[opt * masks + m]`
+    /// (`-inf` on zero): [`mask_opt_log`] flattened so the hot loops
+    /// index instead of re-branching on the mask bit.
+    wopt_log: Vec<f64>,
 }
 
 impl LatticeScratch {
@@ -290,16 +336,21 @@ struct SearchState {
     /// Cached prune threshold: `max(local best, shared bound)`.
     prune_bits: u64,
     ln_prune: f64,
-    /// Per-depth child-ordering buffers (`(bound key, sum key, idx)`),
-    /// reused across visits and solves.
-    orders: Vec<Vec<(f64, f64, u32)>>,
+    /// Per-depth child-ordering buffers
+    /// (`(worst key, nominal key, sum key, idx)`), reused across visits
+    /// and solves.
+    orders: Vec<Vec<(f64, f64, f64, u32)>>,
+    /// Per-depth per-mask running `Σ ln prob_m` of the assigned prefix
+    /// (`wstack[depth * masks + m]`; `-inf` once a mask-zero factor is
+    /// committed). Empty for the plain solver.
+    wstack: Vec<f64>,
     best: BestSlot,
     counters: LatticeCounters,
 }
 
 impl SearchState {
     /// Resets for a fresh (sub)tree rooted at full capacity.
-    fn reset(&mut self, num_apps: usize, root_free: &[u32]) {
+    fn reset(&mut self, num_apps: usize, root_free: &[u32], nmasks: usize) {
         self.chosen.clear();
         self.chosen.resize(num_apps, UNSET);
         self.free.clear();
@@ -310,6 +361,8 @@ impl SearchState {
         if self.orders.len() < num_apps {
             self.orders.resize_with(num_apps, Vec::new);
         }
+        self.wstack.clear();
+        self.wstack.resize((num_apps + 1) * nmasks, 0.0);
         self.best.valid = false;
         self.best.path.clear();
         self.best.path.resize(num_apps, UNSET);
@@ -327,6 +380,12 @@ struct Ctx<'a> {
     dlog: &'a [f64],
     emin: &'a [f64],
     stride: usize,
+    /// Per-mask suffix bounds and per-option per-mask log factors (see
+    /// [`LatticeScratch::wdlog`]); both empty for the plain solver.
+    wdlog: &'a [f64],
+    wopt_log: &'a [f64],
+    /// Row count of one mask's `wdlog` block: `(apps + 1) * stride`.
+    mask_rows: usize,
     /// Shared worst-case-φ₁ lower bound (`f64` bits; non-negative, so
     /// bit order equals value order and `fetch_max` is a float max).
     shared: &'a AtomicU64,
@@ -383,7 +442,9 @@ impl Ctx<'_> {
             }
         }
         // Strictly beaten on the primary key by a leaf some worker has
-        // already committed: nothing below can be the global argmax.
+        // already committed: nothing below can be the global argmax
+        // (every leaf's worst case is dominated by its nominal
+        // probability, which `bound` dominates bit-exactly).
         if bound < f64::from_bits(st.prune_bits) {
             return Verdict::Prune;
         }
@@ -478,10 +539,14 @@ impl Ctx<'_> {
         }
         let app = self.perm[depth];
         let ab = self.apps[app];
-        // Score every capacity-feasible child by its optimistic bound:
-        // `-inf` when the bound is exactly zero (a committed zero factor
-        // or one the budget forces), in which case the optimistic
-        // expected-time sum is the secondary key.
+        let nm = self.subsets.len();
+        // Score every capacity-feasible child by its optimistic
+        // worst-case bound (the minimum over adversary masks of the
+        // per-mask log chain; for the plain solver there is exactly the
+        // nominal chain) alongside the nominal bound: `-inf` when the
+        // corresponding bound is exactly zero. When even the nominal
+        // bound is zero, the optimistic expected-time sum takes over as
+        // the tertiary key.
         let mut order = std::mem::take(&mut st.orders[depth]);
         order.clear();
         for idx in 0..ab.len {
@@ -491,13 +556,45 @@ impl Ctx<'_> {
             }
             let b_after = (st.free_total - o.asg.procs) as usize;
             let nxt = (depth + 1) * self.stride + b_after;
+            // An infinite optimistic suffix sum means the remaining
+            // budget cannot host the remaining applications even with
+            // per-type capacities relaxed: the child subtree has no
+            // leaves at all, so it is pruned before it can cost a node
+            // visit or a confirmation.
+            if self.emin[nxt] == f64::INFINITY {
+                st.counters.capacity_pruned += 1;
+                continue;
+            }
             let suffix = self.dlog[nxt];
-            let (key, smin) = if o.d_zero != 0 || suffix == f64::NEG_INFINITY {
-                (f64::NEG_INFINITY, chosen_sum + o.exp_time + self.emin[nxt])
+            let nkey = if o.d_zero != 0 || suffix == f64::NEG_INFINITY {
+                f64::NEG_INFINITY
             } else {
-                (chosen_log + o.d_log + suffix, 0.0)
+                chosen_log + o.d_log + suffix
             };
-            order.push((key, smin, idx));
+            let wkey = if nm == 0 {
+                nkey
+            } else {
+                let oi = (ab.start + idx) as usize;
+                let mut w = f64::INFINITY;
+                for mi in 0..nm {
+                    let k = st.wstack[depth * nm + mi]
+                        + self.wopt_log[oi * nm + mi]
+                        + self.wdlog[mi * self.mask_rows + nxt];
+                    if k < w {
+                        w = k;
+                    }
+                }
+                w
+            };
+            // A positive per-mask chain forces a positive nominal chain,
+            // so `nkey == -inf` implies `wkey == -inf` and the sum key
+            // is only ever needed in the all-zero tail.
+            let smin = if nkey == f64::NEG_INFINITY {
+                chosen_sum + o.exp_time + self.emin[nxt]
+            } else {
+                0.0
+            };
+            order.push((wkey, nkey, smin, idx));
         }
         // Most promising child first, so the very first dive lands on a
         // (near-)optimal incumbent and everything after prunes against
@@ -507,35 +604,45 @@ impl Ctx<'_> {
         // order-independent because the incumbent order is total.
         order.sort_unstable_by(|a, b| {
             b.0.total_cmp(&a.0)
-                .then_with(|| a.1.total_cmp(&b.1))
-                .then_with(|| a.2.cmp(&b.2))
+                .then_with(|| b.1.total_cmp(&a.1))
+                .then_with(|| a.2.total_cmp(&b.2))
+                .then_with(|| a.3.cmp(&b.3))
         });
         let mut cut = order.len();
-        for (pos, &(key, smin, idx)) in order.iter().enumerate() {
+        for (pos, &(wkey, nkey, smin, idx)) in order.iter().enumerate() {
             self.refresh_prune(st);
-            let zero_bound = key == f64::NEG_INFINITY;
+            let zero_bound = wkey == f64::NEG_INFINITY;
             // Sorted screen: once one child is a certain loser, every
             // remaining child is too (bounds only decrease along the
-            // order, and within the zero-bound tail the optimistic sums
+            // order, and within the all-zero tail the optimistic sums
             // only increase).
             if zero_bound {
                 if f64::from_bits(st.prune_bits) > 0.0 {
                     cut = pos;
                     break;
                 }
-                // Zero-probability regime: when the incumbent is all
-                // zero too, the order falls to the expected-time sum;
-                // prune clear losers, route near-ties to confirmation.
+                // All-zero regime: when the nominal bound is zero too
+                // and the incumbent is all zero, the order falls to the
+                // expected-time sum; prune clear losers, route near-ties
+                // to confirmation. A zero *worst* bound with a positive
+                // nominal bound can still win on the nominal key against
+                // a zero-worst incumbent, so it must reach confirmation
+                // (which decides exactly) — never this screen.
                 let b = &st.best;
-                if b.valid && b.worst == 0.0 && b.prob == 0.0 && smin > b.sum_exp * SUM_BAND {
+                if nkey == f64::NEG_INFINITY
+                    && b.valid
+                    && b.worst == 0.0
+                    && b.prob == 0.0
+                    && smin > b.sum_exp * SUM_BAND
+                {
                     cut = pos;
                     break;
                 }
-            } else if key < st.ln_prune - EPS {
+            } else if wkey < st.ln_prune - EPS {
                 cut = pos;
                 break;
             }
-            let confirm = zero_bound || key <= st.ln_prune + EPS;
+            let confirm = zero_bound || wkey <= st.ln_prune + EPS;
             let o = *self.opt(app, idx);
             st.chosen[app] = idx;
             if confirm {
@@ -551,6 +658,11 @@ impl Ctx<'_> {
             } else {
                 chosen_log
             };
+            let oi = (ab.start + idx) as usize;
+            for mi in 0..nm {
+                let parent = st.wstack[depth * nm + mi];
+                st.wstack[(depth + 1) * nm + mi] = parent + self.wopt_log[oi * nm + mi];
+            }
             st.free[o.asg.proc_type.0] -= o.asg.procs;
             st.free_total -= o.asg.procs;
             self.dfs(
@@ -616,6 +728,8 @@ fn prepare(
                 min_loaded: s.min_loaded,
                 d_log: 0.0,
                 d_zero: 0,
+                dg_log: 0.0,
+                dg_zero: 0,
             });
         }
         // Exhaustive's per-app option order: probability descending,
@@ -639,6 +753,11 @@ fn prepare(
                 (o.d_log, o.d_zero) = (o.prob.ln(), 0);
             } else {
                 (o.d_log, o.d_zero) = (0.0, 1);
+            }
+            if o.degraded > 0.0 {
+                (o.dg_log, o.dg_zero) = (o.degraded.ln(), 0);
+            } else {
+                (o.dg_log, o.dg_zero) = (0.0, 1);
             }
         }
         let len = (scratch.opts.len() - start) as u32;
@@ -704,10 +823,58 @@ fn prepare(
         }
     }
 
+    scratch.wdlog.clear();
+    scratch.wopt_log.clear();
     if let Some((budget, _)) = gamma {
         let t = engine.num_types();
         let k = budget.min(t);
         push_subsets(t, k, 0, 0, &mut scratch.subsets);
+        let nm = scratch.subsets.len();
+
+        // Flatten the per-option per-mask factors so every hot loop
+        // below (DP, child scoring, confirmation) indexes instead of
+        // re-testing the mask bit.
+        scratch.wopt_log.reserve(scratch.opts.len() * nm);
+        for o in &scratch.opts {
+            for &mask in &scratch.subsets {
+                scratch.wopt_log.push(mask_opt_log(o, mask));
+            }
+        }
+
+        // Per-mask budget DP: `dlog` recomputed with each adversary
+        // subset's probabilities. A positive per-mask chain forces a
+        // positive nominal chain (degraded ≤ nominal), so these tables
+        // are `-inf` wherever `dlog` is. The search screens on the
+        // minimum over masks — the worst-case analogue of the nominal
+        // bound, and the reason Γ-robust pruning bites: the nominal
+        // bound alone wildly overestimates a degraded optimum.
+        let rows = (n + 1) * stride;
+        scratch.wdlog.resize(nm * rows, 0.0);
+        for mi in 0..nm {
+            let base = mi * rows;
+            for d in (0..n).rev() {
+                let ab = scratch.apps[scratch.perm[d]];
+                for b in 0..stride {
+                    let mut best = f64::NEG_INFINITY;
+                    for k in 0..ab.len {
+                        let oi = (ab.start + k) as usize;
+                        let procs = scratch.opts[oi].asg.procs as usize;
+                        if procs > b {
+                            continue;
+                        }
+                        let dl = scratch.wopt_log[oi * nm + mi];
+                        if dl == f64::NEG_INFINITY {
+                            continue;
+                        }
+                        let cand = dl + scratch.wdlog[base + (d + 1) * stride + (b - procs)];
+                        if cand > best {
+                            best = cand;
+                        }
+                    }
+                    scratch.wdlog[base + d * stride + b] = best;
+                }
+            }
+        }
     }
     Ok(())
 }
@@ -802,6 +969,8 @@ fn bottleneck_dfs(
 /// capacity-feasible allocation exists.
 fn search(scratch: &mut LatticeScratch, threads: usize) -> Result<Option<BestSlot>> {
     let n = scratch.apps.len();
+    let nmasks = scratch.subsets.len();
+    let mask_rows = (n + 1) * scratch.stride;
     let shared = AtomicU64::new(0);
 
     if threads == 1 {
@@ -813,9 +982,12 @@ fn search(scratch: &mut LatticeScratch, threads: usize) -> Result<Option<BestSlo
             dlog: &scratch.dlog,
             emin: &scratch.emin,
             stride: scratch.stride,
+            wdlog: &scratch.wdlog,
+            wopt_log: &scratch.wopt_log,
+            mask_rows,
             shared: &shared,
         };
-        scratch.state.reset(n, &scratch.root_free);
+        scratch.state.reset(n, &scratch.root_free, nmasks);
         ctx.dfs(&mut scratch.state, 0, 0.0, 0, 0.0);
         return Ok(scratch.state.best.valid.then(|| scratch.state.best.clone()));
     }
@@ -832,6 +1004,8 @@ fn search(scratch: &mut LatticeScratch, threads: usize) -> Result<Option<BestSlo
     let ctx_subsets = &scratch.subsets;
     let ctx_dlog = &scratch.dlog;
     let ctx_emin = &scratch.emin;
+    let ctx_wdlog = &scratch.wdlog;
+    let ctx_wopt_log = &scratch.wopt_log;
     let stride = scratch.stride;
     let root_free = &scratch.root_free;
     let slots: Vec<OnceLock<(Option<BestSlot>, LatticeCounters)>> =
@@ -850,15 +1024,22 @@ fn search(scratch: &mut LatticeScratch, threads: usize) -> Result<Option<BestSlo
                 dlog: ctx_dlog,
                 emin: ctx_emin,
                 stride,
+                wdlog: ctx_wdlog,
+                wopt_log: ctx_wopt_log,
+                mask_rows,
                 shared: &shared,
             };
-            st.reset(n, root_free);
+            st.reset(n, root_free, nmasks);
             let o = *ctx.opt(first, idx as u32);
             if st.free[o.asg.proc_type.0] >= o.asg.procs {
                 st.chosen[first] = idx as u32;
                 st.free[o.asg.proc_type.0] -= o.asg.procs;
                 st.free_total -= o.asg.procs;
                 let first_log = if o.d_zero == 0 { o.d_log } else { 0.0 };
+                let oi = (ctx_apps[first].start + idx as u32) as usize;
+                for mi in 0..nmasks {
+                    st.wstack[nmasks + mi] = ctx_wopt_log[oi * nmasks + mi];
+                }
                 ctx.dfs(st, 1, first_log, u32::from(o.d_zero), o.exp_time);
             }
             let best = st.best.valid.then(|| st.best.clone());

@@ -1,0 +1,448 @@
+//! A content-addressed, cross-engine store of loaded-PMF cells.
+//!
+//! Every cell the φ₁ engine builds — the dedicated (Amdahl-rescaled) and
+//! loaded (availability-quotient) PMF pair of one `(app, type, 2^k)`
+//! triple — is a *pure deterministic function* of three inputs: the
+//! execution-time PMF bits, the availability PMF bits, and the Amdahl
+//! rescale factor `s + (1−s)/2^k` (which subsumes both `k` and the serial
+//! fraction; the build kernels read nothing else). [`CellStore`] interns
+//! cells under a structural FNV-1a hash of exactly those inputs, so any
+//! engine build — a different tenant on a different serve shard, a
+//! Γ-robust degraded table, an incremental rebuild — that needs a cell
+//! with the same input bits resolves it by lookup instead of re-running
+//! the fused quotient-grid+merge kernel.
+//!
+//! # Verify-on-hit
+//!
+//! A hash match alone never serves a cell. Each entry retains its exact
+//! inputs, and a lookup only returns the cell after a bitwise
+//! (`f64::to_bits`) comparison of the probe's execution PMF, availability
+//! PMF, and factor against the stored ones — the same collision
+//! discipline as [`crate::engine_cache::EngineCache`]. A colliding entry
+//! is counted in [`CellStoreStats::verify_rejects`] and skipped, so a
+//! collision can cost a recomputation but can never change a result.
+//!
+//! # Sharding and eviction
+//!
+//! Entries are spread over a fixed number of `RwLock` shards by hash, so
+//! concurrent engine builds on different serve shards take read locks on
+//! the hot path and only contend on inserts to the same shard. Each
+//! shard is bounded: inserts beyond the per-shard capacity evict the
+//! entry with the smallest last-use stamp (a global monotone counter), a
+//! deterministic least-recently-used rule under any serial operation
+//! sequence. Values are `Arc`-shared with every engine that resolved
+//! them, so eviction only drops the store's reference — engines keep
+//! their cells alive.
+
+use crate::engine::Cell;
+use cdsf_pmf::hash::{fnv1a_pmf, fnv1a_seed, fnv1a_u64};
+use cdsf_pmf::Pmf;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Fixed shard count: hash-spread is what matters, not tunability, and a
+/// power of two keeps the shard pick a mask.
+const SHARDS: usize = 8;
+
+/// Default total cell bound. Cells are small relative to engines (two
+/// PMFs), so the default is sized for many tenants' working sets: a
+/// 16-app × 4-type × 6-option spec is ~384 cells.
+pub const DEFAULT_CELL_CAPACITY: usize = 4096;
+
+/// Structural hash of a `(execution PMF, availability PMF)` pair — the
+/// per-`(app, type)` prefix shared by the whole power-of-two cell family.
+pub(crate) fn pair_hash(exec: &Pmf, avail: &Pmf) -> u64 {
+    fnv1a_pmf(fnv1a_pmf(fnv1a_seed(), exec), avail)
+}
+
+/// Extends a [`pair_hash`] with the cell's Amdahl factor bits.
+pub(crate) fn cell_hash(pair: u64, factor: f64) -> u64 {
+    fnv1a_u64(pair, factor.to_bits())
+}
+
+/// Bitwise PMF equality (`to_bits`, so `-0.0 ≠ 0.0`) — the verify-on-hit
+/// comparison.
+fn pmf_bits_eq(a: &Pmf, b: &Pmf) -> bool {
+    a.len() == b.len()
+        && a.pulses().iter().zip(b.pulses()).all(|(x, y)| {
+            x.value.to_bits() == y.value.to_bits() && x.prob.to_bits() == y.prob.to_bits()
+        })
+}
+
+/// One interned cell with the inputs that prove it.
+struct Entry {
+    hash: u64,
+    factor_bits: u64,
+    exec: Pmf,
+    avail: Pmf,
+    cell: Arc<Cell>,
+    /// Last-use stamp from the store's global clock; the smallest stamp
+    /// in a full shard is the eviction victim.
+    stamp: AtomicU64,
+}
+
+/// Counters and occupancy of a [`CellStore`], as surfaced through the
+/// serve `Stats` endpoint and the bench snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellStoreStats {
+    /// Lookups served by a verified resident cell (no kernel ran).
+    pub hits: u64,
+    /// Lookups that found no usable entry (the kernel ran).
+    pub misses: u64,
+    /// Hash matches rejected by the bitwise input comparison.
+    pub verify_rejects: u64,
+    /// Cells interned.
+    pub insertions: u64,
+    /// Cells evicted by the per-shard LRU bound.
+    pub evictions: u64,
+    /// Cells currently resident.
+    pub resident: u64,
+    /// Total cell bound (per-shard bound × shard count).
+    pub capacity: u64,
+}
+
+impl CellStoreStats {
+    /// Hit rate over all lookups (`0.0` before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The content-addressed cell store. One instance is shared (via
+/// [`Arc`]) by every consumer that wants cross-build cell reuse — the
+/// serve layer hands one to all of its shards' engine caches.
+pub struct CellStore {
+    shards: Vec<RwLock<Vec<Entry>>>,
+    per_shard: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    verify_rejects: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for CellStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CellStore")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl CellStore {
+    /// A store bounded to roughly `capacity` cells (rounded up to a
+    /// multiple of the shard count, minimum one cell per shard).
+    pub fn new(capacity: usize) -> Self {
+        let per_shard = capacity.div_ceil(SHARDS).max(1);
+        Self {
+            shards: (0..SHARDS).map(|_| RwLock::new(Vec::new())).collect(),
+            per_shard,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            verify_rejects: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A store with the default capacity.
+    pub fn with_default_capacity() -> Self {
+        Self::new(DEFAULT_CELL_CAPACITY)
+    }
+
+    #[inline]
+    fn shard_of(&self, hash: u64) -> &RwLock<Vec<Entry>> {
+        &self.shards[(hash as usize) & (SHARDS - 1)]
+    }
+
+    #[inline]
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Looks up the cell for `(exec, factor, avail)` under `hash` (which
+    /// **must** be `cell_hash(pair_hash(exec, avail), factor)` — callers
+    /// hash the pair prefix once per family). Returns the interned cell
+    /// only after the bitwise input verification; a hash collision is
+    /// counted and skipped.
+    pub(crate) fn get(&self, hash: u64, exec: &Pmf, factor: f64, avail: &Pmf) -> Option<Arc<Cell>> {
+        let shard = self.shard_of(hash).read();
+        for e in shard.iter() {
+            if e.hash != hash {
+                continue;
+            }
+            if e.factor_bits == factor.to_bits()
+                && pmf_bits_eq(&e.exec, exec)
+                && pmf_bits_eq(&e.avail, avail)
+            {
+                e.stamp.store(self.tick(), Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(Arc::clone(&e.cell));
+            }
+            self.verify_rejects.fetch_add(1, Ordering::Relaxed);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Interns a freshly computed cell under `hash` (same contract as
+    /// [`CellStore::get`]), evicting the least-recently-used entry of the
+    /// target shard once it is full. A concurrent build may have interned
+    /// the same inputs already; the duplicate is detected and dropped so
+    /// residency never double-counts one cell identity.
+    pub(crate) fn insert(&self, hash: u64, exec: &Pmf, factor: f64, avail: &Pmf, cell: Arc<Cell>) {
+        let mut shard = self.shard_of(hash).write();
+        let stamp = self.tick();
+        if let Some(existing) = shard.iter().find(|e| {
+            e.hash == hash
+                && e.factor_bits == factor.to_bits()
+                && pmf_bits_eq(&e.exec, exec)
+                && pmf_bits_eq(&e.avail, avail)
+        }) {
+            existing.stamp.store(stamp, Ordering::Relaxed);
+            return;
+        }
+        if shard.len() >= self.per_shard {
+            let victim = shard
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp.load(Ordering::Relaxed))
+                .map(|(i, _)| i)
+                .expect("full shard is non-empty");
+            shard.swap_remove(victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        shard.push(Entry {
+            hash,
+            factor_bits: factor.to_bits(),
+            exec: exec.clone(),
+            avail: avail.clone(),
+            cell,
+            stamp: AtomicU64::new(stamp),
+        });
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cells currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether no cell is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total cell bound.
+    pub fn capacity(&self) -> usize {
+        self.per_shard * SHARDS
+    }
+
+    /// A snapshot of the store's counters and occupancy.
+    pub fn stats(&self) -> CellStoreStats {
+        CellStoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            verify_rejects: self.verify_rejects.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident: self.len() as u64,
+            capacity: self.capacity() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdsf_pmf::CombineScratch;
+
+    fn mk_pmf(vals: &[(f64, f64)]) -> Pmf {
+        Pmf::from_pairs(vals.iter().copied()).unwrap()
+    }
+
+    /// Builds a cell the way the engine kernel would.
+    fn mk_cell(exec: &Pmf, factor: f64, avail: &Pmf) -> Arc<Cell> {
+        let mut scratch = CombineScratch::new();
+        let dedicated = exec.scale(factor).unwrap();
+        let loaded = exec
+            .scale_quotient_with(factor, avail, &mut scratch)
+            .unwrap();
+        Arc::new(Cell::new(dedicated, loaded))
+    }
+
+    #[test]
+    fn get_after_insert_round_trips_the_cell() {
+        let store = CellStore::new(16);
+        let exec = mk_pmf(&[(100.0, 0.5), (200.0, 0.5)]);
+        let avail = mk_pmf(&[(0.5, 0.5), (1.0, 0.5)]);
+        let factor = 0.625;
+        let hash = cell_hash(pair_hash(&exec, &avail), factor);
+        assert!(store.get(hash, &exec, factor, &avail).is_none());
+        let cell = mk_cell(&exec, factor, &avail);
+        store.insert(hash, &exec, factor, &avail, Arc::clone(&cell));
+        let back = store.get(hash, &exec, factor, &avail).unwrap();
+        assert!(Arc::ptr_eq(&back, &cell));
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert_eq!(s.resident, 1);
+        assert_eq!(s.verify_rejects, 0);
+    }
+
+    #[test]
+    fn forced_hash_collision_is_rejected_not_served() {
+        // Two different input triples, deliberately filed under the same
+        // hash: the verify pass must refuse to serve either entry for
+        // the other's inputs, and count the rejection.
+        let store = CellStore::new(16);
+        let exec_a = mk_pmf(&[(100.0, 1.0)]);
+        let exec_b = mk_pmf(&[(999.0, 1.0)]);
+        let avail = mk_pmf(&[(1.0, 1.0)]);
+        let factor = 1.0;
+        let hash = cell_hash(pair_hash(&exec_a, &avail), factor);
+        // Poison: B's cell inserted under A's hash.
+        store.insert(
+            hash,
+            &exec_b,
+            factor,
+            &avail,
+            mk_cell(&exec_b, factor, &avail),
+        );
+        assert!(store.get(hash, &exec_a, factor, &avail).is_none());
+        let s = store.stats();
+        assert_eq!(s.verify_rejects, 1);
+        assert_eq!(s.hits, 0);
+        // The honest entry coexists under the same hash and is served.
+        store.insert(
+            hash,
+            &exec_a,
+            factor,
+            &avail,
+            mk_cell(&exec_a, factor, &avail),
+        );
+        let got = store.get(hash, &exec_a, factor, &avail).unwrap();
+        assert_eq!(got.dedicated.expectation(), 100.0);
+    }
+
+    #[test]
+    fn factor_bits_are_part_of_the_identity() {
+        let store = CellStore::new(16);
+        let exec = mk_pmf(&[(100.0, 1.0)]);
+        let avail = mk_pmf(&[(1.0, 1.0)]);
+        let pair = pair_hash(&exec, &avail);
+        store.insert(
+            cell_hash(pair, 1.0),
+            &exec,
+            1.0,
+            &avail,
+            mk_cell(&exec, 1.0, &avail),
+        );
+        assert!(store
+            .get(cell_hash(pair, 0.5), &exec, 0.5, &avail)
+            .is_none());
+    }
+
+    #[test]
+    fn eviction_is_lru_and_bounded() {
+        // Capacity 8 over 8 shards = 1 cell per shard; force all entries
+        // into one shard by hashing nothing (use explicit hashes with
+        // equal low bits) so the LRU rule is observable.
+        let store = CellStore::new(8);
+        let avail = mk_pmf(&[(1.0, 1.0)]);
+        let execs: Vec<Pmf> = (0..3).map(|i| mk_pmf(&[(100.0 + i as f64, 1.0)])).collect();
+        let hash = |i: usize| (i as u64) << 3; // same low 3 bits → same shard
+        store.insert(
+            hash(0),
+            &execs[0],
+            1.0,
+            &avail,
+            mk_cell(&execs[0], 1.0, &avail),
+        );
+        store.insert(
+            hash(1),
+            &execs[1],
+            1.0,
+            &avail,
+            mk_cell(&execs[1], 1.0, &avail),
+        );
+        // Shard bound is 1: inserting entry 1 evicted entry 0.
+        assert!(store.get(hash(0), &execs[0], 1.0, &avail).is_none());
+        assert!(store.get(hash(1), &execs[1], 1.0, &avail).is_some());
+        // Touch 1, insert 2 → 1 was most recent but the shard holds one
+        // entry, so 1 is evicted anyway; with per-shard capacity 1 the
+        // newest always wins.
+        store.insert(
+            hash(2),
+            &execs[2],
+            1.0,
+            &avail,
+            mk_cell(&execs[2], 1.0, &avail),
+        );
+        assert!(store.get(hash(1), &execs[1], 1.0, &avail).is_none());
+        let s = store.stats();
+        assert_eq!(s.evictions, 2);
+        assert_eq!(s.resident, 1);
+    }
+
+    #[test]
+    fn lru_victim_is_the_stalest_entry() {
+        // Per-shard capacity 2 (capacity 16 / 8 shards): A and B
+        // resident, touch A, insert C → B (stalest) is evicted.
+        let store = CellStore::new(16);
+        let avail = mk_pmf(&[(1.0, 1.0)]);
+        let execs: Vec<Pmf> = (0..3).map(|i| mk_pmf(&[(100.0 + i as f64, 1.0)])).collect();
+        let hash = |i: usize| (i as u64) << 3;
+        for (i, exec) in execs.iter().enumerate().take(2) {
+            store.insert(hash(i), exec, 1.0, &avail, mk_cell(exec, 1.0, &avail));
+        }
+        assert!(store.get(hash(0), &execs[0], 1.0, &avail).is_some());
+        store.insert(
+            hash(2),
+            &execs[2],
+            1.0,
+            &avail,
+            mk_cell(&execs[2], 1.0, &avail),
+        );
+        assert!(store.get(hash(0), &execs[0], 1.0, &avail).is_some());
+        assert!(store.get(hash(1), &execs[1], 1.0, &avail).is_none());
+        assert!(store.get(hash(2), &execs[2], 1.0, &avail).is_some());
+    }
+
+    #[test]
+    fn duplicate_insert_is_dropped() {
+        let store = CellStore::new(16);
+        let exec = mk_pmf(&[(100.0, 1.0)]);
+        let avail = mk_pmf(&[(1.0, 1.0)]);
+        let hash = cell_hash(pair_hash(&exec, &avail), 1.0);
+        store.insert(hash, &exec, 1.0, &avail, mk_cell(&exec, 1.0, &avail));
+        store.insert(hash, &exec, 1.0, &avail, mk_cell(&exec, 1.0, &avail));
+        let s = store.stats();
+        assert_eq!(s.insertions, 1);
+        assert_eq!(s.resident, 1);
+    }
+
+    #[test]
+    fn stats_serde_round_trips_and_defaults() {
+        let s = CellStoreStats {
+            hits: 3,
+            misses: 2,
+            verify_rejects: 1,
+            insertions: 2,
+            evictions: 0,
+            resident: 2,
+            capacity: 16,
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: CellStoreStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -23,15 +23,19 @@
 //!
 //! # Storage layout
 //!
-//! Cells live in one contiguous arena (`cells: Vec<Cell>`) addressed by a
-//! flat `(app, type) → (start, len)` offset table, so a triple lookup is
-//! two array reads and an add — no nested `Vec<Vec<Option<Vec<_>>>>`
-//! pointer chasing. The hot query paths never touch the `Pmf` objects at
-//! all: the loaded PMFs' pulse values and prefix-CDF tables are mirrored
-//! into structure-of-arrays slices (`loaded_values` / `loaded_cums`,
-//! delimited by `pulse_off`, plus per-cell cached `expected`), so
-//! [`Phi1Engine::prob`] is a binary search over a contiguous `f64` run and
-//! [`Phi1Engine::table`] is one linear pass over the arena.
+//! Cells live in one contiguous arena (`cells: Vec<Arc<Cell>>`) addressed
+//! by a flat `(app, type) → (start, len)` offset table, so a triple lookup
+//! is two array reads and an add — no nested `Vec<Vec<Option<Vec<_>>>>`
+//! pointer chasing. The hot query paths never walk the `Pmf` pulse
+//! structs: each [`Cell`] caches its loaded PMF's pulse values as a
+//! contiguous structure-of-arrays slice plus its expectation at
+//! construction, so [`Phi1Engine::prob`] is a binary search over a
+//! contiguous `f64` run (the prefix-CDF read comes from the `Pmf`'s own
+//! cached cumulative table) and [`Phi1Engine::table`] is one linear pass
+//! over the arena. Because these projections live *in the cell*, a build
+//! that resolves cells from the content-addressed
+//! [`crate::cell_store::CellStore`] inherits them for free instead of
+//! re-mirroring every pulse.
 //!
 //! # Determinism contract
 //!
@@ -49,6 +53,7 @@
 //! bits as `Pmf::cdf` on the cached PMFs.
 
 use crate::allocation::{Allocation, Assignment};
+use crate::cell_store::{self, CellStore};
 use crate::robustness::ProbabilityTable;
 use crate::{RaError, Result};
 use cdsf_pmf::{CombineScratch, Pmf};
@@ -61,13 +66,37 @@ use std::sync::{Arc, OnceLock};
 ///
 /// Cells are held behind [`Arc`] so an incremental rebuild
 /// ([`Phi1Engine::rebuild_with`]) can carry unchanged cells over by
-/// reference-count bump instead of deep-cloning their PMFs.
+/// reference-count bump instead of deep-cloning their PMFs, and so the
+/// content-addressed [`crate::cell_store::CellStore`] can intern one
+/// copy across engines, tenants, and serve shards.
 #[derive(Debug, Clone)]
-struct Cell {
+pub(crate) struct Cell {
     /// Dedicated parallel-time PMF (Amdahl-rescaled execution time).
-    dedicated: Pmf,
+    pub(crate) dedicated: Pmf,
     /// Loaded completion-time PMF (dedicated ÷ availability).
-    loaded: Pmf,
+    pub(crate) loaded: Pmf,
+    /// `loaded`'s pulse values as one contiguous slice — the SoA
+    /// projection the engine's binary searches run over, computed once
+    /// here so store-resolved builds skip the per-pulse mirror pass.
+    pub(crate) loaded_values: Vec<f64>,
+    /// Cached `loaded.expectation()`.
+    pub(crate) expected: f64,
+}
+
+impl Cell {
+    /// Seals a computed PMF pair into a cell, deriving the cached query
+    /// projections. Every cell goes through here, so two cells built
+    /// from bit-identical PMFs carry bit-identical projections.
+    pub(crate) fn new(dedicated: Pmf, loaded: Pmf) -> Self {
+        let loaded_values = loaded.pulses().iter().map(|p| p.value).collect();
+        let expected = loaded.expectation();
+        Self {
+            dedicated,
+            loaded,
+            loaded_values,
+            expected,
+        }
+    }
 }
 
 /// A build job: compute the cells for one `(application, processor type)`
@@ -160,16 +189,8 @@ pub struct Phi1Engine {
     /// the application has no execution-time PMF for the type.
     index: Vec<Option<(u32, u32)>>,
     /// Contiguous cell arena, grouped by `(app, type)` with `k` ascending.
+    /// Each cell carries its own cached SoA projections (see [`Cell`]).
     cells: Vec<Arc<Cell>>,
-    /// `pulse_off[c]..pulse_off[c + 1]` delimits cell `c`'s pulses in the
-    /// SoA mirrors below (one extra trailing entry).
-    pulse_off: Vec<u32>,
-    /// Loaded-PMF pulse values, all cells back to back.
-    loaded_values: Vec<f64>,
-    /// Matching prefix-CDF table (copied from [`Pmf::cumulative`]).
-    loaded_cums: Vec<f64>,
-    /// Cached `loaded.expectation()` per cell.
-    expected: Vec<f64>,
     /// Availability PMF per processor type (for Monte-Carlo sampling).
     availability: Vec<Pmf>,
 }
@@ -200,7 +221,32 @@ impl Phi1Engine {
         threads: usize,
         min_work: u64,
     ) -> Result<Self> {
-        Self::build_inner(batch, platform, threads, min_work, None).map(|(e, _)| e)
+        Self::build_inner(batch, platform, threads, min_work, None, None).map(|(e, _)| e)
+    }
+
+    /// [`build_parallel`](Self::build_parallel) resolving cells against a
+    /// content-addressed [`CellStore`] first: every cell whose exact
+    /// inputs (execution PMF bits, Amdahl factor bits, availability PMF
+    /// bits) are already interned is taken from the store — verified
+    /// bitwise, so the engine is identical to an uncached build — and
+    /// only genuinely new cells dispatch the fused kernel (and are
+    /// interned for the next build). A build whose cells all resolve
+    /// runs no kernel at all.
+    pub fn build_parallel_with_store(
+        batch: &Batch,
+        platform: &Platform,
+        threads: usize,
+        store: &CellStore,
+    ) -> Result<Self> {
+        Self::build_inner(
+            batch,
+            platform,
+            threads,
+            PARALLEL_BUILD_MIN_WORK,
+            None,
+            Some(store),
+        )
+        .map(|(e, _)| e)
     }
 
     /// [`build_parallel_with_min_work`](Self::build_parallel_with_min_work)
@@ -216,7 +262,20 @@ impl Phi1Engine {
         threads: usize,
         min_work: u64,
     ) -> Result<(Self, PoolStats)> {
-        Self::build_inner(batch, platform, threads, min_work, None)
+        Self::build_inner(batch, platform, threads, min_work, None, None)
+    }
+
+    /// [`build_parallel_instrumented`](Self::build_parallel_instrumented)
+    /// with an optional [`CellStore`] — the variant
+    /// [`crate::engine_cache::EngineCache`] builds through.
+    pub fn build_parallel_instrumented_with_store(
+        batch: &Batch,
+        platform: &Platform,
+        threads: usize,
+        min_work: u64,
+        store: Option<&CellStore>,
+    ) -> Result<(Self, PoolStats)> {
+        Self::build_inner(batch, platform, threads, min_work, None, store)
     }
 
     /// Rebuilds the engine for a new `(batch, platform)` — typically a
@@ -240,6 +299,32 @@ impl Phi1Engine {
         platform: &Platform,
         map: RebuildMap<'_>,
         threads: usize,
+    ) -> Result<(Self, usize)> {
+        self.rebuild_with_store(
+            prev_batch,
+            prev_platform,
+            batch,
+            platform,
+            map,
+            threads,
+            None,
+        )
+    }
+
+    /// [`rebuild_with`](Self::rebuild_with) that additionally resolves
+    /// cells the reuse plan could not carry over against a
+    /// [`CellStore`]. The reported reuse count covers the plan's
+    /// carry-overs only; store hits show up in the store's own counters.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rebuild_with_store(
+        &self,
+        prev_batch: &Batch,
+        prev_platform: &Platform,
+        batch: &Batch,
+        platform: &Platform,
+        map: RebuildMap<'_>,
+        threads: usize,
+        store: Option<&CellStore>,
     ) -> Result<(Self, usize)> {
         let num_types = platform.num_types();
         let prev_apps = prev_batch.apps();
@@ -297,6 +382,7 @@ impl Phi1Engine {
             threads,
             PARALLEL_BUILD_MIN_WORK,
             Some(&plan),
+            store,
         )?;
         Ok((engine, reused))
     }
@@ -307,6 +393,7 @@ impl Phi1Engine {
         threads: usize,
         min_work: u64,
         reuse: Option<&ReusePlan<'_>>,
+        store: Option<&CellStore>,
     ) -> Result<(Self, PoolStats)> {
         if batch.is_empty() {
             return Err(RaError::EmptyBatch);
@@ -351,24 +438,8 @@ impl Phi1Engine {
             debug_assert_eq!(plan.src.len(), total_cells as usize);
         }
 
-        let (cells, stats) = compute_cells(batch, platform, &pairs, threads, min_work, reuse)?;
-
-        // Mirror the hot per-cell data into flat SoA slices.
-        let mut pulse_off = Vec::with_capacity(cells.len() + 1);
-        let mut loaded_values = Vec::new();
-        let mut loaded_cums = Vec::new();
-        let mut expected = Vec::with_capacity(cells.len());
-        let mut off = 0u32;
-        for cell in &cells {
-            pulse_off.push(off);
-            for p in cell.loaded.pulses() {
-                loaded_values.push(p.value);
-            }
-            loaded_cums.extend_from_slice(cell.loaded.cumulative());
-            expected.push(cell.loaded.expectation());
-            off += cell.loaded.len() as u32;
-        }
-        pulse_off.push(off);
+        let (cells, stats) =
+            compute_cells(batch, platform, &pairs, threads, min_work, reuse, store)?;
 
         let availability = platform
             .types()
@@ -381,10 +452,6 @@ impl Phi1Engine {
                 num_types,
                 index,
                 cells,
-                pulse_off,
-                loaded_values,
-                loaded_cums,
-                expected,
                 availability,
             },
             stats,
@@ -420,17 +487,17 @@ impl Phi1Engine {
             .map(|c| self.cells[c].as_ref())
     }
 
-    /// CDF of cell `c`'s loaded PMF straight from the SoA mirror — the
-    /// same partition-point + prefix-table read as [`Pmf::cdf`] over the
-    /// same bits, so the result is identical.
+    /// CDF of cell `c`'s loaded PMF straight from the cell's SoA
+    /// projection — the same partition-point + prefix-table read as
+    /// [`Pmf::cdf`] over the same bits, so the result is identical.
     #[inline]
     fn cell_cdf(&self, c: usize, deadline: f64) -> f64 {
-        let (s, e) = (self.pulse_off[c] as usize, self.pulse_off[c + 1] as usize);
-        let idx = self.loaded_values[s..e].partition_point(|&v| v <= deadline);
+        let cell = self.cells[c].as_ref();
+        let idx = cell.loaded_values.partition_point(|&v| v <= deadline);
         if idx == 0 {
             0.0
         } else {
-            self.loaded_cums[s + idx - 1]
+            cell.loaded.cumulative()[idx - 1]
         }
     }
 
@@ -453,8 +520,7 @@ impl Phi1Engine {
 
     /// Cached expected loaded completion time.
     pub fn expected_time(&self, app: usize, proc_type: ProcTypeId, procs: u32) -> Option<f64> {
-        self.cell_index(app, proc_type, procs)
-            .map(|c| self.expected[c])
+        self.cell(app, proc_type, procs).map(|c| c.expected)
     }
 
     /// `Pr(T ≤ Δ)` for a triple at an arbitrary deadline — a prefix-table
@@ -527,14 +593,15 @@ impl Phi1Engine {
             };
             for k in 0..len {
                 let c = (start + k) as usize;
+                let cell = self.cells[c].as_ref();
                 out.push(OptionStats {
                     asg: Assignment {
                         proc_type: ProcTypeId(j),
                         procs: 1 << k,
                     },
                     prob: self.cell_cdf(c, deadline),
-                    exp_time: self.expected[c],
-                    min_loaded: self.loaded_values[self.pulse_off[c] as usize],
+                    exp_time: cell.expected,
+                    min_loaded: cell.loaded_values[0],
                 });
             }
         }
@@ -592,8 +659,8 @@ impl Phi1Engine {
                 h = crate::engine_cache::fnv1a_pmf(h, pmf);
             }
         }
-        for e in &self.expected {
-            h = crate::engine_cache::fnv1a_u64(h, e.to_bits());
+        for cell in &self.cells {
+            h = crate::engine_cache::fnv1a_u64(h, cell.expected.to_bits());
         }
         for pmf in &self.availability {
             h = crate::engine_cache::fnv1a_pmf(h, pmf);
@@ -625,14 +692,54 @@ fn compute_cells(
     threads: usize,
     min_work: u64,
     reuse: Option<&ReusePlan<'_>>,
+    store: Option<&CellStore>,
 ) -> Result<(Vec<Arc<Cell>>, PoolStats)> {
     let apps: Vec<_> = batch.iter().map(|(_, app)| app).collect();
     let total_cells = pairs.last().map_or(0, |p| (p.start + p.count) as usize);
 
-    let cell_src = |arena: u32| -> Option<u32> { reuse.and_then(|r| r.src[arena as usize]) };
+    // Resolve every cell that needs no kernel up front: first the
+    // rebuild plan's verified carry-overs, then the content-addressed
+    // store (both return cells whose inputs are bit-identical to what
+    // the kernel would consume, so a resolved cell *is* the cell a
+    // fresh build would compute). The resolution pass is serial and
+    // cheap — hashing and bitwise comparison over the input PMFs —
+    // which is what turns a high-overlap build into a near-pure lookup:
+    // only the leftover cells are weighed and dispatched to the pool.
+    let mut ready: Vec<Option<Arc<Cell>>> = vec![None; total_cells];
+    if let Some(plan) = reuse {
+        for (arena, src) in plan.src.iter().enumerate() {
+            if let Some(prev) = src {
+                ready[arena] = Some(Arc::clone(&plan.prev.cells[*prev as usize]));
+            }
+        }
+    }
+    // `hashes[arena]` is the store key of each unresolved cell, kept so
+    // workers intern freshly computed cells without re-hashing inputs.
+    let mut hashes: Vec<u64> = Vec::new();
+    if let Some(store) = store {
+        hashes = vec![0u64; total_cells];
+        for pair in pairs {
+            let app = apps[pair.app];
+            let ty = ProcTypeId(pair.ty);
+            let (Ok(exec), Ok(proc)) = (app.exec_time(ty), platform.proc_type(ty)) else {
+                continue;
+            };
+            let avail = proc.availability();
+            let base = cell_store::pair_hash(exec, avail);
+            let s = app.serial_fraction();
+            for k in 0..pair.count {
+                let arena = (pair.start + k) as usize;
+                let factor = amdahl_factor(s, 1u32 << k);
+                hashes[arena] = cell_store::cell_hash(base, factor);
+                if ready[arena].is_none() {
+                    ready[arena] = store.get(hashes[arena], exec, factor, avail);
+                }
+            }
+        }
+    }
 
     // Estimated work per pair: pulse-pair kernel operations over the
-    // cells not satisfied by reuse.
+    // cells not already resolved.
     let work: Vec<u64> = pairs
         .iter()
         .map(|p| {
@@ -640,13 +747,15 @@ fn compute_cells(
             let exec_len = apps[p.app].exec_time(ty).map_or(0, |e| e.len()) as u64;
             let avail_len = platform.proc_type(ty).map_or(0, |t| t.availability().len()) as u64;
             let computed = (0..p.count)
-                .filter(|&k| cell_src(p.start + k).is_none())
+                .filter(|&k| ready[(p.start + k) as usize].is_none())
                 .count() as u64;
             computed * exec_len * avail_len
         })
         .collect();
     let total_work: u64 = work.iter().sum();
 
+    let ready = &ready;
+    let hashes = &hashes;
     let compute_pair =
         |pair: &Pair, scratch: &mut CombineScratch, out: &mut Vec<Arc<Cell>>| -> Result<()> {
             let app = apps[pair.app];
@@ -656,25 +765,38 @@ fn compute_cells(
             // fused family call shares the availability-expanded
             // probability products across all of them.
             let factors: Vec<f64> = (0..pair.count)
-                .filter(|&k| cell_src(pair.start + k).is_none())
+                .filter(|&k| ready[(pair.start + k) as usize].is_none())
                 .map(|k| amdahl_factor(s, 1u32 << k))
                 .collect();
             let exec = app.exec_time(ty)?;
             let avail = platform.proc_type(ty)?.availability();
-            let mut loadeds = exec
-                .scale_quotient_family(&factors, avail, scratch)
-                .map_err(SystemError::from)?
-                .into_iter();
+            // Fully resolved families skip the kernel outright — not even
+            // the shared probability-product expansion runs.
+            let mut loadeds = if factors.is_empty() {
+                Vec::new()
+            } else {
+                exec.scale_quotient_family(&factors, avail, scratch)
+                    .map_err(SystemError::from)?
+            }
+            .into_iter();
             for k in 0..pair.count {
-                match cell_src(pair.start + k) {
-                    Some(prev) => {
-                        let plan = reuse.expect("reused cell implies a plan");
-                        out.push(Arc::clone(&plan.prev.cells[prev as usize]));
-                    }
+                let arena = (pair.start + k) as usize;
+                match &ready[arena] {
+                    Some(cell) => out.push(Arc::clone(cell)),
                     None => {
                         let dedicated = parallel_time_pmf(app, ty, 1u32 << k)?;
                         let loaded = loadeds.next().expect("family aligned with factors");
-                        out.push(Arc::new(Cell { dedicated, loaded }));
+                        let cell = Arc::new(Cell::new(dedicated, loaded));
+                        if let Some(store) = store {
+                            store.insert(
+                                hashes[arena],
+                                exec,
+                                amdahl_factor(s, 1u32 << k),
+                                avail,
+                                Arc::clone(&cell),
+                            );
+                        }
+                        out.push(cell);
                     }
                 }
             }
@@ -885,16 +1007,15 @@ mod tests {
         assert_eq!(a.num_apps, b.num_apps);
         assert_eq!(a.num_types, b.num_types);
         assert_eq!(a.index, b.index);
-        assert_eq!(a.pulse_off, b.pulse_off);
         assert_eq!(a.cells.len(), b.cells.len());
         for (x, y) in a.cells.iter().zip(&b.cells) {
             assert!(pmf_bits_equal(&x.dedicated, &y.dedicated));
             assert!(pmf_bits_equal(&x.loaded, &y.loaded));
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&x.loaded_values), bits(&y.loaded_values));
+            assert_eq!(bits(x.loaded.cumulative()), bits(y.loaded.cumulative()));
+            assert_eq!(x.expected.to_bits(), y.expected.to_bits());
         }
-        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
-        assert_eq!(bits(&a.loaded_values), bits(&b.loaded_values));
-        assert_eq!(bits(&a.loaded_cums), bits(&b.loaded_cums));
-        assert_eq!(bits(&a.expected), bits(&b.expected));
         for (x, y) in a.availability.iter().zip(&b.availability) {
             assert!(pmf_bits_equal(x, y));
         }

@@ -24,12 +24,14 @@
 //! build the cache performed are retained for the serving layer's `Stats`
 //! endpoint and the bench snapshots.
 
+use crate::cell_store::CellStore;
 use crate::engine::{Phi1Engine, RebuildMap};
 use crate::Result;
 use cdsf_pmf::Pmf;
 use cdsf_system::pool::PoolTotals;
 use cdsf_system::{Batch, Platform, ProcTypeId};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Default entry bound: enough for a handful of tenants' working sets to
 /// stay resident per shard without letting engines (the heavyweight
@@ -40,33 +42,10 @@ pub const DEFAULT_CAPACITY: usize = 8;
 // Input fingerprinting (FNV-1a over the exact cell-kernel input bits).
 // ---------------------------------------------------------------------------
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// The FNV-1a initial state.
-pub(crate) fn fnv1a_seed() -> u64 {
-    FNV_OFFSET
-}
-
-/// Folds one `u64` into an FNV-1a state byte by byte.
-pub(crate) fn fnv1a_u64(mut h: u64, v: u64) -> u64 {
-    for b in v.to_le_bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
-}
-
-/// Folds a PMF's exact pulse bits (length, values, probabilities) into an
-/// FNV-1a state.
-pub(crate) fn fnv1a_pmf(mut h: u64, pmf: &Pmf) -> u64 {
-    h = fnv1a_u64(h, pmf.pulses().len() as u64);
-    for p in pmf.pulses() {
-        h = fnv1a_u64(h, p.value.to_bits());
-        h = fnv1a_u64(h, p.prob.to_bits());
-    }
-    h
-}
+// The canonical FNV-1a implementation lives in `cdsf_pmf::hash` (the
+// cell store keys on the same digests); these crate-local aliases keep
+// existing call sites unchanged.
+pub(crate) use cdsf_pmf::hash::{fnv1a_pmf, fnv1a_seed, fnv1a_u64};
 
 /// Fingerprint of everything the engine build kernel reads: per
 /// application the iteration split and the execution-time PMF bits per
@@ -177,6 +156,11 @@ pub struct EngineCache {
     misses: u64,
     rebuilds: u64,
     pool: PoolTotals,
+    /// Content-addressed cell store every build of this cache resolves
+    /// cells against (and interns new cells into). Typically shared by
+    /// many caches — one per serve shard — so a miss *here* can still be
+    /// a near-pure lookup *there*.
+    store: Option<Arc<CellStore>>,
 }
 
 impl EngineCache {
@@ -190,7 +174,23 @@ impl EngineCache {
             misses: 0,
             rebuilds: 0,
             pool: PoolTotals::default(),
+            store: None,
         }
+    }
+
+    /// [`with_capacity`](Self::with_capacity) wired to a shared
+    /// [`CellStore`]: every engine this cache builds — fresh builds and
+    /// incremental rebuilds alike — resolves cells against `store`
+    /// before running any kernel, and interns what it computes.
+    pub fn with_capacity_and_store(capacity: usize, store: Arc<CellStore>) -> Self {
+        let mut cache = Self::with_capacity(capacity);
+        cache.store = Some(store);
+        cache
+    }
+
+    /// The shared cell store, if one is attached.
+    pub fn cell_store(&self) -> Option<&Arc<CellStore>> {
+        self.store.as_ref()
     }
 
     /// Builds a fresh engine for `(batch, platform)` and caches it in a
@@ -314,11 +314,12 @@ impl EngineCache {
             });
         }
         self.misses += 1;
-        let (engine, stats) = Phi1Engine::build_parallel_instrumented(
+        let (engine, stats) = Phi1Engine::build_parallel_instrumented_with_store(
             batch,
             platform,
             threads,
             crate::engine::PARALLEL_BUILD_MIN_WORK,
+            self.store.as_deref(),
         )?;
         self.pool.absorb(&stats);
         self.insert(CacheEntry {
@@ -375,9 +376,15 @@ impl EngineCache {
             return self.get_or_build(batch, platform, threads);
         };
         let prev = &self.entries[pos];
-        let (engine, reused) =
-            prev.engine
-                .rebuild_with(&prev.batch, &prev.platform, batch, platform, map, threads)?;
+        let (engine, reused) = prev.engine.rebuild_with_store(
+            &prev.batch,
+            &prev.platform,
+            batch,
+            platform,
+            map,
+            threads,
+            self.store.as_deref(),
+        )?;
         self.rebuilds += 1;
         self.insert(CacheEntry {
             key,

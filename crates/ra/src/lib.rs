@@ -34,6 +34,7 @@
 
 pub mod allocation;
 pub mod allocators;
+pub mod cell_store;
 pub mod correlation;
 pub mod engine;
 pub mod engine_cache;
@@ -48,6 +49,7 @@ pub use allocators::{
     Allocator, GammaRobust, Lattice, LatticeReport, LatticeScratch, LatticeSolution,
     MultiStartReport, SimulatedAnnealing,
 };
+pub use cell_store::{CellStore, CellStoreStats};
 pub use engine::{OptionStats, Phi1Engine, RebuildMap};
 pub use engine_cache::{inputs_key, CacheOutcome, EngineCache};
 pub use error::RaError;

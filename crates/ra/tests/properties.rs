@@ -6,7 +6,10 @@ use cdsf_ra::allocators::{
     allocate_incremental, EqualShare, Exhaustive, GammaRobust, GreedyMaxRobust, Lattice, Sufferage,
 };
 use cdsf_ra::robustness::{evaluate, ProbabilityTable};
-use cdsf_ra::{Allocation, Allocator, Assignment, DeltaFitness, OptionProbs, Phi1Engine};
+use cdsf_ra::{
+    Allocation, Allocator, Assignment, CellStore, DeltaFitness, LatticeScratch, OptionProbs,
+    Phi1Engine,
+};
 use cdsf_system::{Application, Batch, Platform, ProcessorType};
 use proptest::prelude::*;
 
@@ -381,6 +384,85 @@ proptest! {
                     prop_assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits));
                 }
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A store-resolved engine build is bit-identical to a storeless
+    /// build for any pool worker count and any store capacity — including
+    /// capacities small enough that the warming build itself evicts
+    /// continuously, so the resolved build mixes hits, misses, and
+    /// re-insertions. Verify-on-hit must never fire on honest inputs.
+    #[test]
+    fn store_resolved_build_matches_fresh(
+        (platform, batch) in arb_platform().prop_flat_map(|p| {
+            let nt = p.num_types();
+            (Just(p), arb_batch(nt))
+        }),
+        threads in 1usize..=7,
+        capacity_sel in 0usize..3,
+    ) {
+        use cdsf_system::ProcTypeId;
+        let capacity = [2usize, 16, 4_096][capacity_sel];
+        let fresh = Phi1Engine::build_parallel(&batch, &platform, threads).unwrap();
+        let store = CellStore::new(capacity);
+        Phi1Engine::build_parallel_with_store(&batch, &platform, threads, &store).unwrap();
+        let resolved =
+            Phi1Engine::build_parallel_with_store(&batch, &platform, threads, &store).unwrap();
+        let stats = store.stats();
+        prop_assert_eq!(stats.verify_rejects, 0, "structural hashes collided");
+        prop_assert!(stats.resident <= stats.capacity,
+            "store holds {} cells over its {} capacity", stats.resident, stats.capacity);
+        for i in 0..batch.len() {
+            for j in 0..platform.num_types() {
+                let ty = ProcTypeId(j);
+                for n in platform.pow2_options(ty).unwrap() {
+                    let (a, b) = (resolved.loaded_pmf(i, ty, n), fresh.loaded_pmf(i, ty, n));
+                    prop_assert_eq!(a.is_some(), b.is_some());
+                    if let (Some(a), Some(b)) = (a, b) {
+                        prop_assert!(pmf_bits_eq(a, b));
+                    }
+                    let (a, b) = (resolved.dedicated_pmf(i, ty, n), fresh.dedicated_pmf(i, ty, n));
+                    if let (Some(a), Some(b)) = (a, b) {
+                        prop_assert!(pmf_bits_eq(a, b));
+                    }
+                    let (a, b) = (resolved.expected_time(i, ty, n), fresh.expected_time(i, ty, n));
+                    prop_assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits));
+                }
+            }
+        }
+        prop_assert_eq!(resolved.table_fingerprint(), fresh.table_fingerprint());
+    }
+
+    /// Γ-robust solves are indifferent to how their engine was built: a
+    /// store-resolved engine (warm hits, small-capacity evictions and
+    /// all) reaches the same solution with bit-identical worst-case φ1
+    /// as a storeless engine, for every adversary budget.
+    #[test]
+    fn gamma_robust_unchanged_through_store(
+        (platform, batch, deadline) in arb_instance(),
+        budget in 0usize..=2,
+    ) {
+        let robust = GammaRobust { threads: 1, budget, degradation: 0.9 };
+        let fresh = Phi1Engine::build(&batch, &platform).unwrap();
+        let store = CellStore::new(8);
+        Phi1Engine::build_parallel_with_store(&batch, &platform, 2, &store).unwrap();
+        let resolved =
+            Phi1Engine::build_parallel_with_store(&batch, &platform, 2, &store).unwrap();
+        let mut s1 = LatticeScratch::new();
+        let mut s2 = LatticeScratch::new();
+        let a = robust.solve_with_engine(&platform, &fresh, deadline, &mut s1);
+        let b = robust.solve_with_engine(&platform, &resolved, deadline, &mut s2);
+        match (a, b) {
+            (Ok((sol_a, rep_a)), Ok((sol_b, rep_b))) => {
+                prop_assert_eq!(sol_a, sol_b, "solutions diverged through the store");
+                prop_assert_eq!(rep_a.phi1.to_bits(), rep_b.phi1.to_bits());
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "verdicts diverged: fresh {:?}, store {:?}", a, b),
         }
     }
 }

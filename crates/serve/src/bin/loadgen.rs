@@ -4,7 +4,7 @@
 //! ```text
 //! loadgen [--requests N] [--tenants N] [--connections N] [--shards N]
 //!         [--seed N] [--skew F] [--fault-rate F] [--policy-mix F]
-//!         [--threads N] [--pipeline N] [--warmup N]
+//!         [--catalog-overlap F] [--threads N] [--pipeline N] [--warmup N]
 //!         [--addr HOST:PORT] [--shutdown] [--out PATH]
 //! ```
 //!
@@ -23,7 +23,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--requests N] [--tenants N] [--connections N] [--shards N]\n\
          \u{20}              [--seed N] [--skew F] [--fault-rate F] [--policy-mix F]\n\
-         \u{20}              [--threads N] [--pipeline N] [--warmup N]\n\
+         \u{20}              [--catalog-overlap F] [--threads N] [--pipeline N] [--warmup N]\n\
          \u{20}              [--addr HOST:PORT] [--shutdown] [--out PATH]"
     );
     std::process::exit(2)
@@ -61,6 +61,7 @@ fn main() -> ExitCode {
             "--skew" => cfg.skew = parse(&arg, args.next()),
             "--fault-rate" => cfg.fault_rate = parse(&arg, args.next()),
             "--policy-mix" => cfg.policy_mix = parse(&arg, args.next()),
+            "--catalog-overlap" => cfg.catalog_overlap = parse(&arg, args.next()),
             "--pipeline" => cfg.pipeline = parse(&arg, args.next()),
             "--warmup" => cfg.warmup = parse(&arg, args.next()),
             "--threads" => serve_cfg.build_threads = parse(&arg, args.next()),
@@ -125,6 +126,16 @@ fn main() -> ExitCode {
         report.cache_hit_rate, report.coalescing_factor, t.builds, t.cache_rebuilds, report.errors
     );
     print_pool(t);
+    let cs = &report.stats.cell_store;
+    println!(
+        "  cell store: {} hits / {} misses (rate {:.3}), {} verify rejects, {}/{} resident",
+        cs.hits,
+        cs.misses,
+        cs.hit_rate(),
+        cs.verify_rejects,
+        cs.resident,
+        cs.capacity
+    );
     println!("  report -> {out}");
     ExitCode::SUCCESS
 }

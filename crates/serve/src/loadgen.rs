@@ -48,6 +48,14 @@ pub struct LoadgenConfig {
     /// Fraction of submissions drawing from the shared pool — the source
     /// of cross-tenant cache hits and same-batch coalescing.
     pub shared_rate: f64,
+    /// Probability that each application in a generated spec is drawn
+    /// from a *shared app catalog* instead of seeded privately. Zero
+    /// (the default) keeps the legacy whole-spec seeding; anything
+    /// positive switches every spec to per-app seeds on a common
+    /// platform, so specs that differ as wholes still share individual
+    /// applications — the cross-tenant interning the service-wide
+    /// cell store exists for.
+    pub catalog_overlap: f64,
     /// Fraction of submissions naming an explicit Stage-I policy instead
     /// of the server default, split evenly between the pooled
     /// multi-start annealer (`sa`) and the exact branch-and-bound
@@ -80,6 +88,7 @@ impl Default for LoadgenConfig {
             specs_per_tenant: 3,
             shared_specs: 2,
             shared_rate: 0.3,
+            catalog_overlap: 0.0,
             policy_mix: 0.2,
             deadline: 2_800.0,
             pipeline: 16,
@@ -103,6 +112,7 @@ impl LoadgenConfig {
             ("snapshot_rate", self.snapshot_rate, 0.0, 1.0),
             ("shared_rate", self.shared_rate, 0.0, 1.0),
             ("policy_mix", self.policy_mix, 0.0, 1.0),
+            ("catalog_overlap", self.catalog_overlap, 0.0, 1.0),
         ] {
             if !(lo..=hi).contains(&v) {
                 return Err(ServeError::Protocol(format!(
@@ -127,6 +137,38 @@ impl LoadgenConfig {
         let cfg = self.clone().validated()?;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
 
+        // Catalog mode: every spec shares one platform seed and one
+        // (types, pulses) shape — per-app PMFs can only be bit-identical
+        // across specs when the platform and pulse count match — and
+        // each application is drawn from a small global seed catalog
+        // with probability `catalog_overlap`, seeded privately otherwise.
+        let catalog_mode = cfg.catalog_overlap > 0.0;
+        let platform_seed = cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let catalog: Vec<u64> = (0..24)
+            .map(|i| cfg.seed.wrapping_mul(2_147_483_647).wrapping_add(i))
+            .collect();
+        let (cat_types, cat_pulses) = (rng.gen_range(2..=3), rng.gen_range(5..=8));
+        let catalog_spec = |rng: &mut StdRng| -> WorkloadSpec {
+            let apps = rng.gen_range(3..=6);
+            let app_seeds: Vec<u64> = (0..apps)
+                .map(|_| {
+                    if rng.gen_bool(cfg.catalog_overlap) {
+                        catalog[rng.gen_range(0..catalog.len())]
+                    } else {
+                        rng.gen::<u64>()
+                    }
+                })
+                .collect();
+            WorkloadSpec {
+                apps,
+                types: cat_types,
+                pulses: cat_pulses,
+                seed: rng.gen::<u64>(),
+                platform_seed: Some(platform_seed),
+                app_seeds: Some(app_seeds),
+            }
+        };
+
         // Per-tenant spec pools. Sizes stay small enough that a single
         // engine build is milliseconds, large enough to exercise the
         // pool-backed parallel kernels.
@@ -134,25 +176,34 @@ impl LoadgenConfig {
         for t in 0..cfg.tenants {
             let mut pool = Vec::with_capacity(cfg.specs_per_tenant);
             for s in 0..cfg.specs_per_tenant {
-                pool.push(WorkloadSpec {
-                    apps: rng.gen_range(3..=6),
-                    types: rng.gen_range(2..=3),
-                    pulses: rng.gen_range(5..=8),
-                    seed: cfg
-                        .seed
-                        .wrapping_mul(1_000_003)
-                        .wrapping_add((t * cfg.specs_per_tenant + s) as u64),
+                pool.push(if catalog_mode {
+                    catalog_spec(&mut rng)
+                } else {
+                    WorkloadSpec::simple(
+                        rng.gen_range(3..=6),
+                        rng.gen_range(2..=3),
+                        rng.gen_range(5..=8),
+                        cfg.seed
+                            .wrapping_mul(1_000_003)
+                            .wrapping_add((t * cfg.specs_per_tenant + s) as u64),
+                    )
                 });
             }
             pools.push(pool);
         }
         // Popular "template" workloads many tenants submit verbatim.
         let shared: Vec<WorkloadSpec> = (0..cfg.shared_specs.max(1))
-            .map(|s| WorkloadSpec {
-                apps: rng.gen_range(3..=6),
-                types: rng.gen_range(2..=3),
-                pulses: rng.gen_range(5..=8),
-                seed: cfg.seed.wrapping_mul(7_368_787).wrapping_add(s as u64),
+            .map(|s| {
+                if catalog_mode {
+                    catalog_spec(&mut rng)
+                } else {
+                    WorkloadSpec::simple(
+                        rng.gen_range(3..=6),
+                        rng.gen_range(2..=3),
+                        rng.gen_range(5..=8),
+                        cfg.seed.wrapping_mul(7_368_787).wrapping_add(s as u64),
+                    )
+                }
             })
             .collect();
 
@@ -204,9 +255,9 @@ impl LoadgenConfig {
                 }
             } else {
                 let spec = if rng.gen_bool(cfg.shared_rate) {
-                    shared[rng.gen_range(0..shared.len())]
+                    shared[rng.gen_range(0..shared.len())].clone()
                 } else {
-                    pools[t][rng.gen_range(0..cfg.specs_per_tenant)]
+                    pools[t][rng.gen_range(0..cfg.specs_per_tenant)].clone()
                 };
                 submitted[t] = true;
                 types_now[t] = spec.types;
@@ -252,6 +303,9 @@ pub struct LoadgenReport {
     /// Fraction of submissions naming an explicit policy (split between
     /// `sa` and `lattice`).
     pub policy_mix: f64,
+    /// Per-application catalog draw probability used for the stream
+    /// (zero = legacy whole-spec seeding).
+    pub catalog_overlap: f64,
     /// Wall-clock seconds for the whole replay.
     pub elapsed_s: f64,
     /// Requests per second over the replay.
@@ -283,6 +337,14 @@ pub struct LoadgenReport {
     pub cache_hit_rate: f64,
     /// Requests served per engine build across shards.
     pub coalescing_factor: f64,
+    /// Cells served from the service-wide store (no kernel ran).
+    pub cell_store_hits: u64,
+    /// Cell lookups that ran the kernel.
+    pub cell_store_misses: u64,
+    /// Hash matches rejected by the bitwise input comparison.
+    pub cell_store_verify_rejects: u64,
+    /// Store hit rate over all cell lookups.
+    pub cell_store_hit_rate: f64,
     /// The server's final counters.
     pub stats: StatsReply,
 }
@@ -384,7 +446,7 @@ pub fn run<A: ToSocketAddrs + Clone + Send + 'static>(
     };
     let replayed = ok + errors;
     Ok(LoadgenReport {
-        schema_version: 3,
+        schema_version: 4,
         requests: replayed,
         tenants: cfg.tenants as u64,
         connections: cfg.connections as u64,
@@ -393,6 +455,7 @@ pub fn run<A: ToSocketAddrs + Clone + Send + 'static>(
         skew: cfg.skew,
         fault_rate: cfg.fault_rate,
         policy_mix: cfg.policy_mix,
+        catalog_overlap: cfg.catalog_overlap,
         elapsed_s,
         throughput_rps: if elapsed_s > 0.0 {
             replayed as f64 / elapsed_s
@@ -411,6 +474,10 @@ pub fn run<A: ToSocketAddrs + Clone + Send + 'static>(
         errors,
         cache_hit_rate: stats.total.cache_hit_rate(),
         coalescing_factor: stats.total.coalescing_factor(),
+        cell_store_hits: stats.cell_store.hits,
+        cell_store_misses: stats.cell_store.misses,
+        cell_store_verify_rejects: stats.cell_store.verify_rejects,
+        cell_store_hit_rate: stats.cell_store.hit_rate(),
         stats,
     })
 }
@@ -503,6 +570,86 @@ mod tests {
     }
 
     #[test]
+    fn catalog_overlap_shares_app_seeds_across_specs() {
+        let cfg = LoadgenConfig {
+            requests: 300,
+            tenants: 4,
+            catalog_overlap: 0.8,
+            ..LoadgenConfig::default()
+        };
+        let stream = cfg.stream().unwrap();
+        // Every submission carries catalog fields, all on one platform.
+        let mut platform_seeds = std::collections::HashSet::new();
+        let mut seed_uses: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        let mut specs = std::collections::HashSet::new();
+        for req in &stream {
+            let Request::Submit(s) = req else { continue };
+            platform_seeds.insert(
+                s.spec
+                    .platform_seed
+                    .expect("catalog mode pins the platform"),
+            );
+            let seeds = s.spec.app_seeds.as_ref().expect("catalog mode names apps");
+            assert_eq!(seeds.len(), s.spec.apps);
+            if specs.insert(serde_json::to_string(&s.spec).unwrap()) {
+                for &seed in seeds {
+                    *seed_uses.entry(seed).or_default() += 1;
+                }
+            }
+        }
+        assert_eq!(platform_seeds.len(), 1);
+        assert!(specs.len() > 1, "stream cycles distinct specs");
+        assert!(
+            seed_uses.values().any(|&n| n > 1),
+            "0.8 overlap must reuse catalog apps across distinct specs"
+        );
+        // Zero overlap keeps the legacy whole-spec seeding.
+        let legacy = LoadgenConfig {
+            catalog_overlap: 0.0,
+            ..cfg.clone()
+        };
+        for req in legacy.stream().unwrap() {
+            if let Request::Submit(s) = req {
+                assert!(s.spec.platform_seed.is_none() && s.spec.app_seeds.is_none());
+            }
+        }
+        assert!(LoadgenConfig {
+            catalog_overlap: 1.5,
+            ..LoadgenConfig::default()
+        }
+        .stream()
+        .is_err());
+    }
+
+    #[test]
+    fn catalog_replay_hits_the_shared_cell_store() {
+        let cfg = LoadgenConfig {
+            requests: 80,
+            tenants: 4,
+            connections: 2,
+            pipeline: 8,
+            warmup: 8,
+            catalog_overlap: 0.8,
+            ..LoadgenConfig::default()
+        };
+        let serve_cfg = ServeConfig {
+            shards: 2,
+            build_threads: 2,
+            ..ServeConfig::default()
+        };
+        let report = run_local(&cfg, serve_cfg).unwrap();
+        assert_eq!(report.errors, 0);
+        assert!((report.catalog_overlap - 0.8).abs() < 1e-12);
+        assert!(
+            report.cell_store_hits > 0,
+            "overlapping catalogs must intern cells across tenants: {:?}",
+            report.stats.cell_store
+        );
+        assert_eq!(report.cell_store_hits, report.stats.cell_store.hits);
+        assert!(report.cell_store_hit_rate > 0.0);
+    }
+
+    #[test]
     fn percentiles_pick_from_sorted_tail() {
         let v: Vec<u64> = (1..=100).collect();
         assert_eq!(percentile(&v, 50.0), 51);
@@ -529,7 +676,7 @@ mod tests {
             ..ServeConfig::default()
         };
         let report = run_local(&cfg, serve_cfg).unwrap();
-        assert_eq!(report.schema_version, 3);
+        assert_eq!(report.schema_version, 4);
         assert_eq!(report.requests, 120);
         assert_eq!(report.errors, 0, "clean stream replays without errors");
         assert!(

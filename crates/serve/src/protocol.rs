@@ -513,6 +513,10 @@ pub struct StatsReply {
     /// Reply-codec counters across all connection writers.
     #[serde(default)]
     pub codec: CodecStats,
+    /// Content-addressed cell store counters — one store is shared by
+    /// every shard, so these are service-wide, not per shard.
+    #[serde(default)]
+    pub cell_store: cdsf_ra::CellStoreStats,
 }
 
 /// A server response.
@@ -675,12 +679,7 @@ mod tests {
         let reqs = vec![
             Request::Submit(SubmitRequest {
                 tenant: "acme".into(),
-                spec: WorkloadSpec {
-                    apps: 4,
-                    types: 3,
-                    pulses: 8,
-                    seed: 42,
-                },
+                spec: WorkloadSpec::simple(4, 3, 8, 42),
                 deadline: 2_800.0,
                 allocator: Some("sufferage".into()),
                 threshold: None,

@@ -70,6 +70,7 @@ pub struct Router {
     shards: Vec<mpsc::Sender<ShardMsg>>,
     shutdown: Arc<AtomicBool>,
     codec: Arc<CodecCounters>,
+    cell_store: Arc<cdsf_ra::CellStore>,
     addr: SocketAddr,
 }
 
@@ -128,6 +129,7 @@ impl Router {
             per_shard,
             total,
             codec: self.codec.snapshot(),
+            cell_store: self.cell_store.stats(),
         }
     }
 
@@ -157,17 +159,21 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
 
+        // One content-addressed cell store serves every shard: a PMF
+        // cell interned by any tenant's build is reused by all of them.
+        let cell_store = Arc::new(cdsf_ra::CellStore::new(cfg.cell_store_capacity));
         let mut senders = Vec::with_capacity(cfg.shards);
         let mut shard_handles = Vec::with_capacity(cfg.shards);
         for id in 0..cfg.shards {
             let (tx, rx) = mpsc::channel::<ShardMsg>();
             senders.push(tx);
             let cfg = cfg.clone();
+            let store = Arc::clone(&cell_store);
             shard_handles.push(
                 std::thread::Builder::new()
                     .name(format!("cdsf-shard-{id}"))
                     .spawn(move || {
-                        let mut core = ShardCore::new(id, cfg);
+                        let mut core = ShardCore::with_store(id, cfg, store);
                         run_shard(&mut core, &rx);
                     })?,
             );
@@ -177,6 +183,7 @@ impl Server {
             shards: senders,
             shutdown: Arc::new(AtomicBool::new(false)),
             codec: Arc::new(CodecCounters::default()),
+            cell_store,
             addr,
         };
 

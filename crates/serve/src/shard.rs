@@ -39,12 +39,12 @@ use crate::tenant::{TenantSnapshot, TenantState, WorkloadSpec};
 use cdsf_core::{CoreError, ImPolicy};
 use cdsf_ra::robustness::evaluate_with_engine;
 use cdsf_ra::{
-    Allocation, EngineCache, Lattice, LatticeScratch, LatticeSolution, MultiStartReport,
+    Allocation, CellStore, EngineCache, Lattice, LatticeScratch, LatticeSolution, MultiStartReport,
     Phi1Engine, RaError, RebuildMap, SimulatedAnnealing,
 };
 use cdsf_system::{Batch, Platform};
 use std::collections::{BTreeMap, HashSet, VecDeque};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 
 /// Service configuration, shared by every shard.
 #[derive(Debug, Clone)]
@@ -61,6 +61,9 @@ pub struct ServeConfig {
     pub phi1_threshold: f64,
     /// Most requests one admission batch may drain from the queue.
     pub drain_limit: usize,
+    /// Cells resident in the service-wide content-addressed
+    /// [`CellStore`] (shared by every shard's engine builds).
+    pub cell_store_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -72,6 +75,7 @@ impl Default for ServeConfig {
             default_allocator: "sufferage".to_string(),
             phi1_threshold: 0.8,
             drain_limit: 128,
+            cell_store_capacity: cdsf_ra::cell_store::DEFAULT_CELL_CAPACITY,
         }
     }
 }
@@ -83,6 +87,7 @@ impl ServeConfig {
         self.cache_capacity = self.cache_capacity.max(1);
         self.build_threads = self.build_threads.max(1);
         self.drain_limit = self.drain_limit.max(1);
+        self.cell_store_capacity = self.cell_store_capacity.max(1);
         self
     }
 }
@@ -211,8 +216,17 @@ pub struct ShardCore {
 }
 
 impl ShardCore {
-    /// A fresh shard with an empty cache and no tenants.
+    /// A fresh shard with an empty cache, no tenants, and its own
+    /// private cell store. The server passes a shared store via
+    /// [`ShardCore::with_store`] instead so cells intern service-wide.
     pub fn new(id: usize, cfg: ServeConfig) -> Self {
+        let store = Arc::new(CellStore::new(cfg.clone().normalized().cell_store_capacity));
+        Self::with_store(id, cfg, store)
+    }
+
+    /// A fresh shard whose engine builds resolve cells against `store`
+    /// — the cross-shard sharing path used by [`crate::Server`].
+    pub fn with_store(id: usize, cfg: ServeConfig, store: Arc<CellStore>) -> Self {
         let cfg = cfg.normalized();
         // The front caches are cheap per entry (a spec expansion is a few
         // KB, an allocation outcome a few hundred bytes), so they run 4×
@@ -220,7 +234,7 @@ impl ShardCore {
         let front_cap = (cfg.cache_capacity * 4).max(8);
         Self {
             id,
-            cache: EngineCache::with_capacity(cfg.cache_capacity),
+            cache: EngineCache::with_capacity_and_store(cfg.cache_capacity, store),
             cfg,
             tenants: BTreeMap::new(),
             spec_cache: VecDeque::new(),
@@ -337,8 +351,8 @@ impl ShardCore {
 
     /// Ensures the front spec-cache entry expands `spec`, running the
     /// generator + input hash only on a miss.
-    fn spec_to_front(&mut self, spec: WorkloadSpec) -> Result<()> {
-        match self.spec_cache.iter().position(|e| e.spec == spec) {
+    fn spec_to_front(&mut self, spec: &WorkloadSpec) -> Result<()> {
+        match self.spec_cache.iter().position(|e| &e.spec == spec) {
             Some(pos) => {
                 self.spec_cache_hits += 1;
                 if pos > 0 {
@@ -351,7 +365,7 @@ impl ShardCore {
                 let (batch, platform) = spec.expand()?;
                 let key = cdsf_ra::inputs_key(&batch, &platform);
                 self.spec_cache.push_front(SpecEntry {
-                    spec,
+                    spec: spec.clone(),
                     key,
                     batch,
                     platform,
@@ -400,7 +414,7 @@ impl ShardCore {
         };
         let policy = resolve_policy(&allocator_name, &self.cfg)?;
 
-        self.spec_to_front(spec)?;
+        self.spec_to_front(&spec)?;
         let threads = self.cfg.build_threads;
         let entry = &self.spec_cache[0];
         let key = entry.key;
@@ -942,12 +956,7 @@ mod tests {
     use crate::tenant::{TenantEvent, WorkloadSpec};
 
     fn spec(seed: u64) -> WorkloadSpec {
-        WorkloadSpec {
-            apps: 3,
-            types: 2,
-            pulses: 6,
-            seed,
-        }
+        WorkloadSpec::simple(3, 2, 6, seed)
     }
 
     fn submit(tenant: &str, seed: u64) -> Request {

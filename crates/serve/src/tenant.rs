@@ -25,7 +25,16 @@ const MAX_PULSES: usize = 256;
 
 /// A deterministic workload recipe: the seeded generator parameters the
 /// shard expands into a `(batch, platform)` pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// The optional catalog fields let tenants *share* pieces of a workload:
+/// `platform_seed` pins the platform independently of the batch seed,
+/// and `app_seeds` names each application by its own generator seed — so
+/// two tenants whose catalogs overlap produce bit-identical PMFs for the
+/// shared applications, which the cross-shard
+/// [`cdsf_ra::CellStore`] then interns exactly once. Both default
+/// to absent, where expansion is byte-for-byte the legacy single-seed
+/// recipe (deserialization fills them in for old wire payloads).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct WorkloadSpec {
     /// Applications in the batch.
     pub apps: usize,
@@ -33,11 +42,32 @@ pub struct WorkloadSpec {
     pub types: usize,
     /// Pulses per execution-time PMF.
     pub pulses: usize,
-    /// Generator seed (platform and batch).
+    /// Generator seed (platform and batch, unless overridden below).
     pub seed: u64,
+    /// Platform seed override — tenants sharing it (and `types`) expand
+    /// to bit-identical platforms regardless of their batch seeds.
+    #[serde(default)]
+    pub platform_seed: Option<u64>,
+    /// Per-application seeds (must have length `apps` when present):
+    /// application `i` is generated alone from `app_seeds[i]`, so equal
+    /// seeds yield bit-identical applications across specs and tenants.
+    #[serde(default)]
+    pub app_seeds: Option<Vec<u64>>,
 }
 
 impl WorkloadSpec {
+    /// The legacy single-seed recipe — no catalog fields.
+    pub fn simple(apps: usize, types: usize, pulses: usize, seed: u64) -> Self {
+        Self {
+            apps,
+            types,
+            pulses,
+            seed,
+            platform_seed: None,
+            app_seeds: None,
+        }
+    }
+
     /// Validates the bounds and expands the spec into concrete inputs.
     /// Deterministic: equal specs expand to bit-identical pairs.
     pub fn expand(&self) -> Result<(Batch, Platform)> {
@@ -63,13 +93,35 @@ impl WorkloadSpec {
             num_types: self.types,
             ..PlatformGenerator::default()
         }
-        .generate(self.seed)?;
-        let batch = BatchGenerator {
-            num_apps: self.apps,
-            pulses: self.pulses,
-            ..BatchGenerator::default()
-        }
-        .generate(&platform, self.seed)?;
+        .generate(self.platform_seed.unwrap_or(self.seed))?;
+        let batch = match &self.app_seeds {
+            None => BatchGenerator {
+                num_apps: self.apps,
+                pulses: self.pulses,
+                ..BatchGenerator::default()
+            }
+            .generate(&platform, self.seed)?,
+            Some(seeds) => {
+                if seeds.len() != self.apps {
+                    return Err(ServeError::Protocol(format!(
+                        "spec.app_seeds has {} entries for {} apps",
+                        seeds.len(),
+                        self.apps
+                    )));
+                }
+                let per_app = BatchGenerator {
+                    num_apps: 1,
+                    pulses: self.pulses,
+                    ..BatchGenerator::default()
+                };
+                let mut apps = Vec::with_capacity(seeds.len());
+                for &s in seeds {
+                    let one = per_app.generate(&platform, s)?;
+                    apps.push(one.apps()[0].clone());
+                }
+                Batch::new(apps)
+            }
+        };
         Ok((batch, platform))
     }
 }
@@ -150,7 +202,7 @@ impl TenantState {
     pub fn snapshot(&self, tenant: &str) -> TenantSnapshot {
         TenantSnapshot {
             tenant: tenant.to_string(),
-            spec: self.spec,
+            spec: self.spec.clone(),
             deadline: self.deadline,
             allocator: self.allocator.clone(),
             threshold: self.threshold,
@@ -164,7 +216,7 @@ impl TenantState {
     /// in by the shard once the engine is resident again.
     pub fn from_snapshot(s: &TenantSnapshot) -> Self {
         Self {
-            spec: s.spec,
+            spec: s.spec.clone(),
             deadline: s.deadline,
             allocator: s.allocator.clone(),
             threshold: s.threshold,
@@ -215,12 +267,7 @@ mod tests {
 
     #[test]
     fn expansion_is_deterministic() {
-        let spec = WorkloadSpec {
-            apps: 3,
-            types: 2,
-            pulses: 6,
-            seed: 99,
-        };
+        let spec = WorkloadSpec::simple(3, 2, 6, 99);
         let (b1, p1) = spec.expand().unwrap();
         let (b2, p2) = spec.expand().unwrap();
         assert_eq!(cdsf_ra::inputs_key(&b1, &p1), cdsf_ra::inputs_key(&b2, &p2));
@@ -229,24 +276,9 @@ mod tests {
     #[test]
     fn expansion_rejects_out_of_bounds_specs() {
         for spec in [
-            WorkloadSpec {
-                apps: 0,
-                types: 2,
-                pulses: 6,
-                seed: 1,
-            },
-            WorkloadSpec {
-                apps: 3,
-                types: 99,
-                pulses: 6,
-                seed: 1,
-            },
-            WorkloadSpec {
-                apps: 3,
-                types: 2,
-                pulses: 1,
-                seed: 1,
-            },
+            WorkloadSpec::simple(0, 2, 6, 1),
+            WorkloadSpec::simple(3, 99, 6, 1),
+            WorkloadSpec::simple(3, 2, 1, 1),
         ] {
             assert!(spec.expand().is_err(), "{spec:?}");
         }
@@ -254,12 +286,7 @@ mod tests {
 
     #[test]
     fn snapshot_round_trips_bit_exactly_through_json() {
-        let spec = WorkloadSpec {
-            apps: 2,
-            types: 2,
-            pulses: 5,
-            seed: 7,
-        };
+        let spec = WorkloadSpec::simple(2, 2, 5, 7);
         let (batch, platform) = spec.expand().unwrap();
         let state = TenantState {
             spec,

@@ -62,7 +62,7 @@ proptest! {
         k in 2usize..=4,
         same_tenant in prop_oneof![Just(true), Just(false)],
     ) {
-        let spec = WorkloadSpec { apps, types, pulses, seed };
+        let spec = WorkloadSpec::simple(apps, types, pulses, seed);
         let deadline = 2_800.0;
         let reqs: Vec<Request> = (0..k)
             .map(|i| {
@@ -71,7 +71,7 @@ proptest! {
                 } else {
                     format!("tenant-{i}")
                 };
-                submit(&tenant, spec, deadline)
+                submit(&tenant, spec.clone(), deadline)
             })
             .collect();
 
@@ -113,12 +113,7 @@ fn ask(client: &mut Client, req: &Request) -> Response {
 /// engine tables, exercised over real sockets.
 #[test]
 fn crash_restart_replay_is_byte_identical() {
-    let spec = WorkloadSpec {
-        apps: 4,
-        types: 3,
-        pulses: 6,
-        seed: 2_026,
-    };
+    let spec = WorkloadSpec::simple(4, 3, 6, 2_026);
     let events = [
         TenantEvent::Degrade {
             proc_type: 1,
@@ -228,12 +223,7 @@ fn tcp_server_serves_concurrent_clients() {
             for t in 0..2 {
                 // One shared spec: with 6 tenants on 2 shards, some shard
                 // must serve it repeatedly — hits or coalesces.
-                let spec = WorkloadSpec {
-                    apps: 3,
-                    types: 2,
-                    pulses: 5,
-                    seed: 100,
-                };
+                let spec = WorkloadSpec::simple(3, 2, 5, 100);
                 let tenant = format!("client{c}-tenant{t}");
                 let resp = client
                     .request(&submit(&tenant, spec, 2_800.0))
@@ -281,13 +271,8 @@ fn pipelined_replies_match_lockstep_in_order_and_bytes() {
     // caches; injections force cross-request state dependencies.
     let mut reqs = Vec::new();
     for i in 0..10 {
-        let spec = WorkloadSpec {
-            apps: 3,
-            types: 2,
-            pulses: 5,
-            seed: 300 + (i % 3) as u64,
-        };
-        reqs.push(submit(&format!("tenant-{i}"), spec, 2_800.0));
+        let spec = WorkloadSpec::simple(3, 2, 5, 300 + (i % 3) as u64);
+        reqs.push(submit(&format!("tenant-{i}"), spec.clone(), 2_800.0));
     }
     for i in 0..10 {
         reqs.push(Request::Inject(InjectRequest {
@@ -360,12 +345,7 @@ fn stats_totals_row_omits_shard_id_on_the_wire() {
     };
     let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
     let mut client = Client::connect(server.addr()).expect("connect");
-    let spec = WorkloadSpec {
-        apps: 3,
-        types: 2,
-        pulses: 5,
-        seed: 7,
-    };
+    let spec = WorkloadSpec::simple(3, 2, 5, 7);
     ask(&mut client, &submit("acme", spec, 2_800.0));
 
     // Speak the protocol by hand to inspect the raw reply line.

@@ -18,9 +18,10 @@
 //! * the task index space is split into **chunks** (contiguous index
 //!   ranges, weight-balanced, several per worker), so claim traffic is per
 //!   chunk, not per task;
-//! * each worker owns a **deque** of chunks, seeded with a contiguous
-//!   block of the chunk list (neighbouring tasks stay on one worker —
-//!   they usually share input locality);
+//! * each worker owns a **deque** of chunks, seeded by assigning chunks
+//!   in index order to the least-loaded worker (smallest accumulated
+//!   weight, ties to the lowest index), so the initial distribution is
+//!   already balanced and stealing only mops up estimation error;
 //! * a worker pops its own deque from the **front**; when empty it
 //!   **steals** from the **back** of the other workers' deques (scanning
 //!   victims in ring order from its own index), so stolen work is the work
@@ -65,6 +66,11 @@ pub struct PoolStats {
     pub tasks_run: Vec<usize>,
     /// Chunks each worker stole from another worker's deque.
     pub chunks_stolen: Vec<usize>,
+    /// Tasks initially seeded into each worker's deque. Unlike the two
+    /// fields above this is *deterministic* — a pure function of the task
+    /// count, weights, and worker count — so guards can assert the
+    /// seeding balance without scheduling noise.
+    pub tasks_seeded: Vec<usize>,
 }
 
 impl PoolStats {
@@ -158,10 +164,16 @@ fn build_chunks(num_tasks: usize, workers: usize, weights: Option<&[u64]>) -> Ve
     chunks
 }
 
-/// Seeds each worker's deque with a contiguous, weight-balanced block of
-/// the chunk list; every worker gets at least one chunk when there are
-/// enough chunks (which [`build_chunks`] guarantees for
-/// `num_tasks ≥ workers`).
+/// Seeds each worker's deque by assigning chunks, in index order, to the
+/// worker with the smallest accumulated weight so far (ties broken by the
+/// lowest worker index). Deterministic, and balanced even when one early
+/// chunk dwarfs the rest: the heavy worker simply stops receiving chunks
+/// while the others fill up, so stealing is the rebalancing *fallback*,
+/// not the primary distribution. The first `workers` chunks land on
+/// workers `0..workers` in order (everyone ties at zero), so every worker
+/// is seeded non-empty whenever [`build_chunks`]'s `chunks ≥ workers`
+/// guarantee holds, and each deque's chunk indices are increasing — the
+/// reserved front chunk is always its owner's earliest.
 fn seed_deques(
     chunks: &[Chunk],
     workers: usize,
@@ -173,25 +185,16 @@ fn seed_deques(
             None => (c.end - c.start) as u64,
         }
     };
-    let total: u64 = chunks.iter().map(weight).sum();
-    let target = total.div_ceil(workers as u64).max(1);
 
     let mut deques: Vec<Mutex<VecDeque<Chunk>>> =
         (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
-    let mut w = 0usize;
-    let mut acc = 0u64;
-    for (ci, chunk) in chunks.iter().enumerate() {
+    let mut acc = vec![0u64; workers];
+    for chunk in chunks {
+        let w = (0..workers)
+            .min_by_key(|&w| (acc[w], w))
+            .expect("workers ≥ 1");
         deques[w].get_mut().expect("fresh mutex").push_back(*chunk);
-        acc += weight(chunk);
-        let remaining_chunks = chunks.len() - (ci + 1);
-        let remaining_workers = workers - (w + 1);
-        // Advance to the next worker when this one's block is full — or
-        // when the tail has exactly one chunk left per remaining worker,
-        // so nobody is seeded empty.
-        if w + 1 < workers && (acc >= target || remaining_chunks <= remaining_workers) {
-            w += 1;
-            acc = 0;
-        }
+        acc[w] += weight(chunk).max(1);
     }
     deques
 }
@@ -238,11 +241,22 @@ where
             workers: 1,
             tasks_run: vec![num_tasks],
             chunks_stolen: vec![0],
+            tasks_seeded: vec![num_tasks],
         });
     }
 
     let chunks = build_chunks(num_tasks, workers, weights);
     let deques = seed_deques(&chunks, workers, weights);
+    let tasks_seeded: Vec<usize> = deques
+        .iter()
+        .map(|dq| {
+            dq.lock()
+                .expect("fresh mutex")
+                .iter()
+                .map(|c| c.end - c.start)
+                .sum()
+        })
+        .collect();
     // `started[w]`: worker `w` has claimed its first chunk (or found its
     // deque already empty) — until then its front chunk is reserved.
     let started: Vec<AtomicBool> = (0..workers).map(|_| AtomicBool::new(false)).collect();
@@ -329,6 +343,7 @@ where
             .iter()
             .map(|s| s.load(Ordering::Relaxed))
             .collect(),
+        tasks_seeded,
     })
 }
 
@@ -424,6 +439,47 @@ mod tests {
                     "worker {w} seeded empty for n={n}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn seeding_balances_skewed_weights() {
+        // The shape that used to seed [1, 21, 1, 1]: one task 1000× the
+        // rest. Min-accumulated-weight seeding must park the heavy chunk
+        // on one worker and spread the light chunks over the others, so
+        // no worker starts with more than half the light tail.
+        let mut weights = vec![1u64; 97];
+        weights[0] = 1000;
+        let workers = 4;
+        let chunks = build_chunks(97, workers, Some(&weights));
+        let deques = seed_deques(&chunks, workers, Some(&weights));
+        let light_per_worker: Vec<usize> = deques
+            .iter()
+            .map(|dq| {
+                dq.lock()
+                    .unwrap()
+                    .iter()
+                    .map(|c| (c.start..c.end).filter(|&i| weights[i] == 1).count())
+                    .sum()
+            })
+            .collect();
+        let light_total: usize = light_per_worker.iter().sum();
+        assert_eq!(light_total, 96);
+        for (w, &l) in light_per_worker.iter().enumerate() {
+            assert!(
+                l <= light_total / 2,
+                "worker {w} seeded {l} of {light_total} light tasks: {light_per_worker:?}"
+            );
+        }
+        // Everyone still gets at least one chunk, with increasing indices.
+        for (w, dq) in deques.iter().enumerate() {
+            let dq = dq.lock().unwrap();
+            assert!(!dq.is_empty(), "worker {w} seeded empty");
+            let starts: Vec<usize> = dq.iter().map(|c| c.start).collect();
+            assert!(
+                starts.windows(2).all(|p| p[0] < p[1]),
+                "worker {w}: {starts:?}"
+            );
         }
     }
 
